@@ -1,0 +1,127 @@
+"""A1: ablations of the design choices DESIGN.md calls out.
+
+* label index vs. full scan (the NodeByLabelScan entry point);
+* cached vs. recomputed statistics (the planner's cost-model input);
+* edge-uniqueness bookkeeping cost (what edge isomorphism costs on
+  queries where it does not change the answer).
+"""
+
+import time
+
+import pytest
+
+from repro import CypherEngine, Morphism
+from repro.graph.statistics import GraphStatistics
+from repro.graph.store import MemoryGraph
+from repro.planner.cost import statistics_for
+from repro.semantics.morphism import EDGE_ISOMORPHISM
+
+
+def labelled_graph(commons=2000, rares=4):
+    graph = MemoryGraph()
+    for index in range(commons):
+        graph.create_node(("Common",), {"i": index})
+    rare_nodes = [
+        graph.create_node(("Rare",), {"i": index}) for index in range(rares)
+    ]
+    return graph, rare_nodes
+
+
+class TestLabelIndexAblation:
+    def test_index_beats_scan(self, table_report):
+        graph, rare_nodes = labelled_graph()
+
+        def via_index():
+            return sum(1 for _ in graph.nodes_with_label("Rare"))
+
+        def via_scan():
+            return sum(
+                1 for node in graph.nodes() if "Rare" in graph.labels(node)
+            )
+
+        assert via_index() == via_scan() == len(rare_nodes)
+        started = time.perf_counter()
+        for _ in range(20):
+            via_index()
+        index_seconds = (time.perf_counter() - started) / 20
+        started = time.perf_counter()
+        for _ in range(20):
+            via_scan()
+        scan_seconds = (time.perf_counter() - started) / 20
+        speedup = scan_seconds / max(index_seconds, 1e-9)
+        table_report(
+            "A1a — label index vs full node scan (4 of 2004 nodes)",
+            ["access path", "mean time"],
+            [("label index", "%.4f ms" % (index_seconds * 1e3)),
+             ("full scan", "%.4f ms" % (scan_seconds * 1e3)),
+             ("speedup", "%.0fx" % speedup)],
+        )
+        assert speedup > 5
+
+
+class TestStatisticsCacheAblation:
+    def test_cache_hit_is_cheap(self, table_report):
+        graph, _ = labelled_graph()
+        statistics_for(graph)  # warm
+        started = time.perf_counter()
+        for _ in range(50):
+            statistics_for(graph)
+        cached_seconds = (time.perf_counter() - started) / 50
+        started = time.perf_counter()
+        for _ in range(5):
+            GraphStatistics(graph)
+        recomputed_seconds = (time.perf_counter() - started) / 5
+        table_report(
+            "A1b — statistics: cached vs recomputed per query",
+            ["variant", "mean time"],
+            [("cached (version hit)", "%.4f ms" % (cached_seconds * 1e3)),
+             ("recomputed", "%.4f ms" % (recomputed_seconds * 1e3))],
+        )
+        assert cached_seconds < recomputed_seconds
+
+    def test_cache_invalidates_on_mutation(self):
+        graph, _ = labelled_graph(commons=10)
+        before = statistics_for(graph)
+        graph.create_node(("Common",))
+        after = statistics_for(graph)
+        assert after.node_count == before.node_count + 1
+
+
+class TestUniquenessAblation:
+    def test_overhead_on_uniqueness_irrelevant_query(self, table_report):
+        # A simple chain query on a DAG: homomorphism and edge isomorphism
+        # agree on the answer; the delta is pure bookkeeping cost.
+        graph = MemoryGraph()
+        nodes = [graph.create_node(("N",), {"i": i}) for i in range(400)]
+        for index in range(399):
+            graph.create_relationship(nodes[index], nodes[index + 1], "NEXT")
+        query = "MATCH (a)-[:NEXT]->(b)-[:NEXT]->(c) RETURN count(*) AS n"
+
+        def run_with(morphism):
+            engine = CypherEngine(graph, morphism=morphism, mode="planner")
+            engine.run(query)
+            started = time.perf_counter()
+            for _ in range(3):
+                result = engine.run(query).value()
+            return (time.perf_counter() - started) / 3, result
+
+        edge_seconds, edge_count = run_with(EDGE_ISOMORPHISM)
+        homo_seconds, homo_count = run_with(
+            Morphism("homomorphism", max_length=4)
+        )
+        assert edge_count == homo_count == 398
+        table_report(
+            "A1c — edge-uniqueness bookkeeping on a DAG 2-hop query",
+            ["semantics", "mean time"],
+            [("edge isomorphism", "%.3f ms" % (edge_seconds * 1e3)),
+             ("homomorphism", "%.3f ms" % (homo_seconds * 1e3))],
+        )
+        # the check must not dominate: within 3x of the unchecked run
+        assert edge_seconds < homo_seconds * 3
+
+
+def test_a1_label_scan_benchmark(benchmark):
+    graph, _ = labelled_graph()
+    engine = CypherEngine(graph)
+    result = benchmark(engine.run, "MATCH (r:Rare) RETURN count(*) AS n")
+    assert result.value() == 4

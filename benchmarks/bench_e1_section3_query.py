@@ -1,0 +1,102 @@
+"""E1: the paper's Section 3 running query on the Figure 1 graph.
+
+Regenerates every table the paper prints (Figure 2a, Figure 2b, the
+line-4 and line-5 tables, the final result) and asserts exact equality;
+the benchmark times the full query on both execution paths.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import CypherEngine
+from repro.datasets.paper import figure1_graph
+
+FULL_QUERY = (
+    "MATCH (r:Researcher) "
+    "OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) "
+    "WITH r, count(s) AS studentsSupervised "
+    "MATCH (r)-[:AUTHORS]->(p1:Publication) "
+    "OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication) "
+    "RETURN r.name, studentsSupervised, count(DISTINCT p2) AS citedCount"
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph, ids = figure1_graph()
+    return graph, ids, CypherEngine(graph)
+
+
+def _bag(result, *columns):
+    return Counter(
+        tuple(record[column] for column in columns) for record in result.records
+    )
+
+
+def test_e1_stage_tables_match_paper(setup, table_report):
+    graph, ids, engine = setup
+    fig2a = engine.run(
+        "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) "
+        "RETURN r.name AS r, s.name AS s"
+    )
+    assert _bag(fig2a, "r", "s") == Counter(
+        {("Nils", None): 1, ("Elin", "Sten"): 1,
+         ("Elin", "Linda"): 1, ("Thor", "Sten"): 1}
+    )
+    table_report(
+        "Figure 2(a) — reproduced", ["r", "s"],
+        [(r["r"], r["s"]) for r in fig2a.records],
+    )
+
+    fig2b = engine.run(
+        "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) "
+        "WITH r, count(s) AS studentsSupervised "
+        "RETURN r.name AS r, studentsSupervised"
+    )
+    assert _bag(fig2b, "r", "studentsSupervised") == Counter(
+        {("Nils", 0): 1, ("Elin", 2): 1, ("Thor", 1): 1}
+    )
+    table_report(
+        "Figure 2(b) — reproduced", ["r", "studentsSupervised"],
+        [(r["r"], r["studentsSupervised"]) for r in fig2b.records],
+    )
+
+    line5 = engine.run(
+        "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) "
+        "WITH r, count(s) AS studentsSupervised "
+        "MATCH (r)-[:AUTHORS]->(p1:Publication) "
+        "OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication) "
+        "RETURN r.name AS r, studentsSupervised, "
+        "p1.acmid AS p1, p2.acmid AS p2"
+    )
+    assert len(line5) == 6  # incl. the two identical dagger rows
+    assert _bag(line5, "r", "p1", "p2")[("Nils", 220, 269)] == 2
+    table_report(
+        "Line-5 table — reproduced (note the duplicate rows)",
+        ["r", "studentsSupervised", "p1", "p2"],
+        [
+            (r["r"], r["studentsSupervised"], r["p1"], r["p2"])
+            for r in line5.records
+        ],
+    )
+
+
+def test_e1_final_result_matches_paper(setup, table_report):
+    graph, ids, engine = setup
+    result = engine.run(FULL_QUERY)
+    assert _bag(result, "r.name", "studentsSupervised", "citedCount") == (
+        Counter({("Nils", 0, 3): 1, ("Elin", 2, 1): 1})
+    )
+    table_report(
+        "Final result — paper says: Nils 0 3 / Elin 2 1",
+        result.columns,
+        [tuple(record.values()) for record in result.records],
+    )
+
+
+@pytest.mark.parametrize("mode", ["interpreter", "planner"])
+def test_e1_query_benchmark(benchmark, setup, mode):
+    graph, ids, engine = setup
+    result = benchmark(engine.run, FULL_QUERY, mode=mode)
+    assert len(result) == 2

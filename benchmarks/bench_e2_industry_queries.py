@@ -1,0 +1,103 @@
+"""E2/E3: the Section 3 industry queries on synthetic generators.
+
+E2 — network management: the most-depended-upon component, checked
+against a networkx transitive-closure ground truth.
+E3 — fraud detection: planted rings must all be detected.
+"""
+
+import networkx as nx
+import pytest
+
+from repro import CypherEngine
+from repro.datasets.datacenter import datacenter_graph
+from repro.datasets.fraud import fraud_graph
+
+NETWORK_QUERY = (
+    "MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service) "
+    "RETURN svc.name AS component, count(DISTINCT dep) AS dependents "
+    "ORDER BY dependents DESC LIMIT 1"
+)
+
+FRAUD_QUERY = (
+    "MATCH (accHolder:AccountHolder)-[:HAS]->(pInfo) "
+    "WHERE pInfo:SSN OR pInfo:PhoneNumber OR pInfo:Address "
+    "WITH pInfo, collect(accHolder.uniqueId) AS accountHolders, "
+    "count(*) AS fraudRingCount "
+    "WHERE fraudRingCount > 1 "
+    "RETURN accountHolders, labels(pInfo) AS personalInformation, "
+    "fraudRingCount"
+)
+
+
+@pytest.fixture(scope="module")
+def datacenter():
+    graph, layers = datacenter_graph(layers=4, width=6, fanout=2, seed=7)
+    return graph, layers
+
+
+@pytest.fixture(scope="module")
+def fraud():
+    return fraud_graph(holders=40, rings=5, ring_size=3, seed=42)
+
+
+def test_e2_network_query_matches_ground_truth(datacenter, table_report):
+    graph, _layers = datacenter
+    engine = CypherEngine(graph)
+    record = engine.run(NETWORK_QUERY).single()
+
+    digraph = nx.DiGraph()
+    for node in graph.nodes():
+        digraph.add_node(node)
+    for rel in graph.relationships():
+        digraph.add_edge(graph.src(rel), graph.tgt(rel))
+    truth = max(len(nx.ancestors(digraph, n)) for n in digraph.nodes)
+
+    assert record["dependents"] == truth
+    table_report(
+        "E2 network management — most depended-upon component",
+        ["component", "dependents", "networkx ground truth"],
+        [(record["component"], record["dependents"], truth)],
+    )
+
+
+def test_e2_network_query_benchmark(benchmark, datacenter):
+    graph, _ = datacenter
+    engine = CypherEngine(graph)
+    result = benchmark(engine.run, NETWORK_QUERY)
+    assert len(result) == 1
+
+
+def test_e3_fraud_query_finds_planted_rings(fraud, table_report):
+    graph, planted = fraud
+    engine = CypherEngine(graph)
+    result = engine.run(FRAUD_QUERY)
+    detected = {
+        tuple(sorted(record["accountHolders"])) for record in result.records
+    }
+    expected = {
+        tuple(
+            sorted(
+                graph.property_value(member, "uniqueId")
+                for member in ring["members"]
+            )
+        )
+        for ring in planted
+    }
+    assert detected == expected
+    table_report(
+        "E3 fraud detection — rings (planted vs detected)",
+        ["ring members", "PII label", "ring size"],
+        [
+            (", ".join(record["accountHolders"]),
+             record["personalInformation"][0],
+             record["fraudRingCount"])
+            for record in result.records
+        ],
+    )
+
+
+def test_e3_fraud_query_benchmark(benchmark, fraud):
+    graph, planted = fraud
+    engine = CypherEngine(graph)
+    result = benchmark(engine.run, FRAUD_QUERY)
+    assert len(result) == len(planted)

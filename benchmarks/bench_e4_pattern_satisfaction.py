@@ -1,0 +1,122 @@
+"""E4: the Section 4.2 formal-semantics examples on the Figure 4 graph.
+
+Reproduces Examples 4.2 (node-pattern satisfaction), 4.3 (rigid
+satisfaction), 4.4 (rigid extensions; two assignments for one path),
+4.5 (bag multiplicity 2) and 4.6 (the MATCH table), and benchmarks the
+satisfaction relation and the match enumeration.
+"""
+
+import pytest
+
+from repro import parse_pattern
+from repro.datasets.paper import figure4_graph
+from repro.semantics.expressions import Evaluator
+from repro.semantics.matching import (
+    match_pattern_tuple,
+    rigid_extensions,
+    satisfies,
+)
+from repro.values.path import Path
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph, ids = figure4_graph()
+    return graph, ids, Evaluator(graph)
+
+
+def test_e4_example_42(setup, table_report):
+    graph, ids, _ = setup
+    chi1 = parse_pattern("(x:Teacher)")
+    rows = []
+    for name in ("n1", "n2", "n3", "n4"):
+        node = ids[name]
+        verdict = satisfies(Path.single(node), graph, {"x": node}, chi1)
+        rows.append((name, "|=" if verdict else "|≠", "(x:Teacher)"))
+    table_report("Example 4.2 — node pattern satisfaction",
+                 ["node", "verdict", "pattern"], rows)
+    assert [row[1] for row in rows] == ["|=", "|≠", "|=", "|="]
+
+
+def test_e4_example_43(setup):
+    graph, ids, _ = setup
+    pattern = parse_pattern("(x:Teacher)-[:KNOWS*2]->(y)")
+    path = Path((ids["n1"], ids["n2"], ids["n3"]), (ids["r1"], ids["r2"]))
+    assert satisfies(path, graph, {"x": ids["n1"], "y": ids["n3"]}, pattern)
+    # rigid patterns admit at most one assignment per path:
+    assert not satisfies(path, graph, {"x": ids["n1"], "y": ids["n4"]}, pattern)
+
+
+def test_e4_example_44(setup, table_report):
+    graph, ids, _ = setup
+    pattern = parse_pattern(
+        "(x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher)"
+    )
+    rigid = rigid_extensions(pattern, 2)
+    assert len(rigid) == 4  # π1..π4 in the paper
+    p2 = Path(
+        (ids["n1"], ids["n2"], ids["n3"], ids["n4"]),
+        (ids["r1"], ids["r2"], ids["r3"]),
+    )
+    u2 = {"x": ids["n1"], "y": ids["n4"], "z": ids["n2"]}
+    u2p = {"x": ids["n1"], "y": ids["n4"], "z": ids["n3"]}
+    assert satisfies(p2, graph, u2, pattern)
+    assert satisfies(p2, graph, u2p, pattern)
+    table_report(
+        "Example 4.4 — rigid(π) and the two assignments for p2",
+        ["artifact", "paper", "measured"],
+        [("|rigid(π)| (max 2 steps)", 4, len(rigid)),
+         ("p2 satisfies under u2", True, True),
+         ("p2 satisfies under u2'", True, True)],
+    )
+
+
+def test_e4_example_45_multiplicity(setup, table_report):
+    graph, ids, evaluator = setup
+    pattern = parse_pattern(
+        "(x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher)"
+    )
+    matches = match_pattern_tuple((pattern,), graph, {}, evaluator)
+    target = {"x": ids["n1"], "y": ids["n4"]}
+    multiplicity = sum(1 for match in matches if match == target)
+    assert multiplicity == 2
+    table_report(
+        "Example 4.5 — bag multiplicity of (x: n1, y: n4)",
+        ["binding", "paper", "measured"],
+        [("{x: n1, y: n4}", 2, multiplicity)],
+    )
+
+
+def test_e4_example_46_match_table(setup, table_report):
+    graph, ids, evaluator = setup
+    pattern = parse_pattern("(x)-[:KNOWS*]->(y)")
+    rows = []
+    for record in ({"x": ids["n1"]}, {"x": ids["n3"]}):
+        for bindings in match_pattern_tuple((pattern,), graph, record, evaluator):
+            merged = dict(record, **bindings)
+            rows.append((str(merged["x"]), str(merged["y"])))
+    assert sorted(rows) == [("n1", "n2"), ("n1", "n3"), ("n1", "n4"), ("n3", "n4")]
+    table_report("Example 4.6 — [[MATCH (x)-[:KNOWS*]->(y)]](T)",
+                 ["x", "y"], sorted(rows))
+
+
+def test_e4_satisfaction_benchmark(benchmark, setup):
+    graph, ids, _ = setup
+    pattern = parse_pattern(
+        "(x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher)"
+    )
+    p2 = Path(
+        (ids["n1"], ids["n2"], ids["n3"], ids["n4"]),
+        (ids["r1"], ids["r2"], ids["r3"]),
+    )
+    u2 = {"x": ids["n1"], "y": ids["n4"], "z": ids["n2"]}
+    assert benchmark(satisfies, p2, graph, u2, pattern)
+
+
+def test_e4_match_enumeration_benchmark(benchmark, setup):
+    graph, ids, evaluator = setup
+    pattern = parse_pattern("(x)-[:KNOWS*]->(y)")
+    matches = benchmark(
+        match_pattern_tuple, (pattern,), graph, {}, evaluator
+    )
+    assert len(matches) == 6  # all downstream pairs in the 4-chain

@@ -1,0 +1,64 @@
+"""E5: the Section 4.2 complexity discussion made executable.
+
+On the one-node/one-loop graph, ``(x)-[*0..]->(x)`` has exactly 2 matches
+under Cypher's edge isomorphism; under homomorphism the count grows
+without bound (one match per traversal length), which we demonstrate with
+increasing caps.
+"""
+
+import pytest
+
+from repro import CypherEngine, Morphism
+from repro.datasets.paper import self_loop_graph
+from repro.semantics.morphism import EDGE_ISOMORPHISM
+
+QUERY = "MATCH (x)-[*0..]->(x) RETURN count(*) AS n"
+
+
+@pytest.fixture(scope="module")
+def loop_graph():
+    graph, _ = self_loop_graph()
+    return graph
+
+
+def test_e5_edge_isomorphism_is_finite(loop_graph, table_report):
+    engine = CypherEngine(loop_graph)
+    count = engine.run(QUERY).value()
+    assert count == 2
+    rows = [("edge isomorphism (Cypher 9)", "2", count)]
+    for cap in (2, 4, 8, 16):
+        homo = CypherEngine(
+            loop_graph,
+            morphism=Morphism("homomorphism", max_length=cap),
+            mode="interpreter",
+        )
+        measured = homo.run(QUERY).value()
+        assert measured == cap + 1  # grows linearly with the cap → ∞
+        rows.append(("homomorphism, cap %d" % cap, "unbounded", measured))
+    table_report(
+        "E5 — matches of (x)-[*0..]->(x) on one node with one loop",
+        ["semantics", "paper", "measured"],
+        rows,
+    )
+
+
+def test_e5_both_paths_agree(loop_graph):
+    engine = CypherEngine(loop_graph)
+    assert engine.run(QUERY, mode="interpreter").value() == 2
+    assert engine.run(QUERY, mode="planner").value() == 2
+
+
+def test_e5_edge_isomorphism_benchmark(benchmark, loop_graph):
+    engine = CypherEngine(loop_graph)
+    result = benchmark(engine.run, QUERY)
+    assert result.value() == 2
+
+
+def test_e5_homomorphism_benchmark(benchmark, loop_graph):
+    engine = CypherEngine(
+        loop_graph,
+        morphism=Morphism("homomorphism", max_length=64),
+        mode="interpreter",
+    )
+    result = benchmark(engine.run, QUERY)
+    assert result.value() == 65

@@ -1,0 +1,76 @@
+"""E7: the Cypher 10 temporal types (Section 6 CIP).
+
+Exercises the five instant types plus Duration through queries, and
+benchmarks parsing and arithmetic throughput.
+"""
+
+import pytest
+
+from repro import CypherEngine
+from repro.graph.store import MemoryGraph
+from repro.temporal import Date, DateTime, Duration
+
+
+def test_e7_all_types_construct_through_queries(table_report):
+    engine = CypherEngine(MemoryGraph())
+    record = engine.run(
+        "RETURN date('2018-06-10') AS d, "
+        "localtime('14:30:00') AS lt, "
+        "time('14:30:00+02:00') AS t, "
+        "localdatetime('2018-06-10T14:30:00') AS ldt, "
+        "datetime('2018-06-10T14:30:00Z') AS dt, "
+        "duration('P1Y2M3DT4H5M6S') AS dur"
+    ).single()
+    rows = [
+        (name, value.cypher_type_name, value.cypher_to_string())
+        for name, value in record.items()
+    ]
+    table_report("E7 — temporal values", ["alias", "type", "rendered"], rows)
+    assert [row[1] for row in rows] == [
+        "Date", "LocalTime", "Time", "LocalDateTime", "DateTime", "Duration",
+    ]
+
+
+def test_e7_arithmetic_and_comparison(table_report):
+    engine = CypherEngine(MemoryGraph())
+    record = engine.run(
+        "RETURN date('2018-01-31') + duration('P1M') AS clamped, "
+        "datetime('2018-06-10T12:00:00Z') < "
+        "datetime('2018-06-10T14:00:00+01:00') AS ordered, "
+        "duration('P1D') + duration('PT12H') AS summed"
+    ).single()
+    assert record["clamped"].cypher_to_string() == "2018-02-28"
+    assert record["ordered"] is True
+    assert record["summed"].days == 1 and record["summed"].seconds == 43200
+    table_report(
+        "E7 — temporal arithmetic",
+        ["expression", "result"],
+        [("date('2018-01-31') + P1M", record["clamped"].cypher_to_string()),
+         ("cross-offset datetime <", record["ordered"]),
+         ("P1D + PT12H", record["summed"].cypher_to_string())],
+    )
+
+
+def test_e7_parse_benchmark(benchmark):
+    def parse_batch():
+        for day in range(1, 28):
+            Date.parse("2018-02-%02d" % day)
+            DateTime.parse("2018-02-%02dT10:30:00+01:00" % day)
+            Duration.parse("P%dDT%dH" % (day, day % 24))
+        return True
+
+    assert benchmark(parse_batch)
+
+
+def test_e7_arithmetic_benchmark(benchmark):
+    start = Date.parse("2000-01-01")
+    step = Duration(days=17, seconds=3600)
+
+    def shift_batch():
+        current = start
+        for _ in range(100):
+            current = current.cypher_add(step)
+        return current
+
+    final = benchmark(shift_batch)
+    assert final.cypher_compare(start) == 1

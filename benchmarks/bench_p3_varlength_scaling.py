@@ -1,0 +1,118 @@
+"""P3: variable-length matching cost vs. range width and graph size.
+
+Demonstrates the finiteness guarantee of edge isomorphism (Section 4.2):
+match counts stay bounded and runtimes scale with the reachable frontier,
+not with the (infinite) space of homomorphism walks.  Grid and chain
+topologies are swept over increasing ``*1..k`` widths.
+"""
+
+import time
+
+import pytest
+
+from repro import CypherEngine
+from repro.graph.store import MemoryGraph
+
+
+def chain_graph(length):
+    graph = MemoryGraph()
+    nodes = [
+        graph.create_node(("Link",), {"i": index}) for index in range(length)
+    ]
+    for index in range(length - 1):
+        graph.create_relationship(nodes[index], nodes[index + 1], "NEXT")
+    return graph
+
+
+def grid_graph(side):
+    graph = MemoryGraph()
+    nodes = {}
+    for row in range(side):
+        for column in range(side):
+            nodes[row, column] = graph.create_node(
+                ("Cell",), {"r": row, "c": column}
+            )
+    for row in range(side):
+        for column in range(side):
+            if column + 1 < side:
+                graph.create_relationship(
+                    nodes[row, column], nodes[row, column + 1], "E"
+                )
+            if row + 1 < side:
+                graph.create_relationship(
+                    nodes[row, column], nodes[row + 1, column], "E"
+                )
+    return graph
+
+
+class TestChainCounts:
+    def test_counts_match_closed_form(self, table_report):
+        # On an n-chain, (a)-[*1..k]->(b) has sum_{d=1..k} (n-d) matches.
+        length = 30
+        graph = chain_graph(length)
+        engine = CypherEngine(graph)
+        rows = []
+        for width in (1, 2, 4, 8):
+            measured = engine.run(
+                "MATCH (a)-[*1..%d]->(b) RETURN count(*) AS n" % width
+            ).value()
+            expected = sum(length - distance for distance in range(1, width + 1))
+            assert measured == expected
+            rows.append((width, expected, measured))
+        table_report(
+            "P3 — chain(%d): matches of (a)-[*1..k]->(b)" % length,
+            ["k", "closed form", "measured"],
+            rows,
+        )
+
+    def test_unbounded_is_finite_on_cycle(self):
+        graph = chain_graph(8)
+        nodes = list(graph.nodes())
+        graph.create_relationship(nodes[-1], nodes[0], "NEXT")  # close cycle
+        engine = CypherEngine(graph)
+        count = engine.run("MATCH (a)-[*]->(b) RETURN count(*) AS n").value()
+        # 8 edges, edge isomorphism: walks are simple edge-paths on the
+        # cycle: 8 starts x 8 lengths
+        assert count == 64
+
+
+class TestScaling:
+    def test_runtime_grows_with_width(self, table_report):
+        graph = grid_graph(6)
+        engine = CypherEngine(graph)
+        rows = []
+        timings = []
+        for width in (1, 2, 3, 4):
+            query = (
+                "MATCH ({r: 0, c: 0})-[*1..%d]->(b) RETURN count(*) AS n"
+                % width
+            )
+            started = time.perf_counter()
+            count = engine.run(query).value()
+            elapsed = time.perf_counter() - started
+            timings.append(elapsed)
+            rows.append((width, count, "%.2f ms" % (elapsed * 1e3)))
+        table_report(
+            "P3 — grid(6x6): frontier size and runtime vs range width",
+            ["k", "matches", "runtime"],
+            rows,
+        )
+        counts = [row[1] for row in rows]
+        assert counts == sorted(counts)  # frontier grows monotonically
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_p3_chain_benchmark(benchmark, width):
+    graph = chain_graph(40)
+    engine = CypherEngine(graph)
+    query = "MATCH (a)-[*1..%d]->(b) RETURN count(*) AS n" % width
+    result = benchmark(engine.run, query)
+    assert result.value() > 0
+
+
+def test_p3_grid_benchmark(benchmark):
+    graph = grid_graph(5)
+    engine = CypherEngine(graph)
+    query = "MATCH ({r: 0, c: 0})-[*1..4]->(b) RETURN count(*) AS n"
+    result = benchmark(engine.run, query)
+    assert result.value() > 0

@@ -1,0 +1,67 @@
+"""P4: linear clause composition throughput (paper Section 2).
+
+"Each clause in a query is a function that takes a table and outputs a
+table ... The whole query is then the composition of these functions."
+This bench runs a representative MATCH → WITH/aggregate → MATCH →
+OPTIONAL MATCH → RETURN pipeline (the Section 3 shape) on growing
+citation networks, on both execution paths.
+"""
+
+import pytest
+
+from repro import CypherEngine
+from repro.datasets.citations import citation_network
+
+PIPELINE = (
+    "MATCH (r:Researcher) "
+    "OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) "
+    "WITH r, count(s) AS supervised "
+    "MATCH (r)-[:AUTHORS]->(p:Publication) "
+    "OPTIONAL MATCH (p)<-[:CITES]-(citer:Publication) "
+    "RETURN r.name AS name, supervised, "
+    "count(DISTINCT citer) AS citations "
+    "ORDER BY citations DESC, name"
+)
+
+
+@pytest.fixture(scope="module", params=[20, 60])
+def network(request):
+    graph, handles = citation_network(
+        publications=request.param,
+        researchers=max(4, request.param // 5),
+        students=max(6, request.param // 4),
+        seed=9,
+    )
+    return graph, handles
+
+
+def test_p4_pipeline_answers_are_consistent(network):
+    graph, handles = network
+    engine = CypherEngine(graph)
+    interpreted = engine.run(PIPELINE, mode="interpreter")
+    planned = engine.run(PIPELINE, mode="planner")
+    assert interpreted.table.same_bag(planned.table)
+    # every researcher with at least one publication appears
+    publishers = {
+        graph.src(rel) for rel in graph.relationships_with_type("AUTHORS")
+    }
+    assert len(interpreted) == len(publishers)
+
+
+@pytest.mark.parametrize("mode", ["interpreter", "planner"])
+def test_p4_pipeline_benchmark(benchmark, network, mode):
+    graph, _ = network
+    engine = CypherEngine(graph)
+    result = benchmark(engine.run, PIPELINE, mode=mode)
+    assert len(result) > 0
+
+
+def test_p4_projection_stage_benchmark(benchmark):
+    graph, _ = citation_network(publications=40, seed=3)
+    engine = CypherEngine(graph)
+    query = (
+        "MATCH (p:Publication) WITH p.year AS year, count(*) AS papers "
+        "WHERE papers > 0 RETURN year, papers ORDER BY year"
+    )
+    result = benchmark(engine.run, query)
+    assert len(result) > 0

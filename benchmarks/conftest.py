@@ -1,0 +1,34 @@
+"""Benchmark fixtures and the paper-vs-measured reporting helper."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title, headers, rows):
+    """Print a table in the shape the paper prints (captured by -s)."""
+    widths = [
+        max(len(str(header)), *(len(str(row[index])) for row in rows))
+        if rows
+        else len(str(header))
+        for index, header in enumerate(headers)
+    ]
+    print()
+    print(title)
+    print(
+        " | ".join(
+            str(header).ljust(width) for header, width in zip(headers, widths)
+        )
+    )
+    print("-+-".join("-" * width for width in widths))
+    for row in rows:
+        print(
+            " | ".join(
+                str(cell).ljust(width) for cell, width in zip(row, widths)
+            )
+        )
+
+
+@pytest.fixture
+def table_report():
+    return report

@@ -1,0 +1,71 @@
+"""Fraud detection (the paper's second industry example, Section 3).
+
+Generates a synthetic identity graph in which account holders HAS
+personal-information nodes (SSN / PhoneNumber / Address), plants a few
+fraud rings that share PII, and runs the paper's detection query —
+collect() and labels() included — to surface them.
+
+Run with:  python examples/fraud_detection.py
+"""
+
+from repro import CypherEngine
+from repro.datasets.fraud import fraud_graph
+
+FRAUD_QUERY = """
+MATCH (accHolder:AccountHolder)-[:HAS]->(pInfo)
+WHERE pInfo:SSN OR pInfo:PhoneNumber OR pInfo:Address
+WITH pInfo,
+     collect(accHolder.uniqueId) AS accountHolders,
+     count(*) AS fraudRingCount
+WHERE fraudRingCount > 1
+RETURN accountHolders,
+       labels(pInfo) AS personalInformation,
+       fraudRingCount
+"""
+
+
+def main():
+    graph, planted = fraud_graph(holders=40, rings=5, ring_size=3, seed=42)
+    engine = CypherEngine(graph)
+
+    print(
+        "Identity graph: %d nodes, %d relationships; %d rings planted\n"
+        % (graph.node_count(), graph.relationship_count(), len(planted))
+    )
+
+    result = engine.run(FRAUD_QUERY)
+    print("Detected rings:")
+    print(result.pretty())
+    print()
+
+    detected = {
+        tuple(sorted(record["accountHolders"])) for record in result.records
+    }
+    expected = {
+        tuple(
+            sorted(
+                graph.property_value(member, "uniqueId")
+                for member in ring["members"]
+            )
+        )
+        for ring in planted
+    }
+    print("All planted rings detected:", detected == expected)
+
+    # A second, stricter analysis: holders entangled in 2+ rings.
+    repeat_offenders = engine.run(
+        """
+        MATCH (h:AccountHolder)-[:HAS]->(pInfo)<-[:HAS]-(other:AccountHolder)
+        WHERE h <> other
+        WITH h, count(DISTINCT pInfo) AS sharedPieces
+        WHERE sharedPieces > 1
+        RETURN h.uniqueId AS holder, sharedPieces
+        ORDER BY sharedPieces DESC
+        """
+    )
+    print("\nHolders sharing more than one piece of PII:")
+    print(repeat_offenders.pretty())
+
+
+if __name__ == "__main__":
+    main()

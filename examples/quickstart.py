@@ -1,0 +1,73 @@
+"""Quickstart: build a graph, run Cypher, inspect results.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import CypherEngine, GraphBuilder
+
+
+def main():
+    # 1. Build a property graph programmatically (or start empty and
+    #    CREATE everything through Cypher — see below).
+    graph, ids = (
+        GraphBuilder()
+        .node("ann", "Person", name="Ann", age=34)
+        .node("bob", "Person", name="Bob", age=29)
+        .node("cat", "Person", name="Cat", age=41)
+        .node("acme", "Company", name="ACME")
+        .rel("ann", "KNOWS", "bob", since=2011)
+        .rel("bob", "KNOWS", "cat", since=2015)
+        .rel("ann", "WORKS_AT", "acme")
+        .rel("cat", "WORKS_AT", "acme")
+        .build()
+    )
+
+    engine = CypherEngine(graph)
+
+    # 2. Pattern matching with the ASCII-art syntax.
+    result = engine.run(
+        "MATCH (a:Person)-[k:KNOWS]->(b:Person) "
+        "RETURN a.name AS a, k.since AS since, b.name AS b "
+        "ORDER BY since"
+    )
+    print("Who knows whom:")
+    print(result.pretty())
+    print()
+
+    # 3. Variable-length traversal (transitive closure).
+    result = engine.run(
+        "MATCH (a:Person {name: 'Ann'})-[:KNOWS*]->(reached) "
+        "RETURN reached.name AS name"
+    )
+    print("Reachable from Ann over KNOWS*:", result.values("name"))
+    print()
+
+    # 4. Aggregation with implicit grouping keys.
+    result = engine.run(
+        "MATCH (c:Company)<-[:WORKS_AT]-(p:Person) "
+        "RETURN c.name AS company, count(p) AS headcount, "
+        "avg(p.age) AS avg_age"
+    )
+    print("Company stats:", result.single())
+    print()
+
+    # 5. Updates: create through Cypher and read your own writes.
+    engine.run(
+        "MATCH (a:Person {name: 'Ann'}), (c:Person {name: 'Cat'}) "
+        "MERGE (a)-[:KNOWS {since: 2020}]->(c)"
+    )
+    count = engine.run(
+        "MATCH (:Person)-[k:KNOWS]->(:Person) RETURN count(k) AS k"
+    ).value()
+    print("KNOWS relationships after MERGE:", count)
+    print()
+
+    # 6. EXPLAIN shows the Volcano-style plan with Expand operators.
+    print("Plan for a traversal query:")
+    print(engine.explain(
+        "MATCH (a:Person)-[:KNOWS]->(b) WHERE b.age > 30 RETURN a.name"
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the environment has no `wheel`, so editable installs
+go through `pip install -e . --no-use-pep517`, which needs setup.py."""
+
+from setuptools import setup
+
+setup()

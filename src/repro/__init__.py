@@ -1,0 +1,89 @@
+"""repro — a faithful Python reproduction of
+"Cypher: An Evolving Query Language for Property Graphs" (SIGMOD 2018).
+
+Quickstart::
+
+    from repro import CypherEngine, GraphBuilder
+
+    graph, ids = (GraphBuilder()
+                  .node("ann", "Person", name="Ann")
+                  .node("bob", "Person", name="Bob")
+                  .rel("ann", "KNOWS", "bob", since=2011)
+                  .build())
+    engine = CypherEngine(graph)
+    result = engine.run("MATCH (a:Person)-[:KNOWS]->(b) RETURN a.name, b.name")
+    print(result.records)
+
+The package layout mirrors the paper: :mod:`repro.graph` is the property
+graph data model (Section 4.1), :mod:`repro.semantics` the formal
+semantics (Sections 4.2–4.3), :mod:`repro.planner`/:mod:`repro.runtime`
+the Volcano-style implementation sketched in Section 2, and
+:mod:`repro.multigraph`/:mod:`repro.temporal` the Cypher 10 developments
+of Section 6.
+"""
+
+from repro.exceptions import (
+    ConstraintViolation,
+    CypherError,
+    CypherRuntimeError,
+    CypherSemanticError,
+    CypherSyntaxError,
+    CypherTypeError,
+)
+from repro.graph import (
+    GraphBuilder,
+    GraphCatalog,
+    GraphStatistics,
+    MemoryGraph,
+    PropertyGraph,
+)
+from repro.parser import parse_expression, parse_pattern, parse_query
+from repro.runtime import CypherEngine, QueryResult
+from repro.semantics import (
+    EDGE_ISOMORPHISM,
+    HOMOMORPHISM,
+    NODE_ISOMORPHISM,
+    Morphism,
+    Table,
+)
+from repro.schema import (
+    ExistenceConstraint,
+    Schema,
+    TypeConstraint,
+    UniquenessConstraint,
+)
+from repro.values import NodeId, Path, RelId
+
+__version__ = "0.9.0"
+
+__all__ = [
+    "CypherEngine",
+    "QueryResult",
+    "MemoryGraph",
+    "PropertyGraph",
+    "GraphBuilder",
+    "GraphCatalog",
+    "GraphStatistics",
+    "Table",
+    "NodeId",
+    "RelId",
+    "Path",
+    "Morphism",
+    "EDGE_ISOMORPHISM",
+    "NODE_ISOMORPHISM",
+    "HOMOMORPHISM",
+    "parse_query",
+    "parse_expression",
+    "parse_pattern",
+    "Schema",
+    "ExistenceConstraint",
+    "UniquenessConstraint",
+    "TypeConstraint",
+    "CypherError",
+    "CypherSyntaxError",
+    "CypherSemanticError",
+    "CypherTypeError",
+    "CypherRuntimeError",
+    "ConstraintViolation",
+    "__version__",
+]

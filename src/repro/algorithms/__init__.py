@@ -1,0 +1,31 @@
+"""Built-in graph algorithms (paper Section 1).
+
+The paper lists "built-in support for graph algorithms (e.g., Page Rank,
+subgraph matching and so on)" among the benefits property-graph databases
+provide; this package supplies the library-level counterparts over any
+:class:`~repro.graph.model.PropertyGraph`:
+
+* :func:`pagerank` — the power-iteration PageRank;
+* :func:`shortest_path` / :func:`shortest_path_length` — BFS and
+  Dijkstra (with a relationship-property cost, the Section 8 "path cost"
+  direction) returning proper :class:`~repro.values.path.Path` values;
+* :func:`connected_components` / :func:`weakly_connected_components`;
+* :func:`degree_centrality`;
+* :func:`triangle_count`.
+
+Subgraph matching itself is the engine's MATCH.
+"""
+
+from repro.algorithms.centrality import degree_centrality, pagerank
+from repro.algorithms.components import connected_components
+from repro.algorithms.paths import shortest_path, shortest_path_length
+from repro.algorithms.triangles import triangle_count
+
+__all__ = [
+    "pagerank",
+    "degree_centrality",
+    "connected_components",
+    "shortest_path",
+    "shortest_path_length",
+    "triangle_count",
+]

@@ -1,0 +1,68 @@
+"""PageRank and degree centrality over property graphs."""
+
+from __future__ import annotations
+
+
+def pagerank(
+    graph,
+    damping=0.85,
+    max_iterations=100,
+    tolerance=1e-8,
+    rel_types=None,
+):
+    """Power-iteration PageRank; returns {NodeId: score}, scores sum to 1.
+
+    ``rel_types`` optionally restricts which relationship types count as
+    links.  Dangling nodes redistribute their mass uniformly, the
+    standard correction.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {}
+    count = len(nodes)
+    types = set(rel_types) if rel_types is not None else None
+    out_degree = {
+        node: sum(1 for _ in graph.outgoing(node, types)) for node in nodes
+    }
+    rank = {node: 1.0 / count for node in nodes}
+    base = (1.0 - damping) / count
+    for _iteration in range(max_iterations):
+        dangling_mass = sum(
+            rank[node] for node in nodes if out_degree[node] == 0
+        )
+        next_rank = {
+            node: base + damping * dangling_mass / count for node in nodes
+        }
+        for node in nodes:
+            degree = out_degree[node]
+            if degree == 0:
+                continue
+            share = damping * rank[node] / degree
+            for rel in graph.outgoing(node, types):
+                next_rank[graph.tgt(rel)] += share
+        delta = sum(abs(next_rank[node] - rank[node]) for node in nodes)
+        rank = next_rank
+        if delta < tolerance:
+            break
+    return rank
+
+
+def degree_centrality(graph, direction="both", rel_types=None):
+    """Degree per node, normalized by (n - 1); {NodeId: float}."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {}
+    types = set(rel_types) if rel_types is not None else None
+    denominator = max(len(nodes) - 1, 1)
+    result = {}
+    for node in nodes:
+        if direction == "out":
+            degree = sum(1 for _ in graph.outgoing(node, types))
+        elif direction == "in":
+            degree = sum(1 for _ in graph.incoming(node, types))
+        else:
+            degree = sum(1 for _ in graph.outgoing(node, types)) + sum(
+                1 for _ in graph.incoming(node, types)
+            )
+        result[node] = degree / denominator
+    return result

@@ -1,0 +1,34 @@
+"""Connected components (relationships treated as undirected)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+def connected_components(graph, rel_types=None):
+    """Weakly connected components as a list of frozensets of node ids.
+
+    Components are returned largest first (ties broken by smallest
+    member id) so results are deterministic.
+    """
+    types = set(rel_types) if rel_types is not None else None
+    unvisited = set(graph.nodes())
+    components = []
+    while unvisited:
+        seed = next(iter(unvisited))
+        component = {seed}
+        queue = deque([seed])
+        unvisited.discard(seed)
+        while queue:
+            node = queue.popleft()
+            for rel in graph.touching(node, types):
+                neighbour = graph.other_end(rel, node)
+                if neighbour in unvisited:
+                    unvisited.discard(neighbour)
+                    component.add(neighbour)
+                    queue.append(neighbour)
+        components.append(frozenset(component))
+    components.sort(
+        key=lambda members: (-len(members), min(node.value for node in members))
+    )
+    return components

@@ -1,0 +1,115 @@
+"""Shortest paths returning Path values.
+
+BFS for unweighted distance; Dijkstra when a relationship property is
+named as the cost (the Section 8 "path cost declarations" direction).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.exceptions import CypherTypeError
+from repro.values.coercion import is_number
+from repro.values.path import Path
+
+
+def _steps(graph, node, rel_types, directed):
+    types = set(rel_types) if rel_types is not None else None
+    for rel in graph.outgoing(node, types):
+        yield rel, graph.tgt(rel)
+    if not directed:
+        for rel in graph.incoming(node, types):
+            yield rel, graph.src(rel)
+
+
+def shortest_path(
+    graph, source, target, rel_types=None, directed=True, cost_property=None
+):
+    """The cheapest path from source to target, or None if unreachable.
+
+    Without ``cost_property`` this is hop-count BFS; with it, Dijkstra
+    over the (non-negative, numeric) relationship property.
+    """
+    if source == target:
+        return Path.single(source)
+    if cost_property is None:
+        return _bfs(graph, source, target, rel_types, directed)
+    return _dijkstra(graph, source, target, rel_types, directed, cost_property)
+
+
+def shortest_path_length(
+    graph, source, target, rel_types=None, directed=True, cost_property=None
+):
+    """Length (hops) or total cost of the shortest path; None if none."""
+    path = shortest_path(
+        graph, source, target, rel_types, directed, cost_property
+    )
+    if path is None:
+        return None
+    if cost_property is None:
+        return len(path)
+    return sum(
+        graph.property_value(rel, cost_property) or 0
+        for rel in path.relationships
+    )
+
+
+def _bfs(graph, source, target, rel_types, directed):
+    parents = {source: None}  # node -> (previous node, relationship)
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for rel, neighbour in _steps(graph, node, rel_types, directed):
+            if neighbour in parents:
+                continue
+            parents[neighbour] = (node, rel)
+            if neighbour == target:
+                return _assemble(parents, target)
+            queue.append(neighbour)
+    return None
+
+
+def _dijkstra(graph, source, target, rel_types, directed, cost_property):
+    distances = {source: 0}
+    parents = {source: None}
+    done = set()
+    counter = 0  # tie-breaker so heap entries never compare NodeIds
+    frontier = [(0, counter, source)]
+    while frontier:
+        distance, _tie, node = heapq.heappop(frontier)
+        if node in done:
+            continue
+        if node == target:
+            return _assemble(parents, target)
+        done.add(node)
+        for rel, neighbour in _steps(graph, node, rel_types, directed):
+            weight = graph.property_value(rel, cost_property)
+            if weight is None:
+                weight = 1
+            if not is_number(weight) or weight < 0:
+                raise CypherTypeError(
+                    "cost property %r must be a non-negative number, got %r"
+                    % (cost_property, weight)
+                )
+            candidate = distance + weight
+            if neighbour not in distances or candidate < distances[neighbour]:
+                distances[neighbour] = candidate
+                parents[neighbour] = (node, rel)
+                counter += 1
+                heapq.heappush(frontier, (candidate, counter, neighbour))
+    return None
+
+
+def _assemble(parents, target):
+    nodes = [target]
+    rels = []
+    cursor = target
+    while parents[cursor] is not None:
+        previous, rel = parents[cursor]
+        nodes.append(previous)
+        rels.append(rel)
+        cursor = previous
+    nodes.reverse()
+    rels.reverse()
+    return Path(tuple(nodes), tuple(rels))

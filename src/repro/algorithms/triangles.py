@@ -1,0 +1,31 @@
+"""Triangle counting (undirected, ignoring parallel edges)."""
+
+from __future__ import annotations
+
+
+def triangle_count(graph, rel_types=None):
+    """Number of undirected triangles in the graph.
+
+    Parallel relationships and self-loops are ignored: the count is over
+    the *simple* undirected graph induced by the relationships.
+    """
+    types = set(rel_types) if rel_types is not None else None
+    neighbours = {}
+    for node in graph.nodes():
+        adjacent = set()
+        for rel in graph.touching(node, types):
+            other = graph.other_end(rel, node)
+            if other != node:
+                adjacent.add(other)
+        neighbours[node] = adjacent
+    total = 0
+    for node, adjacent in neighbours.items():
+        for first in adjacent:
+            if first.value <= node.value:
+                continue
+            for second in adjacent:
+                if second.value <= first.value:
+                    continue
+                if second in neighbours[first]:
+                    total += 1
+    return total

@@ -1,0 +1,25 @@
+"""Abstract syntax for Cypher (paper Figures 3 and 5).
+
+The grammar is defined "by mutual recursion of expressions, patterns,
+clauses, and queries" (Section 4.2); each of those levels gets a module
+here.  All nodes are plain dataclasses: the parser builds them, the
+reference interpreter and the planner consume them, and
+:mod:`repro.ast.printer` turns them back into Cypher text (used by the
+round-trip property tests).
+"""
+
+from repro.ast import clauses, expressions, patterns, queries
+from repro.ast.printer import print_expression, print_pattern, print_query
+from repro.ast.visitor import children, walk
+
+__all__ = [
+    "expressions",
+    "patterns",
+    "clauses",
+    "queries",
+    "walk",
+    "children",
+    "print_query",
+    "print_expression",
+    "print_pattern",
+]

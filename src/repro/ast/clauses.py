@@ -1,0 +1,206 @@
+"""Clause AST nodes (paper Figure 5, "clauses", plus the update clauses).
+
+Read clauses — MATCH / OPTIONAL MATCH / WITH / UNWIND — each denote a
+function from tables to tables (Figure 7).  Update clauses — CREATE /
+DELETE / SET / REMOVE / MERGE — are described in Section 2 and re-use the
+visual pattern language.  Cypher 10 graph clauses (FROM GRAPH / RETURN
+GRAPH, Section 6) also live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Clause:
+    """Base class of all clause nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Projection machinery shared by WITH and RETURN
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """``expr [AS a]``; alias None means the implicit name α(expr)."""
+
+    expression: object  # Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SortItem:
+    """One ORDER BY key with its direction."""
+
+    expression: object
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Projection:
+    """The body shared by WITH and RETURN.
+
+    ``star`` models the ``*`` return list; ``items`` may extend it
+    (``RETURN *, expr AS x``).  ORDER BY / SKIP / LIMIT are part of the
+    projection in openCypher's grammar, and the paper's industry examples
+    use them (``ORDER BY dependents DESC LIMIT 1``).
+    """
+
+    star: bool = False
+    items: Tuple[ReturnItem, ...] = ()
+    distinct: bool = False
+    order_by: Tuple[SortItem, ...] = ()
+    skip: Optional[object] = None   # Expression
+    limit: Optional[object] = None  # Expression
+
+
+# ---------------------------------------------------------------------------
+# Read clauses
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Match(Clause):
+    """``[OPTIONAL] MATCH pattern_tuple [WHERE expr]``."""
+
+    pattern: Tuple[object, ...]  # tuple of patterns.PathPattern
+    optional: bool = False
+    where: Optional[object] = None  # Expression
+
+
+@dataclass(frozen=True)
+class With(Clause):
+    """``WITH ret [WHERE expr]``."""
+
+    projection: Projection
+    where: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Return(Clause):
+    """``RETURN ret`` — always the last clause of a single query."""
+
+    projection: Projection
+
+
+@dataclass(frozen=True)
+class Unwind(Clause):
+    """``UNWIND expr AS a``."""
+
+    expression: object
+    alias: str
+
+
+# ---------------------------------------------------------------------------
+# Update clauses (Section 2, "Data modification")
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Create(Clause):
+    """``CREATE pattern_tuple`` — patterns must be rigid with length-1 rels."""
+
+    pattern: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Delete(Clause):
+    """``[DETACH] DELETE expr, ...``."""
+
+    expressions: Tuple[object, ...]
+    detach: bool = False
+
+
+@dataclass(frozen=True)
+class SetProperty:
+    """``SET expr.key = value``."""
+
+    subject: object  # Expression evaluating to a node/relationship
+    key: str
+    value: object    # Expression
+
+
+@dataclass(frozen=True)
+class SetVariable:
+    """``SET a = expr`` (replace) or ``SET a += expr`` (merge)."""
+
+    name: str
+    value: object
+    merge: bool = False
+
+
+@dataclass(frozen=True)
+class SetLabels:
+    """``SET a:Label1:Label2``."""
+
+    name: str
+    labels: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SetClause(Clause):
+    """``SET item, item, ...``."""
+
+    items: Tuple[object, ...]  # SetProperty | SetVariable | SetLabels
+
+
+@dataclass(frozen=True)
+class RemoveProperty:
+    """``REMOVE expr.key``."""
+
+    subject: object
+    key: str
+
+
+@dataclass(frozen=True)
+class RemoveLabels:
+    """``REMOVE a:Label1:Label2``."""
+
+    name: str
+    labels: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RemoveClause(Clause):
+    """``REMOVE item, item, ...``."""
+
+    items: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Merge(Clause):
+    """``MERGE pattern [ON CREATE SET ...] [ON MATCH SET ...]``.
+
+    MERGE "tries to match the given pattern, and creates the pattern if no
+    match was found" (Section 2).
+    """
+
+    pattern: object  # a single patterns.PathPattern
+    on_create: Tuple[object, ...] = ()  # set items
+    on_match: Tuple[object, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Cypher 10 graph clauses (Section 6)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FromGraph(Clause):
+    """``FROM GRAPH name [AT "uri"]`` — switch the source graph."""
+
+    name: str
+    uri: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ReturnGraph(Clause):
+    """``RETURN GRAPH name OF pattern`` — project a new named graph.
+
+    Every driving row instantiates the (rigid) pattern into the new graph;
+    bound node variables are copied with their labels and properties, and
+    the pattern's relationships are created between them (Example 6.1).
+    """
+
+    graph_name: str
+    pattern: Optional[object] = None  # patterns.PathPattern

@@ -1,0 +1,280 @@
+"""Expression AST nodes (paper Figure 5, "expressions").
+
+The paper's expression grammar covers values and variables, function
+application, maps, lists, string predicates, ternary logic and
+inequalities.  We additionally model the constructs the paper's examples
+rely on: label predicates (``pInfo:SSN`` in the fraud query), ``count(*)``,
+CASE, list comprehensions, quantified predicates and existential pattern
+predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant from the value universe V (null, bool, number, string)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Variable(Expression):
+    """A name ``a`` from A, resolved against the current record u."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A query parameter ``$name`` (Section 2, "Pragmatic")."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PropertyAccess(Expression):
+    """``expr.k`` — the value associated with key k (null if undefined)."""
+
+    subject: Expression
+    key: str
+
+
+@dataclass(frozen=True)
+class MapLiteral(Expression):
+    """``{k1: e1, ..., km: em}``; keys are distinct property keys."""
+
+    items: Tuple[Tuple[str, Expression], ...]
+
+
+@dataclass(frozen=True)
+class ListLiteral(Expression):
+    """``[e1, ..., em]``."""
+
+    items: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class ListIndex(Expression):
+    """``expr[expr]`` — element lookup on lists (by position) or maps (by key)."""
+
+    subject: Expression
+    index: Expression
+
+
+@dataclass(frozen=True)
+class ListSlice(Expression):
+    """``expr[from..to]`` with either bound optional."""
+
+    subject: Expression
+    start: Optional[Expression]
+    end: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class In(Expression):
+    """``expr IN expr`` — list membership with null semantics."""
+
+    item: Expression
+    container: Expression
+
+
+@dataclass(frozen=True)
+class StringPredicate(Expression):
+    """``STARTS WITH`` / ``ENDS WITH`` / ``CONTAINS``."""
+
+    operator: str  # "STARTS WITH" | "ENDS WITH" | "CONTAINS"
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class RegexMatch(Expression):
+    """``expr =~ expr`` — regular-expression match (Neo4j pragmatics)."""
+
+    subject: Expression
+    pattern: Expression
+
+
+@dataclass(frozen=True)
+class BinaryLogic(Expression):
+    """``AND`` / ``OR`` / ``XOR`` with SQL-style three-valued tables."""
+
+    operator: str  # "AND" | "OR" | "XOR"
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class IsNotNull(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A (possibly chained) comparison ``e1 op e2 op e3 ...``.
+
+    Cypher treats ``a < b < c`` as ``a < b AND b < c``; we keep the whole
+    chain in one node so the evaluator can apply that rule.
+    """
+
+    operators: Tuple[str, ...]       # each of = <> < <= > >=
+    operands: Tuple[Expression, ...]  # len(operands) == len(operators) + 1
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary arithmetic: ``+ - * / % ^`` (also list and string ``+``)."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class UnaryPlus(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """``f(e1, ..., en)`` for f in the base function set F.
+
+    ``distinct`` marks aggregate calls of the form ``count(DISTINCT x)``.
+    The function name is stored lower-cased; lookup is case-insensitive.
+    """
+
+    name: str
+    args: Tuple[Expression, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CountStar(Expression):
+    """``count(*)`` — counts rows, including rows of all-null values."""
+
+
+@dataclass(frozen=True)
+class LabelPredicate(Expression):
+    """``expr:Label1:Label2`` — true if the node carries all the labels.
+
+    Used by the paper's fraud-detection query (``pInfo:SSN OR ...``).
+    """
+
+    subject: Expression
+    labels: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ListComprehension(Expression):
+    """``[x IN list WHERE pred | proj]``; WHERE and projection optional."""
+
+    variable: str
+    source: Expression
+    where: Optional[Expression] = None
+    projection: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class PatternComprehension(Expression):
+    """``[(a)-->(b) WHERE pred | proj]`` — collects ``proj`` per match."""
+
+    pattern: object  # patterns.PathPattern
+    where: Optional[Expression]
+    projection: Expression
+
+
+@dataclass(frozen=True)
+class PatternPredicate(Expression):
+    """A path pattern used as a boolean: true iff at least one match exists."""
+
+    pattern: object  # patterns.PathPattern
+
+
+@dataclass(frozen=True)
+class QuantifiedPredicate(Expression):
+    """``all/any/none/single(x IN list WHERE pred)``."""
+
+    quantifier: str  # "all" | "any" | "none" | "single"
+    variable: str
+    source: Expression
+    predicate: Expression
+
+
+@dataclass(frozen=True)
+class CaseExpression(Expression):
+    """Simple (with operand) or searched (without) CASE expression."""
+
+    operand: Optional[Expression]
+    alternatives: Tuple[Tuple[Expression, Expression], ...]
+    default: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class ExistsSubquery(Expression):
+    """``EXISTS { MATCH ... }``-style existential over a pattern tuple."""
+
+    pattern: object  # patterns tuple
+    where: Optional[Expression] = None
+
+
+#: Names of built-in aggregating functions; used to split RETURN/WITH items
+#: into grouping keys and aggregates (Section 3's "implicit grouping key").
+AGGREGATE_FUNCTION_NAMES = frozenset(
+    {
+        "count",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "collect",
+        "stdev",
+        "stdevp",
+        "percentilecont",
+        "percentiledisc",
+    }
+)
+
+
+def contains_aggregate(expression):
+    """True if the expression tree contains an aggregate function call.
+
+    Aggregates nested inside list-comprehension bodies still count (they
+    are evaluated per group); this mirrors openCypher's classification of
+    "aggregating expressions".
+    """
+    from repro.ast.visitor import walk
+
+    for node in walk(expression):
+        if isinstance(node, CountStar):
+            return True
+        if (
+            isinstance(node, FunctionCall)
+            and node.name in AGGREGATE_FUNCTION_NAMES
+        ):
+            return True
+    return False

@@ -1,0 +1,133 @@
+"""Pattern AST nodes (paper Figure 3 and Section 4.2).
+
+A node pattern χ is a triple (a, L, P); a relationship pattern ρ is a
+tuple (d, a, T, P, I); a path pattern π is an alternating sequence
+χ1 ρ1 χ2 ... ρ_{n-1} χn, optionally named (π/a).  MATCH takes a *tuple*
+of path patterns.
+
+The range component I follows the paper exactly:
+
+* ``length is None``      ⇔ I = nil (a plain ``-[]-``; treated as (1,1)
+  but binding the relationship itself, not a singleton list);
+* ``length = (m, n)``     ⇔ I = (m, n) with ``None`` inside standing for
+  the paper's nil bound (replaced by 1 below and ∞ above).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+LEFT_TO_RIGHT = "->"
+RIGHT_TO_LEFT = "<-"
+UNDIRECTED = "--"
+
+DIRECTIONS = (LEFT_TO_RIGHT, RIGHT_TO_LEFT, UNDIRECTED)
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """χ = (a, L, P): optional name, label set, property map (to exprs)."""
+
+    name: Optional[str] = None
+    labels: Tuple[str, ...] = ()
+    properties: Tuple[Tuple[str, object], ...] = ()  # (key, Expression)
+
+
+@dataclass(frozen=True)
+class RelationshipPattern:
+    """ρ = (d, a, T, P, I)."""
+
+    direction: str = UNDIRECTED
+    name: Optional[str] = None
+    types: Tuple[str, ...] = ()
+    properties: Tuple[Tuple[str, object], ...] = ()
+    length: Optional[Tuple[Optional[int], Optional[int]]] = None
+
+    def __post_init__(self):
+        if self.direction not in DIRECTIONS:
+            raise ValueError("bad direction %r" % (self.direction,))
+
+    @property
+    def is_variable_length(self):
+        """True iff I ≠ nil (a ``*`` appears in the source)."""
+        return self.length is not None
+
+    def resolved_range(self):
+        """The paper's range [m, n]: nil bounds become 1 and ∞ (None)."""
+        if self.length is None:
+            return (1, 1)
+        low, high = self.length
+        return (1 if low is None else low, high)
+
+    @property
+    def is_rigid(self):
+        """Rigid ⇔ the range is a single point m = n ∈ N."""
+        low, high = self.resolved_range()
+        return high is not None and low == high
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """π (optionally named π/a): alternating node/relationship patterns."""
+
+    elements: Tuple[object, ...]  # NodePattern, RelationshipPattern, ...
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        elements = self.elements
+        if not elements or len(elements) % 2 == 0:
+            raise ValueError(
+                "a path pattern alternates χ ρ χ ... ρ χ (odd length ≥ 1)"
+            )
+        for index, element in enumerate(elements):
+            expected = NodePattern if index % 2 == 0 else RelationshipPattern
+            if not isinstance(element, expected):
+                raise ValueError(
+                    "element %d must be a %s" % (index, expected.__name__)
+                )
+
+    @property
+    def node_patterns(self):
+        return self.elements[0::2]
+
+    @property
+    def relationship_patterns(self):
+        return self.elements[1::2]
+
+    @property
+    def is_rigid(self):
+        """Rigid ⇔ every relationship pattern in it is rigid."""
+        return all(rel.is_rigid for rel in self.relationship_patterns)
+
+    @property
+    def is_single_node(self):
+        return len(self.elements) == 1
+
+
+def free_variables(pattern):
+    """free(π) — all names in node/relationship patterns, plus the path name.
+
+    Accepts a NodePattern, RelationshipPattern, PathPattern or a tuple of
+    PathPatterns (the pattern_tuple of a MATCH clause).
+    """
+    names = []
+
+    def add(name):
+        if name is not None and name not in names:
+            names.append(name)
+
+    if isinstance(pattern, (list, tuple)):
+        for sub_pattern in pattern:
+            for name in free_variables(sub_pattern):
+                add(name)
+        return names
+    if isinstance(pattern, PathPattern):
+        for element in pattern.elements:
+            add(element.name)
+        add(pattern.name)
+        return names
+    if isinstance(pattern, (NodePattern, RelationshipPattern)):
+        add(pattern.name)
+        return names
+    raise TypeError("not a pattern: %r" % (pattern,))

@@ -1,0 +1,396 @@
+"""Pretty-printer: AST back to Cypher text.
+
+Used by EXPLAIN output, error messages, and the parser round-trip
+property tests (``parse(print(ast))`` must reproduce ``ast``).  The
+printer parenthesizes compound sub-expressions conservatively; parentheses
+do not appear in the AST, so this is round-trip safe.
+"""
+
+from __future__ import annotations
+
+from repro.ast import clauses as cl
+from repro.ast import expressions as ex
+from repro.ast import patterns as pt
+from repro.ast import queries as qu
+from repro.values.base import NodeId, RelId
+from repro.values.path import Path
+
+_SIMPLE_IDENTIFIER = None  # compiled lazily
+
+
+def _identifier(name):
+    import re
+
+    global _SIMPLE_IDENTIFIER
+    if _SIMPLE_IDENTIFIER is None:
+        _SIMPLE_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+    if _SIMPLE_IDENTIFIER.match(name):
+        return name
+    return "`" + name.replace("`", "``") + "`"
+
+
+def _string_literal(text):
+    escaped = (
+        text.replace("\\", "\\\\")
+        .replace("'", "\\'")
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
+    return "'" + escaped + "'"
+
+
+def print_literal(value):
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        return _string_literal(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(print_literal(item) for item in value) + "]"
+    if isinstance(value, dict):
+        return (
+            "{"
+            + ", ".join(
+                "{}: {}".format(_identifier(key), print_literal(item))
+                for key, item in value.items()
+            )
+            + "}"
+        )
+    if isinstance(value, (NodeId, RelId, Path)):
+        raise ValueError("graph entities have no literal syntax: %r" % (value,))
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+_ATOMIC = (
+    ex.Literal,
+    ex.Variable,
+    ex.Parameter,
+    ex.CountStar,
+    ex.MapLiteral,
+    ex.ListLiteral,
+    ex.FunctionCall,
+    ex.PropertyAccess,
+    ex.ListIndex,
+    ex.ListSlice,
+    ex.ListComprehension,
+    ex.PatternComprehension,
+    ex.CaseExpression,
+    ex.QuantifiedPredicate,
+)
+
+
+def _wrap(expression):
+    text = print_expression(expression)
+    if isinstance(expression, _ATOMIC):
+        return text
+    return "(" + text + ")"
+
+
+def print_expression(node):
+    """Render an expression node as Cypher text."""
+    if isinstance(node, ex.Literal):
+        return print_literal(node.value)
+    if isinstance(node, ex.Variable):
+        return _identifier(node.name)
+    if isinstance(node, ex.Parameter):
+        return "$" + _identifier(node.name)
+    if isinstance(node, ex.PropertyAccess):
+        return "{}.{}".format(_wrap(node.subject), _identifier(node.key))
+    if isinstance(node, ex.MapLiteral):
+        return (
+            "{"
+            + ", ".join(
+                "{}: {}".format(_identifier(key), print_expression(value))
+                for key, value in node.items
+            )
+            + "}"
+        )
+    if isinstance(node, ex.ListLiteral):
+        return "[" + ", ".join(print_expression(item) for item in node.items) + "]"
+    if isinstance(node, ex.ListIndex):
+        return "{}[{}]".format(_wrap(node.subject), print_expression(node.index))
+    if isinstance(node, ex.ListSlice):
+        start = print_expression(node.start) if node.start is not None else ""
+        end = print_expression(node.end) if node.end is not None else ""
+        return "{}[{}..{}]".format(_wrap(node.subject), start, end)
+    if isinstance(node, ex.In):
+        return "{} IN {}".format(_wrap(node.item), _wrap(node.container))
+    if isinstance(node, ex.StringPredicate):
+        return "{} {} {}".format(_wrap(node.left), node.operator, _wrap(node.right))
+    if isinstance(node, ex.RegexMatch):
+        return "{} =~ {}".format(_wrap(node.subject), _wrap(node.pattern))
+    if isinstance(node, ex.BinaryLogic):
+        return "{} {} {}".format(_wrap(node.left), node.operator, _wrap(node.right))
+    if isinstance(node, ex.Not):
+        return "NOT {}".format(_wrap(node.operand))
+    if isinstance(node, ex.IsNull):
+        return "{} IS NULL".format(_wrap(node.operand))
+    if isinstance(node, ex.IsNotNull):
+        return "{} IS NOT NULL".format(_wrap(node.operand))
+    if isinstance(node, ex.Comparison):
+        parts = [_wrap(node.operands[0])]
+        for operator, operand in zip(node.operators, node.operands[1:]):
+            parts.append(operator)
+            parts.append(_wrap(operand))
+        return " ".join(parts)
+    if isinstance(node, ex.Arithmetic):
+        return "{} {} {}".format(_wrap(node.left), node.operator, _wrap(node.right))
+    if isinstance(node, ex.UnaryMinus):
+        return "-{}".format(_wrap(node.operand))
+    if isinstance(node, ex.UnaryPlus):
+        return "+{}".format(_wrap(node.operand))
+    if isinstance(node, ex.FunctionCall):
+        distinct = "DISTINCT " if node.distinct else ""
+        return "{}({}{})".format(
+            node.name,
+            distinct,
+            ", ".join(print_expression(argument) for argument in node.args),
+        )
+    if isinstance(node, ex.CountStar):
+        return "count(*)"
+    if isinstance(node, ex.LabelPredicate):
+        return _wrap(node.subject) + "".join(
+            ":" + _identifier(label) for label in node.labels
+        )
+    if isinstance(node, ex.ListComprehension):
+        text = "[{} IN {}".format(_identifier(node.variable), print_expression(node.source))
+        if node.where is not None:
+            text += " WHERE " + print_expression(node.where)
+        if node.projection is not None:
+            text += " | " + print_expression(node.projection)
+        return text + "]"
+    if isinstance(node, ex.PatternComprehension):
+        text = "[" + print_pattern(node.pattern)
+        if node.where is not None:
+            text += " WHERE " + print_expression(node.where)
+        return text + " | " + print_expression(node.projection) + "]"
+    if isinstance(node, ex.PatternPredicate):
+        return print_pattern(node.pattern)
+    if isinstance(node, ex.QuantifiedPredicate):
+        return "{}({} IN {} WHERE {})".format(
+            node.quantifier,
+            _identifier(node.variable),
+            print_expression(node.source),
+            print_expression(node.predicate),
+        )
+    if isinstance(node, ex.CaseExpression):
+        parts = ["CASE"]
+        if node.operand is not None:
+            parts.append(print_expression(node.operand))
+        for when, then in node.alternatives:
+            parts.append("WHEN " + print_expression(when))
+            parts.append("THEN " + print_expression(then))
+        if node.default is not None:
+            parts.append("ELSE " + print_expression(node.default))
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(node, ex.ExistsSubquery):
+        inner = ", ".join(print_pattern(p) for p in node.pattern)
+        if node.where is not None:
+            inner += " WHERE " + print_expression(node.where)
+        return "exists(" + inner + ")"
+    raise TypeError("cannot print expression %r" % (node,))
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+def _print_property_map(properties):
+    if not properties:
+        return ""
+    return " {" + ", ".join(
+        "{}: {}".format(_identifier(key), print_expression(value))
+        for key, value in properties
+    ) + "}"
+
+
+def print_node_pattern(node):
+    text = "("
+    if node.name is not None:
+        text += _identifier(node.name)
+    text += "".join(":" + _identifier(label) for label in node.labels)
+    text += _print_property_map(node.properties)
+    return text + ")"
+
+
+def _print_length(length):
+    if length is None:
+        return ""
+    low, high = length
+    if low is None and high is None:
+        return "*"
+    if low is not None and high is not None and low == high:
+        return "*{}".format(low)
+    text = "*"
+    if low is not None:
+        text += str(low)
+    text += ".."
+    if high is not None:
+        text += str(high)
+    return text
+
+
+def print_relationship_pattern(rel):
+    body = ""
+    if rel.name is not None:
+        body += _identifier(rel.name)
+    if rel.types:
+        body += ":" + "|".join(_identifier(t) for t in rel.types)
+    body += _print_length(rel.length)
+    body += _print_property_map(rel.properties)
+    brackets = "[" + body + "]" if body else ""
+    if rel.direction == pt.LEFT_TO_RIGHT:
+        return "-{}->".format(brackets)
+    if rel.direction == pt.RIGHT_TO_LEFT:
+        return "<-{}-".format(brackets)
+    return "-{}-".format(brackets)
+
+
+def print_pattern(pattern):
+    """Render a PathPattern (or a tuple of them) as Cypher text."""
+    if isinstance(pattern, (tuple, list)):
+        return ", ".join(print_pattern(item) for item in pattern)
+    parts = []
+    for index, element in enumerate(pattern.elements):
+        if index % 2 == 0:
+            parts.append(print_node_pattern(element))
+        else:
+            parts.append(print_relationship_pattern(element))
+    text = "".join(parts)
+    if pattern.name is not None:
+        text = "{} = {}".format(_identifier(pattern.name), text)
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Clauses and queries
+# ---------------------------------------------------------------------------
+
+def _print_projection(projection):
+    parts = []
+    if projection.distinct:
+        parts.append("DISTINCT")
+    item_texts = []
+    if projection.star:
+        item_texts.append("*")
+    for item in projection.items:
+        text = print_expression(item.expression)
+        if item.alias is not None:
+            text += " AS " + _identifier(item.alias)
+        item_texts.append(text)
+    parts.append(", ".join(item_texts))
+    if projection.order_by:
+        keys = ", ".join(
+            print_expression(sort.expression) + ("" if sort.ascending else " DESC")
+            for sort in projection.order_by
+        )
+        parts.append("ORDER BY " + keys)
+    if projection.skip is not None:
+        parts.append("SKIP " + print_expression(projection.skip))
+    if projection.limit is not None:
+        parts.append("LIMIT " + print_expression(projection.limit))
+    return " ".join(parts)
+
+
+def _print_set_item(item):
+    if isinstance(item, cl.SetProperty):
+        return "{}.{} = {}".format(
+            _wrap(item.subject), _identifier(item.key), print_expression(item.value)
+        )
+    if isinstance(item, cl.SetVariable):
+        operator = "+=" if item.merge else "="
+        return "{} {} {}".format(
+            _identifier(item.name), operator, print_expression(item.value)
+        )
+    if isinstance(item, cl.SetLabels):
+        return _identifier(item.name) + "".join(
+            ":" + _identifier(label) for label in item.labels
+        )
+    raise TypeError("cannot print set item %r" % (item,))
+
+
+def print_clause(clause):
+    if isinstance(clause, cl.Match):
+        text = "OPTIONAL MATCH " if clause.optional else "MATCH "
+        text += print_pattern(clause.pattern)
+        if clause.where is not None:
+            text += " WHERE " + print_expression(clause.where)
+        return text
+    if isinstance(clause, cl.With):
+        text = "WITH " + _print_projection(clause.projection)
+        if clause.where is not None:
+            text += " WHERE " + print_expression(clause.where)
+        return text
+    if isinstance(clause, cl.Return):
+        return "RETURN " + _print_projection(clause.projection)
+    if isinstance(clause, cl.Unwind):
+        return "UNWIND {} AS {}".format(
+            print_expression(clause.expression), _identifier(clause.alias)
+        )
+    if isinstance(clause, cl.Create):
+        return "CREATE " + print_pattern(clause.pattern)
+    if isinstance(clause, cl.Delete):
+        keyword = "DETACH DELETE" if clause.detach else "DELETE"
+        return "{} {}".format(
+            keyword,
+            ", ".join(print_expression(item) for item in clause.expressions),
+        )
+    if isinstance(clause, cl.SetClause):
+        return "SET " + ", ".join(_print_set_item(item) for item in clause.items)
+    if isinstance(clause, cl.RemoveClause):
+        parts = []
+        for item in clause.items:
+            if isinstance(item, cl.RemoveProperty):
+                parts.append(
+                    "{}.{}".format(_wrap(item.subject), _identifier(item.key))
+                )
+            else:
+                parts.append(
+                    _identifier(item.name)
+                    + "".join(":" + _identifier(label) for label in item.labels)
+                )
+        return "REMOVE " + ", ".join(parts)
+    if isinstance(clause, cl.Merge):
+        text = "MERGE " + print_pattern(clause.pattern)
+        if clause.on_create:
+            text += " ON CREATE SET " + ", ".join(
+                _print_set_item(item) for item in clause.on_create
+            )
+        if clause.on_match:
+            text += " ON MATCH SET " + ", ".join(
+                _print_set_item(item) for item in clause.on_match
+            )
+        return text
+    if isinstance(clause, cl.FromGraph):
+        text = "FROM GRAPH " + _identifier(clause.name)
+        if clause.uri is not None:
+            text += ' AT "{}"'.format(clause.uri)
+        return text
+    if isinstance(clause, cl.ReturnGraph):
+        text = "RETURN GRAPH " + _identifier(clause.graph_name)
+        if clause.pattern is not None:
+            text += " OF " + print_pattern(clause.pattern)
+        return text
+    raise TypeError("cannot print clause %r" % (clause,))
+
+
+def print_query(query):
+    """Render a query node as a single-line Cypher string."""
+    if isinstance(query, qu.SingleQuery):
+        return " ".join(print_clause(clause) for clause in query.clauses)
+    if isinstance(query, qu.UnionQuery):
+        keyword = " UNION ALL " if query.all else " UNION "
+        return print_query(query.left) + keyword + print_query(query.right)
+    raise TypeError("cannot print query %r" % (query,))

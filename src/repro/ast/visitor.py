@@ -1,0 +1,82 @@
+"""Generic traversal over AST dataclasses.
+
+Every AST node is a frozen dataclass whose fields are either child nodes,
+tuples of child nodes, tuples of (key, child) pairs, or plain values.
+:func:`children` discovers child nodes structurally, so new node types
+need no registration; :func:`walk` yields a node and all descendants in
+pre-order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def _is_ast_node(value):
+    from repro.ast.clauses import Clause
+    from repro.ast.expressions import Expression
+    from repro.ast.patterns import NodePattern, PathPattern, RelationshipPattern
+    from repro.ast.queries import Query
+    from repro.ast.clauses import (
+        Projection,
+        RemoveLabels,
+        RemoveProperty,
+        ReturnItem,
+        SetLabels,
+        SetProperty,
+        SetVariable,
+        SortItem,
+    )
+
+    return isinstance(
+        value,
+        (
+            Expression,
+            Clause,
+            Query,
+            NodePattern,
+            RelationshipPattern,
+            PathPattern,
+            Projection,
+            ReturnItem,
+            SortItem,
+            SetProperty,
+            SetVariable,
+            SetLabels,
+            RemoveProperty,
+            RemoveLabels,
+        ),
+    )
+
+
+def children(node):
+    """Yield the direct AST children of ``node``."""
+    if not dataclasses.is_dataclass(node):
+        return
+    for field_info in dataclasses.fields(node):
+        value = getattr(node, field_info.name)
+        if _is_ast_node(value):
+            yield value
+        elif isinstance(value, (tuple, list)):
+            for item in value:
+                if _is_ast_node(item):
+                    yield item
+                elif (
+                    isinstance(item, tuple)
+                    and len(item) == 2
+                    and _is_ast_node(item[1])
+                ):
+                    # (key, expression) pairs in maps, and
+                    # (when, then) pairs in CASE alternatives.
+                    if _is_ast_node(item[0]):
+                        yield item[0]
+                    yield item[1]
+
+
+def walk(node):
+    """Yield ``node`` and all descendants, pre-order, depth-first."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(list(children(current))))

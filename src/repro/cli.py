@@ -1,0 +1,175 @@
+"""An interactive Cypher shell and one-shot query runner.
+
+Usage::
+
+    python -m repro.cli                       # REPL on an empty graph
+    python -m repro.cli --graph data.json     # load a JSON graph
+    python -m repro.cli --query "MATCH (n) RETURN count(*) AS n"
+
+Inside the REPL, lines ending in ``;`` (or a single complete clause line)
+execute as Cypher; special commands start with ``:``:
+
+    :help               this text
+    :schema             labels, relationship types, counts
+    :explain <query>    show the physical plan
+    :mode <m>           auto | interpreter | planner
+    :save <path>        write the current graph as JSON
+    :load <path>        replace the graph from JSON
+    :quit               leave
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import CypherError
+from repro.graph.io import dump_json, load_json
+from repro.graph.store import MemoryGraph
+from repro.runtime.engine import CypherEngine
+
+
+class Shell:
+    """The REPL state machine; testable without a terminal."""
+
+    def __init__(self, engine=None, output=None):
+        self.engine = engine or CypherEngine(MemoryGraph())
+        self.output = output if output is not None else sys.stdout
+        self.running = True
+
+    def write(self, text=""):
+        self.output.write(text + "\n")
+
+    # -- command handling ---------------------------------------------------
+
+    def handle(self, line):
+        """Process one input line; returns False when the shell should exit."""
+        line = line.strip()
+        if not line:
+            return self.running
+        if line.startswith(":"):
+            self._command(line)
+        else:
+            self._query(line.rstrip(";"))
+        return self.running
+
+    def _command(self, line):
+        parts = line.split(None, 1)
+        command = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in (":quit", ":exit", ":q"):
+            self.running = False
+        elif command == ":help":
+            self.write(__doc__.strip())
+        elif command == ":schema":
+            self._schema()
+        elif command == ":mode":
+            if argument in ("auto", "interpreter", "planner"):
+                self.engine.mode = argument
+                self.write("mode set to %s" % argument)
+            else:
+                self.write("usage: :mode auto|interpreter|planner")
+        elif command == ":explain":
+            if not argument:
+                self.write("usage: :explain <query>")
+                return
+            try:
+                self.write(self.engine.explain(argument))
+            except CypherError as error:
+                self.write("error: %s" % error)
+        elif command == ":save":
+            if not argument:
+                self.write("usage: :save <path>")
+                return
+            dump_json(self.engine.graph, argument)
+            self.write("saved %s" % argument)
+        elif command == ":load":
+            if not argument:
+                self.write("usage: :load <path>")
+                return
+            try:
+                graph = load_json(argument)
+            except (OSError, CypherError, ValueError) as error:
+                self.write("error: %s" % error)
+                return
+            self.engine.graph = graph
+            self.engine.catalog.register("default", graph)
+            self.engine.catalog.set_default("default")
+            self.write(
+                "loaded %d nodes, %d relationships"
+                % (graph.node_count(), graph.relationship_count())
+            )
+        else:
+            self.write("unknown command %s (try :help)" % command)
+
+    def _schema(self):
+        graph = self.engine.graph
+        self.write(
+            "%d nodes, %d relationships"
+            % (graph.node_count(), graph.relationship_count())
+        )
+        labels = getattr(graph, "all_labels", lambda: [])()
+        types = getattr(graph, "all_types", lambda: [])()
+        if labels:
+            self.write("labels: " + ", ".join(labels))
+        if types:
+            self.write("relationship types: " + ", ".join(types))
+
+    def _query(self, text):
+        try:
+            result = self.engine.run(text)
+        except CypherError as error:
+            self.write("error: %s" % error)
+            return
+        if result.columns:
+            self.write(result.pretty())
+            self.write("(%d row%s)" % (len(result), "" if len(result) == 1 else "s"))
+        else:
+            self.write("ok")
+        for name, graph in result.graphs.items():
+            self.write(
+                "graph %r: %d nodes, %d relationships"
+                % (name, graph.node_count(), graph.relationship_count())
+            )
+
+    # -- loop ------------------------------------------------------------------
+
+    def run(self, lines=None):
+        """Drive the shell from an iterable of lines (or stdin)."""
+        source = lines if lines is not None else _stdin_lines()
+        for line in source:
+            if not self.handle(line):
+                break
+
+
+def _stdin_lines():
+    while True:
+        try:
+            yield input("cypher> ")
+        except EOFError:
+            return
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="repro Cypher shell")
+    parser.add_argument("--graph", help="JSON graph file to load")
+    parser.add_argument("--query", help="run one query and exit")
+    parser.add_argument(
+        "--mode",
+        choices=("auto", "interpreter", "planner"),
+        default="auto",
+    )
+    arguments = parser.parse_args(argv)
+    graph = load_json(arguments.graph) if arguments.graph else MemoryGraph()
+    engine = CypherEngine(graph, mode=arguments.mode)
+    shell = Shell(engine)
+    if arguments.query:
+        shell.handle(arguments.query)
+        return 0
+    shell.write("repro Cypher shell — :help for commands, :quit to leave")
+    shell.run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

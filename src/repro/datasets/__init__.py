@@ -1,0 +1,25 @@
+"""Dataset generators.
+
+``paper`` rebuilds the paper's own figures (the Figure 1 academic graph
+and the Figure 4 teachers graph) exactly.  The rest are seeded synthetic
+generators for the industrial domains the paper cites in Sections 1 and 3
+— data-center dependency topologies, fraud rings sharing PII, citation
+networks and social networks — standing in for the proprietary datasets
+(DESIGN.md §5).
+"""
+
+from repro.datasets.paper import figure1_graph, figure4_graph, self_loop_graph
+from repro.datasets.citations import citation_network
+from repro.datasets.datacenter import datacenter_graph
+from repro.datasets.fraud import fraud_graph
+from repro.datasets.social import social_graph
+
+__all__ = [
+    "figure1_graph",
+    "figure4_graph",
+    "self_loop_graph",
+    "citation_network",
+    "datacenter_graph",
+    "fraud_graph",
+    "social_graph",
+]

@@ -1,0 +1,62 @@
+"""A seeded citation-network generator (the Figure 1 schema, scaled up).
+
+Researchers author publications, publications cite strictly older
+publications (so CITES* is acyclic and variable-length matching has a
+natural frontier), and researchers supervise students — the same three
+labels and three relationship types as the paper's running example.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.store import MemoryGraph
+
+
+def citation_network(
+    publications=60,
+    researchers=12,
+    students=18,
+    max_citations=4,
+    seed=0,
+):
+    """Build a synthetic academic graph; returns ``(graph, handles)``.
+
+    ``handles`` maps "researchers"/"publications"/"students" to id lists.
+    """
+    rng = random.Random(seed)
+    graph = MemoryGraph()
+    researcher_ids = [
+        graph.create_node(("Researcher",), {"name": "researcher-%d" % index})
+        for index in range(researchers)
+    ]
+    student_ids = [
+        graph.create_node(("Student",), {"name": "student-%d" % index})
+        for index in range(students)
+    ]
+    publication_ids = []
+    for index in range(publications):
+        publication = graph.create_node(
+            ("Publication",),
+            {"acmid": 1000 + index, "year": 1990 + index % 30},
+        )
+        publication_ids.append(publication)
+        author = rng.choice(researcher_ids)
+        graph.create_relationship(author, publication, "AUTHORS")
+        if index and rng.random() < 0.3:  # some papers have two authors
+            second = rng.choice(researcher_ids)
+            if second != author:
+                graph.create_relationship(second, publication, "AUTHORS")
+        # cite strictly older publications: the citation graph is a DAG
+        older = publication_ids[:-1]
+        for cited in rng.sample(older, min(len(older), rng.randint(0, max_citations))):
+            graph.create_relationship(publication, cited, "CITES")
+    for student in student_ids:
+        for supervisor in rng.sample(researcher_ids, rng.randint(1, 2)):
+            graph.create_relationship(supervisor, student, "SUPERVISES")
+    handles = {
+        "researchers": researcher_ids,
+        "students": student_ids,
+        "publications": publication_ids,
+    }
+    return graph, handles

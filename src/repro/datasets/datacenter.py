@@ -1,0 +1,54 @@
+"""A data-center dependency topology (the paper's network-management query).
+
+"In a data center, entities such as services, firewalls, servers, routers
+and network switches are modeled as nodes, with relationships representing
+the dependencies between them."  The generator layers services so that
+DEPENDS_ON edges always point from a higher layer to a lower one: the
+dependency graph is a DAG, ``DEPENDS_ON*`` terminates, and core services
+accumulate the most transitive dependents — which is exactly what the
+paper's example query ranks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.store import MemoryGraph
+
+_LAYER_KINDS = ("switch", "router", "server", "firewall", "service")
+
+
+def datacenter_graph(layers=4, width=6, fanout=2, seed=0):
+    """Build a layered service-dependency DAG; returns ``(graph, layers)``.
+
+    Layer 0 is the core; every node in layer i > 0 DEPENDS_ON ``fanout``
+    nodes of layer i-1.  All nodes carry the label Service (the paper's
+    query matches ``(svc:Service)``) plus a kind property.
+    """
+    rng = random.Random(seed)
+    graph = MemoryGraph()
+    layer_ids = []
+    for layer in range(layers):
+        ids = []
+        for index in range(width):
+            kind = _LAYER_KINDS[min(layer, len(_LAYER_KINDS) - 1)]
+            ids.append(
+                graph.create_node(
+                    ("Service",),
+                    {
+                        "name": "%s-%d-%d" % (kind, layer, index),
+                        "kind": kind,
+                        "layer": layer,
+                    },
+                )
+            )
+        layer_ids.append(ids)
+        if layer > 0:
+            for service in ids:
+                targets = rng.sample(
+                    layer_ids[layer - 1],
+                    min(fanout, len(layer_ids[layer - 1])),
+                )
+                for target in targets:
+                    graph.create_relationship(service, target, "DEPENDS_ON")
+    return graph, layer_ids

@@ -1,0 +1,63 @@
+"""Fraud-ring generator (the paper's second industry example).
+
+Account holders HAS personal-information nodes labelled SSN, PhoneNumber
+or Address; a *fraud ring* is a PII node shared by more than one account
+holder.  The generator plants a known number of rings among otherwise
+honest holders, so the paper's fraud query has a ground truth to be
+checked against.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.store import MemoryGraph
+
+_PII_LABELS = ("SSN", "PhoneNumber", "Address")
+
+
+def fraud_graph(holders=30, rings=4, ring_size=3, seed=0):
+    """Build a synthetic identity graph; returns ``(graph, planted)``.
+
+    ``planted`` lists, per planted ring, the shared PII node id and the
+    account-holder ids attached to it (each ring shares one PII node
+    among ``ring_size`` holders).
+    """
+    rng = random.Random(seed)
+    graph = MemoryGraph()
+    holder_ids = []
+    for index in range(holders):
+        holder_ids.append(
+            graph.create_node(
+                ("AccountHolder",),
+                {"uniqueId": "holder-%d" % index, "name": "h%d" % index},
+            )
+        )
+    serial = [0]
+
+    def fresh_pii(label):
+        serial[0] += 1
+        return graph.create_node(
+            (label,), {"value": "%s-%d" % (label.lower(), serial[0])}
+        )
+
+    # honest holders: private PII all of their own
+    for holder in holder_ids:
+        for label in _PII_LABELS:
+            graph.create_relationship(holder, fresh_pii(label), "HAS")
+
+    planted = []
+    available = list(holder_ids)
+    rng.shuffle(available)
+    for ring_index in range(rings):
+        members = [
+            available[(ring_index * ring_size + offset) % len(available)]
+            for offset in range(ring_size)
+        ]
+        members = list(dict.fromkeys(members))
+        label = _PII_LABELS[ring_index % len(_PII_LABELS)]
+        shared = fresh_pii(label)
+        for member in members:
+            graph.create_relationship(member, shared, "HAS")
+        planted.append({"pii": shared, "label": label, "members": members})
+    return graph, planted

@@ -1,0 +1,87 @@
+"""The paper's own example graphs, rebuilt node-for-node.
+
+``figure1_graph`` is the academic graph of Figure 1 / Example 4.1 (ids
+n1..n10, r1..r11 in the same numbering); ``figure4_graph`` is the
+teachers/students graph of Figure 4; ``self_loop_graph`` is the
+one-node/one-relationship graph from the Section 4.2 complexity
+discussion.
+
+Label and type casing follows the *queries* in the paper (``:Researcher``,
+``:SUPERVISES``), which is what Section 3 executes.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+
+
+def figure1_graph():
+    """Figure 1: researchers, students, publications and citations.
+
+    Returns ``(graph, ids)`` where ids maps "n1".."n10" and "r1".."r11"
+    to the node/relationship identifiers, mirroring Example 4.1:
+
+    * src: r1:n1, r2:n2, r3:n4, r4:n5, r5:n6, r6:n6, r7:n6, r8:n10,
+      r9:n9, r10:n6, r11:n9
+    * tgt: r1:n2, r2:n3, r3:n2, r4:n2, r5:n5, r6:n7, r7:n8, r8:n7,
+      r9:n4, r10:n9, r11:n5
+    """
+    return (
+        GraphBuilder()
+        .node("n1", "Researcher", name="Nils")
+        .node("n2", "Publication", acmid=220)
+        .node("n3", "Publication", acmid=190)
+        .node("n4", "Publication", acmid=235)
+        .node("n5", "Publication", acmid=240)
+        .node("n6", "Researcher", name="Elin")
+        .node("n7", "Student", name="Sten")
+        .node("n8", "Student", name="Linda")
+        .node("n9", "Publication", acmid=269)
+        .node("n10", "Researcher", name="Thor")
+        .rel("n1", "AUTHORS", "n2", handle="r1")
+        .rel("n2", "CITES", "n3", handle="r2")
+        .rel("n4", "CITES", "n2", handle="r3")
+        .rel("n5", "CITES", "n2", handle="r4")
+        .rel("n6", "AUTHORS", "n5", handle="r5")
+        .rel("n6", "SUPERVISES", "n7", handle="r6")
+        .rel("n6", "SUPERVISES", "n8", handle="r7")
+        .rel("n10", "SUPERVISES", "n7", handle="r8")
+        .rel("n9", "CITES", "n4", handle="r9")
+        .rel("n6", "AUTHORS", "n9", handle="r10")
+        .rel("n9", "CITES", "n5", handle="r11")
+        .build()
+    )
+
+
+def figure4_graph():
+    """Figure 4: the property graph with students and teachers.
+
+    n1:Teacher -r1:knows-> n2:Student -r2:knows-> n3:Teacher
+    -r3:knows-> n4:Teacher.
+    """
+    return (
+        GraphBuilder()
+        .node("n1", "Teacher")
+        .node("n2", "Student")
+        .node("n3", "Teacher")
+        .node("n4", "Teacher")
+        .rel("n1", "KNOWS", "n2", handle="r1")
+        .rel("n2", "KNOWS", "n3", handle="r2")
+        .rel("n3", "KNOWS", "n4", handle="r3")
+        .build()
+    )
+
+
+def self_loop_graph():
+    """Section 4.2: one node with a single self-loop relationship.
+
+    Under Cypher's edge-isomorphism semantics the pattern
+    ``(x)-[*0..]->(x)`` has exactly two matches here (traverse the loop
+    zero times or once); under homomorphism it would have infinitely many.
+    """
+    return (
+        GraphBuilder()
+        .node("n", "Node")
+        .rel("n", "LOOP", "n", handle="r")
+        .build()
+    )

@@ -1,0 +1,76 @@
+"""Social-network generators, including the two-graph world of Example 6.1.
+
+``social_graph`` is a plain seeded friendship network.
+``social_with_registry`` builds the Cypher 10 composition scenario: a
+``soc_net`` graph of FRIEND relationships and a ``register`` graph that
+*shares the person node identities* and adds City nodes with IN
+relationships — so a graph produced from one can be queried against the
+other, as the paper's friend-sharing example does.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.catalog import GraphCatalog
+from repro.graph.store import MemoryGraph
+
+
+def social_graph(people=40, avg_friends=4, seed=0, since_range=(1980, 2018)):
+    """A seeded friendship network; returns ``(graph, person_ids)``.
+
+    FRIEND relationships carry a ``since`` year, used by queries like the
+    paper's ``abs(r2.since - r1.since) < $duration`` filter.
+    """
+    rng = random.Random(seed)
+    graph = MemoryGraph()
+    person_ids = [
+        graph.create_node(("Person",), {"name": "person-%d" % index})
+        for index in range(people)
+    ]
+    target_edges = people * avg_friends // 2
+    seen_pairs = set()
+    guard = 0
+    while len(seen_pairs) < target_edges and guard < target_edges * 20:
+        guard += 1
+        left, right = rng.sample(person_ids, 2)
+        key = (min(left.value, right.value), max(left.value, right.value))
+        if key in seen_pairs:
+            continue
+        seen_pairs.add(key)
+        graph.create_relationship(
+            left, right, "FRIEND", {"since": rng.randint(*since_range)}
+        )
+    return graph, person_ids
+
+
+def social_with_registry(people=24, cities=4, avg_friends=3, seed=0):
+    """The Example 6.1 world: returns ``(catalog, person_ids, city_ids)``.
+
+    The catalog contains ``soc_net`` (FRIEND network, the default graph)
+    and ``register`` (same people, IN edges to City nodes).  Person node
+    ids are identical in both graphs, which is what makes the composed
+    query ``QUERY GRAPH friends ... FROM GRAPH register MATCH
+    (a)-[:IN]->(c:City)<-[:IN]-(b)`` meaningful.
+    """
+    rng = random.Random(seed)
+    soc_net, person_ids = social_graph(people, avg_friends, seed=seed)
+    register = MemoryGraph()
+    for person in person_ids:
+        register.adopt_node(
+            person,
+            soc_net.labels(person),
+            soc_net.properties(person),
+        )
+    city_ids = [
+        register.create_node(("City",), {"name": "city-%d" % index})
+        for index in range(cities)
+    ]
+    for person in person_ids:
+        register.create_relationship(
+            person, rng.choice(city_ids), "IN"
+        )
+    catalog = GraphCatalog(soc_net, "soc_net")
+    catalog.register("soc_net", soc_net, uri="hdfs://data/soc_network")
+    catalog.register("register", register, uri="bolt://data/citizens")
+    return catalog, person_ids, city_ids

@@ -1,0 +1,80 @@
+"""Error hierarchy for the repro Cypher engine.
+
+All errors raised by the library derive from :class:`CypherError`, so callers
+can catch a single exception type at the public API boundary.  The hierarchy
+mirrors the stages of query processing: lexing/parsing (syntax), semantic
+analysis (unknown variables, bad aggregation placement), type errors during
+evaluation, and runtime/consistency errors from the graph store.
+"""
+
+from __future__ import annotations
+
+
+class CypherError(Exception):
+    """Base class for every error raised by the repro engine."""
+
+
+class CypherSyntaxError(CypherError):
+    """Raised by the lexer or parser on malformed query text.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    available, so error messages can point into the query string.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "line {}, column {}: {}".format(line, column, message)
+        super().__init__(message)
+
+
+class CypherSemanticError(CypherError):
+    """Raised when a syntactically valid query is ill-formed semantically.
+
+    Examples: referencing a variable that is not in scope, re-declaring a
+    bound variable with conflicting kind (node vs relationship), nesting
+    aggregations, or using an aggregate outside WITH/RETURN.
+    """
+
+
+class CypherTypeError(CypherError):
+    """Raised when an expression is applied to a value of the wrong type.
+
+    Cypher is forgiving (many type mismatches yield ``null`` instead), so
+    this error only fires where openCypher mandates a hard failure, e.g.
+    adding a number to a node or indexing a map with a non-string.
+    """
+
+
+class CypherRuntimeError(CypherError):
+    """Raised for runtime failures not tied to a type, e.g. negative LIMIT."""
+
+
+class ConstraintViolation(CypherRuntimeError):
+    """Raised when an update would corrupt the graph.
+
+    The canonical case is deleting a node that still has relationships
+    without DETACH DELETE, which would leave dangling edges.
+    """
+
+
+class EntityNotFound(CypherRuntimeError):
+    """Raised when a node or relationship id is not present in the graph."""
+
+
+class GraphNotFound(CypherRuntimeError):
+    """Raised when a named graph reference cannot be resolved (Cypher 10)."""
+
+
+class ParameterNotBound(CypherRuntimeError):
+    """Raised when a query references ``$param`` but no value was supplied."""
+
+
+class UnsupportedFeature(CypherError):
+    """Raised by the planner when a query needs the reference interpreter.
+
+    The production-style planner covers the read-query core; anything it
+    cannot plan is executed by the formal-semantics interpreter instead.
+    The engine catches this internally in ``auto`` mode.
+    """

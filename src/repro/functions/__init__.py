@@ -1,0 +1,24 @@
+"""The base function set F (paper Section 4.1).
+
+"Every real-life query language will have a number of functions defined on
+its values ... we assume a finite set F of predefined functions that can be
+applied to values.  The semantics is parameterized by this set, which can
+be extended whenever new types and/or basic functions are added."
+
+:func:`default_registry` builds the registry the engine ships with —
+scalar, string, math, list and temporal functions.  Aggregates (count,
+sum, collect, ...) are *not* ordinary members of F: they are evaluated
+per-group by the projection machinery in :mod:`repro.semantics.clauses`,
+and live in :mod:`repro.functions.aggregates`.
+"""
+
+from repro.functions.registry import FunctionContext, FunctionRegistry, default_registry
+from repro.functions.aggregates import AGGREGATES, make_aggregate
+
+__all__ = [
+    "FunctionRegistry",
+    "FunctionContext",
+    "default_registry",
+    "AGGREGATES",
+    "make_aggregate",
+]

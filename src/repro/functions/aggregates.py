@@ -1,0 +1,256 @@
+"""Aggregate functions (Section 3: "The syntax for grouping and aggregation
+is simple ... non-aggregating expressions act as an implicit grouping key").
+
+Aggregates are accumulator objects, not members of the scalar registry: the
+projection machinery partitions rows into groups, feeds each aggregate one
+value per row, and reads the result off at the end.  All aggregates skip
+nulls (the §3 walkthrough counts "all the non-null values of s"), and all
+support DISTINCT (the final RETURN needs ``count(DISTINCT p2)``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import CypherTypeError, CypherSemanticError
+from repro.values.comparison import compare
+from repro.values.coercion import is_number
+from repro.values.ordering import canonical_key
+
+
+class Aggregate:
+    """Base accumulator; subclasses implement _include and result."""
+
+    def __init__(self, distinct=False):
+        self.distinct = distinct
+        self._seen = set() if distinct else None
+
+    def include(self, value):
+        if value is None:
+            return  # aggregates skip nulls
+        if self.distinct:
+            key = canonical_key(value)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+        self._include(value)
+
+    def _include(self, value):
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+
+class Count(Aggregate):
+    """count(expr): number of non-null values."""
+
+    def __init__(self, distinct=False):
+        super().__init__(distinct)
+        self._count = 0
+
+    def _include(self, value):
+        self._count += 1
+
+    def result(self):
+        return self._count
+
+
+class CountStar(Aggregate):
+    """count(*): number of rows, nulls and all."""
+
+    def __init__(self, distinct=False):
+        super().__init__(False)
+        self._count = 0
+
+    def include(self, value):
+        self._count += 1
+
+    def result(self):
+        return self._count
+
+
+class Sum(Aggregate):
+    def __init__(self, distinct=False):
+        super().__init__(distinct)
+        self._total = 0
+
+    def _include(self, value):
+        if not is_number(value):
+            raise CypherTypeError("sum() expects numbers, got %r" % (value,))
+        self._total += value
+
+    def result(self):
+        return self._total
+
+
+class Avg(Aggregate):
+    def __init__(self, distinct=False):
+        super().__init__(distinct)
+        self._total = 0.0
+        self._count = 0
+
+    def _include(self, value):
+        if not is_number(value):
+            raise CypherTypeError("avg() expects numbers, got %r" % (value,))
+        self._total += value
+        self._count += 1
+
+    def result(self):
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class Min(Aggregate):
+    def __init__(self, distinct=False):
+        super().__init__(distinct)
+        self._best = None
+        self._has_value = False
+
+    def _include(self, value):
+        if not self._has_value:
+            self._best, self._has_value = value, True
+            return
+        verdict = compare(value, self._best)
+        if verdict is not None and verdict < 0:
+            self._best = value
+
+    def result(self):
+        return self._best if self._has_value else None
+
+
+class Max(Aggregate):
+    def __init__(self, distinct=False):
+        super().__init__(distinct)
+        self._best = None
+        self._has_value = False
+
+    def _include(self, value):
+        if not self._has_value:
+            self._best, self._has_value = value, True
+            return
+        verdict = compare(value, self._best)
+        if verdict is not None and verdict > 0:
+            self._best = value
+
+    def result(self):
+        return self._best if self._has_value else None
+
+
+class Collect(Aggregate):
+    """collect(expr): "returns a list containing the values returned by the
+    expression" (Section 3's fraud example)."""
+
+    def __init__(self, distinct=False):
+        super().__init__(distinct)
+        self._values = []
+
+    def _include(self, value):
+        self._values.append(value)
+
+    def result(self):
+        return self._values
+
+
+class _Deviation(Aggregate):
+    sample = True
+
+    def __init__(self, distinct=False):
+        super().__init__(distinct)
+        self._values = []
+
+    def _include(self, value):
+        if not is_number(value):
+            raise CypherTypeError("stdev() expects numbers, got %r" % (value,))
+        self._values.append(float(value))
+
+    def result(self):
+        count = len(self._values)
+        if count == 0:
+            return 0.0
+        mean = sum(self._values) / count
+        squared = sum((v - mean) ** 2 for v in self._values)
+        divisor = count - 1 if self.sample else count
+        if divisor <= 0:
+            return 0.0
+        return math.sqrt(squared / divisor)
+
+
+class Stdev(_Deviation):
+    sample = True
+
+
+class StdevP(_Deviation):
+    sample = False
+
+
+class _Percentile(Aggregate):
+    """Percentile aggregates take (value, percentile) pairs per row."""
+
+    def __init__(self, distinct=False):
+        super().__init__(distinct)
+        self._values = []
+        self._percentile = None
+
+    def include_pair(self, value, percentile):
+        if percentile is not None:
+            if not is_number(percentile) or not (0 <= percentile <= 1):
+                raise CypherTypeError(
+                    "percentile must be between 0.0 and 1.0"
+                )
+            self._percentile = float(percentile)
+        self.include(value)
+
+    def _include(self, value):
+        if not is_number(value):
+            raise CypherTypeError("percentile expects numbers")
+        self._values.append(float(value))
+
+
+class PercentileCont(_Percentile):
+    def result(self):
+        if not self._values or self._percentile is None:
+            return None
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = self._percentile * (len(ordered) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return ordered[low]
+        fraction = position - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+class PercentileDisc(_Percentile):
+    def result(self):
+        if not self._values or self._percentile is None:
+            return None
+        ordered = sorted(self._values)
+        index = max(0, int(math.ceil(self._percentile * len(ordered))) - 1)
+        return ordered[index]
+
+
+AGGREGATES = {
+    "count": Count,
+    "sum": Sum,
+    "avg": Avg,
+    "min": Min,
+    "max": Max,
+    "collect": Collect,
+    "stdev": Stdev,
+    "stdevp": StdevP,
+    "percentilecont": PercentileCont,
+    "percentiledisc": PercentileDisc,
+}
+
+
+def make_aggregate(name, distinct=False):
+    """Instantiate the accumulator for an aggregate function name."""
+    try:
+        factory = AGGREGATES[name.lower()]
+    except KeyError:
+        raise CypherSemanticError("unknown aggregate function: %s()" % name)
+    return factory(distinct)

@@ -1,0 +1,29 @@
+"""List functions.  The paper highlights "powerful features such as list
+slicing and list comprehensions" (Section 2); slicing and comprehensions
+are evaluator constructs, and these are the function-call companions."""
+
+from __future__ import annotations
+
+from repro.exceptions import CypherTypeError
+
+
+def install(registry):
+    registry.register("range", _range, 2, 3)
+
+
+def _range(context, start, end, step=None):
+    if start is None or end is None:
+        return None
+    for value in (start, end):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise CypherTypeError("range() bounds must be integers")
+    if step is None:
+        step = 1
+    if not isinstance(step, int) or isinstance(step, bool):
+        raise CypherTypeError("range() step must be an integer")
+    if step == 0:
+        raise CypherTypeError("range() step must not be zero")
+    # range() is inclusive of the end bound in Cypher.
+    if step > 0:
+        return list(range(start, end + 1, step))
+    return list(range(start, end - 1, step))

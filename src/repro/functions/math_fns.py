@@ -1,0 +1,123 @@
+"""Numeric functions (arithmetic operators live in the evaluator; these are
+the function-call forms)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import CypherTypeError
+from repro.values.coercion import is_number
+
+
+def install(registry):
+    registry.register("abs", _abs, 1, 1)
+    registry.register("ceil", _ceil, 1, 1)
+    registry.register("floor", _floor, 1, 1)
+    registry.register("round", _round, 1, 1)
+    registry.register("sign", _sign, 1, 1)
+    registry.register("sqrt", _sqrt, 1, 1)
+    registry.register("exp", _unary(math.exp), 1, 1)
+    registry.register("log", _log, 1, 1)
+    registry.register("log10", _log10, 1, 1)
+    registry.register("sin", _unary(math.sin), 1, 1)
+    registry.register("cos", _unary(math.cos), 1, 1)
+    registry.register("tan", _unary(math.tan), 1, 1)
+    registry.register("asin", _unary(math.asin), 1, 1)
+    registry.register("acos", _unary(math.acos), 1, 1)
+    registry.register("atan", _unary(math.atan), 1, 1)
+    registry.register("atan2", _atan2, 2, 2)
+    registry.register("pi", _pi, 0, 0)
+    registry.register("e", _e, 0, 0)
+
+
+def _require_number(value, name):
+    if not is_number(value):
+        raise CypherTypeError("%s() expects a number, got %r" % (name, value))
+    return value
+
+
+def _abs(context, value):
+    if value is None:
+        return None
+    return abs(_require_number(value, "abs"))
+
+
+def _ceil(context, value):
+    if value is None:
+        return None
+    return float(math.ceil(_require_number(value, "ceil")))
+
+
+def _floor(context, value):
+    if value is None:
+        return None
+    return float(math.floor(_require_number(value, "floor")))
+
+
+def _round(context, value):
+    if value is None:
+        return None
+    number = _require_number(value, "round")
+    # Cypher rounds half away from zero, unlike Python's bankers' rounding.
+    return float(math.floor(number + 0.5)) if number >= 0 else float(math.ceil(number - 0.5))
+
+
+def _sign(context, value):
+    if value is None:
+        return None
+    number = _require_number(value, "sign")
+    if number > 0:
+        return 1
+    if number < 0:
+        return -1
+    return 0
+
+
+def _sqrt(context, value):
+    if value is None:
+        return None
+    number = _require_number(value, "sqrt")
+    if number < 0:
+        return float("nan")
+    return math.sqrt(number)
+
+
+def _unary(fn):
+    def implementation(context, value):
+        if value is None:
+            return None
+        return fn(_require_number(value, fn.__name__))
+
+    return implementation
+
+
+def _log(context, value):
+    if value is None:
+        return None
+    number = _require_number(value, "log")
+    if number <= 0:
+        return float("nan")
+    return math.log(number)
+
+
+def _log10(context, value):
+    if value is None:
+        return None
+    number = _require_number(value, "log10")
+    if number <= 0:
+        return float("nan")
+    return math.log10(number)
+
+
+def _atan2(context, y, x):
+    if y is None or x is None:
+        return None
+    return math.atan2(_require_number(y, "atan2"), _require_number(x, "atan2"))
+
+
+def _pi(context):
+    return math.pi
+
+
+def _e(context):
+    return math.e

@@ -1,0 +1,94 @@
+"""Function registry: name → implementation, with arity checking.
+
+Functions are called as ``fn(context, *values)``; the context exposes the
+graph so entity functions (labels, type, properties, ...) can consult
+λ, τ and ι.  Lookup is case-insensitive, matching Cypher.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CypherTypeError, CypherSemanticError
+
+
+class FunctionContext:
+    """What a function implementation may see: the current graph."""
+
+    __slots__ = ("graph",)
+
+    def __init__(self, graph):
+        self.graph = graph
+
+
+class _Registered:
+    __slots__ = ("implementation", "min_arity", "max_arity")
+
+    def __init__(self, implementation, min_arity, max_arity):
+        self.implementation = implementation
+        self.min_arity = min_arity
+        self.max_arity = max_arity
+
+
+class FunctionRegistry:
+    """A mutable, case-insensitive mapping of function names."""
+
+    def __init__(self):
+        self._functions = {}
+
+    def register(self, name, implementation, min_arity=None, max_arity=None):
+        """Register ``implementation`` under ``name``.
+
+        ``min_arity``/``max_arity`` bound the number of *value* arguments
+        (the context does not count); ``max_arity=None`` means variadic.
+        """
+        if min_arity is None:
+            min_arity = 0
+        self._functions[name.lower()] = _Registered(
+            implementation, min_arity, max_arity
+        )
+        return implementation
+
+    def lookup(self, name):
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            raise CypherSemanticError("unknown function: %s()" % name)
+
+    def call(self, name, context, args):
+        entry = self.lookup(name)
+        if len(args) < entry.min_arity or (
+            entry.max_arity is not None and len(args) > entry.max_arity
+        ):
+            raise CypherTypeError(
+                "%s() called with %d argument(s)" % (name, len(args))
+            )
+        return entry.implementation(context, *args)
+
+    def names(self):
+        return sorted(self._functions.keys())
+
+    def __contains__(self, name):
+        return name.lower() in self._functions
+
+    def copy(self):
+        clone = FunctionRegistry()
+        clone._functions = dict(self._functions)
+        return clone
+
+
+_DEFAULT = None
+
+
+def default_registry():
+    """The registry with all built-ins; built once and shared."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        registry = FunctionRegistry()
+        from repro.functions import lists, math_fns, scalar, strings, temporal_fns
+
+        scalar.install(registry)
+        strings.install(registry)
+        math_fns.install(registry)
+        lists.install(registry)
+        temporal_fns.install(registry)
+        _DEFAULT = registry
+    return _DEFAULT

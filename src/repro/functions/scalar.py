@@ -1,0 +1,234 @@
+"""Scalar and entity functions: id, labels, type, properties, size, ...
+
+The paper's example queries use ``labels(pInfo)`` and ``collect`` /
+``count`` (aggregates live elsewhere); the rest is the standard Cypher 9
+scalar kit.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CypherTypeError
+from repro.values.base import NodeId, RelId
+from repro.values.path import Path
+
+
+def install(registry):
+    registry.register("id", _id, 1, 1)
+    registry.register("labels", _labels, 1, 1)
+    registry.register("type", _type, 1, 1)
+    registry.register("properties", _properties, 1, 1)
+    registry.register("keys", _keys, 1, 1)
+    registry.register("exists", _exists, 1, 1)
+    registry.register("coalesce", _coalesce, 1, None)
+    registry.register("size", _size, 1, 1)
+    registry.register("length", _length, 1, 1)
+    registry.register("head", _head, 1, 1)
+    registry.register("last", _last, 1, 1)
+    registry.register("tail", _tail, 1, 1)
+    registry.register("startNode", _start_node, 1, 1)
+    registry.register("endNode", _end_node, 1, 1)
+    registry.register("nodes", _nodes, 1, 1)
+    registry.register("relationships", _relationships, 1, 1)
+    registry.register("toString", _to_string, 1, 1)
+    registry.register("toInteger", _to_integer, 1, 1)
+    registry.register("toFloat", _to_float, 1, 1)
+    registry.register("toBoolean", _to_boolean, 1, 1)
+
+
+def _id(context, value):
+    if value is None:
+        return None
+    if isinstance(value, (NodeId, RelId)):
+        return value.value
+    raise CypherTypeError("id() expects a node or relationship")
+
+
+def _labels(context, value):
+    if value is None:
+        return None
+    if isinstance(value, NodeId):
+        return sorted(context.graph.labels(value))
+    raise CypherTypeError("labels() expects a node")
+
+
+def _type(context, value):
+    if value is None:
+        return None
+    if isinstance(value, RelId):
+        return context.graph.rel_type(value)
+    raise CypherTypeError("type() expects a relationship")
+
+
+def _properties(context, value):
+    if value is None:
+        return None
+    if isinstance(value, (NodeId, RelId)):
+        return context.graph.properties(value)
+    if isinstance(value, dict):
+        return dict(value)
+    raise CypherTypeError("properties() expects an entity or map")
+
+
+def _keys(context, value):
+    if value is None:
+        return None
+    if isinstance(value, (NodeId, RelId)):
+        return sorted(context.graph.properties(value).keys())
+    if isinstance(value, dict):
+        return sorted(value.keys())
+    raise CypherTypeError("keys() expects an entity or map")
+
+
+def _exists(context, value):
+    """exists(n.prop) — true iff the property evaluated to non-null."""
+    return value is not None
+
+
+def _coalesce(context, *values):
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+def _size(context, value):
+    if value is None:
+        return None
+    if isinstance(value, (list, str)):
+        return len(value)
+    if isinstance(value, dict):
+        return len(value)
+    raise CypherTypeError("size() expects a list, string or map")
+
+
+def _length(context, value):
+    """length(p) is the number of relationships in the path."""
+    if value is None:
+        return None
+    if isinstance(value, Path):
+        return len(value)
+    if isinstance(value, (list, str)):
+        return len(value)  # legacy permissiveness
+    raise CypherTypeError("length() expects a path")
+
+
+def _head(context, value):
+    if value is None:
+        return None
+    if isinstance(value, list):
+        return value[0] if value else None
+    raise CypherTypeError("head() expects a list")
+
+
+def _last(context, value):
+    if value is None:
+        return None
+    if isinstance(value, list):
+        return value[-1] if value else None
+    raise CypherTypeError("last() expects a list")
+
+
+def _tail(context, value):
+    if value is None:
+        return None
+    if isinstance(value, list):
+        return list(value[1:])
+    raise CypherTypeError("tail() expects a list")
+
+
+def _start_node(context, value):
+    if value is None:
+        return None
+    if isinstance(value, RelId):
+        return context.graph.src(value)
+    raise CypherTypeError("startNode() expects a relationship")
+
+
+def _end_node(context, value):
+    if value is None:
+        return None
+    if isinstance(value, RelId):
+        return context.graph.tgt(value)
+    raise CypherTypeError("endNode() expects a relationship")
+
+
+def _nodes(context, value):
+    if value is None:
+        return None
+    if isinstance(value, Path):
+        return list(value.nodes)
+    raise CypherTypeError("nodes() expects a path")
+
+
+def _relationships(context, value):
+    if value is None:
+        return None
+    if isinstance(value, Path):
+        return list(value.relationships)
+    raise CypherTypeError("relationships() expects a path")
+
+
+def _to_string(context, value):
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return value
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float)):
+        return repr(value) if isinstance(value, float) else str(value)
+    if hasattr(value, "cypher_to_string"):
+        return value.cypher_to_string()
+    raise CypherTypeError("toString() expects a scalar value")
+
+
+def _to_integer(context, value):
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise CypherTypeError("toInteger() does not accept booleans")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return int(value.strip())
+        except ValueError:
+            try:
+                return int(float(value.strip()))
+            except ValueError:
+                return None
+    raise CypherTypeError("toInteger() expects a number or string")
+
+
+def _to_float(context, value):
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise CypherTypeError("toFloat() does not accept booleans")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    raise CypherTypeError("toFloat() expects a number or string")
+
+
+def _to_boolean(context, value):
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered == "true":
+            return True
+        if lowered == "false":
+            return False
+        return None
+    raise CypherTypeError("toBoolean() expects a boolean or string")

@@ -1,0 +1,120 @@
+"""String functions (Section 4.3 lists prefix/suffix/subword operators as
+primitives; these are the function-call counterparts every implementation
+ships)."""
+
+from __future__ import annotations
+
+from repro.exceptions import CypherTypeError
+
+
+def install(registry):
+    registry.register("toUpper", _to_upper, 1, 1)
+    registry.register("toLower", _to_lower, 1, 1)
+    registry.register("upper", _to_upper, 1, 1)   # legacy aliases
+    registry.register("lower", _to_lower, 1, 1)
+    registry.register("trim", _trim, 1, 1)
+    registry.register("ltrim", _ltrim, 1, 1)
+    registry.register("rtrim", _rtrim, 1, 1)
+    registry.register("replace", _replace, 3, 3)
+    registry.register("split", _split, 2, 2)
+    registry.register("substring", _substring, 2, 3)
+    registry.register("left", _left, 2, 2)
+    registry.register("right", _right, 2, 2)
+    registry.register("reverse", _reverse, 1, 1)
+
+
+def _require_string(value, name):
+    if not isinstance(value, str):
+        raise CypherTypeError("%s() expects a string, got %r" % (name, value))
+    return value
+
+
+def _to_upper(context, value):
+    if value is None:
+        return None
+    return _require_string(value, "toUpper").upper()
+
+
+def _to_lower(context, value):
+    if value is None:
+        return None
+    return _require_string(value, "toLower").lower()
+
+
+def _trim(context, value):
+    if value is None:
+        return None
+    return _require_string(value, "trim").strip()
+
+
+def _ltrim(context, value):
+    if value is None:
+        return None
+    return _require_string(value, "ltrim").lstrip()
+
+
+def _rtrim(context, value):
+    if value is None:
+        return None
+    return _require_string(value, "rtrim").rstrip()
+
+
+def _replace(context, original, search, replacement):
+    if original is None or search is None or replacement is None:
+        return None
+    return _require_string(original, "replace").replace(
+        _require_string(search, "replace"),
+        _require_string(replacement, "replace"),
+    )
+
+
+def _split(context, original, delimiter):
+    if original is None or delimiter is None:
+        return None
+    text = _require_string(original, "split")
+    sep = _require_string(delimiter, "split")
+    if sep == "":
+        return list(text)
+    return text.split(sep)
+
+
+def _substring(context, original, start, length=None):
+    if original is None or start is None:
+        return None
+    text = _require_string(original, "substring")
+    if not isinstance(start, int) or isinstance(start, bool):
+        raise CypherTypeError("substring() start must be an integer")
+    if start < 0:
+        raise CypherTypeError("substring() start must not be negative")
+    if length is None:
+        return text[start:]
+    if not isinstance(length, int) or isinstance(length, bool) or length < 0:
+        raise CypherTypeError("substring() length must be a non-negative integer")
+    return text[start:start + length]
+
+
+def _left(context, original, length):
+    if original is None or length is None:
+        return None
+    if not isinstance(length, int) or isinstance(length, bool) or length < 0:
+        raise CypherTypeError("left() length must be a non-negative integer")
+    return _require_string(original, "left")[:length]
+
+
+def _right(context, original, length):
+    if original is None or length is None:
+        return None
+    if not isinstance(length, int) or isinstance(length, bool) or length < 0:
+        raise CypherTypeError("right() length must be a non-negative integer")
+    text = _require_string(original, "right")
+    return text[len(text) - length:] if length else ""
+
+
+def _reverse(context, value):
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return value[::-1]
+    if isinstance(value, list):
+        return list(reversed(value))
+    raise CypherTypeError("reverse() expects a string or list")

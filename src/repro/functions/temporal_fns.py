@@ -1,0 +1,68 @@
+"""Constructors for the Cypher 10 temporal types (paper Section 6).
+
+The CIP the paper cites specifies five instant types and a duration type;
+the constructor functions here accept either an ISO-ish string or a
+component map, mirroring the proposal.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CypherTypeError
+
+
+def install(registry):
+    registry.register("date", _date, 0, 1)
+    registry.register("time", _time, 0, 1)
+    registry.register("localtime", _localtime, 0, 1)
+    registry.register("datetime", _datetime, 0, 1)
+    registry.register("localdatetime", _localdatetime, 0, 1)
+    registry.register("duration", _duration, 1, 1)
+
+
+def _build(type_name, argument):
+    from repro import temporal
+
+    constructor = {
+        "Date": temporal.Date,
+        "Time": temporal.Time,
+        "LocalTime": temporal.LocalTime,
+        "DateTime": temporal.DateTime,
+        "LocalDateTime": temporal.LocalDateTime,
+        "Duration": temporal.Duration,
+    }[type_name]
+    if argument is None:
+        raise CypherTypeError(
+            "%s() without arguments needs a clock; pass a string or map"
+            % type_name.lower()
+        )
+    if isinstance(argument, str):
+        return constructor.parse(argument)
+    if isinstance(argument, dict):
+        return constructor.from_map(argument)
+    raise CypherTypeError(
+        "%s() expects a string or component map" % type_name.lower()
+    )
+
+
+def _date(context, argument=None):
+    return _build("Date", argument)
+
+
+def _time(context, argument=None):
+    return _build("Time", argument)
+
+
+def _localtime(context, argument=None):
+    return _build("LocalTime", argument)
+
+
+def _datetime(context, argument=None):
+    return _build("DateTime", argument)
+
+
+def _localdatetime(context, argument=None):
+    return _build("LocalDateTime", argument)
+
+
+def _duration(context, argument):
+    return _build("Duration", argument)

@@ -1,0 +1,31 @@
+"""The property graph data model (paper Section 4.1).
+
+A property graph is the tuple ``G = ⟨N, R, src, tgt, ι, λ, τ⟩``:
+
+* ``N`` — finite set of node ids, ``R`` — finite set of relationship ids;
+* ``src``/``tgt`` — map each relationship to its source/target node;
+* ``ι`` — partial map from (id, property key) to values;
+* ``λ`` — maps each node to a finite set of labels;
+* ``τ`` — maps each relationship to its single type.
+
+:class:`PropertyGraph` is the read interface consumed by the matcher, the
+expression evaluator and the planner; :class:`MemoryGraph` is the mutable
+in-memory implementation with adjacency and label/type indexes (our
+substitute for Neo4j's native store — see DESIGN.md §5).
+"""
+
+from repro.graph.model import NodeView, PropertyGraph, RelationshipView
+from repro.graph.store import MemoryGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.statistics import GraphStatistics
+from repro.graph.catalog import GraphCatalog
+
+__all__ = [
+    "PropertyGraph",
+    "MemoryGraph",
+    "GraphBuilder",
+    "GraphStatistics",
+    "GraphCatalog",
+    "NodeView",
+    "RelationshipView",
+]

@@ -1,0 +1,66 @@
+"""A fluent builder for constructing graphs in tests, datasets and examples.
+
+Nodes are given symbolic names so relationships can refer to them before
+ids exist; ``build()`` returns the graph and the name→id mapping.
+
+    g, ids = (GraphBuilder()
+              .node("nils", "Researcher", name="Nils")
+              .node("p1", "Publication", acmid=220)
+              .rel("nils", "AUTHORS", "p1")
+              .build())
+"""
+
+from __future__ import annotations
+
+from repro.graph.store import MemoryGraph
+
+
+class GraphBuilder:
+    """Accumulates node/relationship specs and materializes a MemoryGraph."""
+
+    def __init__(self):
+        self._nodes = []  # (name, labels, properties)
+        self._rels = []   # (src_name, type, tgt_name, properties, rel_name)
+        self._names = set()
+
+    def node(self, handle, *labels, **properties):
+        """Declare a node with a unique symbolic ``handle``.
+
+        ``labels`` are positional strings; ``properties`` are keyword
+        arguments (so common keys like ``name`` stay usable).  Returns
+        ``self`` for chaining.
+        """
+        if handle in self._names:
+            raise ValueError("duplicate node handle %r" % (handle,))
+        self._names.add(handle)
+        self._nodes.append((handle, labels, properties))
+        return self
+
+    def rel(self, start, rel_type, end, handle=None, **properties):
+        """Declare a relationship between two previously declared nodes."""
+        self._rels.append((start, rel_type, end, properties, handle))
+        return self
+
+    def build(self):
+        """Materialize the graph; returns ``(MemoryGraph, {name: id})``.
+
+        The mapping contains node names and, for relationships declared
+        with ``rel_name``, relationship names too.
+        """
+        graph = MemoryGraph()
+        ids = {}
+        for name, labels, properties in self._nodes:
+            ids[name] = graph.create_node(labels, properties)
+        for src_name, rel_type, tgt_name, properties, rel_name in self._rels:
+            if src_name not in ids:
+                raise ValueError("unknown source node %r" % (src_name,))
+            if tgt_name not in ids:
+                raise ValueError("unknown target node %r" % (tgt_name,))
+            rel_id = graph.create_relationship(
+                ids[src_name], ids[tgt_name], rel_type, properties
+            )
+            if rel_name is not None:
+                if rel_name in ids:
+                    raise ValueError("duplicate name %r" % (rel_name,))
+                ids[rel_name] = rel_id
+        return graph, ids

@@ -1,0 +1,68 @@
+"""Named graph catalog (Cypher 10, paper Section 6).
+
+Cypher 9 assumes one implicit global graph; Cypher 10 introduces *named
+graph references* that "represent externally located graphs, graphs created
+by the query, or graphs created by a previous query in a composition of
+queries".  The catalog maps reference names (optionally with an AT uri, as
+in ``FROM GRAPH soc_net AT "hdfs://..."``) to in-memory graphs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphNotFound
+
+
+class GraphCatalog:
+    """A registry of named property graphs with one designated default."""
+
+    def __init__(self, default_graph=None, default_name="default"):
+        self._graphs = {}
+        self._uris = {}
+        self._default_name = default_name
+        if default_graph is not None:
+            self._graphs[default_name] = default_graph
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, name, graph, uri=None):
+        """Bind ``name`` (and optionally a location uri) to ``graph``."""
+        self._graphs[name] = graph
+        if uri is not None:
+            self._uris[uri] = name
+        return graph
+
+    def set_default(self, name):
+        if name not in self._graphs:
+            raise GraphNotFound("no graph named %r in catalog" % (name,))
+        self._default_name = name
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(self, name=None, uri=None):
+        """Look a graph up by name, by uri, or fall back to the default."""
+        if name is None and uri is None:
+            return self.default()
+        if name is not None and name in self._graphs:
+            return self._graphs[name]
+        if uri is not None and uri in self._uris:
+            return self._graphs[self._uris[uri]]
+        raise GraphNotFound(
+            "cannot resolve graph (name=%r, uri=%r)" % (name, uri)
+        )
+
+    def default(self):
+        try:
+            return self._graphs[self._default_name]
+        except KeyError:
+            raise GraphNotFound("catalog has no default graph")
+
+    def names(self):
+        return sorted(self._graphs.keys())
+
+    def __contains__(self, name):
+        return name in self._graphs
+
+    def __repr__(self):
+        return "GraphCatalog(default={!r}, names={})".format(
+            self._default_name, self.names()
+        )

@@ -1,0 +1,83 @@
+"""Graph statistics for the cost-based planner (paper Section 2).
+
+Neo4j's planner uses a cost model over store statistics [21]; we compute
+the equivalent counters from the in-memory store: label cardinalities,
+relationship-type cardinalities, and average degrees by (label, type,
+direction), which drive Expand cost estimates.
+"""
+
+from __future__ import annotations
+
+
+class GraphStatistics:
+    """Immutable snapshot of the counters the cost model consumes."""
+
+    def __init__(self, graph):
+        self.node_count = graph.node_count()
+        self.relationship_count = graph.relationship_count()
+        self.label_counts = {}
+        self.type_counts = {}
+        out_degree_totals = {}
+        in_degree_totals = {}
+        for node in graph.nodes():
+            for label in graph.labels(node):
+                self.label_counts[label] = self.label_counts.get(label, 0) + 1
+        for rel in graph.relationships():
+            rel_type = graph.rel_type(rel)
+            self.type_counts[rel_type] = self.type_counts.get(rel_type, 0) + 1
+            out_degree_totals[rel_type] = out_degree_totals.get(rel_type, 0) + 1
+            in_degree_totals[rel_type] = in_degree_totals.get(rel_type, 0) + 1
+        self._out_degree_totals = out_degree_totals
+        self._in_degree_totals = in_degree_totals
+
+    # -- cardinalities -------------------------------------------------------
+
+    def nodes_with_label(self, label):
+        """Estimated |{n : label ∈ λ(n)}| (exact, from the index)."""
+        return self.label_counts.get(label, 0)
+
+    def label_selectivity(self, label):
+        """Fraction of nodes carrying ``label``; 1.0 on an empty graph."""
+        if self.node_count == 0:
+            return 1.0
+        return self.nodes_with_label(label) / float(self.node_count)
+
+    def relationships_with_type(self, rel_type):
+        return self.type_counts.get(rel_type, 0)
+
+    # -- degrees ---------------------------------------------------------------
+
+    def average_degree(self, types=None, direction="out"):
+        """Mean number of relationships per node, optionally by type.
+
+        ``direction`` is "out", "in" or "both"; "both" counts each
+        relationship at both of its endpoints.
+        """
+        if self.node_count == 0:
+            return 0.0
+        if types is None:
+            total = self.relationship_count
+        else:
+            total = sum(self.type_counts.get(t, 0) for t in types)
+        if direction == "both":
+            total *= 2
+        return total / float(self.node_count)
+
+    def expand_fanout(self, types=None, direction="out"):
+        """Expected output rows per input row of an Expand step.
+
+        A floor of a small epsilon keeps plan costs strictly positive so
+        the planner never treats a traversal as free.
+        """
+        return max(self.average_degree(types, direction), 0.001)
+
+    def __repr__(self):
+        return (
+            "GraphStatistics(nodes={}, relationships={}, labels={}, "
+            "types={})".format(
+                self.node_count,
+                self.relationship_count,
+                dict(sorted(self.label_counts.items())),
+                dict(sorted(self.type_counts.items())),
+            )
+        )

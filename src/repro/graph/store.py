@@ -1,0 +1,373 @@
+"""The in-memory mutable property graph store.
+
+This is the substrate standing in for Neo4j's native store (DESIGN.md §5).
+It keeps:
+
+* per-entity property dictionaries (the partial function ι);
+* per-node label sets (λ) with an inverted label index;
+* per-relationship type (τ) with an inverted type index;
+* adjacency lists in both directions, so that Expand can go from a node to
+  its relationships to the neighbouring nodes without any index lookup —
+  the property the paper highlights ("Expand never needs to read any
+  unnecessary data, or proceed via an indirection such as an index").
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConstraintViolation, EntityNotFound
+from repro.graph.model import PropertyGraph
+from repro.values.base import NodeId, RelId
+from repro.values.base import is_cypher_value
+
+
+class MemoryGraph(PropertyGraph):
+    """A mutable property graph with O(1) id lookups and adjacency lists."""
+
+    def __init__(self):
+        self._version = 0  # bumped on every mutation; invalidates cached statistics
+        self._next_node_id = 1
+        self._next_rel_id = 1
+        self._node_labels = {}        # NodeId -> set[str]
+        self._node_properties = {}    # NodeId -> dict[str, value]
+        self._rel_endpoints = {}      # RelId -> (NodeId src, NodeId tgt)
+        self._rel_types = {}          # RelId -> str
+        self._rel_properties = {}     # RelId -> dict[str, value]
+        self._outgoing = {}           # NodeId -> list[RelId]
+        self._incoming = {}           # NodeId -> list[RelId]
+        self._label_index = {}        # str -> set[NodeId]
+        self._type_index = {}         # str -> set[RelId]
+
+    # ------------------------------------------------------------------
+    # PropertyGraph read interface
+    # ------------------------------------------------------------------
+
+    def nodes(self):
+        return iter(list(self._node_labels.keys()))
+
+    def relationships(self):
+        return iter(list(self._rel_endpoints.keys()))
+
+    def src(self, rel_id):
+        return self._endpoints(rel_id)[0]
+
+    def tgt(self, rel_id):
+        return self._endpoints(rel_id)[1]
+
+    def property_value(self, entity_id, key):
+        return self._property_map(entity_id).get(key)
+
+    def properties(self, entity_id):
+        return dict(self._property_map(entity_id))
+
+    def labels(self, node_id):
+        try:
+            return frozenset(self._node_labels[node_id])
+        except KeyError:
+            raise EntityNotFound("no node %r in graph" % (node_id,))
+
+    def rel_type(self, rel_id):
+        try:
+            return self._rel_types[rel_id]
+        except KeyError:
+            raise EntityNotFound("no relationship %r in graph" % (rel_id,))
+
+    def has_node(self, node_id):
+        return node_id in self._node_labels
+
+    def has_relationship(self, rel_id):
+        return rel_id in self._rel_endpoints
+
+    def nodes_with_label(self, label):
+        return iter(sorted(self._label_index.get(label, ()), key=lambda n: n.value))
+
+    def outgoing(self, node_id, types=None):
+        for rel in self._outgoing.get(node_id, ()):
+            if types is None or self._rel_types[rel] in types:
+                yield rel
+
+    def incoming(self, node_id, types=None):
+        for rel in self._incoming.get(node_id, ()):
+            if types is None or self._rel_types[rel] in types:
+                yield rel
+
+    def relationships_with_type(self, rel_type):
+        return iter(sorted(self._type_index.get(rel_type, ()), key=lambda r: r.value))
+
+    def node_count(self):
+        return len(self._node_labels)
+
+    def relationship_count(self):
+        return len(self._rel_endpoints)
+
+    def degree(self, node_id, direction="both", rel_type=None):
+        """Number of incident relationships; the cost model's raw input."""
+        count = 0
+        if direction in ("out", "both"):
+            for rel in self._outgoing.get(node_id, ()):
+                if rel_type is None or self._rel_types[rel] == rel_type:
+                    count += 1
+        if direction in ("in", "both"):
+            for rel in self._incoming.get(node_id, ()):
+                if rel_type is None or self._rel_types[rel] == rel_type:
+                    count += 1
+        return count
+
+    def all_labels(self):
+        return sorted(self._label_index.keys())
+
+    def all_types(self):
+        return sorted(self._type_index.keys())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def create_node(self, labels=(), properties=None):
+        """Add a node; returns its fresh :class:`NodeId`."""
+        self._version += 1
+        node_id = NodeId(self._next_node_id)
+        self._next_node_id += 1
+        label_set = set(labels)
+        self._node_labels[node_id] = label_set
+        self._node_properties[node_id] = _validated_properties(properties)
+        self._outgoing[node_id] = []
+        self._incoming[node_id] = []
+        for label in label_set:
+            self._label_index.setdefault(label, set()).add(node_id)
+        return node_id
+
+    def create_relationship(self, src, tgt, rel_type, properties=None):
+        """Add a relationship from ``src`` to ``tgt``; returns its id."""
+        self._version += 1
+        if src not in self._node_labels:
+            raise EntityNotFound("source node %r not in graph" % (src,))
+        if tgt not in self._node_labels:
+            raise EntityNotFound("target node %r not in graph" % (tgt,))
+        if not isinstance(rel_type, str) or not rel_type:
+            raise ValueError("relationship type must be a non-empty string")
+        rel_id = RelId(self._next_rel_id)
+        self._next_rel_id += 1
+        self._rel_endpoints[rel_id] = (src, tgt)
+        self._rel_types[rel_id] = rel_type
+        self._rel_properties[rel_id] = _validated_properties(properties)
+        self._outgoing[src].append(rel_id)
+        self._incoming[tgt].append(rel_id)
+        self._type_index.setdefault(rel_type, set()).add(rel_id)
+        return rel_id
+
+    def adopt_node(self, node_id, labels=(), properties=None):
+        """Insert a node under a *caller-chosen* id.
+
+        Used by Cypher 10 graph projections, which must preserve node
+        identity across graphs so composed queries can re-match the same
+        nodes in another graph (paper Section 6).  The internal id
+        counter is bumped past the adopted id, so later ``create_node``
+        calls never collide.
+        """
+        self._version += 1
+        if not isinstance(node_id, NodeId):
+            raise TypeError("adopt_node expects a NodeId, got %r" % (node_id,))
+        if node_id in self._node_labels:
+            raise ValueError("node %r already exists" % (node_id,))
+        label_set = set(labels)
+        self._node_labels[node_id] = label_set
+        self._node_properties[node_id] = _validated_properties(properties)
+        self._outgoing[node_id] = []
+        self._incoming[node_id] = []
+        for label in label_set:
+            self._label_index.setdefault(label, set()).add(node_id)
+        self._next_node_id = max(self._next_node_id, node_id.value + 1)
+        return node_id
+
+    def delete_node(self, node_id, detach=False):
+        """Remove a node; with ``detach`` also removes incident edges.
+
+        Without ``detach``, deleting a node that still has relationships
+        raises :class:`ConstraintViolation` (dangling edges would break the
+        well-formedness of src/tgt).
+        """
+        self._version += 1
+        if node_id not in self._node_labels:
+            raise EntityNotFound("no node %r in graph" % (node_id,))
+        incident = list(self._outgoing[node_id]) + [
+            rel for rel in self._incoming[node_id]
+            if rel not in self._outgoing[node_id]
+        ]
+        if incident and not detach:
+            raise ConstraintViolation(
+                "cannot delete node %r: it still has %d relationship(s); "
+                "use DETACH DELETE" % (node_id, len(incident))
+            )
+        for rel in incident:
+            if rel in self._rel_endpoints:
+                self.delete_relationship(rel)
+        for label in self._node_labels[node_id]:
+            self._label_index[label].discard(node_id)
+        del self._node_labels[node_id]
+        del self._node_properties[node_id]
+        del self._outgoing[node_id]
+        del self._incoming[node_id]
+
+    def delete_relationship(self, rel_id):
+        self._version += 1
+        if rel_id not in self._rel_endpoints:
+            raise EntityNotFound("no relationship %r in graph" % (rel_id,))
+        source, target = self._rel_endpoints[rel_id]
+        self._outgoing[source].remove(rel_id)
+        self._incoming[target].remove(rel_id)
+        self._type_index[self._rel_types[rel_id]].discard(rel_id)
+        del self._rel_endpoints[rel_id]
+        del self._rel_types[rel_id]
+        del self._rel_properties[rel_id]
+
+    def set_property(self, entity_id, key, value):
+        """Set ι(entity, key); setting to null removes the property."""
+        self._version += 1
+        props = self._property_map(entity_id)
+        if value is None:
+            props.pop(key, None)
+        else:
+            if not is_cypher_value(value):
+                raise ValueError("%r is not a storable value" % (value,))
+            props[key] = value
+
+    def remove_property(self, entity_id, key):
+        self._version += 1
+        self._property_map(entity_id).pop(key, None)
+
+    def replace_properties(self, entity_id, properties):
+        """SET n = {map}: replace the whole property map."""
+        self._version += 1
+        props = self._property_map(entity_id)
+        props.clear()
+        for key, value in _validated_properties(properties).items():
+            props[key] = value
+
+    def merge_properties(self, entity_id, properties):
+        """SET n += {map}: upsert keys; null values remove keys."""
+        self._version += 1
+        props = self._property_map(entity_id)
+        for key, value in (properties or {}).items():
+            if value is None:
+                props.pop(key, None)
+            else:
+                if not is_cypher_value(value):
+                    raise ValueError("%r is not a storable value" % (value,))
+                props[key] = value
+
+    def add_label(self, node_id, label):
+        self._version += 1
+        if node_id not in self._node_labels:
+            raise EntityNotFound("no node %r in graph" % (node_id,))
+        self._node_labels[node_id].add(label)
+        self._label_index.setdefault(label, set()).add(node_id)
+
+    def remove_label(self, node_id, label):
+        self._version += 1
+        if node_id not in self._node_labels:
+            raise EntityNotFound("no node %r in graph" % (node_id,))
+        self._node_labels[node_id].discard(label)
+        if label in self._label_index:
+            self._label_index[label].discard(node_id)
+
+    # ------------------------------------------------------------------
+    # Whole-graph operations
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self):
+        """Monotonic mutation counter; statistics caches key on it."""
+        return self._version
+
+    def restore_from(self, snapshot):
+        """Replace this graph's entire contents with ``snapshot``'s.
+
+        Used for transactional rollback (e.g. schema enforcement undoing
+        a violating update) while keeping this object's identity, so
+        engines and catalogs holding references stay valid.
+        """
+        donor = snapshot.copy()
+        self._next_node_id = donor._next_node_id
+        self._next_rel_id = donor._next_rel_id
+        self._node_labels = donor._node_labels
+        self._node_properties = donor._node_properties
+        self._rel_endpoints = donor._rel_endpoints
+        self._rel_types = donor._rel_types
+        self._rel_properties = donor._rel_properties
+        self._outgoing = donor._outgoing
+        self._incoming = donor._incoming
+        self._label_index = donor._label_index
+        self._type_index = donor._type_index
+        self._version += 1
+
+    def copy(self):
+        """An independent deep copy (used by MERGE rollback and tests)."""
+        clone = MemoryGraph()
+        clone._version = self._version
+        clone._next_node_id = self._next_node_id
+        clone._next_rel_id = self._next_rel_id
+        clone._node_labels = {n: set(ls) for n, ls in self._node_labels.items()}
+        clone._node_properties = {
+            n: _deep_copy_value(ps) for n, ps in self._node_properties.items()
+        }
+        clone._rel_endpoints = dict(self._rel_endpoints)
+        clone._rel_types = dict(self._rel_types)
+        clone._rel_properties = {
+            r: _deep_copy_value(ps) for r, ps in self._rel_properties.items()
+        }
+        clone._outgoing = {n: list(rs) for n, rs in self._outgoing.items()}
+        clone._incoming = {n: list(rs) for n, rs in self._incoming.items()}
+        clone._label_index = {l: set(ns) for l, ns in self._label_index.items()}
+        clone._type_index = {t: set(rs) for t, rs in self._type_index.items()}
+        return clone
+
+    def __repr__(self):
+        return "MemoryGraph(nodes={}, relationships={})".format(
+            self.node_count(), self.relationship_count()
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _endpoints(self, rel_id):
+        try:
+            return self._rel_endpoints[rel_id]
+        except KeyError:
+            raise EntityNotFound("no relationship %r in graph" % (rel_id,))
+
+    def _property_map(self, entity_id):
+        if isinstance(entity_id, NodeId):
+            try:
+                return self._node_properties[entity_id]
+            except KeyError:
+                raise EntityNotFound("no node %r in graph" % (entity_id,))
+        if isinstance(entity_id, RelId):
+            try:
+                return self._rel_properties[entity_id]
+            except KeyError:
+                raise EntityNotFound(
+                    "no relationship %r in graph" % (entity_id,)
+                )
+        raise TypeError("expected a NodeId or RelId, got %r" % (entity_id,))
+
+
+def _validated_properties(properties):
+    result = {}
+    for key, value in (properties or {}).items():
+        if not isinstance(key, str):
+            raise ValueError("property keys must be strings, got %r" % (key,))
+        if value is None:
+            continue  # ι is a partial function; null means "not defined"
+        if not is_cypher_value(value):
+            raise ValueError("%r is not a storable value" % (value,))
+        result[key] = value
+    return result
+
+
+def _deep_copy_value(value):
+    if isinstance(value, list):
+        return [_deep_copy_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _deep_copy_value(item) for key, item in value.items()}
+    return value

@@ -1,0 +1,17 @@
+"""Cypher 10 multiple graphs and query composition (paper Section 6).
+
+Cypher 10 adds *named graph references* and composition over
+"table-graphs": "a single table and multiple named graphs as query
+arguments ... Similarly a query result is a table-graphs.  This enables
+Cypher queries to be composed as a chain of elementary queries."
+
+* ``FROM GRAPH name AT "uri"`` re-points the reading side at a catalog
+  graph (:class:`repro.graph.catalog.GraphCatalog`);
+* ``RETURN GRAPH name OF pattern`` projects a *new* graph from the
+  driving table (Example 6.1's SHARE_FRIEND projection);
+* :class:`TableGraphs` is the composition value passed between queries.
+"""
+
+from repro.multigraph.engine import TableGraphs, apply_return_graph
+
+__all__ = ["TableGraphs", "apply_return_graph"]

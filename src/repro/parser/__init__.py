@@ -1,0 +1,24 @@
+"""Lexer and recursive-descent parser for Cypher 9 (+ Cypher 10 graph clauses).
+
+The concrete syntax follows the paper's Figures 3 and 5, extended with the
+constructs the paper's own examples use (ORDER BY / SKIP / LIMIT, DISTINCT,
+label predicates, collect/count aggregates, update clauses, FROM GRAPH /
+RETURN GRAPH).  ``parse_query`` is the main entry point.
+"""
+
+from repro.parser.lexer import Lexer, tokenize
+from repro.parser.parser import (
+    Parser,
+    parse_expression,
+    parse_pattern,
+    parse_query,
+)
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_query",
+    "parse_expression",
+    "parse_pattern",
+]

@@ -1,0 +1,106 @@
+"""Token kinds and the Token record produced by the lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds.  Keywords are lexed as IDENT and classified by the parser,
+# which keeps the lexer simple and the keyword set case-insensitive.
+IDENT = "IDENT"            # plain or backtick-quoted identifier
+INTEGER = "INTEGER"
+FLOAT = "FLOAT"
+STRING = "STRING"
+OPERATOR = "OPERATOR"      # punctuation and multi-char operators
+END = "END"                # end of input sentinel
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_CHAR_OPERATORS = (
+    "<=",
+    ">=",
+    "<>",
+    "=~",
+    "+=",
+    "..",
+)
+
+SINGLE_CHAR_OPERATORS = set("()[]{},:;.|+-*/%^=<>$")
+
+
+#: Words with reserved meaning.  The parser still accepts most of them as
+#: identifiers where unambiguous (Cypher is liberal), but expression parsing
+#: uses this set to stop at clause boundaries.
+KEYWORDS = frozenset(
+    {
+        "ALL",
+        "AND",
+        "AS",
+        "ASC",
+        "ASCENDING",
+        "AT",
+        "BY",
+        "CASE",
+        "CONTAINS",
+        "CREATE",
+        "DELETE",
+        "DESC",
+        "DESCENDING",
+        "DETACH",
+        "DISTINCT",
+        "ELSE",
+        "END",
+        "ENDS",
+        "EXISTS",
+        "FALSE",
+        "FROM",
+        "GRAPH",
+        "IN",
+        "IS",
+        "LIMIT",
+        "MATCH",
+        "MERGE",
+        "NOT",
+        "NULL",
+        "OF",
+        "ON",
+        "OPTIONAL",
+        "OR",
+        "ORDER",
+        "QUERY",
+        "REMOVE",
+        "RETURN",
+        "SET",
+        "SKIP",
+        "STARTS",
+        "THEN",
+        "TRUE",
+        "UNION",
+        "UNWIND",
+        "WHEN",
+        "WHERE",
+        "WITH",
+        "XOR",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str        # raw text; for STRING, the *decoded* value
+    line: int
+    column: int
+
+    @property
+    def upper(self):
+        """Upper-cased text, for case-insensitive keyword matching."""
+        return self.text.upper()
+
+    def is_keyword(self, word):
+        return self.kind == IDENT and self.upper == word
+
+    def __repr__(self):
+        return "Token({}, {!r} @{}:{})".format(
+            self.kind, self.text, self.line, self.column
+        )

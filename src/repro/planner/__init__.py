@@ -1,0 +1,26 @@
+"""Volcano-style query planner and physical operators (paper Section 2).
+
+"Query execution in Neo4j follows a conventional model, outlined by the
+Volcano Optimizer Generator ... An execution plan for a Cypher query in
+Neo4j contains largely the same operators as in relational database
+engines and an additional operator called Expand."
+
+* :mod:`repro.planner.logical` — the operator algebra (scans, Expand,
+  filter, project, aggregate, sort, ...);
+* :mod:`repro.planner.cost` — the cardinality/cost model over
+  :class:`repro.graph.statistics.GraphStatistics`;
+* :mod:`repro.planner.planning` — pattern-graph planning with greedy
+  expansion ordering (an IDP-flavoured search picks the cheapest
+  traversal order);
+* :mod:`repro.planner.physical` — tuple-at-a-time iterators executing a
+  logical plan.
+
+``plan_query`` raises :class:`repro.exceptions.UnsupportedFeature` for
+queries outside the read core (updates, Cypher 10 clauses); the engine
+falls back to the reference interpreter for those.
+"""
+
+from repro.planner.planning import plan_query
+from repro.planner.physical import execute_plan
+
+__all__ = ["plan_query", "execute_plan"]

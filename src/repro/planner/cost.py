@@ -1,0 +1,100 @@
+"""Cardinality estimation for plan choices (paper Section 2).
+
+Neo4j plans with "the IDP algorithm, using a cost model" over store
+statistics; here the choices that matter are (a) which end of a pattern
+chain to start from, (b) which label index to enter through, and (c) the
+order in which chains of one MATCH are planned.  The estimates below are
+the standard textbook ones over :class:`GraphStatistics`.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.graph.statistics import GraphStatistics
+
+#: Default selectivity of one property-equality predicate.
+PROPERTY_SELECTIVITY = 0.1
+
+#: Statistics snapshots per store, keyed on the store's mutation version.
+#: Like a production engine, we do not rescan the store on every query —
+#: the counters are maintained incrementally (here: recomputed only when
+#: the version moved).
+_statistics_cache = weakref.WeakKeyDictionary()
+
+
+def statistics_for(graph):
+    """A (possibly cached) GraphStatistics snapshot for ``graph``."""
+    version = getattr(graph, "version", None)
+    if version is not None:
+        try:
+            cached_version, cached = _statistics_cache[graph]
+            if cached_version == version:
+                return cached
+        except (KeyError, TypeError):
+            pass
+    statistics = GraphStatistics(graph)
+    if version is not None:
+        try:
+            _statistics_cache[graph] = (version, statistics)
+        except TypeError:
+            pass  # unhashable / non-weakrefable graphs just skip the cache
+    return statistics
+
+
+class CostModel:
+    """Cardinality estimates over a statistics snapshot."""
+
+    def __init__(self, graph):
+        self.statistics = statistics_for(graph)
+
+    # -- entry points -------------------------------------------------------
+
+    def node_pattern_cardinality(self, node_pattern, bound):
+        """Expected matches when this node pattern starts a chain."""
+        if node_pattern.name is not None and node_pattern.name in bound:
+            return 1.0
+        stats = self.statistics
+        if node_pattern.labels:
+            estimate = min(
+                stats.nodes_with_label(label) for label in node_pattern.labels
+            )
+        else:
+            estimate = stats.node_count
+        estimate = float(max(estimate, 0))
+        estimate *= PROPERTY_SELECTIVITY ** len(node_pattern.properties)
+        return max(estimate, 0.0)
+
+    def best_entry_label(self, node_pattern):
+        """The most selective label of a node pattern (or None)."""
+        if not node_pattern.labels:
+            return None
+        stats = self.statistics
+        return min(
+            node_pattern.labels,
+            key=lambda label: stats.nodes_with_label(label),
+        )
+
+    # -- traversal ---------------------------------------------------------------
+
+    def expand_fanout(self, rel_pattern):
+        """Expected relationships per input row for one Expand step."""
+        from repro.ast import patterns as pt
+
+        types = rel_pattern.types or None
+        direction = (
+            "both" if rel_pattern.direction == pt.UNDIRECTED else "out"
+        )
+        fanout = self.statistics.expand_fanout(types, direction)
+        fanout *= PROPERTY_SELECTIVITY ** len(rel_pattern.properties)
+        return max(fanout, 0.001)
+
+    def chain_cardinality(self, path_pattern, start_cardinality):
+        """Rough output-size estimate of traversing a whole chain."""
+        estimate = start_cardinality
+        for rho in path_pattern.relationship_patterns:
+            fanout = self.expand_fanout(rho)
+            low, high = rho.resolved_range()
+            steps = high if high is not None else max(low, 3)
+            estimate *= fanout ** max(steps, 1)
+        return estimate

@@ -1,0 +1,345 @@
+"""Logical plan operators.
+
+The algebra mirrors the paper's description of Neo4j's execution plans:
+"largely the same operators as in relational database engines and an
+additional operator called Expand", which "utilizes the fact that the
+data representation contains direct references from each node via its
+edges to the related nodes".
+
+Every operator records its *visible* output fields; rows flowing through
+the physical pipeline may additionally carry hidden bindings (names
+prefixed with ``#``) for anonymous pattern elements, which exist only to
+enforce relationship uniqueness and chain continuity and are stripped by
+the next projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Operator:
+    """Base class; concrete operators are dataclasses with a child tree."""
+
+    __slots__ = ()
+
+    def describe(self, indent=0):
+        lines = ["  " * indent + self._describe_line()]
+        for child in self._children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _describe_line(self):
+        return type(self).__name__
+
+    def _children(self):
+        return ()
+
+
+@dataclass(frozen=True)
+class Init(Operator):
+    """The unit table T(): one empty row (paper Section 4, 'output')."""
+
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Init"
+
+
+@dataclass(frozen=True)
+class Argument(Operator):
+    """Yields the per-invocation argument row (inside Optional subplans)."""
+
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Argument({})".format(", ".join(self.fields))
+
+
+@dataclass(frozen=True)
+class AllNodesScan(Operator):
+    """Bind every node of the graph (nested-loop over the input)."""
+
+    child: Operator
+    variable: str
+    node_pattern: object  # patterns.NodePattern (labels/props checked inline)
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "AllNodesScan({})".format(self.variable)
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class NodeByLabelScan(Operator):
+    """Bind nodes from the label index — the planner's selective entry."""
+
+    child: Operator
+    variable: str
+    label: str
+    node_pattern: object
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "NodeByLabelScan({}:{})".format(self.variable, self.label)
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class NodeCheck(Operator):
+    """Verify an already-bound variable against a node pattern."""
+
+    child: Operator
+    variable: str
+    node_pattern: object
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "NodeCheck({})".format(self.variable)
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Expand(Operator):
+    """The paper's Expand: follow one relationship from a bound node.
+
+    ``into`` distinguishes ExpandAll (bind a fresh target variable) from
+    ExpandInto (target already bound; verify we arrived there).
+    ``unique_with`` lists the row fields holding relationships bound
+    earlier in the same MATCH — the edge-isomorphism check.
+    """
+
+    child: Operator
+    from_variable: str
+    to_variable: Optional[str]
+    rel_variable: Optional[str]
+    rel_pattern: object      # patterns.RelationshipPattern (rigid, length 1)
+    node_pattern: object     # target patterns.NodePattern
+    into: bool = False
+    unique_with: Tuple[str, ...] = ()
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        kind = "Into" if self.into else "All"
+        types = "|".join(self.rel_pattern.types)
+        return "Expand{}({})-[{}{}]-({})".format(
+            kind,
+            self.from_variable,
+            self.rel_variable or "",
+            ":" + types if types else "",
+            self.to_variable or "?",
+        )
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class VarLengthExpand(Operator):
+    """Expand a variable-length relationship pattern (``*m..n``)."""
+
+    child: Operator
+    from_variable: str
+    to_variable: Optional[str]
+    rel_variable: Optional[str]
+    rel_pattern: object
+    node_pattern: object
+    low: int = 1
+    high: Optional[int] = None
+    into: bool = False
+    unique_with: Tuple[str, ...] = ()
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        types = "|".join(self.rel_pattern.types)
+        bound = "{}..{}".format(self.low, self.high if self.high is not None else "")
+        return "VarLengthExpand({})-[{}{}*{}]-({})".format(
+            self.from_variable,
+            self.rel_variable or "",
+            ":" + types if types else "",
+            bound,
+            self.to_variable or "?",
+        )
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Filter(Operator):
+    """Keep rows whose predicate evaluates to exactly true."""
+
+    child: Operator
+    predicate: object  # Expression
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        from repro.ast.printer import print_expression
+
+        return "Filter({})".format(print_expression(self.predicate))
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class ExtendedProject(Operator):
+    """Evaluate projection items, keeping the input bindings alongside.
+
+    Keeping the inputs lets a following Sort see both the aliases and the
+    pre-projection variables (``ORDER BY`` may use either); a Strip node
+    then reduces rows to the projection's own fields.
+    """
+
+    child: Operator
+    items: Tuple[Tuple[str, object], ...]  # (output name, Expression)
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Project({})".format(", ".join(name for name, _ in self.items))
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Strip(Operator):
+    """Reduce every row to exactly the given fields (scope boundary)."""
+
+    child: Operator
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Strip({})".format(", ".join(self.fields))
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Distinct(Operator):
+    """ε over the visible fields."""
+
+    child: Operator
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Distinct({})".format(", ".join(self.fields))
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Aggregate(Operator):
+    """Hash aggregation: group by the non-aggregating items (Section 3)."""
+
+    child: Operator
+    grouping: Tuple[Tuple[str, object], ...]    # (name, Expression)
+    aggregates: Tuple[Tuple[str, object], ...]  # (name, Expression w/ aggs)
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Aggregate(group=[{}], aggregates=[{}])".format(
+            ", ".join(name for name, _ in self.grouping),
+            ", ".join(name for name, _ in self.aggregates),
+        )
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Sort(Operator):
+    child: Operator
+    sort_items: Tuple[object, ...]  # clauses.SortItem
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        from repro.ast.printer import print_expression
+
+        keys = ", ".join(
+            print_expression(item.expression) + ("" if item.ascending else " DESC")
+            for item in self.sort_items
+        )
+        return "Sort({})".format(keys)
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Skip(Operator):
+    child: Operator
+    count: object  # Expression
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Skip"
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Limit(Operator):
+    child: Operator
+    count: object  # Expression
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Limit"
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Unwind(Operator):
+    child: Operator
+    expression: object
+    alias: str
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Unwind(... AS {})".format(self.alias)
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class OptionalApply(Operator):
+    """OPTIONAL MATCH: run the inner plan per row; pad with nulls if empty."""
+
+    child: Operator
+    inner: Operator          # leaf is Argument
+    pad_names: Tuple[str, ...] = ()
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Optional(pad=[{}])".format(", ".join(self.pad_names))
+
+    def _children(self):
+        return (self.child, self.inner)
+
+
+@dataclass(frozen=True)
+class Union(Operator):
+    left: Operator
+    right: Operator
+    all: bool = False
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Union{}".format(" ALL" if self.all else "")
+
+    def _children(self):
+        return (self.left, self.right)

@@ -1,0 +1,381 @@
+"""Tuple-at-a-time execution of logical plans (the Volcano model).
+
+Each operator is interpreted as a Python generator over rows (dicts);
+"the final query compilation uses ... a simple tuple-at-a-time
+iterator-based execution model" is exactly this.  Expand steps read
+adjacency lists directly — no index indirection — matching the paper's
+description of why Expand is cheap.
+
+The physical semantics of every operator matches the reference
+interpreter; the cross-check tests in ``tests/integration`` assert bag
+equality between the two paths for every query class the planner accepts.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.exceptions import CypherRuntimeError
+from repro.planner import logical as lg
+from repro.semantics.expressions import Evaluator
+from repro.semantics.matching import _steps_from  # shared traversal kernel
+from repro.semantics.morphism import EDGE_ISOMORPHISM
+from repro.semantics.table import Table
+from repro.values.base import RelId
+from repro.values.comparison import equals
+from repro.values.ordering import canonical_key, sort_key
+
+
+class ExecutionContext:
+    """Runtime services shared by all operators of one execution."""
+
+    def __init__(self, graph, parameters=None, functions=None, morphism=None):
+        self.graph = graph
+        self.evaluator = Evaluator(
+            graph, parameters, functions, morphism or EDGE_ISOMORPHISM
+        )
+
+    def evaluate(self, expression, row):
+        return self.evaluator.evaluate(expression, row)
+
+    def predicate(self, expression, row):
+        return self.evaluator.evaluate_predicate(expression, row)
+
+
+def execute_plan(plan, graph, parameters=None, functions=None, morphism=None):
+    """Run a logical plan to completion; returns a Table over its fields."""
+    context = ExecutionContext(graph, parameters, functions, morphism)
+    fields = plan.fields
+    rows = [
+        {field: row.get(field) for field in fields}
+        for row in _run(plan, context, {})
+    ]
+    return Table(fields, rows)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+def _run(op, ctx, argument):
+    return _HANDLERS[type(op)](op, ctx, argument)
+
+
+def _run_init(op, ctx, argument):
+    yield {}
+
+
+def _run_argument(op, ctx, argument):
+    yield dict(argument)
+
+
+# -- node sources -----------------------------------------------------------
+
+def _node_ok(ctx, node_pattern, node, row):
+    labels = ctx.graph.labels(node)
+    for label in node_pattern.labels:
+        if label not in labels:
+            return False
+    for key, expression in node_pattern.properties:
+        expected = ctx.evaluate(expression, row)
+        if equals(ctx.graph.property_value(node, key), expected) is not True:
+            return False
+    return True
+
+
+def _run_all_nodes_scan(op, ctx, argument):
+    for row in _run(op.child, ctx, argument):
+        for node in ctx.graph.nodes():
+            if _node_ok(ctx, op.node_pattern, node, row):
+                out = dict(row)
+                out[op.variable] = node
+                yield out
+
+
+def _run_label_scan(op, ctx, argument):
+    for row in _run(op.child, ctx, argument):
+        for node in ctx.graph.nodes_with_label(op.label):
+            if _node_ok(ctx, op.node_pattern, node, row):
+                out = dict(row)
+                out[op.variable] = node
+                yield out
+
+
+def _run_node_check(op, ctx, argument):
+    from repro.values.base import NodeId
+
+    for row in _run(op.child, ctx, argument):
+        node = row.get(op.variable)
+        if isinstance(node, NodeId) and _node_ok(
+            ctx, op.node_pattern, node, row
+        ):
+            yield row
+
+
+# -- Expand -------------------------------------------------------------------
+
+def _rel_ok(ctx, rel_pattern, rel, row):
+    for key, expression in rel_pattern.properties:
+        expected = ctx.evaluate(expression, row)
+        if equals(ctx.graph.property_value(rel, key), expected) is not True:
+            return False
+    return True
+
+
+def _rel_conflicts(rel, row, unique_with):
+    for name in unique_with:
+        bound = row.get(name)
+        if isinstance(bound, RelId):
+            if bound == rel:
+                return True
+        elif isinstance(bound, list):
+            if rel in bound:
+                return True
+    return False
+
+
+def _run_expand(op, ctx, argument):
+    from repro.values.base import NodeId
+
+    for row in _run(op.child, ctx, argument):
+        source = row.get(op.from_variable)
+        if not isinstance(source, NodeId):
+            continue
+        for rel, target in _steps_from(ctx.graph, op.rel_pattern, source):
+            if _rel_conflicts(rel, row, op.unique_with):
+                continue
+            if not _rel_ok(ctx, op.rel_pattern, rel, row):
+                continue
+            if op.into:
+                if row.get(op.to_variable) != target:
+                    continue
+            if not _node_ok(ctx, op.node_pattern, target, row):
+                continue
+            out = dict(row)
+            if op.rel_variable is not None:
+                out[op.rel_variable] = rel
+            if not op.into and op.to_variable is not None:
+                out[op.to_variable] = target
+            yield out
+
+
+def _run_var_length_expand(op, ctx, argument):
+    from repro.values.base import NodeId
+
+    graph = ctx.graph
+    check_unique = bool(ctx.evaluator.morphism.forbids_repeated_relationships)
+    cap = op.high
+    if cap is None and not check_unique:
+        cap = ctx.evaluator.morphism.max_length
+        if cap is None:
+            raise CypherRuntimeError(
+                "unbounded variable-length pattern under homomorphism "
+                "needs Morphism.max_length"
+            )
+
+    for row in _run(op.child, ctx, argument):
+        source = row.get(op.from_variable)
+        if not isinstance(source, NodeId):
+            continue
+        results = []
+
+        def emit(node, rels):
+            if op.into:
+                if row.get(op.to_variable) != node:
+                    return
+            if not _node_ok(ctx, op.node_pattern, node, row):
+                return
+            out = dict(row)
+            if op.rel_variable is not None:
+                out[op.rel_variable] = list(rels)
+            if not op.into and op.to_variable is not None:
+                out[op.to_variable] = node
+            results.append(out)
+
+        def walk(node, steps, rels, used):
+            if steps >= op.low:
+                emit(node, rels)
+            if cap is not None and steps >= cap:
+                return
+            for rel, target in _steps_from(graph, op.rel_pattern, node):
+                if check_unique and (
+                    rel in used or _rel_conflicts(rel, row, op.unique_with)
+                ):
+                    continue
+                if not _rel_ok(ctx, op.rel_pattern, rel, row):
+                    continue
+                used.add(rel)
+                rels.append(rel)
+                walk(target, steps + 1, rels, used)
+                rels.pop()
+                used.discard(rel)
+
+        walk(source, 0, [], set())
+        for out in results:
+            yield out
+
+
+# -- tuple operators --------------------------------------------------------------
+
+def _run_filter(op, ctx, argument):
+    for row in _run(op.child, ctx, argument):
+        if ctx.predicate(op.predicate, row):
+            yield row
+
+
+def _run_project(op, ctx, argument):
+    for row in _run(op.child, ctx, argument):
+        out = dict(row)
+        for name, expression in op.items:
+            out[name] = ctx.evaluate(expression, row)
+        yield out
+
+
+def _run_strip(op, ctx, argument):
+    for row in _run(op.child, ctx, argument):
+        yield {field: row.get(field) for field in op.fields}
+
+
+def _run_distinct(op, ctx, argument):
+    seen = set()
+    for row in _run(op.child, ctx, argument):
+        key = tuple(canonical_key(row.get(field)) for field in op.fields)
+        if key not in seen:
+            seen.add(key)
+            yield row
+
+
+def _run_aggregate(op, ctx, argument):
+    from repro.semantics.clauses import evaluate_aggregate_item
+
+    groups = {}
+    order = []
+    for row in _run(op.child, ctx, argument):
+        key_values = [
+            ctx.evaluate(expression, row) for _name, expression in op.grouping
+        ]
+        key = tuple(canonical_key(value) for value in key_values)
+        if key not in groups:
+            groups[key] = (key_values, [])
+            order.append(key)
+        groups[key][1].append(row)
+    if not groups and not op.grouping:
+        groups[()] = ([], [])
+        order.append(())
+    for key in order:
+        key_values, rows = groups[key]
+        out = {}
+        for (name, _expression), value in zip(op.grouping, key_values):
+            out[name] = value
+        for name, expression in op.aggregates:
+            out[name] = evaluate_aggregate_item(
+                expression, rows, ctx.evaluator
+            )
+        yield out
+
+
+def _run_sort(op, ctx, argument):
+    rows = list(_run(op.child, ctx, argument))
+
+    def compare_rows(left, right):
+        for item in op.sort_items:
+            left_key = sort_key(ctx.evaluate(item.expression, left))
+            right_key = sort_key(ctx.evaluate(item.expression, right))
+            if left_key < right_key:
+                return -1 if item.ascending else 1
+            if left_key > right_key:
+                return 1 if item.ascending else -1
+        return 0
+
+    for row in sorted(rows, key=functools.cmp_to_key(compare_rows)):
+        yield row
+
+
+def _bound_value(expression, ctx, keyword):
+    value = ctx.evaluate(expression, {})
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise CypherRuntimeError(
+            "%s requires a non-negative integer, got %r" % (keyword, value)
+        )
+    return value
+
+
+def _run_skip(op, ctx, argument):
+    remaining = _bound_value(op.count, ctx, "SKIP")
+    for row in _run(op.child, ctx, argument):
+        if remaining > 0:
+            remaining -= 1
+            continue
+        yield row
+
+
+def _run_limit(op, ctx, argument):
+    budget = _bound_value(op.count, ctx, "LIMIT")
+    if budget == 0:
+        return
+    for row in _run(op.child, ctx, argument):
+        yield row
+        budget -= 1
+        if budget == 0:
+            return
+
+
+def _run_unwind(op, ctx, argument):
+    for row in _run(op.child, ctx, argument):
+        value = ctx.evaluate(op.expression, row)
+        elements = value if isinstance(value, list) else [value]
+        for element in elements:
+            out = dict(row)
+            out[op.alias] = element
+            yield out
+
+
+def _run_optional(op, ctx, argument):
+    for row in _run(op.child, ctx, argument):
+        produced = False
+        for inner_row in _run(op.inner, ctx, row):
+            produced = True
+            yield inner_row
+        if not produced:
+            out = dict(row)
+            for name in op.pad_names:
+                out[name] = None
+            yield out
+
+
+def _run_union(op, ctx, argument):
+    if op.all:
+        for row in _run(op.left, ctx, argument):
+            yield row
+        for row in _run(op.right, ctx, argument):
+            yield row
+        return
+    seen = set()
+    for side in (op.left, op.right):
+        for row in _run(side, ctx, argument):
+            key = tuple(canonical_key(row.get(field)) for field in op.fields)
+            if key not in seen:
+                seen.add(key)
+                yield {field: row.get(field) for field in op.fields}
+
+
+_HANDLERS = {
+    lg.Init: _run_init,
+    lg.Argument: _run_argument,
+    lg.AllNodesScan: _run_all_nodes_scan,
+    lg.NodeByLabelScan: _run_label_scan,
+    lg.NodeCheck: _run_node_check,
+    lg.Expand: _run_expand,
+    lg.VarLengthExpand: _run_var_length_expand,
+    lg.Filter: _run_filter,
+    lg.ExtendedProject: _run_project,
+    lg.Strip: _run_strip,
+    lg.Distinct: _run_distinct,
+    lg.Aggregate: _run_aggregate,
+    lg.Sort: _run_sort,
+    lg.Skip: _run_skip,
+    lg.Limit: _run_limit,
+    lg.Unwind: _run_unwind,
+    lg.OptionalApply: _run_optional,
+    lg.Union: _run_union,
+}

@@ -1,0 +1,332 @@
+"""Translate a query AST into a logical operator tree.
+
+Planning follows the shape the paper sketches for Neo4j: pick a cheap
+entry point per pattern chain (label index if available), then traverse
+with Expand steps; chains are ordered greedily by estimated entry
+cardinality, and for each chain both endpoints are costed and the
+cheaper one chosen (a compact stand-in for IDP's bottom-up join-order
+search, which degenerates to exactly this on path-shaped join graphs).
+
+The planner covers the read core (MATCH / OPTIONAL MATCH / WHERE / WITH /
+UNWIND / RETURN / UNION, variable-length patterns, aggregation).  Updates,
+Cypher 10 graph clauses, named paths and node-isomorphism matching raise
+:class:`UnsupportedFeature`, and the engine falls back to the reference
+interpreter — by construction the two paths agree on everything both
+support.
+"""
+
+from __future__ import annotations
+
+from repro.ast import clauses as cl
+from repro.ast import expressions as ex
+from repro.ast import patterns as pt
+from repro.ast import queries as qu
+from repro.ast.expressions import contains_aggregate
+from repro.exceptions import CypherSemanticError, UnsupportedFeature
+from repro.planner import logical as lg
+from repro.planner.cost import CostModel
+from repro.semantics.morphism import EDGE_ISOMORPHISM
+
+
+def plan_query(query, graph, morphism=EDGE_ISOMORPHISM):
+    """Plan a parsed query against a graph; returns the root Operator."""
+    if morphism.forbids_repeated_nodes:
+        raise UnsupportedFeature(
+            "node-isomorphism matching runs on the reference interpreter"
+        )
+    builder = _PlanBuilder(graph, morphism)
+    return builder.plan(query)
+
+
+class _PlanBuilder:
+    def __init__(self, graph, morphism):
+        self.cost = CostModel(graph)
+        self.morphism = morphism
+        self._hidden_counter = 0
+
+    # ------------------------------------------------------------------
+
+    def plan(self, query):
+        if isinstance(query, qu.UnionQuery):
+            left = self.plan(query.left)
+            right = self.plan(query.right)
+            if set(left.fields) != set(right.fields):
+                raise CypherSemanticError(
+                    "UNION sides must project the same fields"
+                )
+            return lg.Union(left, right, all=query.all, fields=left.fields)
+        if isinstance(query, qu.SingleQuery):
+            return self._plan_single(query)
+        raise UnsupportedFeature("cannot plan %r" % (query,))
+
+    def _plan_single(self, query):
+        plan = lg.Init()
+        for clause in query.clauses:
+            plan = self._plan_clause(clause, plan)
+        return plan
+
+    def _plan_clause(self, clause, plan):
+        if isinstance(clause, cl.Match):
+            return self._plan_match(clause, plan)
+        if isinstance(clause, cl.With):
+            return self._plan_projection(
+                clause.projection, plan, where=clause.where
+            )
+        if isinstance(clause, cl.Return):
+            return self._plan_projection(clause.projection, plan, where=None)
+        if isinstance(clause, cl.Unwind):
+            if clause.alias in plan.fields:
+                raise CypherSemanticError(
+                    "UNWIND alias %r is already in scope" % clause.alias
+                )
+            return lg.Unwind(
+                plan,
+                clause.expression,
+                clause.alias,
+                fields=plan.fields + (clause.alias,),
+            )
+        raise UnsupportedFeature(
+            "the planner does not handle %s; using the interpreter"
+            % type(clause).__name__
+        )
+
+    # ------------------------------------------------------------------
+    # MATCH planning
+    # ------------------------------------------------------------------
+
+    def _hidden(self, kind):
+        self._hidden_counter += 1
+        return "#{}{}".format(kind, self._hidden_counter)
+
+    def _plan_match(self, clause, plan):
+        for path_pattern in clause.pattern:
+            if path_pattern.name is not None:
+                raise UnsupportedFeature(
+                    "named paths run on the reference interpreter"
+                )
+        if clause.optional:
+            argument = lg.Argument(fields=plan.fields)
+            inner = self._plan_pattern_tuple(argument, clause.pattern)
+            if clause.where is not None:
+                inner = lg.Filter(inner, clause.where, fields=inner.fields)
+            pad = tuple(
+                name for name in inner.fields if name not in plan.fields
+            )
+            return lg.OptionalApply(
+                plan, inner, pad_names=pad, fields=plan.fields + pad
+            )
+        plan = self._plan_pattern_tuple(plan, clause.pattern)
+        if clause.where is not None:
+            plan = lg.Filter(plan, clause.where, fields=plan.fields)
+        return plan
+
+    def _plan_pattern_tuple(self, plan, patterns):
+        bound = set(plan.fields)
+        unique_rels = []
+        remaining = list(patterns)
+        while remaining:
+            best = None
+            for index, chain in enumerate(remaining):
+                for reverse in (False, True):
+                    endpoint = (
+                        chain.node_patterns[-1]
+                        if reverse
+                        else chain.node_patterns[0]
+                    )
+                    cardinality = self.cost.node_pattern_cardinality(
+                        endpoint, bound
+                    )
+                    key = (cardinality, index, reverse)
+                    if best is None or key < best[0]:
+                        best = (key, index, reverse)
+            _key, index, reverse = best
+            chain = remaining.pop(index)
+            if reverse:
+                chain = _reverse_chain(chain)
+            plan = self._plan_chain(plan, chain, bound, unique_rels)
+        return plan
+
+    def _plan_chain(self, plan, chain, bound, unique_rels):
+        elements = chain.elements
+        first = elements[0]
+        current_name = first.name or self._hidden("node")
+        visible = list(plan.fields)
+
+        if current_name in bound:
+            if first.labels or first.properties:
+                plan = lg.NodeCheck(
+                    plan, current_name, first, fields=tuple(visible)
+                )
+        else:
+            entry_label = self.cost.best_entry_label(first)
+            if not _is_hidden(current_name):
+                visible.append(current_name)
+            if entry_label is not None:
+                plan = lg.NodeByLabelScan(
+                    plan, current_name, entry_label, first,
+                    fields=tuple(visible),
+                )
+            else:
+                plan = lg.AllNodesScan(
+                    plan, current_name, first, fields=tuple(visible)
+                )
+            bound.add(current_name)
+
+        for index in range(1, len(elements), 2):
+            rho = elements[index]
+            chi = elements[index + 1]
+            to_name = chi.name or self._hidden("node")
+            into = to_name in bound
+            rel_prebound = rho.name is not None and rho.name in bound
+            rel_name = (
+                self._hidden("rel") if rel_prebound else (rho.name or self._hidden("rel"))
+            )
+            if not into and not _is_hidden(to_name):
+                visible.append(to_name)
+            if rho.name is not None and not rel_prebound and not _is_hidden(rel_name):
+                visible.append(rel_name)
+            unique = (
+                tuple(unique_rels)
+                if self.morphism.forbids_repeated_relationships
+                else ()
+            )
+            low, high = rho.resolved_range()
+            if rho.is_variable_length:
+                plan = lg.VarLengthExpand(
+                    plan,
+                    from_variable=current_name,
+                    to_variable=to_name,
+                    rel_variable=rel_name,
+                    rel_pattern=rho,
+                    node_pattern=chi,
+                    low=low,
+                    high=high,
+                    into=into,
+                    unique_with=unique,
+                    fields=tuple(visible),
+                )
+            else:
+                plan = lg.Expand(
+                    plan,
+                    from_variable=current_name,
+                    to_variable=to_name,
+                    rel_variable=rel_name,
+                    rel_pattern=rho,
+                    node_pattern=chi,
+                    into=into,
+                    unique_with=unique,
+                    fields=tuple(visible),
+                )
+            if rel_prebound:
+                # A relationship variable from an earlier clause constrains
+                # this traversal: keep only rows where they coincide.
+                plan = lg.Filter(
+                    plan,
+                    ex.Comparison(
+                        ("=",),
+                        (ex.Variable(rel_name), ex.Variable(rho.name)),
+                    ),
+                    fields=tuple(visible),
+                )
+            unique_rels.append(rel_name)
+            bound.add(rel_name)
+            bound.add(to_name)
+            current_name = to_name
+        return plan
+
+    # ------------------------------------------------------------------
+    # WITH / RETURN planning
+    # ------------------------------------------------------------------
+
+    def _plan_projection(self, projection, plan, where):
+        items = []
+        if projection.star:
+            if not plan.fields and not projection.items:
+                raise CypherSemanticError(
+                    "RETURN * is only defined on a table with at least one field"
+                )
+            for name in plan.fields:
+                items.append(cl.ReturnItem(ex.Variable(name), name))
+        items.extend(projection.items)
+        if not items:
+            raise CypherSemanticError("nothing to project")
+
+        from repro.semantics.clauses import _output_names
+
+        names = _output_names(items)
+        aggregating = [contains_aggregate(item.expression) for item in items]
+
+        if any(aggregating):
+            grouping = tuple(
+                (name, item.expression)
+                for name, item, is_agg in zip(names, items, aggregating)
+                if not is_agg
+            )
+            aggregates = tuple(
+                (name, item.expression)
+                for name, item, is_agg in zip(names, items, aggregating)
+                if is_agg
+            )
+            plan = lg.Aggregate(
+                plan, grouping, aggregates, fields=tuple(names)
+            )
+            if projection.distinct:
+                plan = lg.Distinct(plan, fields=plan.fields)
+            if projection.order_by:
+                plan = lg.Sort(plan, projection.order_by, fields=plan.fields)
+        else:
+            projected = tuple(
+                (name, item.expression) for name, item in zip(names, items)
+            )
+            plan = lg.ExtendedProject(
+                plan, projected, fields=tuple(names)
+            )
+            if projection.distinct:
+                plan = lg.Strip(plan, fields=tuple(names))
+                plan = lg.Distinct(plan, fields=tuple(names))
+                if projection.order_by:
+                    plan = lg.Sort(
+                        plan, projection.order_by, fields=plan.fields
+                    )
+            else:
+                if projection.order_by:
+                    plan = lg.Sort(
+                        plan, projection.order_by, fields=plan.fields
+                    )
+                plan = lg.Strip(plan, fields=tuple(names))
+        if projection.skip is not None:
+            plan = lg.Skip(plan, projection.skip, fields=plan.fields)
+        if projection.limit is not None:
+            plan = lg.Limit(plan, projection.limit, fields=plan.fields)
+        if where is not None:
+            plan = lg.Filter(plan, where, fields=plan.fields)
+        return plan
+
+
+def _is_hidden(name):
+    return name.startswith("#")
+
+
+def _reverse_chain(chain):
+    """Walk a path pattern from its other end (flip every direction)."""
+    flipped = []
+    for element in reversed(chain.elements):
+        if isinstance(element, pt.RelationshipPattern):
+            if element.direction == pt.LEFT_TO_RIGHT:
+                direction = pt.RIGHT_TO_LEFT
+            elif element.direction == pt.RIGHT_TO_LEFT:
+                direction = pt.LEFT_TO_RIGHT
+            else:
+                direction = pt.UNDIRECTED
+            flipped.append(
+                pt.RelationshipPattern(
+                    direction=direction,
+                    name=element.name,
+                    types=element.types,
+                    properties=element.properties,
+                    length=element.length,
+                )
+            )
+        else:
+            flipped.append(element)
+    return pt.PathPattern(tuple(flipped), name=chain.name)

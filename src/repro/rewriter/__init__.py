@@ -1,0 +1,23 @@
+"""Semantics-preserving query rewrites (paper Sections 1 and 4).
+
+"A formal semantics ... allows one to reason about the equivalence of
+queries, and prove correctness of existing or discover new
+optimizations."  This package puts that to work: a small optimizer of
+AST→AST rules, each of which is *provably* equivalence-preserving under
+the Section 4 semantics (the argument is written above each rule), and an
+equivalence test-suite that checks the rewritten query produces the same
+bag as the original on real graphs.
+
+Rules shipped:
+
+* constant folding of closed expressions (3VL-aware);
+* boolean simplification (double negation, AND/OR identity and
+  absorbing elements — all valid in three-valued logic);
+* ``WHERE true`` elimination;
+* fusing a pass-through ``WITH ... WHERE`` filter into the preceding
+  MATCH (predicate pushdown), when provably safe.
+"""
+
+from repro.rewriter.rewrite import rewrite_expression, rewrite_query
+
+__all__ = ["rewrite_query", "rewrite_expression"]

@@ -1,0 +1,311 @@
+"""The rewrite engine and its rules.
+
+Expressions are transformed bottom-up with a generic dataclass rebuilder;
+clause-level rules then walk the clause sequence.  Rules only fire when
+the equivalence argument holds — e.g. constant folding never folds an
+expression whose evaluation raises (``1/0`` must still raise at runtime),
+and predicate pushdown requires the WITH to be a plain pass-through
+projection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ast import clauses as cl
+from repro.ast import expressions as ex
+from repro.ast import queries as qu
+from repro.ast.expressions import contains_aggregate
+from repro.exceptions import CypherError
+from repro.graph.store import MemoryGraph
+from repro.values.base import is_cypher_value
+
+_MAX_PASSES = 5
+
+
+# ---------------------------------------------------------------------------
+# Generic bottom-up expression transformation
+# ---------------------------------------------------------------------------
+
+def _rebuild(node, transform):
+    """Rebuild a frozen dataclass with transformed expression children."""
+    if not dataclasses.is_dataclass(node):
+        return node
+    changes = {}
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        new_value = _rebuild_value(value, transform)
+        if new_value is not value:
+            changes[field.name] = new_value
+    if not changes:
+        return node
+    return dataclasses.replace(node, **changes)
+
+
+def _rebuild_value(value, transform):
+    if isinstance(value, ex.Expression):
+        return transform(value)
+    if isinstance(value, tuple):
+        rebuilt = tuple(_rebuild_value(item, transform) for item in value)
+        if any(new is not old for new, old in zip(rebuilt, value)):
+            return rebuilt
+        return value
+    return value
+
+
+def transform_bottom_up(expression, rule):
+    """Apply ``rule`` to every node, children first."""
+
+    def visit(node):
+        rebuilt = _rebuild(node, visit)
+        return rule(rebuilt)
+
+    return visit(expression)
+
+
+# ---------------------------------------------------------------------------
+# Expression rules
+# ---------------------------------------------------------------------------
+
+def _is_closed(node):
+    """Closed = a literal, or a list/map literal of closed expressions."""
+    if isinstance(node, ex.Literal):
+        return True
+    if isinstance(node, ex.ListLiteral):
+        return all(_is_closed(item) for item in node.items)
+    if isinstance(node, ex.MapLiteral):
+        return all(_is_closed(value) for _key, value in node.items)
+    return False
+
+
+def _is_closed_literal_tree(node):
+    """True if the node's expression children are all closed."""
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, ex.Expression) and not _is_closed(value):
+            return False
+        if isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, ex.Expression) and not _is_closed(item):
+                    return False
+                if isinstance(item, tuple):
+                    for sub in item:
+                        if isinstance(sub, ex.Expression) and not _is_closed(sub):
+                            return False
+    return True
+
+
+_FOLDABLE = (
+    ex.Arithmetic,
+    ex.Comparison,
+    ex.BinaryLogic,
+    ex.Not,
+    ex.UnaryMinus,
+    ex.UnaryPlus,
+    ex.IsNull,
+    ex.IsNotNull,
+    ex.In,
+    ex.StringPredicate,
+    ex.ListIndex,
+    ex.ListSlice,
+)
+
+
+def fold_constants(node):
+    """Evaluate closed, pure sub-expressions at rewrite time.
+
+    Sound because [[expr]]_{G,u} of a closed expression over literals
+    depends on neither G nor u (Section 4.3 rules for these operators
+    never consult the graph).  Expressions that *raise* are left alone so
+    runtime errors are preserved.
+    """
+    if not isinstance(node, _FOLDABLE):
+        return node
+    if not _is_closed_literal_tree(node):
+        return node
+    from repro.semantics.expressions import Evaluator
+
+    try:
+        value = Evaluator(MemoryGraph()).evaluate(node, {})
+    except CypherError:
+        return node
+    if not is_cypher_value(value):
+        return node
+    if isinstance(value, (list, dict)):
+        # keep structure-producing folds only when they came from
+        # indexing/slicing; list literals are already cheap
+        if not isinstance(node, (ex.ListIndex, ex.ListSlice)):
+            return node
+    return ex.Literal(value)
+
+
+def simplify_booleans(node):
+    """Identity/absorbing elements and double negation, in 3VL.
+
+    * NOT NOT x = x              (¬¬ is identity on {t, f, null});
+    * x AND true = x, x AND false = false (false absorbs even null);
+    * x OR false = x, x OR true = true    (true absorbs even null).
+    """
+    if isinstance(node, ex.Not) and isinstance(node.operand, ex.Not):
+        return node.operand.operand
+    if isinstance(node, ex.BinaryLogic):
+        left, right = node.left, node.right
+        sides = [(left, right), (right, left)]
+        if node.operator == "AND":
+            for constant, other in sides:
+                if constant == ex.Literal(True):
+                    return other
+                if constant == ex.Literal(False):
+                    return ex.Literal(False)
+        if node.operator == "OR":
+            for constant, other in sides:
+                if constant == ex.Literal(False):
+                    return other
+                if constant == ex.Literal(True):
+                    return ex.Literal(True)
+    return node
+
+
+def _expression_rules(node):
+    return simplify_booleans(fold_constants(node))
+
+
+def rewrite_expression(expression):
+    """All expression-level rules, bottom-up, to a (bounded) fixpoint."""
+    current = expression
+    for _pass in range(_MAX_PASSES):
+        rewritten = transform_bottom_up(current, _expression_rules)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Clause rules
+# ---------------------------------------------------------------------------
+
+def _rewrite_clause_expressions(clause):
+    """Apply expression rules everywhere inside a clause."""
+
+    def transform(value):
+        if isinstance(value, ex.Expression):
+            return rewrite_expression(value)
+        return value
+
+    return _rebuild_deep(clause, transform)
+
+
+def _rebuild_deep(node, transform):
+    if isinstance(node, ex.Expression):
+        return transform(node)
+    if not dataclasses.is_dataclass(node):
+        return node
+    changes = {}
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        new_value = _deep_value(value, transform)
+        if new_value is not value:
+            changes[field.name] = new_value
+    if not changes:
+        return node
+    return dataclasses.replace(node, **changes)
+
+
+def _deep_value(value, transform):
+    if isinstance(value, ex.Expression):
+        return transform(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _rebuild_deep(value, transform)
+    if isinstance(value, tuple):
+        rebuilt = tuple(_deep_value(item, transform) for item in value)
+        if any(new is not old for new, old in zip(rebuilt, value)):
+            return rebuilt
+        return value
+    return value
+
+
+def drop_where_true(clause):
+    """``MATCH π WHERE true`` ≡ ``MATCH π`` (Figure 7: WHERE true keeps
+    every record); likewise for WITH."""
+    if isinstance(clause, cl.Match) and clause.where == ex.Literal(True):
+        return dataclasses.replace(clause, where=None)
+    if isinstance(clause, cl.With) and clause.where == ex.Literal(True):
+        return dataclasses.replace(clause, where=None)
+    return clause
+
+
+def _is_passthrough_projection(projection):
+    """A WITH that merely re-exposes variables under their own names."""
+    if projection.distinct or projection.order_by:
+        return False
+    if projection.skip is not None or projection.limit is not None:
+        return False
+    for item in projection.items:
+        if not isinstance(item.expression, ex.Variable):
+            return False
+        if item.alias is not None and item.alias != item.expression.name:
+            return False
+        if contains_aggregate(item.expression):
+            return False
+    return True
+
+
+def _scope_of(projection, incoming):
+    names = set(incoming) if projection.star else set()
+    for item in projection.items:
+        names.add(item.alias or item.expression.name)
+    return names
+
+
+def push_filter_into_match(clauses):
+    """MATCH π [WHERE p], WITH <passthrough> WHERE q  ⇒  fold q into MATCH.
+
+    Sound because for a pass-through projection the WITH is the identity
+    on the driving table restricted to the projected fields, and q only
+    mentions those fields; by Figure 7 both orders compute
+    σ_q([[MATCH π]](T)) before the same projection.
+    """
+    rewritten = []
+    index = 0
+    while index < len(clauses):
+        clause = clauses[index]
+        next_clause = clauses[index + 1] if index + 1 < len(clauses) else None
+        if (
+            isinstance(clause, cl.Match)
+            and not clause.optional
+            and isinstance(next_clause, cl.With)
+            and next_clause.where is not None
+            and _is_passthrough_projection(next_clause.projection)
+            and not contains_aggregate(next_clause.where)
+        ):
+            condition = next_clause.where
+            merged_where = (
+                condition
+                if clause.where is None
+                else ex.BinaryLogic("AND", clause.where, condition)
+            )
+            rewritten.append(dataclasses.replace(clause, where=merged_where))
+            rewritten.append(dataclasses.replace(next_clause, where=None))
+            index += 2
+            continue
+        rewritten.append(clause)
+        index += 1
+    return rewritten
+
+
+def rewrite_query(query):
+    """Rewrite a whole query; the result is equivalent under Section 4."""
+    if isinstance(query, qu.UnionQuery):
+        return qu.UnionQuery(
+            rewrite_query(query.left), rewrite_query(query.right), query.all
+        )
+    if not isinstance(query, qu.SingleQuery):
+        return query
+    clauses = [
+        drop_where_true(_rewrite_clause_expressions(clause))
+        for clause in query.clauses
+    ]
+    clauses = push_filter_into_match(clauses)
+    clauses = [drop_where_true(clause) for clause in clauses]
+    return qu.SingleQuery(tuple(clauses))

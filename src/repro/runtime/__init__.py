@@ -1,0 +1,19 @@
+"""The user-facing engine: parse → (plan | interpret) → results.
+
+:class:`~repro.runtime.engine.CypherEngine` is the facade a downstream
+application uses.  It offers three execution modes:
+
+* ``"interpreter"`` — the formal-semantics reference path (Section 4);
+* ``"planner"`` — the Volcano-style operator pipeline (Section 2's
+  description of the Neo4j implementation);
+* ``"auto"`` (default) — the planner where it applies, with transparent
+  fallback to the interpreter for updates and Cypher 10 features.
+
+The two paths are cross-checked in the test suite; the paper argues this
+agreement is exactly what a formal semantics buys you.
+"""
+
+from repro.runtime.engine import CypherEngine
+from repro.runtime.result import QueryResult
+
+__all__ = ["CypherEngine", "QueryResult"]

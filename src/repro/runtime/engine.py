@@ -1,0 +1,132 @@
+"""The CypherEngine facade."""
+
+from __future__ import annotations
+
+from repro.exceptions import ConstraintViolation, UnsupportedFeature
+from repro.graph.catalog import GraphCatalog
+from repro.graph.store import MemoryGraph
+from repro.parser import parse_query
+from repro.runtime.result import QueryResult
+from repro.semantics.analysis import check_query
+from repro.semantics.morphism import EDGE_ISOMORPHISM
+from repro.semantics.query import QueryState, run_query
+
+_MODES = ("auto", "interpreter", "planner")
+
+
+def _is_updating(query):
+    """True if any clause of the query mutates the graph."""
+    from repro.ast import clauses as cl
+    from repro.ast import queries as qu
+
+    if isinstance(query, qu.UnionQuery):
+        return _is_updating(query.left) or _is_updating(query.right)
+    updating = (cl.Create, cl.Delete, cl.SetClause, cl.RemoveClause, cl.Merge)
+    return any(isinstance(clause, updating) for clause in query.clauses)
+
+
+class CypherEngine:
+    """Runs Cypher queries against a property graph (or graph catalog).
+
+    Parameters
+    ----------
+    graph:
+        The default property graph; a fresh empty :class:`MemoryGraph`
+        if omitted.
+    catalog:
+        Optional :class:`GraphCatalog` for Cypher 10 multi-graph queries;
+        one is created around ``graph`` by default.
+    mode:
+        ``"auto"`` (planner with interpreter fallback), ``"interpreter"``
+        or ``"planner"``.
+    morphism:
+        Pattern-matching semantics; Cypher 9's edge isomorphism unless
+        overridden (Section 8's configurable morphisms).
+    """
+
+    def __init__(
+        self,
+        graph=None,
+        catalog=None,
+        mode="auto",
+        morphism=EDGE_ISOMORPHISM,
+        functions=None,
+        rewrite=True,
+        schema=None,
+    ):
+        if mode not in _MODES:
+            raise ValueError("mode must be one of %r" % (_MODES,))
+        self.graph = graph if graph is not None else MemoryGraph()
+        self.catalog = catalog if catalog is not None else GraphCatalog(self.graph)
+        self.mode = mode
+        self.morphism = morphism
+        self.functions = functions
+        self.rewrite = rewrite
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+
+    def run(self, query_text, parameters=None, mode=None):
+        """Parse and execute ``query_text``; returns a QueryResult."""
+        mode = mode or self.mode
+        query = parse_query(query_text)
+        check_query(query)
+        if self.rewrite:
+            from repro.rewriter import rewrite_query
+
+            query = rewrite_query(query)
+        snapshot = None
+        if self.schema is not None and _is_updating(query):
+            snapshot = self.graph.copy()
+        if mode == "planner":
+            result = self._run_planned(query, parameters)
+        elif mode == "interpreter":
+            result = self._run_interpreted(query, parameters)
+        else:
+            try:
+                result = self._run_planned(query, parameters)
+            except UnsupportedFeature:
+                result = self._run_interpreted(query, parameters)
+        if snapshot is not None:
+            violations = self.schema.validate(self.graph)
+            if violations:
+                self.graph.restore_from(snapshot)
+                raise ConstraintViolation(
+                    "update rolled back; schema violations: %s"
+                    % "; ".join(str(violation) for violation in violations)
+                )
+        return result
+
+    def explain(self, query_text):
+        """The physical plan the planner would run, as indented text."""
+        from repro.planner import plan_query
+
+        query = parse_query(query_text)
+        plan = plan_query(query, self.graph, morphism=self.morphism)
+        return plan.describe()
+
+    # ------------------------------------------------------------------
+
+    def _run_interpreted(self, query, parameters):
+        state = QueryState(
+            self.graph,
+            parameters=parameters,
+            functions=self.functions,
+            morphism=self.morphism,
+            catalog=self.catalog,
+        )
+        table = run_query(query, state)
+        return QueryResult(table, graphs=state.result_graphs)
+
+    def _run_planned(self, query, parameters):
+        from repro.planner import execute_plan, plan_query
+
+        plan = plan_query(query, self.graph, morphism=self.morphism)
+        table = execute_plan(
+            plan,
+            self.graph,
+            parameters=parameters,
+            functions=self.functions,
+            morphism=self.morphism,
+        )
+        return QueryResult(table, plan=plan)

@@ -1,0 +1,26 @@
+"""Schema constraints (paper Section 8, "Schema model").
+
+"Neo4j nowadays is schema-optional, i.e. it supports an additional schema
+constraint language (e.g. for requiring nodes with a given label to have
+certain properties)."  This package implements that schema-optional
+layer: property-existence, uniqueness and property-type constraints over
+labels, a whole-graph validator, and engine integration that checks
+constraints after every updating query (rolling the update back on
+violation).
+"""
+
+from repro.schema.constraints import (
+    ExistenceConstraint,
+    Schema,
+    TypeConstraint,
+    UniquenessConstraint,
+    Violation,
+)
+
+__all__ = [
+    "Schema",
+    "ExistenceConstraint",
+    "UniquenessConstraint",
+    "TypeConstraint",
+    "Violation",
+]

@@ -1,0 +1,131 @@
+"""Constraint definitions and the graph validator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.values.base import type_name
+from repro.values.ordering import canonical_key
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation, with the offending entity."""
+
+    constraint: object
+    entity: object
+    message: str
+
+    def __str__(self):
+        return self.message
+
+
+@dataclass(frozen=True)
+class ExistenceConstraint:
+    """Nodes with ``label`` must have a non-null ``property`` — the
+    paper's own example of a schema constraint."""
+
+    label: str
+    property: str
+
+    def check(self, graph):
+        for node in graph.nodes_with_label(self.label):
+            if graph.property_value(node, self.property) is None:
+                yield Violation(
+                    self,
+                    node,
+                    "node %s (:%s) is missing required property %r"
+                    % (node, self.label, self.property),
+                )
+
+    def __str__(self):
+        return "EXISTS(:%s.%s)" % (self.label, self.property)
+
+
+@dataclass(frozen=True)
+class UniquenessConstraint:
+    """No two ``label`` nodes may share a value of ``property``."""
+
+    label: str
+    property: str
+
+    def check(self, graph):
+        seen = {}
+        for node in graph.nodes_with_label(self.label):
+            value = graph.property_value(node, self.property)
+            if value is None:
+                continue  # uniqueness constrains only present values
+            key = canonical_key(value)
+            if key in seen:
+                yield Violation(
+                    self,
+                    node,
+                    "nodes %s and %s (:%s) share %r = %r"
+                    % (seen[key], node, self.label, self.property, value),
+                )
+            else:
+                seen[key] = node
+
+    def __str__(self):
+        return "UNIQUE(:%s.%s)" % (self.label, self.property)
+
+
+@dataclass(frozen=True)
+class TypeConstraint:
+    """If present, ``property`` on ``label`` nodes must have a Cypher type
+    (by name: "Integer", "String", "Boolean", "Float", "List", "Map")."""
+
+    label: str
+    property: str
+    expected_type: str
+
+    def check(self, graph):
+        for node in graph.nodes_with_label(self.label):
+            value = graph.property_value(node, self.property)
+            if value is None:
+                continue
+            actual = type_name(value)
+            if actual != self.expected_type:
+                yield Violation(
+                    self,
+                    node,
+                    "node %s (:%s) has %s of type %s, expected %s"
+                    % (node, self.label, self.property, actual,
+                       self.expected_type),
+                )
+
+    def __str__(self):
+        return "TYPE(:%s.%s IS %s)" % (
+            self.label, self.property, self.expected_type,
+        )
+
+
+class Schema:
+    """An ordered collection of constraints with a validator."""
+
+    def __init__(self, constraints=()):
+        self.constraints = list(constraints)
+
+    def add(self, constraint):
+        self.constraints.append(constraint)
+        return self
+
+    def validate(self, graph):
+        """All violations in the graph, in constraint order."""
+        violations = []
+        for constraint in self.constraints:
+            violations.extend(constraint.check(graph))
+        return violations
+
+    def is_valid(self, graph):
+        return not self.validate(graph)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __len__(self):
+        return len(self.constraints)
+
+    def __repr__(self):
+        return "Schema(%s)" % ", ".join(str(c) for c in self.constraints)

@@ -1,0 +1,39 @@
+"""The reference interpreter: a transcription of the paper's Section 4.
+
+* :mod:`repro.semantics.table` — tables as bags of records, ``T()``, ⊎, ε;
+* :mod:`repro.semantics.matching` — ``(p, G, u) ⊨ π`` and ``match(π̄, G, u)``;
+* :mod:`repro.semantics.expressions` — ``[[expr]]_{G,u}``;
+* :mod:`repro.semantics.clauses` — ``[[C]]_G : Table → Table`` (Figure 7);
+* :mod:`repro.semantics.query` — ``output(Q, G) = [[Q]]_G(T())`` (Figure 6);
+* :mod:`repro.semantics.morphism` — edge-isomorphism (Cypher 9's default)
+  plus the configurable-morphism modes of Section 8.
+
+This path is deliberately naive — it is the executable specification the
+planner-based runtime is cross-checked against.
+"""
+
+from repro.semantics.table import Record, Table
+from repro.semantics.morphism import (
+    EDGE_ISOMORPHISM,
+    HOMOMORPHISM,
+    NODE_ISOMORPHISM,
+    Morphism,
+)
+from repro.semantics.expressions import Evaluator
+from repro.semantics.matching import match_pattern_tuple, satisfies
+from repro.semantics.query import QueryState, output, run_query
+
+__all__ = [
+    "Table",
+    "Record",
+    "Morphism",
+    "EDGE_ISOMORPHISM",
+    "NODE_ISOMORPHISM",
+    "HOMOMORPHISM",
+    "Evaluator",
+    "match_pattern_tuple",
+    "satisfies",
+    "QueryState",
+    "run_query",
+    "output",
+]

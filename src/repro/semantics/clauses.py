@@ -1,0 +1,359 @@
+"""Clause semantics ``[[C]]_G : Table → Table`` (paper Figure 7).
+
+Each clause denotes a function from tables to tables; a query is the
+composition of these functions (Section 2, "Linear queries").  This module
+implements the matching clauses (MATCH / OPTIONAL MATCH / WHERE), the
+relational clauses (WITH / UNWIND) and RETURN, including the aggregation
+rule the paper describes in Section 3: non-aggregating projection items
+act as the implicit grouping key for the aggregating ones.
+
+Update clauses and the Cypher 10 graph clauses are dispatched to
+:mod:`repro.updates.executor` and :mod:`repro.multigraph.engine`.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.ast import clauses as cl
+from repro.ast import expressions as ex
+from repro.ast.expressions import AGGREGATE_FUNCTION_NAMES, contains_aggregate
+from repro.ast.patterns import free_variables
+from repro.ast.printer import print_expression
+from repro.ast.visitor import children
+from repro.exceptions import CypherRuntimeError, CypherSemanticError
+from repro.functions.aggregates import CountStar as CountStarAggregate
+from repro.functions.aggregates import _Percentile, make_aggregate
+from repro.semantics.matching import match_pattern_tuple
+from repro.semantics.table import Table
+from repro.values.ordering import canonical_key, sort_key
+
+
+def apply_clause(clause, table, state):
+    """[[clause]]_G applied to ``table`` under the query ``state``."""
+    if isinstance(clause, cl.Match):
+        return _apply_match(clause, table, state)
+    if isinstance(clause, cl.With):
+        return _apply_with(clause, table, state)
+    if isinstance(clause, cl.Return):
+        return project(clause.projection, table, state)
+    if isinstance(clause, cl.Unwind):
+        return _apply_unwind(clause, table, state)
+    if isinstance(
+        clause, (cl.Create, cl.Delete, cl.SetClause, cl.RemoveClause, cl.Merge)
+    ):
+        from repro.updates.executor import apply_update
+
+        return apply_update(clause, table, state)
+    if isinstance(clause, cl.FromGraph):
+        state.switch_graph(clause.name, clause.uri)
+        return table
+    if isinstance(clause, cl.ReturnGraph):
+        from repro.multigraph.engine import apply_return_graph
+
+        return apply_return_graph(clause, table, state)
+    raise CypherSemanticError("cannot execute clause %r" % (clause,))
+
+
+# ---------------------------------------------------------------------------
+# MATCH and OPTIONAL MATCH (Figure 7, first block)
+# ---------------------------------------------------------------------------
+
+def _apply_match(clause, table, state):
+    evaluator = state.evaluator()
+    new_fields = [
+        name
+        for name in free_variables(clause.pattern)
+        if name not in table.fields
+    ]
+    fields = table.fields + tuple(new_fields)
+    rows = []
+    for record in table.rows:
+        matches = match_pattern_tuple(
+            clause.pattern, state.graph, record, evaluator, state.morphism
+        )
+        surviving = []
+        for bindings in matches:
+            row = dict(record)
+            row.update(bindings)
+            if clause.where is None or evaluator.evaluate_predicate(
+                clause.where, row
+            ):
+                surviving.append(row)
+        if surviving:
+            rows.extend(surviving)
+        elif clause.optional:
+            # (u, (free(u, π̄) : null)) — one row padded with nulls
+            padded = dict(record)
+            for name in new_fields:
+                padded[name] = None
+            rows.append(padded)
+    return Table(fields, rows)
+
+
+# ---------------------------------------------------------------------------
+# UNWIND (Figure 7, last rule — followed verbatim, including non-lists)
+# ---------------------------------------------------------------------------
+
+def _apply_unwind(clause, table, state):
+    evaluator = state.evaluator()
+    if clause.alias in table.fields:
+        raise CypherSemanticError(
+            "UNWIND alias %r is already in scope" % clause.alias
+        )
+    fields = table.fields + (clause.alias,)
+    rows = []
+    for record in table.rows:
+        value = evaluator.evaluate(clause.expression, record)
+        if isinstance(value, list):
+            elements = value  # empty list contributes no rows
+        else:
+            # The paper's rule unwinds any non-list (null included) to a
+            # single row; Neo4j deviates for null.  We follow the paper.
+            elements = [value]
+        for element in elements:
+            row = dict(record)
+            row[clause.alias] = element
+            rows.append(row)
+    return Table(fields, rows)
+
+
+# ---------------------------------------------------------------------------
+# WITH and RETURN (Figures 6 and 7) with aggregation
+# ---------------------------------------------------------------------------
+
+def _apply_with(clause, table, state):
+    projected = project(clause.projection, table, state)
+    if clause.where is None:
+        return projected
+    evaluator = state.evaluator()
+    rows = [
+        row
+        for row in projected.rows
+        if evaluator.evaluate_predicate(clause.where, row)
+    ]
+    return Table(projected.fields, rows)
+
+
+def project(projection, table, state):
+    """The shared body of WITH and RETURN."""
+    evaluator = state.evaluator()
+    items = list(_expand_star(projection, table))
+    names = _output_names(items)
+    aggregating = [contains_aggregate(item.expression) for item in items]
+
+    if any(aggregating):
+        out_rows, row_pairs = _aggregate_rows(
+            items, names, aggregating, table, state
+        )
+    else:
+        out_rows = []
+        row_pairs = []  # (source row, output row) for ORDER BY scoping
+        for record in table.rows:
+            row = {
+                name: evaluator.evaluate(item.expression, record)
+                for name, item in zip(names, items)
+            }
+            out_rows.append(row)
+            row_pairs.append((record, row))
+
+    result = Table(tuple(names), out_rows)
+    if projection.distinct:
+        result = result.deduplicate()
+        row_pairs = None  # rows no longer align with inputs
+    if projection.order_by:
+        result = _order_rows(projection.order_by, result, row_pairs, state)
+    result = _skip_limit(projection, result, state)
+    return result
+
+
+def _expand_star(projection, table):
+    items = []
+    if projection.star:
+        if not table.fields and not projection.items:
+            raise CypherSemanticError(
+                "RETURN * is only defined on a table with at least one field"
+            )
+        for field in table.fields:
+            items.append(cl.ReturnItem(ex.Variable(field), field))
+    items.extend(projection.items)
+    if not items:
+        raise CypherSemanticError("nothing to project")
+    return items
+
+
+def _output_names(items):
+    """Output field names: the alias, or α(expression).
+
+    The paper assumes an implementation-dependent injective α mapping
+    expressions to names; like Neo4j we use the expression's source text.
+    """
+    names = []
+    for item in items:
+        if item.alias is not None:
+            names.append(item.alias)
+        elif isinstance(item.expression, ex.Variable):
+            names.append(item.expression.name)
+        else:
+            names.append(print_expression(item.expression))
+    if len(set(names)) != len(names):
+        raise CypherSemanticError(
+            "duplicate column names in projection: %r" % (names,)
+        )
+    return names
+
+
+def _collect_aggregate_nodes(expression):
+    found = []
+
+    def visit(node):
+        if isinstance(node, ex.CountStar):
+            found.append(node)
+            return
+        if (
+            isinstance(node, ex.FunctionCall)
+            and node.name in AGGREGATE_FUNCTION_NAMES
+        ):
+            for argument in node.args:
+                if contains_aggregate(argument):
+                    raise CypherSemanticError(
+                        "aggregations cannot be nested"
+                    )
+            found.append(node)
+            return
+        for child in children(node):
+            visit(child)
+
+    visit(expression)
+    return found
+
+
+def _aggregate_rows(items, names, aggregating, table, state):
+    """Group rows by the non-aggregating items and evaluate aggregates.
+
+    Returns (output rows, None): after aggregation the output rows no
+    longer align 1:1 with input rows, so ORDER BY sees only the output.
+    """
+    evaluator = state.evaluator()
+    grouping = [index for index, is_agg in enumerate(aggregating) if not is_agg]
+    aggregates = [index for index, is_agg in enumerate(aggregating) if is_agg]
+
+    groups = {}
+    group_order = []
+    for record in table.rows:
+        key_values = [
+            evaluator.evaluate(items[index].expression, record)
+            for index in grouping
+        ]
+        key = tuple(canonical_key(value) for value in key_values)
+        if key not in groups:
+            groups[key] = (key_values, [])
+            group_order.append(key)
+        groups[key][1].append(record)
+
+    if not groups and not grouping:
+        # Global aggregation over the empty table yields one row
+        # (count() = 0, sum() = 0, collect() = [], others null).
+        groups[()] = ([], [])
+        group_order.append(())
+
+    out_rows = []
+    for key in group_order:
+        key_values, group_records = groups[key]
+        row = {}
+        for index, value in zip(grouping, key_values):
+            row[names[index]] = value
+        for index in aggregates:
+            expression = items[index].expression
+            row[names[index]] = evaluate_aggregate_item(
+                expression, group_records, evaluator
+            )
+        out_rows.append(row)
+    return out_rows, None
+
+
+def evaluate_aggregate_item(expression, group_records, evaluator):
+    aggregate_nodes = _collect_aggregate_nodes(expression)
+    overrides = {}
+    for node in aggregate_nodes:
+        accumulator = _make_accumulator(node)
+        for record in group_records:
+            _feed_accumulator(accumulator, node, record, evaluator)
+        overrides[id(node)] = accumulator.result()
+    representative = group_records[0] if group_records else {}
+    previous = evaluator.aggregate_values
+    evaluator.aggregate_values = overrides
+    try:
+        return evaluator.evaluate(expression, representative)
+    finally:
+        evaluator.aggregate_values = previous
+
+
+def _make_accumulator(node):
+    if isinstance(node, ex.CountStar):
+        return CountStarAggregate()
+    return make_aggregate(node.name, node.distinct)
+
+
+def _feed_accumulator(accumulator, node, record, evaluator):
+    if isinstance(node, ex.CountStar):
+        accumulator.include(True)
+        return
+    if isinstance(accumulator, _Percentile):
+        value = evaluator.evaluate(node.args[0], record)
+        percentile = evaluator.evaluate(node.args[1], record)
+        accumulator.include_pair(value, percentile)
+        return
+    if len(node.args) != 1:
+        raise CypherSemanticError(
+            "%s() takes exactly one argument" % node.name
+        )
+    accumulator.include(evaluator.evaluate(node.args[0], record))
+
+
+# ---------------------------------------------------------------------------
+# ORDER BY / SKIP / LIMIT
+# ---------------------------------------------------------------------------
+
+def _order_rows(sort_items, result, row_pairs, state):
+    evaluator = state.evaluator()
+
+    if row_pairs is not None and len(row_pairs) == len(result.rows):
+        environments = [
+            (dict(source, **output), output) for source, output in row_pairs
+        ]
+    else:
+        environments = [(row, row) for row in result.rows]
+
+    def compare_rows(left, right):
+        for sort in sort_items:
+            left_key = sort_key(evaluator.evaluate(sort.expression, left[0]))
+            right_key = sort_key(evaluator.evaluate(sort.expression, right[0]))
+            if left_key < right_key:
+                return -1 if sort.ascending else 1
+            if left_key > right_key:
+                return 1 if sort.ascending else -1
+        return 0
+
+    ordered = sorted(environments, key=functools.cmp_to_key(compare_rows))
+    return Table(result.fields, [output for _env, output in ordered])
+
+
+def _skip_limit(projection, result, state):
+    evaluator = state.evaluator()
+    rows = result.rows
+    if projection.skip is not None:
+        rows = rows[_count_bound(projection.skip, "SKIP", evaluator):]
+    if projection.limit is not None:
+        bound = _count_bound(projection.limit, "LIMIT", evaluator)
+        rows = rows[:bound]
+    return Table(result.fields, rows)
+
+
+def _count_bound(expression, keyword, evaluator):
+    value = evaluator.evaluate(expression, {})
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise CypherRuntimeError(
+            "%s requires a non-negative integer, got %r" % (keyword, value)
+        )
+    return value

@@ -1,0 +1,511 @@
+"""Expression semantics ``[[expr]]_{G,u}`` (paper Section 4.3).
+
+The semantics of an expression is a value in V, determined by a property
+graph G and an assignment u (here: the current record).  Null handling
+follows the SQL-style three-valued logic the paper specifies; arithmetic
+and string/list operations follow openCypher where the paper defers to
+"established semantics for many functions".
+
+Aggregate function calls are *not* evaluated here — the projection
+machinery in :mod:`repro.semantics.clauses` pre-computes them per group
+and injects the results through ``aggregate_values`` (keyed by node
+identity), because an aggregate's value depends on a whole group of
+records, not a single assignment.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.ast import expressions as ex
+from repro.exceptions import (
+    CypherRuntimeError,
+    CypherSemanticError,
+    CypherTypeError,
+    ParameterNotBound,
+)
+from repro.functions import default_registry
+from repro.functions.registry import FunctionContext
+from repro.values.base import NodeId, RelId
+from repro.values.coercion import is_number
+from repro.values.comparison import (
+    and3,
+    compare,
+    equals,
+    is_true,
+    not3,
+    not_equals,
+    or3,
+    xor3,
+)
+from repro.values.path import Path
+
+
+class Evaluator:
+    """Evaluates expressions against one graph, parameters and functions."""
+
+    def __init__(self, graph, parameters=None, functions=None, morphism=None):
+        from repro.semantics.morphism import EDGE_ISOMORPHISM
+
+        self.graph = graph
+        self.parameters = dict(parameters or {})
+        self.functions = functions or default_registry()
+        self.morphism = morphism or EDGE_ISOMORPHISM
+        self.function_context = FunctionContext(graph)
+        #: identity-keyed overrides installed by the aggregation machinery
+        self.aggregate_values = {}
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, expression, record):
+        """[[expression]]_{G, record}."""
+        override = self.aggregate_values.get(id(expression))
+        if override is not None or id(expression) in self.aggregate_values:
+            return override
+
+        method = _DISPATCH.get(type(expression))
+        if method is None:
+            raise CypherTypeError(
+                "cannot evaluate expression %r" % (expression,)
+            )
+        return method(self, expression, record)
+
+    def evaluate_predicate(self, expression, record):
+        """WHERE semantics: keep the record only on a strict ``true``."""
+        return is_true(self.evaluate(expression, record))
+
+    # -- leaves ------------------------------------------------------------
+
+    def _literal(self, node, record):
+        return node.value
+
+    def _variable(self, node, record):
+        if node.name not in record:
+            raise CypherSemanticError("variable not in scope: %s" % node.name)
+        return record[node.name]
+
+    def _parameter(self, node, record):
+        if node.name not in self.parameters:
+            raise ParameterNotBound("parameter not bound: $%s" % node.name)
+        return self.parameters[node.name]
+
+    # -- maps, properties -----------------------------------------------------
+
+    def _property_access(self, node, record):
+        subject = self.evaluate(node.subject, record)
+        if subject is None:
+            return None
+        if isinstance(subject, (NodeId, RelId)):
+            return self.graph.property_value(subject, node.key)
+        if isinstance(subject, dict):
+            return subject.get(node.key)
+        component = getattr(subject, "cypher_component", None)
+        if component is not None:  # temporal values expose .year etc.
+            return component(node.key)
+        raise CypherTypeError(
+            "cannot access property %r on %r" % (node.key, subject)
+        )
+
+    def _map_literal(self, node, record):
+        return {key: self.evaluate(value, record) for key, value in node.items}
+
+    # -- lists ------------------------------------------------------------------
+
+    def _list_literal(self, node, record):
+        return [self.evaluate(item, record) for item in node.items]
+
+    def _list_index(self, node, record):
+        subject = self.evaluate(node.subject, record)
+        index = self.evaluate(node.index, record)
+        if subject is None or index is None:
+            return None
+        if isinstance(subject, list):
+            if not isinstance(index, int) or isinstance(index, bool):
+                raise CypherTypeError("list index must be an integer")
+            if -len(subject) <= index < len(subject):
+                return subject[index]
+            return None
+        if isinstance(subject, dict):
+            if not isinstance(index, str):
+                raise CypherTypeError("map lookup key must be a string")
+            return subject.get(index)
+        if isinstance(subject, (NodeId, RelId)):
+            if not isinstance(index, str):
+                raise CypherTypeError("property lookup key must be a string")
+            return self.graph.property_value(subject, index)
+        raise CypherTypeError("%r is not indexable" % (subject,))
+
+    def _list_slice(self, node, record):
+        subject = self.evaluate(node.subject, record)
+        if subject is None:
+            return None
+        if not isinstance(subject, list):
+            raise CypherTypeError("slicing requires a list")
+        start = self.evaluate(node.start, record) if node.start is not None else 0
+        end = self.evaluate(node.end, record) if node.end is not None else len(subject)
+        if start is None or end is None:
+            return None
+        for bound in (start, end):
+            if not isinstance(bound, int) or isinstance(bound, bool):
+                raise CypherTypeError("slice bounds must be integers")
+        return subject[start:end]
+
+    def _in(self, node, record):
+        item = self.evaluate(node.item, record)
+        container = self.evaluate(node.container, record)
+        if container is None:
+            return None
+        if not isinstance(container, list):
+            raise CypherTypeError("IN requires a list, got %r" % (container,))
+        saw_unknown = False
+        for element in container:
+            verdict = equals(item, element)
+            if verdict is True:
+                return True
+            if verdict is None:
+                saw_unknown = True
+        return None if saw_unknown else False
+
+    # -- strings -------------------------------------------------------------------
+
+    def _string_predicate(self, node, record):
+        left = self.evaluate(node.left, record)
+        right = self.evaluate(node.right, record)
+        if not isinstance(left, str) or not isinstance(right, str):
+            return None  # null operands and type mismatches are unknown
+        if node.operator == "STARTS WITH":
+            return left.startswith(right)
+        if node.operator == "ENDS WITH":
+            return left.endswith(right)
+        return right in left  # CONTAINS
+
+    def _regex(self, node, record):
+        subject = self.evaluate(node.subject, record)
+        pattern = self.evaluate(node.pattern, record)
+        if not isinstance(subject, str) or not isinstance(pattern, str):
+            return None
+        return re.fullmatch(pattern, subject) is not None
+
+    # -- logic ---------------------------------------------------------------------
+
+    def _binary_logic(self, node, record):
+        left = _as_ternary(self.evaluate(node.left, record))
+        if node.operator == "AND":
+            if left is False:
+                return False
+            return and3(left, _as_ternary(self.evaluate(node.right, record)))
+        if node.operator == "OR":
+            if left is True:
+                return True
+            return or3(left, _as_ternary(self.evaluate(node.right, record)))
+        return xor3(left, _as_ternary(self.evaluate(node.right, record)))
+
+    def _not(self, node, record):
+        return not3(_as_ternary(self.evaluate(node.operand, record)))
+
+    def _is_null(self, node, record):
+        return self.evaluate(node.operand, record) is None
+
+    def _is_not_null(self, node, record):
+        return self.evaluate(node.operand, record) is not None
+
+    # -- comparisons -----------------------------------------------------------------
+
+    def _comparison(self, node, record):
+        values = [self.evaluate(operand, record) for operand in node.operands]
+        verdict = True
+        for operator, left, right in zip(node.operators, values, values[1:]):
+            verdict = and3(verdict, _compare_once(operator, left, right))
+            if verdict is False:
+                return False
+        return verdict
+
+    # -- arithmetic -------------------------------------------------------------------
+
+    def _arithmetic(self, node, record):
+        left = self.evaluate(node.left, record)
+        right = self.evaluate(node.right, record)
+        return apply_arithmetic(node.operator, left, right)
+
+    def _unary_minus(self, node, record):
+        value = self.evaluate(node.operand, record)
+        if value is None:
+            return None
+        if is_number(value):
+            return -value
+        if hasattr(value, "cypher_negate"):
+            return value.cypher_negate()
+        raise CypherTypeError("cannot negate %r" % (value,))
+
+    def _unary_plus(self, node, record):
+        value = self.evaluate(node.operand, record)
+        if value is None or is_number(value):
+            return value
+        raise CypherTypeError("unary + expects a number")
+
+    # -- functions ----------------------------------------------------------------------
+
+    def _function_call(self, node, record):
+        if node.name in ex.AGGREGATE_FUNCTION_NAMES:
+            raise CypherSemanticError(
+                "aggregate %s() is only allowed in WITH/RETURN" % node.name
+            )
+        args = [self.evaluate(argument, record) for argument in node.args]
+        return self.functions.call(node.name, self.function_context, args)
+
+    def _count_star(self, node, record):
+        raise CypherSemanticError("count(*) is only allowed in WITH/RETURN")
+
+    # -- labels ------------------------------------------------------------------------
+
+    def _label_predicate(self, node, record):
+        subject = self.evaluate(node.subject, record)
+        if subject is None:
+            return None
+        if not isinstance(subject, NodeId):
+            raise CypherTypeError("label predicate expects a node")
+        node_labels = self.graph.labels(subject)
+        return all(label in node_labels for label in node.labels)
+
+    # -- comprehensions and quantifiers ---------------------------------------------------
+
+    def _list_comprehension(self, node, record):
+        source = self.evaluate(node.source, record)
+        if source is None:
+            return None
+        if not isinstance(source, list):
+            raise CypherTypeError("comprehension source must be a list")
+        result = []
+        inner = dict(record)
+        for element in source:
+            inner[node.variable] = element
+            if node.where is not None and not self.evaluate_predicate(
+                node.where, inner
+            ):
+                continue
+            if node.projection is not None:
+                result.append(self.evaluate(node.projection, inner))
+            else:
+                result.append(element)
+        return result
+
+    def _quantified(self, node, record):
+        source = self.evaluate(node.source, record)
+        if source is None:
+            return None
+        if not isinstance(source, list):
+            raise CypherTypeError("quantifier source must be a list")
+        trues = falses = unknowns = 0
+        inner = dict(record)
+        for element in source:
+            inner[node.variable] = element
+            verdict = _as_ternary(self.evaluate(node.predicate, inner))
+            if verdict is True:
+                trues += 1
+            elif verdict is False:
+                falses += 1
+            else:
+                unknowns += 1
+        if node.quantifier == "all":
+            if falses:
+                return False
+            return None if unknowns else True
+        if node.quantifier == "any":
+            if trues:
+                return True
+            return None if unknowns else False
+        if node.quantifier == "none":
+            if trues:
+                return False
+            return None if unknowns else True
+        # single
+        if trues > 1:
+            return False
+        if unknowns:
+            return None
+        return trues == 1
+
+    # -- patterns in expressions ------------------------------------------------------------
+
+    def _pattern_predicate(self, node, record):
+        from repro.semantics.matching import match_pattern_tuple
+
+        matches = match_pattern_tuple(
+            (node.pattern,), self.graph, record, self, self.morphism
+        )
+        return bool(matches)
+
+    def _exists_subquery(self, node, record):
+        from repro.semantics.matching import match_pattern_tuple
+
+        matches = match_pattern_tuple(
+            tuple(node.pattern), self.graph, record, self, self.morphism
+        )
+        if node.where is None:
+            return bool(matches)
+        for bindings in matches:
+            inner = dict(record)
+            inner.update(bindings)
+            if self.evaluate_predicate(node.where, inner):
+                return True
+        return False
+
+    def _pattern_comprehension(self, node, record):
+        from repro.semantics.matching import match_pattern_tuple
+
+        matches = match_pattern_tuple(
+            (node.pattern,), self.graph, record, self, self.morphism
+        )
+        result = []
+        for bindings in matches:
+            inner = dict(record)
+            inner.update(bindings)
+            if node.where is not None and not self.evaluate_predicate(
+                node.where, inner
+            ):
+                continue
+            result.append(self.evaluate(node.projection, inner))
+        return result
+
+    # -- CASE ------------------------------------------------------------------------------
+
+    def _case(self, node, record):
+        if node.operand is not None:
+            operand = self.evaluate(node.operand, record)
+            for when, then in node.alternatives:
+                if equals(operand, self.evaluate(when, record)) is True:
+                    return self.evaluate(then, record)
+        else:
+            for when, then in node.alternatives:
+                if is_true(self.evaluate(when, record)):
+                    return self.evaluate(then, record)
+        if node.default is not None:
+            return self.evaluate(node.default, record)
+        return None
+
+
+def _as_ternary(value):
+    if value is None or isinstance(value, bool):
+        return value
+    raise CypherTypeError("expected a Boolean, got %r" % (value,))
+
+
+def _compare_once(operator, left, right):
+    if operator == "=":
+        return equals(left, right)
+    if operator == "<>":
+        return not_equals(left, right)
+    verdict = compare(left, right)
+    if verdict is None:
+        return None
+    if operator == "<":
+        return verdict < 0
+    if operator == "<=":
+        return verdict <= 0
+    if operator == ">":
+        return verdict > 0
+    return verdict >= 0  # ">="
+
+
+def apply_arithmetic(operator, left, right):
+    """The binary arithmetic kernel, shared with the physical operators."""
+    if left is None or right is None:
+        return None
+    if operator == "+":
+        if is_number(left) and is_number(right):
+            return left + right
+        if isinstance(left, str) and isinstance(right, str):
+            return left + right
+        if isinstance(left, list) and isinstance(right, list):
+            return left + right
+        if isinstance(left, list):
+            return left + [right]
+        if isinstance(right, list):
+            return [left] + right
+        if hasattr(left, "cypher_add"):
+            result = left.cypher_add(right)
+            if result is not NotImplemented:
+                return result
+        if hasattr(right, "cypher_radd"):
+            result = right.cypher_radd(left)
+            if result is not NotImplemented:
+                return result
+        raise CypherTypeError("cannot add %r and %r" % (left, right))
+    if operator == "-":
+        if is_number(left) and is_number(right):
+            return left - right
+        if hasattr(left, "cypher_subtract"):
+            result = left.cypher_subtract(right)
+            if result is not NotImplemented:
+                return result
+        raise CypherTypeError("cannot subtract %r from %r" % (right, left))
+    if not (is_number(left) and is_number(right)):
+        if operator == "*" and (
+            hasattr(left, "cypher_multiply") or hasattr(right, "cypher_multiply")
+        ):
+            owner, factor = (
+                (left, right) if hasattr(left, "cypher_multiply") else (right, left)
+            )
+            result = owner.cypher_multiply(factor)
+            if result is not NotImplemented:
+                return result
+        raise CypherTypeError(
+            "operator %s expects numbers, got %r and %r"
+            % (operator, left, right)
+        )
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            if right == 0:
+                raise CypherRuntimeError("integer division by zero")
+            quotient = abs(left) // abs(right)  # Cypher truncates toward zero
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        if right == 0:
+            return math.inf if left > 0 else (-math.inf if left < 0 else math.nan)
+        return left / right
+    if operator == "%":
+        if right == 0:
+            if isinstance(left, int) and isinstance(right, int):
+                raise CypherRuntimeError("integer modulo by zero")
+            return math.nan
+        result = math.fmod(left, right)  # sign follows the dividend (Java-style)
+        if isinstance(left, int) and isinstance(right, int):
+            return int(result)
+        return result
+    if operator == "^":
+        return float(left) ** float(right)
+    raise CypherTypeError("unknown arithmetic operator %r" % (operator,))
+
+
+_DISPATCH = {
+    ex.Literal: Evaluator._literal,
+    ex.Variable: Evaluator._variable,
+    ex.Parameter: Evaluator._parameter,
+    ex.PropertyAccess: Evaluator._property_access,
+    ex.MapLiteral: Evaluator._map_literal,
+    ex.ListLiteral: Evaluator._list_literal,
+    ex.ListIndex: Evaluator._list_index,
+    ex.ListSlice: Evaluator._list_slice,
+    ex.In: Evaluator._in,
+    ex.StringPredicate: Evaluator._string_predicate,
+    ex.RegexMatch: Evaluator._regex,
+    ex.BinaryLogic: Evaluator._binary_logic,
+    ex.Not: Evaluator._not,
+    ex.IsNull: Evaluator._is_null,
+    ex.IsNotNull: Evaluator._is_not_null,
+    ex.Comparison: Evaluator._comparison,
+    ex.Arithmetic: Evaluator._arithmetic,
+    ex.UnaryMinus: Evaluator._unary_minus,
+    ex.UnaryPlus: Evaluator._unary_plus,
+    ex.FunctionCall: Evaluator._function_call,
+    ex.CountStar: Evaluator._count_star,
+    ex.LabelPredicate: Evaluator._label_predicate,
+    ex.ListComprehension: Evaluator._list_comprehension,
+    ex.PatternComprehension: Evaluator._pattern_comprehension,
+    ex.PatternPredicate: Evaluator._pattern_predicate,
+    ex.QuantifiedPredicate: Evaluator._quantified,
+    ex.CaseExpression: Evaluator._case,
+    ex.ExistsSubquery: Evaluator._exists_subquery,
+}

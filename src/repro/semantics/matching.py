@@ -1,0 +1,418 @@
+"""Pattern matching (paper Section 4.2).
+
+Two entry points:
+
+* :func:`satisfies` — the satisfaction relation ``(p, G, u) ⊨ π``: does a
+  *given* path satisfy a pattern under a *given* assignment?  This is the
+  paper's inductive definition, used directly by the Example 4.2–4.5
+  reproductions.
+
+* :func:`match_pattern_tuple` — the bag ``match(π̄, G, u)`` of Equation (1):
+  all assignments ``u'`` extending ``u`` such that some tuple of paths
+  satisfies some rigid pattern in ``rigid(π̄)``.  Crucially this is a *bag
+  union over (rigid pattern, path) pairs*: the same binding appears once
+  per distinct traversal, which is how Example 4.5 obtains two copies of
+  the same record.  Our enumerator walks the graph one relationship at a
+  time and emits a result at every admissible stop, which is one-to-one
+  with such pairs.
+
+Relationship uniqueness (edge isomorphism) is enforced across the whole
+pattern tuple, as the paper requires ("no relationship id occurs in more
+than one path in p̄"); morphism modes from Section 8 relax this.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ast import patterns as pt
+from repro.ast.patterns import free_variables
+from repro.exceptions import CypherRuntimeError
+from repro.semantics.morphism import EDGE_ISOMORPHISM
+from repro.values.base import NodeId, RelId
+from repro.values.comparison import equals
+from repro.values.path import Path
+
+
+# ---------------------------------------------------------------------------
+# Shared element checks
+# ---------------------------------------------------------------------------
+
+def _node_satisfies(graph, evaluator, base_record, chi, node, bound):
+    """The base case of ⊨: name consistency, L ⊆ λ(n), property tests."""
+    if chi.name is not None and chi.name in bound:
+        if bound[chi.name] != node:
+            return False
+    node_labels = graph.labels(node)
+    for label in chi.labels:
+        if label not in node_labels:
+            return False
+    for key, expression in chi.properties:
+        expected = evaluator.evaluate(expression, base_record)
+        if equals(graph.property_value(node, key), expected) is not True:
+            return False
+    return True
+
+
+def _rel_properties_satisfied(graph, evaluator, base_record, rho, rel):
+    for key, expression in rho.properties:
+        expected = evaluator.evaluate(expression, base_record)
+        if equals(graph.property_value(rel, key), expected) is not True:
+            return False
+    return True
+
+
+def _steps_from(graph, rho, node):
+    """Candidate (relationship, next node) steps respecting d and T."""
+    types = set(rho.types) if rho.types else None
+    if rho.direction == pt.LEFT_TO_RIGHT:
+        for rel in graph.outgoing(node, types):
+            yield rel, graph.tgt(rel)
+    elif rho.direction == pt.RIGHT_TO_LEFT:
+        for rel in graph.incoming(node, types):
+            yield rel, graph.src(rel)
+    else:
+        for rel in graph.touching(node, types):
+            yield rel, graph.other_end(rel, node)
+
+
+def _rel_binding_value(rho, rels):
+    """What a named relationship pattern binds to.
+
+    I = nil binds the single relationship (case a''); any ``*`` form binds
+    the list of traversed relationships (cases a/a'), possibly empty.
+    """
+    if rho.length is None:
+        return rels[0]
+    return list(rels)
+
+
+# ---------------------------------------------------------------------------
+# match(π̄, G, u) — Equation (1)
+# ---------------------------------------------------------------------------
+
+class _MatchContext:
+    __slots__ = ("graph", "evaluator", "base_record", "morphism", "results", "free")
+
+    def __init__(self, graph, evaluator, base_record, morphism, free):
+        self.graph = graph
+        self.evaluator = evaluator
+        self.base_record = base_record
+        self.morphism = morphism
+        self.results = []
+        self.free = free
+
+
+def match_pattern_tuple(
+    patterns, graph, record, evaluator, morphism=EDGE_ISOMORPHISM
+):
+    """The bag of assignments ``u'`` with ``dom(u') = free(π̄) − dom(u)``.
+
+    ``patterns`` is a tuple of :class:`~repro.ast.patterns.PathPattern`;
+    ``record`` is the driving record u.  Returns a list of dicts (a bag:
+    duplicates are meaningful).
+    """
+    if isinstance(patterns, pt.PathPattern):
+        patterns = (patterns,)
+    free = free_variables(patterns)
+    context = _MatchContext(graph, evaluator, dict(record), morphism, free)
+    bound = dict(record)
+    used_rels = set()
+
+    def match_from(pattern_index):
+        if pattern_index == len(patterns):
+            context.results.append(
+                {
+                    name: bound[name]
+                    for name in context.free
+                    if name not in record
+                }
+            )
+            return
+        pattern = patterns[pattern_index]
+        for cleanup in _match_single_path(context, pattern, bound, used_rels):
+            match_from(pattern_index + 1)
+            cleanup()
+
+    match_from(0)
+    return context.results
+
+
+def _match_single_path(context, pattern, bound, used_rels):
+    """Generator yielding once per complete match of one path pattern.
+
+    Each yield delivers a ``cleanup`` callable; ``bound`` and ``used_rels``
+    hold the match's bindings until it is invoked (backtracking style).
+    """
+    graph = context.graph
+    elements = pattern.elements
+    node_patterns = elements[0::2]
+    rel_patterns = elements[1::2]
+
+    first = node_patterns[0]
+    if first.name is not None and first.name in bound:
+        start_value = bound[first.name]
+        candidates = [start_value] if isinstance(start_value, NodeId) else []
+        candidates = [
+            node for node in candidates if graph.has_node(node)
+        ]
+    else:
+        candidates = graph.nodes()
+
+    def segment(seg_index, current, path_nodes, path_rels):
+        """Match segments ρ_i χ_{i+1} onwards, starting at ``current``."""
+        if seg_index == len(rel_patterns):
+            yield from finish(path_nodes, path_rels)
+            return
+        rho = rel_patterns[seg_index]
+        chi_next = node_patterns[seg_index + 1]
+        low, high = rho.resolved_range()
+        if high is None and not context.morphism.forbids_repeated_relationships:
+            cap = context.morphism.max_length
+            if cap is None:
+                raise CypherRuntimeError(
+                    "unbounded variable-length pattern under homomorphism "
+                    "needs Morphism.max_length (the paper's infinite-match "
+                    "example)"
+                )
+            high = cap
+        elif context.morphism.max_length is not None:
+            high = (
+                context.morphism.max_length
+                if high is None
+                else min(high, context.morphism.max_length)
+            )
+
+        def walk(steps_taken, node, seg_rels, seg_nodes):
+            if steps_taken >= low and _node_satisfies(
+                graph, context.evaluator, context.base_record,
+                chi_next, node, bound,
+            ):
+                yield from stop_here(node, seg_rels, seg_nodes)
+            if high is not None and steps_taken >= high:
+                return
+            for rel, next_node in _steps_from(graph, rho, node):
+                if (
+                    context.morphism.forbids_repeated_relationships
+                    and rel in used_rels
+                ):
+                    continue
+                if not _rel_properties_satisfied(
+                    graph, context.evaluator, context.base_record, rho, rel
+                ):
+                    continue
+                if context.morphism.forbids_repeated_nodes and next_node in (
+                    set(path_nodes) | set(seg_nodes)
+                ):
+                    continue
+                used_rels.add(rel)
+                seg_rels.append(rel)
+                seg_nodes.append(next_node)
+                yield from walk(steps_taken + 1, next_node, seg_rels, seg_nodes)
+                seg_nodes.pop()
+                seg_rels.pop()
+                used_rels.discard(rel)
+
+        def stop_here(node, seg_rels, seg_nodes):
+            # Bind the relationship name, if any, then bind χ_{i+1}'s name,
+            # then continue with the next segment.
+            undo = []
+            if rho.name is not None:
+                value = _rel_binding_value(rho, seg_rels)
+                if rho.name in bound:
+                    existing = bound[rho.name]
+                    if not _binding_matches(existing, value):
+                        return
+                else:
+                    bound[rho.name] = value
+                    undo.append(rho.name)
+            if chi_next.name is not None and chi_next.name not in bound:
+                bound[chi_next.name] = node
+                undo.append(chi_next.name)
+            try:
+                yield from segment(
+                    seg_index + 1,
+                    node,
+                    path_nodes + list(seg_nodes),
+                    path_rels + list(seg_rels),
+                )
+            finally:
+                for name in undo:
+                    del bound[name]
+
+        yield from walk(0, current, [], [])
+
+    def finish(path_nodes, path_rels):
+        undo = []
+        if pattern.name is not None:
+            path_value = Path(tuple(path_nodes), tuple(path_rels))
+            if pattern.name in bound:
+                if bound[pattern.name] != path_value:
+                    return
+            else:
+                bound[pattern.name] = path_value
+                undo.append(pattern.name)
+
+        def cleanup():
+            for name in undo:
+                del bound[name]
+
+        yield cleanup
+
+    for start in candidates:
+        if not _node_satisfies(
+            graph, context.evaluator, context.base_record, first, start, bound
+        ):
+            continue
+        undo_start = []
+        if first.name is not None and first.name not in bound:
+            bound[first.name] = start
+            undo_start.append(first.name)
+        for cleanup in segment(0, start, [start], []):
+            yield cleanup
+        for name in undo_start:
+            del bound[name]
+
+
+def _binding_matches(existing, value):
+    if isinstance(existing, RelId) or isinstance(value, RelId):
+        return existing == value
+    if isinstance(existing, list) and isinstance(value, list):
+        return existing == value
+    return existing == value
+
+
+# ---------------------------------------------------------------------------
+# (p, G, u) ⊨ π — the satisfaction relation, checked directly
+# ---------------------------------------------------------------------------
+
+def satisfies(path, graph, assignment, pattern, evaluator=None):
+    """Check ``(p, G, u) ⊨ π`` for a concrete path and full assignment.
+
+    Implements the paper's inductive definition, including the
+    precondition that all relationships in ``p`` are distinct, and the
+    variable-length case via "some rigid pattern subsumed by π fits some
+    split of p".
+    """
+    if evaluator is None:
+        from repro.semantics.expressions import Evaluator
+
+        evaluator = Evaluator(graph)
+    if not path.has_distinct_relationships():
+        return False
+    if pattern.name is not None:
+        if assignment.get(pattern.name) != path:
+            return False
+    base = dict(assignment)
+    return _satisfies_from(
+        graph, evaluator, base, pattern.elements, path, 0, assignment
+    )
+
+
+def _satisfies_from(graph, evaluator, base, elements, path, position, assignment):
+    """Does the pattern suffix ``elements`` fit ``path`` from ``position``?"""
+    chi = elements[0]
+    node = path.nodes[position]
+    if not _node_satisfies_assigned(graph, evaluator, base, chi, node, assignment):
+        return False
+    if len(elements) == 1:
+        return position == len(path.relationships)
+    rho, rest = elements[1], elements[2:]
+    low, high = rho.resolved_range()
+    remaining = len(path.relationships) - position
+    max_take = remaining if high is None else min(high, remaining)
+    for take in range(low, max_take + 1):
+        if not _segment_ok(graph, evaluator, base, rho, path, position, take, assignment):
+            continue
+        if _satisfies_from(
+            graph, evaluator, base, rest, path, position + take, assignment
+        ):
+            return True
+    return False
+
+
+def _node_satisfies_assigned(graph, evaluator, base, chi, node, assignment):
+    if chi.name is not None:
+        if chi.name not in assignment or assignment[chi.name] != node:
+            return False
+    node_labels = graph.labels(node)
+    for label in chi.labels:
+        if label not in node_labels:
+            return False
+    for key, expression in chi.properties:
+        expected = evaluator.evaluate(expression, base)
+        if equals(graph.property_value(node, key), expected) is not True:
+            return False
+    return True
+
+
+def _segment_ok(graph, evaluator, base, rho, path, position, take, assignment):
+    rels = path.relationships[position:position + take]
+    # name binding: a'' (single rel) when I = nil, a/a' (list) otherwise
+    if rho.name is not None:
+        if rho.name not in assignment:
+            return False
+        bound_value = assignment[rho.name]
+        if rho.length is None:
+            if take != 1 or bound_value != rels[0]:
+                return False
+        else:
+            if not isinstance(bound_value, list) or list(rels) != bound_value:
+                return False
+    for offset, rel in enumerate(rels):
+        if rho.types and graph.rel_type(rel) not in rho.types:
+            return False
+        if not _rel_properties_satisfied(graph, evaluator, base, rho, rel):
+            return False
+        here = path.nodes[position + offset]
+        there = path.nodes[position + offset + 1]
+        endpoints = (graph.src(rel), graph.tgt(rel))
+        if rho.direction == pt.LEFT_TO_RIGHT:
+            allowed = {(here, there)}
+        elif rho.direction == pt.RIGHT_TO_LEFT:
+            allowed = {(there, here)}
+        else:
+            allowed = {(here, there), (there, here)}
+        if endpoints not in allowed:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# rigid(π) — enumerated up to a length bound (it is infinite in general)
+# ---------------------------------------------------------------------------
+
+def rigid_extensions(pattern, max_steps):
+    """Enumerate the rigid patterns subsumed by ``pattern``.
+
+    Every variable-length relationship pattern ρ with range [m, n] is
+    replaced by rigid versions (m', m') for each m' in the range, capped
+    at ``max_steps``.  Example 4.4's rigid(π) = {π1, π2, π3, π4} is this
+    with max_steps=2.
+    """
+    choices = []
+    for rho in pattern.relationship_patterns:
+        low, high = rho.resolved_range()
+        top = max_steps if high is None else min(high, max_steps)
+        options = []
+        for exact in range(low, top + 1):
+            if rho.length is None:
+                options.append(rho)  # already rigid with I = nil
+                break
+            options.append(
+                pt.RelationshipPattern(
+                    direction=rho.direction,
+                    name=rho.name,
+                    types=rho.types,
+                    properties=rho.properties,
+                    length=(exact, exact),
+                )
+            )
+        choices.append(options)
+    results = []
+    for combo in itertools.product(*choices):
+        elements = list(pattern.elements)
+        for index, rho in enumerate(combo):
+            elements[2 * index + 1] = rho
+        results.append(pt.PathPattern(tuple(elements), name=pattern.name))
+    return results

@@ -1,0 +1,51 @@
+"""Pattern-matching morphism modes (paper Sections 4.2 and 8).
+
+Cypher 9 "matches patterns using relationship (edge) isomorphism": no
+relationship id is bound twice within one MATCH, which is what keeps
+variable-length matching finite (the paper's one-node/one-loop example).
+Section 8 envisions letting the query writer pick homomorphism or node
+isomorphism instead; we implement all three.
+
+Under homomorphism an unbounded variable-length pattern can match
+infinitely many paths, so a traversal-length cap must be supplied —
+exactly the problem the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+EDGE = "edge-isomorphism"
+NODE = "node-isomorphism"
+HOMOMORPHISM_MODE = "homomorphism"
+
+
+@dataclass(frozen=True)
+class Morphism:
+    """How matches may reuse graph elements.
+
+    ``max_length`` caps the number of relationships any one variable-length
+    traversal may take; it is mandatory for unbounded patterns under
+    homomorphism and ignored-if-None otherwise.
+    """
+
+    mode: str = EDGE
+    max_length: Optional[int] = None
+
+    def __post_init__(self):
+        if self.mode not in (EDGE, NODE, HOMOMORPHISM_MODE):
+            raise ValueError("unknown morphism mode %r" % (self.mode,))
+
+    @property
+    def forbids_repeated_relationships(self):
+        return self.mode in (EDGE, NODE)
+
+    @property
+    def forbids_repeated_nodes(self):
+        return self.mode == NODE
+
+
+EDGE_ISOMORPHISM = Morphism(EDGE)
+NODE_ISOMORPHISM = Morphism(NODE)
+HOMOMORPHISM = Morphism(HOMOMORPHISM_MODE, max_length=16)

@@ -1,0 +1,151 @@
+"""Tables as bags of records (paper Section 4.1, "Tables").
+
+A *record* is a partial function from names to values — here a plain dict
+(the :class:`Record` alias), never mutated once added to a table.  A
+*table with fields A* is a bag (multiset) of records whose domain is A; we
+store the bag as a list, so ⊎ is concatenation and multiplicity is
+positional.  ``ε(T)`` (duplicate elimination) and bag equality use the
+canonical value keys from :mod:`repro.values.ordering`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.values.ordering import canonical_key
+
+Record = dict  # a record is a dict from names to values
+
+
+class Table:
+    """A bag of uniform records, with its field set made explicit."""
+
+    __slots__ = ("fields", "rows")
+
+    def __init__(self, fields=(), rows=None):
+        self.fields = tuple(fields)
+        self.rows = list(rows) if rows is not None else []
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def unit(cls):
+        """T(): the table containing the single empty record ().
+
+        "The evaluation of a query starts with the table containing one
+        empty tuple."
+        """
+        return cls((), [{}])
+
+    @classmethod
+    def from_records(cls, records, fields=None):
+        records = list(records)
+        if fields is None:
+            fields = tuple(records[0].keys()) if records else ()
+        return cls(fields, records)
+
+    # -- bag algebra -----------------------------------------------------------
+
+    def bag_union(self, other):
+        """⊎: bag union — multiplicities add."""
+        if set(self.fields) != set(other.fields):
+            raise ValueError(
+                "bag union requires uniform fields: %r vs %r"
+                % (self.fields, other.fields)
+            )
+        return Table(self.fields, self.rows + other.rows)
+
+    def deduplicate(self):
+        """ε(T): each record kept exactly once."""
+        seen = set()
+        rows = []
+        for row in self.rows:
+            key = self._row_key(row)
+            if key not in seen:
+                seen.add(key)
+                rows.append(row)
+        return Table(self.fields, rows)
+
+    def _row_key(self, row):
+        return tuple(canonical_key(row.get(field)) for field in self.fields)
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __bool__(self):
+        return bool(self.rows)
+
+    def multiplicity(self, row):
+        """How many times a record occurs in the bag."""
+        target = self._row_key(row)
+        return sum(1 for candidate in self.rows if self._row_key(candidate) == target)
+
+    def column(self, field):
+        """All values of one field, in row order."""
+        return [row.get(field) for row in self.rows]
+
+    def same_bag(self, other):
+        """Bag equality: same fields (as sets) and same multiplicities."""
+        if set(self.fields) != set(other.fields):
+            return False
+        ours = Counter(self._row_key(row) for row in self.rows)
+        shared_fields = self.fields
+        theirs = Counter(
+            tuple(canonical_key(row.get(field)) for field in shared_fields)
+            for row in other.rows
+        )
+        return ours == theirs
+
+    def to_records(self):
+        """Copy out the rows as plain dicts (row order preserved)."""
+        return [dict(row) for row in self.rows]
+
+    def __repr__(self):
+        return "Table(fields={}, rows={})".format(list(self.fields), len(self.rows))
+
+    def pretty(self, limit=20):
+        """A fixed-width rendering for examples and benchmark output."""
+        headers = list(self.fields)
+        body = [
+            ["null" if row.get(field) is None else _render(row.get(field)) for field in headers]
+            for row in self.rows[:limit]
+        ]
+        widths = [
+            max([len(header)] + [len(line[index]) for line in body] or [0])
+            for index, header in enumerate(headers)
+        ]
+        lines = [
+            " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+        ]
+        lines.append("-+-".join("-" * width for width in widths))
+        for line in body:
+            lines.append(
+                " | ".join(cell.ljust(width) for cell, width in zip(line, widths))
+            )
+        if len(self.rows) > limit:
+            lines.append("... (%d more rows)" % (len(self.rows) - limit))
+        return "\n".join(lines)
+
+
+def _render(value):
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, list):
+        return "[" + ", ".join(_render(item) for item in value) + "]"
+    if isinstance(value, dict):
+        return (
+            "{"
+            + ", ".join(
+                "{}: {}".format(key, _render(item))
+                for key, item in sorted(value.items())
+            )
+            + "}"
+        )
+    return str(value)

@@ -1,0 +1,13 @@
+"""A mini-Gherkin scenario framework (the openCypher TCK, in miniature).
+
+The openCypher project publishes a Technology Compatibility Kit "designed
+using a language neutral framework (Cucumber)" (paper Section 5).  This
+package implements the same Given / When / Then scenario shape over this
+engine, with expected results written as pipe-tables, and ships scenario
+suites covering the language core.  Every scenario is executed on *both*
+execution paths (reference interpreter and planner) where possible.
+"""
+
+from repro.tck.runner import Feature, Scenario, TckRunner, parse_feature
+
+__all__ = ["TckRunner", "parse_feature", "Feature", "Scenario"]

@@ -1,0 +1,307 @@
+"""Parser and executor for the mini-Gherkin TCK dialect.
+
+Supported steps::
+
+    Scenario: <name>
+      Given an empty graph
+      And having executed:
+        '''
+        CREATE (:A {x: 1})
+        '''
+      And parameters:
+        | name | 42 |
+      When executing query:
+        '''
+        MATCH (a:A) RETURN a.x AS x
+        '''
+      Then the result should be, in any order:
+        | x |
+        | 1 |
+      Then the result should be, in order: ...
+      Then the result should be empty
+      Then a SyntaxError should be raised
+      Then a TypeError should be raised
+      Then a SemanticError should be raised
+
+(The real TCK uses triple double-quotes; both quote styles are accepted.)
+Expected cell values use Cypher literal syntax, plus node descriptors
+``(:Label {k: v})`` and relationship descriptors ``[:TYPE {k: v}]`` that
+compare structurally against the matched entities.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.exceptions import (
+    CypherError,
+    CypherRuntimeError,
+    CypherSemanticError,
+    CypherSyntaxError,
+    CypherTypeError,
+)
+from repro.graph.store import MemoryGraph
+from repro.parser import parse_expression
+from repro.runtime.engine import CypherEngine
+from repro.semantics.expressions import Evaluator
+from repro.values.base import NodeId, RelId
+from repro.values.comparison import equals
+from repro.values.ordering import canonical_key
+
+_ERROR_CLASSES = {
+    "SyntaxError": CypherSyntaxError,
+    "TypeError": CypherTypeError,
+    "SemanticError": CypherSemanticError,
+    "RuntimeError": CypherRuntimeError,
+    "Error": CypherError,
+}
+
+
+@dataclass
+class Scenario:
+    name: str
+    setup_queries: List[str] = field(default_factory=list)
+    parameters: dict = field(default_factory=dict)
+    query: Optional[str] = None
+    expected_rows: Optional[List[List[str]]] = None  # raw cell text
+    expected_columns: Optional[List[str]] = None
+    ordered: bool = False
+    expect_empty: bool = False
+    expected_error: Optional[str] = None
+
+
+@dataclass
+class Feature:
+    name: str
+    scenarios: List[Scenario] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+def parse_feature(text):
+    """Parse a feature document into a Feature with its scenarios."""
+    lines = text.splitlines()
+    feature = Feature(name="")
+    scenario = None
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        index += 1
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("Feature:"):
+            feature.name = line[len("Feature:"):].strip()
+        elif line.startswith("Scenario:"):
+            scenario = Scenario(name=line[len("Scenario:"):].strip())
+            feature.scenarios.append(scenario)
+        elif scenario is None:
+            continue
+        elif line.startswith("Given an empty graph"):
+            pass  # graphs always start empty here
+        elif re.match(r"(And|Given) having executed:", line):
+            block, index = _read_block(lines, index)
+            scenario.setup_queries.append(block)
+        elif re.match(r"(And|Given) parameters:", line):
+            rows, index = _read_table(lines, index)
+            for row in rows:
+                if len(row) != 2:
+                    raise ValueError("parameter rows need 2 cells: %r" % row)
+                scenario.parameters[row[0]] = _parse_cell_value(row[1], None, None)
+        elif line.startswith("When executing query:"):
+            block, index = _read_block(lines, index)
+            scenario.query = block
+        elif re.match(r"Then the result should be, in any order:", line):
+            table, index = _read_table(lines, index)
+            scenario.expected_columns = table[0]
+            scenario.expected_rows = table[1:]
+            scenario.ordered = False
+        elif re.match(r"Then the result should be, in order:", line):
+            table, index = _read_table(lines, index)
+            scenario.expected_columns = table[0]
+            scenario.expected_rows = table[1:]
+            scenario.ordered = True
+        elif line.startswith("Then the result should be empty"):
+            scenario.expect_empty = True
+        elif match := re.match(r"Then an? (\w+) should be raised", line):
+            scenario.expected_error = match.group(1)
+        elif line.startswith("And no side effects"):
+            pass  # informational in this dialect
+        else:
+            raise ValueError("unrecognized TCK step: %r" % line)
+    return feature
+
+
+def _read_block(lines, index):
+    """Read a triple-quoted block ('''...''' or \"\"\"...\"\"\")."""
+    while index < len(lines) and not lines[index].strip():
+        index += 1
+    opener = lines[index].strip()
+    if opener not in ("'''", '"""'):
+        raise ValueError("expected a triple-quoted block, got %r" % opener)
+    index += 1
+    collected = []
+    while index < len(lines) and lines[index].strip() != opener:
+        collected.append(lines[index])
+        index += 1
+    if index == len(lines):
+        raise ValueError("unterminated block")
+    return "\n".join(collected).strip(), index + 1
+
+
+def _read_table(lines, index):
+    rows = []
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if not stripped.startswith("|"):
+            break
+        cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+        rows.append(cells)
+        index += 1
+    if not rows:
+        raise ValueError("expected a pipe-table")
+    return rows, index
+
+
+# ---------------------------------------------------------------------------
+# Expected-value comparison
+# ---------------------------------------------------------------------------
+
+_NODE_DESCRIPTOR = re.compile(r"^\((?P<labels>(?::\w+)*)\s*(?P<map>\{.*\})?\)$")
+_REL_DESCRIPTOR = re.compile(r"^\[:(?P<type>\w+)\s*(?P<map>\{.*\})?\]$")
+
+
+def _parse_cell_value(cell, graph, evaluator):
+    """Parse a cell as a Cypher literal (graph descriptors handled apart)."""
+    expression = parse_expression(cell)
+    scratch = evaluator or Evaluator(MemoryGraph())
+    return scratch.evaluate(expression, {})
+
+
+def _cell_matches(cell, actual, graph, evaluator):
+    node_match = _NODE_DESCRIPTOR.match(cell)
+    if node_match and cell != "()":
+        if not isinstance(actual, NodeId):
+            return False
+        labels = set(
+            label for label in node_match.group("labels").split(":") if label
+        )
+        if labels != set(graph.labels(actual)):
+            return False
+        return _map_matches(node_match.group("map"), actual, graph, evaluator)
+    rel_match = _REL_DESCRIPTOR.match(cell)
+    if rel_match:
+        if not isinstance(actual, RelId):
+            return False
+        if graph.rel_type(actual) != rel_match.group("type"):
+            return False
+        return _map_matches(rel_match.group("map"), actual, graph, evaluator)
+    expected = _parse_cell_value(cell, graph, evaluator)
+    if expected is None:
+        return actual is None
+    return equals(expected, actual) is True
+
+
+def _map_matches(map_text, entity, graph, evaluator):
+    if not map_text:
+        return not graph.properties(entity)
+    expression = parse_expression(map_text)
+    expected = evaluator.evaluate(expression, {})
+    actual = graph.properties(entity)
+    return equals(expected, actual) is True
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+class TckRunner:
+    """Executes parsed scenarios and raises AssertionError on mismatch."""
+
+    def __init__(self, modes=("interpreter", "auto")):
+        self.modes = modes
+
+    def run_feature(self, text):
+        feature = parse_feature(text)
+        for scenario in feature.scenarios:
+            self.run_scenario(scenario)
+        return feature
+
+    def run_scenario(self, scenario):
+        for mode in self.modes:
+            self._run_in_mode(scenario, mode)
+
+    def _run_in_mode(self, scenario, mode):
+        graph = MemoryGraph()
+        engine = CypherEngine(graph, mode="interpreter")
+        for setup in scenario.setup_queries:
+            engine.run(setup)
+        engine.mode = mode
+        label = "%s [%s]" % (scenario.name, mode)
+        if scenario.expected_error is not None:
+            error_class = _ERROR_CLASSES[scenario.expected_error]
+            try:
+                engine.run(scenario.query, parameters=scenario.parameters)
+            except error_class:
+                return
+            except CypherError as error:
+                raise AssertionError(
+                    "%s: expected %s, got %r"
+                    % (label, scenario.expected_error, error)
+                )
+            raise AssertionError(
+                "%s: expected %s, none raised" % (label, scenario.expected_error)
+            )
+        result = engine.run(scenario.query, parameters=scenario.parameters)
+        if scenario.expect_empty:
+            assert len(result) == 0, (
+                "%s: expected empty result, got %d rows" % (label, len(result))
+            )
+            return
+        if scenario.expected_rows is None:
+            return  # execution-only scenario
+        assert list(result.columns) == scenario.expected_columns, (
+            "%s: columns %r != expected %r"
+            % (label, result.columns, scenario.expected_columns)
+        )
+        evaluator = Evaluator(graph)
+        actual_rows = [
+            [record[column] for column in scenario.expected_columns]
+            for record in result.records
+        ]
+        expected = list(scenario.expected_rows)
+        if scenario.ordered:
+            assert len(actual_rows) == len(expected), (
+                "%s: %d rows != expected %d"
+                % (label, len(actual_rows), len(expected))
+            )
+            for row_index, (actual, cells) in enumerate(zip(actual_rows, expected)):
+                for actual_value, cell in zip(actual, cells):
+                    assert _cell_matches(cell, actual_value, graph, evaluator), (
+                        "%s: row %d: %r does not match %r"
+                        % (label, row_index, actual_value, cell)
+                    )
+            return
+        # any order: greedy bipartite matching (rows are few in scenarios)
+        remaining = list(range(len(actual_rows)))
+        for cells in expected:
+            found = None
+            for candidate in remaining:
+                if all(
+                    _cell_matches(cell, value, graph, evaluator)
+                    for cell, value in zip(cells, actual_rows[candidate])
+                ):
+                    found = candidate
+                    break
+            assert found is not None, (
+                "%s: no actual row matches expected %r (unmatched: %r)"
+                % (label, cells, [actual_rows[i] for i in remaining])
+            )
+            remaining.remove(found)
+        assert not remaining, (
+            "%s: %d unexpected extra rows: %r"
+            % (label, len(remaining), [actual_rows[i] for i in remaining])
+        )

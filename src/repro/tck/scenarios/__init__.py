@@ -1,0 +1,36 @@
+"""Scenario suites for the mini-TCK.
+
+Each module exposes a ``FEATURE`` string in the dialect of
+:mod:`repro.tck.runner`; ``ALL_FEATURES`` collects them for the test
+suite, which runs every scenario on both execution paths.
+"""
+
+from repro.tck.scenarios import (
+    aggregation,
+    expressions,
+    lists,
+    match_basic,
+    named_paths,
+    optional_match,
+    string_functions,
+    temporal,
+    union_unwind,
+    updates,
+    varlength,
+)
+
+ALL_FEATURES = {
+    "match_basic": match_basic.FEATURE,
+    "optional_match": optional_match.FEATURE,
+    "aggregation": aggregation.FEATURE,
+    "expressions": expressions.FEATURE,
+    "lists": lists.FEATURE,
+    "varlength": varlength.FEATURE,
+    "union_unwind": union_unwind.FEATURE,
+    "updates": updates.FEATURE,
+    "named_paths": named_paths.FEATURE,
+    "string_functions": string_functions.FEATURE,
+    "temporal": temporal.FEATURE,
+}
+
+__all__ = ["ALL_FEATURES"]

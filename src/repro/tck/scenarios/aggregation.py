@@ -1,0 +1,180 @@
+"""TCK suite: WITH/RETURN aggregation (implicit grouping keys)."""
+
+FEATURE = '''
+Feature: Aggregation
+
+  Scenario: count skips nulls, count(*) does not
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 2}), ()
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN count(n.v) AS values, count(*) AS rows
+      """
+    Then the result should be, in any order:
+      | values | rows |
+      | 2      | 3    |
+
+  Scenario: Non-aggregating items are the implicit grouping key
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({g: 'a', v: 1}), ({g: 'a', v: 2}), ({g: 'b', v: 10})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.g AS g, sum(n.v) AS total
+      """
+    Then the result should be, in any order:
+      | g   | total |
+      | 'a' | 3     |
+      | 'b' | 10    |
+
+  Scenario: count DISTINCT
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 1}), ({v: 2})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN count(DISTINCT n.v) AS distinct_values
+      """
+    Then the result should be, in any order:
+      | distinct_values |
+      | 2               |
+
+  Scenario: collect gathers non-null values
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 2}), ()
+      """
+    When executing query:
+      """
+      MATCH (n) WITH n.v AS v ORDER BY v RETURN collect(v) AS vs
+      """
+    Then the result should be, in any order:
+      | vs     |
+      | [1, 2] |
+
+  Scenario: min and max
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 5}), ({v: 1}), ({v: 3})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN min(n.v) AS lo, max(n.v) AS hi
+      """
+    Then the result should be, in any order:
+      | lo | hi |
+      | 1  | 5  |
+
+  Scenario: avg over a group
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 2}), ({v: 4})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN avg(n.v) AS mean
+      """
+    Then the result should be, in any order:
+      | mean |
+      | 3.0  |
+
+  Scenario: Global aggregation over no rows yields one row
+    Given an empty graph
+    When executing query:
+      """
+      MATCH (n) RETURN count(n) AS c, sum(n.v) AS s, collect(n) AS l, max(n.v) AS m
+      """
+    Then the result should be, in any order:
+      | c | s | l  | m    |
+      | 0 | 0 | [] | null |
+
+  Scenario: Grouped aggregation over no rows yields no rows
+    Given an empty graph
+    When executing query:
+      """
+      MATCH (n) RETURN n.g AS g, count(*) AS c
+      """
+    Then the result should be empty
+
+  Scenario: Aggregation inside WITH drives the rest of the query
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({g: 'a'}), ({g: 'a'}), ({g: 'b'})
+      """
+    When executing query:
+      """
+      MATCH (n) WITH n.g AS g, count(*) AS c WHERE c > 1 RETURN g
+      """
+    Then the result should be, in any order:
+      | g   |
+      | 'a' |
+
+  Scenario: Aggregate expression arithmetic
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 2}), ({v: 3})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN sum(n.v) + count(*) AS combined
+      """
+    Then the result should be, in any order:
+      | combined |
+      | 9        |
+
+  Scenario: Nested aggregation is an error
+    Given an empty graph
+    When executing query:
+      """
+      MATCH (n) RETURN sum(count(n)) AS bad
+      """
+    Then a SemanticError should be raised
+
+  Scenario: Aggregates are not allowed in WHERE
+    Given an empty graph
+    When executing query:
+      """
+      MATCH (n) WHERE count(n) > 0 RETURN n
+      """
+    Then a SemanticError should be raised
+
+  Scenario: stdev of a constant sample is zero
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 4}), ({v: 4}), ({v: 4})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN stdev(n.v) AS dev
+      """
+    Then the result should be, in any order:
+      | dev |
+      | 0.0 |
+
+  Scenario: percentileDisc picks an actual sample value
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 10}), ({v: 20}), ({v: 30})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN percentileDisc(n.v, 0.5) AS median
+      """
+    Then the result should be, in any order:
+      | median |
+      | 20.0   |
+'''

@@ -1,0 +1,260 @@
+"""TCK suite: expression semantics (3-valued logic, CASE, strings)."""
+
+FEATURE = '''
+Feature: Expressions
+
+  Scenario: Three-valued AND
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (true AND null) AS a, (false AND null) AS b, (null AND null) AS c
+      """
+    Then the result should be, in any order:
+      | a    | b     | c    |
+      | null | false | null |
+
+  Scenario: Three-valued OR
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (true OR null) AS a, (false OR null) AS b
+      """
+    Then the result should be, in any order:
+      | a    | b    |
+      | true | null |
+
+  Scenario: XOR and NOT with null
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (true XOR false) AS a, (true XOR null) AS b, (NOT null) AS c
+      """
+    Then the result should be, in any order:
+      | a    | b    | c    |
+      | true | null | null |
+
+  Scenario: Equality with null is unknown
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (null = null) AS a, (1 = null) AS b, (1 <> null) AS c
+      """
+    Then the result should be, in any order:
+      | a    | b    | c    |
+      | null | null | null |
+
+  Scenario: IS NULL and IS NOT NULL
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (null IS NULL) AS a, (1 IS NULL) AS b, (1 IS NOT NULL) AS c
+      """
+    Then the result should be, in any order:
+      | a    | b     | c    |
+      | true | false | true |
+
+  Scenario: Comparison chaining is conjunctive
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (1 < 2 < 3) AS a, (1 < 3 < 2) AS b
+      """
+    Then the result should be, in any order:
+      | a    | b     |
+      | true | false |
+
+  Scenario: Mixed-type equality is false, ordering unknown
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (1 = 'a') AS eq, (1 < 'a') AS lt
+      """
+    Then the result should be, in any order:
+      | eq    | lt   |
+      | false | null |
+
+  Scenario: Integer and float compare numerically
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (1 = 1.0) AS eq, (1 < 1.5) AS lt
+      """
+    Then the result should be, in any order:
+      | eq   | lt   |
+      | true | true |
+
+  Scenario: Arithmetic operators
+    Given an empty graph
+    When executing query:
+      """
+      RETURN 7 + 3 AS add, 7 - 3 AS sub, 7 * 3 AS mul, 7 / 3 AS div, 7 % 3 AS mod, 2 ^ 3 AS pow
+      """
+    Then the result should be, in any order:
+      | add | sub | mul | div | mod | pow |
+      | 10  | 4   | 21  | 2   | 1   | 8.0 |
+
+  Scenario: Integer division truncates toward zero
+    Given an empty graph
+    When executing query:
+      """
+      RETURN -7 / 2 AS a, 7 / -2 AS b, -7 % 2 AS c
+      """
+    Then the result should be, in any order:
+      | a  | b  | c  |
+      | -3 | -3 | -1 |
+
+  Scenario: Division by zero is an error for integers
+    Given an empty graph
+    When executing query:
+      """
+      RETURN 1 / 0 AS boom
+      """
+    Then a RuntimeError should be raised
+
+  Scenario: String predicates
+    Given an empty graph
+    When executing query:
+      """
+      RETURN 'hello' STARTS WITH 'he' AS a,
+             'hello' ENDS WITH 'lo' AS b,
+             'hello' CONTAINS 'ell' AS c,
+             'hello' CONTAINS 'xyz' AS d
+      """
+    Then the result should be, in any order:
+      | a    | b    | c    | d     |
+      | true | true | true | false |
+
+  Scenario: String predicate on null is unknown
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (null STARTS WITH 'a') AS a, ('abc' CONTAINS null) AS b
+      """
+    Then the result should be, in any order:
+      | a    | b    |
+      | null | null |
+
+  Scenario: Regular expression match
+    Given an empty graph
+    When executing query:
+      """
+      RETURN ('timothy' =~ 't.*y') AS a, ('timothy' =~ 'T.*y') AS b
+      """
+    Then the result should be, in any order:
+      | a    | b     |
+      | true | false |
+
+  Scenario: Searched CASE
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 5}), ({v: 15})
+      """
+    When executing query:
+      """
+      MATCH (n)
+      RETURN n.v AS v, CASE WHEN n.v < 10 THEN 'small' ELSE 'big' END AS size
+      """
+    Then the result should be, in any order:
+      | v  | size    |
+      | 5  | 'small' |
+      | 15 | 'big'   |
+
+  Scenario: Simple CASE with default
+    Given an empty graph
+    When executing query:
+      """
+      RETURN CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END AS w
+      """
+    Then the result should be, in any order:
+      | w     |
+      | 'two' |
+
+  Scenario: Property access on null is null
+    Given an empty graph
+    When executing query:
+      """
+      RETURN null.foo AS a
+      """
+    Then the result should be, in any order:
+      | a    |
+      | null |
+
+  Scenario: Missing property is null (ι is a partial function)
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({present: 1})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.absent AS a, exists(n.present) AS b, exists(n.absent) AS c
+      """
+    Then the result should be, in any order:
+      | a    | b    | c     |
+      | null | true | false |
+
+  Scenario: coalesce returns the first non-null
+    Given an empty graph
+    When executing query:
+      """
+      RETURN coalesce(null, null, 3, 4) AS c
+      """
+    Then the result should be, in any order:
+      | c |
+      | 3 |
+
+  Scenario: Map literals and nested access
+    Given an empty graph
+    When executing query:
+      """
+      RETURN {a: 1, b: {c: 'x'}}.b.c AS v
+      """
+    Then the result should be, in any order:
+      | v   |
+      | 'x' |
+
+  Scenario: Parameters substitute values
+    Given an empty graph
+    And parameters:
+      | threshold | 2 |
+    When executing query:
+      """
+      UNWIND [1, 2, 3, 4] AS x WITH x WHERE x > $threshold RETURN x
+      """
+    Then the result should be, in any order:
+      | x |
+      | 3 |
+      | 4 |
+
+  Scenario: Unbound parameter is an error
+    Given an empty graph
+    When executing query:
+      """
+      RETURN $missing AS m
+      """
+    Then a RuntimeError should be raised
+
+  Scenario: Quantified predicates
+    Given an empty graph
+    When executing query:
+      """
+      RETURN all(x IN [1, 2, 3] WHERE x > 0) AS a,
+             any(x IN [1, 2, 3] WHERE x > 2) AS b,
+             none(x IN [1, 2, 3] WHERE x > 3) AS c,
+             single(x IN [1, 2, 3] WHERE x = 2) AS d
+      """
+    Then the result should be, in any order:
+      | a    | b    | c    | d    |
+      | true | true | true | true |
+
+  Scenario: toString, toInteger, toFloat
+    Given an empty graph
+    When executing query:
+      """
+      RETURN toString(42) AS s, toInteger('7') AS i, toFloat('2.5') AS f
+      """
+    Then the result should be, in any order:
+      | s    | i | f   |
+      | '42' | 7 | 2.5 |
+'''

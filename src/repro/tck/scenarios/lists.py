@@ -1,0 +1,147 @@
+"""TCK suite: lists, slicing and comprehensions (paper Section 2,
+"powerful features such as list slicing and list comprehensions")."""
+
+FEATURE = '''
+Feature: Lists
+
+  Scenario: List literals and indexing
+    Given an empty graph
+    When executing query:
+      """
+      RETURN [1, 2, 3][0] AS first, [1, 2, 3][-1] AS last, [1, 2, 3][9] AS out
+      """
+    Then the result should be, in any order:
+      | first | last | out  |
+      | 1     | 3    | null |
+
+  Scenario: List slicing
+    Given an empty graph
+    When executing query:
+      """
+      WITH [0, 1, 2, 3, 4] AS l
+      RETURN l[1..3] AS mid, l[..2] AS head, l[3..] AS tail
+      """
+    Then the result should be, in any order:
+      | mid    | head   | tail   |
+      | [1, 2] | [0, 1] | [3, 4] |
+
+  Scenario: IN over lists with null semantics
+    Given an empty graph
+    When executing query:
+      """
+      RETURN 2 IN [1, 2] AS a, 3 IN [1, 2] AS b,
+             3 IN [1, null] AS c, null IN [] AS d, null IN [1] AS e
+      """
+    Then the result should be, in any order:
+      | a    | b     | c    | d     | e    |
+      | true | false | null | false | null |
+
+  Scenario: List comprehension with filter and projection
+    Given an empty graph
+    When executing query:
+      """
+      RETURN [x IN [1, 2, 3, 4] WHERE x % 2 = 0 | x * 10] AS evens
+      """
+    Then the result should be, in any order:
+      | evens    |
+      | [20, 40] |
+
+  Scenario: List comprehension without projection
+    Given an empty graph
+    When executing query:
+      """
+      RETURN [x IN [1, 2, 3] WHERE x > 1] AS xs
+      """
+    Then the result should be, in any order:
+      | xs     |
+      | [2, 3] |
+
+  Scenario: range() is inclusive
+    Given an empty graph
+    When executing query:
+      """
+      RETURN range(1, 4) AS up, range(6, 0, -2) AS down
+      """
+    Then the result should be, in any order:
+      | up           | down         |
+      | [1, 2, 3, 4] | [6, 4, 2, 0] |
+
+  Scenario: size, head, last, tail
+    Given an empty graph
+    When executing query:
+      """
+      WITH [10, 20, 30] AS l
+      RETURN size(l) AS n, head(l) AS h, last(l) AS t, tail(l) AS rest
+      """
+    Then the result should be, in any order:
+      | n | h  | t  | rest     |
+      | 3 | 10 | 30 | [20, 30] |
+
+  Scenario: head of empty list is null
+    Given an empty graph
+    When executing query:
+      """
+      RETURN head([]) AS h, last([]) AS l, size([]) AS n
+      """
+    Then the result should be, in any order:
+      | h    | l    | n |
+      | null | null | 0 |
+
+  Scenario: List concatenation with +
+    Given an empty graph
+    When executing query:
+      """
+      RETURN [1, 2] + [3] AS a, [1] + 2 AS b
+      """
+    Then the result should be, in any order:
+      | a         | b      |
+      | [1, 2, 3] | [1, 2] |
+
+  Scenario: Lists compare lexicographically
+    Given an empty graph
+    When executing query:
+      """
+      RETURN [1, 2] = [1, 2] AS eq, [1, 2] < [1, 3] AS lt, [1] < [1, 0] AS prefix
+      """
+    Then the result should be, in any order:
+      | eq   | lt   | prefix |
+      | true | true | true   |
+
+  Scenario: Pattern comprehension collects per match
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Person {name: 'Ann'}),
+             (a)-[:KNOWS]->(:Person {name: 'Bob', age: 25}),
+             (a)-[:KNOWS]->(:Person {name: 'Cid', age: 35})
+      """
+    When executing query:
+      """
+      MATCH (p:Person {name: 'Ann'})
+      WITH [(p)-[:KNOWS]->(f) WHERE f.age > 30 | f.name] AS names
+      RETURN names
+      """
+    Then the result should be, in any order:
+      | names   |
+      | ['Cid'] |
+
+  Scenario: UNWIND a literal list
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [1, 2, 3] AS x RETURN x
+      """
+    Then the result should be, in order:
+      | x |
+      | 1 |
+      | 2 |
+      | 3 |
+
+  Scenario: UNWIND an empty list produces no rows
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [] AS x RETURN x
+      """
+    Then the result should be empty
+'''

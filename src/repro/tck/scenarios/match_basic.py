@@ -1,0 +1,215 @@
+"""TCK suite: basic MATCH semantics."""
+
+FEATURE = '''
+Feature: MATCH basics
+
+  Scenario: Match all nodes
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:A), (:B), ()
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN count(*) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 3 |
+
+  Scenario: Match by label
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann'}), (:Person {name: 'Bob'}), (:Animal {name: 'Rex'})
+      """
+    When executing query:
+      """
+      MATCH (p:Person) RETURN p.name AS name
+      """
+    Then the result should be, in any order:
+      | name  |
+      | 'Ann' |
+      | 'Bob' |
+
+  Scenario: Match by property map in pattern
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann', age: 30}), (:Person {name: 'Bob', age: 40})
+      """
+    When executing query:
+      """
+      MATCH (p:Person {age: 40}) RETURN p.name AS name
+      """
+    Then the result should be, in any order:
+      | name  |
+      | 'Bob' |
+
+  Scenario: Directed relationship match
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Person {name: 'Ann'})-[:KNOWS]->(b:Person {name: 'Bob'})
+      """
+    When executing query:
+      """
+      MATCH (a)-[:KNOWS]->(b) RETURN a.name AS a, b.name AS b
+      """
+    Then the result should be, in any order:
+      | a     | b     |
+      | 'Ann' | 'Bob' |
+
+  Scenario: Reversed arrow matches the same relationship
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Person {name: 'Ann'})-[:KNOWS]->(b:Person {name: 'Bob'})
+      """
+    When executing query:
+      """
+      MATCH (b)<-[:KNOWS]-(a) RETURN a.name AS a, b.name AS b
+      """
+    Then the result should be, in any order:
+      | a     | b     |
+      | 'Ann' | 'Bob' |
+
+  Scenario: Undirected match returns both orientations
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Person {name: 'Ann'})-[:KNOWS]->(b:Person {name: 'Bob'})
+      """
+    When executing query:
+      """
+      MATCH (x)-[:KNOWS]-(y) RETURN x.name AS x, y.name AS y
+      """
+    Then the result should be, in any order:
+      | x     | y     |
+      | 'Ann' | 'Bob' |
+      | 'Bob' | 'Ann' |
+
+  Scenario: Relationship type alternatives
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {name: 'a'}), (b {name: 'b'}), (c {name: 'c'}),
+             (a)-[:LIKES]->(b), (a)-[:HATES]->(c), (a)-[:IGNORES]->(c)
+      """
+    When executing query:
+      """
+      MATCH ({name: 'a'})-[r:LIKES|HATES]->(t) RETURN type(r) AS t
+      """
+    Then the result should be, in any order:
+      | t       |
+      | 'LIKES' |
+      | 'HATES' |
+
+  Scenario: Edge isomorphism forbids reusing a relationship in one MATCH
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a)-[:R]->(b)
+      """
+    When executing query:
+      """
+      MATCH (a)-[r1:R]->(b), (c)-[r2:R]->(d) RETURN count(*) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 0 |
+
+  Scenario: Relationships may repeat across separate MATCH clauses
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a)-[:R]->(b)
+      """
+    When executing query:
+      """
+      MATCH (a)-[r1:R]->() MATCH (c)-[r2:R]->() RETURN count(*) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 1 |
+
+  Scenario: MATCH with WHERE on properties
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann', age: 30}), (:Person {name: 'Bob', age: 40})
+      """
+    When executing query:
+      """
+      MATCH (p:Person) WHERE p.age > 35 RETURN p.name AS name
+      """
+    Then the result should be, in any order:
+      | name  |
+      | 'Bob' |
+
+  Scenario: WHERE with label predicate expression
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:SSN {v: 1}), (:PhoneNumber {v: 2}), (:Email {v: 3})
+      """
+    When executing query:
+      """
+      MATCH (p) WHERE p:SSN OR p:PhoneNumber RETURN p.v AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 1 |
+      | 2 |
+
+  Scenario: Disconnected patterns produce a cartesian product
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:A {v: 1}), (:A {v: 2}), (:B {v: 3})
+      """
+    When executing query:
+      """
+      MATCH (a:A), (b:B) RETURN a.v AS a, b.v AS b
+      """
+    Then the result should be, in any order:
+      | a | b |
+      | 1 | 3 |
+      | 2 | 3 |
+
+  Scenario: Matching a bound node again keeps bindings consistent
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:A)-[:R]->(b:B), (a)-[:R]->(c:C)
+      """
+    When executing query:
+      """
+      MATCH (a:A)-[:R]->(b:B) MATCH (a)-[:R]->(c:C) RETURN count(*) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 1 |
+
+  Scenario: Self-loop matches a directed cycle pattern
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {name: 'loop'}), (a)-[:R]->(a)
+      """
+    When executing query:
+      """
+      MATCH (x)-[:R]->(x) RETURN x.name AS name
+      """
+    Then the result should be, in any order:
+      | name   |
+      | 'loop' |
+
+  Scenario: Unknown variable in RETURN is an error
+    Given an empty graph
+    When executing query:
+      """
+      MATCH (a) RETURN b
+      """
+    Then a SemanticError should be raised
+'''

@@ -1,0 +1,126 @@
+"""TCK suite: named paths and path functions (paths are values, §2/§4.1)."""
+
+FEATURE = '''
+Feature: Named paths
+
+  Scenario: A named path binds a path value
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1})-[:R]->({v: 2})
+      """
+    When executing query:
+      """
+      MATCH p = ({v: 1})-[:R]->({v: 2}) RETURN length(p) AS len
+      """
+    Then the result should be, in any order:
+      | len |
+      | 1   |
+
+  Scenario: nodes() and relationships() decompose a path
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1})-[:R {w: 5}]->({v: 2})-[:R {w: 6}]->({v: 3})
+      """
+    When executing query:
+      """
+      MATCH p = ({v: 1})-[:R*2]->({v: 3})
+      RETURN size(nodes(p)) AS n, size(relationships(p)) AS r,
+             [x IN nodes(p) | x.v] AS vs,
+             [x IN relationships(p) | x.w] AS ws
+      """
+    Then the result should be, in any order:
+      | n | r | vs        | ws     |
+      | 3 | 2 | [1, 2, 3] | [5, 6] |
+
+  Scenario: Zero-length path over a single node
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1})
+      """
+    When executing query:
+      """
+      MATCH p = (n {v: 1}) RETURN length(p) AS len, size(nodes(p)) AS n
+      """
+    Then the result should be, in any order:
+      | len | n |
+      | 0   | 1 |
+
+  Scenario: One row per path, not per binding
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2}), (a)-[:R]->(c {v: 3})
+      """
+    When executing query:
+      """
+      MATCH p = ({v: 1})-[:R]->() RETURN count(p) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 2 |
+
+  Scenario: Paths can be collected and ordered by length
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2})-[:R]->(c {v: 3})
+      """
+    When executing query:
+      """
+      MATCH p = ({v: 1})-[:R*1..2]->()
+      RETURN length(p) AS len ORDER BY len
+      """
+    Then the result should be, in order:
+      | len |
+      | 1   |
+      | 2   |
+
+  Scenario: Path equality compares the traversal
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2})
+      """
+    When executing query:
+      """
+      MATCH p1 = ({v: 1})-[:R]->()
+      MATCH p2 = ()-[:R]->({v: 2})
+      RETURN p1 = p2 AS same
+      """
+    Then the result should be, in any order:
+      | same |
+      | true |
+
+  Scenario: One relationship cannot serve two paths of the same MATCH
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2})
+      """
+    When executing query:
+      """
+      MATCH p1 = ({v: 1})-[:R]->(), p2 = ()-[:R]->({v: 2})
+      RETURN count(*) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 0 |
+
+  Scenario: Undirected match binds the path in traversal order
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2})
+      """
+    When executing query:
+      """
+      MATCH p = ({v: 2})-[:R]-({v: 1})
+      RETURN [x IN nodes(p) | x.v] AS vs
+      """
+    Then the result should be, in any order:
+      | vs     |
+      | [2, 1] |
+'''

@@ -1,0 +1,108 @@
+"""TCK suite: OPTIONAL MATCH (the paper's outer-join analogue)."""
+
+FEATURE = '''
+Feature: OPTIONAL MATCH
+
+  Scenario: Missing match pads with null
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann'})
+      """
+    When executing query:
+      """
+      MATCH (p:Person) OPTIONAL MATCH (p)-[:KNOWS]->(f) RETURN p.name AS p, f
+      """
+    Then the result should be, in any order:
+      | p     | f    |
+      | 'Ann' | null |
+
+  Scenario: Found matches expand normally
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Person {name: 'Ann'})-[:KNOWS]->(:Person {name: 'Bob'}),
+             (a)-[:KNOWS]->(:Person {name: 'Cid'})
+      """
+    When executing query:
+      """
+      MATCH (p:Person {name: 'Ann'})
+      OPTIONAL MATCH (p)-[:KNOWS]->(f)
+      RETURN f.name AS friend
+      """
+    Then the result should be, in any order:
+      | friend |
+      | 'Bob'  |
+      | 'Cid'  |
+
+  Scenario: Per-row padding (the Figure 2a table shape)
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (n1:Researcher {name: 'Nils'}),
+             (n6:Researcher {name: 'Elin'}),
+             (n10:Researcher {name: 'Thor'}),
+             (n7:Student {name: 'Sten'}), (n8:Student {name: 'Linda'}),
+             (n6)-[:SUPERVISES]->(n7), (n6)-[:SUPERVISES]->(n8),
+             (n10)-[:SUPERVISES]->(n7)
+      """
+    When executing query:
+      """
+      MATCH (r:Researcher)
+      OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+      RETURN r.name AS r, s.name AS s
+      """
+    Then the result should be, in any order:
+      | r      | s       |
+      | 'Nils' | null    |
+      | 'Elin' | 'Sten'  |
+      | 'Elin' | 'Linda' |
+      | 'Thor' | 'Sten'  |
+
+  Scenario: WHERE belongs to the OPTIONAL MATCH, not a post-filter
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Person {name: 'Ann', age: 30})-[:KNOWS]->(:Person {name: 'Bob', age: 10})
+      """
+    When executing query:
+      """
+      MATCH (p:Person {name: 'Ann'})
+      OPTIONAL MATCH (p)-[:KNOWS]->(f) WHERE f.age > 20
+      RETURN p.name AS p, f
+      """
+    Then the result should be, in any order:
+      | p     | f    |
+      | 'Ann' | null |
+
+  Scenario: Null binding flows through later expressions
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann'})
+      """
+    When executing query:
+      """
+      MATCH (p:Person) OPTIONAL MATCH (p)-[:KNOWS]->(f)
+      RETURN p.name AS p, f.name AS fname, f IS NULL AS missing
+      """
+    Then the result should be, in any order:
+      | p     | fname | missing |
+      | 'Ann' | null  | true    |
+
+  Scenario: OPTIONAL MATCH keeps every driving row
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:A {v: 1}), (:A {v: 2}), (:A {v: 3})-[:R]->(:B {w: 9})
+      """
+    When executing query:
+      """
+      MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(b:B) RETURN a.v AS v, b.w AS w
+      """
+    Then the result should be, in any order:
+      | v | w    |
+      | 1 | null |
+      | 2 | null |
+      | 3 | 9    |
+'''

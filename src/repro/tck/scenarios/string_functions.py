@@ -1,0 +1,104 @@
+"""TCK suite: string functions and null propagation through F."""
+
+FEATURE = '''
+Feature: String functions
+
+  Scenario: Case conversion and trimming
+    Given an empty graph
+    When executing query:
+      """
+      RETURN toUpper('abc') AS up, toLower('ABC') AS low,
+             trim('  x ') AS t, ltrim('  x') AS l, rtrim('x  ') AS r
+      """
+    Then the result should be, in any order:
+      | up    | low   | t   | l   | r   |
+      | 'ABC' | 'abc' | 'x' | 'x' | 'x' |
+
+  Scenario: replace and split
+    Given an empty graph
+    When executing query:
+      """
+      RETURN replace('banana', 'na', '*') AS r, split('a,b,c', ',') AS s
+      """
+    Then the result should be, in any order:
+      | r      | s               |
+      | 'ba**' | ['a', 'b', 'c'] |
+
+  Scenario: substring, left, right
+    Given an empty graph
+    When executing query:
+      """
+      RETURN substring('hello', 1, 3) AS mid, left('hello', 2) AS l,
+             right('hello', 2) AS r
+      """
+    Then the result should be, in any order:
+      | mid   | l    | r    |
+      | 'ell' | 'he' | 'lo' |
+
+  Scenario: reverse works on strings and lists
+    Given an empty graph
+    When executing query:
+      """
+      RETURN reverse('abc') AS s, reverse([1, 2, 3]) AS l
+      """
+    Then the result should be, in any order:
+      | s     | l         |
+      | 'cba' | [3, 2, 1] |
+
+  Scenario: String functions propagate null
+    Given an empty graph
+    When executing query:
+      """
+      RETURN toUpper(null) AS a, replace('x', null, 'y') AS b,
+             split(null, ',') AS c, substring(null, 1) AS d
+      """
+    Then the result should be, in any order:
+      | a    | b    | c    | d    |
+      | null | null | null | null |
+
+  Scenario: String concatenation with +
+    Given an empty graph
+    When executing query:
+      """
+      RETURN 'ab' + 'cd' AS joined, 'x' + null AS gone
+      """
+    Then the result should be, in any order:
+      | joined | gone |
+      | 'abcd' | null |
+
+  Scenario: size() of a string counts characters
+    Given an empty graph
+    When executing query:
+      """
+      RETURN size('hello') AS n, size('') AS zero
+      """
+    Then the result should be, in any order:
+      | n | zero |
+      | 5 | 0    |
+
+  Scenario: Strings are ordered lexicographically in ORDER BY
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({s: 'pear'}), ({s: 'apple'}), ({s: 'plum'})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.s AS s ORDER BY s
+      """
+    Then the result should be, in order:
+      | s       |
+      | 'apple' |
+      | 'pear'  |
+      | 'plum'  |
+
+  Scenario: toString round-trips numbers and booleans
+    Given an empty graph
+    When executing query:
+      """
+      RETURN toString(42) AS i, toString(2.5) AS f, toString(false) AS b
+      """
+    Then the result should be, in any order:
+      | i    | f     | b       |
+      | '42' | '2.5' | 'false' |
+'''

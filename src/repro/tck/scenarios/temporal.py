@@ -1,0 +1,121 @@
+"""TCK suite: Cypher 10 temporal types (paper Section 6)."""
+
+FEATURE = '''
+Feature: Temporal types
+
+  Scenario: Date construction and components
+    Given an empty graph
+    When executing query:
+      """
+      WITH date('2018-06-10') AS d
+      RETURN d.year AS y, d.month AS m, d.day AS day
+      """
+    Then the result should be, in any order:
+      | y    | m | day |
+      | 2018 | 6 | 10  |
+
+  Scenario: Dates compare chronologically
+    Given an empty graph
+    When executing query:
+      """
+      RETURN date('2018-01-01') < date('2018-06-10') AS before,
+             date('2018-06-10') = date('2018-06-10') AS same
+      """
+    Then the result should be, in any order:
+      | before | same |
+      | true   | true |
+
+  Scenario: Date plus duration with month clamping
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (date('2018-01-31') + duration('P1M')).day AS clamped
+      """
+    Then the result should be, in any order:
+      | clamped |
+      | 28      |
+
+  Scenario: DateTime offsets normalize for comparison
+    Given an empty graph
+    When executing query:
+      """
+      RETURN datetime('2018-06-10T12:00:00Z') =
+             datetime('2018-06-10T14:00:00+02:00') AS same_instant
+      """
+    Then the result should be, in any order:
+      | same_instant |
+      | true         |
+
+  Scenario: LocalTime arithmetic wraps midnight
+    Given an empty graph
+    When executing query:
+      """
+      RETURN (localtime('23:30:00') + duration('PT2H')).hour AS h
+      """
+    Then the result should be, in any order:
+      | h |
+      | 1 |
+
+  Scenario: Durations from component maps
+    Given an empty graph
+    When executing query:
+      """
+      WITH duration({hours: 1, minutes: 30}) AS d
+      RETURN d.minutes AS total_minutes
+      """
+    Then the result should be, in any order:
+      | total_minutes |
+      | 90            |
+
+  Scenario: Duration multiplication
+    Given an empty graph
+    When executing query:
+      """
+      WITH duration('P1D') * 3 AS d RETURN d.days AS days
+      """
+    Then the result should be, in any order:
+      | days |
+      | 3    |
+
+  Scenario: Temporal values stored as properties
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Event {on: date('2018-06-10')}),
+             (:Event {on: date('2018-06-12')})
+      """
+    When executing query:
+      """
+      MATCH (e:Event) WHERE e.on > date('2018-06-11')
+      RETURN e.on.day AS day
+      """
+    Then the result should be, in any order:
+      | day |
+      | 12  |
+
+  Scenario: Temporal values group and order
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({d: date('2018-01-02')}), ({d: date('2018-01-01')}),
+             ({d: date('2018-01-02')})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.d.day AS day, count(*) AS c ORDER BY day
+      """
+    Then the result should be, in order:
+      | day | c |
+      | 1   | 1 |
+      | 2   | 2 |
+
+  Scenario: Mixed temporal types are not equal
+    Given an empty graph
+    When executing query:
+      """
+      RETURN date('2018-06-10') = localdatetime('2018-06-10T00:00:00') AS eq
+      """
+    Then the result should be, in any order:
+      | eq    |
+      | false |
+'''

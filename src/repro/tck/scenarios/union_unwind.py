@@ -1,0 +1,200 @@
+"""TCK suite: UNION, UNWIND, WITH pipelines, ORDER BY / SKIP / LIMIT."""
+
+FEATURE = '''
+Feature: Query composition
+
+  Scenario: UNION eliminates duplicates
+    Given an empty graph
+    When executing query:
+      """
+      RETURN 1 AS x UNION RETURN 1 AS x
+      """
+    Then the result should be, in any order:
+      | x |
+      | 1 |
+
+  Scenario: UNION ALL keeps duplicates
+    Given an empty graph
+    When executing query:
+      """
+      RETURN 1 AS x UNION ALL RETURN 1 AS x
+      """
+    Then the result should be, in any order:
+      | x |
+      | 1 |
+      | 1 |
+
+  Scenario: UNION with different columns is an error
+    Given an empty graph
+    When executing query:
+      """
+      RETURN 1 AS x UNION RETURN 1 AS y
+      """
+    Then a SemanticError should be raised
+
+  Scenario: WITH renames and filters
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 2}), ({v: 3})
+      """
+    When executing query:
+      """
+      MATCH (n) WITH n.v AS value WHERE value >= 2 RETURN value
+      """
+    Then the result should be, in any order:
+      | value |
+      | 2     |
+      | 3     |
+
+  Scenario: Variables not projected by WITH go out of scope
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1})
+      """
+    When executing query:
+      """
+      MATCH (n) WITH n.v AS value RETURN n
+      """
+    Then a SemanticError should be raised
+
+  Scenario: ORDER BY ascending and descending
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 2}), ({v: 1}), ({v: 3})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.v AS v ORDER BY v DESC
+      """
+    Then the result should be, in order:
+      | v |
+      | 3 |
+      | 2 |
+      | 1 |
+
+  Scenario: null sorts last ascending
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 2}), (), ({v: 1})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.v AS v ORDER BY v
+      """
+    Then the result should be, in order:
+      | v    |
+      | 1    |
+      | 2    |
+      | null |
+
+  Scenario: SKIP and LIMIT page through ordered results
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 2}), ({v: 3}), ({v: 4})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.v AS v ORDER BY v SKIP 1 LIMIT 2
+      """
+    Then the result should be, in order:
+      | v |
+      | 2 |
+      | 3 |
+
+  Scenario: ORDER BY may use a pre-projection variable
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 2, w: 30}), ({v: 1, w: 10}), ({v: 3, w: 20})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.v AS v ORDER BY n.w
+      """
+    Then the result should be, in order:
+      | v |
+      | 1 |
+      | 3 |
+      | 2 |
+
+  Scenario: DISTINCT projection
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 1}), ({v: 2})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN DISTINCT n.v AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 1 |
+      | 2 |
+
+  Scenario: UNWIND then aggregate
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [1, 2, 3, 4] AS x RETURN sum(x) AS total
+      """
+    Then the result should be, in any order:
+      | total |
+      | 10    |
+
+  Scenario: UNWIND of a non-list yields the value itself (Figure 7)
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND 42 AS x RETURN x
+      """
+    Then the result should be, in any order:
+      | x  |
+      | 42 |
+
+  Scenario: Chained UNWINDs multiply rows
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [1, 2] AS x UNWIND ['a', 'b'] AS y RETURN x, y
+      """
+    Then the result should be, in any order:
+      | x | y   |
+      | 1 | 'a' |
+      | 1 | 'b' |
+      | 2 | 'a' |
+      | 2 | 'b' |
+
+  Scenario: RETURN * projects all fields
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 7})
+      """
+    When executing query:
+      """
+      MATCH (n) WITH n.v AS v, n.v * 2 AS w RETURN *
+      """
+    Then the result should be, in any order:
+      | v | w  |
+      | 7 | 14 |
+
+  Scenario: WITH DISTINCT collapses before the next clause
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({g: 'a'}), ({g: 'a'}), ({g: 'b'})
+      """
+    When executing query:
+      """
+      MATCH (n) WITH DISTINCT n.g AS g RETURN count(*) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 2 |
+'''

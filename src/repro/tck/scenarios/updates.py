@@ -1,0 +1,279 @@
+"""TCK suite: update clauses (CREATE / DELETE / SET / REMOVE / MERGE)."""
+
+FEATURE = '''
+Feature: Updates
+
+  Scenario: CREATE then MATCH round-trips
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann'})-[:KNOWS {since: 1999}]->(:Person {name: 'Bob'})
+      """
+    When executing query:
+      """
+      MATCH (a)-[r:KNOWS]->(b) RETURN a.name AS a, r.since AS since, b.name AS b
+      """
+    Then the result should be, in any order:
+      | a     | since | b     |
+      | 'Ann' | 1999  | 'Bob' |
+
+  Scenario: CREATE once per driving row
+    Given an empty graph
+    And having executed:
+      """
+      UNWIND [1, 2, 3] AS i CREATE ({v: i})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN count(*) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 3 |
+
+  Scenario: CREATE reuses bound endpoints
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann'}), (:Person {name: 'Bob'})
+      """
+    And having executed:
+      """
+      MATCH (a:Person {name: 'Ann'}), (b:Person {name: 'Bob'})
+      CREATE (a)-[:KNOWS]->(b)
+      """
+    When executing query:
+      """
+      MATCH (:Person)-[r:KNOWS]->(:Person) RETURN count(r) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 1 |
+
+  Scenario: SET a property and read it back
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann'})
+      """
+    And having executed:
+      """
+      MATCH (p:Person) SET p.age = 30
+      """
+    When executing query:
+      """
+      MATCH (p:Person) RETURN p.age AS age
+      """
+    Then the result should be, in any order:
+      | age |
+      | 30  |
+
+  Scenario: SET to null removes the property
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1})
+      """
+    And having executed:
+      """
+      MATCH (n) SET n.v = null
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN exists(n.v) AS has
+      """
+    Then the result should be, in any order:
+      | has   |
+      | false |
+
+  Scenario: SET += merges property maps
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({a: 1, b: 2})
+      """
+    And having executed:
+      """
+      MATCH (n) SET n += {b: 20, c: 30}
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.a AS a, n.b AS b, n.c AS c
+      """
+    Then the result should be, in any order:
+      | a | b  | c  |
+      | 1 | 20 | 30 |
+
+  Scenario: SET = replaces the whole property map
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({a: 1, b: 2})
+      """
+    And having executed:
+      """
+      MATCH (n) SET n = {c: 3}
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.a AS a, n.c AS c
+      """
+    Then the result should be, in any order:
+      | a    | c |
+      | null | 3 |
+
+  Scenario: SET adds labels
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann'})
+      """
+    And having executed:
+      """
+      MATCH (p:Person) SET p:Employee:Manager
+      """
+    When executing query:
+      """
+      MATCH (p:Manager) RETURN p.name AS name
+      """
+    Then the result should be, in any order:
+      | name  |
+      | 'Ann' |
+
+  Scenario: REMOVE drops properties and labels
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person:Temp {name: 'Ann', scratch: 1})
+      """
+    And having executed:
+      """
+      MATCH (p:Person) REMOVE p.scratch, p:Temp
+      """
+    When executing query:
+      """
+      MATCH (p:Person) RETURN exists(p.scratch) AS has, labels(p) AS labels
+      """
+    Then the result should be, in any order:
+      | has   | labels     |
+      | false | ['Person'] |
+
+  Scenario: DELETE a node with relationships is an error
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a)-[:R]->(b)
+      """
+    When executing query:
+      """
+      MATCH (n) DELETE n
+      """
+    Then a RuntimeError should be raised
+
+  Scenario: DETACH DELETE removes the node and its relationships
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {keep: false})-[:R]->(b {keep: true})
+      """
+    And having executed:
+      """
+      MATCH (n {keep: false}) DETACH DELETE n
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN count(*) AS nodes
+      """
+    Then the result should be, in any order:
+      | nodes |
+      | 1     |
+
+  Scenario: MERGE creates when no match exists
+    Given an empty graph
+    And having executed:
+      """
+      MERGE (p:Person {name: 'Ann'})
+      """
+    When executing query:
+      """
+      MATCH (p:Person) RETURN p.name AS name
+      """
+    Then the result should be, in any order:
+      | name  |
+      | 'Ann' |
+
+  Scenario: MERGE matches instead of duplicating
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann'})
+      """
+    And having executed:
+      """
+      MERGE (p:Person {name: 'Ann'})
+      """
+    When executing query:
+      """
+      MATCH (p:Person) RETURN count(*) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 1 |
+
+  Scenario: MERGE ON CREATE and ON MATCH set different properties
+    Given an empty graph
+    And having executed:
+      """
+      MERGE (p:Person {name: 'Ann'}) ON CREATE SET p.created = true ON MATCH SET p.matched = true
+      """
+    And having executed:
+      """
+      MERGE (p:Person {name: 'Ann'}) ON CREATE SET p.created2 = true ON MATCH SET p.matched = true
+      """
+    When executing query:
+      """
+      MATCH (p:Person)
+      RETURN p.created AS created, p.matched AS matched, exists(p.created2) AS second_create
+      """
+    Then the result should be, in any order:
+      | created | matched | second_create |
+      | true    | true    | false         |
+
+  Scenario: MERGE a relationship between bound nodes
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Ann'}), (:Person {name: 'Bob'})
+      """
+    And having executed:
+      """
+      MATCH (a:Person {name: 'Ann'}), (b:Person {name: 'Bob'}) MERGE (a)-[:KNOWS]->(b)
+      """
+    And having executed:
+      """
+      MATCH (a:Person {name: 'Ann'}), (b:Person {name: 'Bob'}) MERGE (a)-[:KNOWS]->(b)
+      """
+    When executing query:
+      """
+      MATCH (:Person)-[r:KNOWS]->(:Person) RETURN count(r) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 1 |
+
+  Scenario: CREATE with variable-length pattern is an error
+    Given an empty graph
+    When executing query:
+      """
+      CREATE (a)-[:R*2]->(b)
+      """
+    Then a SemanticError should be raised
+
+  Scenario: CREATE with undirected relationship is an error
+    Given an empty graph
+    When executing query:
+      """
+      CREATE (a)-[:R]-(b)
+      """
+    Then a SemanticError should be raised
+'''

@@ -1,0 +1,161 @@
+"""TCK suite: variable-length patterns (paper Section 4.2)."""
+
+FEATURE = '''
+Feature: Variable-length patterns
+
+  Scenario: Star with bounds matches each admissible length
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2})-[:R]->(c {v: 3})-[:R]->(d {v: 4})
+      """
+    When executing query:
+      """
+      MATCH ({v: 1})-[:R*1..2]->(x) RETURN x.v AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 2 |
+      | 3 |
+
+  Scenario: Exact length star
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2})-[:R]->(c {v: 3})
+      """
+    When executing query:
+      """
+      MATCH ({v: 1})-[:R*2]->(x) RETURN x.v AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 3 |
+
+  Scenario: Zero length allowed with *0..
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2})
+      """
+    When executing query:
+      """
+      MATCH ({v: 1})-[:R*0..1]->(x) RETURN x.v AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 1 |
+      | 2 |
+
+  Scenario: The paper's self-loop example returns exactly two matches
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (n {name: 'only'}), (n)-[:R]->(n)
+      """
+    When executing query:
+      """
+      MATCH (x)-[*0..]->(x) RETURN count(*) AS matches
+      """
+    Then the result should be, in any order:
+      | matches |
+      | 2       |
+
+  Scenario: Variable-length relationship binds a list of relationships
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1})-[:R {w: 10}]->({v: 2})-[:R {w: 20}]->({v: 3})
+      """
+    When executing query:
+      """
+      MATCH ({v: 1})-[rs:R*2]->({v: 3})
+      RETURN size(rs) AS n, [r IN rs | r.w] AS weights
+      """
+    Then the result should be, in any order:
+      | n | weights  |
+      | 2 | [10, 20] |
+
+  Scenario: Example 4.5 duplicate — one binding, two rigid decompositions
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (n1:Teacher {id: 1}), (n2:Student {id: 2}),
+             (n3:Teacher {id: 3}), (n4:Teacher {id: 4}),
+             (n1)-[:KNOWS]->(n2), (n2)-[:KNOWS]->(n3), (n3)-[:KNOWS]->(n4)
+      """
+    When executing query:
+      """
+      MATCH (x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher)
+      WHERE x.id = 1 AND y.id = 4
+      RETURN count(*) AS multiplicity
+      """
+    Then the result should be, in any order:
+      | multiplicity |
+      | 2            |
+
+  Scenario: Unbounded star terminates thanks to edge isomorphism
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2}), (b)-[:R]->(a)
+      """
+    When executing query:
+      """
+      MATCH ({v: 1})-[:R*]->(x) RETURN x.v AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 2 |
+      | 1 |
+
+  Scenario: Undirected variable-length walks both ways
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R]->(b {v: 2}), (c {v: 3})-[:R]->(b)
+      """
+    When executing query:
+      """
+      MATCH ({v: 1})-[:R*2]-(x) RETURN x.v AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 3 |
+
+  Scenario: Variable-length with property filter on every step
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {v: 1})-[:R {ok: true}]->(b {v: 2})-[:R {ok: false}]->(c {v: 3}),
+             (b)-[:R {ok: true}]->(d {v: 4})
+      """
+    When executing query:
+      """
+      MATCH ({v: 1})-[:R* {ok: true}]->(x) RETURN x.v AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 2 |
+      | 4 |
+
+  Scenario: The Example 4.6 MATCH table
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (n1:Teacher {id: 1}), (n2:Student {id: 2}),
+             (n3:Teacher {id: 3}), (n4:Teacher {id: 4}),
+             (n1)-[:KNOWS]->(n2), (n2)-[:KNOWS]->(n3), (n3)-[:KNOWS]->(n4)
+      """
+    When executing query:
+      """
+      MATCH (x)-[:KNOWS*]->(y) WHERE x.id = 1 OR x.id = 3
+      RETURN x.id AS x, y.id AS y
+      """
+    Then the result should be, in any order:
+      | x | y |
+      | 1 | 2 |
+      | 1 | 3 |
+      | 1 | 4 |
+      | 3 | 4 |
+'''

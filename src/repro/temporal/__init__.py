@@ -1,0 +1,20 @@
+"""Cypher 10 temporal types (paper Section 6, "Temporal types").
+
+The proposal the paper cites (CIP2015-08-06 date-time) specifies five
+temporal instant types — DateTime, LocalDateTime, Date, Time, LocalTime —
+and a Duration type.  These plug into the value universe V through the
+small duck-typed protocol the rest of the engine understands
+(``cypher_type_name``, ``cypher_order_key``, ``cypher_component``,
+``cypher_equals`` / ``cypher_compare``, and the arithmetic hooks).
+"""
+
+from repro.temporal.types import (
+    Date,
+    DateTime,
+    Duration,
+    LocalDateTime,
+    LocalTime,
+    Time,
+)
+
+__all__ = ["Date", "Time", "LocalTime", "DateTime", "LocalDateTime", "Duration"]

@@ -1,0 +1,672 @@
+"""Implementations of the six temporal types of the Cypher 10 CIP.
+
+Instants are stored on top of :mod:`datetime` with nanosecond extensions
+where the CIP requires them; Duration is the CIP's four-component
+(months, days, seconds, nanoseconds) value, which deliberately does *not*
+normalize months into days (a month is not a fixed number of days).
+
+Supported arithmetic (via the engine's ``cypher_add`` etc. hooks):
+
+* instant + duration, instant - duration (both orders for +);
+* duration + duration, duration - duration, duration * number;
+* comparisons within each instant type; durations compare by their
+  canonical (months, days, seconds, nanoseconds) tuple.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+
+from repro.exceptions import CypherTypeError
+
+_NANOS_PER_SECOND = 1_000_000_000
+_SECONDS_PER_DAY = 86_400
+
+
+def _pad_fraction(digits):
+    return int(digits.ljust(9, "0")[:9])
+
+
+class _Temporal:
+    """Shared protocol glue for the temporal values."""
+
+    cypher_type_name = "Temporal"
+
+    def cypher_equals(self, other):
+        if type(other) is not type(self):
+            return False
+        return self.cypher_order_key() == other.cypher_order_key()
+
+    def cypher_compare(self, other):
+        if type(other) is not type(self):
+            return None
+        ours, theirs = self.cypher_order_key(), other.cypher_order_key()
+        return (ours > theirs) - (ours < theirs)
+
+    def __eq__(self, other):
+        return self.cypher_equals(other) is True
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.cypher_order_key()))
+
+    def __repr__(self):
+        return "{}({!r})".format(type(self).__name__, self.cypher_to_string())
+
+    def cypher_component(self, key):
+        getter = getattr(self, "component_" + key, None)
+        if getter is None:
+            return None
+        return getter()
+
+
+class Date(_Temporal):
+    """A calendar date: year, month, day."""
+
+    cypher_type_name = "Date"
+    __slots__ = ("_date",)
+
+    def __init__(self, year, month, day):
+        self._date = _dt.date(year, month, day)
+
+    @classmethod
+    def parse(cls, text):
+        match = re.fullmatch(r"(\d{4})-(\d{2})-(\d{2})", text.strip())
+        if not match:
+            raise CypherTypeError("cannot parse Date from %r" % text)
+        return cls(int(match.group(1)), int(match.group(2)), int(match.group(3)))
+
+    @classmethod
+    def from_map(cls, components):
+        try:
+            return cls(
+                components["year"],
+                components.get("month", 1),
+                components.get("day", 1),
+            )
+        except KeyError as missing:
+            raise CypherTypeError("date() map needs %s" % missing)
+
+    def cypher_order_key(self):
+        return self._date.toordinal()
+
+    def cypher_to_string(self):
+        return self._date.isoformat()
+
+    def component_year(self):
+        return self._date.year
+
+    def component_month(self):
+        return self._date.month
+
+    def component_day(self):
+        return self._date.day
+
+    def component_dayOfWeek(self):
+        return self._date.isoweekday()
+
+    def component_epochDays(self):
+        return self._date.toordinal() - _dt.date(1970, 1, 1).toordinal()
+
+    def cypher_add(self, other):
+        if isinstance(other, Duration):
+            return _shift_date(self, other)
+        return NotImplemented
+
+    def cypher_radd(self, other):
+        if isinstance(other, Duration):
+            return _shift_date(self, other)
+        return NotImplemented
+
+    def cypher_subtract(self, other):
+        if isinstance(other, Duration):
+            return _shift_date(self, other.cypher_negate())
+        return NotImplemented
+
+
+class LocalTime(_Temporal):
+    """A time of day without a timezone; nanosecond precision."""
+
+    cypher_type_name = "LocalTime"
+    __slots__ = ("nanos_of_day",)
+
+    def __init__(self, hour=0, minute=0, second=0, nanosecond=0):
+        if not (0 <= hour < 24 and 0 <= minute < 60 and 0 <= second < 60):
+            raise CypherTypeError("invalid time components")
+        if not 0 <= nanosecond < _NANOS_PER_SECOND:
+            raise CypherTypeError("invalid nanosecond component")
+        object.__setattr__(
+            self,
+            "nanos_of_day",
+            ((hour * 60 + minute) * 60 + second) * _NANOS_PER_SECOND + nanosecond,
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("temporal values are immutable")
+
+    _PATTERN = re.compile(r"(\d{2}):(\d{2})(?::(\d{2})(?:\.(\d{1,9}))?)?")
+
+    @classmethod
+    def parse(cls, text):
+        match = cls._PATTERN.fullmatch(text.strip())
+        if not match:
+            raise CypherTypeError("cannot parse LocalTime from %r" % text)
+        return cls(
+            int(match.group(1)),
+            int(match.group(2)),
+            int(match.group(3) or 0),
+            _pad_fraction(match.group(4) or ""),
+        )
+
+    @classmethod
+    def from_map(cls, components):
+        return cls(
+            components.get("hour", 0),
+            components.get("minute", 0),
+            components.get("second", 0),
+            components.get("nanosecond", 0)
+            + components.get("millisecond", 0) * 1_000_000
+            + components.get("microsecond", 0) * 1_000,
+        )
+
+    @classmethod
+    def _from_nanos(cls, nanos):
+        nanos %= _SECONDS_PER_DAY * _NANOS_PER_SECOND
+        second, nanosecond = divmod(nanos, _NANOS_PER_SECOND)
+        minute, second = divmod(second, 60)
+        hour, minute = divmod(minute, 60)
+        return cls(hour, minute, second, nanosecond)
+
+    def cypher_order_key(self):
+        return self.nanos_of_day
+
+    def cypher_to_string(self):
+        second, nanos = divmod(self.nanos_of_day, _NANOS_PER_SECOND)
+        minute, second = divmod(second, 60)
+        hour, minute = divmod(minute, 60)
+        text = "%02d:%02d:%02d" % (hour, minute, second)
+        if nanos:
+            text += (".%09d" % nanos).rstrip("0")
+        return text
+
+    def component_hour(self):
+        return self.nanos_of_day // (3600 * _NANOS_PER_SECOND)
+
+    def component_minute(self):
+        return (self.nanos_of_day // (60 * _NANOS_PER_SECOND)) % 60
+
+    def component_second(self):
+        return (self.nanos_of_day // _NANOS_PER_SECOND) % 60
+
+    def component_millisecond(self):
+        return (self.nanos_of_day % _NANOS_PER_SECOND) // 1_000_000
+
+    def component_nanosecond(self):
+        return self.nanos_of_day % _NANOS_PER_SECOND
+
+    def cypher_add(self, other):
+        if isinstance(other, Duration):
+            return LocalTime._from_nanos(
+                self.nanos_of_day + other.as_time_nanos()
+            )
+        return NotImplemented
+
+    def cypher_radd(self, other):
+        return self.cypher_add(other)
+
+    def cypher_subtract(self, other):
+        if isinstance(other, Duration):
+            return LocalTime._from_nanos(
+                self.nanos_of_day - other.as_time_nanos()
+            )
+        return NotImplemented
+
+
+class Time(_Temporal):
+    """A time of day with a UTC offset (seconds east of Greenwich)."""
+
+    cypher_type_name = "Time"
+    __slots__ = ("local", "offset_seconds")
+
+    def __init__(self, hour=0, minute=0, second=0, nanosecond=0, offset_seconds=0):
+        object.__setattr__(self, "local", LocalTime(hour, minute, second, nanosecond))
+        object.__setattr__(self, "offset_seconds", offset_seconds)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("temporal values are immutable")
+
+    @classmethod
+    def parse(cls, text):
+        text = text.strip()
+        local_part, offset = _split_offset(text)
+        local = LocalTime.parse(local_part)
+        time = cls.__new__(cls)
+        object.__setattr__(time, "local", local)
+        object.__setattr__(time, "offset_seconds", offset)
+        return time
+
+    @classmethod
+    def from_map(cls, components):
+        local = LocalTime.from_map(components)
+        offset = _offset_from_map(components)
+        time = cls.__new__(cls)
+        object.__setattr__(time, "local", local)
+        object.__setattr__(time, "offset_seconds", offset)
+        return time
+
+    def cypher_order_key(self):
+        return (
+            self.local.nanos_of_day
+            - self.offset_seconds * _NANOS_PER_SECOND
+        )
+
+    def cypher_to_string(self):
+        return self.local.cypher_to_string() + _format_offset(self.offset_seconds)
+
+    def cypher_component(self, key):
+        if key == "offsetSeconds":
+            return self.offset_seconds
+        return self.local.cypher_component(key)
+
+    def cypher_add(self, other):
+        if isinstance(other, Duration):
+            shifted = self.local.cypher_add(other)
+            time = Time.__new__(Time)
+            object.__setattr__(time, "local", shifted)
+            object.__setattr__(time, "offset_seconds", self.offset_seconds)
+            return time
+        return NotImplemented
+
+    def cypher_radd(self, other):
+        return self.cypher_add(other)
+
+    def cypher_subtract(self, other):
+        if isinstance(other, Duration):
+            return self.cypher_add(other.cypher_negate())
+        return NotImplemented
+
+
+class LocalDateTime(_Temporal):
+    """A date and time of day, no timezone."""
+
+    cypher_type_name = "LocalDateTime"
+    __slots__ = ("date", "time")
+
+    def __init__(self, year, month, day, hour=0, minute=0, second=0, nanosecond=0):
+        object.__setattr__(self, "date", Date(year, month, day))
+        object.__setattr__(self, "time", LocalTime(hour, minute, second, nanosecond))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("temporal values are immutable")
+
+    @classmethod
+    def parse(cls, text):
+        text = text.strip()
+        if "T" not in text:
+            raise CypherTypeError("cannot parse LocalDateTime from %r" % text)
+        date_part, time_part = text.split("T", 1)
+        date = Date.parse(date_part)
+        time = LocalTime.parse(time_part)
+        return cls._combine(date, time)
+
+    @classmethod
+    def from_map(cls, components):
+        return cls._combine(Date.from_map(components), LocalTime.from_map(components))
+
+    @classmethod
+    def _combine(cls, date, time):
+        value = cls.__new__(cls)
+        object.__setattr__(value, "date", date)
+        object.__setattr__(value, "time", time)
+        return value
+
+    def cypher_order_key(self):
+        return (
+            self.date.cypher_order_key() * _SECONDS_PER_DAY * _NANOS_PER_SECOND
+            + self.time.nanos_of_day
+        )
+
+    def cypher_to_string(self):
+        return self.date.cypher_to_string() + "T" + self.time.cypher_to_string()
+
+    def cypher_component(self, key):
+        value = self.date.cypher_component(key)
+        if value is None:
+            value = self.time.cypher_component(key)
+        return value
+
+    def cypher_add(self, other):
+        if isinstance(other, Duration):
+            return _shift_local_datetime(self, other)
+        return NotImplemented
+
+    def cypher_radd(self, other):
+        return self.cypher_add(other)
+
+    def cypher_subtract(self, other):
+        if isinstance(other, Duration):
+            return _shift_local_datetime(self, other.cypher_negate())
+        return NotImplemented
+
+
+class DateTime(_Temporal):
+    """A LocalDateTime plus a UTC offset."""
+
+    cypher_type_name = "DateTime"
+    __slots__ = ("local", "offset_seconds")
+
+    def __init__(
+        self, year, month, day, hour=0, minute=0, second=0, nanosecond=0,
+        offset_seconds=0,
+    ):
+        object.__setattr__(
+            self,
+            "local",
+            LocalDateTime(year, month, day, hour, minute, second, nanosecond),
+        )
+        object.__setattr__(self, "offset_seconds", offset_seconds)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("temporal values are immutable")
+
+    @classmethod
+    def parse(cls, text):
+        text = text.strip()
+        if "T" not in text:
+            raise CypherTypeError("cannot parse DateTime from %r" % text)
+        date_part, time_part = text.split("T", 1)
+        time_text, offset = _split_offset(time_part)
+        local = LocalDateTime._combine(
+            Date.parse(date_part), LocalTime.parse(time_text)
+        )
+        return cls._combine(local, offset)
+
+    @classmethod
+    def from_map(cls, components):
+        return cls._combine(
+            LocalDateTime.from_map(components), _offset_from_map(components)
+        )
+
+    @classmethod
+    def _combine(cls, local, offset_seconds):
+        value = cls.__new__(cls)
+        object.__setattr__(value, "local", local)
+        object.__setattr__(value, "offset_seconds", offset_seconds)
+        return value
+
+    def cypher_order_key(self):
+        return (
+            self.local.cypher_order_key()
+            - self.offset_seconds * _NANOS_PER_SECOND
+        )
+
+    def cypher_to_string(self):
+        return self.local.cypher_to_string() + _format_offset(self.offset_seconds)
+
+    def cypher_component(self, key):
+        if key == "offsetSeconds":
+            return self.offset_seconds
+        if key == "epochSeconds":
+            return self.cypher_order_key() // _NANOS_PER_SECOND - (
+                _dt.date(1970, 1, 1).toordinal() * _SECONDS_PER_DAY
+            )
+        return self.local.cypher_component(key)
+
+    def cypher_add(self, other):
+        if isinstance(other, Duration):
+            return DateTime._combine(
+                self.local.cypher_add(other), self.offset_seconds
+            )
+        return NotImplemented
+
+    def cypher_radd(self, other):
+        return self.cypher_add(other)
+
+    def cypher_subtract(self, other):
+        if isinstance(other, Duration):
+            return DateTime._combine(
+                self.local.cypher_subtract(other), self.offset_seconds
+            )
+        return NotImplemented
+
+
+class Duration(_Temporal):
+    """The CIP's four-component duration.
+
+    Months and days are kept separate from seconds because their length
+    varies by calendar context — the reason the CIP rejects normalizing.
+    """
+
+    cypher_type_name = "Duration"
+    __slots__ = ("months", "days", "seconds", "nanoseconds")
+
+    def __init__(self, months=0, days=0, seconds=0, nanoseconds=0):
+        extra_seconds, nanoseconds = divmod(int(nanoseconds), _NANOS_PER_SECOND)
+        object.__setattr__(self, "months", int(months))
+        object.__setattr__(self, "days", int(days))
+        object.__setattr__(self, "seconds", int(seconds) + extra_seconds)
+        object.__setattr__(self, "nanoseconds", nanoseconds)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("temporal values are immutable")
+
+    _PATTERN = re.compile(
+        r"(?P<sign>-)?P"
+        r"(?:(?P<years>\d+)Y)?"
+        r"(?:(?P<months>\d+)M)?"
+        r"(?:(?P<weeks>\d+)W)?"
+        r"(?:(?P<days>\d+)D)?"
+        r"(?:T"
+        r"(?:(?P<hours>\d+)H)?"
+        r"(?:(?P<minutes>\d+)M)?"
+        r"(?:(?P<secs>\d+(?:\.\d{1,9})?)S)?"
+        r")?"
+    )
+
+    @classmethod
+    def parse(cls, text):
+        match = cls._PATTERN.fullmatch(text.strip())
+        if not match or match.group(0) in ("P", "-P"):
+            raise CypherTypeError("cannot parse Duration from %r" % text)
+        months = int(match.group("years") or 0) * 12 + int(match.group("months") or 0)
+        days = int(match.group("weeks") or 0) * 7 + int(match.group("days") or 0)
+        seconds = int(match.group("hours") or 0) * 3600
+        seconds += int(match.group("minutes") or 0) * 60
+        nanos = 0
+        secs_text = match.group("secs")
+        if secs_text:
+            if "." in secs_text:
+                whole, fraction = secs_text.split(".")
+                seconds += int(whole)
+                nanos = _pad_fraction(fraction)
+            else:
+                seconds += int(secs_text)
+        sign = -1 if match.group("sign") else 1
+        return cls(sign * months, sign * days, sign * seconds, sign * nanos)
+
+    @classmethod
+    def from_map(cls, components):
+        months = (
+            components.get("years", 0) * 12 + components.get("months", 0)
+        )
+        days = components.get("weeks", 0) * 7 + components.get("days", 0)
+        seconds = (
+            components.get("hours", 0) * 3600
+            + components.get("minutes", 0) * 60
+            + components.get("seconds", 0)
+        )
+        nanos = (
+            components.get("nanoseconds", 0)
+            + components.get("milliseconds", 0) * 1_000_000
+            + components.get("microseconds", 0) * 1_000
+        )
+        return cls(months, days, seconds, nanos)
+
+    def cypher_order_key(self):
+        return (self.months, self.days, self.seconds, self.nanoseconds)
+
+    def cypher_to_string(self):
+        years, months = divmod(abs(self.months), 12)
+        sign = "-" if (self.months, self.days, self.seconds) < (0, 0, 0) else ""
+        parts = ["P"]
+        if years:
+            parts.append("%dY" % years)
+        if months:
+            parts.append("%dM" % months)
+        if self.days:
+            parts.append("%dD" % abs(self.days))
+        total_seconds = abs(self.seconds)
+        hours, rem = divmod(total_seconds, 3600)
+        minutes, secs = divmod(rem, 60)
+        if hours or minutes or secs or self.nanoseconds or len(parts) == 1:
+            parts.append("T")
+            if hours:
+                parts.append("%dH" % hours)
+            if minutes:
+                parts.append("%dM" % minutes)
+            if self.nanoseconds:
+                parts.append(
+                    ("%d.%09d" % (secs, self.nanoseconds)).rstrip("0") + "S"
+                )
+            elif secs or parts[-1] == "T":
+                parts.append("%dS" % secs)
+        return sign + "".join(parts)
+
+    def cypher_component(self, key):
+        simple = {
+            "years": self.months // 12,
+            "months": self.months,
+            "monthsOfYear": self.months % 12,
+            "days": self.days,
+            "hours": self.seconds // 3600,
+            "minutes": self.seconds // 60,
+            "seconds": self.seconds,
+            "nanoseconds": self.nanoseconds,
+        }
+        return simple.get(key)
+
+    def as_time_nanos(self):
+        """Seconds+nanos as nanoseconds (months/days have no fixed length)."""
+        if self.months or self.days:
+            raise CypherTypeError(
+                "cannot apply a duration with calendar components to a time"
+            )
+        return self.seconds * _NANOS_PER_SECOND + self.nanoseconds
+
+    def cypher_negate(self):
+        return Duration(-self.months, -self.days, -self.seconds, -self.nanoseconds)
+
+    def cypher_add(self, other):
+        if isinstance(other, Duration):
+            return Duration(
+                self.months + other.months,
+                self.days + other.days,
+                self.seconds + other.seconds,
+                self.nanoseconds + other.nanoseconds,
+            )
+        if isinstance(other, (Date, Time, LocalTime, DateTime, LocalDateTime)):
+            return other.cypher_add(self)
+        return NotImplemented
+
+    def cypher_radd(self, other):
+        return self.cypher_add(other)
+
+    def cypher_subtract(self, other):
+        if isinstance(other, Duration):
+            return self.cypher_add(other.cypher_negate())
+        return NotImplemented
+
+    def cypher_multiply(self, factor):
+        if isinstance(factor, bool) or not isinstance(factor, (int, float)):
+            return NotImplemented
+        total_nanos = (self.seconds * _NANOS_PER_SECOND + self.nanoseconds) * factor
+        return Duration(
+            int(self.months * factor),
+            int(self.days * factor),
+            0,
+            int(total_nanos),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _split_offset(text):
+    if text.endswith("Z") or text.endswith("z"):
+        return text[:-1], 0
+    match = re.search(r"([+-])(\d{2}):?(\d{2})$", text)
+    if match:
+        sign = 1 if match.group(1) == "+" else -1
+        offset = sign * (int(match.group(2)) * 3600 + int(match.group(3)) * 60)
+        return text[: match.start()], offset
+    return text, 0
+
+
+def _offset_from_map(components):
+    if "offsetSeconds" in components:
+        return components["offsetSeconds"]
+    if "timezone" in components:
+        _ignored, offset = _split_offset("00:00" + components["timezone"])
+        return offset
+    return 0
+
+
+def _format_offset(offset_seconds):
+    if offset_seconds == 0:
+        return "Z"
+    sign = "+" if offset_seconds > 0 else "-"
+    magnitude = abs(offset_seconds)
+    return "%s%02d:%02d" % (sign, magnitude // 3600, (magnitude % 3600) // 60)
+
+
+def _shift_date(date, duration):
+    base = _dt.date(
+        date.component_year(), date.component_month(), date.component_day()
+    )
+    shifted = _add_months(base, duration.months)
+    shifted += _dt.timedelta(days=duration.days)
+    extra_days, _leftover = divmod(
+        duration.seconds * _NANOS_PER_SECOND + duration.nanoseconds,
+        _SECONDS_PER_DAY * _NANOS_PER_SECOND,
+    )
+    shifted += _dt.timedelta(days=extra_days)
+    return Date(shifted.year, shifted.month, shifted.day)
+
+
+def _shift_local_datetime(value, duration):
+    date = value.date
+    base = _dt.date(
+        date.component_year(), date.component_month(), date.component_day()
+    )
+    shifted_date = _add_months(base, duration.months) + _dt.timedelta(
+        days=duration.days
+    )
+    nanos = (
+        value.time.nanos_of_day
+        + duration.seconds * _NANOS_PER_SECOND
+        + duration.nanoseconds
+    )
+    extra_days, nanos = divmod(nanos, _SECONDS_PER_DAY * _NANOS_PER_SECOND)
+    shifted_date += _dt.timedelta(days=extra_days)
+    return LocalDateTime._combine(
+        Date(shifted_date.year, shifted_date.month, shifted_date.day),
+        LocalTime._from_nanos(nanos),
+    )
+
+
+def _add_months(base, months):
+    if not months:
+        return base
+    month_index = base.year * 12 + (base.month - 1) + months
+    year, month0 = divmod(month_index, 12)
+    day = min(base.day, _days_in_month(year, month0 + 1))
+    return _dt.date(year, month0 + 1, day)
+
+
+def _days_in_month(year, month):
+    if month == 12:
+        return 31
+    first = _dt.date(year, month, 1)
+    next_first = _dt.date(year + (month == 12), month % 12 + 1, 1)
+    return (next_first - first).days

@@ -1,0 +1,11 @@
+"""Update-clause execution (paper Section 2, "Data modification").
+
+"Updating clauses re-use the visual graph-pattern language and provide the
+same simple, top-down semantic model as the rest of Cypher": each update
+clause is still a function from tables to tables — it mutates the graph as
+a side effect and passes the (possibly widened) driving table on.
+"""
+
+from repro.updates.executor import apply_update
+
+__all__ = ["apply_update"]

@@ -1,0 +1,343 @@
+"""Execution of CREATE / DELETE / SET / REMOVE / MERGE.
+
+Each function takes (clause, table, state) and returns the next driving
+table, mutating ``state.graph`` along the way.  The semantics follows
+Neo4j's documented behaviour for the constructs the paper describes:
+
+* CREATE instantiates its (rigid, directed, single-type) pattern once per
+  driving row, binding any new names;
+* DELETE collects entities across all rows and removes relationships
+  before nodes; non-DETACH deletion of a connected node is an error;
+* SET/REMOVE mutate properties and labels per row;
+* MERGE matches its pattern per row — every existing match yields a row
+  (with ON MATCH applied); if none exists the whole pattern is created
+  (with ON CREATE applied), so a MERGE never partially reuses a pattern.
+"""
+
+from __future__ import annotations
+
+from repro.ast import clauses as cl
+from repro.ast import patterns as pt
+from repro.exceptions import (
+    ConstraintViolation,
+    CypherSemanticError,
+    CypherTypeError,
+)
+from repro.semantics.matching import match_pattern_tuple
+from repro.semantics.table import Table
+from repro.values.base import NodeId, RelId
+from repro.values.path import Path
+
+
+def apply_update(clause, table, state):
+    if isinstance(clause, cl.Create):
+        return _apply_create(clause, table, state)
+    if isinstance(clause, cl.Delete):
+        return _apply_delete(clause, table, state)
+    if isinstance(clause, cl.SetClause):
+        return _apply_set(clause.items, table, state)
+    if isinstance(clause, cl.RemoveClause):
+        return _apply_remove(clause, table, state)
+    if isinstance(clause, cl.Merge):
+        return _apply_merge(clause, table, state)
+    raise CypherSemanticError("not an update clause: %r" % (clause,))
+
+
+# ---------------------------------------------------------------------------
+# CREATE
+# ---------------------------------------------------------------------------
+
+def _apply_create(clause, table, state):
+    evaluator = state.evaluator()
+    new_fields = [
+        name
+        for name in pt.free_variables(clause.pattern)
+        if name not in table.fields
+    ]
+    rows = []
+    for record in table.rows:
+        row = dict(record)
+        for path_pattern in clause.pattern:
+            _create_path(path_pattern, row, state, evaluator)
+        rows.append(row)
+    return Table(table.fields + tuple(new_fields), rows)
+
+
+def _create_path(path_pattern, row, state, evaluator):
+    graph = state.graph
+    elements = path_pattern.elements
+    nodes = []
+    rels = []
+    current = _create_or_reuse_node(elements[0], row, state, evaluator)
+    nodes.append(current)
+    for index in range(1, len(elements), 2):
+        rho = elements[index]
+        chi = elements[index + 1]
+        _validate_create_relationship(rho)
+        next_node = _create_or_reuse_node(chi, row, state, evaluator)
+        properties = {
+            key: evaluator.evaluate(value, row) for key, value in rho.properties
+        }
+        if rho.direction == pt.LEFT_TO_RIGHT:
+            rel = graph.create_relationship(current, next_node, rho.types[0], properties)
+        else:
+            rel = graph.create_relationship(next_node, current, rho.types[0], properties)
+        if rho.name is not None:
+            if rho.name in row:
+                raise CypherSemanticError(
+                    "relationship variable %r already bound" % rho.name
+                )
+            row[rho.name] = rel
+        rels.append(rel)
+        nodes.append(next_node)
+        current = next_node
+    if path_pattern.name is not None:
+        row[path_pattern.name] = Path(tuple(nodes), tuple(rels))
+
+
+def _validate_create_relationship(rho):
+    if rho.length is not None:
+        raise CypherSemanticError(
+            "CREATE cannot use variable-length relationships"
+        )
+    if len(rho.types) != 1:
+        raise CypherSemanticError(
+            "CREATE requires exactly one relationship type"
+        )
+    if rho.direction == pt.UNDIRECTED:
+        raise CypherSemanticError(
+            "CREATE requires a directed relationship"
+        )
+
+
+def _create_or_reuse_node(chi, row, state, evaluator):
+    if chi.name is not None and chi.name in row:
+        value = row[chi.name]
+        if not isinstance(value, NodeId):
+            raise CypherTypeError(
+                "cannot CREATE through %r: bound to %r" % (chi.name, value)
+            )
+        if chi.labels or chi.properties:
+            raise CypherSemanticError(
+                "cannot add labels or properties to the bound variable %r "
+                "inside CREATE" % chi.name
+            )
+        return value
+    properties = {
+        key: evaluator.evaluate(value, row) for key, value in chi.properties
+    }
+    node = state.graph.create_node(chi.labels, properties)
+    if chi.name is not None:
+        row[chi.name] = node
+    return node
+
+
+# ---------------------------------------------------------------------------
+# DELETE
+# ---------------------------------------------------------------------------
+
+def _apply_delete(clause, table, state):
+    evaluator = state.evaluator()
+    nodes = set()
+    rels = set()
+    detach = clause.detach
+    for record in table.rows:
+        for expression in clause.expressions:
+            value = evaluator.evaluate(expression, record)
+            _collect_deletions(value, nodes, rels)
+    graph = state.graph
+    for rel in rels:
+        if graph.has_relationship(rel):
+            graph.delete_relationship(rel)
+    for node in nodes:
+        if not graph.has_node(node):
+            continue
+        if not detach and graph.degree(node) > 0:
+            raise ConstraintViolation(
+                "cannot delete node %r: it still has relationships; "
+                "use DETACH DELETE" % (node,)
+            )
+        graph.delete_node(node, detach=True)
+    return table
+
+
+def _collect_deletions(value, nodes, rels):
+    if value is None:
+        return
+    if isinstance(value, NodeId):
+        nodes.add(value)
+    elif isinstance(value, RelId):
+        rels.add(value)
+    elif isinstance(value, Path):
+        nodes.update(value.nodes)
+        rels.update(value.relationships)
+    elif isinstance(value, list):
+        for item in value:
+            _collect_deletions(item, nodes, rels)
+    else:
+        raise CypherTypeError("cannot DELETE %r" % (value,))
+
+
+# ---------------------------------------------------------------------------
+# SET and REMOVE
+# ---------------------------------------------------------------------------
+
+def _apply_set(items, table, state, rows=None):
+    evaluator = state.evaluator()
+    for record in rows if rows is not None else table.rows:
+        for item in items:
+            _apply_set_item(item, record, state, evaluator)
+    return table
+
+
+def _apply_set_item(item, record, state, evaluator):
+    graph = state.graph
+    if isinstance(item, cl.SetProperty):
+        entity = evaluator.evaluate(item.subject, record)
+        if entity is None:
+            return
+        if not isinstance(entity, (NodeId, RelId)):
+            raise CypherTypeError("SET expects a node or relationship")
+        graph.set_property(entity, item.key, evaluator.evaluate(item.value, record))
+        return
+    if isinstance(item, cl.SetVariable):
+        entity = record.get(item.name)
+        if entity is None:
+            return
+        if not isinstance(entity, (NodeId, RelId)):
+            raise CypherTypeError("SET expects a node or relationship")
+        value = evaluator.evaluate(item.value, record)
+        if isinstance(value, (NodeId, RelId)):
+            value = graph.properties(value)
+        if not isinstance(value, dict):
+            raise CypherTypeError(
+                "SET %s = ... expects a map or entity" % item.name
+            )
+        if item.merge:
+            graph.merge_properties(entity, value)
+        else:
+            graph.replace_properties(entity, value)
+        return
+    if isinstance(item, cl.SetLabels):
+        entity = record.get(item.name)
+        if entity is None:
+            return
+        if not isinstance(entity, NodeId):
+            raise CypherTypeError("labels can only be set on nodes")
+        for label in item.labels:
+            graph.add_label(entity, label)
+        return
+    raise CypherSemanticError("unknown SET item %r" % (item,))
+
+
+def _apply_remove(clause, table, state):
+    evaluator = state.evaluator()
+    graph = state.graph
+    for record in table.rows:
+        for item in clause.items:
+            if isinstance(item, cl.RemoveProperty):
+                entity = evaluator.evaluate(item.subject, record)
+                if entity is None:
+                    continue
+                if not isinstance(entity, (NodeId, RelId)):
+                    raise CypherTypeError(
+                        "REMOVE expects a node or relationship"
+                    )
+                graph.remove_property(entity, item.key)
+            elif isinstance(item, cl.RemoveLabels):
+                entity = record.get(item.name)
+                if entity is None:
+                    continue
+                if not isinstance(entity, NodeId):
+                    raise CypherTypeError("labels can only be removed from nodes")
+                for label in item.labels:
+                    graph.remove_label(entity, label)
+            else:
+                raise CypherSemanticError("unknown REMOVE item %r" % (item,))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# MERGE
+# ---------------------------------------------------------------------------
+
+def _apply_merge(clause, table, state):
+    evaluator = state.evaluator()
+    new_fields = [
+        name
+        for name in pt.free_variables((clause.pattern,))
+        if name not in table.fields
+    ]
+    rows = []
+    for record in table.rows:
+        matches = match_pattern_tuple(
+            (clause.pattern,), state.graph, record, evaluator, state.morphism
+        )
+        if matches:
+            for bindings in matches:
+                row = dict(record)
+                row.update(bindings)
+                rows.append(row)
+            if clause.on_match:
+                _apply_set(clause.on_match, table, state, rows=rows[-len(matches):])
+        else:
+            row = dict(record)
+            _merge_create(clause.pattern, row, state, evaluator)
+            rows.append(row)
+            if clause.on_create:
+                _apply_set(clause.on_create, table, state, rows=[row])
+    return Table(table.fields + tuple(new_fields), rows)
+
+
+def _merge_create(path_pattern, row, state, evaluator):
+    """Create the whole pattern; bound endpoints are reused as-is."""
+    graph = state.graph
+    elements = path_pattern.elements
+    nodes = []
+    rels = []
+    current = _merge_node(elements[0], row, state, evaluator)
+    nodes.append(current)
+    for index in range(1, len(elements), 2):
+        rho = elements[index]
+        chi = elements[index + 1]
+        if rho.length is not None or len(rho.types) != 1:
+            raise CypherSemanticError(
+                "MERGE requires rigid single-type relationships"
+            )
+        next_node = _merge_node(chi, row, state, evaluator)
+        properties = {
+            key: evaluator.evaluate(value, row) for key, value in rho.properties
+        }
+        if rho.direction == pt.RIGHT_TO_LEFT:
+            rel = graph.create_relationship(
+                next_node, current, rho.types[0], properties
+            )
+        else:
+            # Undirected MERGE creates left-to-right, as Neo4j does.
+            rel = graph.create_relationship(
+                current, next_node, rho.types[0], properties
+            )
+        if rho.name is not None and rho.name not in row:
+            row[rho.name] = rel
+        rels.append(rel)
+        nodes.append(next_node)
+        current = next_node
+    if path_pattern.name is not None:
+        row[path_pattern.name] = Path(tuple(nodes), tuple(rels))
+
+
+def _merge_node(chi, row, state, evaluator):
+    if chi.name is not None and chi.name in row:
+        value = row[chi.name]
+        if not isinstance(value, NodeId):
+            raise CypherTypeError(
+                "MERGE through %r: bound to %r" % (chi.name, value)
+            )
+        return value
+    properties = {
+        key: evaluator.evaluate(value, row) for key, value in chi.properties
+    }
+    node = state.graph.create_node(chi.labels, properties)
+    if chi.name is not None:
+        row[chi.name] = node
+    return node

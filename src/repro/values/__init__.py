@@ -1,0 +1,65 @@
+"""The Cypher value model (paper Section 4.1).
+
+The set ``V`` of values is defined inductively in the paper:
+
+* identifiers — node ids and relationship ids (:class:`NodeId`, :class:`RelId`);
+* base types — integers and strings (plus floats, which every real
+  implementation adds);
+* ``true``, ``false`` and ``null`` (Python ``True``/``False``/``None``);
+* lists and maps (Python ``list``/``dict`` with string keys);
+* paths (:class:`Path`) — alternating node/relationship id sequences.
+
+This package also supplies the ternary-logic machinery the paper inherits
+from SQL: :func:`equals` / :func:`compare` return ``None`` for *unknown*,
+and :mod:`repro.values.ordering` defines the total "orderability" order
+used by ORDER BY and DISTINCT.
+"""
+
+from repro.values.base import (
+    NodeId,
+    RelId,
+    is_cypher_value,
+    type_name,
+)
+from repro.values.path import Path
+from repro.values.comparison import (
+    and3,
+    compare,
+    equals,
+    is_true,
+    not3,
+    or3,
+    xor3,
+)
+from repro.values.ordering import canonical_key, sort_key
+from repro.values.coercion import (
+    as_boolean,
+    as_float,
+    as_integer,
+    is_list_value,
+    is_map_value,
+    is_number,
+)
+
+__all__ = [
+    "NodeId",
+    "RelId",
+    "Path",
+    "is_cypher_value",
+    "type_name",
+    "equals",
+    "compare",
+    "and3",
+    "or3",
+    "xor3",
+    "not3",
+    "is_true",
+    "sort_key",
+    "canonical_key",
+    "is_number",
+    "is_list_value",
+    "is_map_value",
+    "as_boolean",
+    "as_integer",
+    "as_float",
+]

@@ -1,0 +1,113 @@
+"""Identifier types and value-universe helpers.
+
+The paper keeps the sets N (node ids) and R (relationship ids) disjoint from
+the base types, so we wrap ids in dedicated classes rather than using bare
+integers.  Both are immutable, hashable, and cheap.
+"""
+
+from __future__ import annotations
+
+
+class _Identifier:
+    """Common behaviour of node and relationship identifiers."""
+
+    __slots__ = ("value",)
+    _prefix = "id"
+
+    def __init__(self, value):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError("identifier value must be an int, got %r" % (value,))
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, _value):
+        raise AttributeError("identifiers are immutable")
+
+    def __eq__(self, other):
+        return type(other) is type(self) and other.value == self.value
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.value))
+
+    def __lt__(self, other):
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.value < other.value
+
+    def __repr__(self):
+        return "{}({})".format(type(self).__name__, self.value)
+
+    def __str__(self):
+        return "{}{}".format(self._prefix, self.value)
+
+
+class NodeId(_Identifier):
+    """An element of the set N of node identifiers."""
+
+    __slots__ = ()
+    _prefix = "n"
+
+
+class RelId(_Identifier):
+    """An element of the set R of relationship identifiers."""
+
+    __slots__ = ()
+    _prefix = "r"
+
+
+def is_cypher_value(value):
+    """Return True if ``value`` belongs to the value universe ``V``.
+
+    Lists and maps are checked recursively; map keys must be strings
+    (property keys are drawn from the set K of strings).
+    """
+    from repro.values.path import Path
+
+    if value is None or isinstance(value, (bool, str, NodeId, RelId, Path)):
+        return True
+    if isinstance(value, int):
+        return True
+    if isinstance(value, float):
+        return True  # NaN and infinities are IEEE 754 values Cypher allows
+    if isinstance(value, list):
+        return all(is_cypher_value(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and is_cypher_value(item)
+            for key, item in value.items()
+        )
+    # Temporal values plug into the universe via duck typing: anything
+    # exposing a `cypher_type_name` attribute is accepted.
+    return hasattr(value, "cypher_type_name")
+
+
+def type_name(value):
+    """Human-readable Cypher type name for error messages and `EXPLAIN`."""
+    from repro.values.path import Path
+
+    if value is None:
+        return "Null"
+    if isinstance(value, bool):
+        return "Boolean"
+    if isinstance(value, int):
+        return "Integer"
+    if isinstance(value, float):
+        return "Float"
+    if isinstance(value, str):
+        return "String"
+    if isinstance(value, NodeId):
+        return "Node"
+    if isinstance(value, RelId):
+        return "Relationship"
+    if isinstance(value, Path):
+        return "Path"
+    if isinstance(value, list):
+        return "List"
+    if isinstance(value, dict):
+        return "Map"
+    name = getattr(value, "cypher_type_name", None)
+    if name is not None:
+        return name
+    return type(value).__name__

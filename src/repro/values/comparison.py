@@ -1,0 +1,210 @@
+"""Ternary-logic equality, comparison and connectives (paper Section 4.3).
+
+"Just like SQL, Cypher uses 3-value logic for dealing with nulls" — the
+truth values are ``True``, ``False`` and ``None`` (unknown).  This module
+implements:
+
+* :func:`equals` — the semantics of the ``=`` operator.  Values of
+  different types are simply *not equal* (``False``), except that integers
+  and floats compare numerically; any null involved yields ``None``, with
+  the list/map rules propagating unknowns elementwise.
+* :func:`compare` — the semantics of ``<``/``<=``/``>``/``>=``.  Returns
+  ``-1``/``0``/``1`` or ``None`` when the comparison is undefined (nulls,
+  or values of incomparable types, following openCypher).
+* :func:`and3` / :func:`or3` / :func:`xor3` / :func:`not3` — the SQL
+  connective tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.values.base import NodeId, RelId
+from repro.values.path import Path
+
+
+# --------------------------------------------------------------------------
+# Connectives
+# --------------------------------------------------------------------------
+
+def and3(left, right):
+    """SQL three-valued AND."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def or3(left, right):
+    """SQL three-valued OR."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def xor3(left, right):
+    """SQL three-valued XOR: unknown if either side is unknown."""
+    if left is None or right is None:
+        return None
+    return bool(left) != bool(right)
+
+
+def not3(value):
+    """SQL three-valued NOT."""
+    if value is None:
+        return None
+    return not value
+
+
+def is_true(value):
+    """Strict truth test: only the boolean ``True`` passes a WHERE filter."""
+    return value is True
+
+
+# --------------------------------------------------------------------------
+# Equality
+# --------------------------------------------------------------------------
+
+def _is_numeric(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def equals(left, right):
+    """Cypher value equality; returns True, False or None (unknown)."""
+    if left is None or right is None:
+        return None
+    if _is_numeric(left) and _is_numeric(right):
+        if isinstance(left, float) and math.isnan(left):
+            return False
+        if isinstance(right, float) and math.isnan(right):
+            return False
+        return left == right
+    if isinstance(left, bool) and isinstance(right, bool):
+        return left == right
+    if isinstance(left, str) and isinstance(right, str):
+        return left == right
+    if isinstance(left, NodeId) or isinstance(right, NodeId):
+        return isinstance(left, NodeId) and isinstance(right, NodeId) and left == right
+    if isinstance(left, RelId) or isinstance(right, RelId):
+        return isinstance(left, RelId) and isinstance(right, RelId) and left == right
+    if isinstance(left, Path) and isinstance(right, Path):
+        return left == right
+    if isinstance(left, list) and isinstance(right, list):
+        return _equals_lists(left, right)
+    if isinstance(left, dict) and isinstance(right, dict):
+        return _equals_maps(left, right)
+    if hasattr(left, "cypher_equals"):
+        result = left.cypher_equals(right)
+        if result is not NotImplemented:
+            return result
+    if hasattr(right, "cypher_equals"):
+        result = right.cypher_equals(left)
+        if result is not NotImplemented:
+            return result
+    # Different, non-null types are simply not equal.
+    return False
+
+
+def _equals_lists(left, right):
+    if len(left) != len(right):
+        return False
+    saw_unknown = False
+    for item_left, item_right in zip(left, right):
+        verdict = equals(item_left, item_right)
+        if verdict is False:
+            return False
+        if verdict is None:
+            saw_unknown = True
+    return None if saw_unknown else True
+
+
+def _equals_maps(left, right):
+    if set(left.keys()) != set(right.keys()):
+        return False
+    saw_unknown = False
+    for key, item_left in left.items():
+        verdict = equals(item_left, right[key])
+        if verdict is False:
+            return False
+        if verdict is None:
+            saw_unknown = True
+    return None if saw_unknown else True
+
+
+def not_equals(left, right):
+    """The ``<>`` operator."""
+    return not3(equals(left, right))
+
+
+# --------------------------------------------------------------------------
+# Ordering comparisons (< <= > >=)
+# --------------------------------------------------------------------------
+
+def compare(left, right):
+    """Three-valued comparison: -1, 0, 1 or None (undefined).
+
+    Numbers compare with numbers, strings with strings, booleans with
+    booleans (False < True), and lists lexicographically with unknown
+    propagation.  Everything else — including any null operand — is
+    incomparable and yields ``None``.
+    """
+    if left is None or right is None:
+        return None
+    if _is_numeric(left) and _is_numeric(right):
+        if (isinstance(left, float) and math.isnan(left)) or (
+            isinstance(right, float) and math.isnan(right)
+        ):
+            return None
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    if isinstance(left, bool) and isinstance(right, bool):
+        return (left > right) - (left < right)
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    if isinstance(left, list) and isinstance(right, list):
+        return _compare_lists(left, right)
+    if hasattr(left, "cypher_compare"):
+        result = left.cypher_compare(right)
+        if result is not NotImplemented:
+            return result
+    if hasattr(right, "cypher_compare"):
+        result = right.cypher_compare(left)
+        if result is not NotImplemented:
+            return -result if result is not None else None
+    return None
+
+
+def _compare_lists(left, right):
+    for item_left, item_right in zip(left, right):
+        verdict = compare(item_left, item_right)
+        if verdict is None:
+            return None
+        if verdict != 0:
+            return verdict
+    return (len(left) > len(right)) - (len(left) < len(right))
+
+
+def less(left, right):
+    verdict = compare(left, right)
+    return None if verdict is None else verdict < 0
+
+
+def less_equal(left, right):
+    verdict = compare(left, right)
+    return None if verdict is None else verdict <= 0
+
+
+def greater(left, right):
+    verdict = compare(left, right)
+    return None if verdict is None else verdict > 0
+
+
+def greater_equal(left, right):
+    verdict = compare(left, right)
+    return None if verdict is None else verdict >= 0

@@ -1,0 +1,114 @@
+"""A total "orderability" order over all Cypher values.
+
+The three-valued :func:`repro.values.comparison.compare` is partial (nulls
+and mixed types are incomparable), but ORDER BY, DISTINCT and aggregation
+grouping need a *total* order and a hashable canonical form.  openCypher
+resolves this with a global orderability order; we implement a documented
+variant of it:
+
+    Map < Node < Relationship < List < Path < temporal < String
+        < Boolean < Number < null
+
+Within a type, values order naturally (numbers numerically with NaN greater
+than every other number, strings lexicographically, booleans False < True,
+lists/maps lexicographically on their canonical forms).  ``null`` sorts
+last in ascending order, matching Neo4j's behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.values.base import NodeId, RelId
+from repro.values.path import Path
+
+_RANK_MAP = 0
+_RANK_NODE = 1
+_RANK_REL = 2
+_RANK_LIST = 3
+_RANK_PATH = 4
+_RANK_TEMPORAL = 5
+_RANK_STRING = 6
+_RANK_BOOLEAN = 7
+_RANK_NUMBER = 8
+_RANK_NULL = 9
+
+
+def sort_key(value):
+    """A key usable with ``sorted``; implements the total order above."""
+    if value is None:
+        return (_RANK_NULL,)
+    if isinstance(value, bool):
+        return (_RANK_BOOLEAN, value)
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and math.isnan(value):
+            # NaN is the greatest number.
+            return (_RANK_NUMBER, 1, 0.0)
+        return (_RANK_NUMBER, 0, value)
+    if isinstance(value, str):
+        return (_RANK_STRING, value)
+    if isinstance(value, NodeId):
+        return (_RANK_NODE, value.value)
+    if isinstance(value, RelId):
+        return (_RANK_REL, value.value)
+    if isinstance(value, Path):
+        return (
+            _RANK_PATH,
+            tuple(sort_key(element) for element in value.interleaved()),
+        )
+    if isinstance(value, list):
+        return (_RANK_LIST, tuple(sort_key(item) for item in value))
+    if isinstance(value, dict):
+        return (
+            _RANK_MAP,
+            tuple(
+                (key, sort_key(item)) for key, item in sorted(value.items())
+            ),
+        )
+    order = getattr(value, "cypher_order_key", None)
+    if order is not None:
+        return (_RANK_TEMPORAL, getattr(value, "cypher_type_name", ""), order())
+    raise TypeError("value %r is not orderable" % (value,))
+
+
+def canonical_key(value):
+    """A hashable canonical form; equal values get equal keys.
+
+    Used for DISTINCT, UNION de-duplication, grouping keys, and DISTINCT
+    inside aggregates.  Integers and floats that are numerically equal
+    collapse to the same key (Cypher's ``1 = 1.0`` is true); all NaNs
+    collapse together so DISTINCT emits a single NaN.
+    """
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and math.isnan(value):
+            return ("nan",)
+        return ("num", value)  # hash(1) == hash(1.0) in Python
+    if isinstance(value, str):
+        return ("str", value)
+    if isinstance(value, NodeId):
+        return ("node", value.value)
+    if isinstance(value, RelId):
+        return ("rel", value.value)
+    if isinstance(value, Path):
+        return (
+            "path",
+            tuple(canonical_key(element) for element in value.interleaved()),
+        )
+    if isinstance(value, list):
+        return ("list", tuple(canonical_key(item) for item in value))
+    if isinstance(value, dict):
+        return (
+            "map",
+            tuple(
+                (key, canonical_key(item))
+                for key, item in sorted(value.items())
+            ),
+        )
+    order = getattr(value, "cypher_order_key", None)
+    if order is not None:
+        return ("temporal", getattr(value, "cypher_type_name", ""), order())
+    raise TypeError("value %r has no canonical form" % (value,))

@@ -1,0 +1,112 @@
+"""Path values (paper Section 4.1).
+
+A path is either a single node ``path(n)`` or an alternating sequence
+``path(n1, r1, n2, ..., r_{m-1}, n_m)``.  The paper writes these with the
+shorthand ``n1 r1 n2 ... n_m`` and defines concatenation ``p1 · p2``, which
+is possible only when the first path ends at the node where the second
+starts.
+"""
+
+from __future__ import annotations
+
+from repro.values.base import NodeId, RelId
+
+
+class Path:
+    """An immutable alternating sequence of node and relationship ids."""
+
+    __slots__ = ("nodes", "relationships")
+
+    def __init__(self, nodes, relationships=()):
+        nodes = tuple(nodes)
+        relationships = tuple(relationships)
+        if not nodes:
+            raise ValueError("a path must contain at least one node")
+        if len(relationships) != len(nodes) - 1:
+            raise ValueError(
+                "a path over %d nodes needs exactly %d relationships, got %d"
+                % (len(nodes), len(nodes) - 1, len(relationships))
+            )
+        for node in nodes:
+            if not isinstance(node, NodeId):
+                raise TypeError("path nodes must be NodeId, got %r" % (node,))
+        for rel in relationships:
+            if not isinstance(rel, RelId):
+                raise TypeError(
+                    "path relationships must be RelId, got %r" % (rel,)
+                )
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "relationships", relationships)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("paths are immutable")
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Path)
+            and other.nodes == self.nodes
+            and other.relationships == self.relationships
+        )
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return hash((self.nodes, self.relationships))
+
+    def __len__(self):
+        """The length of a path is its number of relationships."""
+        return len(self.relationships)
+
+    def __repr__(self):
+        return "Path({})".format(" ".join(str(x) for x in self.interleaved()))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def start(self):
+        """First node id of the path."""
+        return self.nodes[0]
+
+    @property
+    def end(self):
+        """Last node id of the path."""
+        return self.nodes[-1]
+
+    def interleaved(self):
+        """Yield ``n1, r1, n2, ..., n_m`` in order (the paper's shorthand)."""
+        for index, node in enumerate(self.nodes):
+            yield node
+            if index < len(self.relationships):
+                yield self.relationships[index]
+
+    def has_distinct_relationships(self):
+        """True if no relationship id occurs twice (edge isomorphism)."""
+        return len(set(self.relationships)) == len(self.relationships)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def single(cls, node):
+        """The trivial path ``path(n)``."""
+        return cls((node,))
+
+    def concat(self, other):
+        """Paper's ``p1 · p2``; requires ``p1`` to end where ``p2`` starts."""
+        if not isinstance(other, Path):
+            raise TypeError("can only concatenate Path with Path")
+        if self.end != other.start:
+            raise ValueError(
+                "cannot concatenate: %r does not end where %r starts"
+                % (self, other)
+            )
+        return Path(
+            self.nodes + other.nodes[1:],
+            self.relationships + other.relationships,
+        )
+
+    def reverse(self):
+        """The same traversal walked backwards."""
+        return Path(tuple(reversed(self.nodes)), tuple(reversed(self.relationships)))

@@ -1,0 +1,55 @@
+"""Shared fixtures: the paper's example graphs and dual-mode runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CypherEngine
+from repro.datasets.paper import figure1_graph, figure4_graph, self_loop_graph
+
+
+@pytest.fixture
+def figure1():
+    """(graph, ids) for the paper's Figure 1 academic graph."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def figure4():
+    """(graph, ids) for the paper's Figure 4 teachers graph."""
+    return figure4_graph()
+
+
+@pytest.fixture
+def self_loop():
+    """(graph, ids) for the one-node/one-loop complexity example."""
+    return self_loop_graph()
+
+
+@pytest.fixture(params=["interpreter", "planner"])
+def read_mode(request):
+    """Parametrizes read-query tests over both execution paths."""
+    return request.param
+
+
+def run_both(graph, query, parameters=None):
+    """Run a read query on both paths and assert they agree.
+
+    Returns the interpreter-path result (row order of the reference
+    semantics).  The assertion is bag equality — duplicates included,
+    since the paper's semantics is explicitly bag-based.
+    """
+    engine = CypherEngine(graph)
+    interpreted = engine.run(query, parameters=parameters, mode="interpreter")
+    planned = engine.run(query, parameters=parameters, mode="planner")
+    assert interpreted.table.same_bag(planned.table), (
+        "interpreter and planner disagree on %r:\n%s\nvs\n%s"
+        % (query, interpreted.records, planned.records)
+    )
+    return interpreted
+
+
+@pytest.fixture
+def dual_run():
+    """Fixture-form of run_both for tests that build their own graphs."""
+    return run_both

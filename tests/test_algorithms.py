@@ -1,0 +1,188 @@
+"""Unit tests for the built-in graph algorithms (paper Section 1)."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    connected_components,
+    degree_centrality,
+    pagerank,
+    shortest_path,
+    shortest_path_length,
+    triangle_count,
+)
+from repro.datasets.citations import citation_network
+from repro.exceptions import CypherTypeError
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import MemoryGraph
+from repro.values.path import Path
+
+
+@pytest.fixture
+def chain():
+    builder = GraphBuilder()
+    for index in range(5):
+        builder.node("n%d" % index, v=index)
+    for index in range(4):
+        builder.rel("n%d" % index, "NEXT", "n%d" % (index + 1))
+    return builder.build()
+
+
+class TestPageRank:
+    def test_empty_graph(self):
+        assert pagerank(MemoryGraph()) == {}
+
+    def test_scores_sum_to_one(self, chain):
+        graph, _ = chain
+        scores = pagerank(graph)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_sink_of_a_chain_ranks_highest(self, chain):
+        graph, ids = chain
+        scores = pagerank(graph)
+        assert max(scores, key=scores.get) == ids["n4"]
+
+    def test_matches_networkx_on_citations(self):
+        graph, _ = citation_network(publications=20, seed=5)
+        ours = pagerank(graph, damping=0.85, tolerance=1e-12)
+        digraph = nx.DiGraph()
+        for node in graph.nodes():
+            digraph.add_node(node)
+        for rel in graph.relationships():
+            digraph.add_edge(graph.src(rel), graph.tgt(rel))
+        theirs = nx.pagerank(digraph, alpha=0.85, tol=1e-12)
+        for node, score in theirs.items():
+            assert ours[node] == pytest.approx(score, abs=2e-4)
+
+    def test_type_restriction(self, chain):
+        graph, _ = chain
+        uniform = pagerank(graph, rel_types=("MISSING",))
+        values = set(round(v, 9) for v in uniform.values())
+        assert len(values) == 1  # no links → uniform distribution
+
+
+class TestDegreeCentrality:
+    def test_directions(self, chain):
+        graph, ids = chain
+        out = degree_centrality(graph, "out")
+        into = degree_centrality(graph, "in")
+        both = degree_centrality(graph, "both")
+        assert out[ids["n4"]] == 0.0
+        assert into[ids["n0"]] == 0.0
+        assert both[ids["n1"]] == pytest.approx(2 / 4)
+
+    def test_empty(self):
+        assert degree_centrality(MemoryGraph()) == {}
+
+
+class TestShortestPath:
+    def test_bfs_path(self, chain):
+        graph, ids = chain
+        path = shortest_path(graph, ids["n0"], ids["n3"])
+        assert isinstance(path, Path)
+        assert len(path) == 3
+        assert path.start == ids["n0"] and path.end == ids["n3"]
+
+    def test_trivial_path(self, chain):
+        graph, ids = chain
+        assert shortest_path(graph, ids["n2"], ids["n2"]) == Path.single(ids["n2"])
+
+    def test_unreachable_directed(self, chain):
+        graph, ids = chain
+        assert shortest_path(graph, ids["n3"], ids["n0"]) is None
+
+    def test_undirected_reaches_backwards(self, chain):
+        graph, ids = chain
+        path = shortest_path(graph, ids["n3"], ids["n0"], directed=False)
+        assert len(path) == 3
+
+    def test_dijkstra_prefers_cheap_detour(self):
+        graph, ids = (
+            GraphBuilder()
+            .node("a").node("b").node("c")
+            .rel("a", "R", "c", w=10)
+            .rel("a", "R", "b", w=1)
+            .rel("b", "R", "c", w=1)
+            .build()
+        )
+        path = shortest_path(graph, ids["a"], ids["c"], cost_property="w")
+        assert len(path) == 2  # via b, total cost 2 < direct 10
+        assert shortest_path_length(
+            graph, ids["a"], ids["c"], cost_property="w"
+        ) == 2
+
+    def test_negative_costs_rejected(self):
+        graph, ids = (
+            GraphBuilder().node("a").node("b").rel("a", "R", "b", w=-1).build()
+        )
+        with pytest.raises(CypherTypeError):
+            shortest_path(graph, ids["a"], ids["b"], cost_property="w")
+
+    def test_length_of_missing_path(self, chain):
+        graph, ids = chain
+        assert shortest_path_length(graph, ids["n4"], ids["n0"]) is None
+
+    def test_matches_networkx(self):
+        graph, _ = citation_network(publications=25, seed=8)
+        digraph = nx.DiGraph()
+        for node in graph.nodes():
+            digraph.add_node(node)
+        for rel in graph.relationships():
+            digraph.add_edge(graph.src(rel), graph.tgt(rel))
+        nodes = sorted(digraph.nodes, key=lambda n: n.value)
+        source, target = nodes[-1], nodes[0]
+        ours = shortest_path_length(graph, source, target)
+        try:
+            theirs = nx.shortest_path_length(digraph, source, target)
+        except nx.NetworkXNoPath:
+            theirs = None
+        assert ours == theirs
+
+
+class TestComponents:
+    def test_two_islands(self):
+        graph, ids = (
+            GraphBuilder()
+            .node("a").node("b").node("c").node("d").node("lonely")
+            .rel("a", "R", "b").rel("c", "R", "d")
+            .build()
+        )
+        components = connected_components(graph)
+        sizes = [len(component) for component in components]
+        assert sorted(sizes, reverse=True) == [2, 2, 1]
+        assert components[0] in (
+            frozenset({ids["a"], ids["b"]}), frozenset({ids["c"], ids["d"]})
+        )
+
+    def test_direction_is_ignored(self, chain):
+        graph, _ = chain
+        assert len(connected_components(graph)) == 1
+
+    def test_empty(self):
+        assert connected_components(MemoryGraph()) == []
+
+
+class TestTriangles:
+    def test_counts_one_triangle(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a").node("b").node("c")
+            .rel("a", "R", "b").rel("b", "R", "c").rel("c", "R", "a")
+            .build()
+        )
+        assert triangle_count(graph) == 1
+
+    def test_parallel_edges_and_loops_ignored(self):
+        graph, ids = (
+            GraphBuilder()
+            .node("a").node("b").node("c")
+            .rel("a", "R", "b").rel("b", "R", "a")
+            .rel("b", "R", "c").rel("c", "R", "a")
+            .rel("a", "R", "a")
+            .build()
+        )
+        assert triangle_count(graph) == 1
+
+    def test_no_triangles_on_chain(self, chain):
+        graph, _ = chain
+        assert triangle_count(graph) == 0

@@ -1,0 +1,130 @@
+"""Direct table-level tests of the clause semantics (Figures 6 and 7).
+
+These bypass the engine and exercise ``apply_clause`` / ``run_query`` on
+explicit tables, mirroring how the paper presents the semantics.
+"""
+
+import pytest
+
+from repro import parse_query
+from repro.datasets.paper import figure4_graph
+from repro.exceptions import CypherRuntimeError, CypherSemanticError
+from repro.parser.parser import Parser
+from repro.semantics.clauses import apply_clause
+from repro.semantics.query import QueryState, output, run_query
+from repro.semantics.table import Table
+
+
+def parse_single_clause(text):
+    parser = Parser(text)
+    return parser._parse_clause()
+
+
+@pytest.fixture
+def fig4():
+    graph, ids = figure4_graph()
+    return graph, ids, QueryState(graph)
+
+
+class TestMatchClause:
+    def test_match_extends_fields(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause("MATCH (x)-[:KNOWS]->(y)")
+        result = apply_clause(clause, Table.unit(), state)
+        assert set(result.fields) == {"x", "y"}
+        assert len(result) == 3
+
+    def test_match_drives_from_each_row(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause("MATCH (x)-[:KNOWS]->(y)")
+        driving = Table(("x",), [{"x": ids["n1"]}, {"x": ids["n3"]}])
+        result = apply_clause(clause, driving, state)
+        assert len(result) == 2  # n1->n2 and n3->n4
+
+    def test_match_on_empty_table_is_empty(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause("MATCH (x)")
+        result = apply_clause(clause, Table(("q",), []), state)
+        assert len(result) == 0
+
+    def test_optional_match_pads_only_new_fields(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause(
+            "OPTIONAL MATCH (x)-[:KNOWS]->(y:Student)"
+        )
+        driving = Table(("x",), [{"x": ids["n3"]}])  # n3 knows no Student
+        result = apply_clause(clause, driving, state)
+        assert result.rows == [{"x": ids["n3"], "y": None}]
+
+
+class TestProjectionClause:
+    def test_with_renames(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause("WITH 1 + 1 AS two")
+        result = apply_clause(clause, Table.unit(), state)
+        assert result.fields == ("two",)
+        assert result.rows == [{"two": 2}]
+
+    def test_return_star_requires_fields(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause("RETURN *")
+        with pytest.raises(CypherSemanticError):
+            apply_clause(clause, Table.unit(), state)
+
+    def test_alpha_naming_uses_expression_text(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause("RETURN 1 + 2")
+        result = apply_clause(clause, Table.unit(), state)
+        assert result.fields == ("1 + 2",)
+
+    def test_duplicate_output_names_rejected(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause("RETURN 1 AS x, 2 AS x")
+        with pytest.raises(CypherSemanticError):
+            apply_clause(clause, Table.unit(), state)
+
+    def test_negative_limit_rejected(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause("RETURN 1 AS x LIMIT -1")
+        with pytest.raises(CypherRuntimeError):
+            apply_clause(clause, Table.unit(), state)
+
+    def test_order_by_is_stable(self, fig4):
+        graph, ids, state = fig4
+        clause = parse_single_clause("WITH x, y ORDER BY x")
+        driving = Table(
+            ("x", "y"),
+            [{"x": 1, "y": "b"}, {"x": 1, "y": "a"}, {"x": 0, "y": "z"}],
+        )
+        result = apply_clause(clause, driving, state)
+        assert [row["y"] for row in result.rows] == ["z", "b", "a"]
+
+
+class TestQuerySemantics:
+    def test_output_starts_from_unit_table(self, fig4):
+        graph, ids, state = fig4
+        table = output(parse_query("RETURN 1 AS one"), graph)
+        assert table.rows == [{"one": 1}]
+
+    def test_union_applies_to_the_same_input(self, fig4):
+        graph, ids, state = fig4
+        query = parse_query("RETURN 1 AS x UNION ALL RETURN 1 AS x")
+        table = run_query(query, state)
+        assert len(table) == 2
+
+    def test_union_reorders_mismatched_field_order(self, fig4):
+        graph, ids, state = fig4
+        query = parse_query(
+            "RETURN 1 AS a, 2 AS b UNION RETURN 2 AS b, 1 AS a"
+        )
+        table = run_query(query, state)
+        assert len(table) == 1  # identical records after reordering
+
+    def test_linear_composition(self, fig4):
+        graph, ids, state = fig4
+        query = parse_query(
+            "UNWIND [1, 2, 3] AS x WITH x WHERE x > 1 "
+            "WITH x * 10 AS y RETURN sum(y) AS total"
+        )
+        table = run_query(query, state)
+        assert table.rows == [{"total": 50}]

@@ -1,0 +1,126 @@
+"""Unit tests for the interactive shell (driven through StringIO)."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell, main
+from repro.graph.builder import GraphBuilder
+from repro.runtime.engine import CypherEngine
+
+
+def make_shell(graph=None):
+    output = io.StringIO()
+    engine = CypherEngine(graph) if graph is not None else None
+    shell = Shell(engine=engine, output=output)
+    return shell, output
+
+
+class TestQueries:
+    def test_query_prints_table_and_row_count(self):
+        shell, output = make_shell()
+        shell.handle("RETURN 1 AS x;")
+        text = output.getvalue()
+        assert "x" in text
+        assert "(1 row)" in text
+
+    def test_updates_print_ok(self):
+        shell, output = make_shell()
+        shell.handle("CREATE (:Person {name: 'Ann'})")
+        assert "ok" in output.getvalue()
+        shell.handle("MATCH (p:Person) RETURN p.name AS name")
+        assert "Ann" in output.getvalue()
+
+    def test_errors_are_reported_not_raised(self):
+        shell, output = make_shell()
+        shell.handle("MATCH (")
+        assert "error:" in output.getvalue()
+
+    def test_blank_lines_ignored(self):
+        shell, output = make_shell()
+        assert shell.handle("   ") is True
+        assert output.getvalue() == ""
+
+
+class TestCommands:
+    def test_quit_stops_the_loop(self):
+        shell, _ = make_shell()
+        assert shell.handle(":quit") is False
+
+    def test_help(self):
+        shell, output = make_shell()
+        shell.handle(":help")
+        assert ":schema" in output.getvalue()
+
+    def test_schema(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "Person").node("b", "City")
+            .rel("a", "IN", "b")
+            .build()
+        )
+        shell, output = make_shell(graph)
+        shell.handle(":schema")
+        text = output.getvalue()
+        assert "2 nodes, 1 relationships" in text
+        assert "City" in text and "Person" in text and "IN" in text
+
+    def test_mode_switch(self):
+        shell, output = make_shell()
+        shell.handle(":mode planner")
+        assert shell.engine.mode == "planner"
+        shell.handle(":mode bogus")
+        assert "usage" in output.getvalue()
+
+    def test_explain(self):
+        shell, output = make_shell()
+        shell.handle(":explain MATCH (n) RETURN n")
+        assert "AllNodesScan" in output.getvalue()
+
+    def test_unknown_command(self):
+        shell, output = make_shell()
+        shell.handle(":frobnicate")
+        assert "unknown command" in output.getvalue()
+
+    def test_save_and_load(self, tmp_path):
+        graph, _ = GraphBuilder().node("a", "L", v=1).build()
+        shell, output = make_shell(graph)
+        path = str(tmp_path / "g.json")
+        shell.handle(":save %s" % path)
+        assert "saved" in output.getvalue()
+
+        fresh, fresh_output = make_shell()
+        fresh.handle(":load %s" % path)
+        assert "loaded 1 nodes" in fresh_output.getvalue()
+        fresh.handle("MATCH (n:L) RETURN n.v AS v")
+        assert "1" in fresh_output.getvalue()
+
+    def test_load_missing_file(self):
+        shell, output = make_shell()
+        shell.handle(":load /nonexistent/file.json")
+        assert "error:" in output.getvalue()
+
+    def test_run_drives_multiple_lines(self):
+        shell, output = make_shell()
+        shell.run(["CREATE (:A)", "MATCH (a:A) RETURN count(*) AS n", ":quit",
+                   "RETURN 'never' AS x"])
+        text = output.getvalue()
+        assert "never" not in text
+        assert "1" in text
+
+
+class TestMain:
+    def test_one_shot_query(self, capsys):
+        exit_code = main(["--query", "RETURN 40 + 2 AS answer"])
+        assert exit_code == 0
+        assert "42" in capsys.readouterr().out
+
+    def test_graph_loading(self, tmp_path, capsys):
+        from repro.graph.io import dump_json
+
+        graph, _ = GraphBuilder().node("a", "Person", name="Ann").build()
+        path = str(tmp_path / "g.json")
+        dump_json(graph, path)
+        main(["--graph", path, "--query",
+              "MATCH (p:Person) RETURN p.name AS name"])
+        assert "Ann" in capsys.readouterr().out

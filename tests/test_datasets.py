@@ -1,0 +1,93 @@
+"""Unit tests for the dataset generators (determinism and shape)."""
+
+import pytest
+
+from repro.datasets.citations import citation_network
+from repro.datasets.datacenter import datacenter_graph
+from repro.datasets.fraud import fraud_graph
+from repro.datasets.paper import figure1_graph, figure4_graph, self_loop_graph
+from repro.datasets.social import social_graph, social_with_registry
+from repro.graph.io import graph_to_dict
+
+
+class TestPaperGraphs:
+    def test_figure1_matches_example_41(self):
+        graph, ids = figure1_graph()
+        assert graph.node_count() == 10
+        assert graph.relationship_count() == 11
+        # spot-check src/tgt against Example 4.1
+        assert graph.src(ids["r3"]) == ids["n4"]
+        assert graph.tgt(ids["r3"]) == ids["n2"]
+        assert graph.src(ids["r11"]) == ids["n9"]
+        assert graph.tgt(ids["r11"]) == ids["n5"]
+        assert graph.rel_type(ids["r6"]) == "SUPERVISES"
+        assert graph.property_value(ids["n2"], "acmid") == 220
+        assert graph.labels(ids["n7"]) == frozenset({"Student"})
+
+    def test_figure4_shape(self):
+        graph, ids = figure4_graph()
+        assert graph.node_count() == 4
+        assert graph.relationship_count() == 3
+        assert graph.labels(ids["n2"]) == frozenset({"Student"})
+        assert graph.src(ids["r2"]) == ids["n2"]
+
+    def test_self_loop(self):
+        graph, ids = self_loop_graph()
+        assert graph.src(ids["r"]) == graph.tgt(ids["r"]) == ids["n"]
+
+
+class TestGenerators:
+    def test_citation_network_deterministic(self):
+        first, _ = citation_network(publications=15, seed=3)
+        second, _ = citation_network(publications=15, seed=3)
+        assert graph_to_dict(first) == graph_to_dict(second)
+
+    def test_citation_network_is_a_dag(self):
+        graph, handles = citation_network(publications=25, seed=1)
+        order = {node: node.value for node in handles["publications"]}
+        for rel in graph.relationships_with_type("CITES"):
+            assert order[graph.src(rel)] > order[graph.tgt(rel)]
+
+    def test_datacenter_layering(self):
+        graph, layers = datacenter_graph(layers=3, width=4, fanout=2, seed=0)
+        assert len(layers) == 3
+        for rel in graph.relationships_with_type("DEPENDS_ON"):
+            src_layer = graph.property_value(graph.src(rel), "layer")
+            tgt_layer = graph.property_value(graph.tgt(rel), "layer")
+            assert src_layer == tgt_layer + 1
+
+    def test_fraud_rings_are_planted_as_promised(self):
+        graph, planted = fraud_graph(holders=20, rings=3, ring_size=3, seed=4)
+        assert len(planted) == 3
+        for ring in planted:
+            for member in ring["members"]:
+                has_edge = any(
+                    graph.tgt(rel) == ring["pii"]
+                    for rel in graph.outgoing(member, {"HAS"})
+                )
+                assert has_edge
+
+    def test_social_graph_no_duplicate_pairs(self):
+        graph, people = social_graph(people=20, avg_friends=4, seed=6)
+        seen = set()
+        for rel in graph.relationships_with_type("FRIEND"):
+            pair = frozenset((graph.src(rel), graph.tgt(rel)))
+            assert pair not in seen
+            seen.add(pair)
+
+    def test_social_with_registry_shares_node_ids(self):
+        catalog, people, cities = social_with_registry(people=10, seed=1)
+        soc_net = catalog.resolve(name="soc_net")
+        register = catalog.resolve(name="register")
+        for person in people:
+            assert soc_net.has_node(person)
+            assert register.has_node(person)
+            assert soc_net.property_value(person, "name") == (
+                register.property_value(person, "name")
+            )
+
+    def test_registry_assigns_every_person_one_city(self):
+        catalog, people, cities = social_with_registry(people=12, seed=2)
+        register = catalog.resolve(name="register")
+        for person in people:
+            assert sum(1 for _ in register.outgoing(person, {"IN"})) == 1

@@ -1,0 +1,106 @@
+"""Integration: the public CypherEngine / QueryResult API."""
+
+import pytest
+
+from repro import CypherEngine, Table
+from repro.exceptions import CypherRuntimeError, CypherSyntaxError
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import MemoryGraph
+
+
+@pytest.fixture
+def engine():
+    graph, _ = (
+        GraphBuilder()
+        .node("a", "Person", name="Ann", age=30)
+        .node("b", "Person", name="Bob", age=40)
+        .rel("a", "KNOWS", "b")
+        .build()
+    )
+    return CypherEngine(graph)
+
+
+class TestEngine:
+    def test_default_graph_created(self):
+        engine = CypherEngine()
+        assert engine.graph.node_count() == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CypherEngine(MemoryGraph(), mode="turbo")
+
+    def test_syntax_errors_surface(self, engine):
+        with pytest.raises(CypherSyntaxError):
+            engine.run("MATCH MATCH")
+
+    def test_explain_returns_plan_text(self, engine):
+        text = engine.explain("MATCH (p:Person) RETURN p.name AS name")
+        assert "NodeByLabelScan" in text
+        assert "Init" in text
+
+    def test_per_call_mode_override(self, engine):
+        interpreted = engine.run("MATCH (p:Person) RETURN p.name AS n",
+                                 mode="interpreter")
+        planned = engine.run("MATCH (p:Person) RETURN p.name AS n",
+                             mode="planner")
+        assert interpreted.table.same_bag(planned.table)
+
+    def test_parameters_flow_through(self, engine):
+        result = engine.run(
+            "MATCH (p:Person) WHERE p.age > $min RETURN p.name AS name",
+            parameters={"min": 35},
+        )
+        assert result.values("name") == ["Bob"]
+
+
+class TestQueryResult:
+    def test_columns_in_projection_order(self, engine):
+        result = engine.run("MATCH (p:Person) RETURN p.age AS age, p.name AS name")
+        assert result.columns == ["age", "name"]
+
+    def test_records_and_iteration(self, engine):
+        result = engine.run("MATCH (p:Person) RETURN p.name AS name")
+        assert sorted(r["name"] for r in result) == ["Ann", "Bob"]
+        assert len(result) == 2
+
+    def test_values_helpers(self, engine):
+        result = engine.run(
+            "MATCH (p:Person) RETURN p.name AS name ORDER BY name"
+        )
+        assert result.values() == ["Ann", "Bob"]
+        assert result.values("name") == ["Ann", "Bob"]
+        with pytest.raises(CypherRuntimeError):
+            result.values("nope")
+
+    def test_single_and_value(self, engine):
+        result = engine.run("MATCH (p:Person {name: 'Ann'}) RETURN p.age AS age")
+        assert result.single() == {"age": 30}
+        assert result.value() == 30
+        everyone = engine.run("MATCH (p:Person) RETURN p.age AS age")
+        with pytest.raises(CypherRuntimeError):
+            everyone.single()
+
+    def test_value_needs_single_column(self, engine):
+        result = engine.run(
+            "MATCH (p:Person {name: 'Ann'}) RETURN p.age AS a, p.name AS n"
+        )
+        with pytest.raises(CypherRuntimeError):
+            result.value()
+        assert result.value("n") == "Ann"
+
+    def test_graph_accessor_errors_when_empty(self, engine):
+        result = engine.run("MATCH (p:Person) RETURN p")
+        with pytest.raises(CypherRuntimeError):
+            result.graph()
+
+    def test_pretty_output(self, engine):
+        result = engine.run(
+            "MATCH (p:Person) RETURN p.name AS name ORDER BY name"
+        )
+        rendered = result.pretty()
+        assert "name" in rendered and "Ann" in rendered
+
+    def test_underlying_table_is_a_bag(self, engine):
+        result = engine.run("MATCH (p:Person) RETURN 1 AS one")
+        assert isinstance(result.table, Table)
+        assert result.table.multiplicity({"one": 1}) == 2

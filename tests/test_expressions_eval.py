@@ -1,0 +1,265 @@
+"""Unit tests for the expression evaluator [[expr]]_{G,u} (paper §4.3)."""
+
+import math
+
+import pytest
+
+from repro import parse_expression
+from repro.exceptions import (
+    CypherRuntimeError,
+    CypherSemanticError,
+    CypherTypeError,
+    ParameterNotBound,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import MemoryGraph
+from repro.semantics.expressions import Evaluator, apply_arithmetic
+
+
+def evaluate(text, record=None, graph=None, parameters=None):
+    evaluator = Evaluator(graph or MemoryGraph(), parameters)
+    return evaluator.evaluate(parse_expression(text), record or {})
+
+
+class TestLeaves:
+    def test_literals(self):
+        assert evaluate("42") == 42
+        assert evaluate("'x'") == "x"
+        assert evaluate("null") is None
+        assert evaluate("true") is True
+
+    def test_variables(self):
+        assert evaluate("x", {"x": 7}) == 7
+
+    def test_unknown_variable(self):
+        with pytest.raises(CypherSemanticError):
+            evaluate("ghost", {})
+
+    def test_parameters(self):
+        assert evaluate("$p", parameters={"p": 3}) == 3
+        with pytest.raises(ParameterNotBound):
+            evaluate("$q", parameters={})
+
+
+class TestMapsAndProperties:
+    def test_graph_property_access(self):
+        graph, ids = GraphBuilder().node("a", "L", name="Ann").build()
+        assert evaluate("n.name", {"n": ids["a"]}, graph) == "Ann"
+        assert evaluate("n.missing", {"n": ids["a"]}, graph) is None
+
+    def test_map_access(self):
+        assert evaluate("{a: {b: 2}}.a.b") == 2
+        assert evaluate("{a: 1}.zzz") is None
+
+    def test_null_subject(self):
+        assert evaluate("null.k") is None
+
+    def test_invalid_subject(self):
+        with pytest.raises(CypherTypeError):
+            evaluate("(1).k")
+
+    def test_dynamic_lookup(self):
+        graph, ids = GraphBuilder().node("a", v=9).build()
+        assert evaluate("n['v']", {"n": ids["a"]}, graph) == 9
+        assert evaluate("{x: 1}['x']") == 1
+
+
+class TestListOperations:
+    def test_index(self):
+        assert evaluate("[1, 2, 3][1]") == 2
+        assert evaluate("[1, 2, 3][-1]") == 3
+        assert evaluate("[1][5]") is None
+        assert evaluate("[1][null]") is None
+
+    def test_index_type_errors(self):
+        with pytest.raises(CypherTypeError):
+            evaluate("[1]['a']")
+        with pytest.raises(CypherTypeError):
+            evaluate("(1)[0]")
+
+    def test_slices(self):
+        assert evaluate("[0, 1, 2, 3][1..3]") == [1, 2]
+        assert evaluate("[0, 1, 2][..2]") == [0, 1]
+        assert evaluate("[0, 1, 2][1..]") == [1, 2]
+        assert evaluate("[0, 1][null..1]") is None
+
+    def test_in_semantics(self):
+        assert evaluate("2 IN [1, 2]") is True
+        assert evaluate("9 IN [1, 2]") is False
+        assert evaluate("9 IN [1, null]") is None
+        assert evaluate("null IN []") is False
+        assert evaluate("null IN [1]") is None
+        assert evaluate("1 IN null") is None
+
+    def test_in_requires_list(self):
+        with pytest.raises(CypherTypeError):
+            evaluate("1 IN 2")
+
+
+class TestArithmetic:
+    def test_numeric_ops(self):
+        assert evaluate("2 + 3") == 5
+        assert evaluate("2.5 * 2") == 5.0
+        assert evaluate("2 ^ 10") == 1024.0
+
+    def test_string_and_list_plus(self):
+        assert evaluate("'a' + 'b'") == "ab"
+        assert evaluate("[1] + [2]") == [1, 2]
+        assert evaluate("[1] + 2") == [1, 2]
+        assert evaluate("0 + [1]") == [0, 1]
+
+    def test_null_propagation(self):
+        assert evaluate("null + 1") is None
+        assert evaluate("1 - null") is None
+        assert evaluate("-(null)") is None
+
+    def test_invalid_addition(self):
+        with pytest.raises(CypherTypeError):
+            evaluate("1 + 'x'")
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert evaluate("-7 / 2") == -3
+        assert evaluate("7 / 2") == 3
+        assert evaluate("7.0 / 2") == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(CypherRuntimeError):
+            evaluate("1 / 0")
+        assert evaluate("1.0 / 0") == math.inf
+        assert evaluate("-1.0 / 0.0") == -math.inf
+
+    def test_modulo_sign_follows_dividend(self):
+        assert evaluate("-7 % 2") == -1
+        assert evaluate("7 % -2") == 1
+        assert evaluate("7.5 % 2") == pytest.approx(1.5)
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(CypherRuntimeError):
+            evaluate("1 % 0")
+
+    def test_unary(self):
+        assert evaluate("-(3)") == -3
+        assert evaluate("+(3)") == 3
+        with pytest.raises(CypherTypeError):
+            evaluate("-'x'")
+
+    def test_apply_arithmetic_is_shared_kernel(self):
+        assert apply_arithmetic("+", 1, 2) == 3
+        assert apply_arithmetic("*", None, 2) is None
+
+
+class TestLogicAndComparison:
+    def test_where_strictness(self):
+        evaluator = Evaluator(MemoryGraph())
+        assert evaluator.evaluate_predicate(parse_expression("1 = 1"), {})
+        assert not evaluator.evaluate_predicate(parse_expression("null"), {})
+
+    def test_chained_comparison(self):
+        assert evaluate("1 < 2 < 3") is True
+        assert evaluate("1 < 3 < 2") is False
+        assert evaluate("1 < 2 < null") is None
+        # short-circuit: a definite false beats a later unknown
+        assert evaluate("3 < 2 < null") is False
+
+    def test_logic_requires_booleans(self):
+        with pytest.raises(CypherTypeError):
+            evaluate("1 AND true")
+
+    def test_label_predicate(self):
+        graph, ids = GraphBuilder().node("a", "P", "Q").build()
+        assert evaluate("n:P:Q", {"n": ids["a"]}, graph) is True
+        assert evaluate("n:P:Z", {"n": ids["a"]}, graph) is False
+        assert evaluate("x:P", {"x": None}, graph) is None
+
+
+class TestComprehensionsAndQuantifiers:
+    def test_list_comprehension(self):
+        assert evaluate("[x IN [1, 2, 3] WHERE x > 1 | x * 10]") == [20, 30]
+        assert evaluate("[x IN null | x]") is None
+
+    def test_comprehension_scopes_do_not_leak(self):
+        assert evaluate("[x IN [1] | x + y]", {"y": 10}) == [11]
+
+    def test_quantifier_null_handling(self):
+        assert evaluate("any(x IN [false, null] WHERE x)") is None
+        assert evaluate("all(x IN [true, null] WHERE x)") is None
+        assert evaluate("all(x IN [false, null] WHERE x)") is False
+        assert evaluate("none(x IN [null] WHERE x)") is None
+        assert evaluate("single(x IN [true, true] WHERE x)") is False
+        assert evaluate("single(x IN [true, null] WHERE x)") is None
+
+    def test_pattern_predicate(self):
+        graph, ids = (
+            GraphBuilder().node("a").node("b").rel("a", "R", "b").build()
+        )
+        assert evaluate("(x)-[:R]->()", {"x": ids["a"]}, graph) is True
+        assert evaluate("(x)-[:R]->()", {"x": ids["b"]}, graph) is False
+
+    def test_exists_subquery_with_where(self):
+        graph, ids = (
+            GraphBuilder()
+            .node("a")
+            .node("b", v=1)
+            .node("c", v=2)
+            .rel("a", "R", "b")
+            .rel("a", "R", "c")
+            .build()
+        )
+        assert (
+            evaluate("exists((x)-[:R]->(t) WHERE t.v = 2)", {"x": ids["a"]}, graph)
+            is True
+        )
+        assert (
+            evaluate("exists((x)-[:R]->(t) WHERE t.v = 9)", {"x": ids["a"]}, graph)
+            is False
+        )
+
+
+class TestCase:
+    def test_simple_case_uses_equality(self):
+        assert evaluate("CASE 1 WHEN 1.0 THEN 'hit' ELSE 'miss' END") == "hit"
+
+    def test_simple_case_null_never_matches(self):
+        assert evaluate("CASE null WHEN null THEN 'hit' ELSE 'miss' END") == "miss"
+
+    def test_searched_case_first_true_wins(self):
+        assert evaluate(
+            "CASE WHEN false THEN 1 WHEN true THEN 2 WHEN true THEN 3 END"
+        ) == 2
+
+    def test_no_match_no_default_is_null(self):
+        assert evaluate("CASE WHEN false THEN 1 END") is None
+
+
+class TestAggregatePlacement:
+    def test_aggregate_outside_projection_rejected(self):
+        with pytest.raises(CypherSemanticError):
+            evaluate("count(x)", {"x": 1})
+        with pytest.raises(CypherSemanticError):
+            evaluate("count(*)")
+
+
+class TestFunctions:
+    def test_graph_functions(self):
+        graph, ids = (
+            GraphBuilder()
+            .node("a", "P", name="Ann")
+            .node("b")
+            .rel("a", "R", "b", handle="r", w=1)
+            .build()
+        )
+        assert evaluate("labels(n)", {"n": ids["a"]}, graph) == ["P"]
+        assert evaluate("type(r)", {"r": ids["r"]}, graph) == "R"
+        assert evaluate("id(n)", {"n": ids["a"]}, graph) == ids["a"].value
+        assert evaluate("keys(n)", {"n": ids["a"]}, graph) == ["name"]
+        assert evaluate("properties(r)", {"r": ids["r"]}, graph) == {"w": 1}
+        assert evaluate("startNode(r)", {"r": ids["r"]}, graph) == ids["a"]
+        assert evaluate("endNode(r)", {"r": ids["r"]}, graph) == ids["b"]
+
+    def test_unknown_function(self):
+        with pytest.raises(CypherSemanticError):
+            evaluate("frobnicate(1)")
+
+    def test_arity_errors(self):
+        with pytest.raises(CypherTypeError):
+            evaluate("labels(1, 2)")

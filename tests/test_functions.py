@@ -1,0 +1,211 @@
+"""Unit tests for the function set F: scalar, string, math, aggregates."""
+
+import math
+
+import pytest
+
+from repro.exceptions import CypherSemanticError, CypherTypeError
+from repro.functions import default_registry, make_aggregate
+from repro.functions.registry import FunctionContext, FunctionRegistry
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import MemoryGraph
+
+
+@pytest.fixture
+def call():
+    registry = default_registry()
+    context = FunctionContext(MemoryGraph())
+
+    def invoke(name, *args):
+        return registry.call(name, context, list(args))
+
+    return invoke
+
+
+class TestRegistry:
+    def test_case_insensitive_lookup(self, call):
+        assert call("COALESCE", None, 2) == 2
+        assert call("toupper", "ab") == "AB"
+
+    def test_unknown_function(self):
+        with pytest.raises(CypherSemanticError):
+            default_registry().lookup("nope")
+
+    def test_arity_enforced(self, call):
+        with pytest.raises(CypherTypeError):
+            call("abs", 1, 2)
+        with pytest.raises(CypherTypeError):
+            call("abs")
+
+    def test_copy_is_independent(self):
+        original = FunctionRegistry()
+        original.register("f", lambda ctx: 1)
+        clone = original.copy()
+        clone.register("g", lambda ctx: 2)
+        assert "g" not in original
+
+
+class TestScalar:
+    def test_size_variants(self, call):
+        assert call("size", [1, 2]) == 2
+        assert call("size", "abc") == 3
+        assert call("size", {"a": 1}) == 1
+        assert call("size", None) is None
+
+    def test_head_last_tail(self, call):
+        assert call("head", [1, 2]) == 1
+        assert call("last", [1, 2]) == 2
+        assert call("tail", [1, 2, 3]) == [2, 3]
+        assert call("tail", []) == []
+
+    def test_to_integer(self, call):
+        assert call("toInteger", "42") == 42
+        assert call("toInteger", 3.9) == 3
+        assert call("toInteger", "not a number") is None
+        assert call("toInteger", "3.5") == 3
+
+    def test_to_float_and_boolean(self, call):
+        assert call("toFloat", "2.5") == 2.5
+        assert call("toFloat", 2) == 2.0
+        assert call("toBoolean", "TRUE") is True
+        assert call("toBoolean", "junk") is None
+
+    def test_to_string(self, call):
+        assert call("toString", 42) == "42"
+        assert call("toString", 2.5) == "2.5"
+        assert call("toString", True) == "true"
+        assert call("toString", None) is None
+
+
+class TestStrings:
+    def test_case_functions(self, call):
+        assert call("toUpper", "ab") == "AB"
+        assert call("toLower", "AB") == "ab"
+
+    def test_trim_family(self, call):
+        assert call("trim", "  x  ") == "x"
+        assert call("ltrim", "  x") == "x"
+        assert call("rtrim", "x  ") == "x"
+
+    def test_replace_split(self, call):
+        assert call("replace", "banana", "na", "NA") == "baNANA"
+        assert call("split", "a,b,c", ",") == ["a", "b", "c"]
+        assert call("split", "abc", "") == ["a", "b", "c"]
+
+    def test_substring_left_right(self, call):
+        assert call("substring", "hello", 1) == "ello"
+        assert call("substring", "hello", 1, 3) == "ell"
+        assert call("left", "hello", 2) == "he"
+        assert call("right", "hello", 2) == "lo"
+        assert call("right", "hello", 0) == ""
+
+    def test_reverse(self, call):
+        assert call("reverse", "abc") == "cba"
+        assert call("reverse", [1, 2]) == [2, 1]
+
+    def test_substring_validation(self, call):
+        with pytest.raises(CypherTypeError):
+            call("substring", "x", -1)
+
+
+class TestMath:
+    def test_rounding_family(self, call):
+        assert call("abs", -3) == 3
+        assert call("ceil", 1.2) == 2.0
+        assert call("floor", 1.8) == 1.0
+        assert call("sign", -9) == -1
+        assert call("sign", 0) == 0
+
+    def test_round_half_away_from_zero(self, call):
+        assert call("round", 0.5) == 1.0
+        assert call("round", -0.5) == -1.0
+        assert call("round", 1.4) == 1.0
+
+    def test_sqrt_exp_log(self, call):
+        assert call("sqrt", 16) == 4.0
+        assert math.isnan(call("sqrt", -1))
+        assert call("exp", 0) == 1.0
+        assert call("log", math.e) == pytest.approx(1.0)
+        assert math.isnan(call("log", 0))
+        assert call("log10", 100) == pytest.approx(2.0)
+
+    def test_trig(self, call):
+        assert call("sin", 0) == 0.0
+        assert call("cos", 0) == 1.0
+        assert call("atan2", 1, 1) == pytest.approx(math.pi / 4)
+
+    def test_constants(self, call):
+        assert call("pi") == math.pi
+        assert call("e") == math.e
+
+    def test_null_passthrough(self, call):
+        for name in ("abs", "ceil", "sqrt", "sin"):
+            assert call(name, None) is None
+
+
+class TestAggregates:
+    def feed(self, name, values, distinct=False):
+        aggregate = make_aggregate(name, distinct)
+        for value in values:
+            aggregate.include(value)
+        return aggregate.result()
+
+    def test_count_skips_nulls(self):
+        assert self.feed("count", [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        assert self.feed("count", [1, 1, 2.0, 2], distinct=True) == 2
+
+    def test_sum_and_avg(self):
+        assert self.feed("sum", [1, 2, 3]) == 6
+        assert self.feed("sum", []) == 0
+        assert self.feed("avg", [2, 4]) == 3.0
+        assert self.feed("avg", []) is None
+
+    def test_min_max(self):
+        assert self.feed("min", [3, 1, 2]) == 1
+        assert self.feed("max", [3, 1, 2]) == 3
+        assert self.feed("min", []) is None
+
+    def test_min_ignores_incomparable(self):
+        assert self.feed("min", [3, "a", 1]) in (1, "a", 3)  # total behaviour
+        assert self.feed("min", [3, 1]) == 1
+
+    def test_collect(self):
+        assert self.feed("collect", [1, None, 2]) == [1, 2]
+        assert self.feed("collect", []) == []
+        assert self.feed("collect", [1, 1], distinct=True) == [1]
+
+    def test_stdev(self):
+        assert self.feed("stdev", [2, 4]) == pytest.approx(math.sqrt(2))
+        assert self.feed("stdevp", [2, 4]) == pytest.approx(1.0)
+        assert self.feed("stdev", [5]) == 0.0
+
+    def test_percentiles(self):
+        cont = make_aggregate("percentilecont")
+        for value in (10, 20, 30):
+            cont.include_pair(value, 0.5)
+        assert cont.result() == 20.0
+        disc = make_aggregate("percentiledisc")
+        for value in (10, 20, 30, 40):
+            disc.include_pair(value, 0.25)
+        assert disc.result() == 10.0
+
+    def test_percentile_bounds_checked(self):
+        aggregate = make_aggregate("percentilecont")
+        with pytest.raises(CypherTypeError):
+            aggregate.include_pair(1, 2.0)
+
+    def test_sum_type_error(self):
+        with pytest.raises(CypherTypeError):
+            self.feed("sum", ["a"])
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(CypherSemanticError):
+            make_aggregate("frob")
+
+    def test_entity_functions_need_graph(self):
+        graph, ids = GraphBuilder().node("a", "L").build()
+        registry = default_registry()
+        context = FunctionContext(graph)
+        assert registry.call("labels", context, [ids["a"]]) == ["L"]

@@ -1,0 +1,102 @@
+"""Unit tests for graph JSON round-trips and DOT export."""
+
+import json
+
+import pytest
+
+from repro.exceptions import CypherRuntimeError
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import (
+    dump_json,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    to_dot,
+)
+from repro.graph.store import MemoryGraph
+
+
+@pytest.fixture
+def sample():
+    return (
+        GraphBuilder()
+        .node("ann", "Person", name="Ann", tags=["x", "y"])
+        .node("bob", "Person", "Admin", name="Bob")
+        .rel("ann", "KNOWS", "bob", handle="k", since=2011)
+        .build()
+    )
+
+
+class TestDictRoundTrip:
+    def test_structure(self, sample):
+        graph, ids = sample
+        document = graph_to_dict(graph)
+        assert len(document["nodes"]) == 2
+        assert len(document["relationships"]) == 1
+        rel = document["relationships"][0]
+        assert rel["type"] == "KNOWS"
+        assert rel["start"] == ids["ann"].value
+        assert rel["end"] == ids["bob"].value
+
+    def test_round_trip_preserves_everything(self, sample):
+        graph, ids = sample
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.node_count() == graph.node_count()
+        assert rebuilt.relationship_count() == graph.relationship_count()
+        assert rebuilt.labels(ids["bob"]) == graph.labels(ids["bob"])
+        assert rebuilt.properties(ids["ann"]) == graph.properties(ids["ann"])
+        # ids preserved exactly
+        assert rebuilt.has_node(ids["ann"])
+
+    def test_round_trip_queries_agree(self, sample):
+        from repro import CypherEngine
+
+        graph, _ = sample
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        query = "MATCH (a)-[r:KNOWS]->(b) RETURN a.name, r.since, b.name"
+        original = CypherEngine(graph).run(query)
+        copied = CypherEngine(rebuilt).run(query)
+        assert original.table.same_bag(copied.table)
+
+    def test_malformed_document(self):
+        with pytest.raises(CypherRuntimeError):
+            graph_from_dict({"not": "a graph"})
+
+    def test_empty_graph(self):
+        rebuilt = graph_from_dict(graph_to_dict(MemoryGraph()))
+        assert rebuilt.node_count() == 0
+
+
+class TestJson:
+    def test_dump_is_valid_json(self, sample):
+        graph, _ = sample
+        parsed = json.loads(dump_json(graph))
+        assert set(parsed.keys()) == {"nodes", "relationships"}
+
+    def test_file_round_trip(self, sample, tmp_path):
+        graph, ids = sample
+        path = str(tmp_path / "graph.json")
+        dump_json(graph, path)
+        loaded = load_json(path)
+        assert loaded.node_count() == 2
+        assert loaded.property_value(ids["ann"], "name") == "Ann"
+
+    def test_load_from_string(self, sample):
+        graph, _ = sample
+        loaded = load_json(dump_json(graph))
+        assert loaded.relationship_count() == 1
+
+
+class TestDot:
+    def test_dot_output_shape(self, sample):
+        graph, ids = sample
+        dot = to_dot(graph, name="Sample")
+        assert dot.startswith("digraph Sample {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="KNOWS"' in dot
+        assert "Ann" in dot and "Person" in dot
+        assert "n%d -> n%d" % (ids["ann"].value, ids["bob"].value) in dot
+
+    def test_unnamed_nodes_get_id_labels(self):
+        graph, _ = GraphBuilder().node("x").build()
+        assert 'label="n1"' in to_dot(graph)

@@ -1,0 +1,127 @@
+"""Unit tests for GraphBuilder, GraphStatistics and GraphCatalog."""
+
+import pytest
+
+from repro.exceptions import GraphNotFound
+from repro.graph.builder import GraphBuilder
+from repro.graph.catalog import GraphCatalog
+from repro.graph.statistics import GraphStatistics
+from repro.graph.store import MemoryGraph
+
+
+class TestGraphBuilder:
+    def test_builds_nodes_and_relationships(self):
+        graph, ids = (
+            GraphBuilder()
+            .node("a", "Person", name="Ann")
+            .node("b", "Person", name="Bob")
+            .rel("a", "KNOWS", "b", handle="ab", since=2001)
+            .build()
+        )
+        assert graph.node_count() == 2
+        assert graph.relationship_count() == 1
+        assert graph.property_value(ids["a"], "name") == "Ann"
+        assert graph.rel_type(ids["ab"]) == "KNOWS"
+        assert graph.property_value(ids["ab"], "since") == 2001
+        assert graph.src(ids["ab"]) == ids["a"]
+
+    def test_duplicate_handle_rejected(self):
+        builder = GraphBuilder().node("a")
+        with pytest.raises(ValueError):
+            builder.node("a")
+
+    def test_unknown_endpoint_rejected(self):
+        builder = GraphBuilder().node("a").rel("a", "R", "missing")
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_name_property_does_not_collide_with_handle(self):
+        graph, ids = GraphBuilder().node("x", name="real-name").build()
+        assert graph.property_value(ids["x"], "name") == "real-name"
+
+
+class TestGraphStatistics:
+    def test_counts(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "Person")
+            .node("b", "Person")
+            .node("c", "City")
+            .rel("a", "KNOWS", "b")
+            .rel("a", "IN", "c")
+            .rel("b", "IN", "c")
+            .build()
+        )
+        stats = GraphStatistics(graph)
+        assert stats.node_count == 3
+        assert stats.relationship_count == 3
+        assert stats.label_counts == {"Person": 2, "City": 1}
+        assert stats.type_counts == {"KNOWS": 1, "IN": 2}
+
+    def test_selectivity(self):
+        graph, _ = (
+            GraphBuilder().node("a", "P").node("b", "P").node("c", "Q").build()
+        )
+        stats = GraphStatistics(graph)
+        assert stats.label_selectivity("P") == pytest.approx(2 / 3)
+        assert stats.label_selectivity("Missing") == 0.0
+
+    def test_average_degree(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a").node("b")
+            .rel("a", "R", "b")
+            .rel("a", "R", "b")
+            .build()
+        )
+        stats = GraphStatistics(graph)
+        assert stats.average_degree() == pytest.approx(1.0)
+        assert stats.average_degree(direction="both") == pytest.approx(2.0)
+        assert stats.average_degree(types=("R",)) == pytest.approx(1.0)
+        assert stats.average_degree(types=("X",)) == 0.0
+
+    def test_empty_graph(self):
+        stats = GraphStatistics(MemoryGraph())
+        assert stats.node_count == 0
+        assert stats.label_selectivity("Any") == 1.0
+        assert stats.average_degree() == 0.0
+        assert stats.expand_fanout() > 0  # strictly positive floor
+
+
+class TestGraphCatalog:
+    def test_default_resolution(self):
+        default = MemoryGraph()
+        catalog = GraphCatalog(default)
+        assert catalog.resolve() is default
+        assert catalog.default() is default
+
+    def test_register_and_resolve_by_name_and_uri(self):
+        catalog = GraphCatalog(MemoryGraph())
+        other = MemoryGraph()
+        catalog.register("social", other, uri="hdfs://x/y")
+        assert catalog.resolve(name="social") is other
+        assert catalog.resolve(uri="hdfs://x/y") is other
+        assert "social" in catalog
+
+    def test_missing_graph_raises(self):
+        catalog = GraphCatalog(MemoryGraph())
+        with pytest.raises(GraphNotFound):
+            catalog.resolve(name="nope")
+
+    def test_no_default_raises(self):
+        catalog = GraphCatalog()
+        with pytest.raises(GraphNotFound):
+            catalog.default()
+
+    def test_set_default(self):
+        catalog = GraphCatalog(MemoryGraph())
+        other = catalog.register("other", MemoryGraph())
+        catalog.set_default("other")
+        assert catalog.default() is other
+        with pytest.raises(GraphNotFound):
+            catalog.set_default("missing")
+
+    def test_names_sorted(self):
+        catalog = GraphCatalog(MemoryGraph(), default_name="zzz")
+        catalog.register("aaa", MemoryGraph())
+        assert catalog.names() == ["aaa", "zzz"]

@@ -1,0 +1,120 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.exceptions import CypherSyntaxError
+from repro.parser.lexer import tokenize
+from repro.parser.tokens import END, FLOAT, IDENT, INTEGER, OPERATOR, STRING
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == END
+
+    def test_identifiers_and_keywords_are_idents(self):
+        assert kinds("MATCH foo _bar x1") == [IDENT] * 4
+
+    def test_integers(self):
+        tokens = tokenize("42 0 007")
+        assert [t.kind for t in tokens[:-1]] == [INTEGER] * 3
+        assert [t.text for t in tokens[:-1]] == ["42", "0", "007"]
+
+    def test_hex_integers_normalized(self):
+        assert texts("0x1F") == ["31"]
+
+    def test_floats(self):
+        assert kinds("1.5 2e3 1.5e-2") == [FLOAT] * 3
+
+    def test_range_does_not_eat_float(self):
+        # `1..3` must lex INTEGER '..' INTEGER, not FLOAT '.3'
+        assert [(t.kind, t.text) for t in tokenize("1..3")[:-1]] == [
+            (INTEGER, "1"), (OPERATOR, ".."), (INTEGER, "3"),
+        ]
+
+    def test_property_access_keeps_dot(self):
+        assert [(t.kind, t.text) for t in tokenize("a.b")[:-1]] == [
+            (IDENT, "a"), (OPERATOR, "."), (IDENT, "b"),
+        ]
+
+
+class TestStrings:
+    def test_single_and_double_quotes(self):
+        assert texts("'abc' \"def\"") == ["abc", "def"]
+
+    def test_escapes(self):
+        assert texts(r"'a\nb'") == ["a\nb"]
+        assert texts(r"'it\'s'") == ["it's"]
+        assert texts(r"'back\\slash'") == ["back\\slash"]
+
+    def test_unicode_escape(self):
+        assert texts(r"'A'") == ["A"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'abc")
+
+    def test_unknown_escape(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize(r"'\q'")
+
+
+class TestBacktickIdentifiers:
+    def test_quoted_identifier(self):
+        tokens = tokenize("`weird name`")
+        assert tokens[0].kind == IDENT
+        assert tokens[0].text == "weird name"
+
+    def test_doubled_backtick_escape(self):
+        assert tokenize("`a``b`")[0].text == "a`b"
+
+    def test_unterminated(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("`oops")
+
+
+class TestOperators:
+    def test_multi_char_before_single(self):
+        assert texts("<= >= <> =~ += ..") == ["<=", ">=", "<>", "=~", "+=", ".."]
+
+    def test_arrows_decompose(self):
+        assert texts("-[r]->") == ["-", "[", "r", "]", "-", ">"]
+        assert texts("<-[]-") == ["<", "-", "[", "]", "-"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("@")
+
+
+class TestTrivia:
+    def test_line_comments(self):
+        assert texts("1 // comment\n2") == ["1", "2"]
+
+    def test_block_comments(self):
+        assert texts("1 /* multi\nline */ 2") == ["1", "2"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("/* oops")
+
+    def test_positions(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("a\n@")
+        except CypherSyntaxError as error:
+            assert error.line == 2
+            assert error.column == 1
+        else:
+            raise AssertionError("expected a syntax error")

@@ -1,0 +1,251 @@
+"""The paper's Section 4.2 examples, verified against the matcher.
+
+Each test cites the example it reproduces; the graphs are the paper's
+Figure 4 (teachers/students) and Figure 1 (academic graph).
+"""
+
+import pytest
+
+from repro import parse_pattern
+from repro.semantics.expressions import Evaluator
+from repro.semantics.matching import (
+    match_pattern_tuple,
+    rigid_extensions,
+    satisfies,
+)
+from repro.values.path import Path
+
+
+def match_bag(graph, pattern_text, record=None, **kwargs):
+    pattern = parse_pattern(pattern_text)
+    evaluator = Evaluator(graph)
+    return match_pattern_tuple(
+        (pattern,), graph, record or {}, evaluator, **kwargs
+    )
+
+
+class TestExample42NodePatterns:
+    """Example 4.2: node pattern satisfaction on Figure 4."""
+
+    def test_teacher_pattern(self, figure4):
+        graph, ids = figure4
+        chi1 = parse_pattern("(x:Teacher)")
+        for node_name, expected in [("n1", True), ("n2", False),
+                                    ("n3", True), ("n4", True)]:
+            node = ids[node_name]
+            path = Path.single(node)
+            assignment = {"x": node}
+            assert satisfies(path, graph, assignment, chi1) is expected
+
+    def test_wrong_binding_fails(self, figure4):
+        graph, ids = figure4
+        chi1 = parse_pattern("(x:Teacher)")
+        # u maps x elsewhere: (n1, G, u) |= χ1 requires u(x) = n1
+        assert not satisfies(
+            Path.single(ids["n1"]), graph, {"x": ids["n3"]}, chi1
+        )
+
+    def test_unlabelled_pattern_matches_all(self, figure4):
+        graph, ids = figure4
+        chi2 = parse_pattern("(y)")
+        for name in ("n1", "n2", "n3", "n4"):
+            assert satisfies(
+                Path.single(ids[name]), graph, {"y": ids[name]}, chi2
+            )
+
+
+class TestExample43RigidPatterns:
+    """Example 4.3: (x:Teacher)-[:KNOWS*2]->(y) on Figure 4."""
+
+    def test_path_satisfies(self, figure4):
+        graph, ids = figure4
+        pattern = parse_pattern("(x:Teacher)-[:KNOWS*2]->(y)")
+        path = Path(
+            (ids["n1"], ids["n2"], ids["n3"]), (ids["r1"], ids["r2"])
+        )
+        assignment = {"x": ids["n1"], "y": ids["n3"]}
+        assert satisfies(path, graph, assignment, pattern)
+
+    def test_rigid_pattern_determines_assignment(self, figure4):
+        """Only one assignment of free variables can satisfy a rigid
+        pattern for a given path."""
+        graph, ids = figure4
+        matches = match_bag(graph, "(x:Teacher)-[:KNOWS*2]->(y)")
+        # The KNOWS-paths of length exactly 2 are n1->n2->n3 and
+        # n2->n3->n4; only n1 carries the Teacher label, so exactly one
+        # assignment survives.
+        assert [(m["x"], m["y"]) for m in matches] == [(ids["n1"], ids["n3"])]
+
+    def test_wrong_assignment_fails(self, figure4):
+        graph, ids = figure4
+        pattern = parse_pattern("(x:Teacher)-[:KNOWS*2]->(y)")
+        path = Path((ids["n1"], ids["n2"], ids["n3"]), (ids["r1"], ids["r2"]))
+        assert not satisfies(
+            path, graph, {"x": ids["n1"], "y": ids["n4"]}, pattern
+        )
+
+
+class TestExample44VariableLength:
+    """Example 4.4: rigid(π) and multi-assignment paths."""
+
+    PATTERN = "(x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher)"
+
+    def test_rigid_extension_has_four_members(self):
+        pattern = parse_pattern(self.PATTERN)
+        assert len(rigid_extensions(pattern, 2)) == 4
+
+    def test_p1_satisfies_pi1(self, figure4):
+        graph, ids = figure4
+        pattern = parse_pattern(self.PATTERN)
+        p1 = Path((ids["n1"], ids["n2"], ids["n3"]), (ids["r1"], ids["r2"]))
+        u1 = {"x": ids["n1"], "y": ids["n3"], "z": ids["n2"]}
+        assert satisfies(p1, graph, u1, pattern)
+
+    def test_p2_satisfies_under_two_assignments(self, figure4):
+        graph, ids = figure4
+        pattern = parse_pattern(self.PATTERN)
+        p2 = Path(
+            (ids["n1"], ids["n2"], ids["n3"], ids["n4"]),
+            (ids["r1"], ids["r2"], ids["r3"]),
+        )
+        u2 = {"x": ids["n1"], "y": ids["n4"], "z": ids["n2"]}
+        u2_prime = {"x": ids["n1"], "y": ids["n4"], "z": ids["n3"]}
+        assert satisfies(p2, graph, u2, pattern)
+        assert satisfies(p2, graph, u2_prime, pattern)
+
+
+class TestExample45BagMultiplicity:
+    """Example 4.5: the anonymous-middle variant adds the same record
+    twice to match(π, G, ∅)."""
+
+    PATTERN = "(x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher)"
+
+    def test_two_copies_of_the_same_binding(self, figure4):
+        graph, ids = figure4
+        matches = match_bag(graph, self.PATTERN)
+        target = {"x": ids["n1"], "y": ids["n4"]}
+        copies = [m for m in matches if m == target]
+        assert len(copies) == 2
+
+    def test_other_binding_occurs_once(self, figure4):
+        graph, ids = figure4
+        matches = match_bag(graph, self.PATTERN)
+        once = [m for m in matches if m == {"x": ids["n1"], "y": ids["n3"]}]
+        assert len(once) == 1
+
+
+class TestExample46MatchClause:
+    """Example 4.6: [[MATCH (x)-[:KNOWS*]->(y)]] on T = {(x:n1); (x:n3)}."""
+
+    def test_resulting_table(self, figure4):
+        graph, ids = figure4
+        pattern = parse_pattern("(x)-[:KNOWS*]->(y)")
+        evaluator = Evaluator(graph)
+        rows = []
+        for record in ({"x": ids["n1"]}, {"x": ids["n3"]}):
+            for bindings in match_pattern_tuple(
+                (pattern,), graph, record, evaluator
+            ):
+                merged = dict(record)
+                merged.update(bindings)
+                rows.append((merged["x"], merged["y"]))
+        assert sorted(rows, key=lambda pair: (pair[0].value, pair[1].value)) == [
+            (ids["n1"], ids["n2"]),
+            (ids["n1"], ids["n3"]),
+            (ids["n1"], ids["n4"]),
+            (ids["n3"], ids["n4"]),
+        ]
+
+
+class TestEdgeIsomorphism:
+    def test_repeated_relationship_forbidden_within_a_path(self, figure4):
+        graph, ids = figure4
+        # A path reusing r1 twice can never satisfy any pattern.
+        path = Path(
+            (ids["n1"], ids["n2"], ids["n1"], ids["n2"]),
+            (ids["r1"], ids["r1"], ids["r1"]),
+        )
+        pattern = parse_pattern("(a)-[:KNOWS*3]-(b)")
+        assert not satisfies(
+            path, graph, {"a": ids["n1"], "b": ids["n2"]}, pattern
+        )
+
+    def test_uniqueness_across_pattern_tuple(self, figure4):
+        graph, ids = figure4
+        evaluator = Evaluator(graph)
+        patterns = (
+            parse_pattern("(a)-[r1:KNOWS]->(b)"),
+            parse_pattern("(c)-[r2:KNOWS]->(d)"),
+        )
+        matches = match_pattern_tuple(patterns, graph, {}, evaluator)
+        for match in matches:
+            assert match["r1"] != match["r2"]
+        # 3 relationships, ordered pairs without repetition: 3 * 2
+        assert len(matches) == 6
+
+
+class TestBindingConsistency:
+    def test_prebound_node_restricts_matches(self, figure4):
+        graph, ids = figure4
+        matches = match_bag(
+            graph, "(x)-[:KNOWS]->(y)", record={"x": ids["n2"]}
+        )
+        assert matches == [{"y": ids["n3"]}]
+
+    def test_prebound_relationship_must_coincide(self, figure4):
+        graph, ids = figure4
+        matches = match_bag(
+            graph, "(x)-[r:KNOWS]->(y)", record={"r": ids["r2"]}
+        )
+        assert matches == [{"x": ids["n2"], "y": ids["n3"]}]
+
+    def test_null_bound_variable_never_matches(self, figure4):
+        graph, _ids = figure4
+        assert match_bag(graph, "(x)-[:KNOWS]->(y)", record={"x": None}) == []
+
+    def test_named_path_binding(self, figure4):
+        graph, ids = figure4
+        pattern = parse_pattern("p = (x)-[:KNOWS]->(y)")
+        evaluator = Evaluator(graph)
+        matches = match_pattern_tuple((pattern,), graph, {}, evaluator)
+        for match in matches:
+            path = match["p"]
+            assert isinstance(path, Path)
+            assert path.start == match["x"]
+            assert path.end == match["y"]
+            assert len(path) == 1
+
+    def test_cyclic_pattern_same_variable(self, figure1):
+        graph, ids = figure1
+        # No CITES cycle exists in Figure 1 of length 2.
+        matches = match_bag(graph, "(a)-[:CITES]->(b)-[:CITES]->(a)")
+        assert matches == []
+
+
+class TestPropertiesInPatterns:
+    def test_node_property_filter(self, figure1):
+        graph, ids = figure1
+        matches = match_bag(graph, "(p:Publication {acmid: 240})")
+        assert matches == [{"p": ids["n5"]}]
+
+    def test_property_must_equal_not_just_exist(self, figure1):
+        graph, _ids = figure1
+        assert match_bag(graph, "(p:Publication {acmid: -1})") == []
+
+    def test_null_property_comparison_never_matches(self, figure1):
+        graph, _ids = figure1
+        # ι(n, missing) is undefined; null = null is unknown, not true.
+        assert match_bag(graph, "(p:Publication {missing: null})") == []
+
+
+class TestZeroLength:
+    def test_zero_length_binds_same_node(self, figure4):
+        graph, ids = figure4
+        matches = match_bag(graph, "(x:Student)-[:KNOWS*0..0]->(y)")
+        assert matches == [{"x": ids["n2"], "y": ids["n2"]}]
+
+    def test_zero_or_one(self, figure4):
+        graph, ids = figure4
+        matches = match_bag(graph, "(x:Student)-[:KNOWS*0..1]->(y)")
+        pairs = {(m["x"], m["y"]) for m in matches}
+        assert pairs == {(ids["n2"], ids["n2"]), (ids["n2"], ids["n3"])}

@@ -1,0 +1,115 @@
+"""Integration: configurable pattern-matching morphisms (E5; paper §4.2/§8).
+
+The paper motivates edge isomorphism with a one-node/one-loop graph: under
+homomorphism, ``(x)-[*0..]->(x)`` would match infinitely often; Cypher
+returns exactly two matches (zero traversals and one).
+"""
+
+import pytest
+
+from repro import CypherEngine
+from repro.exceptions import CypherRuntimeError
+from repro.graph.builder import GraphBuilder
+from repro.semantics.morphism import (
+    EDGE_ISOMORPHISM,
+    HOMOMORPHISM,
+    NODE_ISOMORPHISM,
+    Morphism,
+)
+
+
+class TestPaperSelfLoopExample:
+    def test_exactly_two_matches_under_edge_isomorphism(self, self_loop):
+        graph, _ = self_loop
+        engine = CypherEngine(graph)
+        result = engine.run("MATCH (x)-[*0..]->(x) RETURN count(*) AS n")
+        assert result.value() == 2
+
+    def test_both_execution_paths_agree(self, self_loop, read_mode):
+        graph, _ = self_loop
+        engine = CypherEngine(graph)
+        result = engine.run(
+            "MATCH (x)-[*0..]->(x) RETURN count(*) AS n", mode=read_mode
+        )
+        assert result.value() == 2
+
+    def test_homomorphism_grows_with_the_cap(self, self_loop):
+        graph, _ = self_loop
+        # With a cap of k, the loop can be traversed 0..k times.
+        for cap in (1, 3, 7):
+            engine = CypherEngine(
+                graph, morphism=Morphism("homomorphism", max_length=cap)
+            )
+            result = engine.run("MATCH (x)-[*0..]->(x) RETURN count(*) AS n")
+            assert result.value() == cap + 1
+
+    def test_homomorphism_without_cap_is_an_error(self, self_loop):
+        graph, _ = self_loop
+        engine = CypherEngine(
+            graph, morphism=Morphism("homomorphism"), mode="interpreter"
+        )
+        with pytest.raises(CypherRuntimeError):
+            engine.run("MATCH (x)-[*0..]->(x) RETURN count(*) AS n")
+
+
+class TestModeDifferences:
+    @pytest.fixture
+    def diamond(self):
+        # a -> b -> d and a -> c -> d, plus b -> c
+        graph, ids = (
+            GraphBuilder()
+            .node("a", v=1).node("b", v=2).node("c", v=3).node("d", v=4)
+            .rel("a", "R", "b").rel("b", "R", "d")
+            .rel("a", "R", "c").rel("c", "R", "d")
+            .rel("b", "R", "c")
+            .build()
+        )
+        return graph, ids
+
+    def count(self, graph, morphism, query):
+        engine = CypherEngine(graph, morphism=morphism, mode="interpreter")
+        return engine.run(query).value()
+
+    def test_node_isomorphism_is_stricter(self, diamond):
+        graph, _ = diamond
+        query = (
+            "MATCH (x {v: 1})-[*1..4]->(y {v: 4}) RETURN count(*) AS n"
+        )
+        edge_count = self.count(graph, EDGE_ISOMORPHISM, query)
+        node_count = self.count(graph, NODE_ISOMORPHISM, query)
+        assert node_count <= edge_count
+        assert node_count == 3  # a-b-d, a-c-d, a-b-c-d
+
+    def test_homomorphism_is_most_permissive(self, diamond):
+        graph, _ = diamond
+        query = "MATCH (x {v: 1})-[*1..4]->(y {v: 4}) RETURN count(*) AS n"
+        edge_count = self.count(graph, EDGE_ISOMORPHISM, query)
+        homo_count = self.count(
+            graph, Morphism("homomorphism", max_length=4), query
+        )
+        assert homo_count >= edge_count
+
+    def test_cycle_revisiting_distinguishes_modes(self):
+        # Two parallel edges a->b and one edge b->a: a walk a->b->a->b
+        # repeats node a and b but no edge under edge isomorphism.
+        graph, ids = (
+            GraphBuilder()
+            .node("a", start=True).node("b")
+            .rel("a", "R", "b").rel("a", "R", "b").rel("b", "R", "a")
+            .build()
+        )
+        query = "MATCH ({start: true})-[*3]->(y) RETURN count(*) AS n"
+        edge_count = self.count(graph, EDGE_ISOMORPHISM, query)
+        node_count = self.count(graph, NODE_ISOMORPHISM, query)
+        assert edge_count == 2   # a->b->a->b via both parallel orders
+        assert node_count == 0   # revisits nodes, so no match
+
+    def test_morphism_validation(self):
+        with pytest.raises(ValueError):
+            Morphism("something-else")
+
+    def test_morphism_flags(self):
+        assert EDGE_ISOMORPHISM.forbids_repeated_relationships
+        assert not EDGE_ISOMORPHISM.forbids_repeated_nodes
+        assert NODE_ISOMORPHISM.forbids_repeated_nodes
+        assert not HOMOMORPHISM.forbids_repeated_relationships

@@ -1,0 +1,181 @@
+"""Integration: Cypher 10 multiple graphs and query composition (E6, §6)."""
+
+import pytest
+
+from repro import CypherEngine
+from repro.datasets.social import social_with_registry
+from repro.exceptions import CypherSemanticError, GraphNotFound
+from repro.graph.builder import GraphBuilder
+from repro.graph.catalog import GraphCatalog
+from repro.graph.store import MemoryGraph
+from repro.multigraph.engine import TableGraphs
+
+
+class TestFromGraph:
+    def test_switches_the_source_graph(self):
+        left, _ = GraphBuilder().node("a", "L", side="left").build()
+        right, _ = GraphBuilder().node("b", "R", side="right").build()
+        catalog = GraphCatalog(left, "left")
+        catalog.register("right", right)
+        engine = CypherEngine(left, catalog=catalog)
+        result = engine.run("FROM GRAPH right MATCH (n) RETURN n.side AS side")
+        assert result.values("side") == ["right"]
+
+    def test_resolution_by_uri(self):
+        graph, _ = GraphBuilder().node("a", v=1).build()
+        catalog = GraphCatalog(MemoryGraph())
+        catalog.register("g", graph, uri="bolt://somewhere/x")
+        engine = CypherEngine(catalog.default(), catalog=catalog)
+        result = engine.run(
+            'FROM GRAPH g AT "bolt://somewhere/x" MATCH (n) RETURN n.v AS v'
+        )
+        assert result.values("v") == [1]
+
+    def test_unknown_graph_raises(self):
+        engine = CypherEngine(MemoryGraph())
+        with pytest.raises(GraphNotFound):
+            engine.run("FROM GRAPH nope MATCH (n) RETURN n")
+
+
+class TestReturnGraph:
+    def test_projection_creates_new_graph(self):
+        graph, ids = (
+            GraphBuilder()
+            .node("a", "Person", name="Ann")
+            .node("b", "Person", name="Bob")
+            .node("c", "Person", name="Cid")
+            .rel("a", "FRIEND", "b")
+            .rel("c", "FRIEND", "b")
+            .build()
+        )
+        engine = CypherEngine(graph)
+        result = engine.run(
+            "MATCH (x)-[:FRIEND]->()<-[:FRIEND]-(y) "
+            "WITH DISTINCT x, y "
+            "RETURN GRAPH shared OF (x)-[:SHARE_FRIEND]->(y)"
+        )
+        projected = result.graph("shared")
+        assert projected.relationship_count() == 2  # (a,c) and (c,a)
+        assert set(projected.all_types()) == {"SHARE_FRIEND"}
+        # node identity is preserved (Section 6 composition)
+        assert projected.has_node(ids["a"])
+        assert projected.property_value(ids["a"], "name") == "Ann"
+
+    def test_projection_deduplicates_edges(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "P", v=1).node("b", "P", v=2)
+            .rel("a", "F", "b").rel("a", "F", "b")
+            .build()
+        )
+        engine = CypherEngine(graph)
+        result = engine.run(
+            "MATCH (x)-[:F]->(y) RETURN GRAPH g OF (x)-[:LINK]->(y)"
+        )
+        assert result.graph("g").relationship_count() == 1
+
+    def test_registered_in_catalog_for_composition(self):
+        graph, _ = GraphBuilder().node("a", "P").build()
+        engine = CypherEngine(graph)
+        engine.run("MATCH (x:P) RETURN GRAPH only OF (x)")
+        assert "only" in engine.catalog
+
+    def test_invalid_projection_patterns(self):
+        graph, _ = GraphBuilder().node("a").node("b").rel("a", "R", "b").build()
+        engine = CypherEngine(graph)
+        with pytest.raises(CypherSemanticError):
+            engine.run("MATCH (x)-[:R]->(y) RETURN GRAPH g OF (x)-[:L*2]->(y)")
+        with pytest.raises(CypherSemanticError):
+            engine.run("MATCH (x)-[:R]->(y) RETURN GRAPH g OF (x)-[:L]-(y)")
+
+
+class TestExample61:
+    """The paper's Example 6.1: SHARE_FRIEND projection, then composition."""
+
+    def test_full_composition(self):
+        catalog, people, cities = social_with_registry(
+            people=20, cities=3, avg_friends=3, seed=13
+        )
+        engine = CypherEngine(catalog.default(), catalog=catalog)
+
+        # First query: connect pairs sharing a friend (with the paper's
+        # $duration filter on the FRIEND 'since' years).
+        first = engine.run(
+            'FROM GRAPH soc_net AT "hdfs://data/soc_network" '
+            "MATCH (a)-[r1:FRIEND]-()-[r2:FRIEND]-(b) "
+            "WHERE abs(r2.since - r1.since) < $duration "
+            "WITH DISTINCT a, b "
+            "RETURN GRAPH friends OF (a)-[:SHARE_FRIEND]->(b)",
+            parameters={"duration": 50},
+        )
+        friends = first.graph("friends")
+        assert friends.relationship_count() > 0
+
+        # Second query: compose with the citizen registry for same-city
+        # friend-sharing pairs.
+        second = engine.run(
+            "QUERY GRAPH friends "
+            "MATCH (a)-[:SHARE_FRIEND]-(b) "
+            'FROM GRAPH register AT "bolt://data/citizens" '
+            "MATCH (a)-[:IN]->(c:City)<-[:IN]-(b) "
+            "RETURN DISTINCT a, b, c.name AS city"
+        )
+        register = catalog.resolve(name="register")
+        for record in second.records:
+            # ground truth: both live in the reported city
+            cities_of = []
+            for person in (record["a"], record["b"]):
+                for rel in register.outgoing(person, {"IN"}):
+                    cities_of.append(
+                        register.property_value(register.tgt(rel), "name")
+                    )
+            assert cities_of[0] == cities_of[1] == record["city"]
+
+    def test_share_friend_pairs_match_ground_truth(self):
+        catalog, people, _ = social_with_registry(people=15, seed=3)
+        soc_net = catalog.resolve(name="soc_net")
+        engine = CypherEngine(soc_net, catalog=catalog)
+        result = engine.run(
+            "MATCH (a)-[:FRIEND]-()-[:FRIEND]-(b) "
+            "WITH DISTINCT a, b "
+            "RETURN GRAPH friends OF (a)-[:SHARE_FRIEND]->(b)"
+        )
+        projected = result.graph("friends")
+        # ground truth by hand: pairs at FRIEND-distance exactly 2 via a
+        # common neighbour (a != b enforced by edge isomorphism only when
+        # the two FRIEND edges differ; self-pairs never arise)
+        neighbours = {person: set() for person in people}
+        for rel in soc_net.relationships():
+            source, target = soc_net.src(rel), soc_net.tgt(rel)
+            neighbours[source].add(target)
+            neighbours[target].add(source)
+        expected_pairs = set()
+        for person in people:
+            for first in neighbours[person]:
+                for second in neighbours[first]:
+                    if second != person:
+                        expected_pairs.add((person, second))
+        actual_pairs = {
+            (projected.src(rel), projected.tgt(rel))
+            for rel in projected.relationships()
+        }
+        assert actual_pairs == expected_pairs
+
+
+class TestTableGraphs:
+    def test_accessors(self):
+        from repro.semantics.table import Table
+
+        graph = MemoryGraph()
+        bundle = TableGraphs(Table(), {"g": graph}, source="g")
+        assert bundle.graph() is graph
+        assert bundle.graph("g") is graph
+        with pytest.raises(CypherSemanticError):
+            bundle.graph("other")
+
+    def test_single_graph_default(self):
+        from repro.semantics.table import Table
+
+        graph = MemoryGraph()
+        bundle = TableGraphs(Table(), {"only": graph})
+        assert bundle.graph() is graph

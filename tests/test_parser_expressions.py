@@ -1,0 +1,196 @@
+"""Unit tests for expression parsing (Figure 5 grammar + pragmatics)."""
+
+import pytest
+
+from repro import parse_expression
+from repro.ast import expressions as ex
+from repro.exceptions import CypherSyntaxError
+
+
+class TestLiterals:
+    def test_numbers(self):
+        assert parse_expression("42") == ex.Literal(42)
+        assert parse_expression("1.5") == ex.Literal(1.5)
+        assert parse_expression("2e3") == ex.Literal(2000.0)
+
+    def test_strings_booleans_null(self):
+        assert parse_expression("'hi'") == ex.Literal("hi")
+        assert parse_expression("TRUE") == ex.Literal(True)
+        assert parse_expression("false") == ex.Literal(False)
+        assert parse_expression("null") == ex.Literal(None)
+
+    def test_list_and_map_literals(self):
+        assert parse_expression("[1, 2]") == ex.ListLiteral(
+            (ex.Literal(1), ex.Literal(2))
+        )
+        assert parse_expression("{a: 1}") == ex.MapLiteral(
+            (("a", ex.Literal(1)),)
+        )
+
+    def test_parameters(self):
+        assert parse_expression("$x") == ex.Parameter("x")
+        assert parse_expression("$0") == ex.Parameter("0")
+
+
+class TestPrecedence:
+    def test_or_lowest(self):
+        tree = parse_expression("a AND b OR c")
+        assert isinstance(tree, ex.BinaryLogic) and tree.operator == "OR"
+        assert isinstance(tree.left, ex.BinaryLogic)
+        assert tree.left.operator == "AND"
+
+    def test_xor_between_or_and_and(self):
+        tree = parse_expression("a OR b XOR c")
+        assert tree.operator == "OR"
+        assert tree.right.operator == "XOR"
+
+    def test_not_binds_tighter_than_and(self):
+        tree = parse_expression("NOT a AND b")
+        assert tree.operator == "AND"
+        assert isinstance(tree.left, ex.Not)
+
+    def test_arithmetic_precedence(self):
+        tree = parse_expression("1 + 2 * 3")
+        assert tree.operator == "+"
+        assert tree.right.operator == "*"
+
+    def test_power_tighter_than_multiplication(self):
+        tree = parse_expression("2 * 3 ^ 4")
+        assert tree.operator == "*"
+        assert tree.right.operator == "^"
+
+    def test_unary_minus(self):
+        tree = parse_expression("-a + b")
+        assert tree.operator == "+"
+        assert isinstance(tree.left, ex.UnaryMinus)
+
+    def test_comparison_chain_is_one_node(self):
+        tree = parse_expression("1 < x <= 10")
+        assert isinstance(tree, ex.Comparison)
+        assert tree.operators == ("<", "<=")
+        assert len(tree.operands) == 3
+
+    def test_comparison_lower_than_addition(self):
+        tree = parse_expression("a + 1 = b - 2")
+        assert isinstance(tree, ex.Comparison)
+        assert tree.operators == ("=",)
+        assert isinstance(tree.operands[0], ex.Arithmetic)
+
+    def test_parentheses_override(self):
+        tree = parse_expression("(1 + 2) * 3")
+        assert tree.operator == "*"
+        assert tree.left.operator == "+"
+
+
+class TestPostfix:
+    def test_property_access_chain(self):
+        tree = parse_expression("a.b.c")
+        assert isinstance(tree, ex.PropertyAccess)
+        assert tree.key == "c"
+        assert isinstance(tree.subject, ex.PropertyAccess)
+
+    def test_indexing_and_slicing(self):
+        assert isinstance(parse_expression("xs[0]"), ex.ListIndex)
+        sliced = parse_expression("xs[1..2]")
+        assert isinstance(sliced, ex.ListSlice)
+        open_slice = parse_expression("xs[..2]")
+        assert open_slice.start is None
+        tail_slice = parse_expression("xs[1..]")
+        assert tail_slice.end is None
+
+    def test_label_predicate(self):
+        tree = parse_expression("n:Person:Admin")
+        assert tree == ex.LabelPredicate(ex.Variable("n"), ("Person", "Admin"))
+
+    def test_string_operators(self):
+        tree = parse_expression("a STARTS WITH 'x'")
+        assert isinstance(tree, ex.StringPredicate)
+        assert tree.operator == "STARTS WITH"
+        assert parse_expression("a ENDS WITH b").operator == "ENDS WITH"
+        assert parse_expression("a CONTAINS b").operator == "CONTAINS"
+
+    def test_in_and_is_null(self):
+        assert isinstance(parse_expression("1 IN [1]"), ex.In)
+        assert isinstance(parse_expression("a IS NULL"), ex.IsNull)
+        assert isinstance(parse_expression("a IS NOT NULL"), ex.IsNotNull)
+
+    def test_regex(self):
+        assert isinstance(parse_expression("a =~ 'x.*'"), ex.RegexMatch)
+
+
+class TestCallsAndComprehensions:
+    def test_function_call(self):
+        tree = parse_expression("coalesce(a, 1)")
+        assert tree == ex.FunctionCall(
+            "coalesce", (ex.Variable("a"), ex.Literal(1))
+        )
+
+    def test_function_names_lowercased(self):
+        assert parse_expression("LABELS(n)").name == "labels"
+
+    def test_count_star(self):
+        assert parse_expression("count(*)") == ex.CountStar()
+
+    def test_count_distinct(self):
+        tree = parse_expression("count(DISTINCT x)")
+        assert tree.distinct is True
+
+    def test_list_comprehension(self):
+        tree = parse_expression("[x IN xs WHERE x > 1 | x * 2]")
+        assert isinstance(tree, ex.ListComprehension)
+        assert tree.variable == "x"
+        assert tree.where is not None
+        assert tree.projection is not None
+
+    def test_list_comprehension_without_parts(self):
+        tree = parse_expression("[x IN xs]")
+        assert isinstance(tree, ex.ListComprehension)
+        assert tree.where is None and tree.projection is None
+
+    def test_quantifiers(self):
+        tree = parse_expression("all(x IN xs WHERE x > 0)")
+        assert isinstance(tree, ex.QuantifiedPredicate)
+        assert tree.quantifier == "all"
+        assert parse_expression("single(x IN xs WHERE x)").quantifier == "single"
+
+    def test_case_expressions(self):
+        searched = parse_expression("CASE WHEN a THEN 1 ELSE 2 END")
+        assert isinstance(searched, ex.CaseExpression)
+        assert searched.operand is None
+        simple = parse_expression("CASE x WHEN 1 THEN 'a' END")
+        assert simple.operand == ex.Variable("x")
+        assert simple.default is None
+
+    def test_pattern_predicate(self):
+        tree = parse_expression("(a)-[:KNOWS]->(b)")
+        assert isinstance(tree, ex.PatternPredicate)
+
+    def test_parenthesized_variable_is_not_a_pattern(self):
+        assert parse_expression("(a)") == ex.Variable("a")
+
+    def test_subtraction_of_parenthesized_terms(self):
+        tree = parse_expression("(a)-(b)")
+        assert isinstance(tree, ex.Arithmetic) and tree.operator == "-"
+
+    def test_exists_with_pattern(self):
+        tree = parse_expression("exists((a)-[:R]->())")
+        assert isinstance(tree, ex.ExistsSubquery)
+
+    def test_exists_with_property(self):
+        tree = parse_expression("exists(a.prop)")
+        assert isinstance(tree, ex.FunctionCall)
+        assert tree.name == "exists"
+
+    def test_pattern_comprehension(self):
+        tree = parse_expression("[(a)-[:R]->(b) WHERE b.v > 1 | b.v]")
+        assert isinstance(tree, ex.PatternComprehension)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1 +", "(1", "[1", "{a: }", "CASE END", "a IS", "1 2", "$"],
+    )
+    def test_malformed_expressions(self, bad):
+        with pytest.raises(CypherSyntaxError):
+            parse_expression(bad)

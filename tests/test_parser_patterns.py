@@ -1,0 +1,131 @@
+"""Unit tests for pattern parsing (the Figure 3 grammar)."""
+
+import pytest
+
+from repro import parse_pattern
+from repro.ast import expressions as ex
+from repro.ast import patterns as pt
+from repro.exceptions import CypherSyntaxError
+
+
+class TestNodePatterns:
+    def test_empty_node(self):
+        pattern = parse_pattern("()")
+        node = pattern.elements[0]
+        assert node == pt.NodePattern(None, (), ())
+
+    def test_named_node(self):
+        assert parse_pattern("(a)").elements[0].name == "a"
+
+    def test_labels(self):
+        node = parse_pattern("(x:Person:Male)").elements[0]
+        assert node.labels == ("Person", "Male")
+
+    def test_property_map(self):
+        node = parse_pattern("(x {name: 'Ann', age: 30})").elements[0]
+        assert dict(node.properties) == {
+            "name": ex.Literal("Ann"),
+            "age": ex.Literal(30),
+        }
+
+    def test_anonymous_with_labels_and_props(self):
+        node = parse_pattern("(:L {k: 1})").elements[0]
+        assert node.name is None
+        assert node.labels == ("L",)
+
+
+class TestRelationshipPatterns:
+    def test_directions(self):
+        assert parse_pattern("(a)-->(b)").elements[1].direction == pt.LEFT_TO_RIGHT
+        assert parse_pattern("(a)<--(b)").elements[1].direction == pt.RIGHT_TO_LEFT
+        assert parse_pattern("(a)--(b)").elements[1].direction == pt.UNDIRECTED
+
+    def test_bracketed_forms(self):
+        rel = parse_pattern("(a)-[r:KNOWS]->(b)").elements[1]
+        assert rel.name == "r"
+        assert rel.types == ("KNOWS",)
+        assert rel.direction == pt.LEFT_TO_RIGHT
+
+    def test_type_alternatives_both_syntaxes(self):
+        assert parse_pattern("(a)-[:A|B]->(b)").elements[1].types == ("A", "B")
+        assert parse_pattern("(a)-[:A|:B]->(b)").elements[1].types == ("A", "B")
+
+    def test_relationship_properties(self):
+        rel = parse_pattern("(a)-[{since: 1985}]-(b)").elements[1]
+        assert dict(rel.properties) == {"since": ex.Literal(1985)}
+
+    def test_double_arrow_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse_pattern("(a)<-[:X]->(b)")
+
+    def test_paper_knows_star_examples(self):
+        # -[:KNOWS*1 {since: 1985}]- and -[:KNOWS*1..1 {...}]- denote the
+        # same pattern (both I = (1,1)); -[:KNOWS {...}]- has I = nil.
+        star1 = parse_pattern("(a)-[:KNOWS*1 {since: 1985}]-(b)").elements[1]
+        star11 = parse_pattern("(a)-[:KNOWS*1..1 {since: 1985}]-(b)").elements[1]
+        plain = parse_pattern("(a)-[:KNOWS {since: 1985}]-(b)").elements[1]
+        assert star1.length == (1, 1) == star11.length
+        assert star1 == star11
+        assert plain.length is None
+        assert plain != star1
+
+
+class TestLengthRanges:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("*", (None, None)),
+            ("*3", (3, 3)),
+            ("*2..", (2, None)),
+            ("*..4", (None, 4)),
+            ("*2..4", (2, 4)),
+        ],
+    )
+    def test_star_forms(self, text, expected):
+        rel = parse_pattern("(a)-[%s]->(b)" % text).elements[1]
+        assert rel.length == expected
+
+    def test_resolved_ranges(self):
+        rel = parse_pattern("(a)-[*..4]->(b)").elements[1]
+        assert rel.resolved_range() == (1, 4)  # nil lower bound becomes 1
+        rel = parse_pattern("(a)-[*]->(b)").elements[1]
+        assert rel.resolved_range() == (1, None)
+        rel = parse_pattern("(a)-[r]->(b)").elements[1]
+        assert rel.resolved_range() == (1, 1)
+
+    def test_rigidity(self):
+        assert parse_pattern("(a)-[*2]->(b)").is_rigid
+        assert parse_pattern("(a)-->(b)").is_rigid
+        assert not parse_pattern("(a)-[*1..2]->(b)").is_rigid
+        assert not parse_pattern("(a)-[*]->(b)").is_rigid
+
+
+class TestPathPatterns:
+    def test_long_chain(self):
+        pattern = parse_pattern("(a)-->(b)<--(c)--(d)")
+        assert len(pattern.elements) == 7
+        assert [n.name for n in pattern.node_patterns] == ["a", "b", "c", "d"]
+
+    def test_named_path(self):
+        pattern = parse_pattern("p = (a)-->(b)")
+        assert pattern.name == "p"
+
+    def test_free_variables(self):
+        pattern = parse_pattern("p = (a)-[r:X]->()-[s*1..2]->(b)")
+        assert pt.free_variables(pattern) == ["a", "r", "s", "b", "p"]
+
+    def test_free_variables_deduplicated(self):
+        pattern = parse_pattern("(a)-->(a)")
+        assert pt.free_variables(pattern) == ["a"]
+
+    def test_single_node_is_a_path(self):
+        pattern = parse_pattern("(a)")
+        assert pattern.is_single_node
+
+    def test_structural_validation(self):
+        with pytest.raises(ValueError):
+            pt.PathPattern(())
+        with pytest.raises(ValueError):
+            pt.PathPattern((pt.NodePattern(), pt.NodePattern()))
+        with pytest.raises(ValueError):
+            pt.PathPattern((pt.RelationshipPattern(),))

@@ -1,0 +1,157 @@
+"""Unit tests for clause/query parsing (Figure 5) and the pretty-printer."""
+
+import pytest
+
+from repro import parse_query
+from repro.ast import clauses as cl
+from repro.ast import queries as qu
+from repro.ast.printer import print_query
+from repro.exceptions import CypherSyntaxError
+
+
+class TestClauseParsing:
+    def test_match_return(self):
+        query = parse_query("MATCH (a) RETURN a")
+        assert isinstance(query, qu.SingleQuery)
+        assert isinstance(query.clauses[0], cl.Match)
+        assert isinstance(query.clauses[1], cl.Return)
+
+    def test_optional_match(self):
+        query = parse_query("OPTIONAL MATCH (a) RETURN a")
+        assert query.clauses[0].optional
+
+    def test_match_where(self):
+        query = parse_query("MATCH (a) WHERE a.x = 1 RETURN a")
+        assert query.clauses[0].where is not None
+
+    def test_match_pattern_tuple(self):
+        query = parse_query("MATCH (a), (b)-[:R]->(c) RETURN a")
+        assert len(query.clauses[0].pattern) == 2
+
+    def test_with_clause_full(self):
+        query = parse_query(
+            "MATCH (a) WITH DISTINCT a.x AS x ORDER BY x DESC SKIP 1 LIMIT 2 "
+            "WHERE x > 0 RETURN x"
+        )
+        with_clause = query.clauses[1]
+        projection = with_clause.projection
+        assert projection.distinct
+        assert projection.order_by[0].ascending is False
+        assert projection.skip is not None
+        assert projection.limit is not None
+        assert with_clause.where is not None
+
+    def test_return_star_and_items(self):
+        projection = parse_query("MATCH (a) RETURN *, a.x AS x").clauses[-1].projection
+        assert projection.star
+        assert projection.items[0].alias == "x"
+
+    def test_unwind(self):
+        clause = parse_query("UNWIND [1, 2] AS x RETURN x").clauses[0]
+        assert isinstance(clause, cl.Unwind)
+        assert clause.alias == "x"
+
+    def test_create(self):
+        clause = parse_query("CREATE (a:L {v: 1})-[:R]->(b)").clauses[0]
+        assert isinstance(clause, cl.Create)
+
+    def test_delete_variants(self):
+        assert parse_query("MATCH (a) DELETE a").clauses[-1].detach is False
+        assert parse_query("MATCH (a) DETACH DELETE a").clauses[-1].detach is True
+
+    def test_set_items(self):
+        clause = parse_query(
+            "MATCH (a) SET a.x = 1, a += {y: 2}, a:Label"
+        ).clauses[-1]
+        assert isinstance(clause.items[0], cl.SetProperty)
+        assert isinstance(clause.items[1], cl.SetVariable)
+        assert clause.items[1].merge is True
+        assert isinstance(clause.items[2], cl.SetLabels)
+
+    def test_remove_items(self):
+        clause = parse_query("MATCH (a) REMOVE a.x, a:L").clauses[-1]
+        assert isinstance(clause.items[0], cl.RemoveProperty)
+        assert isinstance(clause.items[1], cl.RemoveLabels)
+
+    def test_merge_with_actions(self):
+        clause = parse_query(
+            "MERGE (a:L {k: 1}) ON CREATE SET a.c = 1 ON MATCH SET a.m = 2"
+        ).clauses[0]
+        assert isinstance(clause, cl.Merge)
+        assert len(clause.on_create) == 1
+        assert len(clause.on_match) == 1
+
+    def test_union_and_union_all(self):
+        union = parse_query("RETURN 1 AS x UNION RETURN 2 AS x")
+        assert isinstance(union, qu.UnionQuery) and union.all is False
+        union_all = parse_query("RETURN 1 AS x UNION ALL RETURN 2 AS x")
+        assert union_all.all is True
+
+    def test_cypher10_graph_clauses(self):
+        query = parse_query(
+            'FROM GRAPH soc AT "hdfs://x" MATCH (a)-[:F]-(b) '
+            "RETURN GRAPH out OF (a)-[:SHARE]->(b)"
+        )
+        assert isinstance(query.clauses[0], cl.FromGraph)
+        assert query.clauses[0].uri == "hdfs://x"
+        assert isinstance(query.clauses[-1], cl.ReturnGraph)
+        assert query.clauses[-1].graph_name == "out"
+
+    def test_query_graph_alias(self):
+        query = parse_query("QUERY GRAPH friends MATCH (a) RETURN a")
+        assert isinstance(query.clauses[0], cl.FromGraph)
+
+    def test_trailing_semicolon_accepted(self):
+        parse_query("RETURN 1 AS x;")
+
+
+class TestQueryValidation:
+    def test_return_must_be_last(self):
+        with pytest.raises(CypherSyntaxError):
+            parse_query("RETURN 1 AS x MATCH (a) RETURN a")
+
+    def test_read_query_must_end_with_return(self):
+        with pytest.raises(CypherSyntaxError):
+            parse_query("MATCH (a)")
+
+    def test_update_query_may_end_without_return(self):
+        parse_query("CREATE (a)")
+        parse_query("MATCH (a) SET a.x = 1")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse_query("")
+
+    def test_garbage_after_query(self):
+        with pytest.raises(CypherSyntaxError):
+            parse_query("RETURN 1 AS x garbage")
+
+
+class TestPrinterRoundTrip:
+    QUERIES = [
+        "MATCH (a:Person {name: 'Ann'})-[r:KNOWS*1..3]->(b) WHERE b.age > 30 "
+        "RETURN a.name AS name, count(DISTINCT b) AS friends "
+        "ORDER BY name DESC SKIP 1 LIMIT 10",
+        "OPTIONAL MATCH (a)-[:X|Y]->() RETURN a",
+        "MATCH p = (a)-->(b) RETURN p",
+        "UNWIND [1, 2, 3] AS x WITH x WHERE x > 1 RETURN sum(x) AS s",
+        "MATCH (a) RETURN CASE WHEN a.x THEN 1 ELSE 2 END AS c",
+        "RETURN [x IN [1, 2] WHERE x > 1 | x * 2] AS l",
+        "RETURN {a: 1, b: [1, 2]} AS m",
+        "CREATE (a:L {v: 1})-[:R {w: 2}]->(b)",
+        "MATCH (a) DETACH DELETE a",
+        "MATCH (a) SET a.x = 1, a:L REMOVE a.y",
+        "MERGE (a {k: 1}) ON CREATE SET a.c = true ON MATCH SET a.m = false",
+        "RETURN 1 AS x UNION ALL RETURN 2 AS x",
+        "MATCH (a) WHERE exists((a)-[:R]->()) RETURN a",
+        "MATCH (a) WHERE (a)-[:R]->(:L) RETURN a",
+        "RETURN all(x IN [1] WHERE x > 0) AS q",
+        "MATCH (n) RETURN n.x IS NOT NULL AS p, n:Label AS l",
+    ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_parse_print_parse_fixpoint(self, query_text):
+        first = parse_query(query_text)
+        printed = print_query(first)
+        second = parse_query(printed)
+        assert first == second, printed

@@ -1,0 +1,176 @@
+"""Unit tests for the planner: plan shapes, cost-driven choices, fallback."""
+
+import pytest
+
+from repro import CypherEngine, parse_query
+from repro.datasets.paper import figure1_graph
+from repro.exceptions import UnsupportedFeature
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import MemoryGraph
+from repro.planner import execute_plan, plan_query
+from repro.planner import logical as lg
+from repro.semantics.morphism import HOMOMORPHISM, NODE_ISOMORPHISM, Morphism
+
+
+def plan(graph, text, **kwargs):
+    return plan_query(parse_query(text), graph, **kwargs)
+
+
+def operators(root):
+    found = [root]
+    index = 0
+    while index < len(found):
+        found.extend(found[index]._children())
+        index += 1
+    return [type(op).__name__ for op in found]
+
+
+class TestPlanShapes:
+    def test_label_scan_chosen_when_label_present(self, figure1):
+        graph, _ = figure1
+        root = plan(graph, "MATCH (r:Researcher) RETURN r")
+        assert "NodeByLabelScan" in operators(root)
+        assert "AllNodesScan" not in operators(root)
+
+    def test_all_nodes_scan_without_label(self, figure1):
+        graph, _ = figure1
+        root = plan(graph, "MATCH (n) RETURN n")
+        assert "AllNodesScan" in operators(root)
+
+    def test_expand_for_relationships(self, figure1):
+        graph, _ = figure1
+        root = plan(graph, "MATCH (a:Researcher)-[:AUTHORS]->(p) RETURN p")
+        assert "Expand" in operators(root)
+
+    def test_var_length_expand(self, figure1):
+        graph, _ = figure1
+        root = plan(graph, "MATCH (p)<-[:CITES*]-(q) RETURN q")
+        assert "VarLengthExpand" in operators(root)
+
+    def test_planner_starts_from_most_selective_label(self):
+        # Student is rarer than Person, so the chain should start there.
+        builder = GraphBuilder()
+        for index in range(10):
+            builder.node("p%d" % index, "Person")
+        builder.node("s", "Student")
+        builder.rel("p0", "KNOWS", "s")
+        graph, _ = builder.build()
+        root = plan(graph, "MATCH (p:Person)-[:KNOWS]->(s:Student) RETURN p")
+        names = operators(root)
+        scan_index = names.index("NodeByLabelScan")
+        scan_op = [
+            op for op in _walk_ops(root) if type(op).__name__ == "NodeByLabelScan"
+        ][0]
+        assert scan_op.label == "Student"
+
+    def test_optional_match_becomes_optional_apply(self, figure1):
+        graph, _ = figure1
+        root = plan(
+            graph,
+            "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s) RETURN s",
+        )
+        assert "OptionalApply" in operators(root)
+        assert "Argument" in operators(root)
+
+    def test_aggregate_operator(self, figure1):
+        graph, _ = figure1
+        root = plan(graph, "MATCH (n) RETURN labels(n) AS l, count(*) AS c")
+        assert "Aggregate" in operators(root)
+
+    def test_sort_skip_limit_operators(self, figure1):
+        graph, _ = figure1
+        root = plan(
+            graph, "MATCH (n) RETURN n.name AS name ORDER BY name SKIP 1 LIMIT 2"
+        )
+        names = operators(root)
+        assert "Sort" in names and "Skip" in names and "Limit" in names
+
+    def test_union_operator(self, figure1):
+        graph, _ = figure1
+        root = plan(graph, "RETURN 1 AS x UNION RETURN 2 AS x")
+        assert isinstance(root, lg.Union)
+
+    def test_describe_is_indented_tree(self, figure1):
+        graph, _ = figure1
+        text = plan(graph, "MATCH (r:Researcher)-[:AUTHORS]->(p) RETURN p").describe()
+        lines = text.splitlines()
+        assert len(lines) >= 3
+        assert lines[-1].strip() == "Init"
+        assert lines[0][0] != " "  # root unindented
+
+
+class TestPlannerRefusals:
+    def test_updates_unsupported(self):
+        graph = MemoryGraph()
+        with pytest.raises(UnsupportedFeature):
+            plan(graph, "CREATE (a)")
+
+    def test_named_paths_unsupported(self):
+        graph = MemoryGraph()
+        with pytest.raises(UnsupportedFeature):
+            plan(graph, "MATCH p = (a)-->(b) RETURN p")
+
+    def test_node_isomorphism_unsupported(self):
+        graph = MemoryGraph()
+        with pytest.raises(UnsupportedFeature):
+            plan(graph, "MATCH (a) RETURN a", morphism=NODE_ISOMORPHISM)
+
+    def test_graph_clauses_unsupported(self):
+        graph = MemoryGraph()
+        with pytest.raises(UnsupportedFeature):
+            plan(graph, "FROM GRAPH g MATCH (a) RETURN a")
+
+    def test_auto_mode_falls_back(self):
+        engine = CypherEngine(MemoryGraph(), mode="auto")
+        engine.run("CREATE (:X)")  # must not raise
+        assert engine.graph.node_count() == 1
+
+
+class TestPhysicalExecution:
+    def test_execute_plan_returns_table(self, figure1):
+        graph, _ = figure1
+        root = plan(graph, "MATCH (r:Researcher) RETURN r.name AS name")
+        table = execute_plan(root, graph)
+        assert sorted(table.column("name")) == ["Elin", "Nils", "Thor"]
+
+    def test_hidden_fields_are_stripped(self, figure1):
+        graph, _ = figure1
+        root = plan(graph, "MATCH (a)-[:AUTHORS]->(p) RETURN p.acmid AS acmid")
+        table = execute_plan(root, graph)
+        assert table.fields == ("acmid",)
+        assert all(set(row.keys()) == {"acmid"} for row in table.rows)
+
+    def test_homomorphism_mode_with_cap(self, figure1):
+        graph, _ = figure1
+        root = plan(
+            graph,
+            "MATCH (x)-[:KNOWS*]->(y) RETURN x, y",
+            morphism=HOMOMORPHISM,
+        )
+        table = execute_plan(root, graph, morphism=HOMOMORPHISM)
+        assert len(table) == 0  # figure1 has no KNOWS edges
+
+    def test_expand_into_for_cyclic_patterns(self):
+        graph, ids = (
+            GraphBuilder()
+            .node("a").node("b")
+            .rel("a", "X", "b")
+            .rel("a", "Y", "b")
+            .build()
+        )
+        root = plan(graph, "MATCH (a)-[:X]->(b)<-[:Y]-(a) RETURN a")
+        table = execute_plan(root, graph)
+        assert len(table) == 1
+
+    def test_limit_short_circuits(self, figure1):
+        graph, _ = figure1
+        root = plan(graph, "MATCH (n) RETURN n LIMIT 0")
+        assert len(execute_plan(root, graph)) == 0
+
+
+def _walk_ops(root):
+    stack = [root]
+    while stack:
+        op = stack.pop()
+        yield op
+        stack.extend(op._children())

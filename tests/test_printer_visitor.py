@@ -1,0 +1,134 @@
+"""Unit tests for the pretty-printer details and the AST visitor."""
+
+import pytest
+
+from repro import parse_expression, parse_pattern, parse_query
+from repro.ast import expressions as ex
+from repro.ast.printer import (
+    print_expression,
+    print_literal,
+    print_pattern,
+    print_query,
+)
+from repro.ast.visitor import children, walk
+from repro.values.base import NodeId
+
+
+class TestLiteralPrinting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, "null"),
+            (True, "true"),
+            (False, "false"),
+            (42, "42"),
+            (2.5, "2.5"),
+            ("hi", "'hi'"),
+            ([1, "a"], "[1, 'a']"),
+            ({"k": 1}, "{k: 1}"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert print_literal(value) == expected
+
+    def test_string_escaping(self):
+        assert print_literal("it's") == r"'it\'s'"
+        assert print_literal("a\nb") == r"'a\nb'"
+        assert print_literal("back\\slash") == r"'back\\slash'"
+
+    def test_entities_have_no_literal_syntax(self):
+        with pytest.raises(ValueError):
+            print_literal(NodeId(1))
+
+
+class TestIdentifierQuoting:
+    def test_weird_names_get_backticks(self):
+        printed = print_expression(ex.Variable("weird name"))
+        assert printed == "`weird name`"
+        assert parse_expression(printed) == ex.Variable("weird name")
+
+    def test_weird_labels(self):
+        pattern = parse_pattern("(a:`odd label`)")
+        printed = print_pattern(pattern)
+        assert "`odd label`" in printed
+        assert parse_pattern(printed) == pattern
+
+
+class TestExpressionPrinting:
+    def test_operators_are_spaced(self):
+        assert print_expression(parse_expression("1+2")) == "1 + 2"
+
+    def test_nested_parenthesization_is_reparseable(self):
+        source = "a AND (b OR c)"
+        tree = parse_expression(source)
+        assert parse_expression(print_expression(tree)) == tree
+
+    def test_count_star(self):
+        assert print_expression(ex.CountStar()) == "count(*)"
+
+    def test_distinct_in_aggregate(self):
+        printed = print_expression(parse_expression("count(DISTINCT x)"))
+        assert printed == "count(DISTINCT x)"
+
+    def test_case_printing(self):
+        source = "CASE x WHEN 1 THEN 'a' ELSE 'b' END"
+        tree = parse_expression(source)
+        assert parse_expression(print_expression(tree)) == tree
+
+
+class TestQueryPrinting:
+    def test_clause_order_preserved(self):
+        text = print_query(parse_query(
+            "MATCH (a) WITH a.v AS v RETURN v ORDER BY v DESC SKIP 1 LIMIT 2"
+        ))
+        assert text.index("MATCH") < text.index("WITH") < text.index("RETURN")
+        assert "ORDER BY v DESC" in text
+        assert "SKIP 1" in text and "LIMIT 2" in text
+
+    def test_union_printing(self):
+        text = print_query(parse_query("RETURN 1 AS x UNION ALL RETURN 2 AS x"))
+        assert "UNION ALL" in text
+
+    def test_from_graph_printing(self):
+        text = print_query(parse_query(
+            'FROM GRAPH g AT "bolt://x" MATCH (a) RETURN GRAPH h OF (a)'
+        ))
+        assert 'FROM GRAPH g AT "bolt://x"' in text
+        assert "RETURN GRAPH h OF (a)" in text
+
+
+class TestVisitor:
+    def test_walk_reaches_every_expression(self):
+        tree = parse_expression("a + b * coalesce(c, [d, e])")
+        names = {
+            node.name for node in walk(tree) if isinstance(node, ex.Variable)
+        }
+        assert names == {"a", "b", "c", "d", "e"}
+
+    def test_walk_traverses_queries(self):
+        query = parse_query(
+            "MATCH (a {v: x}) WHERE a.y > z RETURN a.w AS out ORDER BY out"
+        )
+        variables = {
+            node.name for node in walk(query) if isinstance(node, ex.Variable)
+        }
+        assert "x" in variables   # from the pattern's property map
+        assert "z" in variables   # from the WHERE predicate
+        assert "out" in variables  # from ORDER BY
+
+    def test_children_of_leaf_is_empty(self):
+        assert list(children(ex.Literal(1))) == []
+
+    def test_walk_visits_case_branches(self):
+        tree = parse_expression("CASE WHEN p THEN q ELSE r END")
+        names = {
+            node.name for node in walk(tree) if isinstance(node, ex.Variable)
+        }
+        assert names == {"p", "q", "r"}
+
+    def test_walk_visits_map_values(self):
+        tree = parse_expression("{a: x, b: y}")
+        names = {
+            node.name for node in walk(tree) if isinstance(node, ex.Variable)
+        }
+        assert names == {"x", "y"}

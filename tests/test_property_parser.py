@@ -1,0 +1,184 @@
+"""Property-based round-trip: print(parse(print(ast))) is the identity.
+
+Random expression and pattern ASTs are generated structurally, printed to
+Cypher text by the pretty-printer, re-parsed, and compared — exercising
+the parser/printer pair far beyond the hand-written cases.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ast import expressions as ex
+from repro.ast import patterns as pt
+from repro.ast.printer import print_expression, print_pattern
+from repro.parser import parse_expression, parse_pattern
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    # avoid collisions with keywords and function-call shapes
+    lambda name: name.upper()
+    not in {
+        "AND", "OR", "XOR", "NOT", "IN", "IS", "NULL", "TRUE", "FALSE",
+        "CASE", "WHEN", "THEN", "ELSE", "END", "STARTS", "ENDS",
+        "CONTAINS", "ALL", "ANY", "NONE", "SINGLE", "EXISTS", "COUNT",
+        "WHERE", "RETURN", "MATCH", "WITH", "UNION", "AS", "ORDER",
+        "SKIP", "LIMIT", "DISTINCT", "UNWIND", "CREATE", "DELETE",
+        "MERGE", "SET", "REMOVE", "OPTIONAL", "DETACH", "BY", "ON",
+        "FROM", "GRAPH", "AT", "OF", "QUERY", "ASC", "DESC",
+    }
+)
+
+literals = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=0, max_value=10**9),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=10,
+    ),
+).map(ex.Literal)
+
+
+def expressions_strategy():
+    def extend(children):
+        pairs = st.tuples(identifiers, children)
+        return st.one_of(
+            st.builds(
+                ex.PropertyAccess, children, identifiers
+            ),
+            st.builds(
+                lambda items: ex.ListLiteral(tuple(items)),
+                st.lists(children, max_size=3),
+            ),
+            st.builds(
+                lambda items: ex.MapLiteral(
+                    tuple({k: v for k, v in items}.items())
+                ),
+                st.lists(pairs, max_size=3),
+            ),
+            st.builds(ex.In, children, children),
+            st.builds(
+                ex.StringPredicate,
+                st.sampled_from(["STARTS WITH", "ENDS WITH", "CONTAINS"]),
+                children,
+                children,
+            ),
+            st.builds(
+                ex.BinaryLogic,
+                st.sampled_from(["AND", "OR", "XOR"]),
+                children,
+                children,
+            ),
+            st.builds(ex.Not, children),
+            st.builds(ex.IsNull, children),
+            st.builds(ex.IsNotNull, children),
+            st.builds(
+                lambda op, a, b: ex.Comparison((op,), (a, b)),
+                st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+                children,
+                children,
+            ),
+            st.builds(
+                ex.Arithmetic,
+                st.sampled_from(["+", "-", "*", "/", "%", "^"]),
+                children,
+                children,
+            ),
+            st.builds(ex.UnaryMinus, children),
+            st.builds(
+                lambda name, args: ex.FunctionCall(name, tuple(args)),
+                st.sampled_from(["coalesce", "size", "abs", "tostring"]),
+                st.lists(children, min_size=1, max_size=2),
+            ),
+            st.builds(
+                lambda v, src, w, p: ex.ListComprehension(v, src, w, p),
+                identifiers,
+                children,
+                st.none() | children,
+                st.none() | children,
+            ),
+            st.builds(
+                lambda operand, alts, default: ex.CaseExpression(
+                    operand, tuple(alts), default
+                ),
+                st.none() | children,
+                st.lists(st.tuples(children, children), min_size=1, max_size=2),
+                st.none() | children,
+            ),
+            st.builds(
+                ex.QuantifiedPredicate,
+                st.sampled_from(["all", "any", "none", "single"]),
+                identifiers,
+                children,
+                children,
+            ),
+        )
+
+    return st.recursive(
+        st.one_of(literals, identifiers.map(ex.Variable), identifiers.map(ex.Parameter)),
+        extend,
+        max_leaves=12,
+    )
+
+
+node_patterns = st.builds(
+    lambda name, labels, props: pt.NodePattern(
+        name, tuple(labels), tuple({k: v for k, v in props}.items())
+    ),
+    st.none() | identifiers,
+    st.lists(identifiers, max_size=2),
+    st.lists(st.tuples(identifiers, literals), max_size=2),
+)
+
+lengths = st.one_of(
+    st.none(),
+    st.tuples(
+        st.none() | st.integers(min_value=0, max_value=5),
+        st.none() | st.integers(min_value=0, max_value=5),
+    ).filter(
+        # printer renders (d, d) as *d and cannot distinguish (None, None)
+        # from any other "*"-form ambiguity; keep ranges printable
+        lambda bounds: bounds[0] is None or bounds[1] is None
+        or bounds[0] <= bounds[1]
+    ),
+)
+
+rel_patterns = st.builds(
+    lambda direction, name, types, props, length: pt.RelationshipPattern(
+        direction, name, tuple(types),
+        tuple({k: v for k, v in props}.items()), length,
+    ),
+    st.sampled_from([pt.LEFT_TO_RIGHT, pt.RIGHT_TO_LEFT, pt.UNDIRECTED]),
+    st.none() | identifiers,
+    st.lists(identifiers, max_size=2),
+    st.lists(st.tuples(identifiers, literals), max_size=1),
+    lengths,
+)
+
+
+@st.composite
+def path_patterns(draw):
+    segments = draw(st.integers(min_value=0, max_value=3))
+    elements = [draw(node_patterns)]
+    for _ in range(segments):
+        elements.append(draw(rel_patterns))
+        elements.append(draw(node_patterns))
+    name = draw(st.none() | identifiers)
+    return pt.PathPattern(tuple(elements), name=name)
+
+
+class TestExpressionRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(tree=expressions_strategy())
+    def test_print_parse_print_fixpoint(self, tree):
+        printed = print_expression(tree)
+        reparsed = parse_expression(printed)
+        assert print_expression(reparsed) == printed
+
+
+class TestPatternRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(pattern=path_patterns())
+    def test_print_parse_identity(self, pattern):
+        printed = print_pattern(pattern)
+        reparsed = parse_pattern(printed)
+        assert print_pattern(reparsed) == printed

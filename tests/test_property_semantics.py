@@ -1,0 +1,183 @@
+"""Property-based tests for the execution semantics.
+
+Invariants checked on randomly generated graphs:
+
+* planner ≡ interpreter (bag equality) on a family of templated queries;
+* every variable-length match uses pairwise-distinct relationships
+  (edge isomorphism) and its output is finite;
+* UNION ALL multiplicities add; DISTINCT is idempotent;
+* CREATE adds exactly the pattern's nodes/relationships; DETACH DELETE
+  leaves no dangling edges.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CypherEngine
+from repro.graph.store import MemoryGraph
+from repro.semantics.expressions import Evaluator
+from repro.semantics.matching import match_pattern_tuple
+from repro.parser import parse_pattern
+from repro.values.base import RelId
+
+
+def _graph_strategy(max_nodes, max_edges):
+    @st.composite
+    def build(draw):
+        graph = MemoryGraph()
+        node_count = draw(st.integers(min_value=1, max_value=max_nodes))
+        labels = ["A", "B", "C"]
+        nodes = []
+        for _index in range(node_count):
+            node_labels = draw(st.sets(st.sampled_from(labels), max_size=2))
+            value = draw(st.integers(min_value=0, max_value=5))
+            nodes.append(graph.create_node(node_labels, {"v": value}))
+        edge_count = draw(st.integers(min_value=0, max_value=max_edges))
+        for _ in range(edge_count):
+            source = draw(st.sampled_from(nodes))
+            target = draw(st.sampled_from(nodes))
+            rel_type = draw(st.sampled_from(["R", "S"]))
+            graph.create_relationship(source, target, rel_type)
+        return graph
+
+    return build()
+
+
+def small_graphs():
+    """A random property graph with ≤ 8 nodes and ≤ 10 relationships."""
+    return _graph_strategy(8, 10)
+
+
+def tiny_graphs():
+    """Small enough for *unbounded* variable-length enumeration: the
+    number of edge-distinct walks can grow factorially with edge count,
+    so the unbounded tests stay at ≤ 6 edges."""
+    return _graph_strategy(5, 6)
+
+
+TEMPLATES = [
+    "MATCH (a)-[r:R]->(b) RETURN a, r, b",
+    "MATCH (a:A)-[*1..2]->(b) RETURN a, b",
+    "MATCH (a)-[rs:R*0..2]-(b) RETURN a, size(rs) AS n, b",
+    "MATCH (a:A) OPTIONAL MATCH (a)-[:S]->(b) RETURN a, b",
+    "MATCH (a)-->(b)-->(c) RETURN count(*) AS n",
+    "MATCH (n) RETURN labels(n) AS l, count(*) AS c",
+    "MATCH (a)-->(a) RETURN count(*) AS loops",
+    "MATCH (a {v: 1})-[*1..3]->(b {v: 2}) RETURN count(*) AS n",
+]
+
+
+class TestPlannerAgreesWithInterpreter:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=small_graphs(), template=st.sampled_from(TEMPLATES))
+    def test_bag_equality(self, graph, template):
+        engine = CypherEngine(graph)
+        interpreted = engine.run(template, mode="interpreter")
+        planned = engine.run(template, mode="planner")
+        assert interpreted.table.same_bag(planned.table)
+
+
+class TestMatchingInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=small_graphs())
+    def test_varlength_bindings_use_distinct_relationships(self, graph):
+        pattern = parse_pattern("(a)-[rs*1..3]-(b)")
+        evaluator = Evaluator(graph)
+        matches = match_pattern_tuple((pattern,), graph, {}, evaluator)
+        for match in matches:
+            rels = match["rs"]
+            assert all(isinstance(rel, RelId) for rel in rels)
+            assert len(set(rels)) == len(rels)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=tiny_graphs())
+    def test_unbounded_matching_is_finite(self, graph):
+        # Edge isomorphism bounds any traversal by |R|; the match bag for
+        # an unbounded pattern is therefore finite (the paper's argument).
+        pattern = parse_pattern("(a)-[rs*]->(b)")
+        evaluator = Evaluator(graph)
+        matches = match_pattern_tuple((pattern,), graph, {}, evaluator)
+        for match in matches:
+            assert len(match["rs"]) <= graph.relationship_count()
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=small_graphs())
+    def test_tuple_uniqueness_across_patterns(self, graph):
+        patterns = (
+            parse_pattern("(a)-[r1]->(b)"),
+            parse_pattern("(c)-[r2]->(d)"),
+        )
+        evaluator = Evaluator(graph)
+        for match in match_pattern_tuple(patterns, graph, {}, evaluator):
+            assert match["r1"] != match["r2"]
+
+
+class TestBagLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=small_graphs())
+    def test_union_all_multiplicities_add(self, graph):
+        engine = CypherEngine(graph)
+        single = engine.run("MATCH (n) RETURN labels(n) AS l")
+        doubled = engine.run(
+            "MATCH (n) RETURN labels(n) AS l "
+            "UNION ALL MATCH (n) RETURN labels(n) AS l"
+        )
+        assert len(doubled) == 2 * len(single)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=small_graphs())
+    def test_distinct_idempotent(self, graph):
+        engine = CypherEngine(graph)
+        once = engine.run("MATCH (n) RETURN DISTINCT labels(n) AS l")
+        deduped_again = once.table.deduplicate()
+        assert once.table.same_bag(deduped_again)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=small_graphs())
+    def test_union_is_deduplicated_union_all(self, graph):
+        engine = CypherEngine(graph)
+        union = engine.run(
+            "MATCH (n) RETURN labels(n) AS l UNION MATCH (n) RETURN labels(n) AS l"
+        )
+        union_all = engine.run(
+            "MATCH (n) RETURN labels(n) AS l UNION ALL MATCH (n) RETURN labels(n) AS l"
+        )
+        assert union.table.same_bag(union_all.table.deduplicate())
+
+
+class TestUpdateInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph=small_graphs(),
+        extra=st.integers(min_value=1, max_value=4),
+    )
+    def test_create_adds_exactly_the_pattern(self, graph, extra):
+        engine = CypherEngine(graph, mode="interpreter")
+        nodes_before = graph.node_count()
+        rels_before = graph.relationship_count()
+        engine.run(
+            "UNWIND range(1, $n) AS i CREATE (:New {i: i})-[:MADE]->(:New)",
+            parameters={"n": extra},
+        )
+        assert graph.node_count() == nodes_before + 2 * extra
+        assert graph.relationship_count() == rels_before + extra
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=small_graphs())
+    def test_detach_delete_leaves_no_dangling_edges(self, graph):
+        engine = CypherEngine(graph, mode="interpreter")
+        engine.run("MATCH (n:A) DETACH DELETE n")
+        for rel in graph.relationships():
+            assert graph.has_node(graph.src(rel))
+            assert graph.has_node(graph.tgt(rel))
+        for node in graph.nodes():
+            assert "A" not in graph.labels(node)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=small_graphs())
+    def test_merge_is_idempotent_on_node_count(self, graph):
+        engine = CypherEngine(graph, mode="interpreter")
+        engine.run("MERGE (:Anchor {k: 1})")
+        count_after_first = graph.node_count()
+        engine.run("MERGE (:Anchor {k: 1})")
+        assert graph.node_count() == count_after_first

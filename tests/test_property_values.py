@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the value model's algebraic laws."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.values.base import NodeId, RelId
+from repro.values.comparison import and3, compare, equals, not3, or3, xor3
+from repro.values.ordering import canonical_key, sort_key
+
+ternary = st.sampled_from([True, False, None])
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+    st.integers(min_value=1, max_value=50).map(NodeId),
+    st.integers(min_value=1, max_value=50).map(RelId),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=4), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+class TestConnectiveLaws:
+    @given(a=ternary, b=ternary)
+    def test_and_or_commute(self, a, b):
+        assert and3(a, b) == and3(b, a)
+        assert or3(a, b) == or3(b, a)
+        assert xor3(a, b) == xor3(b, a)
+
+    @given(a=ternary, b=ternary, c=ternary)
+    def test_and_or_associate(self, a, b, c):
+        assert and3(and3(a, b), c) == and3(a, and3(b, c))
+        assert or3(or3(a, b), c) == or3(a, or3(b, c))
+
+    @given(a=ternary, b=ternary)
+    def test_de_morgan(self, a, b):
+        assert not3(and3(a, b)) == or3(not3(a), not3(b))
+        assert not3(or3(a, b)) == and3(not3(a), not3(b))
+
+    @given(a=ternary)
+    def test_double_negation(self, a):
+        assert not3(not3(a)) == a
+
+
+class TestEqualityLaws:
+    @given(value=values)
+    def test_equality_reflexive_or_unknown(self, value):
+        verdict = equals(value, value)
+        assert verdict in (True, None)  # None only when nulls are inside
+
+    @given(a=values, b=values)
+    def test_equality_symmetric(self, a, b):
+        assert equals(a, b) == equals(b, a)
+
+    @given(a=values, b=values)
+    def test_equal_values_share_canonical_keys(self, a, b):
+        if equals(a, b) is True:
+            assert canonical_key(a) == canonical_key(b)
+
+    @given(a=values, b=values)
+    def test_distinct_canonical_keys_mean_not_equal(self, a, b):
+        if canonical_key(a) == canonical_key(b):
+            assert equals(a, b) in (True, None)
+
+
+class TestComparisonLaws:
+    @given(a=values, b=values)
+    def test_compare_antisymmetric(self, a, b):
+        forward = compare(a, b)
+        backward = compare(b, a)
+        if forward is None:
+            assert backward is None
+        else:
+            assert backward == -forward
+
+    @given(a=values, b=values, c=values)
+    def test_compare_transitive(self, a, b, c):
+        if compare(a, b) == -1 and compare(b, c) == -1:
+            assert compare(a, c) == -1
+
+    @given(a=values)
+    def test_compare_with_null_is_unknown(self, a):
+        assert compare(a, None) is None
+        assert compare(None, a) is None
+
+
+class TestOrderabilityLaws:
+    @given(items=st.lists(values, max_size=8))
+    def test_sort_key_is_total(self, items):
+        ordered = sorted(items, key=sort_key)
+        assert sorted(ordered, key=sort_key) == ordered
+
+    @given(a=values, b=values)
+    def test_orderability_refines_comparability(self, a, b):
+        verdict = compare(a, b)
+        if verdict == -1:
+            assert sort_key(a) < sort_key(b)
+        elif verdict == 1:
+            assert sort_key(a) > sort_key(b)
+        elif verdict == 0:
+            assert sort_key(a) == sort_key(b)
+
+    @given(a=values)
+    def test_null_is_greatest(self, a):
+        if a is not None:
+            assert sort_key(a) < sort_key(None)
+
+    @given(a=values)
+    def test_canonical_keys_hashable(self, a):
+        hash(canonical_key(a))

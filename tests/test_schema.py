@@ -1,0 +1,159 @@
+"""Unit + integration tests for schema constraints (paper §8)."""
+
+import pytest
+
+from repro import CypherEngine
+from repro.exceptions import ConstraintViolation
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import MemoryGraph
+from repro.schema import (
+    ExistenceConstraint,
+    Schema,
+    TypeConstraint,
+    UniquenessConstraint,
+)
+
+
+class TestExistence:
+    def test_missing_property_is_a_violation(self):
+        graph, ids = (
+            GraphBuilder().node("ok", "Person", name="Ann").node("bad", "Person").build()
+        )
+        violations = list(ExistenceConstraint("Person", "name").check(graph))
+        assert len(violations) == 1
+        assert violations[0].entity == ids["bad"]
+        assert "name" in str(violations[0])
+
+    def test_other_labels_unconstrained(self):
+        graph, _ = GraphBuilder().node("a", "Animal").build()
+        assert list(ExistenceConstraint("Person", "name").check(graph)) == []
+
+
+class TestUniqueness:
+    def test_duplicates_detected(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "Person", ssn="1")
+            .node("b", "Person", ssn="1")
+            .node("c", "Person", ssn="2")
+            .build()
+        )
+        violations = list(UniquenessConstraint("Person", "ssn").check(graph))
+        assert len(violations) == 1
+
+    def test_nulls_are_not_duplicates(self):
+        graph, _ = (
+            GraphBuilder().node("a", "Person").node("b", "Person").build()
+        )
+        assert list(UniquenessConstraint("Person", "ssn").check(graph)) == []
+
+    def test_numeric_equality_collapses(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "P", k=1)
+            .node("b", "P", k=1.0)
+            .build()
+        )
+        assert len(list(UniquenessConstraint("P", "k").check(graph))) == 1
+
+
+class TestTypeConstraint:
+    def test_wrong_type_detected(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "Person", age=30)
+            .node("b", "Person", age="thirty")
+            .build()
+        )
+        violations = list(
+            TypeConstraint("Person", "age", "Integer").check(graph)
+        )
+        assert len(violations) == 1
+        assert "String" in str(violations[0])
+
+    def test_absent_property_allowed(self):
+        graph, _ = GraphBuilder().node("a", "Person").build()
+        assert list(TypeConstraint("Person", "age", "Integer").check(graph)) == []
+
+
+class TestSchema:
+    def test_validate_collects_in_order(self):
+        graph, _ = GraphBuilder().node("a", "Person").build()
+        schema = Schema(
+            [
+                ExistenceConstraint("Person", "name"),
+                ExistenceConstraint("Person", "ssn"),
+            ]
+        )
+        violations = schema.validate(graph)
+        assert len(violations) == 2
+        assert not schema.is_valid(graph)
+
+    def test_builder_style_add(self):
+        schema = Schema().add(ExistenceConstraint("A", "x"))
+        assert len(schema) == 1
+        assert "EXISTS(:A.x)" in repr(schema)
+
+
+class TestEngineEnforcement:
+    def engine(self):
+        return CypherEngine(
+            MemoryGraph(),
+            schema=Schema(
+                [
+                    ExistenceConstraint("Person", "name"),
+                    UniquenessConstraint("Person", "name"),
+                ]
+            ),
+        )
+
+    def test_valid_updates_pass(self):
+        engine = self.engine()
+        engine.run("CREATE (:Person {name: 'Ann'})")
+        assert engine.graph.node_count() == 1
+
+    def test_violating_create_rolls_back(self):
+        engine = self.engine()
+        engine.run("CREATE (:Person {name: 'Ann'})")
+        with pytest.raises(ConstraintViolation):
+            engine.run("CREATE (:Person)")  # missing name
+        assert engine.graph.node_count() == 1  # rolled back
+
+    def test_violating_set_rolls_back(self):
+        engine = self.engine()
+        engine.run("CREATE (:Person {name: 'Ann'}), (:Person {name: 'Bob'})")
+        with pytest.raises(ConstraintViolation):
+            engine.run("MATCH (p:Person {name: 'Bob'}) SET p.name = 'Ann'")
+        names = sorted(
+            engine.run("MATCH (p:Person) RETURN p.name AS n").values("n")
+        )
+        assert names == ["Ann", "Bob"]
+
+    def test_remove_that_violates_rolls_back(self):
+        engine = self.engine()
+        engine.run("CREATE (:Person {name: 'Ann'})")
+        with pytest.raises(ConstraintViolation):
+            engine.run("MATCH (p:Person) REMOVE p.name")
+        assert engine.run(
+            "MATCH (p:Person) RETURN p.name AS n"
+        ).value() == "Ann"
+
+    def test_read_queries_skip_validation(self):
+        # an engine whose *existing* graph violates the schema can still read
+        graph, _ = GraphBuilder().node("a", "Person").build()
+        engine = CypherEngine(
+            graph, schema=Schema([ExistenceConstraint("Person", "name")])
+        )
+        assert engine.run("MATCH (p:Person) RETURN count(*) AS n").value() == 1
+
+    def test_rollback_restores_properties_deeply(self):
+        engine = self.engine()
+        engine.run("CREATE (:Person {name: 'Ann', tags: ['x']})")
+        with pytest.raises(ConstraintViolation):
+            engine.run(
+                "MATCH (p:Person) SET p.tags = ['y'] REMOVE p.name"
+            )
+        record = engine.run(
+            "MATCH (p:Person) RETURN p.name AS n, p.tags AS t"
+        ).single()
+        assert record == {"n": "Ann", "t": ["x"]}

@@ -1,0 +1,87 @@
+"""Unit tests for tables as bags of records (paper §4.1)."""
+
+import pytest
+
+from repro.semantics.table import Table
+
+
+class TestConstruction:
+    def test_unit_table(self):
+        unit = Table.unit()
+        assert unit.fields == ()
+        assert unit.rows == [{}]
+        assert len(unit) == 1
+
+    def test_from_records_infers_fields(self):
+        table = Table.from_records([{"a": 1, "b": 2}])
+        assert set(table.fields) == {"a", "b"}
+
+    def test_from_records_empty(self):
+        assert Table.from_records([]).fields == ()
+
+
+class TestBagAlgebra:
+    def test_bag_union_adds_multiplicities(self):
+        left = Table(("a",), [{"a": 1}, {"a": 1}])
+        right = Table(("a",), [{"a": 1}, {"a": 2}])
+        union = left.bag_union(right)
+        assert union.multiplicity({"a": 1}) == 3
+        assert union.multiplicity({"a": 2}) == 1
+
+    def test_bag_union_requires_uniform_fields(self):
+        with pytest.raises(ValueError):
+            Table(("a",), []).bag_union(Table(("b",), []))
+
+    def test_deduplicate(self):
+        table = Table(("a",), [{"a": 1}, {"a": 1}, {"a": 2}])
+        deduped = table.deduplicate()
+        assert len(deduped) == 2
+        # ε is idempotent
+        assert deduped.deduplicate().same_bag(deduped)
+
+    def test_deduplicate_respects_value_equality(self):
+        table = Table(("a",), [{"a": 1}, {"a": 1.0}])
+        assert len(table.deduplicate()) == 1
+
+    def test_multiplicity_of_absent_row(self):
+        assert Table(("a",), [{"a": 1}]).multiplicity({"a": 9}) == 0
+
+
+class TestEqualityAndViews:
+    def test_same_bag_ignores_row_order(self):
+        left = Table(("a",), [{"a": 1}, {"a": 2}])
+        right = Table(("a",), [{"a": 2}, {"a": 1}])
+        assert left.same_bag(right)
+
+    def test_same_bag_respects_multiplicity(self):
+        left = Table(("a",), [{"a": 1}, {"a": 1}])
+        right = Table(("a",), [{"a": 1}])
+        assert not left.same_bag(right)
+
+    def test_same_bag_with_different_fields(self):
+        assert not Table(("a",), []).same_bag(Table(("b",), []))
+
+    def test_same_bag_ignores_field_order(self):
+        left = Table(("a", "b"), [{"a": 1, "b": 2}])
+        right = Table(("b", "a"), [{"a": 1, "b": 2}])
+        assert left.same_bag(right)
+
+    def test_column(self):
+        table = Table(("a", "b"), [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert table.column("a") == [1, 3]
+
+    def test_to_records_copies(self):
+        table = Table(("a",), [{"a": 1}])
+        records = table.to_records()
+        records[0]["a"] = 99
+        assert table.rows[0]["a"] == 1
+
+    def test_pretty_renders_headers_and_nulls(self):
+        table = Table(("name", "v"), [{"name": "x", "v": None}])
+        rendered = table.pretty()
+        assert "name" in rendered
+        assert "null" in rendered
+
+    def test_pretty_truncates(self):
+        table = Table(("a",), [{"a": i} for i in range(30)])
+        assert "more rows" in table.pretty(limit=5)

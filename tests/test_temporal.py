@@ -1,0 +1,214 @@
+"""Unit tests for the Cypher 10 temporal types (paper §6)."""
+
+import pytest
+
+from repro.exceptions import CypherTypeError
+from repro.temporal import Date, DateTime, Duration, LocalDateTime, LocalTime, Time
+
+
+class TestDate:
+    def test_parse_and_components(self):
+        date = Date.parse("2017-03-05")
+        assert date.cypher_component("year") == 2017
+        assert date.cypher_component("month") == 3
+        assert date.cypher_component("day") == 5
+
+    def test_from_map_defaults(self):
+        date = Date.from_map({"year": 2000})
+        assert date.cypher_to_string() == "2000-01-01"
+
+    def test_from_map_requires_year(self):
+        with pytest.raises(CypherTypeError):
+            Date.from_map({"month": 2})
+
+    def test_bad_parse(self):
+        with pytest.raises(CypherTypeError):
+            Date.parse("not a date")
+
+    def test_ordering(self):
+        early, late = Date.parse("1999-12-31"), Date.parse("2000-01-01")
+        assert early.cypher_compare(late) == -1
+        assert late.cypher_compare(early) == 1
+        assert early.cypher_compare(early) == 0
+
+    def test_cross_type_comparison_is_unknown(self):
+        assert Date.parse("2000-01-01").cypher_compare(LocalTime(1)) is None
+
+    def test_day_of_week(self):
+        assert Date.parse("2018-06-10").cypher_component("dayOfWeek") == 7  # Sunday
+
+    def test_plus_duration_days(self):
+        result = Date.parse("2018-01-30") + Duration(days=3) if False else None
+        shifted = Date.parse("2018-01-30").cypher_add(Duration(days=3))
+        assert shifted.cypher_to_string() == "2018-02-02"
+
+    def test_plus_duration_months_clamps_day(self):
+        shifted = Date.parse("2018-01-31").cypher_add(Duration(months=1))
+        assert shifted.cypher_to_string() == "2018-02-28"
+
+    def test_minus_duration(self):
+        shifted = Date.parse("2018-03-01").cypher_subtract(Duration(days=1))
+        assert shifted.cypher_to_string() == "2018-02-28"
+
+
+class TestTimes:
+    def test_localtime_parse_variants(self):
+        assert LocalTime.parse("12:31").cypher_component("minute") == 31
+        assert LocalTime.parse("12:31:14").cypher_component("second") == 14
+        full = LocalTime.parse("12:31:14.5")
+        assert full.cypher_component("millisecond") == 500
+
+    def test_localtime_string_roundtrip(self):
+        assert LocalTime.parse("09:05:00").cypher_to_string() == "09:05:00"
+        assert LocalTime.parse("09:05:00.25").cypher_to_string() == "09:05:00.25"
+
+    def test_time_offset_parsing(self):
+        time = Time.parse("10:00:00+02:00")
+        assert time.cypher_component("offsetSeconds") == 7200
+        zulu = Time.parse("10:00:00Z")
+        assert zulu.cypher_component("offsetSeconds") == 0
+
+    def test_time_ordering_respects_offset(self):
+        utc10 = Time.parse("10:00:00Z")
+        cet11 = Time.parse("11:00:00+01:00")  # also 10:00 UTC
+        assert utc10.cypher_compare(cet11) == 0
+
+    def test_time_plus_duration(self):
+        shifted = LocalTime.parse("23:30:00").cypher_add(Duration(seconds=3600))
+        assert shifted.cypher_to_string() == "00:30:00"  # wraps midnight
+
+    def test_calendar_duration_on_time_rejected(self):
+        with pytest.raises(CypherTypeError):
+            LocalTime.parse("10:00").cypher_add(Duration(days=1))
+
+    def test_validation(self):
+        with pytest.raises(CypherTypeError):
+            LocalTime(25)
+        with pytest.raises(CypherTypeError):
+            LocalTime(1, 61)
+
+
+class TestDateTimes:
+    def test_local_datetime_parse(self):
+        value = LocalDateTime.parse("2018-06-10T14:30:00")
+        assert value.cypher_component("year") == 2018
+        assert value.cypher_component("hour") == 14
+
+    def test_datetime_with_offset(self):
+        value = DateTime.parse("2018-06-10T14:30:00+02:00")
+        assert value.cypher_component("offsetSeconds") == 7200
+        assert value.cypher_to_string() == "2018-06-10T14:30:00+02:00"
+
+    def test_datetime_ordering_across_offsets(self):
+        a = DateTime.parse("2018-06-10T12:00:00Z")
+        b = DateTime.parse("2018-06-10T14:00:00+02:00")
+        assert a.cypher_compare(b) == 0
+
+    def test_datetime_plus_duration_crossing_day(self):
+        value = LocalDateTime.parse("2018-06-10T23:00:00")
+        shifted = value.cypher_add(Duration(seconds=2 * 3600))
+        assert shifted.cypher_to_string() == "2018-06-11T01:00:00"
+
+    def test_datetime_plus_months(self):
+        value = LocalDateTime.parse("2018-01-31T10:00:00")
+        shifted = value.cypher_add(Duration(months=1))
+        assert shifted.cypher_to_string() == "2018-02-28T10:00:00"
+
+
+class TestDuration:
+    def test_parse_iso(self):
+        duration = Duration.parse("P1Y2M3DT4H5M6S")
+        assert duration.months == 14
+        assert duration.days == 3
+        assert duration.seconds == 4 * 3600 + 5 * 60 + 6
+
+    def test_parse_weeks_and_fractions(self):
+        duration = Duration.parse("P2WT0.5S")
+        assert duration.days == 14
+        assert duration.nanoseconds == 500_000_000
+
+    def test_parse_negative(self):
+        duration = Duration.parse("-P1D")
+        assert duration.days == -1
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(CypherTypeError):
+            Duration.parse("P")
+        with pytest.raises(CypherTypeError):
+            Duration.parse("nonsense")
+
+    def test_from_map(self):
+        duration = Duration.from_map({"hours": 1, "minutes": 30})
+        assert duration.seconds == 5400
+
+    def test_to_string_roundtrip(self):
+        for text in ("P1Y2M3DT4H5M6S", "P14D", "PT0S"):
+            assert Duration.parse(text).cypher_to_string() == text
+        assert Duration(days=14).cypher_to_string() == "P14D"
+
+    def test_arithmetic(self):
+        total = Duration(days=1).cypher_add(Duration(seconds=60))
+        assert total.days == 1 and total.seconds == 60
+        diff = Duration(days=3).cypher_subtract(Duration(days=1))
+        assert diff.days == 2
+        double = Duration(days=2, seconds=30).cypher_multiply(2)
+        assert double.days == 4 and double.seconds == 60
+
+    def test_nanosecond_normalization(self):
+        duration = Duration(nanoseconds=1_500_000_000)
+        assert duration.seconds == 1
+        assert duration.nanoseconds == 500_000_000
+
+    def test_equality_and_hash(self):
+        assert Duration(days=1) == Duration(days=1)
+        assert hash(Duration(days=1)) == hash(Duration(days=1))
+        assert Duration(days=1) != Duration(days=2)
+
+
+class TestEngineIntegration:
+    def test_constructors_through_queries(self, dual_run):
+        from repro.graph.store import MemoryGraph
+
+        result = dual_run(
+            MemoryGraph(),
+            "RETURN date('2018-06-10') AS d, duration('P1D') AS dur",
+        )
+        record = result.records[0]
+        assert record["d"].cypher_to_string() == "2018-06-10"
+        assert record["dur"].days == 1
+
+    def test_temporal_arithmetic_in_queries(self, dual_run):
+        from repro.graph.store import MemoryGraph
+
+        result = dual_run(
+            MemoryGraph(),
+            "RETURN date('2018-06-10') + duration('P3D') AS moved",
+        )
+        assert result.records[0]["moved"].cypher_to_string() == "2018-06-13"
+
+    def test_temporal_comparison_in_queries(self, dual_run):
+        from repro.graph.store import MemoryGraph
+
+        result = dual_run(
+            MemoryGraph(),
+            "RETURN date('2018-01-01') < date('2018-06-10') AS before",
+        )
+        assert result.records[0]["before"] is True
+
+    def test_component_access_in_queries(self, dual_run):
+        from repro.graph.store import MemoryGraph
+
+        result = dual_run(
+            MemoryGraph(),
+            "RETURN datetime('2018-06-10T12:00:00Z').year AS y",
+        )
+        assert result.records[0]["y"] == 2018
+
+    def test_temporal_values_stored_on_nodes(self):
+        from repro import CypherEngine
+        from repro.graph.store import MemoryGraph
+
+        engine = CypherEngine(MemoryGraph())
+        engine.run("CREATE ({d: date('2018-06-10')})")
+        result = engine.run("MATCH (n) RETURN n.d.month AS m")
+        assert result.records[0]["m"] == 6

@@ -1,0 +1,160 @@
+"""Unit tests for update execution (CREATE / DELETE / SET / REMOVE / MERGE)."""
+
+import pytest
+
+from repro import CypherEngine
+from repro.exceptions import (
+    ConstraintViolation,
+    CypherRuntimeError,
+    CypherSemanticError,
+    CypherTypeError,
+)
+from repro.graph.store import MemoryGraph
+from repro.values.base import NodeId, RelId
+from repro.values.path import Path
+
+
+@pytest.fixture
+def engine():
+    return CypherEngine(MemoryGraph(), mode="interpreter")
+
+
+class TestCreate:
+    def test_create_binds_variables(self, engine):
+        result = engine.run("CREATE (a:L {v: 1})-[r:R]->(b) RETURN a, r, b")
+        record = result.single()
+        assert isinstance(record["a"], NodeId)
+        assert isinstance(record["r"], RelId)
+        assert isinstance(record["b"], NodeId)
+
+    def test_create_named_path(self, engine):
+        result = engine.run("CREATE p = (a)-[:R]->(b) RETURN p")
+        path = result.value()
+        assert isinstance(path, Path)
+        assert len(path) == 1
+
+    def test_create_per_driving_row(self, engine):
+        engine.run("UNWIND [1, 2, 3] AS i CREATE ({v: i})")
+        assert engine.graph.node_count() == 3
+
+    def test_create_right_to_left_arrow(self, engine):
+        engine.run("CREATE (a {side: 'left'})<-[:R]-(b {side: 'right'})")
+        result = engine.run("MATCH (s)-[:R]->(t) RETURN s.side AS s, t.side AS t")
+        assert result.single() == {"s": "right", "t": "left"}
+
+    def test_create_property_from_driving_row(self, engine):
+        engine.run("UNWIND [10, 20] AS v CREATE ({doubled: v * 2})")
+        values = engine.run("MATCH (n) RETURN n.doubled AS d ORDER BY d").values("d")
+        assert values == [20, 40]
+
+    def test_create_through_bound_variable_with_labels_rejected(self, engine):
+        engine.run("CREATE (:X)")
+        with pytest.raises(CypherSemanticError):
+            engine.run("MATCH (a:X) CREATE (a:Y)")
+
+    def test_create_through_non_node_rejected(self, engine):
+        with pytest.raises(CypherTypeError):
+            engine.run("UNWIND [1] AS a CREATE (a)-[:R]->()")
+
+
+class TestDelete:
+    def test_delete_relationship_value(self, engine):
+        engine.run("CREATE (a)-[:R]->(b)")
+        engine.run("MATCH ()-[r:R]->() DELETE r")
+        assert engine.graph.relationship_count() == 0
+        assert engine.graph.node_count() == 2
+
+    def test_delete_path_deletes_everything_on_it(self, engine):
+        engine.run("CREATE (a)-[:R]->(b)-[:R]->(c)")
+        engine.run("MATCH p = (x)-[:R*2]->(y) DETACH DELETE p")
+        assert engine.graph.node_count() == 0
+        assert engine.graph.relationship_count() == 0
+
+    def test_delete_null_is_noop(self, engine):
+        engine.run("CREATE (:A)")
+        engine.run("MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(b) DELETE b")
+        assert engine.graph.node_count() == 1
+
+    def test_double_delete_tolerated(self, engine):
+        engine.run("CREATE (:A), (:A)")
+        # every row deletes the same node once; duplicates collapse
+        engine.run("MATCH (a:A), (b:A) DETACH DELETE a, b")
+        assert engine.graph.node_count() == 0
+
+    def test_delete_connected_node_without_detach_fails(self, engine):
+        engine.run("CREATE (a:A)-[:R]->()")
+        with pytest.raises(ConstraintViolation):
+            engine.run("MATCH (a:A) DELETE a")
+
+    def test_delete_non_entity_rejected(self, engine):
+        with pytest.raises(CypherTypeError):
+            engine.run("UNWIND [1] AS x DELETE x")
+
+
+class TestSetRemove:
+    def test_set_property_null_subject_noop(self, engine):
+        engine.run("CREATE (:A)")
+        engine.run("MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(b) SET b.x = 1")
+
+    def test_set_variable_copies_entity_properties(self, engine):
+        engine.run("CREATE (:Src {a: 1, b: 2}), (:Dst {c: 3})")
+        engine.run("MATCH (s:Src), (d:Dst) SET d = s")
+        properties = engine.run("MATCH (d:Dst) RETURN properties(d) AS p").value()
+        assert properties == {"a": 1, "b": 2}
+
+    def test_set_variable_requires_map(self, engine):
+        engine.run("CREATE (:A)")
+        with pytest.raises(CypherTypeError):
+            engine.run("MATCH (a:A) SET a = 5")
+
+    def test_set_on_relationship(self, engine):
+        engine.run("CREATE (a)-[:R]->(b)")
+        engine.run("MATCH ()-[r:R]->() SET r.w = 9")
+        assert engine.run("MATCH ()-[r:R]->() RETURN r.w AS w").value() == 9
+
+    def test_remove_label_then_label_scan_misses(self, engine):
+        engine.run("CREATE (:Gone:Kept)")
+        engine.run("MATCH (n:Gone) REMOVE n:Gone")
+        assert len(engine.run("MATCH (n:Gone) RETURN n")) == 0
+        assert len(engine.run("MATCH (n:Kept) RETURN n")) == 1
+
+
+class TestMerge:
+    def test_merge_binds_all_existing_matches(self, engine):
+        engine.run("CREATE (:P {k: 1}), (:P {k: 1})")
+        result = engine.run("MERGE (p:P {k: 1}) RETURN count(*) AS n")
+        assert result.value() == 2  # both matches drive the row count
+
+    def test_merge_creates_whole_pattern_when_partial(self, engine):
+        engine.run("CREATE (:A {k: 1})")
+        # (:A {k:1}) exists but has no :R edge: MERGE creates the whole
+        # pattern, including a *new* :A node (never a partial reuse).
+        engine.run("MERGE (a:A {k: 1})-[:R]->(b:B)")
+        assert engine.run("MATCH (a:A) RETURN count(*) AS n").value() == 2
+        assert engine.graph.relationship_count() == 1
+
+    def test_merge_per_row_sees_earlier_creations(self, engine):
+        engine.run("UNWIND [1, 1, 2] AS v MERGE ({key: v})")
+        assert engine.graph.node_count() == 2
+
+    def test_merge_undirected_relationship_matches_both_ways(self, engine):
+        engine.run("CREATE (a:A)-[:R]->(b:B)")
+        engine.run("MATCH (a:A), (b:B) MERGE (b)-[:R]-(a)")
+        assert engine.graph.relationship_count() == 1
+
+    def test_merge_var_length_rejected(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.run("MERGE (a)-[:R*2]->(b)")
+
+
+class TestUpdateThenRead:
+    def test_update_visible_to_later_clauses(self, engine):
+        result = engine.run(
+            "CREATE (a:L {v: 1}) WITH a MATCH (x:L) RETURN x.v AS v"
+        )
+        assert result.values("v") == [1]
+
+    def test_planner_falls_back_for_updates(self):
+        engine = CypherEngine(MemoryGraph(), mode="auto")
+        engine.run("CREATE (:X {v: 5})")
+        assert engine.run("MATCH (x:X) RETURN x.v AS v").value() == 5

@@ -1,0 +1,166 @@
+"""Unit tests for ternary equality, comparison and connectives (paper §4.3:
+"just like SQL, Cypher uses 3-value logic for dealing with nulls")."""
+
+import math
+
+import pytest
+
+from repro.values.base import NodeId, RelId
+from repro.values.comparison import (
+    and3,
+    compare,
+    equals,
+    greater,
+    is_true,
+    less,
+    less_equal,
+    not3,
+    not_equals,
+    or3,
+    xor3,
+)
+from repro.values.path import Path
+
+
+class TestConnectives:
+    # The SQL truth tables, row by row.
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (True, True, True), (True, False, False), (True, None, None),
+            (False, True, False), (False, False, False), (False, None, False),
+            (None, True, None), (None, False, False), (None, None, None),
+        ],
+    )
+    def test_and3(self, left, right, expected):
+        assert and3(left, right) is expected
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (True, True, True), (True, False, True), (True, None, True),
+            (False, True, True), (False, False, False), (False, None, None),
+            (None, True, True), (None, False, None), (None, None, None),
+        ],
+    )
+    def test_or3(self, left, right, expected):
+        assert or3(left, right) is expected
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (True, True, False), (True, False, True), (True, None, None),
+            (False, False, False), (None, False, None), (None, None, None),
+        ],
+    )
+    def test_xor3(self, left, right, expected):
+        assert xor3(left, right) is expected
+
+    def test_not3(self):
+        assert not3(True) is False
+        assert not3(False) is True
+        assert not3(None) is None
+
+    def test_is_true_is_strict(self):
+        assert is_true(True)
+        assert not is_true(None)
+        assert not is_true(1)
+
+
+class TestEquality:
+    def test_null_propagates(self):
+        assert equals(None, None) is None
+        assert equals(1, None) is None
+        assert equals(None, "x") is None
+
+    def test_numbers_compare_across_int_and_float(self):
+        assert equals(1, 1.0) is True
+        assert equals(1, 2) is False
+
+    def test_nan_is_not_equal_to_itself(self):
+        assert equals(float("nan"), float("nan")) is False
+
+    def test_mixed_types_are_not_equal(self):
+        assert equals(1, "1") is False
+        assert equals(True, 1) is False
+        assert equals([], {}) is False
+
+    def test_entity_identity(self):
+        assert equals(NodeId(1), NodeId(1)) is True
+        assert equals(NodeId(1), NodeId(2)) is False
+        assert equals(NodeId(1), RelId(1)) is False
+
+    def test_paths_by_sequence(self):
+        a = Path((NodeId(1), NodeId(2)), (RelId(1),))
+        b = Path((NodeId(1), NodeId(2)), (RelId(1),))
+        assert equals(a, b) is True
+
+    def test_list_equality_elementwise(self):
+        assert equals([1, 2], [1, 2]) is True
+        assert equals([1, 2], [1, 3]) is False
+        assert equals([1, 2], [1]) is False
+
+    def test_list_equality_with_null_is_unknown(self):
+        assert equals([1, None], [1, 2]) is None
+        # ... but a definite mismatch dominates the unknown:
+        assert equals([1, None], [2, None]) is False
+
+    def test_map_equality(self):
+        assert equals({"a": 1}, {"a": 1}) is True
+        assert equals({"a": 1}, {"a": 2}) is False
+        assert equals({"a": 1}, {"b": 1}) is False
+        assert equals({"a": None}, {"a": 1}) is None
+
+    def test_nested_structures(self):
+        assert equals({"a": [1, {"b": 2}]}, {"a": [1, {"b": 2}]}) is True
+
+    def test_not_equals_negates(self):
+        assert not_equals(1, 2) is True
+        assert not_equals(1, 1) is False
+        assert not_equals(1, None) is None
+
+
+class TestComparison:
+    def test_numeric_ordering(self):
+        assert compare(1, 2) == -1
+        assert compare(2.5, 1) == 1
+        assert compare(3, 3.0) == 0
+
+    def test_string_ordering(self):
+        assert compare("a", "b") == -1
+        assert compare("b", "a") == 1
+
+    def test_boolean_ordering(self):
+        assert compare(False, True) == -1
+
+    def test_null_is_incomparable(self):
+        assert compare(None, 1) is None
+        assert less(None, 1) is None
+        assert less_equal(1, None) is None
+
+    def test_cross_type_is_incomparable(self):
+        assert compare(1, "a") is None
+        assert compare(True, 1) is None
+        assert greater(NodeId(1), NodeId(2)) is None
+
+    def test_nan_is_incomparable(self):
+        assert compare(float("nan"), 1.0) is None
+
+    def test_list_lexicographic(self):
+        assert compare([1, 2], [1, 3]) == -1
+        assert compare([1, 2], [1, 2]) == 0
+        assert compare([1], [1, 0]) == -1   # prefix is smaller
+        assert compare([2], [1, 9]) == 1
+
+    def test_list_with_null_element_unknown(self):
+        assert compare([None], [1]) is None
+
+    def test_comparison_helpers(self):
+        assert less(1, 2) is True
+        assert less_equal(2, 2) is True
+        assert greater(3, 2) is True
+        assert greater(2, 3) is False
+
+    def test_infinity_orders(self):
+        assert compare(math.inf, 1e308) == 1
+        assert compare(-math.inf, 0) == -1

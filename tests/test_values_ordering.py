@@ -1,0 +1,74 @@
+"""Unit tests for the total orderability order and canonical keys."""
+
+import pytest
+
+from repro.values.base import NodeId, RelId
+from repro.values.ordering import canonical_key, sort_key
+from repro.values.path import Path
+
+
+class TestSortKey:
+    def test_total_over_mixed_types(self):
+        values = [None, 2, "b", True, [1], {"a": 1}, NodeId(1), RelId(1),
+                  Path.single(NodeId(1)), 1.5, "a", False]
+        ordered = sorted(values, key=sort_key)
+        # must not raise, and must be deterministic
+        assert sorted(ordered, key=sort_key) == ordered
+
+    def test_null_sorts_last(self):
+        assert sorted([None, 1, "x"], key=sort_key)[-1] is None
+
+    def test_numbers_before_null_strings_before_booleans(self):
+        ordered = sorted(["s", True, 3, None], key=sort_key)
+        assert ordered == ["s", True, 3, None][::-1][::-1] or True
+        # the documented order: String < Boolean < Number < null
+        assert ordered == ["s", True, 3, None]
+
+    def test_numbers_sort_numerically(self):
+        assert sorted([3, 1.5, 2], key=sort_key) == [1.5, 2, 3]
+
+    def test_nan_is_greatest_number(self):
+        values = [float("nan"), 1e300, -5]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] == -5
+        assert ordered[1] == 1e300
+
+    def test_lists_sort_lexicographically(self):
+        assert sorted([[2], [1, 9], [1]], key=sort_key) == [[1], [1, 9], [2]]
+
+    def test_maps_sort_by_sorted_items(self):
+        ordered = sorted([{"b": 1}, {"a": 1}], key=sort_key)
+        assert ordered == [{"a": 1}, {"b": 1}]
+
+    def test_unorderable_value_raises(self):
+        with pytest.raises(TypeError):
+            sort_key(object())
+
+
+class TestCanonicalKey:
+    def test_equal_numbers_share_a_key(self):
+        assert canonical_key(1) == canonical_key(1.0)
+
+    def test_booleans_do_not_collide_with_numbers(self):
+        assert canonical_key(True) != canonical_key(1)
+        assert canonical_key(False) != canonical_key(0)
+
+    def test_nan_collapses(self):
+        assert canonical_key(float("nan")) == canonical_key(float("nan"))
+
+    def test_null_has_its_own_key(self):
+        assert canonical_key(None) != canonical_key(0)
+        assert canonical_key(None) != canonical_key("")
+
+    def test_structures_recurse(self):
+        assert canonical_key([1, {"a": 2.0}]) == canonical_key([1.0, {"a": 2}])
+        assert canonical_key([1, 2]) != canonical_key([2, 1])
+
+    def test_entities_keyed_by_kind_and_id(self):
+        assert canonical_key(NodeId(1)) != canonical_key(RelId(1))
+        assert canonical_key(NodeId(1)) == canonical_key(NodeId(1))
+
+    def test_keys_are_hashable(self):
+        examples = [None, 1, "a", [1, [2]], {"k": [None]},
+                    Path((NodeId(1), NodeId(2)), (RelId(3),))]
+        assert len({canonical_key(value) for value in examples}) == len(examples)
