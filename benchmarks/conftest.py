@@ -1,6 +1,19 @@
-"""Benchmark fixtures and the paper-vs-measured reporting helper."""
+"""Benchmark fixtures, paper-vs-measured reporting, and the perf log.
+
+Besides the table reporter, this conftest records the median wall time
+of every pytest-benchmark entry into ``BENCH_pipeline.json`` at the repo
+root (override with ``$BENCH_PIPELINE_PATH``).  The file is the
+project's perf trajectory: every PR that touches a hot path reruns the
+suite (``python -m repro.cli bench``) and compares medians against the
+committed numbers.
+"""
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import time
 
 import pytest
 
@@ -32,3 +45,71 @@ def report(title, headers, rows):
 @pytest.fixture
 def table_report():
     return report
+
+
+# ---------------------------------------------------------------------------
+# BENCH_pipeline.json — median wall-times per benchmark
+# ---------------------------------------------------------------------------
+
+def _pipeline_path():
+    override = os.environ.get("BENCH_PIPELINE_PATH")
+    if override:
+        return override
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(repo_root, "BENCH_pipeline.json")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump per-benchmark medians after a benchmark run.
+
+    Only fires when pytest-benchmark collected something, so plain test
+    runs (and ``-p no:benchmark`` runs) never touch the file.  A failed
+    or interrupted run must not pollute the committed trajectory either.
+    """
+    if exitstatus:
+        return
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None:
+        return
+    entries = {}
+    for bench in getattr(benchmark_session, "benchmarks", ()):
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        samples = getattr(stats, "stats", stats)  # Metadata vs raw Stats
+        try:
+            entries[bench.fullname] = {
+                "median_s": samples.median,
+                "mean_s": samples.mean,
+                "min_s": samples.min,
+                "rounds": getattr(samples, "rounds", None),
+            }
+        except (AttributeError, TypeError):
+            continue
+    if not entries:
+        return
+    path = _pipeline_path()
+    # Merge with the committed trajectory: a filtered run (-k /
+    # --pipeline-only) must refresh only the benchmarks it actually ran,
+    # not drop everyone else's baseline.
+    merged = {}
+    try:
+        with open(path) as handle:
+            merged = dict(json.load(handle).get("benchmarks", {}))
+    except (OSError, ValueError):
+        pass
+    merged.update(entries)
+    payload = {
+        "generated_by": "benchmarks/conftest.py (python -m repro.cli bench)",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "benchmarks": dict(sorted(merged.items())),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is not None:
+        terminal.write_line(
+            "wrote %d benchmark median(s) to %s" % (len(entries), path)
+        )

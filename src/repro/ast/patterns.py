@@ -16,6 +16,7 @@ The range component I follows the paper exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, Tuple
 
 LEFT_TO_RIGHT = "->"
@@ -52,6 +53,15 @@ class RelationshipPattern:
     def is_variable_length(self):
         """True iff I ≠ nil (a ``*`` appears in the source)."""
         return self.length is not None
+
+    @cached_property
+    def resolved_types(self):
+        """T as a frozenset (or None for "any type"), built exactly once.
+
+        Traversal kernels pass this to the store's typed adjacency
+        accessors; computing it per expansion step was a measurable cost.
+        """
+        return frozenset(self.types) if self.types else None
 
     def resolved_range(self):
         """The paper's range [m, n]: nil bounds become 1 and ∞ (None)."""

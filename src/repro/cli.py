@@ -1,10 +1,12 @@
-"""An interactive Cypher shell and one-shot query runner.
+"""An interactive Cypher shell, one-shot query runner and bench driver.
 
 Usage::
 
     python -m repro.cli                       # REPL on an empty graph
     python -m repro.cli --graph data.json     # load a JSON graph
     python -m repro.cli --query "MATCH (n) RETURN count(*) AS n"
+    python -m repro.cli bench                 # run the benchmark suite;
+                                              # medians -> BENCH_pipeline.json
 
 Inside the REPL, lines ending in ``;`` (or a single complete clause line)
 execute as Cypher; special commands start with ``:``:
@@ -150,7 +152,74 @@ def _stdin_lines():
             return
 
 
+def bench_main(argv=None):
+    """``python -m repro.cli bench``: run the perf suite, log medians.
+
+    Drives pytest over the repository's ``benchmarks/`` directory; the
+    benchmark conftest writes the per-benchmark median wall-times to
+    ``BENCH_pipeline.json`` so successive PRs accumulate a perf
+    trajectory.
+    """
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli bench",
+        description="run the benchmark suite and record medians",
+    )
+    parser.add_argument(
+        "--output",
+        help="path for the medians JSON (default: <repo>/BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "-k", dest="filter", help="only benchmarks matching this pytest -k expression"
+    )
+    parser.add_argument(
+        "--pipeline-only",
+        action="store_true",
+        help="run only the p1/p2/p3/p4 pipeline benchmarks",
+    )
+    arguments = parser.parse_args(argv)
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    bench_dir = os.path.join(repo_root, "benchmarks")
+    if not os.path.isdir(bench_dir):
+        print("error: no benchmarks/ directory next to the package "
+              "(%s)" % bench_dir, file=sys.stderr)
+        return 2
+    # bench_*.py does not match pytest's default python_files pattern, so
+    # the files are always passed explicitly.
+    prefix = "bench_p" if arguments.pipeline_only else "bench_"
+    targets = [
+        os.path.join(bench_dir, name)
+        for name in sorted(os.listdir(bench_dir))
+        if name.startswith(prefix) and name.endswith(".py")
+    ]
+    pytest_argv = ["-q"] + targets
+    if arguments.filter:
+        pytest_argv += ["-k", arguments.filter]
+
+    import pytest
+
+    if not arguments.output:
+        return pytest.main(pytest_argv)
+    previous = os.environ.get("BENCH_PIPELINE_PATH")
+    os.environ["BENCH_PIPELINE_PATH"] = arguments.output
+    try:
+        return pytest.main(pytest_argv)
+    finally:
+        if previous is None:
+            os.environ.pop("BENCH_PIPELINE_PATH", None)
+        else:
+            os.environ["BENCH_PIPELINE_PATH"] = previous
+
+
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(description="repro Cypher shell")
     parser.add_argument("--graph", help="JSON graph file to load")
     parser.add_argument("--query", help="run one query and exit")

@@ -4,6 +4,13 @@ Neo4j's planner uses a cost model over store statistics [21]; we compute
 the equivalent counters from the in-memory store: label cardinalities,
 relationship-type cardinalities, and average degrees by (label, type,
 direction), which drive Expand cost estimates.
+
+Stores that maintain inverted indexes expose
+``label_cardinalities()`` / ``type_cardinalities()`` (see
+:class:`~repro.graph.store.MemoryGraph`); building a snapshot from those
+hooks is O(#labels + #types) instead of a full O(N + R) rescan, which
+keeps planning cheap even though the snapshot cache in
+:mod:`repro.planner.cost` is invalidated by every store mutation.
 """
 
 from __future__ import annotations
@@ -15,20 +22,28 @@ class GraphStatistics:
     def __init__(self, graph):
         self.node_count = graph.node_count()
         self.relationship_count = graph.relationship_count()
-        self.label_counts = {}
-        self.type_counts = {}
-        out_degree_totals = {}
-        in_degree_totals = {}
-        for node in graph.nodes():
-            for label in graph.labels(node):
-                self.label_counts[label] = self.label_counts.get(label, 0) + 1
-        for rel in graph.relationships():
-            rel_type = graph.rel_type(rel)
-            self.type_counts[rel_type] = self.type_counts.get(rel_type, 0) + 1
-            out_degree_totals[rel_type] = out_degree_totals.get(rel_type, 0) + 1
-            in_degree_totals[rel_type] = in_degree_totals.get(rel_type, 0) + 1
-        self._out_degree_totals = out_degree_totals
-        self._in_degree_totals = in_degree_totals
+        label_hook = getattr(graph, "label_cardinalities", None)
+        type_hook = getattr(graph, "type_cardinalities", None)
+        if label_hook is not None and type_hook is not None:
+            self.label_counts = dict(label_hook())
+            self.type_counts = dict(type_hook())
+        else:
+            self.label_counts = {}
+            self.type_counts = {}
+            for node in graph.nodes():
+                for label in graph.labels(node):
+                    self.label_counts[label] = (
+                        self.label_counts.get(label, 0) + 1
+                    )
+            for rel in graph.relationships():
+                rel_type = graph.rel_type(rel)
+                self.type_counts[rel_type] = (
+                    self.type_counts.get(rel_type, 0) + 1
+                )
+        # Each relationship contributes one outgoing and one incoming end,
+        # so per-type degree totals coincide with the type cardinalities.
+        self._out_degree_totals = dict(self.type_counts)
+        self._in_degree_totals = dict(self.type_counts)
 
     # -- cardinalities -------------------------------------------------------
 

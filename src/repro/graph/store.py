@@ -10,6 +10,28 @@ It keeps:
   its relationships to the neighbouring nodes without any index lookup —
   the property the paper highlights ("Expand never needs to read any
   unnecessary data, or proceed via an indirection such as an index").
+
+Access paths (added for the slotted execution engine):
+
+* adjacency is *type-segmented*: next to the plain per-node lists the
+  store maintains ``node -> {type: [rels]}`` in both directions, so a
+  typed Expand touches exactly the matching relationships instead of
+  filtering the full list through a ``rel -> type`` lookup;
+* the segment lengths double as incrementally-maintained degree
+  counters, making :meth:`degree` O(1) for every (direction, type)
+  combination the cost model asks about;
+* :meth:`nodes_with_label` / :meth:`relationships_with_type` memoise
+  their sorted scan lists keyed on the store ``version``, so repeated
+  label scans (every NodeByLabelScan of every query) stop re-sorting;
+* :meth:`label_cardinalities` / :meth:`type_cardinalities` expose the
+  inverted-index sizes so :class:`~repro.graph.statistics.GraphStatistics`
+  builds in O(#labels + #types) instead of O(N + R).
+
+All adjacency lists (full and segmented) stay sorted by relationship id
+because ids are allocated monotonically and appends happen at creation
+time; type-filtered iteration over several segments merges them back
+into id order, which keeps enumeration order identical to filtering the
+full list.
 """
 
 from __future__ import annotations
@@ -18,6 +40,10 @@ from repro.exceptions import ConstraintViolation, EntityNotFound
 from repro.graph.model import PropertyGraph
 from repro.values.base import NodeId, RelId
 from repro.values.base import is_cypher_value
+
+
+def _id_value(identifier):
+    return identifier.value
 
 
 class MemoryGraph(PropertyGraph):
@@ -34,8 +60,11 @@ class MemoryGraph(PropertyGraph):
         self._rel_properties = {}     # RelId -> dict[str, value]
         self._outgoing = {}           # NodeId -> list[RelId]
         self._incoming = {}           # NodeId -> list[RelId]
+        self._outgoing_by_type = {}   # NodeId -> {str: list[RelId]}
+        self._incoming_by_type = {}   # NodeId -> {str: list[RelId]}
         self._label_index = {}        # str -> set[NodeId]
         self._type_index = {}         # str -> set[RelId]
+        self._scan_cache = {}         # ("label"|"type", name) -> (version, sorted list)
 
     # ------------------------------------------------------------------
     # PropertyGraph read interface
@@ -78,20 +107,20 @@ class MemoryGraph(PropertyGraph):
         return rel_id in self._rel_endpoints
 
     def nodes_with_label(self, label):
-        return iter(sorted(self._label_index.get(label, ()), key=lambda n: n.value))
+        return iter(self._cached_scan("label", label))
 
     def outgoing(self, node_id, types=None):
-        for rel in self._outgoing.get(node_id, ()):
-            if types is None or self._rel_types[rel] in types:
-                yield rel
+        if types is None:
+            return iter(self._outgoing.get(node_id, ()))
+        return self._typed_adjacency(self._outgoing_by_type, node_id, types)
 
     def incoming(self, node_id, types=None):
-        for rel in self._incoming.get(node_id, ()):
-            if types is None or self._rel_types[rel] in types:
-                yield rel
+        if types is None:
+            return iter(self._incoming.get(node_id, ()))
+        return self._typed_adjacency(self._incoming_by_type, node_id, types)
 
     def relationships_with_type(self, rel_type):
-        return iter(sorted(self._type_index.get(rel_type, ()), key=lambda r: r.value))
+        return iter(self._cached_scan("type", rel_type))
 
     def node_count(self):
         return len(self._node_labels)
@@ -100,23 +129,38 @@ class MemoryGraph(PropertyGraph):
         return len(self._rel_endpoints)
 
     def degree(self, node_id, direction="both", rel_type=None):
-        """Number of incident relationships; the cost model's raw input."""
-        count = 0
-        if direction in ("out", "both"):
-            for rel in self._outgoing.get(node_id, ()):
-                if rel_type is None or self._rel_types[rel] == rel_type:
-                    count += 1
-        if direction in ("in", "both"):
-            for rel in self._incoming.get(node_id, ()):
-                if rel_type is None or self._rel_types[rel] == rel_type:
-                    count += 1
-        return count
+        """Number of incident relationships — O(1) from segment lengths."""
+        if rel_type is None:
+            out = len(self._outgoing.get(node_id, ()))
+            inc = len(self._incoming.get(node_id, ()))
+        else:
+            out = len(
+                self._outgoing_by_type.get(node_id, {}).get(rel_type, ())
+            )
+            inc = len(
+                self._incoming_by_type.get(node_id, {}).get(rel_type, ())
+            )
+        if direction == "out":
+            return out
+        if direction == "in":
+            return inc
+        return out + inc
 
     def all_labels(self):
         return sorted(self._label_index.keys())
 
     def all_types(self):
         return sorted(self._type_index.keys())
+
+    def label_cardinalities(self):
+        """``{label: |nodes|}`` straight off the inverted index."""
+        return {
+            label: len(nodes) for label, nodes in self._label_index.items()
+        }
+
+    def type_cardinalities(self):
+        """``{type: |relationships|}`` straight off the inverted index."""
+        return {t: len(rels) for t, rels in self._type_index.items()}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -132,6 +176,8 @@ class MemoryGraph(PropertyGraph):
         self._node_properties[node_id] = _validated_properties(properties)
         self._outgoing[node_id] = []
         self._incoming[node_id] = []
+        self._outgoing_by_type[node_id] = {}
+        self._incoming_by_type[node_id] = {}
         for label in label_set:
             self._label_index.setdefault(label, set()).add(node_id)
         return node_id
@@ -152,6 +198,8 @@ class MemoryGraph(PropertyGraph):
         self._rel_properties[rel_id] = _validated_properties(properties)
         self._outgoing[src].append(rel_id)
         self._incoming[tgt].append(rel_id)
+        self._outgoing_by_type[src].setdefault(rel_type, []).append(rel_id)
+        self._incoming_by_type[tgt].setdefault(rel_type, []).append(rel_id)
         self._type_index.setdefault(rel_type, set()).add(rel_id)
         return rel_id
 
@@ -174,6 +222,8 @@ class MemoryGraph(PropertyGraph):
         self._node_properties[node_id] = _validated_properties(properties)
         self._outgoing[node_id] = []
         self._incoming[node_id] = []
+        self._outgoing_by_type[node_id] = {}
+        self._incoming_by_type[node_id] = {}
         for label in label_set:
             self._label_index.setdefault(label, set()).add(node_id)
         self._next_node_id = max(self._next_node_id, node_id.value + 1)
@@ -189,9 +239,10 @@ class MemoryGraph(PropertyGraph):
         self._version += 1
         if node_id not in self._node_labels:
             raise EntityNotFound("no node %r in graph" % (node_id,))
-        incident = list(self._outgoing[node_id]) + [
-            rel for rel in self._incoming[node_id]
-            if rel not in self._outgoing[node_id]
+        outgoing = self._outgoing[node_id]
+        outgoing_set = set(outgoing)
+        incident = list(outgoing) + [
+            rel for rel in self._incoming[node_id] if rel not in outgoing_set
         ]
         if incident and not detach:
             raise ConstraintViolation(
@@ -207,15 +258,20 @@ class MemoryGraph(PropertyGraph):
         del self._node_properties[node_id]
         del self._outgoing[node_id]
         del self._incoming[node_id]
+        del self._outgoing_by_type[node_id]
+        del self._incoming_by_type[node_id]
 
     def delete_relationship(self, rel_id):
         self._version += 1
         if rel_id not in self._rel_endpoints:
             raise EntityNotFound("no relationship %r in graph" % (rel_id,))
         source, target = self._rel_endpoints[rel_id]
+        rel_type = self._rel_types[rel_id]
         self._outgoing[source].remove(rel_id)
         self._incoming[target].remove(rel_id)
-        self._type_index[self._rel_types[rel_id]].discard(rel_id)
+        self._remove_from_segment(self._outgoing_by_type, source, rel_type, rel_id)
+        self._remove_from_segment(self._incoming_by_type, target, rel_type, rel_id)
+        self._type_index[rel_type].discard(rel_id)
         del self._rel_endpoints[rel_id]
         del self._rel_types[rel_id]
         del self._rel_properties[rel_id]
@@ -296,8 +352,11 @@ class MemoryGraph(PropertyGraph):
         self._rel_properties = donor._rel_properties
         self._outgoing = donor._outgoing
         self._incoming = donor._incoming
+        self._outgoing_by_type = donor._outgoing_by_type
+        self._incoming_by_type = donor._incoming_by_type
         self._label_index = donor._label_index
         self._type_index = donor._type_index
+        self._scan_cache = {}
         self._version += 1
 
     def copy(self):
@@ -317,6 +376,14 @@ class MemoryGraph(PropertyGraph):
         }
         clone._outgoing = {n: list(rs) for n, rs in self._outgoing.items()}
         clone._incoming = {n: list(rs) for n, rs in self._incoming.items()}
+        clone._outgoing_by_type = {
+            n: {t: list(rs) for t, rs in segments.items()}
+            for n, segments in self._outgoing_by_type.items()
+        }
+        clone._incoming_by_type = {
+            n: {t: list(rs) for t, rs in segments.items()}
+            for n, segments in self._incoming_by_type.items()
+        }
         clone._label_index = {l: set(ns) for l, ns in self._label_index.items()}
         clone._type_index = {t: set(rs) for t, rs in self._type_index.items()}
         return clone
@@ -329,6 +396,43 @@ class MemoryGraph(PropertyGraph):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _typed_adjacency(self, segmented, node_id, types):
+        """Iterate the union of type segments, in relationship-id order."""
+        by_type = segmented.get(node_id)
+        if not by_type:
+            return iter(())
+        # dict.fromkeys dedupes a caller-supplied list of types (the base
+        # interface accepts any container) without disturbing set callers.
+        segments = [
+            by_type[t] for t in dict.fromkeys(types) if t in by_type
+        ]
+        if not segments:
+            return iter(())
+        if len(segments) == 1:
+            return iter(segments[0])
+        merged = [rel for segment in segments for rel in segment]
+        merged.sort(key=_id_value)
+        return iter(merged)
+
+    @staticmethod
+    def _remove_from_segment(segmented, node_id, rel_type, rel_id):
+        segments = segmented[node_id]
+        segment = segments[rel_type]
+        segment.remove(rel_id)
+        if not segment:
+            del segments[rel_type]
+
+    def _cached_scan(self, kind, name):
+        """Sorted id list for a label/type scan, memoised per version."""
+        key = (kind, name)
+        cached = self._scan_cache.get(key)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        index = self._label_index if kind == "label" else self._type_index
+        ids = sorted(index.get(name, ()), key=_id_value)
+        self._scan_cache[key] = (self._version, ids)
+        return ids
 
     def _endpoints(self, rel_id):
         try:

@@ -12,8 +12,11 @@ engines and an additional operator called Expand."
 * :mod:`repro.planner.planning` — pattern-graph planning with greedy
   expansion ordering (an IDP-flavoured search picks the cheapest
   traversal order);
-* :mod:`repro.planner.physical` — tuple-at-a-time iterators executing a
-  logical plan.
+* :mod:`repro.planner.slots` — slot assignment: each plan variable gets
+  a fixed integer position, so rows are flat lists, not dicts;
+* :mod:`repro.planner.physical` — the slotted execution engine:
+  operators are compiled to generator closures over slotted rows, with
+  expressions compiled by :mod:`repro.semantics.compile`.
 
 ``plan_query`` raises :class:`repro.exceptions.UnsupportedFeature` for
 queries outside the read core (updates, Cypher 10 clauses); the engine

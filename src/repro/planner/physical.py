@@ -1,27 +1,42 @@
-"""Tuple-at-a-time execution of logical plans (the Volcano model).
+"""Slotted, compiled execution of logical plans (the Volcano model).
 
-Each operator is interpreted as a Python generator over rows (dicts);
-"the final query compilation uses ... a simple tuple-at-a-time
-iterator-based execution model" is exactly this.  Expand steps read
-adjacency lists directly — no index indirection — matching the paper's
-description of why Expand is cheap.
+"The final query compilation uses ... a simple tuple-at-a-time
+iterator-based execution model" — each operator is still a Python
+generator over rows, but the plan is *compiled* before the first row
+flows:
 
-The physical semantics of every operator matches the reference
-interpreter; the cross-check tests in ``tests/integration`` assert bag
-equality between the two paths for every query class the planner accepts.
+* every operator becomes a closure specialised at plan time — operator
+  dispatch, slot lookups, label tuples, adjacency direction and
+  relationship-type sets are all resolved once, not per row;
+* rows are flat lists indexed by the plan's :class:`SlotMap` (see
+  :mod:`repro.planner.slots`); binding a variable copies a list
+  (``row[:]``) instead of rebuilding a dict, and unbound slots hold the
+  ``MISSING`` sentinel;
+* expressions are compiled to nested closures over slot indexes by
+  :class:`~repro.semantics.compile.ExpressionCompiler`, with a
+  tree-walking fallback for constructs the compiler does not cover;
+* Expand steps read the store's type-segmented adjacency lists directly —
+  no index indirection — matching the paper's description of why Expand
+  is cheap.
+
+Rows convert to dict records only at the Table boundary.  The physical
+semantics of every operator matches the reference interpreter; the
+cross-check tests assert bag equality between the two paths for every
+query class the planner accepts.
 """
 
 from __future__ import annotations
 
-import functools
-
+from repro.ast import expressions as ex
+from repro.ast import patterns as pt
 from repro.exceptions import CypherRuntimeError
 from repro.planner import logical as lg
+from repro.planner.slots import SlotMap
+from repro.semantics.compile import MISSING, ExpressionCompiler
 from repro.semantics.expressions import Evaluator
-from repro.semantics.matching import _steps_from  # shared traversal kernel
 from repro.semantics.morphism import EDGE_ISOMORPHISM
 from repro.semantics.table import Table
-from repro.values.base import RelId
+from repro.values.base import NodeId, RelId
 from repro.values.comparison import equals
 from repro.values.ordering import canonical_key, sort_key
 
@@ -29,270 +44,519 @@ from repro.values.ordering import canonical_key, sort_key
 class ExecutionContext:
     """Runtime services shared by all operators of one execution."""
 
-    def __init__(self, graph, parameters=None, functions=None, morphism=None):
+    def __init__(
+        self, graph, parameters=None, functions=None, morphism=None, slots=None
+    ):
         self.graph = graph
         self.evaluator = Evaluator(
             graph, parameters, functions, morphism or EDGE_ISOMORPHISM
         )
+        self.slots = slots if slots is not None else SlotMap()
+        self.compiler = ExpressionCompiler(self.evaluator, self.slots)
 
-    def evaluate(self, expression, row):
-        return self.evaluator.evaluate(expression, row)
+    def compile(self, expression):
+        """Compile an expression to a ``slot_row -> value`` closure."""
+        return self.compiler.compile(expression)
 
-    def predicate(self, expression, row):
-        return self.evaluator.evaluate_predicate(expression, row)
+    def compile_predicate(self, expression):
+        """Compile a WHERE predicate to a strict ``slot_row -> bool``."""
+        return self.compiler.compile_predicate(expression)
 
 
 def execute_plan(plan, graph, parameters=None, functions=None, morphism=None):
     """Run a logical plan to completion; returns a Table over its fields."""
-    context = ExecutionContext(graph, parameters, functions, morphism)
+    slots = SlotMap.from_plan(plan)
+    context = ExecutionContext(graph, parameters, functions, morphism, slots)
+    source = _compile(plan, context)
     fields = plan.fields
-    rows = [
-        {field: row.get(field) for field in fields}
-        for row in _run(plan, context, {})
-    ]
+    field_slots = [slots[field] for field in fields]
+    rows = []
+    for row in source(None):
+        record = {}
+        for field, slot in zip(fields, field_slots):
+            value = row[slot]
+            record[field] = None if value is MISSING else value
+        rows.append(record)
     return Table(fields, rows)
 
 
 # ---------------------------------------------------------------------------
-# Dispatch
+# Dispatch: logical operator -> compiled generator function
 # ---------------------------------------------------------------------------
 
-def _run(op, ctx, argument):
-    return _HANDLERS[type(op)](op, ctx, argument)
+def _compile(op, ctx):
+    """Compile an operator subtree to ``argument_row -> iterator of rows``."""
+    return _COMPILERS[type(op)](op, ctx)
 
 
-def _run_init(op, ctx, argument):
-    yield {}
+def _compile_init(op, ctx):
+    slots = ctx.slots
+
+    def run(argument):
+        yield slots.new_row()
+
+    return run
 
 
-def _run_argument(op, ctx, argument):
-    yield dict(argument)
+def _compile_argument(op, ctx):
+    def run(argument):
+        yield argument[:]
+
+    return run
+
+
+# -- shared pattern-element checks ------------------------------------------
+
+def _compile_node_ok(ctx, node_pattern):
+    """Label-and-property check for a node pattern; None when trivial."""
+    labels = tuple(node_pattern.labels)
+    properties = tuple(
+        (key, ctx.compile(expression))
+        for key, expression in node_pattern.properties
+    )
+    if not labels and not properties:
+        return None
+    graph_labels = ctx.graph.labels
+    property_value = ctx.graph.property_value
+
+    def ok(node, row):
+        if labels:
+            node_labels = graph_labels(node)
+            for label in labels:
+                if label not in node_labels:
+                    return False
+        for key, compiled in properties:
+            if equals(property_value(node, key), compiled(row)) is not True:
+                return False
+        return True
+
+    return ok
+
+
+def _compile_rel_ok(ctx, rel_pattern):
+    """Property check for a relationship pattern; None when trivial."""
+    if not rel_pattern.properties:
+        return None
+    properties = tuple(
+        (key, ctx.compile(expression))
+        for key, expression in rel_pattern.properties
+    )
+    property_value = ctx.graph.property_value
+
+    def ok(rel, row):
+        for key, compiled in properties:
+            if equals(property_value(rel, key), compiled(row)) is not True:
+                return False
+        return True
+
+    return ok
+
+
+def _compile_steps(graph, rel_pattern):
+    """Direction-specialised (relationship, next node) step source."""
+    types = rel_pattern.resolved_types
+    if rel_pattern.direction == pt.LEFT_TO_RIGHT:
+        outgoing, tgt = graph.outgoing, graph.tgt
+
+        def steps(node):
+            for rel in outgoing(node, types):
+                yield rel, tgt(rel)
+
+        return steps
+    if rel_pattern.direction == pt.RIGHT_TO_LEFT:
+        incoming, src = graph.incoming, graph.src
+
+        def steps(node):
+            for rel in incoming(node, types):
+                yield rel, src(rel)
+
+        return steps
+    touching, other_end = graph.touching, graph.other_end
+
+    def steps(node):
+        for rel in touching(node, types):
+            yield rel, other_end(rel, node)
+
+    return steps
+
+
+def _compile_conflicts(ctx, unique_with):
+    """Edge-isomorphism clash check against earlier bindings; None if empty."""
+    if not unique_with:
+        return None
+    slots = tuple(ctx.slots[name] for name in unique_with)
+
+    def conflicts(rel, row):
+        for slot in slots:
+            bound = row[slot]
+            if isinstance(bound, RelId):
+                if bound == rel:
+                    return True
+            elif isinstance(bound, list):
+                if rel in bound:
+                    return True
+        return False
+
+    return conflicts
 
 
 # -- node sources -----------------------------------------------------------
 
-def _node_ok(ctx, node_pattern, node, row):
-    labels = ctx.graph.labels(node)
-    for label in node_pattern.labels:
-        if label not in labels:
-            return False
-    for key, expression in node_pattern.properties:
-        expected = ctx.evaluate(expression, row)
-        if equals(ctx.graph.property_value(node, key), expected) is not True:
-            return False
-    return True
+def _compile_all_nodes_scan(op, ctx):
+    child = _compile(op.child, ctx)
+    nodes = ctx.graph.nodes
+    slot = ctx.slots[op.variable]
+    ok = _compile_node_ok(ctx, op.node_pattern)
+
+    def run(argument):
+        for row in child(argument):
+            for node in nodes():
+                if ok is None or ok(node, row):
+                    out = row[:]
+                    out[slot] = node
+                    yield out
+
+    return run
 
 
-def _run_all_nodes_scan(op, ctx, argument):
-    for row in _run(op.child, ctx, argument):
-        for node in ctx.graph.nodes():
-            if _node_ok(ctx, op.node_pattern, node, row):
-                out = dict(row)
-                out[op.variable] = node
-                yield out
+def _compile_label_scan(op, ctx):
+    child = _compile(op.child, ctx)
+    nodes_with_label = ctx.graph.nodes_with_label
+    label = op.label
+    slot = ctx.slots[op.variable]
+    ok = _compile_node_ok(ctx, op.node_pattern)
+
+    def run(argument):
+        for row in child(argument):
+            for node in nodes_with_label(label):
+                if ok is None or ok(node, row):
+                    out = row[:]
+                    out[slot] = node
+                    yield out
+
+    return run
 
 
-def _run_label_scan(op, ctx, argument):
-    for row in _run(op.child, ctx, argument):
-        for node in ctx.graph.nodes_with_label(op.label):
-            if _node_ok(ctx, op.node_pattern, node, row):
-                out = dict(row)
-                out[op.variable] = node
-                yield out
+def _compile_node_check(op, ctx):
+    child = _compile(op.child, ctx)
+    slot = ctx.slots[op.variable]
+    ok = _compile_node_ok(ctx, op.node_pattern)
+
+    def run(argument):
+        for row in child(argument):
+            node = row[slot]
+            if isinstance(node, NodeId) and (ok is None or ok(node, row)):
+                yield row
+
+    return run
 
 
-def _run_node_check(op, ctx, argument):
-    from repro.values.base import NodeId
+# -- Expand ------------------------------------------------------------------
 
-    for row in _run(op.child, ctx, argument):
-        node = row.get(op.variable)
-        if isinstance(node, NodeId) and _node_ok(
-            ctx, op.node_pattern, node, row
-        ):
-            yield row
+def _compile_expand(op, ctx):
+    child = _compile(op.child, ctx)
+    slots = ctx.slots
+    from_slot = slots[op.from_variable]
+    rel_slot = slots[op.rel_variable] if op.rel_variable is not None else None
+    to_slot = slots[op.to_variable] if op.to_variable is not None else None
+    steps = _compile_steps(ctx.graph, op.rel_pattern)
+    conflicts = _compile_conflicts(ctx, op.unique_with)
+    rel_ok = _compile_rel_ok(ctx, op.rel_pattern)
+    node_ok = _compile_node_ok(ctx, op.node_pattern)
+    into = op.into
 
-
-# -- Expand -------------------------------------------------------------------
-
-def _rel_ok(ctx, rel_pattern, rel, row):
-    for key, expression in rel_pattern.properties:
-        expected = ctx.evaluate(expression, row)
-        if equals(ctx.graph.property_value(rel, key), expected) is not True:
-            return False
-    return True
-
-
-def _rel_conflicts(rel, row, unique_with):
-    for name in unique_with:
-        bound = row.get(name)
-        if isinstance(bound, RelId):
-            if bound == rel:
-                return True
-        elif isinstance(bound, list):
-            if rel in bound:
-                return True
-    return False
-
-
-def _run_expand(op, ctx, argument):
-    from repro.values.base import NodeId
-
-    for row in _run(op.child, ctx, argument):
-        source = row.get(op.from_variable)
-        if not isinstance(source, NodeId):
-            continue
-        for rel, target in _steps_from(ctx.graph, op.rel_pattern, source):
-            if _rel_conflicts(rel, row, op.unique_with):
+    def run(argument):
+        for row in child(argument):
+            source = row[from_slot]
+            if not isinstance(source, NodeId):
                 continue
-            if not _rel_ok(ctx, op.rel_pattern, rel, row):
-                continue
-            if op.into:
-                if row.get(op.to_variable) != target:
+            for rel, target in steps(source):
+                if conflicts is not None and conflicts(rel, row):
                     continue
-            if not _node_ok(ctx, op.node_pattern, target, row):
-                continue
-            out = dict(row)
-            if op.rel_variable is not None:
-                out[op.rel_variable] = rel
-            if not op.into and op.to_variable is not None:
-                out[op.to_variable] = target
-            yield out
+                if rel_ok is not None and not rel_ok(rel, row):
+                    continue
+                if into and row[to_slot] != target:
+                    continue
+                if node_ok is not None and not node_ok(target, row):
+                    continue
+                out = row[:]
+                if rel_slot is not None:
+                    out[rel_slot] = rel
+                if not into and to_slot is not None:
+                    out[to_slot] = target
+                yield out
+
+    return run
 
 
-def _run_var_length_expand(op, ctx, argument):
-    from repro.values.base import NodeId
-
-    graph = ctx.graph
-    check_unique = bool(ctx.evaluator.morphism.forbids_repeated_relationships)
+def _compile_var_length_expand(op, ctx):
+    child = _compile(op.child, ctx)
+    slots = ctx.slots
+    from_slot = slots[op.from_variable]
+    rel_slot = slots[op.rel_variable] if op.rel_variable is not None else None
+    to_slot = slots[op.to_variable] if op.to_variable is not None else None
+    steps = _compile_steps(ctx.graph, op.rel_pattern)
+    conflicts = _compile_conflicts(ctx, op.unique_with)
+    rel_ok = _compile_rel_ok(ctx, op.rel_pattern)
+    node_ok = _compile_node_ok(ctx, op.node_pattern)
+    into = op.into
+    low = op.low
+    morphism = ctx.evaluator.morphism
+    check_unique = bool(morphism.forbids_repeated_relationships)
     cap = op.high
     if cap is None and not check_unique:
-        cap = ctx.evaluator.morphism.max_length
+        cap = morphism.max_length
         if cap is None:
             raise CypherRuntimeError(
                 "unbounded variable-length pattern under homomorphism "
                 "needs Morphism.max_length"
             )
 
-    for row in _run(op.child, ctx, argument):
-        source = row.get(op.from_variable)
-        if not isinstance(source, NodeId):
-            continue
-        results = []
+    def run(argument):
+        for row in child(argument):
+            source = row[from_slot]
+            if not isinstance(source, NodeId):
+                continue
+            results = []
 
-        def emit(node, rels):
-            if op.into:
-                if row.get(op.to_variable) != node:
+            def emit(node, rels, row=row, results=results):
+                if into:
+                    if row[to_slot] != node:
+                        return
+                if node_ok is not None and not node_ok(node, row):
                     return
-            if not _node_ok(ctx, op.node_pattern, node, row):
-                return
-            out = dict(row)
-            if op.rel_variable is not None:
-                out[op.rel_variable] = list(rels)
-            if not op.into and op.to_variable is not None:
-                out[op.to_variable] = node
-            results.append(out)
+                out = row[:]
+                if rel_slot is not None:
+                    out[rel_slot] = list(rels)
+                if not into and to_slot is not None:
+                    out[to_slot] = node
+                results.append(out)
 
-        def walk(node, steps, rels, used):
-            if steps >= op.low:
-                emit(node, rels)
-            if cap is not None and steps >= cap:
-                return
-            for rel, target in _steps_from(graph, op.rel_pattern, node):
-                if check_unique and (
-                    rel in used or _rel_conflicts(rel, row, op.unique_with)
-                ):
-                    continue
-                if not _rel_ok(ctx, op.rel_pattern, rel, row):
-                    continue
-                used.add(rel)
-                rels.append(rel)
-                walk(target, steps + 1, rels, used)
-                rels.pop()
-                used.discard(rel)
+            def walk(node, taken, rels, used, row=row):
+                if taken >= low:
+                    emit(node, rels)
+                if cap is not None and taken >= cap:
+                    return
+                for rel, target in steps(node):
+                    if check_unique and (
+                        rel in used
+                        or (conflicts is not None and conflicts(rel, row))
+                    ):
+                        continue
+                    if rel_ok is not None and not rel_ok(rel, row):
+                        continue
+                    used.add(rel)
+                    rels.append(rel)
+                    walk(target, taken + 1, rels, used)
+                    rels.pop()
+                    used.discard(rel)
 
-        walk(source, 0, [], set())
-        for out in results:
+            walk(source, 0, [], set())
+            for out in results:
+                yield out
+
+    return run
+
+
+# -- tuple operators ---------------------------------------------------------
+
+def _compile_filter(op, ctx):
+    child = _compile(op.child, ctx)
+    predicate = ctx.compile_predicate(op.predicate)
+
+    def run(argument):
+        for row in child(argument):
+            if predicate(row):
+                yield row
+
+    return run
+
+
+def _compile_project(op, ctx):
+    child = _compile(op.child, ctx)
+    items = tuple(
+        (ctx.slots[name], ctx.compile(expression))
+        for name, expression in op.items
+    )
+
+    def run(argument):
+        for row in child(argument):
+            # Closures read the original row while writes land in the
+            # copy, so aliases may shadow inputs without corruption.
+            out = row[:]
+            for slot, compiled in items:
+                out[slot] = compiled(row)
             yield out
 
-
-# -- tuple operators --------------------------------------------------------------
-
-def _run_filter(op, ctx, argument):
-    for row in _run(op.child, ctx, argument):
-        if ctx.predicate(op.predicate, row):
-            yield row
+    return run
 
 
-def _run_project(op, ctx, argument):
-    for row in _run(op.child, ctx, argument):
-        out = dict(row)
-        for name, expression in op.items:
-            out[name] = ctx.evaluate(expression, row)
-        yield out
+def _compile_strip(op, ctx):
+    child = _compile(op.child, ctx)
+    keep = tuple(ctx.slots[field] for field in op.fields)
+    width = len(ctx.slots)
+
+    def run(argument):
+        for row in child(argument):
+            out = [MISSING] * width
+            for slot in keep:
+                value = row[slot]
+                out[slot] = None if value is MISSING else value
+            yield out
+
+    return run
 
 
-def _run_strip(op, ctx, argument):
-    for row in _run(op.child, ctx, argument):
-        yield {field: row.get(field) for field in op.fields}
+def _compile_distinct(op, ctx):
+    child = _compile(op.child, ctx)
+    field_slots = tuple(ctx.slots[field] for field in op.fields)
+
+    def run(argument):
+        seen = set()
+        for row in child(argument):
+            key = tuple(
+                canonical_key(None if row[slot] is MISSING else row[slot])
+                for slot in field_slots
+            )
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    return run
 
 
-def _run_distinct(op, ctx, argument):
-    seen = set()
-    for row in _run(op.child, ctx, argument):
-        key = tuple(canonical_key(row.get(field)) for field in op.fields)
-        if key not in seen:
-            seen.add(key)
-            yield row
+def _compile_aggregate_output(ctx, expression):
+    """Fast accumulator loop when the item is exactly one aggregate call.
+
+    Covers the overwhelmingly common ``count(*)``/``sum(x)``-style items;
+    anything with surrounding arithmetic or unusual arity drops to the
+    record-based ``evaluate_aggregate_item`` fallback.
+    """
+    from repro.functions.aggregates import _Percentile
+    from repro.semantics.clauses import _make_accumulator
+
+    if isinstance(expression, ex.CountStar):
+
+        def count_star(rows):
+            accumulator = _make_accumulator(expression)
+            include = accumulator.include
+            for _row in rows:
+                include(True)
+            return accumulator.result()
+
+        return count_star
+    if (
+        isinstance(expression, ex.FunctionCall)
+        and expression.name in ex.AGGREGATE_FUNCTION_NAMES
+    ):
+        if isinstance(_make_accumulator(expression), _Percentile):
+            if len(expression.args) != 2:
+                return None
+            value_of = ctx.compile(expression.args[0])
+            percentile_of = ctx.compile(expression.args[1])
+
+            def percentile(rows):
+                accumulator = _make_accumulator(expression)
+                include_pair = accumulator.include_pair
+                for row in rows:
+                    include_pair(value_of(row), percentile_of(row))
+                return accumulator.result()
+
+            return percentile
+        if len(expression.args) != 1:
+            return None
+        argument_of = ctx.compile(expression.args[0])
+
+        def accumulate(rows):
+            accumulator = _make_accumulator(expression)
+            include = accumulator.include
+            for row in rows:
+                include(argument_of(row))
+            return accumulator.result()
+
+        return accumulate
+    return None
 
 
-def _run_aggregate(op, ctx, argument):
+def _compile_aggregate(op, ctx):
     from repro.semantics.clauses import evaluate_aggregate_item
 
-    groups = {}
-    order = []
-    for row in _run(op.child, ctx, argument):
-        key_values = [
-            ctx.evaluate(expression, row) for _name, expression in op.grouping
-        ]
-        key = tuple(canonical_key(value) for value in key_values)
-        if key not in groups:
-            groups[key] = (key_values, [])
-            order.append(key)
-        groups[key][1].append(row)
-    if not groups and not op.grouping:
-        groups[()] = ([], [])
-        order.append(())
-    for key in order:
-        key_values, rows = groups[key]
-        out = {}
-        for (name, _expression), value in zip(op.grouping, key_values):
-            out[name] = value
-        for name, expression in op.aggregates:
-            out[name] = evaluate_aggregate_item(
-                expression, rows, ctx.evaluator
+    child = _compile(op.child, ctx)
+    slots = ctx.slots
+    width = len(slots)
+    grouping = tuple(
+        (slots[name], ctx.compile(expression))
+        for name, expression in op.grouping
+    )
+    outputs = []
+    needs_records = False
+    for name, expression in op.aggregates:
+        fast = _compile_aggregate_output(ctx, expression)
+        if fast is None:
+            needs_records = True
+        outputs.append((slots[name], expression, fast))
+    to_record = slots.to_record
+    evaluator = ctx.evaluator
+
+    def run(argument):
+        groups = {}
+        order = []
+        for row in child(argument):
+            key_values = [compiled(row) for _slot, compiled in grouping]
+            key = tuple(canonical_key(value) for value in key_values)
+            entry = groups.get(key)
+            if entry is None:
+                entry = (key_values, [])
+                groups[key] = entry
+                order.append(key)
+            entry[1].append(row)
+        if not groups and not grouping:
+            groups[()] = ([], [])
+            order.append(())
+        for key in order:
+            key_values, rows = groups[key]
+            out = [MISSING] * width
+            for (slot, _compiled), value in zip(grouping, key_values):
+                out[slot] = value
+            records = (
+                [to_record(row) for row in rows] if needs_records else None
             )
-        yield out
+            for slot, expression, fast in outputs:
+                if fast is not None:
+                    out[slot] = fast(rows)
+                else:
+                    out[slot] = evaluate_aggregate_item(
+                        expression, records, evaluator
+                    )
+            yield out
+
+    return run
 
 
-def _run_sort(op, ctx, argument):
-    rows = list(_run(op.child, ctx, argument))
+def _compile_sort(op, ctx):
+    child = _compile(op.child, ctx)
+    keys = tuple(
+        (ctx.compile(item.expression), bool(item.ascending))
+        for item in op.sort_items
+    )
 
-    def compare_rows(left, right):
-        for item in op.sort_items:
-            left_key = sort_key(ctx.evaluate(item.expression, left))
-            right_key = sort_key(ctx.evaluate(item.expression, right))
-            if left_key < right_key:
-                return -1 if item.ascending else 1
-            if left_key > right_key:
-                return 1 if item.ascending else -1
-        return 0
+    def run(argument):
+        rows = list(child(argument))
+        # Stable multi-pass sort, least-significant key first, is
+        # equivalent to the lexicographic comparator over sort_key()s.
+        for compiled, ascending in reversed(keys):
+            rows.sort(
+                key=lambda row, _compiled=compiled: sort_key(_compiled(row)),
+                reverse=not ascending,
+            )
+        for row in rows:
+            yield row
 
-    for row in sorted(rows, key=functools.cmp_to_key(compare_rows)):
-        yield row
+    return run
 
 
-def _bound_value(expression, ctx, keyword):
-    value = ctx.evaluate(expression, {})
+def _bound_value(compiled_count, slots, keyword):
+    value = compiled_count(slots.new_row())
     if not isinstance(value, int) or isinstance(value, bool) or value < 0:
         raise CypherRuntimeError(
             "%s requires a non-negative integer, got %r" % (keyword, value)
@@ -300,82 +564,128 @@ def _bound_value(expression, ctx, keyword):
     return value
 
 
-def _run_skip(op, ctx, argument):
-    remaining = _bound_value(op.count, ctx, "SKIP")
-    for row in _run(op.child, ctx, argument):
-        if remaining > 0:
-            remaining -= 1
-            continue
-        yield row
+def _compile_skip(op, ctx):
+    child = _compile(op.child, ctx)
+    count = ctx.compile(op.count)
+    slots = ctx.slots
+
+    def run(argument):
+        remaining = _bound_value(count, slots, "SKIP")
+        for row in child(argument):
+            if remaining > 0:
+                remaining -= 1
+                continue
+            yield row
+
+    return run
 
 
-def _run_limit(op, ctx, argument):
-    budget = _bound_value(op.count, ctx, "LIMIT")
-    if budget == 0:
-        return
-    for row in _run(op.child, ctx, argument):
-        yield row
-        budget -= 1
+def _compile_limit(op, ctx):
+    child = _compile(op.child, ctx)
+    count = ctx.compile(op.count)
+    slots = ctx.slots
+
+    def run(argument):
+        budget = _bound_value(count, slots, "LIMIT")
         if budget == 0:
             return
+        for row in child(argument):
+            yield row
+            budget -= 1
+            if budget == 0:
+                return
+
+    return run
 
 
-def _run_unwind(op, ctx, argument):
-    for row in _run(op.child, ctx, argument):
-        value = ctx.evaluate(op.expression, row)
-        elements = value if isinstance(value, list) else [value]
-        for element in elements:
-            out = dict(row)
-            out[op.alias] = element
-            yield out
+def _compile_unwind(op, ctx):
+    child = _compile(op.child, ctx)
+    expression = ctx.compile(op.expression)
+    slot = ctx.slots[op.alias]
+
+    def run(argument):
+        for row in child(argument):
+            value = expression(row)
+            elements = value if isinstance(value, list) else [value]
+            for element in elements:
+                out = row[:]
+                out[slot] = element
+                yield out
+
+    return run
 
 
-def _run_optional(op, ctx, argument):
-    for row in _run(op.child, ctx, argument):
-        produced = False
-        for inner_row in _run(op.inner, ctx, row):
-            produced = True
-            yield inner_row
-        if not produced:
-            out = dict(row)
-            for name in op.pad_names:
-                out[name] = None
-            yield out
+def _compile_optional(op, ctx):
+    child = _compile(op.child, ctx)
+    inner = _compile(op.inner, ctx)
+    pad_slots = tuple(ctx.slots[name] for name in op.pad_names)
+
+    def run(argument):
+        for row in child(argument):
+            produced = False
+            for inner_row in inner(row):
+                produced = True
+                yield inner_row
+            if not produced:
+                out = row[:]
+                for slot in pad_slots:
+                    out[slot] = None
+                yield out
+
+    return run
 
 
-def _run_union(op, ctx, argument):
+def _compile_union(op, ctx):
+    left = _compile(op.left, ctx)
+    right = _compile(op.right, ctx)
     if op.all:
-        for row in _run(op.left, ctx, argument):
-            yield row
-        for row in _run(op.right, ctx, argument):
-            yield row
-        return
-    seen = set()
-    for side in (op.left, op.right):
-        for row in _run(side, ctx, argument):
-            key = tuple(canonical_key(row.get(field)) for field in op.fields)
-            if key not in seen:
-                seen.add(key)
-                yield {field: row.get(field) for field in op.fields}
+
+        def run_all(argument):
+            for row in left(argument):
+                yield row
+            for row in right(argument):
+                yield row
+
+        return run_all
+    field_slots = tuple(ctx.slots[field] for field in op.fields)
+    width = len(ctx.slots)
+
+    def run(argument):
+        seen = set()
+        for side in (left, right):
+            for row in side(argument):
+                key = tuple(
+                    canonical_key(None if row[slot] is MISSING else row[slot])
+                    for slot in field_slots
+                )
+                if key not in seen:
+                    seen.add(key)
+                    out = [MISSING] * width
+                    for slot in field_slots:
+                        value = row[slot]
+                        out[slot] = None if value is MISSING else value
+                    yield out
+
+    return run
 
 
-_HANDLERS = {
-    lg.Init: _run_init,
-    lg.Argument: _run_argument,
-    lg.AllNodesScan: _run_all_nodes_scan,
-    lg.NodeByLabelScan: _run_label_scan,
-    lg.NodeCheck: _run_node_check,
-    lg.Expand: _run_expand,
-    lg.VarLengthExpand: _run_var_length_expand,
-    lg.Filter: _run_filter,
-    lg.ExtendedProject: _run_project,
-    lg.Strip: _run_strip,
-    lg.Distinct: _run_distinct,
-    lg.Aggregate: _run_aggregate,
-    lg.Sort: _run_sort,
-    lg.Skip: _run_skip,
-    lg.Limit: _run_limit,
-    lg.Unwind: _run_unwind,
-    lg.OptionalApply: _run_optional,
-    lg.Union: _run_union,
+_COMPILERS = {
+    lg.Init: _compile_init,
+    lg.Argument: _compile_argument,
+    lg.AllNodesScan: _compile_all_nodes_scan,
+    lg.NodeByLabelScan: _compile_label_scan,
+    lg.NodeCheck: _compile_node_check,
+    lg.Expand: _compile_expand,
+    lg.VarLengthExpand: _compile_var_length_expand,
+    lg.Filter: _compile_filter,
+    lg.ExtendedProject: _compile_project,
+    lg.Strip: _compile_strip,
+    lg.Distinct: _compile_distinct,
+    lg.Aggregate: _compile_aggregate,
+    lg.Sort: _compile_sort,
+    lg.Skip: _compile_skip,
+    lg.Limit: _compile_limit,
+    lg.Unwind: _compile_unwind,
+    lg.OptionalApply: _compile_optional,
+    lg.Union: _compile_union,
 }

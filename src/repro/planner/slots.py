@@ -1,0 +1,137 @@
+"""Slot assignment: fixed integer positions for every plan variable.
+
+The slotted execution engine (paper Section 2's "physical planning"
+turned up to production idiom: Neo4j's enterprise runtime calls this
+*slotted runtime*) replaces per-row dicts with flat Python lists.  At
+plan time every variable that can ever be bound — visible fields, hidden
+``#``-prefixed pattern bindings, projection aliases, aggregation outputs
+— is assigned one integer slot; operators then read and write
+``row[slot]`` instead of hashing names, and copying a row is a flat
+``row[:]`` instead of rebuilding a dict.
+
+A slot holding :data:`~repro.semantics.compile.MISSING` is *unassigned*
+(the dict row simply had no such key), which is distinct from holding
+``None`` (the variable is bound to Cypher null, e.g. by OPTIONAL MATCH
+padding).  Rows convert back to records only at the Table boundary and
+for fallback expression evaluation (:meth:`SlotMap.to_record`).
+"""
+
+from __future__ import annotations
+
+from repro.planner import logical as lg
+from repro.semantics.compile import MISSING
+
+
+class SlotMap:
+    """An ordered ``name -> slot index`` assignment for one plan."""
+
+    __slots__ = ("_index",)
+
+    def __init__(self, names=()):
+        self._index = {}
+        for name in names:
+            self.add(name)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_plan(cls, plan):
+        """Assign a slot to every name any operator of ``plan`` touches."""
+        return cls(collect_plan_names(plan))
+
+    def add(self, name):
+        """Ensure ``name`` has a slot; returns its index."""
+        index = self._index.get(name)
+        if index is None:
+            index = len(self._index)
+            self._index[name] = index
+        return index
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._index)
+
+    def __contains__(self, name):
+        return name in self._index
+
+    def __getitem__(self, name):
+        return self._index[name]
+
+    def index_of(self, name):
+        """The slot of ``name``, or None if it was never assigned one."""
+        return self._index.get(name)
+
+    def names(self):
+        """All assigned names, in slot order."""
+        return tuple(self._index)
+
+    # -- rows --------------------------------------------------------------
+
+    def new_row(self):
+        """A fresh all-unassigned row."""
+        return [MISSING] * len(self._index)
+
+    def to_record(self, row):
+        """The dict record equivalent of a slotted row.
+
+        Unassigned slots are omitted (the record has no such key), so
+        fallback evaluation and the reference :class:`Evaluator` see
+        exactly the scoping a dict-based executor would have produced.
+        """
+        record = {}
+        for name, index in self._index.items():
+            value = row[index]
+            if value is not MISSING:
+                record[name] = value
+        return record
+
+    def __repr__(self):
+        return "SlotMap({})".format(
+            ", ".join("%s=%d" % item for item in self._index.items())
+        )
+
+
+def collect_plan_names(plan):
+    """Every variable name any operator of the plan can bind or read.
+
+    Deterministic (pre-order, left to right), so slot layouts are stable
+    across runs of the same plan.
+    """
+    names = []
+    seen = set()
+
+    def add(name):
+        if name is not None and name not in seen:
+            seen.add(name)
+            names.append(name)
+
+    def walk(op):
+        for field in op.fields:
+            add(field)
+        if isinstance(op, (lg.AllNodesScan, lg.NodeByLabelScan, lg.NodeCheck)):
+            add(op.variable)
+        elif isinstance(op, (lg.Expand, lg.VarLengthExpand)):
+            add(op.from_variable)
+            add(op.to_variable)
+            add(op.rel_variable)
+            for name in op.unique_with:
+                add(name)
+        elif isinstance(op, lg.Unwind):
+            add(op.alias)
+        elif isinstance(op, lg.ExtendedProject):
+            for name, _expression in op.items:
+                add(name)
+        elif isinstance(op, lg.Aggregate):
+            for name, _expression in op.grouping:
+                add(name)
+            for name, _expression in op.aggregates:
+                add(name)
+        elif isinstance(op, lg.OptionalApply):
+            for name in op.pad_names:
+                add(name)
+        for child in op._children():
+            walk(child)
+
+    walk(plan)
+    return names

@@ -63,12 +63,31 @@ class CypherEngine:
         self.functions = functions
         self.rewrite = rewrite
         self.schema = schema
+        #: Compiled-plan cache: query text -> (graph id, version, plan).
+        #: Plans embed no graph data (operators re-read the store at run
+        #: time), so a stale hit would still be correct — the version key
+        #: exists because plan *choices* (entry labels, chain order) come
+        #: from statistics and should track mutations.
+        self._plan_cache = {}
 
     # ------------------------------------------------------------------
 
     def run(self, query_text, parameters=None, mode=None):
         """Parse and execute ``query_text``; returns a QueryResult."""
         mode = mode or self.mode
+        if mode in ("planner", "auto"):
+            plan = self._cached_plan(query_text)
+            if plan is not None:
+                from repro.planner import execute_plan
+
+                table = execute_plan(
+                    plan,
+                    self.graph,
+                    parameters=parameters,
+                    functions=self.functions,
+                    morphism=self.morphism,
+                )
+                return QueryResult(table, plan=plan)
         query = parse_query(query_text)
         check_query(query)
         if self.rewrite:
@@ -79,12 +98,12 @@ class CypherEngine:
         if self.schema is not None and _is_updating(query):
             snapshot = self.graph.copy()
         if mode == "planner":
-            result = self._run_planned(query, parameters)
+            result = self._run_planned(query, parameters, query_text)
         elif mode == "interpreter":
             result = self._run_interpreted(query, parameters)
         else:
             try:
-                result = self._run_planned(query, parameters)
+                result = self._run_planned(query, parameters, query_text)
             except UnsupportedFeature:
                 result = self._run_interpreted(query, parameters)
         if snapshot is not None:
@@ -118,10 +137,12 @@ class CypherEngine:
         table = run_query(query, state)
         return QueryResult(table, graphs=state.result_graphs)
 
-    def _run_planned(self, query, parameters):
+    def _run_planned(self, query, parameters, query_text=None):
         from repro.planner import execute_plan, plan_query
 
         plan = plan_query(query, self.graph, morphism=self.morphism)
+        if query_text is not None:
+            self._remember_plan(query_text, plan)
         table = execute_plan(
             plan,
             self.graph,
@@ -130,3 +151,33 @@ class CypherEngine:
             morphism=self.morphism,
         )
         return QueryResult(table, plan=plan)
+
+    # -- plan cache ------------------------------------------------------
+
+    _PLAN_CACHE_LIMIT = 256
+
+    def _cached_plan(self, query_text):
+        """A previously compiled plan for this exact text, or None.
+
+        Only read-only queries ever make it into the cache (the planner
+        rejects updates), so a hit can skip parsing, semantic checks and
+        the schema snapshot entirely.
+        """
+        entry = self._plan_cache.get(query_text)
+        if entry is None:
+            return None
+        graph_key, version, plan = entry
+        if graph_key != id(self.graph) or version != getattr(
+            self.graph, "version", None
+        ):
+            del self._plan_cache[query_text]
+            return None
+        return plan
+
+    def _remember_plan(self, query_text, plan):
+        version = getattr(self.graph, "version", None)
+        if version is None:
+            return  # no mutation counter: cannot tell when to invalidate
+        if len(self._plan_cache) >= self._PLAN_CACHE_LIMIT:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[query_text] = (id(self.graph), version, plan)

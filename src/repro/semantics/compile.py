@@ -1,0 +1,613 @@
+"""Compile expression ASTs into slot-indexed Python closures.
+
+The tree-walking :class:`~repro.semantics.expressions.Evaluator` re-visits
+every AST node, re-dispatches on node type and re-resolves variable names
+for every row.  The planner executes the same expression over thousands
+of rows, so :class:`ExpressionCompiler` performs that work once per plan:
+
+* every AST node becomes one nested closure, specialised for its node
+  type (dispatch happens at compile time, not per row);
+* variables become integer slot reads against the slotted rows of
+  :mod:`repro.planner.slots` (see :data:`MISSING`);
+* scalar literals are folded, constant arithmetic is pre-evaluated where
+  safe, and literal regular expressions are pre-compiled;
+* null/ternary semantics are reproduced *exactly* — each closure mirrors
+  the corresponding ``Evaluator`` method.
+
+Constructs the compiler does not cover (pattern predicates, EXISTS
+subqueries, comprehensions, quantifiers) fall back to the tree walker:
+the slotted row is converted to a plain record and handed to the
+``Evaluator``, so the planner never loses expressiveness — uncompiled
+constructs just run at the interpreter's speed.  Aggregate calls are
+compiled separately by the physical ``Aggregate`` operator; reaching one
+here raises, exactly as the tree walker does outside WITH/RETURN.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ast import expressions as ex
+from repro.exceptions import (
+    CypherError,
+    CypherRuntimeError,
+    CypherSemanticError,
+    CypherTypeError,
+    ParameterNotBound,
+)
+from repro.semantics.expressions import _as_ternary, apply_arithmetic
+from repro.values.base import NodeId, RelId
+from repro.values.comparison import (
+    and3,
+    compare,
+    equals,
+    not3,
+    not_equals,
+    or3,
+    xor3,
+)
+
+
+class _Missing:
+    """Sentinel marking an unassigned slot (distinct from Cypher null)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "MISSING"
+
+
+#: The single unassigned-slot marker shared by slots, compiler, executor.
+MISSING = _Missing()
+
+#: Scalar types that are safe to share across rows when constant-folding.
+_FOLDABLE_SCALARS = (bool, int, float, str)
+
+
+def _constant(value):
+    """A closure returning ``value``, tagged so parents can fold it."""
+
+    def const(row):
+        return value
+
+    const.constant_value = (value,)  # 1-tuple so None/False survive the tag
+    return const
+
+
+def _constant_of(compiled):
+    """The ``(value,)`` tag of a compiled constant, or None."""
+    return getattr(compiled, "constant_value", None)
+
+
+class ExpressionCompiler:
+    """Compiles expressions against one slot layout and one evaluator.
+
+    The evaluator supplies the graph, parameters, function registry and
+    the fallback path; the slot map supplies variable positions and the
+    slot-row → record conversion the fallback needs.
+    """
+
+    def __init__(self, evaluator, slots):
+        self.evaluator = evaluator
+        self.slots = slots
+        self.graph = evaluator.graph
+        self._cache = {}
+
+    # ------------------------------------------------------------------
+
+    def compile(self, expression):
+        """A function ``row -> value`` equivalent to ``[[expression]]``."""
+        key = id(expression)
+        compiled = self._cache.get(key)
+        if compiled is None:
+            compiled = self._dispatch(expression)
+            self._cache[key] = compiled
+        return compiled
+
+    def compile_predicate(self, expression):
+        """WHERE semantics: ``row -> bool`` (strict ``is True`` test)."""
+        compiled = self.compile(expression)
+
+        def predicate(row):
+            return compiled(row) is True
+
+        return predicate
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, expression):
+        method = _COMPILERS.get(type(expression))
+        if method is None:
+            return self._fallback(expression)
+        return method(self, expression)
+
+    def _fallback(self, expression):
+        """Tree-walk an uncovered construct over a converted record."""
+        evaluate = self.evaluator.evaluate
+        to_record = self.slots.to_record
+
+        def walk(row):
+            return evaluate(expression, to_record(row))
+
+        return walk
+
+    # -- leaves ------------------------------------------------------------
+
+    def _literal(self, node):
+        # The tree walker also returns node.value itself, so sharing the
+        # object across rows is the established semantics.
+        return _constant(node.value)
+
+    def _variable(self, node):
+        name = node.name
+        slot = self.slots.index_of(name)
+        if slot is None:
+
+            def unbound(row):
+                raise CypherSemanticError("variable not in scope: %s" % name)
+
+            return unbound
+
+        def var(row):
+            value = row[slot]
+            if value is MISSING:
+                raise CypherSemanticError("variable not in scope: %s" % name)
+            return value
+
+        return var
+
+    def _parameter(self, node):
+        name = node.name
+        parameters = self.evaluator.parameters
+
+        def param(row):
+            if name not in parameters:
+                raise ParameterNotBound("parameter not bound: $%s" % name)
+            return parameters[name]
+
+        return param
+
+    # -- maps, properties --------------------------------------------------
+
+    def _property_access(self, node):
+        subject = self.compile(node.subject)
+        key = node.key
+        property_value = self.graph.property_value
+
+        def prop(row):
+            value = subject(row)
+            if value is None:
+                return None
+            if isinstance(value, (NodeId, RelId)):
+                return property_value(value, key)
+            if isinstance(value, dict):
+                return value.get(key)
+            component = getattr(value, "cypher_component", None)
+            if component is not None:  # temporal values expose .year etc.
+                return component(key)
+            raise CypherTypeError(
+                "cannot access property %r on %r" % (key, value)
+            )
+
+        return prop
+
+    def _map_literal(self, node):
+        items = tuple((key, self.compile(value)) for key, value in node.items)
+
+        def build(row):
+            return {key: compiled(row) for key, compiled in items}
+
+        return build
+
+    # -- lists -------------------------------------------------------------
+
+    def _list_literal(self, node):
+        items = tuple(self.compile(item) for item in node.items)
+
+        def build(row):
+            return [compiled(row) for compiled in items]
+
+        return build
+
+    def _list_index(self, node):
+        subject = self.compile(node.subject)
+        index = self.compile(node.index)
+        property_value = self.graph.property_value
+
+        def lookup(row):
+            container = subject(row)
+            position = index(row)
+            if container is None or position is None:
+                return None
+            if isinstance(container, list):
+                if not isinstance(position, int) or isinstance(position, bool):
+                    raise CypherTypeError("list index must be an integer")
+                if -len(container) <= position < len(container):
+                    return container[position]
+                return None
+            if isinstance(container, dict):
+                if not isinstance(position, str):
+                    raise CypherTypeError("map lookup key must be a string")
+                return container.get(position)
+            if isinstance(container, (NodeId, RelId)):
+                if not isinstance(position, str):
+                    raise CypherTypeError(
+                        "property lookup key must be a string"
+                    )
+                return property_value(container, position)
+            raise CypherTypeError("%r is not indexable" % (container,))
+
+        return lookup
+
+    def _list_slice(self, node):
+        subject = self.compile(node.subject)
+        start = self.compile(node.start) if node.start is not None else None
+        end = self.compile(node.end) if node.end is not None else None
+
+        def slice_(row):
+            container = subject(row)
+            if container is None:
+                return None
+            if not isinstance(container, list):
+                raise CypherTypeError("slicing requires a list")
+            low = start(row) if start is not None else 0
+            high = end(row) if end is not None else len(container)
+            if low is None or high is None:
+                return None
+            for bound in (low, high):
+                if not isinstance(bound, int) or isinstance(bound, bool):
+                    raise CypherTypeError("slice bounds must be integers")
+            return container[low:high]
+
+        return slice_
+
+    def _in(self, node):
+        item = self.compile(node.item)
+        container = self.compile(node.container)
+
+        def membership(row):
+            needle = item(row)
+            haystack = container(row)
+            if haystack is None:
+                return None
+            if not isinstance(haystack, list):
+                raise CypherTypeError(
+                    "IN requires a list, got %r" % (haystack,)
+                )
+            saw_unknown = False
+            for element in haystack:
+                verdict = equals(needle, element)
+                if verdict is True:
+                    return True
+                if verdict is None:
+                    saw_unknown = True
+            return None if saw_unknown else False
+
+        return membership
+
+    # -- strings -----------------------------------------------------------
+
+    def _string_predicate(self, node):
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        operator = node.operator
+
+        if operator == "STARTS WITH":
+            def starts(row):
+                l, r = left(row), right(row)
+                if not isinstance(l, str) or not isinstance(r, str):
+                    return None
+                return l.startswith(r)
+
+            return starts
+        if operator == "ENDS WITH":
+            def ends(row):
+                l, r = left(row), right(row)
+                if not isinstance(l, str) or not isinstance(r, str):
+                    return None
+                return l.endswith(r)
+
+            return ends
+
+        def contains(row):
+            l, r = left(row), right(row)
+            if not isinstance(l, str) or not isinstance(r, str):
+                return None
+            return r in l
+
+        return contains
+
+    def _regex(self, node):
+        subject = self.compile(node.subject)
+        pattern = self.compile(node.pattern)
+        folded = _constant_of(pattern)
+        if folded is not None and isinstance(folded[0], str):
+            try:
+                matcher = re.compile(folded[0]).fullmatch
+            except re.error:
+                matcher = None  # invalid pattern: error at row time, as before
+            if matcher is not None:
+
+                def match_compiled(row):
+                    value = subject(row)
+                    if not isinstance(value, str):
+                        return None
+                    return matcher(value) is not None
+
+                return match_compiled
+
+        def match(row):
+            value = subject(row)
+            expr = pattern(row)
+            if not isinstance(value, str) or not isinstance(expr, str):
+                return None
+            return re.fullmatch(expr, value) is not None
+
+        return match
+
+    # -- logic -------------------------------------------------------------
+
+    def _binary_logic(self, node):
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        operator = node.operator
+
+        if operator == "AND":
+            def conjunction(row):
+                l = _as_ternary(left(row))
+                if l is False:
+                    return False
+                return and3(l, _as_ternary(right(row)))
+
+            return conjunction
+        if operator == "OR":
+            def disjunction(row):
+                l = _as_ternary(left(row))
+                if l is True:
+                    return True
+                return or3(l, _as_ternary(right(row)))
+
+            return disjunction
+
+        def exclusive(row):
+            return xor3(_as_ternary(left(row)), _as_ternary(right(row)))
+
+        return exclusive
+
+    def _not(self, node):
+        operand = self.compile(node.operand)
+
+        def negation(row):
+            return not3(_as_ternary(operand(row)))
+
+        return negation
+
+    def _is_null(self, node):
+        operand = self.compile(node.operand)
+
+        def test(row):
+            return operand(row) is None
+
+        return test
+
+    def _is_not_null(self, node):
+        operand = self.compile(node.operand)
+
+        def test(row):
+            return operand(row) is not None
+
+        return test
+
+    # -- comparisons -------------------------------------------------------
+
+    def _comparison(self, node):
+        operands = tuple(self.compile(operand) for operand in node.operands)
+        operators = node.operators
+        if len(operands) == 2:
+            left, right = operands
+            operator = operators[0]
+            if operator == "=":
+                return lambda row: equals(left(row), right(row))
+            if operator == "<>":
+                return lambda row: not_equals(left(row), right(row))
+
+            def inequality(row):
+                return _ordering_verdict(operator, left(row), right(row))
+
+            return inequality
+
+        def chain(row):
+            values = [operand(row) for operand in operands]
+            verdict = True
+            for operator, l, r in zip(operators, values, values[1:]):
+                verdict = and3(verdict, _compare_once(operator, l, r))
+                if verdict is False:
+                    return False
+            return verdict
+
+        return chain
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _arithmetic(self, node):
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        operator = node.operator
+        left_const = _constant_of(left)
+        right_const = _constant_of(right)
+        if left_const is not None and right_const is not None:
+            try:
+                value = apply_arithmetic(
+                    operator, left_const[0], right_const[0]
+                )
+            except CypherError:
+                pass  # e.g. 1 / 0: must raise per evaluated row, not here
+            else:
+                if value is None or isinstance(value, _FOLDABLE_SCALARS):
+                    return _constant(value)
+
+        def arithmetic(row):
+            return apply_arithmetic(operator, left(row), right(row))
+
+        return arithmetic
+
+    def _unary_minus(self, node):
+        operand = self.compile(node.operand)
+
+        def negate(row):
+            value = operand(row)
+            if value is None:
+                return None
+            if isinstance(value, bool):
+                raise CypherTypeError("cannot negate %r" % (value,))
+            if isinstance(value, (int, float)):
+                return -value
+            if hasattr(value, "cypher_negate"):
+                return value.cypher_negate()
+            raise CypherTypeError("cannot negate %r" % (value,))
+
+        return negate
+
+    def _unary_plus(self, node):
+        operand = self.compile(node.operand)
+
+        def plus(row):
+            value = operand(row)
+            if value is None:
+                return value
+            if not isinstance(value, bool) and isinstance(value, (int, float)):
+                return value
+            raise CypherTypeError("unary + expects a number")
+
+        return plus
+
+    # -- functions ---------------------------------------------------------
+
+    def _function_call(self, node):
+        if node.name in ex.AGGREGATE_FUNCTION_NAMES:
+            name = node.name
+
+            def misplaced(row):
+                raise CypherSemanticError(
+                    "aggregate %s() is only allowed in WITH/RETURN" % name
+                )
+
+            return misplaced
+        args = tuple(self.compile(argument) for argument in node.args)
+        call = self.evaluator.functions.call
+        context = self.evaluator.function_context
+        name = node.name
+
+        def invoke(row):
+            return call(name, context, [argument(row) for argument in args])
+
+        return invoke
+
+    def _count_star(self, node):
+        def misplaced(row):
+            raise CypherSemanticError("count(*) is only allowed in WITH/RETURN")
+
+        return misplaced
+
+    # -- labels ------------------------------------------------------------
+
+    def _label_predicate(self, node):
+        subject = self.compile(node.subject)
+        labels = tuple(node.labels)
+        graph_labels = self.graph.labels
+
+        def test(row):
+            value = subject(row)
+            if value is None:
+                return None
+            if not isinstance(value, NodeId):
+                raise CypherTypeError("label predicate expects a node")
+            node_labels = graph_labels(value)
+            for label in labels:
+                if label not in node_labels:
+                    return False
+            return True
+
+        return test
+
+    # -- CASE --------------------------------------------------------------
+
+    def _case(self, node):
+        alternatives = tuple(
+            (self.compile(when), self.compile(then))
+            for when, then in node.alternatives
+        )
+        default = (
+            self.compile(node.default) if node.default is not None else None
+        )
+        if node.operand is not None:
+            operand = self.compile(node.operand)
+
+            def simple_case(row):
+                subject = operand(row)
+                for when, then in alternatives:
+                    if equals(subject, when(row)) is True:
+                        return then(row)
+                return default(row) if default is not None else None
+
+            return simple_case
+
+        def searched_case(row):
+            for when, then in alternatives:
+                if when(row) is True:
+                    return then(row)
+            return default(row) if default is not None else None
+
+        return searched_case
+
+
+def _compare_once(operator, left, right):
+    if operator == "=":
+        return equals(left, right)
+    if operator == "<>":
+        return not_equals(left, right)
+    return _ordering_verdict(operator, left, right)
+
+
+def _ordering_verdict(operator, left, right):
+    verdict = compare(left, right)
+    if verdict is None:
+        return None
+    if operator == "<":
+        return verdict < 0
+    if operator == "<=":
+        return verdict <= 0
+    if operator == ">":
+        return verdict > 0
+    return verdict >= 0  # ">="
+
+
+_COMPILERS = {
+    ex.Literal: ExpressionCompiler._literal,
+    ex.Variable: ExpressionCompiler._variable,
+    ex.Parameter: ExpressionCompiler._parameter,
+    ex.PropertyAccess: ExpressionCompiler._property_access,
+    ex.MapLiteral: ExpressionCompiler._map_literal,
+    ex.ListLiteral: ExpressionCompiler._list_literal,
+    ex.ListIndex: ExpressionCompiler._list_index,
+    ex.ListSlice: ExpressionCompiler._list_slice,
+    ex.In: ExpressionCompiler._in,
+    ex.StringPredicate: ExpressionCompiler._string_predicate,
+    ex.RegexMatch: ExpressionCompiler._regex,
+    ex.BinaryLogic: ExpressionCompiler._binary_logic,
+    ex.Not: ExpressionCompiler._not,
+    ex.IsNull: ExpressionCompiler._is_null,
+    ex.IsNotNull: ExpressionCompiler._is_not_null,
+    ex.Comparison: ExpressionCompiler._comparison,
+    ex.Arithmetic: ExpressionCompiler._arithmetic,
+    ex.UnaryMinus: ExpressionCompiler._unary_minus,
+    ex.UnaryPlus: ExpressionCompiler._unary_plus,
+    ex.FunctionCall: ExpressionCompiler._function_call,
+    ex.CountStar: ExpressionCompiler._count_star,
+    ex.LabelPredicate: ExpressionCompiler._label_predicate,
+    ex.CaseExpression: ExpressionCompiler._case,
+    # ListComprehension, PatternComprehension, PatternPredicate,
+    # QuantifiedPredicate and ExistsSubquery intentionally absent: they
+    # bind inner variables or re-enter the matcher, and run through the
+    # Evaluator fallback instead.
+}

@@ -64,7 +64,7 @@ def _rel_properties_satisfied(graph, evaluator, base_record, rho, rel):
 
 def _steps_from(graph, rho, node):
     """Candidate (relationship, next node) steps respecting d and T."""
-    types = set(rho.types) if rho.types else None
+    types = rho.resolved_types  # hoisted: built once per pattern, not per node
     if rho.direction == pt.LEFT_TO_RIGHT:
         for rel in graph.outgoing(node, types):
             yield rel, graph.tgt(rel)

@@ -6,6 +6,11 @@ A *record* is a partial function from names to values — here a plain dict
 store the bag as a list, so ⊎ is concatenation and multiplicity is
 positional.  ``ε(T)`` (duplicate elimination) and bag equality use the
 canonical value keys from :mod:`repro.values.ordering`.
+
+This is the *boundary* representation: the slotted execution engine
+(:mod:`repro.planner.physical`) works over flat slot-indexed lists
+internally and converts to these dict records only when materialising
+its result Table, so both execution paths meet in the same bag algebra.
 """
 
 from __future__ import annotations

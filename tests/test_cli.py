@@ -124,3 +124,39 @@ class TestMain:
         main(["--graph", path, "--query",
               "MATCH (p:Person) RETURN p.name AS name"])
         assert "Ann" in capsys.readouterr().out
+
+
+class TestBenchSubcommand:
+    def test_bench_invokes_pytest_on_bench_files(self, monkeypatch):
+        import pytest as pytest_module
+
+        captured = {}
+
+        def fake_main(argv):
+            captured["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(pytest_module, "main", fake_main)
+        assert main(["bench", "--pipeline-only", "-k", "expand"]) == 0
+        argv = captured["argv"]
+        assert "-k" in argv and "expand" in argv
+        targets = [arg for arg in argv if arg.endswith(".py")]
+        assert targets, "bench files must be passed explicitly"
+        assert all("bench_p" in target for target in targets)
+
+    def test_bench_output_override_scoped_to_run(self, monkeypatch, tmp_path):
+        import os
+
+        import pytest as pytest_module
+
+        seen = {}
+
+        def fake_main(argv):
+            seen["env"] = os.environ.get("BENCH_PIPELINE_PATH")
+            return 0
+
+        monkeypatch.setattr(pytest_module, "main", fake_main)
+        out = str(tmp_path / "perf.json")
+        main(["bench", "--output", out])
+        assert seen["env"] == out  # visible to the benchmark session...
+        assert "BENCH_PIPELINE_PATH" not in os.environ  # ...then restored

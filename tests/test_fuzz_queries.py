@@ -93,6 +93,55 @@ def match_queries(draw):
 
 
 @st.composite
+def two_hop_queries(draw):
+    """Three-node chains, optionally cyclic, with inline property maps."""
+    first_rel = draw(st.sampled_from(["-[:R]->", "<-[:R]-", "-[:S]-", "-->"]))
+    second_rel = draw(st.sampled_from(["-[:R]->", "<-[:S]-", "-[:R|S]-"]))
+    middle = draw(st.sampled_from(["()", "(b)", "(b:B)", "(b {v: 1})"]))
+    tail = draw(st.sampled_from(["(c)", "(c:A)", "(a)"]))  # (a) closes a cycle
+    where = draw(st.sampled_from(["", " WHERE a.v >= 1", " WHERE a.v <> 2"]))
+    projection = draw(
+        st.sampled_from(
+            [
+                "RETURN count(*) AS n",
+                "RETURN a.v AS av ORDER BY av LIMIT 5",
+                "RETURN DISTINCT a.v AS av ORDER BY av",
+                "RETURN a.v AS g, count(*) AS c",
+            ]
+        )
+    )
+    return "MATCH (a)%s%s%s%s%s %s" % (
+        first_rel, middle, second_rel, tail, where, projection
+    )
+
+
+@st.composite
+def pipeline_queries(draw):
+    """MATCH → WITH (aggregate or restriction) → RETURN compositions."""
+    pattern = "(a%s)-[%s]->(b)" % (
+        draw(label_part), draw(st.sampled_from([":R", ":S", ":R|S", ""]))
+    )
+    stage = draw(
+        st.sampled_from(
+            [
+                "WITH a.v AS g, count(b) AS c WHERE c > 0 "
+                "RETURN g, c ORDER BY g",
+                "WITH a, b WHERE a.v >= b.v RETURN a.v AS x, b.v AS y "
+                "ORDER BY x, y SKIP 1",
+                "WITH a.v + b.v AS s RETURN DISTINCT s ORDER BY s",
+                "WITH collect(b.v) AS vs RETURN size(vs) AS n",
+                "WITH a, max(b.v) AS m RETURN a.name AS name, m "
+                "ORDER BY name LIMIT 4",
+            ]
+        )
+    )
+    # An UNWIND prefix doubles row multiplicities, which both paths must
+    # agree on through the aggregation (u itself dies at the WITH).
+    unwind = draw(st.sampled_from(["", "UNWIND [1, 2] AS u "]))
+    return "%sMATCH %s %s" % (unwind, pattern, stage)
+
+
+@st.composite
 def two_clause_queries(draw):
     first = draw(match_queries())
     # chain a second hop through OPTIONAL MATCH on the first variable
@@ -116,6 +165,22 @@ class TestFuzzedQueries:
     @settings(max_examples=60, deadline=None)
     @given(query=two_clause_queries())
     def test_optional_chain_agreement(self, query):
+        engine = CypherEngine(GRAPH)
+        interpreted = engine.run(query, mode="interpreter")
+        planned = engine.run(query, mode="planner")
+        assert interpreted.table.same_bag(planned.table), query
+
+    @settings(max_examples=80, deadline=None)
+    @given(query=two_hop_queries())
+    def test_two_hop_agreement(self, query):
+        engine = CypherEngine(GRAPH)
+        interpreted = engine.run(query, mode="interpreter")
+        planned = engine.run(query, mode="planner")
+        assert interpreted.table.same_bag(planned.table), query
+
+    @settings(max_examples=80, deadline=None)
+    @given(query=pipeline_queries())
+    def test_pipeline_agreement(self, query):
         engine = CypherEngine(GRAPH)
         interpreted = engine.run(query, mode="interpreter")
         planned = engine.run(query, mode="planner")

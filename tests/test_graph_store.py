@@ -212,3 +212,128 @@ class TestCopyAndAdopt:
         assert rel_view.type == "KNOWS"
         assert rel_view.source == a and rel_view.target == b
         assert rel_view["w"] == 1
+
+
+class TestTypeSegmentedAdjacency:
+    """The segmented access paths behind the slotted executor's Expand."""
+
+    def test_multi_type_filter_preserves_insertion_order(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        r1 = graph.create_relationship(a, b, "R")
+        s1 = graph.create_relationship(a, b, "S")
+        r2 = graph.create_relationship(a, b, "R")
+        t1 = graph.create_relationship(a, b, "T")
+        assert list(graph.outgoing(a, {"R", "S", "T"})) == [r1, s1, r2, t1]
+        assert list(graph.outgoing(a, {"R"})) == [r1, r2]
+        assert list(graph.outgoing(a, {"X"})) == []
+        assert list(graph.incoming(b, {"S", "T"})) == [s1, t1]
+
+    def test_segments_shrink_on_deletion(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        r1 = graph.create_relationship(a, b, "R")
+        r2 = graph.create_relationship(a, b, "R")
+        graph.delete_relationship(r1)
+        assert list(graph.outgoing(a, {"R"})) == [r2]
+        graph.delete_relationship(r2)
+        assert list(graph.outgoing(a, {"R"})) == []
+        assert graph.degree(a, "out", rel_type="R") == 0
+
+    def test_copy_and_restore_keep_segments(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        rel = graph.create_relationship(a, b, "R")
+        clone = graph.copy()
+        assert list(clone.outgoing(a, {"R"})) == [rel]
+        graph.delete_relationship(rel)
+        graph.restore_from(clone)
+        assert list(graph.outgoing(a, {"R"})) == [rel]
+        assert graph.degree(b, "in", rel_type="R") == 1
+
+    def test_cardinality_hooks_match_indexes(self, graph):
+        a = graph.create_node(("Person",))
+        graph.create_node(("Person", "Admin"))
+        graph.create_relationship(a, a, "LOOP")
+        assert graph.label_cardinalities() == {"Person": 2, "Admin": 1}
+        assert graph.type_cardinalities() == {"LOOP": 1}
+
+    def test_scan_cache_tracks_mutations(self, graph):
+        first = graph.create_node(("L",))
+        assert list(graph.nodes_with_label("L")) == [first]
+        assert list(graph.nodes_with_label("L")) == [first]  # cached call
+        second = graph.create_node(("L",))
+        assert list(graph.nodes_with_label("L")) == [first, second]
+        graph.delete_node(first)
+        assert list(graph.nodes_with_label("L")) == [second]
+
+
+class TestIncrementalDegree:
+    """degree() is O(1) off the segment lengths; check every transition."""
+
+    def test_degree_after_create(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        assert graph.degree(a) == 0
+        graph.create_relationship(a, b, "R")
+        graph.create_relationship(b, a, "S")
+        assert graph.degree(a, "out") == 1
+        assert graph.degree(a, "in") == 1
+        assert graph.degree(a, "both") == 2
+        assert graph.degree(a, "out", rel_type="S") == 0
+        assert graph.degree(a, "in", rel_type="S") == 1
+
+    def test_degree_after_delete(self, graph):
+        a, b = graph.create_node(), graph.create_node()
+        rel = graph.create_relationship(a, b, "R")
+        graph.create_relationship(a, b, "R")
+        graph.delete_relationship(rel)
+        assert graph.degree(a, "out") == 1
+        assert graph.degree(a, "out", rel_type="R") == 1
+        assert graph.degree(b, "in") == 1
+
+    def test_degree_after_detach_delete(self, graph):
+        a, b, c = (graph.create_node() for _ in range(3))
+        graph.create_relationship(a, b, "R")
+        graph.create_relationship(c, b, "R")
+        graph.delete_node(a, detach=True)
+        assert graph.degree(b, "in") == 1
+        assert graph.degree(b, "in", rel_type="R") == 1
+        assert graph.degree(c, "out") == 1
+
+    def test_self_loop_counts_twice_in_both(self, graph):
+        node = graph.create_node()
+        graph.create_relationship(node, node, "LOOP")
+        assert graph.degree(node, "out") == 1
+        assert graph.degree(node, "in") == 1
+        assert graph.degree(node, "both") == 2
+
+
+class TestSelfLoopDeletion:
+    """Regression: incident-edge collection must not double-count loops.
+
+    delete_node gathers outgoing plus incoming-minus-outgoing (now via a
+    set, not an O(d) list probe); a self-loop appears in both lists and
+    must be deleted exactly once.
+    """
+
+    def test_delete_node_with_self_loop_and_neighbours(self, graph):
+        node, other = graph.create_node(), graph.create_node()
+        graph.create_relationship(node, node, "LOOP")
+        graph.create_relationship(node, other, "OUT")
+        graph.create_relationship(other, node, "IN")
+        graph.delete_node(node, detach=True)
+        assert graph.node_count() == 1
+        assert graph.relationship_count() == 0
+        assert list(graph.outgoing(other)) == []
+        assert list(graph.incoming(other)) == []
+
+    def test_loop_still_blocks_undetached_delete(self, graph):
+        node = graph.create_node()
+        graph.create_relationship(node, node, "LOOP")
+        with pytest.raises(ConstraintViolation):
+            graph.delete_node(node)
+        assert graph.has_node(node)
+
+    def test_many_loops_deleted_once_each(self, graph):
+        node = graph.create_node()
+        for _ in range(5):
+            graph.create_relationship(node, node, "LOOP")
+        graph.delete_node(node, detach=True)
+        assert graph.relationship_count() == 0

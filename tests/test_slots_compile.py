@@ -1,0 +1,243 @@
+"""Unit tests for the slotted execution engine's two new layers:
+
+* :mod:`repro.planner.slots` — slot assignment over logical plans and
+  slot-row ↔ record conversion;
+* :mod:`repro.semantics.compile` — expression compilation to closures,
+  including constant folding, deferred errors and the tree-walker
+  fallback for uncovered constructs.
+"""
+
+import pytest
+
+from repro import CypherEngine, parse_expression, parse_query
+from repro.exceptions import CypherSemanticError, ParameterNotBound
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import MemoryGraph
+from repro.planner import plan_query
+from repro.planner.slots import SlotMap, collect_plan_names
+from repro.semantics.compile import MISSING, ExpressionCompiler
+from repro.semantics.expressions import Evaluator
+
+
+def small_graph():
+    builder = GraphBuilder()
+    builder.node("ann", "Person", name="Ann", age=30)
+    builder.node("bob", "Person", name="Bob", age=25)
+    builder.node("pub", "Publication", acmid=7)
+    builder.rel("ann", "KNOWS", "bob", since=1999)
+    builder.rel("ann", "AUTHORS", "pub")
+    graph, handles = builder.build()
+    return graph, handles
+
+
+class TestSlotAssignment:
+    def test_plan_variables_get_distinct_slots(self):
+        graph, _ = small_graph()
+        plan = plan_query(
+            parse_query("MATCH (a:Person)-[r:KNOWS]->(b) RETURN a.name AS n"),
+            graph,
+        )
+        slots = SlotMap.from_plan(plan)
+        indexes = [slots[name] for name in ("a", "r", "b", "n")]
+        assert len(set(indexes)) == 4
+        assert all(0 <= index < len(slots) for index in indexes)
+
+    def test_hidden_bindings_are_assigned_slots(self):
+        graph, _ = small_graph()
+        plan = plan_query(
+            parse_query("MATCH (a)-[:KNOWS]->()-[:AUTHORS]->(p) RETURN p"),
+            graph,
+        )
+        names = collect_plan_names(plan)
+        hidden = [name for name in names if name.startswith("#")]
+        assert hidden, "anonymous pattern elements need hidden slots"
+        slots = SlotMap.from_plan(plan)
+        for name in hidden:
+            assert name in slots
+
+    def test_slot_layout_is_deterministic(self):
+        graph, _ = small_graph()
+        query = "MATCH (a:Person) RETURN a.name AS name ORDER BY name"
+        first = SlotMap.from_plan(plan_query(parse_query(query), graph))
+        second = SlotMap.from_plan(plan_query(parse_query(query), graph))
+        assert first.names() == second.names()
+
+    def test_to_record_omits_missing_slots(self):
+        slots = SlotMap(["a", "b", "c"])
+        row = slots.new_row()
+        row[slots["a"]] = 1
+        row[slots["c"]] = None  # bound to Cypher null — must survive
+        assert slots.to_record(row) == {"a": 1, "c": None}
+
+    def test_add_is_idempotent(self):
+        slots = SlotMap()
+        assert slots.add("x") == slots.add("x")
+        assert len(slots) == 1
+
+
+def compile_on(text, names=(), graph=None, parameters=None):
+    """Compile an expression against a slot layout; returns (fn, slots)."""
+    evaluator = Evaluator(graph or MemoryGraph(), parameters)
+    slots = SlotMap(names)
+    compiler = ExpressionCompiler(evaluator, slots)
+    return compiler.compile(parse_expression(text)), slots
+
+
+def run_compiled(text, record=None, graph=None, parameters=None):
+    record = record or {}
+    compiled, slots = compile_on(
+        text, list(record), graph=graph, parameters=parameters
+    )
+    row = slots.new_row()
+    for name, value in record.items():
+        row[slots[name]] = value
+    return compiled(row)
+
+
+class TestCompiledExpressions:
+    """Compiled closures must agree with the tree-walking Evaluator."""
+
+    CASES = [
+        ("1 + 2 * 3", {}),
+        ("x + 1", {"x": 41}),
+        ("x = y", {"x": 1, "y": 1.0}),
+        ("x < y AND y < 10", {"x": 1, "y": 5}),
+        ("x IS NULL", {"x": None}),
+        ("x IS NOT NULL", {"x": None}),
+        ("NOT (x > 0)", {"x": 3}),
+        ("'abc' STARTS WITH 'a'", {}),
+        ("name CONTAINS 'n'", {"name": "Ann"}),
+        ("name =~ 'A.*'", {"name": "Ann"}),
+        ("x IN [1, 2, 3]", {"x": 2}),
+        ("[1, 2, 3][x]", {"x": 1}),
+        ("[1, 2, 3][1..]", {}),
+        ("{a: 1, b: x}", {"x": 2}),
+        ("CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END", {"x": -1}),
+        ("CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END", {"x": 2}),
+        ("toUpper(name)", {"name": "ann"}),
+        ("1 <> 2 XOR false", {}),
+        ("-x", {"x": 5}),
+        ("x % 3", {"x": 10}),
+        # constructs served by the Evaluator fallback:
+        ("[v IN [1, 2, 3] WHERE v > 1 | v * 10]", {}),
+        ("all(v IN [1, 2] WHERE v > 0)", {}),
+        ("size([v IN [1, 2, 3] | v])", {}),
+    ]
+
+    @pytest.mark.parametrize("text,record", CASES)
+    def test_matches_tree_walker(self, text, record):
+        evaluator = Evaluator(MemoryGraph())
+        expected = evaluator.evaluate(parse_expression(text), dict(record))
+        assert run_compiled(text, record) == expected
+
+    def test_property_access_on_nodes(self):
+        graph, handles = small_graph()
+        value = run_compiled("a.name", {"a": handles["ann"]}, graph=graph)
+        assert value == "Ann"
+
+    def test_label_predicate(self):
+        graph, handles = small_graph()
+        assert run_compiled("a:Person", {"a": handles["ann"]}, graph=graph)
+        assert not run_compiled(
+            "a:Publication", {"a": handles["ann"]}, graph=graph
+        )
+
+    def test_parameters_resolve_lazily(self):
+        assert run_compiled("$p + 1", parameters={"p": 2}) == 3
+        compiled, slots = compile_on("$ghost")  # compiling must not raise
+        with pytest.raises(ParameterNotBound):
+            compiled(slots.new_row())
+
+    def test_unbound_variable_raises_on_evaluation(self):
+        compiled, slots = compile_on("x", ["x"])
+        with pytest.raises(CypherSemanticError):
+            compiled(slots.new_row())  # slot exists but holds MISSING
+
+    def test_unknown_variable_raises_on_evaluation(self):
+        compiled, slots = compile_on("ghost")  # no slot at all
+        with pytest.raises(CypherSemanticError):
+            compiled(slots.new_row())
+
+
+class TestConstantFolding:
+    def test_scalar_arithmetic_folds(self):
+        compiled, _slots = compile_on("1 + 2 * 3")
+        assert getattr(compiled, "constant_value", None) == (7,)
+
+    def test_folding_never_hoists_errors(self):
+        # 1 / 0 must raise when a row is evaluated, not at compile time
+        # (a query may filter away every row before the division runs).
+        compiled, slots = compile_on("1 / 0")
+        from repro.exceptions import CypherRuntimeError
+
+        with pytest.raises(CypherRuntimeError):
+            compiled(slots.new_row())
+
+    def test_non_scalar_results_stay_per_row(self):
+        # list results are rebuilt per row, exactly like the tree walker
+        compiled, slots = compile_on("[1] + [2]")
+        first = compiled(slots.new_row())
+        second = compiled(slots.new_row())
+        assert first == second == [1, 2]
+        assert first is not second
+
+
+class TestFallbackPath:
+    def test_exists_pattern_falls_back_and_works(self):
+        graph, _ = small_graph()
+        engine = CypherEngine(graph)
+        planned = engine.run(
+            "MATCH (n) WHERE exists((n)-[:AUTHORS]->()) RETURN n.name AS w",
+            mode="planner",
+        )
+        interpreted = engine.run(
+            "MATCH (n) WHERE exists((n)-[:AUTHORS]->()) RETURN n.name AS w",
+            mode="interpreter",
+        )
+        assert planned.table.same_bag(interpreted.table)
+        assert planned.table.column("w") == ["Ann"]
+
+    def test_fallback_sees_null_padding_not_missing(self):
+        # After OPTIONAL MATCH, padded variables are Cypher null, which
+        # the fallback record must contain (a MISSING slot would raise).
+        graph, _ = small_graph()
+        engine = CypherEngine(graph)
+        result = engine.run(
+            "MATCH (p:Person) OPTIONAL MATCH (p)-[:AUTHORS]->(x) "
+            "WITH p, x RETURN p.name AS name, "
+            "[v IN [1] WHERE x IS NULL | v] AS marker",
+            mode="planner",
+        )
+        by_name = {
+            row["name"]: row["marker"] for row in result.table.to_records()
+        }
+        assert by_name == {"Ann": [], "Bob": [1]}
+
+
+class TestPlanCache:
+    def test_repeat_runs_reuse_plan_until_mutation(self):
+        graph, handles = small_graph()
+        engine = CypherEngine(graph)
+        query = "MATCH (p:Person) RETURN count(*) AS n"
+        assert engine.run(query, mode="planner").value() == 2
+        assert query in engine._plan_cache
+        cached = engine._plan_cache[query]
+        assert engine.run(query, mode="planner").value() == 2
+        assert engine._plan_cache[query] is cached  # hit, not re-planned
+        graph.create_node(("Person",))
+        assert engine.run(query, mode="planner").value() == 3  # invalidated
+
+    def test_cache_respects_parameters(self):
+        graph, _ = small_graph()
+        engine = CypherEngine(graph)
+        query = "MATCH (p:Person) WHERE p.age > $cut RETURN count(*) AS n"
+        assert engine.run(query, {"cut": 20}, mode="planner").value() == 2
+        assert engine.run(query, {"cut": 27}, mode="planner").value() == 1
+
+    def test_swapping_graphs_invalidates(self):
+        graph, _ = small_graph()
+        engine = CypherEngine(graph)
+        query = "MATCH (p:Person) RETURN count(*) AS n"
+        assert engine.run(query, mode="planner").value() == 2
+        engine.graph = MemoryGraph()
+        assert engine.run(query, mode="planner").value() == 0
