@@ -1,0 +1,158 @@
+"""P5: the constructs that used to fall back — named paths, comprehensions.
+
+PR 1's slotted engine only paid off on the query fragment the planner
+accepted; named paths, comprehensions and quantifiers escaped to the
+~9x-slower reference interpreter.  This bench pins the closed gap: the
+newly-planned workloads must beat the interpreter by a wide margin, and
+*no* standard workload may fall back (asserted through the
+``executed_by`` result metadata, so a planner coverage regression fails
+the bench run rather than silently re-routing traffic to the tree
+walker).
+"""
+
+import time
+
+import pytest
+
+from repro import CypherEngine
+from repro.datasets.citations import citation_network
+from repro.graph.store import MemoryGraph
+
+NAMED_PATH_QUERY = (
+    "MATCH p = (r:Rare)-[:LINK*1..2]->(c:Common) "
+    "RETURN length(p) AS hops, [x IN nodes(p) | x.i] AS ids"
+)
+
+COMPREHENSION_QUERY = (
+    "MATCH (c:Common) "
+    "WHERE all(x IN [c.i, 1, 2, 3] WHERE x >= 0) "
+    "RETURN reduce(s = 0, x IN [c.i, 1, 2, 3, 4, 5] | s + x) AS total, "
+    "[x IN [1, 2, 3, 4, 5, 6] WHERE x > 2 | x * c.i] AS scaled"
+)
+
+#: The standard workloads of the pipeline suite; none may fall back.
+STANDARD_WORKLOADS = [
+    NAMED_PATH_QUERY,
+    COMPREHENSION_QUERY,
+    "MATCH (a:Rare)-[:LINK]->(b:Common) WHERE b.i >= 0 RETURN count(*) AS n",
+    "MATCH (a:Common)-[:NEXT]->(b:Common) RETURN a.i AS i ORDER BY i LIMIT 10",
+    "MATCH p = (a:Rare)-[:LINK]->(b) RETURN p",
+    "MATCH (a:Common) RETURN [(a)-[:NEXT]->(b) | b.i] AS succ LIMIT 20",
+]
+
+
+def build_graph(commons=300, rares=3, fanout=2):
+    graph = MemoryGraph()
+    common_nodes = [
+        graph.create_node(("Common",), {"i": index}) for index in range(commons)
+    ]
+    for rare_index in range(rares):
+        rare = graph.create_node(("Rare",), {"i": rare_index})
+        for offset in range(fanout):
+            graph.create_relationship(
+                rare, common_nodes[(rare_index + offset) % commons], "LINK"
+            )
+    for index in range(commons - 1):
+        graph.create_relationship(
+            common_nodes[index], common_nodes[index + 1], "NEXT"
+        )
+    # second LINK hop so *1..2 has somewhere to go
+    for index in range(0, commons - 1, 3):
+        graph.create_relationship(
+            common_nodes[index], common_nodes[index + 1], "LINK"
+        )
+    return graph
+
+
+def _time(callable_, repeats=21):
+    """Median wall time: robust to GC pauses on sub-millisecond runs."""
+    result = callable_()  # warm-up: imports, statistics, plan cache
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = callable_()
+        times.append(time.perf_counter() - started)
+    times.sort()
+    return times[repeats // 2], result
+
+
+def test_p5_no_standard_workload_falls_back():
+    graph = build_graph(commons=60)
+    engine = CypherEngine(graph)
+    for query in STANDARD_WORKLOADS:
+        result = engine.run(query)
+        assert result.executed_by == "planner", (
+            "workload fell back to the interpreter (%s): %r"
+            % (result.fallback_reason, query)
+        )
+
+
+def test_p5_same_answers():
+    graph = build_graph(commons=120)
+    engine = CypherEngine(graph)
+    for query in (NAMED_PATH_QUERY, COMPREHENSION_QUERY):
+        interpreted = engine.run(query, mode="interpreter")
+        planned = engine.run(query, mode="planner")
+        assert interpreted.table.same_bag(planned.table), query
+
+
+def test_p5_planner_beats_interpreter(table_report):
+    rows = []
+    ratios = {}
+    graph = build_graph(commons=800)
+    engine = CypherEngine(graph)
+    for name, query in (
+        ("named paths", NAMED_PATH_QUERY),
+        ("comprehensions", COMPREHENSION_QUERY),
+    ):
+        planner_seconds, planned = _time(
+            lambda query=query: engine.run(query, mode="planner")
+        )
+        interpreter_seconds, interpreted = _time(
+            lambda query=query: engine.run(query, mode="interpreter")
+        )
+        assert interpreted.table.same_bag(planned.table)
+        ratio = interpreter_seconds / max(planner_seconds, 1e-9)
+        ratios[name] = ratio
+        rows.append(
+            (name, "%.3f ms" % (planner_seconds * 1e3),
+             "%.3f ms" % (interpreter_seconds * 1e3), "%.1fx" % ratio)
+        )
+    table_report(
+        "P5 — newly-planned constructs vs reference interpreter",
+        ["workload", "planner", "interpreter", "interp/planner"],
+        rows,
+    )
+    # Acceptance floor: the planner path must carry these at >= 3x.
+    assert ratios["named paths"] >= 3.0
+    assert ratios["comprehensions"] >= 3.0
+
+
+@pytest.mark.parametrize("mode", ["planner", "interpreter"])
+def test_p5_named_path_benchmark(benchmark, mode):
+    graph = build_graph(commons=300)
+    engine = CypherEngine(graph)
+    result = benchmark(engine.run, NAMED_PATH_QUERY, mode=mode)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("mode", ["planner", "interpreter"])
+def test_p5_comprehension_benchmark(benchmark, mode):
+    graph = build_graph(commons=300)
+    engine = CypherEngine(graph)
+    result = benchmark(engine.run, COMPREHENSION_QUERY, mode=mode)
+    assert len(result) > 0
+
+
+def test_p5_pipeline_workloads_stay_planned():
+    """The P2/P4 suite queries also run slotted end to end."""
+    from bench_p2_planner_vs_interpreter import QUERY as P2_QUERY
+    from bench_p4_pipeline import PIPELINE as P4_PIPELINE
+
+    graph = build_graph(commons=60)
+    engine = CypherEngine(graph)
+    assert engine.run(P2_QUERY).executed_by == "planner"
+
+    citation_graph, _ = citation_network(publications=20, seed=9)
+    citation_engine = CypherEngine(citation_graph)
+    assert citation_engine.run(P4_PIPELINE).executed_by == "planner"

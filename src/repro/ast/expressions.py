@@ -226,6 +226,22 @@ class QuantifiedPredicate(Expression):
 
 
 @dataclass(frozen=True)
+class Reduce(Expression):
+    """``reduce(acc = init, x IN list | expr)`` — a fold over a list.
+
+    The accumulator starts at ``init``; for each element the body is
+    evaluated with both the accumulator and the element in scope, and
+    its value becomes the next accumulator.
+    """
+
+    accumulator: str
+    init: Expression
+    variable: str
+    source: Expression
+    expression: Expression
+
+
+@dataclass(frozen=True)
 class CaseExpression(Expression):
     """Simple (with operand) or searched (without) CASE expression."""
 

@@ -87,6 +87,7 @@ _ATOMIC = (
     ex.PatternComprehension,
     ex.CaseExpression,
     ex.QuantifiedPredicate,
+    ex.Reduce,
 )
 
 
@@ -183,6 +184,14 @@ def print_expression(node):
             _identifier(node.variable),
             print_expression(node.source),
             print_expression(node.predicate),
+        )
+    if isinstance(node, ex.Reduce):
+        return "reduce({} = {}, {} IN {} | {})".format(
+            _identifier(node.accumulator),
+            print_expression(node.init),
+            _identifier(node.variable),
+            print_expression(node.source),
+            print_expression(node.expression),
         )
     if isinstance(node, ex.CaseExpression):
         parts = ["CASE"]

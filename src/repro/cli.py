@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli                       # REPL on an empty graph
     python -m repro.cli --graph data.json     # load a JSON graph
     python -m repro.cli --query "MATCH (n) RETURN count(*) AS n"
+    python -m repro.cli explain "MATCH ..."   # which path runs it, and why
     python -m repro.cli bench                 # run the benchmark suite;
                                               # medians -> BENCH_pipeline.json
 
@@ -76,9 +77,17 @@ class Shell:
                 self.write("usage: :explain <query>")
                 return
             try:
-                self.write(self.engine.explain(argument))
+                executed_by, reason, plan_text = self.engine.explain_info(
+                    argument
+                )
             except CypherError as error:
                 self.write("error: %s" % error)
+                return
+            self.write("executed by: %s" % executed_by)
+            if reason:
+                self.write("fallback reason: %s" % reason)
+            if plan_text:
+                self.write(plan_text)
         elif command == ":save":
             if not argument:
                 self.write("usage: :save <path>")
@@ -215,11 +224,44 @@ def bench_main(argv=None):
             os.environ["BENCH_PIPELINE_PATH"] = previous
 
 
+def explain_main(argv=None):
+    """``python -m repro.cli explain <query>``: execution-path report.
+
+    Prints which path (slotted planner vs reference interpreter) would
+    execute the query, the fallback reason if any, and the physical plan
+    tree on the planner path — the observable face of the coverage
+    metadata (``QueryResult.executed_by``), so coverage regressions are
+    one shell command away.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli explain",
+        description="show which execution path would run a query",
+    )
+    parser.add_argument("query", help="the Cypher query to explain")
+    parser.add_argument("--graph", help="JSON graph file to plan against")
+    arguments = parser.parse_args(argv)
+    graph = load_json(arguments.graph) if arguments.graph else MemoryGraph()
+    engine = CypherEngine(graph)
+    try:
+        executed_by, reason, plan_text = engine.explain_info(arguments.query)
+    except CypherError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    print("executed by: %s" % executed_by)
+    if reason:
+        print("fallback reason: %s" % reason)
+    if plan_text:
+        print(plan_text)
+    return 0
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     parser = argparse.ArgumentParser(description="repro Cypher shell")
     parser.add_argument("--graph", help="JSON graph file to load")
     parser.add_argument("--query", help="run one query and exit")

@@ -706,6 +706,8 @@ class Parser:
                 return self._parse_quantifier(lowered)
             if lowered == "exists":
                 return self._parse_exists()
+            if lowered == "reduce" and self._peek(2).kind == IDENT and self._at_operator("=", 3):
+                return self._parse_reduce()
             return self._parse_function_call()
         self._advance()
         return ex.Variable(name)
@@ -732,6 +734,22 @@ class Parser:
         predicate = self.parse_expression()
         self._expect_operator(")")
         return ex.QuantifiedPredicate(quantifier, variable, source, predicate)
+
+    def _parse_reduce(self):
+        """``reduce(acc = init, x IN list | expr)``."""
+        self._advance()  # 'reduce'
+        self._expect_operator("(")
+        accumulator = self._expect_identifier("accumulator")
+        self._expect_operator("=")
+        init = self.parse_expression()
+        self._expect_operator(",")
+        variable = self._expect_identifier("variable")
+        self._expect_keyword("IN")
+        source = self.parse_expression()
+        self._expect_operator("|")
+        expression = self.parse_expression()
+        self._expect_operator(")")
+        return ex.Reduce(accumulator, init, variable, source, expression)
 
     def _parse_exists(self):
         self._advance()  # 'exists'

@@ -18,12 +18,16 @@ engines and an additional operator called Expand."
   operators are compiled to generator closures over slotted rows, with
   expressions compiled by :mod:`repro.semantics.compile`.
 
-``plan_query`` raises :class:`repro.exceptions.UnsupportedFeature` for
-queries outside the read core (updates, Cypher 10 clauses); the engine
-falls back to the reference interpreter for those.
+The planner covers the whole read language — named paths, all three
+Section 8 morphisms, comprehensions/quantifiers — so ``plan_query``
+raises :class:`repro.exceptions.UnsupportedFeature` only for updating
+queries (CREATE / MERGE / SET / DELETE / REMOVE) and the Cypher 10
+graph clauses; the engine falls back to the reference interpreter for
+those, recording the reason on ``QueryResult.executed_by`` /
+``fallback_reason``.
 """
 
-from repro.planner.planning import plan_query
+from repro.planner.planning import plan_depends_on_statistics, plan_query
 from repro.planner.physical import execute_plan
 
-__all__ = ["plan_query", "execute_plan"]
+__all__ = ["plan_query", "plan_depends_on_statistics", "execute_plan"]

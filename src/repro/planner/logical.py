@@ -113,7 +113,13 @@ class Expand(Operator):
     ``into`` distinguishes ExpandAll (bind a fresh target variable) from
     ExpandInto (target already bound; verify we arrived there).
     ``unique_with`` lists the row fields holding relationships bound
-    earlier in the same MATCH — the edge-isomorphism check.
+    earlier in the same MATCH (relationship-uniqueness morphisms);
+    ``unique_nodes`` lists the current chain's earlier node variables and
+    ``unique_segments`` its earlier variable-length segments as
+    ``(from_variable, rel_variable)`` pairs — under node isomorphism the
+    segment's unbound intermediate nodes also forbid reuse.  All three
+    are interpreted by the morphism's
+    :class:`~repro.semantics.morphism.UniquenessKernel`.
     """
 
     child: Operator
@@ -124,6 +130,8 @@ class Expand(Operator):
     node_pattern: object     # target patterns.NodePattern
     into: bool = False
     unique_with: Tuple[str, ...] = ()
+    unique_nodes: Tuple[str, ...] = ()
+    unique_segments: Tuple[Tuple[str, str], ...] = ()
     fields: Tuple[str, ...] = ()
 
     def _describe_line(self):
@@ -155,6 +163,8 @@ class VarLengthExpand(Operator):
     high: Optional[int] = None
     into: bool = False
     unique_with: Tuple[str, ...] = ()
+    unique_nodes: Tuple[str, ...] = ()
+    unique_segments: Tuple[Tuple[str, str], ...] = ()
     fields: Tuple[str, ...] = ()
 
     def _describe_line(self):
@@ -166,6 +176,36 @@ class VarLengthExpand(Operator):
             ":" + types if types else "",
             bound,
             self.to_variable or "?",
+        )
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class ProjectPath(Operator):
+    """Assemble a named path (paper Section 4.1) from a matched chain.
+
+    Placed after the chain's scans/expands; reads the element bindings in
+    traversal order and binds a :class:`~repro.values.path.Path` value.
+    ``steps`` holds one ``(rel_variable, node_variable, var_length)``
+    triple per relationship pattern; a variable-length step carries a
+    list of relationships whose intermediate nodes are reconstructed by
+    walking the adjacency (each traversed relationship determines its far
+    endpoint).  ``flip`` marks chains the planner walked from the other
+    end: the assembled path is reversed back into pattern order.
+    """
+
+    child: Operator
+    variable: str
+    start_variable: str
+    steps: Tuple[Tuple[str, str, bool], ...]
+    flip: bool = False
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "ProjectPath({}{})".format(
+            self.variable, " flipped" if self.flip else ""
         )
 
     def _children(self):

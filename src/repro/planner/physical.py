@@ -13,8 +13,9 @@ flows:
   (``row[:]``) instead of rebuilding a dict, and unbound slots hold the
   ``MISSING`` sentinel;
 * expressions are compiled to nested closures over slot indexes by
-  :class:`~repro.semantics.compile.ExpressionCompiler`, with a
-  tree-walking fallback for constructs the compiler does not cover;
+  :class:`~repro.semantics.compile.ExpressionCompiler`; constructs that
+  bind inner variables (comprehensions, quantifiers, ``reduce``) write
+  through pre-allocated scratch slots instead of per-row dicts;
 * Expand steps read the store's type-segmented adjacency lists directly —
   no index indirection — matching the paper's description of why Expand
   is cheap.
@@ -34,11 +35,12 @@ from repro.planner import logical as lg
 from repro.planner.slots import SlotMap
 from repro.semantics.compile import MISSING, ExpressionCompiler
 from repro.semantics.expressions import Evaluator
-from repro.semantics.morphism import EDGE_ISOMORPHISM
+from repro.semantics.morphism import EDGE_ISOMORPHISM, UniquenessKernel
 from repro.semantics.table import Table
 from repro.values.base import NodeId, RelId
 from repro.values.comparison import equals
 from repro.values.ordering import canonical_key, sort_key
+from repro.values.path import Path
 
 
 class ExecutionContext:
@@ -51,6 +53,7 @@ class ExecutionContext:
         self.evaluator = Evaluator(
             graph, parameters, functions, morphism or EDGE_ISOMORPHISM
         )
+        self.kernel = UniquenessKernel(self.evaluator.morphism)
         self.slots = slots if slots is not None else SlotMap()
         self.compiler = ExpressionCompiler(self.evaluator, self.slots)
 
@@ -181,23 +184,51 @@ def _compile_steps(graph, rel_pattern):
 
 
 def _compile_conflicts(ctx, unique_with):
-    """Edge-isomorphism clash check against earlier bindings; None if empty."""
-    if not unique_with:
+    """Relationship clash check against earlier bindings; None if moot.
+
+    Delegates to the morphism's uniqueness kernel: edge and node
+    isomorphism forbid rebinding a relationship, homomorphism enforces
+    nothing (the planner already passes empty ``unique_with`` then).
+    """
+    return ctx.kernel.relationship_clash(
+        tuple(ctx.slots[name] for name in unique_with)
+    )
+
+
+def _compile_node_conflicts(ctx, unique_nodes, unique_segments):
+    """Node-isomorphism clash check against the chain's earlier nodes.
+
+    With no variable-length segments before this step the check compares
+    the candidate against a few slots directly; otherwise it seeds a
+    visited set — built once per row (memoised on the row's identity,
+    since one Expand probes many relationships of the same row) — that
+    includes the segments' reconstructed intermediate nodes.  Returns
+    ``(node, row) -> bool`` or None when moot.
+    """
+    if not unique_segments:
+        return ctx.kernel.node_clash(
+            tuple(ctx.slots[name] for name in unique_nodes)
+        )
+    if not ctx.kernel.morphism.forbids_repeated_nodes:
         return None
-    slots = tuple(ctx.slots[name] for name in unique_with)
+    kernel = ctx.kernel
+    node_slots = tuple(ctx.slots[name] for name in unique_nodes)
+    segment_slots = tuple(
+        (ctx.slots[from_name], ctx.slots[rel_name])
+        for from_name, rel_name in unique_segments
+    )
+    other_end = ctx.graph.other_end
+    cache = {"row": None, "visited": None}
 
-    def conflicts(rel, row):
-        for slot in slots:
-            bound = row[slot]
-            if isinstance(bound, RelId):
-                if bound == rel:
-                    return True
-            elif isinstance(bound, list):
-                if rel in bound:
-                    return True
-        return False
+    def clashes(node, row):
+        if cache["row"] is not row:
+            cache["row"] = row
+            cache["visited"] = kernel.visited_nodes(
+                node_slots, segment_slots, row, other_end
+            )
+        return node in cache["visited"]
 
-    return conflicts
+    return clashes
 
 
 # -- node sources -----------------------------------------------------------
@@ -261,6 +292,9 @@ def _compile_expand(op, ctx):
     to_slot = slots[op.to_variable] if op.to_variable is not None else None
     steps = _compile_steps(ctx.graph, op.rel_pattern)
     conflicts = _compile_conflicts(ctx, op.unique_with)
+    node_conflicts = _compile_node_conflicts(
+        ctx, op.unique_nodes, op.unique_segments
+    )
     rel_ok = _compile_rel_ok(ctx, op.rel_pattern)
     node_ok = _compile_node_ok(ctx, op.node_pattern)
     into = op.into
@@ -274,6 +308,8 @@ def _compile_expand(op, ctx):
                 if conflicts is not None and conflicts(rel, row):
                     continue
                 if rel_ok is not None and not rel_ok(rel, row):
+                    continue
+                if node_conflicts is not None and node_conflicts(target, row):
                     continue
                 if into and row[to_slot] != target:
                     continue
@@ -301,16 +337,17 @@ def _compile_var_length_expand(op, ctx):
     node_ok = _compile_node_ok(ctx, op.node_pattern)
     into = op.into
     low = op.low
-    morphism = ctx.evaluator.morphism
+    kernel = ctx.kernel
+    morphism = kernel.morphism
     check_unique = bool(morphism.forbids_repeated_relationships)
-    cap = op.high
-    if cap is None and not check_unique:
-        cap = morphism.max_length
-        if cap is None:
-            raise CypherRuntimeError(
-                "unbounded variable-length pattern under homomorphism "
-                "needs Morphism.max_length"
-            )
+    check_nodes = bool(morphism.forbids_repeated_nodes)
+    unique_node_slots = tuple(ctx.slots[name] for name in op.unique_nodes)
+    unique_segment_slots = tuple(
+        (ctx.slots[from_name], ctx.slots[rel_name])
+        for from_name, rel_name in op.unique_segments
+    )
+    other_end = ctx.graph.other_end
+    cap = kernel.traversal_cap(op.high)
 
     def run(argument):
         for row in child(argument):
@@ -318,6 +355,13 @@ def _compile_var_length_expand(op, ctx):
             if not isinstance(source, NodeId):
                 continue
             results = []
+            visited = (
+                kernel.visited_nodes(
+                    unique_node_slots, unique_segment_slots, row, other_end
+                )
+                if check_nodes
+                else None
+            )
 
             def emit(node, rels, row=row, results=results):
                 if into:
@@ -332,7 +376,7 @@ def _compile_var_length_expand(op, ctx):
                     out[to_slot] = node
                 results.append(out)
 
-            def walk(node, taken, rels, used, row=row):
+            def walk(node, taken, rels, used, row=row, visited=visited):
                 if taken >= low:
                     emit(node, rels)
                 if cap is not None and taken >= cap:
@@ -345,15 +389,67 @@ def _compile_var_length_expand(op, ctx):
                         continue
                     if rel_ok is not None and not rel_ok(rel, row):
                         continue
+                    if check_nodes and target in visited:
+                        continue
                     used.add(rel)
                     rels.append(rel)
+                    if check_nodes:
+                        visited.add(target)
                     walk(target, taken + 1, rels, used)
+                    if check_nodes:
+                        visited.discard(target)
                     rels.pop()
                     used.discard(rel)
 
             walk(source, 0, [], set())
             for out in results:
                 yield out
+
+    return run
+
+
+def _compile_project_path(op, ctx):
+    """Assemble the named path of one matched chain (paper Section 4.1).
+
+    Rigid steps read their relationship and target node straight from
+    the row; variable-length steps carry a relationship list whose
+    intermediate nodes are reconstructed by walking from the previous
+    node (each traversed relationship determines its far endpoint).
+    Flipped chains — planned from the cheaper end — are reversed back
+    into pattern order, which is what the reference matcher produces.
+    """
+    child = _compile(op.child, ctx)
+    slots = ctx.slots
+    out_slot = slots[op.variable]
+    start_slot = slots[op.start_variable]
+    steps = tuple(
+        (slots[rel_name], slots[node_name], bool(var_length))
+        for rel_name, node_name, var_length in op.steps
+    )
+    other_end = ctx.graph.other_end
+    flip = op.flip
+
+    def run(argument):
+        for row in child(argument):
+            nodes = [row[start_slot]]
+            rels = []
+            for rel_slot, node_slot, var_length in steps:
+                bound = row[rel_slot]
+                if var_length:
+                    current = nodes[-1]
+                    for rel in bound:
+                        current = other_end(rel, current)
+                        rels.append(rel)
+                        nodes.append(current)
+                else:
+                    rels.append(bound)
+                    nodes.append(row[node_slot])
+            path = Path(tuple(nodes), tuple(rels))
+            if flip:
+                path = path.reverse()
+            out = row[:]
+            out[out_slot] = path
+            yield out
 
     return run
 
@@ -677,6 +773,7 @@ _COMPILERS = {
     lg.NodeCheck: _compile_node_check,
     lg.Expand: _compile_expand,
     lg.VarLengthExpand: _compile_var_length_expand,
+    lg.ProjectPath: _compile_project_path,
     lg.Filter: _compile_filter,
     lg.ExtendedProject: _compile_project,
     lg.Strip: _compile_strip,

@@ -7,10 +7,16 @@ cardinality, and for each chain both endpoints are costed and the
 cheaper one chosen (a compact stand-in for IDP's bottom-up join-order
 search, which degenerates to exactly this on path-shaped join graphs).
 
-The planner covers the read core (MATCH / OPTIONAL MATCH / WHERE / WITH /
-UNWIND / RETURN / UNION, variable-length patterns, aggregation).  Updates,
-Cypher 10 graph clauses, named paths and node-isomorphism matching raise
-:class:`UnsupportedFeature`, and the engine falls back to the reference
+The planner covers the *entire* read language: MATCH / OPTIONAL MATCH /
+WHERE / WITH / UNWIND / RETURN / UNION, variable-length patterns,
+aggregation, named paths (assembled in-pipeline by ``ProjectPath``), and
+all three of Section 8's configurable morphisms — edge isomorphism, node
+isomorphism and homomorphism — via the morphism-parameterised uniqueness
+kernel.  Comprehensions, quantifiers and pattern predicates compile to
+scratch-slot closures (:mod:`repro.semantics.compile`), so no read query
+escapes to the tree-walking interpreter.  Only updating clauses
+(CREATE / MERGE / SET / DELETE / REMOVE) and the Cypher 10 graph clauses
+raise :class:`UnsupportedFeature`, falling back to the reference
 interpreter — by construction the two paths agree on everything both
 support.
 """
@@ -30,12 +36,37 @@ from repro.semantics.morphism import EDGE_ISOMORPHISM
 
 def plan_query(query, graph, morphism=EDGE_ISOMORPHISM):
     """Plan a parsed query against a graph; returns the root Operator."""
-    if morphism.forbids_repeated_nodes:
-        raise UnsupportedFeature(
-            "node-isomorphism matching runs on the reference interpreter"
-        )
     builder = _PlanBuilder(graph, morphism)
     return builder.plan(query)
+
+
+def plan_depends_on_statistics(plan):
+    """True if re-planning after a store mutation could change the plan.
+
+    Plan *choices* — entry label, chain order, endpoint direction — come
+    from :class:`~repro.planner.cost.CostModel` statistics.  A plan whose
+    MATCH part is a single label-free ``AllNodesScan`` (or that scans
+    nothing at all, e.g. ``RETURN 1``) offered the cost model no choice,
+    so the engine's plan cache can keep it across graph versions; plans
+    embed no graph data, so the stale hit is still correct, just possibly
+    suboptimal for shapes this predicate rejects.
+    """
+    scans = 0
+    stack = [plan]
+    while stack:
+        op = stack.pop()
+        if isinstance(
+            op, (lg.NodeByLabelScan, lg.Expand, lg.VarLengthExpand)
+        ):
+            return True
+        if isinstance(op, lg.AllNodesScan):
+            if op.node_pattern.labels:
+                return True  # label present but index skipped: a choice
+            scans += 1
+            if scans > 1:
+                return True  # chain ordering consulted cardinalities
+        stack.extend(op._children())
+    return False
 
 
 class _PlanBuilder:
@@ -99,11 +130,6 @@ class _PlanBuilder:
         return "#{}{}".format(kind, self._hidden_counter)
 
     def _plan_match(self, clause, plan):
-        for path_pattern in clause.pattern:
-            if path_pattern.name is not None:
-                raise UnsupportedFeature(
-                    "named paths run on the reference interpreter"
-                )
         if clause.optional:
             argument = lg.Argument(fields=plan.fields)
             inner = self._plan_pattern_tuple(argument, clause.pattern)
@@ -143,14 +169,23 @@ class _PlanBuilder:
             chain = remaining.pop(index)
             if reverse:
                 chain = _reverse_chain(chain)
-            plan = self._plan_chain(plan, chain, bound, unique_rels)
+            plan = self._plan_chain(
+                plan, chain, bound, unique_rels, flipped=reverse
+            )
         return plan
 
-    def _plan_chain(self, plan, chain, bound, unique_rels):
+    def _plan_chain(self, plan, chain, bound, unique_rels, flipped=False):
         elements = chain.elements
         first = elements[0]
         current_name = first.name or self._hidden("node")
         visible = list(plan.fields)
+        # Node variables of *this* chain in traversal order: node
+        # isomorphism is scoped per path pattern, matching the matcher.
+        # Variable-length segments are tracked separately because their
+        # intermediate nodes (unbound to any slot) also count.
+        chain_nodes = [current_name]
+        chain_segments = []
+        path_steps = []
 
         if current_name in bound:
             if first.labels or first.properties:
@@ -190,6 +225,12 @@ class _PlanBuilder:
                 if self.morphism.forbids_repeated_relationships
                 else ()
             )
+            if self.morphism.forbids_repeated_nodes:
+                unique_nodes = tuple(chain_nodes)
+                unique_segments = tuple(chain_segments)
+            else:
+                unique_nodes = ()
+                unique_segments = ()
             low, high = rho.resolved_range()
             if rho.is_variable_length:
                 plan = lg.VarLengthExpand(
@@ -203,8 +244,11 @@ class _PlanBuilder:
                     high=high,
                     into=into,
                     unique_with=unique,
+                    unique_nodes=unique_nodes,
+                    unique_segments=unique_segments,
                     fields=tuple(visible),
                 )
+                chain_segments.append((current_name, rel_name))
             else:
                 plan = lg.Expand(
                     plan,
@@ -215,6 +259,8 @@ class _PlanBuilder:
                     node_pattern=chi,
                     into=into,
                     unique_with=unique,
+                    unique_nodes=unique_nodes,
+                    unique_segments=unique_segments,
                     fields=tuple(visible),
                 )
             if rel_prebound:
@@ -228,10 +274,50 @@ class _PlanBuilder:
                     ),
                     fields=tuple(visible),
                 )
+            path_steps.append((rel_name, to_name, rho.is_variable_length))
             unique_rels.append(rel_name)
+            chain_nodes.append(to_name)
             bound.add(rel_name)
             bound.add(to_name)
             current_name = to_name
+        if chain.name is not None:
+            plan = self._plan_named_path(
+                plan, chain.name, chain_nodes[0], path_steps, flipped,
+                bound, visible,
+            )
+        return plan
+
+    def _plan_named_path(
+        self, plan, path_name, start_name, path_steps, flipped, bound, visible
+    ):
+        """Bind ``path_name`` to the chain's traversal (Section 4.1 paths).
+
+        A re-used path name (``MATCH p = ... MATCH p = ...``) assembles
+        into a hidden slot and keeps only rows where the two paths
+        coincide, mirroring the matcher's consistency check.
+        """
+        rebound = path_name in bound
+        target = self._hidden("path") if rebound else path_name
+        if not rebound:
+            visible.append(path_name)
+            bound.add(path_name)
+        plan = lg.ProjectPath(
+            plan,
+            variable=target,
+            start_variable=start_name,
+            steps=tuple(path_steps),
+            flip=flipped,
+            fields=tuple(visible),
+        )
+        if rebound:
+            plan = lg.Filter(
+                plan,
+                ex.Comparison(
+                    ("=",),
+                    (ex.Variable(target), ex.Variable(path_name)),
+                ),
+                fields=tuple(visible),
+            )
         return plan
 
     # ------------------------------------------------------------------

@@ -14,6 +14,15 @@ A slot holding :data:`~repro.semantics.compile.MISSING` is *unassigned*
 ``None`` (the variable is bound to Cypher null, e.g. by OPTIONAL MATCH
 padding).  Rows convert back to records only at the Table boundary and
 for fallback expression evaluation (:meth:`SlotMap.to_record`).
+
+Besides plan variables, the layout reserves *scratch slots* for every
+name an expression binds internally — comprehension / quantifier /
+``reduce`` variables and the fresh variables of pattern comprehensions.
+The expression compiler writes the inner value into the scratch slot,
+evaluates the compiled body, and restores the previous value, so inner
+scopes shadow outer bindings exactly as the tree walker's nested records
+do.  Collecting them up front keeps the row width fixed for the whole
+execution (operators capture it at compile time).
 """
 
 from __future__ import annotations
@@ -36,8 +45,19 @@ class SlotMap:
 
     @classmethod
     def from_plan(cls, plan):
-        """Assign a slot to every name any operator of ``plan`` touches."""
-        return cls(collect_plan_names(plan))
+        """Assign a slot to every name any operator of ``plan`` touches.
+
+        The name collection walks the whole operator tree *and* every
+        expression AST (for scratch names), which would dominate small
+        cached-plan re-runs; the result is memoised on the plan object
+        (the ``cached_property``-on-frozen-dataclass idiom — plans are
+        immutable, so the derived name list is too).
+        """
+        names = getattr(plan, "_slot_names", None)
+        if names is None:
+            names = tuple(collect_plan_names(plan))
+            object.__setattr__(plan, "_slot_names", names)
+        return cls(names)
 
     def add(self, name):
         """Ensure ``name`` has a slot; returns its index."""
@@ -96,7 +116,9 @@ def collect_plan_names(plan):
     """Every variable name any operator of the plan can bind or read.
 
     Deterministic (pre-order, left to right), so slot layouts are stable
-    across runs of the same plan.
+    across runs of the same plan.  Includes the scratch names of every
+    expression reachable from the plan, so the row width is final before
+    the first operator compiles.
     """
     names = []
     seen = set()
@@ -106,27 +128,58 @@ def collect_plan_names(plan):
             seen.add(name)
             names.append(name)
 
+    def add_expression(expression):
+        if expression is not None:
+            for name in expression_scratch_names(expression):
+                add(name)
+
+    def add_pattern_properties(pattern):
+        for _key, expression in pattern.properties:
+            add_expression(expression)
+
     def walk(op):
         for field in op.fields:
             add(field)
         if isinstance(op, (lg.AllNodesScan, lg.NodeByLabelScan, lg.NodeCheck)):
             add(op.variable)
+            add_pattern_properties(op.node_pattern)
         elif isinstance(op, (lg.Expand, lg.VarLengthExpand)):
             add(op.from_variable)
             add(op.to_variable)
             add(op.rel_variable)
             for name in op.unique_with:
                 add(name)
+            for name in op.unique_nodes:
+                add(name)
+            add_pattern_properties(op.rel_pattern)
+            add_pattern_properties(op.node_pattern)
+        elif isinstance(op, lg.ProjectPath):
+            add(op.variable)
+            add(op.start_variable)
+            for rel_name, node_name, _var_length in op.steps:
+                add(rel_name)
+                add(node_name)
         elif isinstance(op, lg.Unwind):
             add(op.alias)
+            add_expression(op.expression)
+        elif isinstance(op, lg.Filter):
+            add_expression(op.predicate)
         elif isinstance(op, lg.ExtendedProject):
-            for name, _expression in op.items:
+            for name, expression in op.items:
                 add(name)
+                add_expression(expression)
         elif isinstance(op, lg.Aggregate):
-            for name, _expression in op.grouping:
+            for name, expression in op.grouping:
                 add(name)
-            for name, _expression in op.aggregates:
+                add_expression(expression)
+            for name, expression in op.aggregates:
                 add(name)
+                add_expression(expression)
+        elif isinstance(op, lg.Sort):
+            for item in op.sort_items:
+                add_expression(item.expression)
+        elif isinstance(op, (lg.Skip, lg.Limit)):
+            add_expression(op.count)
         elif isinstance(op, lg.OptionalApply):
             for name in op.pad_names:
                 add(name)
@@ -134,4 +187,31 @@ def collect_plan_names(plan):
             walk(child)
 
     walk(plan)
+    return names
+
+
+def expression_scratch_names(expression):
+    """Names an expression binds in inner scopes, in discovery order.
+
+    Comprehension / quantifier / ``reduce`` variables plus the free
+    variables of pattern comprehensions, pattern predicates and EXISTS
+    subqueries (at runtime those not already bound become fresh
+    bindings).  Each needs a slot so the compiled closures can shadow
+    and restore without resizing rows.
+    """
+    from repro.ast import expressions as ex
+    from repro.ast.patterns import free_variables
+    from repro.ast.visitor import walk
+
+    names = []
+    for node in walk(expression):
+        if isinstance(node, (ex.ListComprehension, ex.QuantifiedPredicate)):
+            names.append(node.variable)
+        elif isinstance(node, ex.Reduce):
+            names.append(node.accumulator)
+            names.append(node.variable)
+        elif isinstance(node, (ex.PatternComprehension, ex.PatternPredicate)):
+            names.extend(free_variables((node.pattern,)))
+        elif isinstance(node, ex.ExistsSubquery):
+            names.extend(free_variables(tuple(node.pattern)))
     return names

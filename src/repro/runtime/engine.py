@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.exceptions import ConstraintViolation, UnsupportedFeature
 from repro.graph.catalog import GraphCatalog
 from repro.graph.store import MemoryGraph
@@ -63,12 +65,15 @@ class CypherEngine:
         self.functions = functions
         self.rewrite = rewrite
         self.schema = schema
-        #: Compiled-plan cache: query text -> (graph id, version, plan).
-        #: Plans embed no graph data (operators re-read the store at run
-        #: time), so a stale hit would still be correct — the version key
-        #: exists because plan *choices* (entry labels, chain order) come
-        #: from statistics and should track mutations.
-        self._plan_cache = {}
+        #: Bounded LRU of compiled plans: query text ->
+        #: (graph id, version, stats_sensitive, plan).  Plans embed no
+        #: graph data (operators re-read the store at run time), so a
+        #: stale hit would still be correct — the version key exists
+        #: because plan *choices* (entry labels, chain order) come from
+        #: statistics.  Plans the cost model had no real choice on
+        #: (``stats_sensitive`` False) survive store mutations, so
+        #: parameterised re-runs keep their plan across graph versions.
+        self._plan_cache = OrderedDict()
 
     # ------------------------------------------------------------------
 
@@ -87,7 +92,7 @@ class CypherEngine:
                     functions=self.functions,
                     morphism=self.morphism,
                 )
-                return QueryResult(table, plan=plan)
+                return QueryResult(table, plan=plan, executed_by="planner")
         query = parse_query(query_text)
         check_query(query)
         if self.rewrite:
@@ -100,12 +105,16 @@ class CypherEngine:
         if mode == "planner":
             result = self._run_planned(query, parameters, query_text)
         elif mode == "interpreter":
-            result = self._run_interpreted(query, parameters)
+            result = self._run_interpreted(
+                query, parameters, reason="mode=interpreter"
+            )
         else:
             try:
                 result = self._run_planned(query, parameters, query_text)
-            except UnsupportedFeature:
-                result = self._run_interpreted(query, parameters)
+            except UnsupportedFeature as unsupported:
+                result = self._run_interpreted(
+                    query, parameters, reason=str(unsupported)
+                )
         if snapshot is not None:
             violations = self.schema.validate(self.graph)
             if violations:
@@ -117,16 +126,38 @@ class CypherEngine:
         return result
 
     def explain(self, query_text):
-        """The physical plan the planner would run, as indented text."""
+        """The physical plan the planner would run, as indented text.
+
+        Mirrors :meth:`run`'s pipeline (including the rewriter), so the
+        reported plan is the one a run would actually cache and execute.
+        """
         from repro.planner import plan_query
 
         query = parse_query(query_text)
+        if self.rewrite:
+            from repro.rewriter import rewrite_query
+
+            query = rewrite_query(query)
         plan = plan_query(query, self.graph, morphism=self.morphism)
         return plan.describe()
 
+    def explain_info(self, query_text):
+        """``(executed_by, fallback_reason, plan_text)`` without running.
+
+        ``executed_by`` is ``"planner"`` with the plan tree, or
+        ``"interpreter"`` with the reason the planner refused — the same
+        metadata :class:`QueryResult` carries after a run, surfaced for
+        ``python -m repro.cli explain``.
+        """
+        try:
+            plan_text = self.explain(query_text)
+        except UnsupportedFeature as unsupported:
+            return ("interpreter", str(unsupported), None)
+        return ("planner", None, plan_text)
+
     # ------------------------------------------------------------------
 
-    def _run_interpreted(self, query, parameters):
+    def _run_interpreted(self, query, parameters, reason=None):
         state = QueryState(
             self.graph,
             parameters=parameters,
@@ -135,7 +166,12 @@ class CypherEngine:
             catalog=self.catalog,
         )
         table = run_query(query, state)
-        return QueryResult(table, graphs=state.result_graphs)
+        return QueryResult(
+            table,
+            graphs=state.result_graphs,
+            executed_by="interpreter",
+            fallback_reason=reason,
+        )
 
     def _run_planned(self, query, parameters, query_text=None):
         from repro.planner import execute_plan, plan_query
@@ -150,7 +186,7 @@ class CypherEngine:
             functions=self.functions,
             morphism=self.morphism,
         )
-        return QueryResult(table, plan=plan)
+        return QueryResult(table, plan=plan, executed_by="planner")
 
     # -- plan cache ------------------------------------------------------
 
@@ -161,23 +197,40 @@ class CypherEngine:
 
         Only read-only queries ever make it into the cache (the planner
         rejects updates), so a hit can skip parsing, semantic checks and
-        the schema snapshot entirely.
+        the schema snapshot entirely.  A version mismatch only evicts
+        plans whose choices depended on statistics; the rest are simply
+        re-stamped, so parameterised re-runs keep their plan across
+        store mutations.
         """
         entry = self._plan_cache.get(query_text)
         if entry is None:
             return None
-        graph_key, version, plan = entry
-        if graph_key != id(self.graph) or version != getattr(
-            self.graph, "version", None
-        ):
+        graph_key, version, stats_sensitive, plan = entry
+        if graph_key != id(self.graph):
             del self._plan_cache[query_text]
             return None
+        current = getattr(self.graph, "version", None)
+        if version != current:
+            if stats_sensitive:
+                del self._plan_cache[query_text]
+                return None
+            entry = (graph_key, current, stats_sensitive, plan)
+            self._plan_cache[query_text] = entry
+        self._plan_cache.move_to_end(query_text)
         return plan
 
     def _remember_plan(self, query_text, plan):
         version = getattr(self.graph, "version", None)
         if version is None:
             return  # no mutation counter: cannot tell when to invalidate
-        if len(self._plan_cache) >= self._PLAN_CACHE_LIMIT:
-            self._plan_cache.pop(next(iter(self._plan_cache)))
-        self._plan_cache[query_text] = (id(self.graph), version, plan)
+        from repro.planner.planning import plan_depends_on_statistics
+
+        self._plan_cache[query_text] = (
+            id(self.graph),
+            version,
+            plan_depends_on_statistics(plan),
+            plan,
+        )
+        self._plan_cache.move_to_end(query_text)
+        while len(self._plan_cache) > self._PLAN_CACHE_LIMIT:
+            self._plan_cache.popitem(last=False)

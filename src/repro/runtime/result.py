@@ -11,12 +11,28 @@ class QueryResult:
     Wraps the result :class:`~repro.semantics.table.Table` with
     convenience accessors, and carries the named graphs produced by
     Cypher 10's RETURN GRAPH (the "table-graphs" of Section 6).
+
+    ``executed_by`` records which execution path produced the rows —
+    ``"planner"`` (slotted, compiled) or ``"interpreter"`` (the
+    reference tree-walker) — and ``fallback_reason`` says why the
+    planner was bypassed (None on the planner path).  Coverage
+    regressions show up as unexpected ``"interpreter"`` values; the
+    bench harness and the no-fallback tests assert on this.
     """
 
-    def __init__(self, table, graphs=None, plan=None):
+    def __init__(
+        self,
+        table,
+        graphs=None,
+        plan=None,
+        executed_by=None,
+        fallback_reason=None,
+    ):
         self._table = table
         self.graphs = dict(graphs or {})
         self.plan = plan
+        self.executed_by = executed_by
+        self.fallback_reason = fallback_reason
 
     # -- table access -------------------------------------------------------
 

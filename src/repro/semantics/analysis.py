@@ -204,6 +204,15 @@ def _check_expression(expression, scope, allow_aggregates, inside_aggregate=Fals
             expression.predicate, scope | {expression.variable}, False
         )
         return
+    if isinstance(expression, ex.Reduce):
+        _check_expression(expression.init, scope, allow_aggregates, inside_aggregate)
+        _check_expression(expression.source, scope, allow_aggregates, inside_aggregate)
+        _check_expression(
+            expression.expression,
+            scope | {expression.accumulator, expression.variable},
+            False,
+        )
+        return
     if isinstance(expression, ex.PatternComprehension):
         local = scope | set(free_variables((expression.pattern,)))
         _check_pattern_expressions((expression.pattern,), scope)

@@ -14,17 +14,27 @@ of rows, so :class:`ExpressionCompiler` performs that work once per plan:
 * null/ternary semantics are reproduced *exactly* — each closure mirrors
   the corresponding ``Evaluator`` method.
 
-Constructs the compiler does not cover (pattern predicates, EXISTS
-subqueries, comprehensions, quantifiers) fall back to the tree walker:
-the slotted row is converted to a plain record and handed to the
-``Evaluator``, so the planner never loses expressiveness — uncompiled
-constructs just run at the interpreter's speed.  Aggregate calls are
-compiled separately by the physical ``Aggregate`` operator; reaching one
-here raises, exactly as the tree walker does outside WITH/RETURN.
+Constructs that bind *inner* variables — list comprehensions,
+quantifiers, ``reduce``, pattern comprehensions — compile to *scratch
+slots*: the inner name is allocated a slot up front (see
+:func:`repro.planner.slots.collect_plan_names`), the compiled closure
+writes each candidate value into it, evaluates the compiled body, and
+restores the previous value, so shadowing behaves exactly like the tree
+walker's nested records.  Pattern comprehensions, pattern predicates and
+EXISTS subqueries enumerate their matches through the reference matcher
+(re-entering the planner mid-expression would buy nothing on these
+correlated sub-patterns) but evaluate their WHERE/projection bodies as
+compiled closures over scratch slots, so no construct tree-walks per
+row any more.  An unknown node type still falls back to the Evaluator
+over a converted record, preserving expressiveness for future AST
+growth.  Aggregate calls are compiled separately by the physical
+``Aggregate`` operator; reaching one here raises, exactly as the tree
+walker does outside WITH/RETURN.
 """
 
 from __future__ import annotations
 
+import operator
 import re
 
 from repro.ast import expressions as ex
@@ -62,6 +72,19 @@ MISSING = _Missing()
 
 #: Scalar types that are safe to share across rows when constant-folding.
 _FOLDABLE_SCALARS = (bool, int, float, str)
+
+#: Native operators for the int-int fast paths in compiled closures.
+_NATIVE_INEQUALITIES = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+_NATIVE_ARITHMETIC = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+}
 
 
 def _constant(value):
@@ -410,9 +433,17 @@ class ExpressionCompiler:
                 return lambda row: equals(left(row), right(row))
             if operator == "<>":
                 return lambda row: not_equals(left(row), right(row))
+            # Int-int is the overwhelmingly common case on graph data;
+            # Python's own comparison agrees with compare() there, so
+            # skip the generic ordering machinery for it.
+            native = _NATIVE_INEQUALITIES[operator]
 
             def inequality(row):
-                return _ordering_verdict(operator, left(row), right(row))
+                l = left(row)
+                r = right(row)
+                if type(l) is int and type(r) is int:
+                    return native(l, r)
+                return _ordering_verdict(operator, l, r)
 
             return inequality
 
@@ -445,6 +476,21 @@ class ExpressionCompiler:
             else:
                 if value is None or isinstance(value, _FOLDABLE_SCALARS):
                     return _constant(value)
+
+        if operator in ("+", "-", "*"):
+            # Same fast path as comparisons: int-int never overflows or
+            # divides, so the native operator is exact; everything else
+            # keeps the full Cypher numeric/temporal/list semantics.
+            native = _NATIVE_ARITHMETIC[operator]
+
+            def arithmetic_fast(row):
+                l = left(row)
+                r = right(row)
+                if type(l) is int and type(r) is int:
+                    return native(l, r)
+                return apply_arithmetic(operator, l, r)
+
+            return arithmetic_fast
 
         def arithmetic(row):
             return apply_arithmetic(operator, left(row), right(row))
@@ -561,6 +607,219 @@ class ExpressionCompiler:
         return searched_case
 
 
+    # -- comprehensions and quantifiers (scratch slots) ----------------------
+
+    def _list_comprehension(self, node):
+        source = self.compile(node.source)
+        slot = self.slots.add(node.variable)
+        where = (
+            self.compile_predicate(node.where)
+            if node.where is not None
+            else None
+        )
+        projection = (
+            self.compile(node.projection)
+            if node.projection is not None
+            else None
+        )
+
+        def comprehend(row):
+            values = source(row)
+            if values is None:
+                return None
+            if not isinstance(values, list):
+                raise CypherTypeError("comprehension source must be a list")
+            result = []
+            append = result.append
+            saved = row[slot]
+            try:
+                for element in values:
+                    row[slot] = element
+                    if where is not None and not where(row):
+                        continue
+                    append(
+                        projection(row) if projection is not None else element
+                    )
+            finally:
+                row[slot] = saved
+            return result
+
+        return comprehend
+
+    def _quantified(self, node):
+        source = self.compile(node.source)
+        slot = self.slots.add(node.variable)
+        predicate = self.compile(node.predicate)
+        quantifier = node.quantifier
+
+        def quantify(row):
+            values = source(row)
+            if values is None:
+                return None
+            if not isinstance(values, list):
+                raise CypherTypeError("quantifier source must be a list")
+            trues = falses = unknowns = 0
+            saved = row[slot]
+            try:
+                for element in values:
+                    row[slot] = element
+                    verdict = _as_ternary(predicate(row))
+                    if verdict is True:
+                        trues += 1
+                    elif verdict is False:
+                        falses += 1
+                    else:
+                        unknowns += 1
+            finally:
+                row[slot] = saved
+            if quantifier == "all":
+                if falses:
+                    return False
+                return None if unknowns else True
+            if quantifier == "any":
+                if trues:
+                    return True
+                return None if unknowns else False
+            if quantifier == "none":
+                if trues:
+                    return False
+                return None if unknowns else True
+            # single
+            if trues > 1:
+                return False
+            if unknowns:
+                return None
+            return trues == 1
+
+        return quantify
+
+    def _reduce(self, node):
+        source = self.compile(node.source)
+        init = self.compile(node.init)
+        accumulator_slot = self.slots.add(node.accumulator)
+        variable_slot = self.slots.add(node.variable)
+        body = self.compile(node.expression)
+
+        def fold(row):
+            values = source(row)
+            if values is None:
+                return None
+            if not isinstance(values, list):
+                raise CypherTypeError("reduce() source must be a list")
+            accumulator = init(row)
+            saved_accumulator = row[accumulator_slot]
+            saved_variable = row[variable_slot]
+            try:
+                for element in values:
+                    row[accumulator_slot] = accumulator
+                    row[variable_slot] = element
+                    accumulator = body(row)
+            finally:
+                row[accumulator_slot] = saved_accumulator
+                row[variable_slot] = saved_variable
+            return accumulator
+
+        return fold
+
+    # -- patterns in expressions (matcher + compiled bodies) -----------------
+
+    def _pattern_binder(self, pattern_tuple):
+        """Shared machinery for pattern-shaped expressions.
+
+        Returns ``(match, names, slots)``: a ``row -> bag of bindings``
+        closure over the reference matcher, plus the pattern's free
+        variables and their scratch slots.  Names already bound in the
+        row constrain the match (the matcher sees them through the
+        record); the rest come back as fresh bindings to install.
+        """
+        from repro.ast.patterns import free_variables
+        from repro.semantics.matching import match_pattern_tuple
+
+        names = tuple(free_variables(pattern_tuple))
+        slots = tuple(self.slots.add(name) for name in names)
+        evaluator = self.evaluator
+        graph = self.graph
+        morphism = evaluator.morphism
+        to_record = self.slots.to_record
+
+        def match(row):
+            return match_pattern_tuple(
+                pattern_tuple, graph, to_record(row), evaluator, morphism
+            )
+
+        return match, names, slots
+
+    def _pattern_predicate(self, node):
+        match, _names, _slots = self._pattern_binder((node.pattern,))
+
+        def test(row):
+            return bool(match(row))
+
+        return test
+
+    def _exists_subquery(self, node):
+        match, names, slots = self._pattern_binder(tuple(node.pattern))
+        if node.where is None:
+
+            def exists(row):
+                return bool(match(row))
+
+            return exists
+        where = self.compile_predicate(node.where)
+
+        def exists_filtered(row):
+            matches = match(row)
+            if not matches:
+                return False
+            saved = [row[slot] for slot in slots]
+            try:
+                for bindings in matches:
+                    for name, slot in zip(names, slots):
+                        if name in bindings:
+                            row[slot] = bindings[name]
+                    if where(row):
+                        return True
+            finally:
+                for slot, value in zip(slots, saved):
+                    row[slot] = value
+            return False
+
+        return exists_filtered
+
+    def _pattern_comprehension(self, node):
+        match, names, slots = self._pattern_binder((node.pattern,))
+        where = (
+            self.compile_predicate(node.where)
+            if node.where is not None
+            else None
+        )
+        projection = self.compile(node.projection)
+
+        def comprehend(row):
+            matches = match(row)
+            result = []
+            if not matches:
+                return result
+            append = result.append
+            saved = [row[slot] for slot in slots]
+            try:
+                for bindings in matches:
+                    # dom(u') is the same for every match, so stale
+                    # values from the previous iteration never leak.
+                    for name, slot in zip(names, slots):
+                        if name in bindings:
+                            row[slot] = bindings[name]
+                    if where is not None and not where(row):
+                        continue
+                    append(projection(row))
+            finally:
+                for slot, value in zip(slots, saved):
+                    row[slot] = value
+            return result
+
+        return comprehend
+
+
 def _compare_once(operator, left, right):
     if operator == "=":
         return equals(left, right)
@@ -606,8 +865,10 @@ _COMPILERS = {
     ex.CountStar: ExpressionCompiler._count_star,
     ex.LabelPredicate: ExpressionCompiler._label_predicate,
     ex.CaseExpression: ExpressionCompiler._case,
-    # ListComprehension, PatternComprehension, PatternPredicate,
-    # QuantifiedPredicate and ExistsSubquery intentionally absent: they
-    # bind inner variables or re-enter the matcher, and run through the
-    # Evaluator fallback instead.
+    ex.ListComprehension: ExpressionCompiler._list_comprehension,
+    ex.QuantifiedPredicate: ExpressionCompiler._quantified,
+    ex.Reduce: ExpressionCompiler._reduce,
+    ex.PatternPredicate: ExpressionCompiler._pattern_predicate,
+    ex.ExistsSubquery: ExpressionCompiler._exists_subquery,
+    ex.PatternComprehension: ExpressionCompiler._pattern_comprehension,
 }

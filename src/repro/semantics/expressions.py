@@ -326,6 +326,20 @@ class Evaluator:
             return None
         return trues == 1
 
+    def _reduce(self, node, record):
+        source = self.evaluate(node.source, record)
+        if source is None:
+            return None
+        if not isinstance(source, list):
+            raise CypherTypeError("reduce() source must be a list")
+        accumulator = self.evaluate(node.init, record)
+        inner = dict(record)
+        for element in source:
+            inner[node.accumulator] = accumulator
+            inner[node.variable] = element
+            accumulator = self.evaluate(node.expression, inner)
+        return accumulator
+
     # -- patterns in expressions ------------------------------------------------------------
 
     def _pattern_predicate(self, node, record):
@@ -506,6 +520,7 @@ _DISPATCH = {
     ex.PatternComprehension: Evaluator._pattern_comprehension,
     ex.PatternPredicate: Evaluator._pattern_predicate,
     ex.QuantifiedPredicate: Evaluator._quantified,
+    ex.Reduce: Evaluator._reduce,
     ex.CaseExpression: Evaluator._case,
     ex.ExistsSubquery: Evaluator._exists_subquery,
 }

@@ -27,8 +27,7 @@ import itertools
 
 from repro.ast import patterns as pt
 from repro.ast.patterns import free_variables
-from repro.exceptions import CypherRuntimeError
-from repro.semantics.morphism import EDGE_ISOMORPHISM
+from repro.semantics.morphism import EDGE_ISOMORPHISM, UniquenessKernel
 from repro.values.base import NodeId, RelId
 from repro.values.comparison import equals
 from repro.values.path import Path
@@ -92,13 +91,17 @@ def _rel_binding_value(rho, rels):
 # ---------------------------------------------------------------------------
 
 class _MatchContext:
-    __slots__ = ("graph", "evaluator", "base_record", "morphism", "results", "free")
+    __slots__ = (
+        "graph", "evaluator", "base_record", "morphism", "kernel",
+        "results", "free",
+    )
 
     def __init__(self, graph, evaluator, base_record, morphism, free):
         self.graph = graph
         self.evaluator = evaluator
         self.base_record = base_record
         self.morphism = morphism
+        self.kernel = UniquenessKernel(morphism)
         self.results = []
         self.free = free
 
@@ -167,21 +170,10 @@ def _match_single_path(context, pattern, bound, used_rels):
         rho = rel_patterns[seg_index]
         chi_next = node_patterns[seg_index + 1]
         low, high = rho.resolved_range()
-        if high is None and not context.morphism.forbids_repeated_relationships:
-            cap = context.morphism.max_length
-            if cap is None:
-                raise CypherRuntimeError(
-                    "unbounded variable-length pattern under homomorphism "
-                    "needs Morphism.max_length (the paper's infinite-match "
-                    "example)"
-                )
-            high = cap
-        elif context.morphism.max_length is not None:
-            high = (
-                context.morphism.max_length
-                if high is None
-                else min(high, context.morphism.max_length)
-            )
+        # One home for the cap/max_length rules: the same kernel the
+        # planner's VarLengthExpand consults, so the two paths cannot
+        # drift (raises for unbounded homomorphism patterns).
+        high = context.kernel.traversal_cap(high)
 
         def walk(steps_taken, node, seg_rels, seg_nodes):
             if steps_taken >= low and _node_satisfies(

@@ -9,12 +9,19 @@ isomorphism instead; we implement all three.
 Under homomorphism an unbounded variable-length pattern can match
 infinitely many paths, so a traversal-length cap must be supplied —
 exactly the problem the paper describes.
+
+:class:`UniquenessKernel` packages the morphism's uniqueness rules as
+compiled clash checks over slotted rows, so the planner's Expand
+operators are parameterised by the morphism instead of hard-coding edge
+isomorphism; all three modes plan natively.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional
+
+from repro.values.base import NodeId, RelId
 
 EDGE = "edge-isomorphism"
 NODE = "node-isomorphism"
@@ -49,3 +56,112 @@ class Morphism:
 EDGE_ISOMORPHISM = Morphism(EDGE)
 NODE_ISOMORPHISM = Morphism(NODE)
 HOMOMORPHISM = Morphism(HOMOMORPHISM_MODE, max_length=16)
+
+
+class UniquenessKernel:
+    """Morphism-parameterised clash checks for slotted execution.
+
+    The planner compiles one kernel per execution; each Expand step asks
+    it for (a) a relationship clash check against earlier bindings, (b)
+    a node clash check against the chain's earlier nodes, and (c) the
+    effective traversal cap of a variable-length segment.  A ``None``
+    check means "nothing to enforce" and the operator skips the call
+    entirely, so e.g. homomorphism pays no per-row uniqueness cost.
+    """
+
+    __slots__ = ("morphism",)
+
+    def __init__(self, morphism):
+        self.morphism = morphism
+
+    def relationship_clash(self, slots):
+        """``(rel, row) -> bool`` against earlier bindings; None if moot.
+
+        ``slots`` index row positions holding relationships bound earlier
+        in the same MATCH — a single :class:`RelId` for rigid patterns, a
+        list for variable-length ones.
+        """
+        if not self.morphism.forbids_repeated_relationships or not slots:
+            return None
+        slots = tuple(slots)
+
+        def clashes(rel, row):
+            for slot in slots:
+                bound = row[slot]
+                if isinstance(bound, RelId):
+                    if bound == rel:
+                        return True
+                elif isinstance(bound, list):
+                    if rel in bound:
+                        return True
+            return False
+
+        return clashes
+
+    def node_clash(self, slots):
+        """``(node, row) -> bool`` against the chain's earlier nodes.
+
+        Node isomorphism is scoped to one path pattern (matching the
+        reference matcher, which tracks ``path_nodes`` per path), so
+        ``slots`` lists only the current chain's node variables.
+        """
+        if not self.morphism.forbids_repeated_nodes or not slots:
+            return None
+        slots = tuple(slots)
+
+        def clashes(node, row):
+            for slot in slots:
+                if row[slot] == node:
+                    return True
+            return False
+
+        return clashes
+
+    def visited_nodes(self, node_slots, segment_slots, row, other_end):
+        """All node ids the chain has traversed so far, from one row.
+
+        ``node_slots`` hold the chain's named (and hidden) node bindings;
+        ``segment_slots`` are ``(from_slot, rel_list_slot)`` pairs for
+        earlier variable-length segments, whose *intermediate* nodes are
+        not bound to any slot but are reconstructed by walking each
+        relationship from the segment's start (every traversed
+        relationship determines its far endpoint via ``other_end``).
+        """
+        visited = {
+            value
+            for value in (row[slot] for slot in node_slots)
+            if isinstance(value, NodeId)
+        }
+        for from_slot, rel_slot in segment_slots:
+            current = row[from_slot]
+            rels = row[rel_slot]
+            if not isinstance(current, NodeId) or not isinstance(rels, list):
+                continue
+            for rel in rels:
+                current = other_end(rel, current)
+                visited.add(current)
+        return visited
+
+    def traversal_cap(self, high):
+        """Effective step bound for a var-length segment with bound ``high``.
+
+        Mirrors the reference matcher: under a relationship-uniqueness
+        morphism the traversal is finite anyway, so ``max_length`` only
+        tightens an explicit bound; under homomorphism an unbounded
+        pattern *requires* ``max_length`` (the paper's infinite-match
+        example).  Raises :class:`CypherRuntimeError` in the latter case.
+        """
+        max_length = self.morphism.max_length
+        if high is None and not self.morphism.forbids_repeated_relationships:
+            if max_length is None:
+                from repro.exceptions import CypherRuntimeError
+
+                raise CypherRuntimeError(
+                    "unbounded variable-length pattern under homomorphism "
+                    "needs Morphism.max_length (the paper's infinite-match "
+                    "example)"
+                )
+            return max_length
+        if max_length is not None:
+            return max_length if high is None else min(high, max_length)
+        return high

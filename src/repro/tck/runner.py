@@ -218,6 +218,26 @@ def _map_matches(map_text, entity, graph, evaluator):
 # Execution
 # ---------------------------------------------------------------------------
 
+def _assert_read_coverage(query_text, result, label):
+    """Read queries must run slotted: fallback here is a coverage bug.
+
+    The planner covers the whole read language, so in auto mode only
+    updating queries may report ``executed_by == "interpreter"``.  This
+    turns every TCK scenario into a coverage regression tripwire.
+    """
+    from repro.parser import parse_query
+    from repro.runtime.engine import _is_updating
+
+    if result.executed_by == "planner":
+        return
+    if _is_updating(parse_query(query_text)):
+        return
+    raise AssertionError(
+        "%s: read query fell back to the interpreter (%s)"
+        % (label, result.fallback_reason)
+    )
+
+
 class TckRunner:
     """Executes parsed scenarios and raises AssertionError on mismatch."""
 
@@ -256,6 +276,8 @@ class TckRunner:
                 "%s: expected %s, none raised" % (label, scenario.expected_error)
             )
         result = engine.run(scenario.query, parameters=scenario.parameters)
+        if mode == "auto":
+            _assert_read_coverage(scenario.query, result, label)
         if scenario.expect_empty:
             assert len(result) == 0, (
                 "%s: expected empty result, got %d rows" % (label, len(result))

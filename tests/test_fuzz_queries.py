@@ -1,11 +1,13 @@
 """Grammar-driven query fuzzing: planner ≡ interpreter on generated queries.
 
 A hypothesis strategy assembles syntactically valid read queries —
-pattern shape, direction, labels, var-length ranges, WHERE predicates,
-projections with optional aggregation/DISTINCT/ORDER BY — and every
-generated query must produce the same bag on both execution paths over a
-fixed, structurally rich graph.  This widens the cross-check far beyond
-the hand-written corpus.
+pattern shape, direction, labels, var-length ranges, WHERE predicates
+(including quantifiers and comprehensions), named paths, projections
+with optional aggregation/DISTINCT/ORDER BY — and every generated query
+must produce the same bag on both execution paths over a fixed,
+structurally rich graph, under each of the three morphism modes.  Every
+planned run must also *report* the planner path: a fuzzed read query
+falling back to the interpreter is a coverage regression.
 """
 
 from hypothesis import given, settings
@@ -13,6 +15,17 @@ from hypothesis import strategies as st
 
 from repro import CypherEngine
 from repro.graph.builder import GraphBuilder
+from repro.semantics.morphism import (
+    EDGE_ISOMORPHISM,
+    HOMOMORPHISM,
+    NODE_ISOMORPHISM,
+)
+
+MORPHISMS = {
+    "edge": EDGE_ISOMORPHISM,
+    "node": NODE_ISOMORPHISM,
+    "homomorphism": HOMOMORPHISM,
+}
 
 
 def _fixture_graph():
@@ -153,6 +166,77 @@ def two_clause_queries(draw):
     )
 
 
+@st.composite
+def named_path_queries(draw):
+    """Named paths over rigid and variable-length chains."""
+    left, right = draw(direction)
+    rel_type = draw(type_part)
+    length = draw(st.sampled_from(["", "*1..2", "*0..1", "*2", "*1..3"]))
+    rel_body = rel_type + length
+    if rel_body:
+        rel = "%s[%s]%s" % (left, rel_body, right)
+    else:
+        rel = {("-", "->"): "-->", ("<-", "-"): "<--", ("-", "-"): "--"}[
+            (left, right)
+        ]
+    pattern = "p = (a%s)%s(b%s)" % (draw(label_part), rel, draw(label_part))
+    where = draw(
+        st.sampled_from(
+            [
+                "",
+                " WHERE length(p) >= 1",
+                " WHERE a.v > 1",
+                " WHERE all(x IN nodes(p) WHERE x.v >= 0)",
+            ]
+        )
+    )
+    projection = draw(
+        st.sampled_from(
+            [
+                "RETURN p",
+                "RETURN length(p) AS len",
+                "RETURN [x IN nodes(p) | x.v] AS vs",
+                "RETURN size(relationships(p)) AS m, a.v AS av",
+                "RETURN length(p) AS len, count(*) AS c",
+                "RETURN DISTINCT length(p) AS len ORDER BY len",
+            ]
+        )
+    )
+    return "MATCH %s%s %s" % (pattern, where, projection)
+
+
+@st.composite
+def comprehension_queries(draw):
+    """Quantifiers, list/pattern comprehensions and reduce()."""
+    pattern = "(a%s)-[:R|S]->(b%s)" % (draw(label_part), draw(label_part))
+    where = draw(
+        st.sampled_from(
+            [
+                "",
+                " WHERE all(x IN [a.v, b.v] WHERE x >= 0)",
+                " WHERE any(x IN [a.v, b.v] WHERE x > 2)",
+                " WHERE none(x IN [a.v] WHERE x > 3)",
+                " WHERE single(x IN [a.v, b.v] WHERE x = 1)",
+                " WHERE size([(a)-->(c) | c]) > 0",
+                " WHERE exists((a)-[:S]->(c) WHERE c.v > b.v)",
+            ]
+        )
+    )
+    projection = draw(
+        st.sampled_from(
+            [
+                "RETURN [x IN [1, 2, 3] WHERE x > a.v | x + b.v] AS xs",
+                "RETURN reduce(s = 0, x IN [a.v, b.v, 1] | s + x) AS total",
+                "RETURN [(b)-[r]->(c) | c.v] AS fanout, a.v AS av",
+                "RETURN size([x IN [a.v, b.v] WHERE x > 1]) AS n, count(*) AS c",
+                "RETURN reduce(s = a.v, x IN [1, 2] | s * x) AS product "
+                "ORDER BY product",
+            ]
+        )
+    )
+    return "MATCH %s%s %s" % (pattern, where, projection)
+
+
 class TestFuzzedQueries:
     @settings(max_examples=120, deadline=None)
     @given(query=match_queries())
@@ -194,3 +278,59 @@ class TestFuzzedQueries:
         original = raw.run(query, mode="interpreter")
         rewritten = rewriting.run(query, mode="interpreter")
         assert original.table.same_bag(rewritten.table), query
+
+    @settings(max_examples=100, deadline=None)
+    @given(query=named_path_queries())
+    def test_named_path_agreement(self, query):
+        engine = CypherEngine(GRAPH)
+        interpreted = engine.run(query, mode="interpreter")
+        planned = engine.run(query, mode="planner")
+        assert planned.executed_by == "planner", query
+        assert interpreted.table.same_bag(planned.table), query
+
+    @settings(max_examples=100, deadline=None)
+    @given(query=comprehension_queries())
+    def test_comprehension_agreement(self, query):
+        engine = CypherEngine(GRAPH)
+        interpreted = engine.run(query, mode="interpreter")
+        planned = engine.run(query, mode="planner")
+        assert planned.executed_by == "planner", query
+        assert interpreted.table.same_bag(planned.table), query
+
+
+class TestFuzzedMorphisms:
+    """Planner ≡ interpreter under every Section 8 morphism mode."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        query=match_queries(),
+        morphism=st.sampled_from(sorted(MORPHISMS)),
+    )
+    def test_match_agreement_under_all_morphisms(self, query, morphism):
+        engine = CypherEngine(GRAPH, morphism=MORPHISMS[morphism])
+        interpreted = engine.run(query, mode="interpreter")
+        planned = engine.run(query, mode="planner")
+        assert planned.executed_by == "planner", (morphism, query)
+        assert interpreted.table.same_bag(planned.table), (morphism, query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        query=named_path_queries(),
+        morphism=st.sampled_from(sorted(MORPHISMS)),
+    )
+    def test_named_path_agreement_under_all_morphisms(self, query, morphism):
+        engine = CypherEngine(GRAPH, morphism=MORPHISMS[morphism])
+        interpreted = engine.run(query, mode="interpreter")
+        planned = engine.run(query, mode="planner")
+        assert interpreted.table.same_bag(planned.table), (morphism, query)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        query=two_hop_queries(),
+        morphism=st.sampled_from(sorted(MORPHISMS)),
+    )
+    def test_two_hop_agreement_under_all_morphisms(self, query, morphism):
+        engine = CypherEngine(GRAPH, morphism=MORPHISMS[morphism])
+        interpreted = engine.run(query, mode="interpreter")
+        planned = engine.run(query, mode="planner")
+        assert interpreted.table.same_bag(planned.table), (morphism, query)

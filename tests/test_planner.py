@@ -105,15 +105,18 @@ class TestPlannerRefusals:
         with pytest.raises(UnsupportedFeature):
             plan(graph, "CREATE (a)")
 
-    def test_named_paths_unsupported(self):
+    def test_named_paths_plan_natively(self):
         graph = MemoryGraph()
-        with pytest.raises(UnsupportedFeature):
-            plan(graph, "MATCH p = (a)-->(b) RETURN p")
+        root = plan(graph, "MATCH p = (a)-->(b) RETURN p")
+        assert "ProjectPath" in operators(root)
 
-    def test_node_isomorphism_unsupported(self):
+    def test_node_isomorphism_plans_natively(self):
         graph = MemoryGraph()
-        with pytest.raises(UnsupportedFeature):
-            plan(graph, "MATCH (a) RETURN a", morphism=NODE_ISOMORPHISM)
+        root = plan(graph, "MATCH (a)-->(b) RETURN a", morphism=NODE_ISOMORPHISM)
+        expand = [
+            op for op in _walk_ops(root) if type(op).__name__ == "Expand"
+        ][0]
+        assert expand.unique_nodes  # the chain's earlier nodes are enforced
 
     def test_graph_clauses_unsupported(self):
         graph = MemoryGraph()
