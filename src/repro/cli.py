@@ -32,6 +32,16 @@ from repro.graph.store import MemoryGraph
 from repro.runtime.engine import CypherEngine
 
 
+def _cache_line(cache_info):
+    """One-line plan-cache report for the explain outputs."""
+    rate = cache_info["hit_rate"]
+    return "plan cache: %d hit(s), %d miss(es)%s" % (
+        cache_info["hits"],
+        cache_info["misses"],
+        "" if rate is None else " (hit rate %.0f%%)" % (rate * 100),
+    )
+
+
 class Shell:
     """The REPL state machine; testable without a terminal."""
 
@@ -77,8 +87,8 @@ class Shell:
                 self.write("usage: :explain <query>")
                 return
             try:
-                executed_by, reason, plan_text = self.engine.explain_info(
-                    argument
+                executed_by, reason, plan_text, cache_info = (
+                    self.engine.explain_info(argument)
                 )
             except CypherError as error:
                 self.write("error: %s" % error)
@@ -88,6 +98,7 @@ class Shell:
                 self.write("fallback reason: %s" % reason)
             if plan_text:
                 self.write(plan_text)
+            self.write(_cache_line(cache_info))
         elif command == ":save":
             if not argument:
                 self.write("usage: :save <path>")
@@ -243,7 +254,9 @@ def explain_main(argv=None):
     graph = load_json(arguments.graph) if arguments.graph else MemoryGraph()
     engine = CypherEngine(graph)
     try:
-        executed_by, reason, plan_text = engine.explain_info(arguments.query)
+        executed_by, reason, plan_text, cache_info = engine.explain_info(
+            arguments.query
+        )
     except CypherError as error:
         print("error: %s" % error, file=sys.stderr)
         return 1
@@ -252,6 +265,7 @@ def explain_main(argv=None):
         print("fallback reason: %s" % reason)
     if plan_text:
         print(plan_text)
+    print(_cache_line(cache_info))
     return 0
 
 

@@ -45,6 +45,14 @@ class PropertyGraph:
         """``λ(n)`` — the (possibly empty) set of labels of a node."""
         raise NotImplementedError
 
+    def has_label(self, node_id, label):
+        """``label ∈ λ(n)``; stores override with an O(1) membership test."""
+        return label in self.labels(node_id)
+
+    def node_property(self, node_id, key):
+        """``ι(node, key)`` for a node; stores may shortcut the dispatch."""
+        return self.property_value(node_id, key)
+
     def rel_type(self, rel_id):
         """``τ(r)`` — the single type of a relationship."""
         raise NotImplementedError

@@ -32,14 +32,40 @@ because ids are allocated monotonically and appends happen at creation
 time; type-filtered iteration over several segments merges them back
 into id order, which keeps enumeration order identical to filtering the
 full list.
+
+Write transactions (added for the slotted write pipeline):
+
+* :meth:`write_transaction` returns a :class:`StoreTransaction`, the
+  single mutation kernel both the planner's physical write operators and
+  the reference ``updates/executor.py`` drive;
+* inside a transaction, creates and property/label changes apply to the
+  live structures immediately (clause-level snapshot isolation is the
+  planner's ``Eager`` barrier's job, and the interpreter materialises
+  its driving tables anyway) but *without* bumping the store version;
+* deletes accumulate in a change buffer with deferred visibility — the
+  entities stay readable until :meth:`StoreTransaction.flush`, which
+  deduplicates across driving rows and removes relationships before
+  nodes (non-DETACH violations are checked only after the same flush's
+  relationship deletes have landed, exactly like the reference
+  executor's two-phase delete);
+* :meth:`StoreTransaction.commit` flushes and then bumps the version
+  exactly once per transaction, which is what invalidates the
+  version-keyed scan caches here and the statistics snapshots in
+  :mod:`repro.planner.cost` — a bulk CREATE of 10k nodes costs one
+  invalidation, not 10k.
 """
 
 from __future__ import annotations
 
-from repro.exceptions import ConstraintViolation, EntityNotFound
+from repro.exceptions import (
+    ConstraintViolation,
+    CypherTypeError,
+    EntityNotFound,
+)
 from repro.graph.model import PropertyGraph
 from repro.values.base import NodeId, RelId
 from repro.values.base import is_cypher_value
+from repro.values.path import Path
 
 
 def _id_value(identifier):
@@ -91,6 +117,20 @@ class MemoryGraph(PropertyGraph):
     def labels(self, node_id):
         try:
             return frozenset(self._node_labels[node_id])
+        except KeyError:
+            raise EntityNotFound("no node %r in graph" % (node_id,))
+
+    def has_label(self, node_id, label):
+        """``label ∈ λ(n)`` without materialising the label set."""
+        labels = self._node_labels.get(node_id)
+        if labels is None:
+            raise EntityNotFound("no node %r in graph" % (node_id,))
+        return label in labels
+
+    def node_property(self, node_id, key):
+        """``ι(node, key)`` on the O(1) node-property path (hot scans)."""
+        try:
+            return self._node_properties[node_id].get(key)
         except KeyError:
             raise EntityNotFound("no node %r in graph" % (node_id,))
 
@@ -164,43 +204,103 @@ class MemoryGraph(PropertyGraph):
 
     # ------------------------------------------------------------------
     # Mutation
+    #
+    # Every public mutator is "bump the version, then apply" — the
+    # unversioned ``_raw`` halves are shared with :class:`StoreTransaction`,
+    # which batches the bump into a single commit.
     # ------------------------------------------------------------------
+
+    def write_transaction(self):
+        """A :class:`StoreTransaction` over this graph (one per statement)."""
+        return StoreTransaction(self)
 
     def create_node(self, labels=(), properties=None):
         """Add a node; returns its fresh :class:`NodeId`."""
         self._version += 1
+        return self._create_node_raw(labels, properties)
+
+    def _create_node_raw(self, labels, properties):
+        # Adjacency entries are created lazily on the first incident
+        # relationship (readers all .get() with a default), so a bulk
+        # node load pays two dict inserts per node, not six.
+        # Properties validate before anything lands: a rejected value
+        # must not leave a phantom half-node behind.
+        validated = _validated_properties(properties)
         node_id = NodeId(self._next_node_id)
         self._next_node_id += 1
         label_set = set(labels)
         self._node_labels[node_id] = label_set
-        self._node_properties[node_id] = _validated_properties(properties)
-        self._outgoing[node_id] = []
-        self._incoming[node_id] = []
-        self._outgoing_by_type[node_id] = {}
-        self._incoming_by_type[node_id] = {}
+        self._node_properties[node_id] = validated
         for label in label_set:
             self._label_index.setdefault(label, set()).add(node_id)
+            self._note_scan_insert("label", label, node_id)
         return node_id
+
+    def _create_nodes_bulk_raw(self, labels, properties_list, ids):
+        """Create one node per property dict, sharing a label tuple.
+
+        The change buffer's bulk flush: per-node call layers and the
+        per-create label-index/scan-cache maintenance are hoisted out of
+        the loop (index sets take one ``update``, warm scan lists one
+        ``extend``).  Ids are allocated in list order, exactly as the
+        per-row path would.  A validation failure mid-batch leaves the
+        nodes before it fully created — properties validate before that
+        node's entries land, the id counter is written back per node,
+        and the ``finally`` indexes whatever prefix exists — matching
+        the per-row path's partial-failure state.  ``ids`` is the
+        caller's output list, appended in creation order even when a
+        later row raises, so the transaction's accounting stays exact.
+        """
+        node_labels = self._node_labels
+        node_properties = self._node_properties
+        append = ids.append
+        try:
+            for properties in properties_list:
+                validated = _validated_properties(properties)  # may raise
+                node_id = NodeId(self._next_node_id)
+                self._next_node_id += 1
+                node_labels[node_id] = set(labels)
+                node_properties[node_id] = validated
+                append(node_id)
+        finally:
+            for label in labels:
+                self._label_index.setdefault(label, set()).update(ids)
+                cached = self._scan_cache.get(("label", label))
+                if cached is not None:
+                    if cached[0] == self._version:
+                        cached[1].extend(ids)
+                    else:
+                        del self._scan_cache[("label", label)]
+        return ids
 
     def create_relationship(self, src, tgt, rel_type, properties=None):
         """Add a relationship from ``src`` to ``tgt``; returns its id."""
         self._version += 1
+        return self._create_relationship_raw(src, tgt, rel_type, properties)
+
+    def _create_relationship_raw(self, src, tgt, rel_type, properties):
         if src not in self._node_labels:
             raise EntityNotFound("source node %r not in graph" % (src,))
         if tgt not in self._node_labels:
             raise EntityNotFound("target node %r not in graph" % (tgt,))
         if not isinstance(rel_type, str) or not rel_type:
             raise ValueError("relationship type must be a non-empty string")
+        validated = _validated_properties(properties)
         rel_id = RelId(self._next_rel_id)
         self._next_rel_id += 1
         self._rel_endpoints[rel_id] = (src, tgt)
         self._rel_types[rel_id] = rel_type
-        self._rel_properties[rel_id] = _validated_properties(properties)
-        self._outgoing[src].append(rel_id)
-        self._incoming[tgt].append(rel_id)
-        self._outgoing_by_type[src].setdefault(rel_type, []).append(rel_id)
-        self._incoming_by_type[tgt].setdefault(rel_type, []).append(rel_id)
+        self._rel_properties[rel_id] = validated
+        self._outgoing.setdefault(src, []).append(rel_id)
+        self._incoming.setdefault(tgt, []).append(rel_id)
+        self._outgoing_by_type.setdefault(src, {}).setdefault(
+            rel_type, []
+        ).append(rel_id)
+        self._incoming_by_type.setdefault(tgt, {}).setdefault(
+            rel_type, []
+        ).append(rel_id)
         self._type_index.setdefault(rel_type, set()).add(rel_id)
+        self._note_scan_insert("type", rel_type, rel_id)
         return rel_id
 
     def adopt_node(self, node_id, labels=(), properties=None):
@@ -217,9 +317,10 @@ class MemoryGraph(PropertyGraph):
             raise TypeError("adopt_node expects a NodeId, got %r" % (node_id,))
         if node_id in self._node_labels:
             raise ValueError("node %r already exists" % (node_id,))
+        validated = _validated_properties(properties)
         label_set = set(labels)
         self._node_labels[node_id] = label_set
-        self._node_properties[node_id] = _validated_properties(properties)
+        self._node_properties[node_id] = validated
         self._outgoing[node_id] = []
         self._incoming[node_id] = []
         self._outgoing_by_type[node_id] = {}
@@ -237,12 +338,17 @@ class MemoryGraph(PropertyGraph):
         well-formedness of src/tgt).
         """
         self._version += 1
+        self._delete_node_raw(node_id, detach)
+
+    def _delete_node_raw(self, node_id, detach):
         if node_id not in self._node_labels:
             raise EntityNotFound("no node %r in graph" % (node_id,))
-        outgoing = self._outgoing[node_id]
+        outgoing = self._outgoing.get(node_id, ())
         outgoing_set = set(outgoing)
         incident = list(outgoing) + [
-            rel for rel in self._incoming[node_id] if rel not in outgoing_set
+            rel
+            for rel in self._incoming.get(node_id, ())
+            if rel not in outgoing_set
         ]
         if incident and not detach:
             raise ConstraintViolation(
@@ -251,18 +357,22 @@ class MemoryGraph(PropertyGraph):
             )
         for rel in incident:
             if rel in self._rel_endpoints:
-                self.delete_relationship(rel)
+                self._delete_relationship_raw(rel)
         for label in self._node_labels[node_id]:
             self._label_index[label].discard(node_id)
+            self._scan_cache.pop(("label", label), None)
         del self._node_labels[node_id]
         del self._node_properties[node_id]
-        del self._outgoing[node_id]
-        del self._incoming[node_id]
-        del self._outgoing_by_type[node_id]
-        del self._incoming_by_type[node_id]
+        self._outgoing.pop(node_id, None)
+        self._incoming.pop(node_id, None)
+        self._outgoing_by_type.pop(node_id, None)
+        self._incoming_by_type.pop(node_id, None)
 
     def delete_relationship(self, rel_id):
         self._version += 1
+        self._delete_relationship_raw(rel_id)
+
+    def _delete_relationship_raw(self, rel_id):
         if rel_id not in self._rel_endpoints:
             raise EntityNotFound("no relationship %r in graph" % (rel_id,))
         source, target = self._rel_endpoints[rel_id]
@@ -272,6 +382,7 @@ class MemoryGraph(PropertyGraph):
         self._remove_from_segment(self._outgoing_by_type, source, rel_type, rel_id)
         self._remove_from_segment(self._incoming_by_type, target, rel_type, rel_id)
         self._type_index[rel_type].discard(rel_id)
+        self._scan_cache.pop(("type", rel_type), None)
         del self._rel_endpoints[rel_id]
         del self._rel_types[rel_id]
         del self._rel_properties[rel_id]
@@ -279,6 +390,9 @@ class MemoryGraph(PropertyGraph):
     def set_property(self, entity_id, key, value):
         """Set ι(entity, key); setting to null removes the property."""
         self._version += 1
+        self._set_property_raw(entity_id, key, value)
+
+    def _set_property_raw(self, entity_id, key, value):
         props = self._property_map(entity_id)
         if value is None:
             props.pop(key, None)
@@ -289,11 +403,17 @@ class MemoryGraph(PropertyGraph):
 
     def remove_property(self, entity_id, key):
         self._version += 1
+        self._remove_property_raw(entity_id, key)
+
+    def _remove_property_raw(self, entity_id, key):
         self._property_map(entity_id).pop(key, None)
 
     def replace_properties(self, entity_id, properties):
         """SET n = {map}: replace the whole property map."""
         self._version += 1
+        self._replace_properties_raw(entity_id, properties)
+
+    def _replace_properties_raw(self, entity_id, properties):
         props = self._property_map(entity_id)
         props.clear()
         for key, value in _validated_properties(properties).items():
@@ -302,6 +422,9 @@ class MemoryGraph(PropertyGraph):
     def merge_properties(self, entity_id, properties):
         """SET n += {map}: upsert keys; null values remove keys."""
         self._version += 1
+        self._merge_properties_raw(entity_id, properties)
+
+    def _merge_properties_raw(self, entity_id, properties):
         props = self._property_map(entity_id)
         for key, value in (properties or {}).items():
             if value is None:
@@ -313,18 +436,26 @@ class MemoryGraph(PropertyGraph):
 
     def add_label(self, node_id, label):
         self._version += 1
+        self._add_label_raw(node_id, label)
+
+    def _add_label_raw(self, node_id, label):
         if node_id not in self._node_labels:
             raise EntityNotFound("no node %r in graph" % (node_id,))
         self._node_labels[node_id].add(label)
         self._label_index.setdefault(label, set()).add(node_id)
+        self._scan_cache.pop(("label", label), None)
 
     def remove_label(self, node_id, label):
         self._version += 1
+        self._remove_label_raw(node_id, label)
+
+    def _remove_label_raw(self, node_id, label):
         if node_id not in self._node_labels:
             raise EntityNotFound("no node %r in graph" % (node_id,))
         self._node_labels[node_id].discard(label)
         if label in self._label_index:
             self._label_index[label].discard(node_id)
+        self._scan_cache.pop(("label", label), None)
 
     # ------------------------------------------------------------------
     # Whole-graph operations
@@ -423,6 +554,25 @@ class MemoryGraph(PropertyGraph):
         if not segment:
             del segments[rel_type]
 
+    def _note_scan_insert(self, kind, name, entity_id):
+        """Keep a warm scan list valid across an in-transaction create.
+
+        Ids are allocated monotonically, so a freshly created entity
+        always sorts after everything in the cached list — appending
+        preserves the order.  Without this, every create inside a write
+        transaction (where the version stays put) would force the next
+        label/type scan to re-sort from the inverted index, which turns
+        MERGE upserts quadratic.  Deletes and label changes still evict
+        (removal can hit the middle of the list).
+        """
+        cached = self._scan_cache.get((kind, name))
+        if cached is None:
+            return
+        if cached[0] == self._version:
+            cached[1].append(entity_id)
+        else:
+            del self._scan_cache[(kind, name)]
+
     def _cached_scan(self, kind, name):
         """Sorted id list for a label/type scan, memoised per version."""
         key = (kind, name)
@@ -456,9 +606,240 @@ class MemoryGraph(PropertyGraph):
         raise TypeError("expected a NodeId or RelId, got %r" % (entity_id,))
 
 
+class StoreTransaction:
+    """The single mutation kernel: a change-buffered write transaction.
+
+    Both execution paths drive one of these — the planner's physical
+    write operators open one per statement, the reference executor one
+    per update clause — so Cypher's update semantics lives in exactly
+    one place:
+
+    * **creates and property/label changes** land in the live structures
+      immediately (snapshot isolation against the statement's own reads
+      is the ``Eager`` barrier's job), but the store version stays put;
+    * **deletes** are buffered with deferred visibility: the entities
+      remain readable while the clause is still collecting them, and
+      :meth:`flush` then removes relationships before nodes, raising
+      :class:`ConstraintViolation` for a non-DETACH delete of a node
+      whose degree is still positive *after* the same flush's
+      relationship deletes — the reference executor's two-phase order;
+    * **commit** flushes and bumps the version exactly once (when
+      anything changed), so statistics snapshots and scan caches are
+      invalidated per statement, not per mutation.
+
+    :meth:`abandon` finalises after an error: already-applied changes
+    stay (matching the interpreter's partial-failure behaviour — the
+    engine's schema snapshot handles real rollback) and the version is
+    still bumped so no cache survives a half-applied statement.
+    """
+
+    __slots__ = (
+        "_graph",
+        "_pending_rel_deletes",
+        "_pending_node_deletes",
+        "_closed",
+        "nodes_created",
+        "relationships_created",
+        "nodes_deleted",
+        "relationships_deleted",
+        "properties_set",
+        "labels_changed",
+    )
+
+    def __init__(self, graph):
+        self._graph = graph
+        self._pending_rel_deletes = {}   # RelId -> None (an ordered set)
+        self._pending_node_deletes = {}  # NodeId -> bool (detach)
+        self._closed = False
+        self.nodes_created = 0
+        self.relationships_created = 0
+        self.nodes_deleted = 0
+        self.relationships_deleted = 0
+        self.properties_set = 0
+        self.labels_changed = 0
+
+    # -- creates (immediate, unversioned) -----------------------------------
+
+    def create_node(self, labels=(), properties=None):
+        node = self._graph._create_node_raw(labels, properties)
+        self.nodes_created += 1
+        return node
+
+    def create_nodes(self, labels, properties_list):
+        """Bulk-create one node per property dict; returns ids in order."""
+        ids = []
+        try:
+            self._graph._create_nodes_bulk_raw(labels, properties_list, ids)
+        finally:
+            self.nodes_created += len(ids)
+        return ids
+
+    def create_relationship(self, src, tgt, rel_type, properties=None):
+        rel = self._graph._create_relationship_raw(
+            src, tgt, rel_type, properties
+        )
+        self.relationships_created += 1
+        return rel
+
+    # -- property and label changes (immediate, unversioned) ----------------
+
+    def set_property(self, entity_id, key, value):
+        self._graph._set_property_raw(entity_id, key, value)
+        self.properties_set += 1
+
+    def remove_property(self, entity_id, key):
+        self._graph._remove_property_raw(entity_id, key)
+        self.properties_set += 1
+
+    def replace_properties(self, entity_id, properties):
+        self._graph._replace_properties_raw(entity_id, properties)
+        self.properties_set += 1
+
+    def merge_properties(self, entity_id, properties):
+        self._graph._merge_properties_raw(entity_id, properties)
+        self.properties_set += 1
+
+    def add_label(self, node_id, label):
+        self._graph._add_label_raw(node_id, label)
+        self.labels_changed += 1
+
+    def remove_label(self, node_id, label):
+        self._graph._remove_label_raw(node_id, label)
+        self.labels_changed += 1
+
+    # -- deletes (buffered until flush) --------------------------------------
+
+    def delete_node(self, node_id, detach=False):
+        """Buffer a node delete; ``detach`` upgrades an earlier buffering."""
+        self._pending_node_deletes[node_id] = (
+            detach or self._pending_node_deletes.get(node_id, False)
+        )
+
+    def delete_relationship(self, rel_id):
+        self._pending_rel_deletes[rel_id] = None
+
+    def delete_value(self, value, detach=False):
+        """Buffer everything a DELETE expression value denotes.
+
+        Nodes, relationships, paths (all their elements) and lists
+        (recursively); null is a no-op; anything else is a type error —
+        the reference executor's collection rules.
+        """
+        if value is None:
+            return
+        if isinstance(value, NodeId):
+            self.delete_node(value, detach)
+        elif isinstance(value, RelId):
+            self.delete_relationship(value)
+        elif isinstance(value, Path):
+            for rel in value.relationships:
+                self.delete_relationship(rel)
+            for node in value.nodes:
+                self.delete_node(node, detach)
+        elif isinstance(value, list):
+            for item in value:
+                self.delete_value(item, detach)
+        else:
+            raise CypherTypeError("cannot DELETE %r" % (value,))
+
+    def flush(self):
+        """Apply the buffered deletes: relationships first, then nodes.
+
+        Double deletes (the same entity collected from several rows, or
+        a relationship both named and implied by a DETACH) collapse
+        silently; a non-DETACH node delete checks the degree only after
+        this flush's relationship deletes, so deleting a node together
+        with all its relationships needs no DETACH.
+        """
+        graph = self._graph
+        rels, self._pending_rel_deletes = self._pending_rel_deletes, {}
+        nodes, self._pending_node_deletes = self._pending_node_deletes, {}
+        for rel in rels:
+            if graph.has_relationship(rel):
+                graph._delete_relationship_raw(rel)
+                self.relationships_deleted += 1
+        for node, detach in nodes.items():
+            if not graph.has_node(node):
+                continue
+            if not detach and graph.degree(node) > 0:
+                raise ConstraintViolation(
+                    "cannot delete node %r: it still has relationships; "
+                    "use DETACH DELETE" % (node,)
+                )
+            incident = set(graph._outgoing.get(node, ()))
+            incident.update(graph._incoming.get(node, ()))
+            self.relationships_deleted += len(incident)
+            graph._delete_node_raw(node, detach=True)
+            self.nodes_deleted += 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def changed(self):
+        """True once any mutation has been applied to the store."""
+        return bool(
+            self.nodes_created
+            or self.relationships_created
+            or self.nodes_deleted
+            or self.relationships_deleted
+            or self.properties_set
+            or self.labels_changed
+        )
+
+    def commit(self):
+        """Flush pending deletes, then bump the version exactly once."""
+        self.flush()
+        self._finalize()
+        return self
+
+    def abandon(self):
+        """Finalise after an error: drop pending deletes, keep the bump."""
+        self._pending_rel_deletes = {}
+        self._pending_node_deletes = {}
+        self._finalize()
+        return self
+
+    def _finalize(self):
+        if self._closed:
+            return
+        self._closed = True
+        if self.changed:
+            graph = self._graph
+            graph._version += 1
+            graph._scan_cache.clear()
+
+    def __repr__(self):
+        return (
+            "StoreTransaction(+%dn +%dr -%dn -%dr props=%d labels=%d%s)"
+            % (
+                self.nodes_created,
+                self.relationships_created,
+                self.nodes_deleted,
+                self.relationships_deleted,
+                self.properties_set,
+                self.labels_changed,
+                " closed" if self._closed else "",
+            )
+        )
+
+
 def _validated_properties(properties):
+    if not properties:
+        return {}
     result = {}
-    for key, value in (properties or {}).items():
+    for key, value in properties.items():
+        if type(key) is str:
+            value_type = type(value)
+            if (
+                value_type is int
+                or value_type is str
+                or value_type is float
+                or value_type is bool
+            ):
+                # The scalar majority skips the recursive check — this
+                # runs once per stored property on every write path.
+                result[key] = value
+                continue
         if not isinstance(key, str):
             raise ValueError("property keys must be strings, got %r" % (key,))
         if value is None:

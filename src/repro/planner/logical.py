@@ -372,6 +372,159 @@ class OptionalApply(Operator):
 
 
 @dataclass(frozen=True)
+class Eager(Operator):
+    """Barrier: fully materialise the child before yielding anything.
+
+    Cypher's snapshot semantics — a clause's writes must not be visible
+    to that clause's own reads — is trivially satisfied by the reference
+    interpreter (it materialises every driving table), but the slotted
+    pipeline streams rows lazily.  The planner therefore places an Eager
+    in front of every updating operator, so the scans and expands
+    upstream finish reading the pre-clause snapshot before the first
+    write lands.  (The write operators additionally settle *all* their
+    writes before emitting rows, acting as the downstream half of the
+    same barrier.)
+    """
+
+    child: Operator
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Eager"
+
+    def _children(self):
+        return (self.child,)
+
+
+def _pattern_names(patterns):
+    """The visible variables a pattern tuple binds, for describe lines."""
+    from repro.ast.patterns import free_variables
+
+    return ", ".join(free_variables(patterns))
+
+
+@dataclass(frozen=True)
+class CreatePattern(Operator):
+    """Instantiate rigid CREATE patterns once per driving row."""
+
+    child: Operator
+    patterns: Tuple[object, ...]  # patterns.PathPattern (validated rigid)
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Create({})".format(_pattern_names(self.patterns))
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class MergePattern(Operator):
+    """MERGE: per row, bind every match of ``inner`` or create ``pattern``.
+
+    ``inner`` is a compiled match subplan over the merge pattern (leaf
+    :class:`Argument`), exactly like :class:`OptionalApply`'s inner —
+    it re-reads the live store per driving row, so a MERGE observes the
+    rows an earlier row of the same clause created (Neo4j's documented
+    behaviour).  ``on_create`` / ``on_match`` carry the SET items.
+    """
+
+    child: Operator
+    pattern: object           # patterns.PathPattern (validated rigid)
+    inner: Operator
+    on_create: Tuple[object, ...] = ()
+    on_match: Tuple[object, ...] = ()
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "Merge({})".format(_pattern_names((self.pattern,)))
+
+    def _children(self):
+        return (self.child, self.inner)
+
+
+def _set_item_names(items):
+    from repro.ast import clauses as cl
+    from repro.ast.printer import print_expression
+
+    parts = []
+    for item in items:
+        if isinstance(item, cl.SetProperty):
+            parts.append(
+                "%s.%s" % (print_expression(item.subject), item.key)
+            )
+        elif isinstance(item, cl.SetVariable):
+            parts.append("%s %s= ..." % (item.name, "+" if item.merge else ""))
+        elif isinstance(item, cl.SetLabels):
+            parts.append(item.name + "".join(":" + l for l in item.labels))
+        elif isinstance(item, cl.RemoveProperty):
+            parts.append(
+                "%s.%s" % (print_expression(item.subject), item.key)
+            )
+        elif isinstance(item, cl.RemoveLabels):
+            parts.append(item.name + "".join(":" + l for l in item.labels))
+        else:
+            parts.append(repr(item))
+    return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class SetProperties(Operator):
+    """Apply SET items (property / map / label writes) once per row."""
+
+    child: Operator
+    items: Tuple[object, ...]  # SetProperty | SetVariable | SetLabels
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "SetProperties({})".format(_set_item_names(self.items))
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class RemoveItems(Operator):
+    """Apply REMOVE items (property / label removals) once per row."""
+
+    child: Operator
+    items: Tuple[object, ...]  # RemoveProperty | RemoveLabels
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        return "RemoveItems({})".format(_set_item_names(self.items))
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class DeleteEntities(Operator):
+    """Collect DELETE expression values over all rows, then delete.
+
+    The deletions land in the store transaction's change buffer and are
+    flushed once after the last row — relationships before nodes, the
+    same two-phase order as the reference executor.
+    """
+
+    child: Operator
+    expressions: Tuple[object, ...]
+    detach: bool = False
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        from repro.ast.printer import print_expression
+
+        return "{}Delete({})".format(
+            "Detach" if self.detach else "",
+            ", ".join(print_expression(e) for e in self.expressions),
+        )
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
 class Union(Operator):
     left: Operator
     right: Operator

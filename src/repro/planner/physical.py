@@ -28,9 +28,14 @@ query class the planner accepts.
 
 from __future__ import annotations
 
+from repro.ast import clauses as cl
 from repro.ast import expressions as ex
 from repro.ast import patterns as pt
-from repro.exceptions import CypherRuntimeError
+from repro.exceptions import (
+    CypherRuntimeError,
+    CypherSemanticError,
+    CypherTypeError,
+)
 from repro.planner import logical as lg
 from repro.planner.slots import SlotMap
 from repro.semantics.compile import MISSING, ExpressionCompiler
@@ -56,6 +61,7 @@ class ExecutionContext:
         self.kernel = UniquenessKernel(self.evaluator.morphism)
         self.slots = slots if slots is not None else SlotMap()
         self.compiler = ExpressionCompiler(self.evaluator, self.slots)
+        self._transaction = None
 
     def compile(self, expression):
         """Compile an expression to a ``slot_row -> value`` closure."""
@@ -65,21 +71,47 @@ class ExecutionContext:
         """Compile a WHERE predicate to a strict ``slot_row -> bool``."""
         return self.compiler.compile_predicate(expression)
 
+    def transaction(self):
+        """The execution's store transaction (opened on first write op).
+
+        All write operators of one execution share it, so the version
+        bump and cache invalidation happen exactly once per statement,
+        at :func:`execute_plan`'s commit.
+        """
+        if self._transaction is None:
+            self._transaction = self.graph.write_transaction()
+        return self._transaction
+
 
 def execute_plan(plan, graph, parameters=None, functions=None, morphism=None):
-    """Run a logical plan to completion; returns a Table over its fields."""
+    """Run a logical plan to completion; returns a Table over its fields.
+
+    If the plan contains write operators, their shared store transaction
+    commits after the last row (single version bump); an error mid-way
+    finalises the transaction instead, so already-applied changes are
+    still accounted for — matching the reference executor's
+    partial-failure behaviour (real rollback is the engine's schema
+    snapshot).
+    """
     slots = SlotMap.from_plan(plan)
     context = ExecutionContext(graph, parameters, functions, morphism, slots)
     source = _compile(plan, context)
     fields = plan.fields
     field_slots = [slots[field] for field in fields]
     rows = []
-    for row in source(None):
-        record = {}
-        for field, slot in zip(fields, field_slots):
-            value = row[slot]
-            record[field] = None if value is MISSING else value
-        rows.append(record)
+    try:
+        for row in source(None):
+            record = {}
+            for field, slot in zip(fields, field_slots):
+                value = row[slot]
+                record[field] = None if value is MISSING else value
+            rows.append(record)
+    except BaseException:
+        if context._transaction is not None:
+            context._transaction.abandon()
+        raise
+    if context._transaction is not None:
+        context._transaction.commit()
     return Table(fields, rows)
 
 
@@ -110,26 +142,43 @@ def _compile_argument(op, ctx):
 
 # -- shared pattern-element checks ------------------------------------------
 
-def _compile_node_ok(ctx, node_pattern):
-    """Label-and-property check for a node pattern; None when trivial."""
-    labels = tuple(node_pattern.labels)
+def _compile_node_ok(ctx, node_pattern, granted_label=None):
+    """Label-and-property check for a node pattern; None when trivial.
+
+    ``granted_label`` names a label the caller already guarantees (a
+    NodeByLabelScan's entry label) so it is not re-checked per
+    candidate.  Equality against int/str/bool pattern values skips the
+    generic three-valued ``equals`` — those types compare natively and
+    this predicate runs once per scanned candidate.
+    """
+    labels = tuple(
+        label for label in node_pattern.labels if label != granted_label
+    )
     properties = tuple(
         (key, ctx.compile(expression))
         for key, expression in node_pattern.properties
     )
     if not labels and not properties:
         return None
-    graph_labels = ctx.graph.labels
-    property_value = ctx.graph.property_value
+    has_label = ctx.graph.has_label
+    node_property = ctx.graph.node_property
 
     def ok(node, row):
-        if labels:
-            node_labels = graph_labels(node)
-            for label in labels:
-                if label not in node_labels:
-                    return False
+        for label in labels:
+            if not has_label(node, label):
+                return False
         for key, compiled in properties:
-            if equals(property_value(node, key), compiled(row)) is not True:
+            actual = node_property(node, key)
+            expected = compiled(row)
+            actual_type = type(actual)
+            if actual_type is type(expected) and (
+                actual_type is int
+                or actual_type is str
+                or actual_type is bool
+            ):
+                if actual != expected:
+                    return False
+            elif equals(actual, expected) is not True:
                 return False
         return True
 
@@ -255,7 +304,7 @@ def _compile_label_scan(op, ctx):
     nodes_with_label = ctx.graph.nodes_with_label
     label = op.label
     slot = ctx.slots[op.variable]
-    ok = _compile_node_ok(ctx, op.node_pattern)
+    ok = _compile_node_ok(ctx, op.node_pattern, granted_label=label)
 
     def run(argument):
         for row in child(argument):
@@ -765,6 +814,394 @@ def _compile_union(op, ctx):
     return run
 
 
+# -- write operators ---------------------------------------------------------
+#
+# All mutation flows through the execution's shared StoreTransaction
+# (the same kernel the reference executor drives).  Every write operator
+# consumes its whole input and settles its writes before emitting the
+# first output row: together with the Eager barrier the planner puts in
+# front of it, that gives Cypher's snapshot semantics — the clause's
+# reads never observe the clause's own writes, while *later* clauses
+# (and later rows of the same MERGE) do.
+
+
+def _compile_eager(op, ctx):
+    child = _compile(op.child, ctx)
+
+    def run(argument):
+        for row in list(child(argument)):
+            yield row
+
+    return run
+
+
+def _compile_node_spec(ctx, chi, merge):
+    """``row -> NodeId`` for one CREATE/MERGE node pattern.
+
+    A bound variable is reused: CREATE insists it carries no extra
+    labels or properties, MERGE takes it as-is (the match subplan
+    already vetted it).  Unbound patterns create and bind.
+    """
+    transaction = ctx.transaction()
+    slot = ctx.slots[chi.name] if chi.name is not None else None
+    name = chi.name
+    labels = tuple(chi.labels)
+    build_properties = ctx.compiler.compile_property_map(chi.properties)
+    constrained = not merge and bool(chi.labels or chi.properties)
+    verb = "MERGE through %r" if merge else "cannot CREATE through %r"
+
+    def ensure(row):
+        if slot is not None:
+            value = row[slot]
+            if value is not MISSING:
+                if not isinstance(value, NodeId):
+                    raise CypherTypeError(
+                        (verb + ": bound to %r") % (name, value)
+                    )
+                if constrained:
+                    raise CypherSemanticError(
+                        "cannot add labels or properties to the bound "
+                        "variable %r inside CREATE" % name
+                    )
+                return value
+        node = transaction.create_node(labels, build_properties(row))
+        if slot is not None:
+            row[slot] = node
+        return node
+
+    return ensure
+
+
+def _compile_create_path(ctx, path_pattern, merge=False):
+    """``row -> None``: instantiate one rigid path, binding new names.
+
+    With ``merge`` the node reuse rule is MERGE's (a bound endpoint is
+    taken as-is, labels and all) and an undirected relationship creates
+    left-to-right; otherwise CREATE's stricter rules apply.  The row is
+    mutated in place (callers pass a fresh copy).
+    """
+    transaction = ctx.transaction()
+    slots = ctx.slots
+    elements = path_pattern.elements
+    node_specs = [
+        _compile_node_spec(ctx, chi, merge) for chi in elements[0::2]
+    ]
+    rel_specs = []
+    for index in range(1, len(elements), 2):
+        rho = elements[index]
+        rel_specs.append(
+            (
+                slots[rho.name] if rho.name is not None else None,
+                rho.name,
+                rho.types[0],
+                rho.direction == pt.RIGHT_TO_LEFT,
+                ctx.compiler.compile_property_map(rho.properties),
+            )
+        )
+    path_slot = (
+        slots[path_pattern.name] if path_pattern.name is not None else None
+    )
+
+    def create(row):
+        nodes = [node_specs[0](row)]
+        rels = []
+        current = nodes[0]
+        for ensure_node, (rel_slot, rel_name, rel_type, reversed_, props) in zip(
+            node_specs[1:], rel_specs
+        ):
+            next_node = ensure_node(row)
+            if reversed_:
+                rel = transaction.create_relationship(
+                    next_node, current, rel_type, props(row)
+                )
+            else:
+                rel = transaction.create_relationship(
+                    current, next_node, rel_type, props(row)
+                )
+            if rel_slot is not None:
+                if merge:
+                    if row[rel_slot] is MISSING:
+                        row[rel_slot] = rel
+                elif row[rel_slot] is not MISSING:
+                    raise CypherSemanticError(
+                        "relationship variable %r already bound" % rel_name
+                    )
+                else:
+                    row[rel_slot] = rel
+            rels.append(rel)
+            nodes.append(next_node)
+            current = next_node
+        if path_slot is not None:
+            row[path_slot] = Path(tuple(nodes), tuple(rels))
+
+    return create
+
+
+#: Expression nodes that can never read the graph: their value depends
+#: only on the row, parameters and literals.  Property maps built from
+#: these are safe to evaluate *before* the clause's creations land, so
+#: CREATE can defer the whole batch into one bulk store call.
+_GRAPH_FREE_EXPRESSIONS = (
+    ex.Literal,
+    ex.Variable,
+    ex.Parameter,
+    ex.MapLiteral,
+    ex.ListLiteral,
+    ex.Arithmetic,
+    ex.UnaryMinus,
+    ex.UnaryPlus,
+    ex.Comparison,
+    ex.BinaryLogic,
+    ex.Not,
+    ex.IsNull,
+    ex.IsNotNull,
+    ex.In,
+    ex.StringPredicate,
+)
+
+
+def _graph_free(expression):
+    from repro.ast.visitor import walk
+
+    return all(
+        isinstance(node, _GRAPH_FREE_EXPRESSIONS) for node in walk(expression)
+    )
+
+
+def _compile_bulk_create(op, ctx):
+    """Deferred batch path for ``CREATE (:L {...})``-shaped clauses.
+
+    Applicable when the clause creates exactly one fresh node per row —
+    no relationships, no endpoint reuse, no named path — and its
+    property expressions cannot read the graph.  Then nothing in the
+    clause can observe its own writes, so all property maps evaluate
+    first and the nodes land in one bulk store call (single label-index
+    and scan-cache touch).  Anything fancier returns None and takes the
+    general per-row path.
+    """
+    if len(op.patterns) != 1:
+        return None
+    path = op.patterns[0]
+    if len(path.elements) != 1 or path.name is not None:
+        return None
+    chi = path.elements[0]
+    if chi.name is not None and chi.name in op.child.fields:
+        return None  # possibly bound upstream: reuse semantics applies
+    if not all(_graph_free(value) for _key, value in chi.properties):
+        return None
+    child = _compile(op.child, ctx)
+    transaction = ctx.transaction()
+    labels = tuple(chi.labels)
+    build_properties = ctx.compiler.compile_property_map(chi.properties)
+    slot = ctx.slots[chi.name] if chi.name is not None else None
+
+    def run(argument):
+        rows = [row[:] for row in child(argument)]
+        # Evaluate row-wise so a failing expression still creates the
+        # earlier rows' nodes — the same partial state the per-row
+        # reference executor leaves behind.
+        property_maps = []
+        try:
+            for row in rows:
+                property_maps.append(build_properties(row))
+        except BaseException:
+            transaction.create_nodes(labels, property_maps)
+            raise
+        created = transaction.create_nodes(labels, property_maps)
+        if slot is not None:
+            for row, node in zip(rows, created):
+                row[slot] = node
+        for row in rows:
+            yield row
+
+    return run
+
+
+def _compile_create(op, ctx):
+    bulk = _compile_bulk_create(op, ctx)
+    if bulk is not None:
+        return bulk
+    child = _compile(op.child, ctx)
+    create_paths = tuple(
+        _compile_create_path(ctx, path) for path in op.patterns
+    )
+
+    def run(argument):
+        out_rows = []
+        for row in child(argument):
+            out = row[:]
+            for create_path in create_paths:
+                create_path(out)
+            out_rows.append(out)
+        for out in out_rows:
+            yield out
+
+    return run
+
+
+def _compile_set_items(ctx, items):
+    """``row -> None`` applying SET/REMOVE items through the transaction."""
+    transaction = ctx.transaction()
+    graph = ctx.graph
+    compiled = []
+    for item in items:
+        if isinstance(item, cl.SetProperty):
+            subject = ctx.compile(item.subject)
+            value = ctx.compile(item.value)
+
+            def set_property(row, subject=subject, value=value, key=item.key):
+                entity = subject(row)
+                if entity is None:
+                    return
+                if not isinstance(entity, (NodeId, RelId)):
+                    raise CypherTypeError("SET expects a node or relationship")
+                transaction.set_property(entity, key, value(row))
+
+            compiled.append(set_property)
+        elif isinstance(item, cl.SetVariable):
+            slot = ctx.slots[item.name]
+            value = ctx.compile(item.value)
+
+            def set_variable(
+                row, slot=slot, value=value, merge=item.merge, name=item.name
+            ):
+                entity = row[slot]
+                if entity is MISSING or entity is None:
+                    return
+                if not isinstance(entity, (NodeId, RelId)):
+                    raise CypherTypeError("SET expects a node or relationship")
+                new_value = value(row)
+                if isinstance(new_value, (NodeId, RelId)):
+                    new_value = graph.properties(new_value)
+                if not isinstance(new_value, dict):
+                    raise CypherTypeError(
+                        "SET %s = ... expects a map or entity" % name
+                    )
+                if merge:
+                    transaction.merge_properties(entity, new_value)
+                else:
+                    transaction.replace_properties(entity, new_value)
+
+            compiled.append(set_variable)
+        elif isinstance(item, cl.SetLabels):
+            slot = ctx.slots[item.name]
+            labels = tuple(item.labels)
+
+            def set_labels(row, slot=slot, labels=labels):
+                entity = row[slot]
+                if entity is MISSING or entity is None:
+                    return
+                if not isinstance(entity, NodeId):
+                    raise CypherTypeError("labels can only be set on nodes")
+                for label in labels:
+                    transaction.add_label(entity, label)
+
+            compiled.append(set_labels)
+        elif isinstance(item, cl.RemoveProperty):
+            subject = ctx.compile(item.subject)
+
+            def remove_property(row, subject=subject, key=item.key):
+                entity = subject(row)
+                if entity is None:
+                    return
+                if not isinstance(entity, (NodeId, RelId)):
+                    raise CypherTypeError(
+                        "REMOVE expects a node or relationship"
+                    )
+                transaction.remove_property(entity, key)
+
+            compiled.append(remove_property)
+        elif isinstance(item, cl.RemoveLabels):
+            slot = ctx.slots[item.name]
+            labels = tuple(item.labels)
+
+            def remove_labels(row, slot=slot, labels=labels):
+                entity = row[slot]
+                if entity is MISSING or entity is None:
+                    return
+                if not isinstance(entity, NodeId):
+                    raise CypherTypeError(
+                        "labels can only be removed from nodes"
+                    )
+                for label in labels:
+                    transaction.remove_label(entity, label)
+
+            compiled.append(remove_labels)
+        else:
+            raise CypherSemanticError("unknown SET/REMOVE item %r" % (item,))
+    applies = tuple(compiled)
+
+    def apply(row):
+        for one in applies:
+            one(row)
+
+    return apply
+
+
+def _compile_set(op, ctx):
+    child = _compile(op.child, ctx)
+    apply = _compile_set_items(ctx, op.items)
+
+    def run(argument):
+        rows = list(child(argument))
+        for row in rows:
+            apply(row)
+        for row in rows:
+            yield row
+
+    return run
+
+
+def _compile_remove(op, ctx):
+    return _compile_set(op, ctx)
+
+
+def _compile_delete(op, ctx):
+    child = _compile(op.child, ctx)
+    transaction = ctx.transaction()
+    expressions = tuple(ctx.compile(e) for e in op.expressions)
+    detach = op.detach
+
+    def run(argument):
+        rows = list(child(argument))
+        for row in rows:
+            for compiled in expressions:
+                transaction.delete_value(compiled(row), detach)
+        transaction.flush()
+        for row in rows:
+            yield row
+
+    return run
+
+
+def _compile_merge(op, ctx):
+    child = _compile(op.child, ctx)
+    inner = _compile(op.inner, ctx)
+    create_path = _compile_create_path(ctx, op.pattern, merge=True)
+    on_create = _compile_set_items(ctx, op.on_create) if op.on_create else None
+    on_match = _compile_set_items(ctx, op.on_match) if op.on_match else None
+
+    def run(argument):
+        out_rows = []
+        for row in child(argument):
+            matched = list(inner(row))
+            if matched:
+                for match_row in matched:
+                    out_rows.append(match_row)
+                    if on_match is not None:
+                        on_match(match_row)
+            else:
+                out = row[:]
+                create_path(out)
+                out_rows.append(out)
+                if on_create is not None:
+                    on_create(out)
+        for out in out_rows:
+            yield out
+
+    return run
+
+
 _COMPILERS = {
     lg.Init: _compile_init,
     lg.Argument: _compile_argument,
@@ -785,4 +1222,10 @@ _COMPILERS = {
     lg.Unwind: _compile_unwind,
     lg.OptionalApply: _compile_optional,
     lg.Union: _compile_union,
+    lg.Eager: _compile_eager,
+    lg.CreatePattern: _compile_create,
+    lg.MergePattern: _compile_merge,
+    lg.SetProperties: _compile_set,
+    lg.RemoveItems: _compile_remove,
+    lg.DeleteEntities: _compile_delete,
 }

@@ -7,16 +7,23 @@ cardinality, and for each chain both endpoints are costed and the
 cheaper one chosen (a compact stand-in for IDP's bottom-up join-order
 search, which degenerates to exactly this on path-shaped join graphs).
 
-The planner covers the *entire* read language: MATCH / OPTIONAL MATCH /
-WHERE / WITH / UNWIND / RETURN / UNION, variable-length patterns,
-aggregation, named paths (assembled in-pipeline by ``ProjectPath``), and
-all three of Section 8's configurable morphisms — edge isomorphism, node
-isomorphism and homomorphism — via the morphism-parameterised uniqueness
-kernel.  Comprehensions, quantifiers and pattern predicates compile to
-scratch-slot closures (:mod:`repro.semantics.compile`), so no read query
-escapes to the tree-walking interpreter.  Only updating clauses
-(CREATE / MERGE / SET / DELETE / REMOVE) and the Cypher 10 graph clauses
-raise :class:`UnsupportedFeature`, falling back to the reference
+The planner covers the *entire* standard language — reads and updates.
+On the read side: MATCH / OPTIONAL MATCH / WHERE / WITH / UNWIND /
+RETURN / UNION, variable-length patterns, aggregation, named paths
+(assembled in-pipeline by ``ProjectPath``), and all three of Section 8's
+configurable morphisms — edge isomorphism, node isomorphism and
+homomorphism — via the morphism-parameterised uniqueness kernel.
+Comprehensions, quantifiers and pattern predicates compile to
+scratch-slot closures (:mod:`repro.semantics.compile`).  On the write
+side: CREATE / MERGE / SET / REMOVE / DELETE plan to slotted write
+operators behind an explicit ``Eager`` barrier (Cypher's writes must not
+be visible to the writing clause's own reads; the barrier finishes the
+upstream scans on the pre-clause snapshot before the first write lands),
+with MERGE carrying a compiled match subplan it re-runs per driving row
+and all mutations flowing through the store's change-buffer transaction
+(:class:`~repro.graph.store.StoreTransaction`).  Only the Cypher 10
+graph clauses (FROM GRAPH / RETURN GRAPH) still raise
+:class:`UnsupportedFeature` and fall back to the reference
 interpreter — by construction the two paths agree on everything both
 support.
 """
@@ -116,9 +123,92 @@ class _PlanBuilder:
                 clause.alias,
                 fields=plan.fields + (clause.alias,),
             )
+        if isinstance(clause, cl.Create):
+            return self._plan_create(clause, plan)
+        if isinstance(clause, cl.Merge):
+            return self._plan_merge(clause, plan)
+        if isinstance(clause, cl.SetClause):
+            return lg.SetProperties(
+                self._barrier(plan), clause.items, fields=plan.fields
+            )
+        if isinstance(clause, cl.RemoveClause):
+            return lg.RemoveItems(
+                self._barrier(plan), clause.items, fields=plan.fields
+            )
+        if isinstance(clause, cl.Delete):
+            return lg.DeleteEntities(
+                self._barrier(plan),
+                clause.expressions,
+                detach=clause.detach,
+                fields=plan.fields,
+            )
         raise UnsupportedFeature(
             "the planner does not handle %s; using the interpreter"
             % type(clause).__name__
+        )
+
+    # ------------------------------------------------------------------
+    # Updating-clause planning
+    # ------------------------------------------------------------------
+
+    def _barrier(self, plan):
+        """An Eager in front of a write operator, where one is needed.
+
+        ``Init`` and the write operators are already barriers (the unit
+        table reads nothing; write operators settle every write before
+        emitting), so stacked update clauses pay for one materialisation
+        each, not two.
+        """
+        if isinstance(
+            plan,
+            (
+                lg.Init,
+                lg.Eager,
+                lg.CreatePattern,
+                lg.MergePattern,
+                lg.SetProperties,
+                lg.RemoveItems,
+                lg.DeleteEntities,
+            ),
+        ):
+            return plan
+        return lg.Eager(plan, fields=plan.fields)
+
+    def _plan_create(self, clause, plan):
+        from repro.updates.executor import validate_create_pattern
+
+        for path_pattern in clause.pattern:
+            validate_create_pattern(path_pattern)
+        new_names = tuple(
+            name
+            for name in pt.free_variables(clause.pattern)
+            if name not in plan.fields
+        )
+        return lg.CreatePattern(
+            self._barrier(plan),
+            tuple(clause.pattern),
+            fields=plan.fields + new_names,
+        )
+
+    def _plan_merge(self, clause, plan):
+        from repro.updates.executor import validate_merge_pattern
+
+        validate_merge_pattern(clause.pattern)
+        barrier = self._barrier(plan)
+        argument = lg.Argument(fields=plan.fields)
+        inner = self._plan_pattern_tuple(argument, (clause.pattern,))
+        new_names = tuple(
+            name
+            for name in pt.free_variables((clause.pattern,))
+            if name not in plan.fields
+        )
+        return lg.MergePattern(
+            barrier,
+            clause.pattern,
+            inner,
+            on_create=tuple(clause.on_create),
+            on_match=tuple(clause.on_match),
+            fields=plan.fields + new_names,
         )
 
     # ------------------------------------------------------------------

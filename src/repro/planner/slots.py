@@ -137,6 +137,26 @@ def collect_plan_names(plan):
         for _key, expression in pattern.properties:
             add_expression(expression)
 
+    def add_set_items(items):
+        from repro.ast import clauses as cl
+
+        for item in items:
+            if isinstance(item, (cl.SetProperty, cl.RemoveProperty)):
+                add_expression(item.subject)
+                if isinstance(item, cl.SetProperty):
+                    add_expression(item.value)
+            elif isinstance(item, cl.SetVariable):
+                add(item.name)
+                add_expression(item.value)
+            elif isinstance(item, (cl.SetLabels, cl.RemoveLabels)):
+                add(item.name)
+
+    def add_path_pattern(path):
+        add(path.name)
+        for element in path.elements:
+            add(element.name)
+            add_pattern_properties(element)
+
     def walk(op):
         for field in op.fields:
             add(field)
@@ -183,6 +203,18 @@ def collect_plan_names(plan):
         elif isinstance(op, lg.OptionalApply):
             for name in op.pad_names:
                 add(name)
+        elif isinstance(op, lg.CreatePattern):
+            for path in op.patterns:
+                add_path_pattern(path)
+        elif isinstance(op, lg.MergePattern):
+            add_path_pattern(op.pattern)
+            add_set_items(op.on_create)
+            add_set_items(op.on_match)
+        elif isinstance(op, (lg.SetProperties, lg.RemoveItems)):
+            add_set_items(op.items)
+        elif isinstance(op, lg.DeleteEntities):
+            for expression in op.expressions:
+                add_expression(expression)
         for child in op._children():
             walk(child)
 

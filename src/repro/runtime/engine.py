@@ -66,14 +66,23 @@ class CypherEngine:
         self.rewrite = rewrite
         self.schema = schema
         #: Bounded LRU of compiled plans: query text ->
-        #: (graph id, version, stats_sensitive, plan).  Plans embed no
-        #: graph data (operators re-read the store at run time), so a
-        #: stale hit would still be correct — the version key exists
-        #: because plan *choices* (entry labels, chain order) come from
-        #: statistics.  Plans the cost model had no real choice on
-        #: (``stats_sensitive`` False) survive store mutations, so
-        #: parameterised re-runs keep their plan across graph versions.
+        #: (graph id, version, stats_sensitive, plan, updating).  Plans
+        #: embed no graph data (operators re-read the store at run
+        #: time), so a stale hit would still be correct — the version
+        #: key exists because plan *choices* (entry labels, chain order)
+        #: come from statistics.  Plans the cost model had no real
+        #: choice on (``stats_sensitive`` False) survive store
+        #: mutations, so parameterised re-runs keep their plan across
+        #: graph versions.  Update plans are cached too: a write
+        #: statement bumps the version exactly once (at its store
+        #: transaction's commit), and the engine re-stamps the
+        #: statement's own cache entry afterwards, so a self-inflicted
+        #: bump never evicts the plan that caused it.
         self._plan_cache = OrderedDict()
+        #: Plan-cache hit/miss counters (observable via explain_info):
+        #: a hit skips parsing, analysis, rewriting and planning.
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------
 
@@ -81,49 +90,35 @@ class CypherEngine:
         """Parse and execute ``query_text``; returns a QueryResult."""
         mode = mode or self.mode
         if mode in ("planner", "auto"):
-            plan = self._cached_plan(query_text)
-            if plan is not None:
-                from repro.planner import execute_plan
-
-                table = execute_plan(
-                    plan,
-                    self.graph,
-                    parameters=parameters,
-                    functions=self.functions,
-                    morphism=self.morphism,
+            cached = self._cached_plan(query_text)
+            if cached is not None:
+                plan, updating = cached
+                return self._execute_planned(
+                    query_text, plan, parameters, updating
                 )
-                return QueryResult(table, plan=plan, executed_by="planner")
         query = parse_query(query_text)
         check_query(query)
         if self.rewrite:
             from repro.rewriter import rewrite_query
 
             query = rewrite_query(query)
-        snapshot = None
-        if self.schema is not None and _is_updating(query):
-            snapshot = self.graph.copy()
-        if mode == "planner":
-            result = self._run_planned(query, parameters, query_text)
-        elif mode == "interpreter":
-            result = self._run_interpreted(
-                query, parameters, reason="mode=interpreter"
+        updating = _is_updating(query)
+        if mode == "interpreter":
+            return self._run_interpreted(
+                query, parameters, updating, reason="mode=interpreter"
             )
-        else:
-            try:
-                result = self._run_planned(query, parameters, query_text)
-            except UnsupportedFeature as unsupported:
-                result = self._run_interpreted(
-                    query, parameters, reason=str(unsupported)
-                )
-        if snapshot is not None:
-            violations = self.schema.validate(self.graph)
-            if violations:
-                self.graph.restore_from(snapshot)
-                raise ConstraintViolation(
-                    "update rolled back; schema violations: %s"
-                    % "; ".join(str(violation) for violation in violations)
-                )
-        return result
+        from repro.planner import plan_query
+
+        try:
+            plan = plan_query(query, self.graph, morphism=self.morphism)
+        except UnsupportedFeature as unsupported:
+            if mode == "planner":
+                raise
+            return self._run_interpreted(
+                query, parameters, updating, reason=str(unsupported)
+            )
+        self._remember_plan(query_text, plan, updating)
+        return self._execute_planned(query_text, plan, parameters, updating)
 
     def explain(self, query_text):
         """The physical plan the planner would run, as indented text.
@@ -142,22 +137,39 @@ class CypherEngine:
         return plan.describe()
 
     def explain_info(self, query_text):
-        """``(executed_by, fallback_reason, plan_text)`` without running.
+        """``(executed_by, fallback_reason, plan_text, cache_info)``.
 
-        ``executed_by`` is ``"planner"`` with the plan tree, or
-        ``"interpreter"`` with the reason the planner refused — the same
-        metadata :class:`QueryResult` carries after a run, surfaced for
-        ``python -m repro.cli explain``.
+        ``executed_by`` is ``"planner"`` with the plan tree — update
+        queries included, with their ``Eager`` barriers and write
+        operators rendered — or ``"interpreter"`` with the reason the
+        planner refused (only the Cypher 10 graph clauses remain).
+        ``cache_info`` carries this engine's plan-cache hit/miss
+        counters and hit rate, which is how the "a write invalidates
+        its own plan once per execution, not once per clause" contract
+        is observable.  Nothing is executed.
         """
+        cache_info = self.plan_cache_info()
         try:
             plan_text = self.explain(query_text)
         except UnsupportedFeature as unsupported:
-            return ("interpreter", str(unsupported), None)
-        return ("planner", None, plan_text)
+            return ("interpreter", str(unsupported), None, cache_info)
+        return ("planner", None, plan_text, cache_info)
+
+    def plan_cache_info(self):
+        """Hit/miss counters of the plan cache, with the derived rate."""
+        hits = self.plan_cache_hits
+        misses = self.plan_cache_misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else None,
+            "entries": len(self._plan_cache),
+        }
 
     # ------------------------------------------------------------------
 
-    def _run_interpreted(self, query, parameters, reason=None):
+    def _run_interpreted(self, query, parameters, updating, reason=None):
         state = QueryState(
             self.graph,
             parameters=parameters,
@@ -165,7 +177,8 @@ class CypherEngine:
             morphism=self.morphism,
             catalog=self.catalog,
         )
-        table = run_query(query, state)
+        with self._schema_guard(updating):
+            table = run_query(query, state)
         return QueryResult(
             table,
             graphs=state.result_graphs,
@@ -173,53 +186,88 @@ class CypherEngine:
             fallback_reason=reason,
         )
 
-    def _run_planned(self, query, parameters, query_text=None):
-        from repro.planner import execute_plan, plan_query
+    def _execute_planned(self, query_text, plan, parameters, updating):
+        from repro.planner import execute_plan
 
-        plan = plan_query(query, self.graph, morphism=self.morphism)
-        if query_text is not None:
-            self._remember_plan(query_text, plan)
-        table = execute_plan(
-            plan,
-            self.graph,
-            parameters=parameters,
-            functions=self.functions,
-            morphism=self.morphism,
-        )
+        with self._schema_guard(updating):
+            table = execute_plan(
+                plan,
+                self.graph,
+                parameters=parameters,
+                functions=self.functions,
+                morphism=self.morphism,
+            )
+            if updating:
+                # The statement's own version bump must not evict the
+                # plan that caused it: re-stamp the entry to the
+                # post-commit version (once per execution, regardless
+                # of how many clauses mutated).
+                self._restamp_plan(query_text)
         return QueryResult(table, plan=plan, executed_by="planner")
+
+    def _schema_guard(self, updating):
+        """Snapshot/validate/rollback around an updating execution."""
+        import contextlib
+
+        if self.schema is None or not updating:
+            return contextlib.nullcontext()
+
+        @contextlib.contextmanager
+        def guard():
+            snapshot = self.graph.copy()
+            yield
+            violations = self.schema.validate(self.graph)
+            if violations:
+                self.graph.restore_from(snapshot)
+                raise ConstraintViolation(
+                    "update rolled back; schema violations: %s"
+                    % "; ".join(str(violation) for violation in violations)
+                )
+
+        return guard()
 
     # -- plan cache ------------------------------------------------------
 
     _PLAN_CACHE_LIMIT = 256
 
     def _cached_plan(self, query_text):
-        """A previously compiled plan for this exact text, or None.
+        """``(plan, updating)`` for this exact text, or None.
 
-        Only read-only queries ever make it into the cache (the planner
-        rejects updates), so a hit can skip parsing, semantic checks and
-        the schema snapshot entirely.  A version mismatch only evicts
-        plans whose choices depended on statistics; the rest are simply
+        A hit skips parsing, semantic checks, rewriting and planning
+        (update plans carry their ``updating`` flag so the schema
+        snapshot still happens).  A version mismatch only evicts plans
+        whose choices depended on statistics; the rest are simply
         re-stamped, so parameterised re-runs keep their plan across
         store mutations.
         """
         entry = self._plan_cache.get(query_text)
         if entry is None:
+            self.plan_cache_misses += 1
             return None
-        graph_key, version, stats_sensitive, plan = entry
+        graph_key, version, stats_sensitive, plan, updating, counts = entry
         if graph_key != id(self.graph):
             del self._plan_cache[query_text]
+            self.plan_cache_misses += 1
             return None
         current = getattr(self.graph, "version", None)
         if version != current:
             if stats_sensitive:
                 del self._plan_cache[query_text]
+                self.plan_cache_misses += 1
                 return None
-            entry = (graph_key, current, stats_sensitive, plan)
+            entry = (
+                graph_key, current, stats_sensitive, plan, updating, counts
+            )
             self._plan_cache[query_text] = entry
         self._plan_cache.move_to_end(query_text)
-        return plan
+        self.plan_cache_hits += 1
+        return plan, updating
 
-    def _remember_plan(self, query_text, plan):
+    def _graph_size(self):
+        """Coarse statistics fingerprint for the re-plan heuristic."""
+        return self.graph.node_count() + self.graph.relationship_count() + 1
+
+    def _remember_plan(self, query_text, plan, updating):
         version = getattr(self.graph, "version", None)
         if version is None:
             return  # no mutation counter: cannot tell when to invalidate
@@ -230,7 +278,39 @@ class CypherEngine:
             version,
             plan_depends_on_statistics(plan),
             plan,
+            updating,
+            self._graph_size(),
         )
         self._plan_cache.move_to_end(query_text)
         while len(self._plan_cache) > self._PLAN_CACHE_LIMIT:
             self._plan_cache.popitem(last=False)
+
+    def _restamp_plan(self, query_text):
+        """Pardon a statement's self-inflicted version bump.
+
+        Called once per updating execution, after the store transaction
+        committed: the entry's version moves to the post-commit value,
+        so re-running the same write statement is a cache hit.  Entries
+        for *other* statements are untouched — a write still invalidates
+        every stats-sensitive plan exactly once, via the single commit
+        bump.  A stats-sensitive statement is only pardoned while the
+        graph stays within 2x of the size it was planned against; a
+        write that reshapes the store past that (a bulk load doubling a
+        label, a mass delete) is left stale, so the next lookup evicts
+        and re-plans against the new statistics instead of freezing the
+        original choice forever.
+        """
+        entry = self._plan_cache.get(query_text)
+        if entry is None:
+            return
+        graph_key, _version, stats_sensitive, plan, updating, counts = entry
+        if graph_key != id(self.graph):
+            return
+        if stats_sensitive:
+            size = self._graph_size()
+            if size > 2 * counts or 2 * size < counts:
+                return  # statistics diverged: let the next lookup re-plan
+        current = getattr(self.graph, "version", None)
+        self._plan_cache[query_text] = (
+            graph_key, current, stats_sensitive, plan, updating, counts
+        )

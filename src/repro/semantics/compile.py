@@ -136,6 +136,28 @@ class ExpressionCompiler:
 
         return predicate
 
+    def compile_property_map(self, properties):
+        """A ``row -> dict`` closure for a pattern's inline property map.
+
+        Used by the write operators (CREATE/MERGE instantiation): each
+        value expression compiles once, and the returned dict feeds the
+        store transaction, which validates and drops nulls exactly as
+        the tree-walking executor's per-row evaluation did.
+        """
+        items = tuple(
+            (key, self.compile(expression)) for key, expression in properties
+        )
+        if not items:
+            def empty(row):
+                return {}
+
+            return empty
+
+        def build(row):
+            return {key: compiled(row) for key, compiled in items}
+
+        return build
+
     # ------------------------------------------------------------------
 
     def _dispatch(self, expression):
@@ -491,6 +513,32 @@ class ExpressionCompiler:
                 return apply_arithmetic(operator, l, r)
 
             return arithmetic_fast
+
+        if operator == "%":
+            # Cypher's % follows the dividend's sign (Java-style), which
+            # coincides with Python's % exactly when both operands are
+            # non-negative ints (and the divisor nonzero) — the common
+            # bucketing shape `i % k`.
+            def modulo_fast(row):
+                l = left(row)
+                r = right(row)
+                if type(l) is int and type(r) is int and l >= 0 and r > 0:
+                    return l % r
+                return apply_arithmetic(operator, l, r)
+
+            return modulo_fast
+
+        if operator == "/":
+            # Cypher integer division truncates toward zero; Python's //
+            # floors — they agree on non-negative int operands.
+            def divide_fast(row):
+                l = left(row)
+                r = right(row)
+                if type(l) is int and type(r) is int and l >= 0 and r > 0:
+                    return l // r
+                return apply_arithmetic(operator, l, r)
+
+            return divide_fast
 
         def arithmetic(row):
             return apply_arithmetic(operator, left(row), right(row))

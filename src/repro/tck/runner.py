@@ -218,22 +218,38 @@ def _map_matches(map_text, entity, graph, evaluator):
 # Execution
 # ---------------------------------------------------------------------------
 
-def _assert_read_coverage(query_text, result, label):
-    """Read queries must run slotted: fallback here is a coverage bug.
+def _uses_graph_clauses(query):
+    """True if the query needs Cypher 10's multi-graph machinery."""
+    from repro.ast import clauses as cl
+    from repro.ast import queries as qu
 
-    The planner covers the whole read language, so in auto mode only
-    updating queries may report ``executed_by == "interpreter"``.  This
-    turns every TCK scenario into a coverage regression tripwire.
+    if isinstance(query, qu.UnionQuery):
+        return _uses_graph_clauses(query.left) or _uses_graph_clauses(
+            query.right
+        )
+    return any(
+        isinstance(clause, (cl.FromGraph, cl.ReturnGraph))
+        for clause in query.clauses
+    )
+
+
+def _assert_planner_coverage(query_text, result, label):
+    """Standard queries must run slotted: fallback here is a coverage bug.
+
+    The planner covers the whole standard language — reads *and*
+    updates — so in auto mode only the Cypher 10 graph clauses
+    (FROM GRAPH / RETURN GRAPH) may report
+    ``executed_by == "interpreter"``.  This turns every TCK scenario,
+    updates scenarios included, into a coverage regression tripwire.
     """
     from repro.parser import parse_query
-    from repro.runtime.engine import _is_updating
 
     if result.executed_by == "planner":
         return
-    if _is_updating(parse_query(query_text)):
+    if _uses_graph_clauses(parse_query(query_text)):
         return
     raise AssertionError(
-        "%s: read query fell back to the interpreter (%s)"
+        "%s: standard query fell back to the interpreter (%s)"
         % (label, result.fallback_reason)
     )
 
@@ -277,7 +293,7 @@ class TckRunner:
             )
         result = engine.run(scenario.query, parameters=scenario.parameters)
         if mode == "auto":
-            _assert_read_coverage(scenario.query, result, label)
+            _assert_planner_coverage(scenario.query, result, label)
         if scenario.expect_empty:
             assert len(result) == 0, (
                 "%s: expected empty result, got %d rows" % (label, len(result))

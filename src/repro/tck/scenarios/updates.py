@@ -276,4 +276,78 @@ Feature: Updates
       CREATE (a)-[:R]-(b)
       """
     Then a SemanticError should be raised
+
+  Scenario: CREATE does not observe its own clause's writes
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Seed), (:Seed), (:Seed)
+      """
+    And having executed:
+      """
+      MATCH (s:Seed) CREATE (:Copy)
+      """
+    When executing query:
+      """
+      MATCH (c:Copy) RETURN count(*) AS copies
+      """
+    Then the result should be, in any order:
+      | copies |
+      | 3      |
+
+  Scenario: CREATE between all matched pairs snapshots the match
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:P {i: 1}), (:P {i: 2})
+      """
+    And having executed:
+      """
+      MATCH (a:P), (b:P) CREATE (a)-[:L]->(b)
+      """
+    When executing query:
+      """
+      MATCH ()-[r:L]->() RETURN count(r) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 4 |
+
+  Scenario: DELETE is visible to a later MATCH in the same query
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Gone), (:Gone), (:Kept)
+      """
+    When executing query:
+      """
+      MATCH (g:Gone) DETACH DELETE g WITH count(*) AS dropped MATCH (n) RETURN dropped, count(n) AS left
+      """
+    Then the result should be, in any order:
+      | dropped | left |
+      | 2       | 1    |
+
+  Scenario: MERGE observes rows created by earlier driving rows
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [1, 1, 2, 2, 3] AS v MERGE (n:Key {v: v}) RETURN count(*) AS rows
+      """
+    Then the result should be, in any order:
+      | rows |
+      | 5    |
+
+  Scenario: MERGE created nodes are countable afterwards
+    Given an empty graph
+    And having executed:
+      """
+      UNWIND [1, 1, 2, 2, 3] AS v MERGE (:Key {v: v})
+      """
+    When executing query:
+      """
+      MATCH (n:Key) RETURN count(*) AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 3 |
 '''

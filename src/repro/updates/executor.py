@@ -12,17 +12,21 @@ Neo4j's documented behaviour for the constructs the paper describes:
 * MERGE matches its pattern per row — every existing match yields a row
   (with ON MATCH applied); if none exists the whole pattern is created
   (with ON CREATE applied), so a MERGE never partially reuses a pattern.
+
+All mutation goes through the store's :class:`StoreTransaction` — the
+same change-buffer kernel the planner's physical write operators drive
+(:mod:`repro.planner.physical`) — one transaction per clause here, so
+the version bump and cache invalidation happen once per clause instead
+of once per touched entity.  The per-row logic in this module is the
+*reference* semantics the slotted write pipeline is cross-checked
+against.
 """
 
 from __future__ import annotations
 
 from repro.ast import clauses as cl
 from repro.ast import patterns as pt
-from repro.exceptions import (
-    ConstraintViolation,
-    CypherSemanticError,
-    CypherTypeError,
-)
+from repro.exceptions import CypherSemanticError, CypherTypeError
 from repro.semantics.matching import match_pattern_tuple
 from repro.semantics.table import Table
 from repro.values.base import NodeId, RelId
@@ -30,25 +34,58 @@ from repro.values.path import Path
 
 
 def apply_update(clause, table, state):
-    if isinstance(clause, cl.Create):
-        return _apply_create(clause, table, state)
-    if isinstance(clause, cl.Delete):
-        return _apply_delete(clause, table, state)
-    if isinstance(clause, cl.SetClause):
-        return _apply_set(clause.items, table, state)
-    if isinstance(clause, cl.RemoveClause):
-        return _apply_remove(clause, table, state)
-    if isinstance(clause, cl.Merge):
-        return _apply_merge(clause, table, state)
-    raise CypherSemanticError("not an update clause: %r" % (clause,))
+    dispatch = _DISPATCH.get(type(clause))
+    if dispatch is None:
+        raise CypherSemanticError("not an update clause: %r" % (clause,))
+    transaction = state.graph.write_transaction()
+    try:
+        result = dispatch(clause, table, state, transaction)
+    except BaseException:
+        transaction.abandon()
+        raise
+    transaction.commit()
+    return result
 
 
 # ---------------------------------------------------------------------------
 # CREATE
 # ---------------------------------------------------------------------------
 
-def _apply_create(clause, table, state):
+def validate_create_pattern(path_pattern):
+    """Structural constraints on a CREATE pattern (checked per clause).
+
+    Shared with the planner, which performs the same check at plan time;
+    hoisting it out of the row loop keeps the two paths agreeing even on
+    an empty driving table.
+    """
+    for rho in path_pattern.relationship_patterns:
+        if rho.length is not None:
+            raise CypherSemanticError(
+                "CREATE cannot use variable-length relationships"
+            )
+        if len(rho.types) != 1:
+            raise CypherSemanticError(
+                "CREATE requires exactly one relationship type"
+            )
+        if rho.direction == pt.UNDIRECTED:
+            raise CypherSemanticError(
+                "CREATE requires a directed relationship"
+            )
+
+
+def validate_merge_pattern(path_pattern):
+    """Structural constraints on a MERGE pattern (undirected is allowed)."""
+    for rho in path_pattern.relationship_patterns:
+        if rho.length is not None or len(rho.types) != 1:
+            raise CypherSemanticError(
+                "MERGE requires rigid single-type relationships"
+            )
+
+
+def _apply_create(clause, table, state, transaction):
     evaluator = state.evaluator()
+    for path_pattern in clause.pattern:
+        validate_create_pattern(path_pattern)
     new_fields = [
         name
         for name in pt.free_variables(clause.pattern)
@@ -58,30 +95,32 @@ def _apply_create(clause, table, state):
     for record in table.rows:
         row = dict(record)
         for path_pattern in clause.pattern:
-            _create_path(path_pattern, row, state, evaluator)
+            _create_path(path_pattern, row, transaction, evaluator)
         rows.append(row)
     return Table(table.fields + tuple(new_fields), rows)
 
 
-def _create_path(path_pattern, row, state, evaluator):
-    graph = state.graph
+def _create_path(path_pattern, row, transaction, evaluator):
     elements = path_pattern.elements
     nodes = []
     rels = []
-    current = _create_or_reuse_node(elements[0], row, state, evaluator)
+    current = _create_or_reuse_node(elements[0], row, transaction, evaluator)
     nodes.append(current)
     for index in range(1, len(elements), 2):
         rho = elements[index]
         chi = elements[index + 1]
-        _validate_create_relationship(rho)
-        next_node = _create_or_reuse_node(chi, row, state, evaluator)
+        next_node = _create_or_reuse_node(chi, row, transaction, evaluator)
         properties = {
             key: evaluator.evaluate(value, row) for key, value in rho.properties
         }
         if rho.direction == pt.LEFT_TO_RIGHT:
-            rel = graph.create_relationship(current, next_node, rho.types[0], properties)
+            rel = transaction.create_relationship(
+                current, next_node, rho.types[0], properties
+            )
         else:
-            rel = graph.create_relationship(next_node, current, rho.types[0], properties)
+            rel = transaction.create_relationship(
+                next_node, current, rho.types[0], properties
+            )
         if rho.name is not None:
             if rho.name in row:
                 raise CypherSemanticError(
@@ -95,22 +134,7 @@ def _create_path(path_pattern, row, state, evaluator):
         row[path_pattern.name] = Path(tuple(nodes), tuple(rels))
 
 
-def _validate_create_relationship(rho):
-    if rho.length is not None:
-        raise CypherSemanticError(
-            "CREATE cannot use variable-length relationships"
-        )
-    if len(rho.types) != 1:
-        raise CypherSemanticError(
-            "CREATE requires exactly one relationship type"
-        )
-    if rho.direction == pt.UNDIRECTED:
-        raise CypherSemanticError(
-            "CREATE requires a directed relationship"
-        )
-
-
-def _create_or_reuse_node(chi, row, state, evaluator):
+def _create_or_reuse_node(chi, row, transaction, evaluator):
     if chi.name is not None and chi.name in row:
         value = row[chi.name]
         if not isinstance(value, NodeId):
@@ -126,7 +150,7 @@ def _create_or_reuse_node(chi, row, state, evaluator):
     properties = {
         key: evaluator.evaluate(value, row) for key, value in chi.properties
     }
-    node = state.graph.create_node(chi.labels, properties)
+    node = transaction.create_node(chi.labels, properties)
     if chi.name is not None:
         row[chi.name] = node
     return node
@@ -136,61 +160,35 @@ def _create_or_reuse_node(chi, row, state, evaluator):
 # DELETE
 # ---------------------------------------------------------------------------
 
-def _apply_delete(clause, table, state):
+def _apply_delete(clause, table, state, transaction):
     evaluator = state.evaluator()
-    nodes = set()
-    rels = set()
     detach = clause.detach
     for record in table.rows:
         for expression in clause.expressions:
-            value = evaluator.evaluate(expression, record)
-            _collect_deletions(value, nodes, rels)
-    graph = state.graph
-    for rel in rels:
-        if graph.has_relationship(rel):
-            graph.delete_relationship(rel)
-    for node in nodes:
-        if not graph.has_node(node):
-            continue
-        if not detach and graph.degree(node) > 0:
-            raise ConstraintViolation(
-                "cannot delete node %r: it still has relationships; "
-                "use DETACH DELETE" % (node,)
+            transaction.delete_value(
+                evaluator.evaluate(expression, record), detach
             )
-        graph.delete_node(node, detach=True)
+    transaction.flush()
     return table
-
-
-def _collect_deletions(value, nodes, rels):
-    if value is None:
-        return
-    if isinstance(value, NodeId):
-        nodes.add(value)
-    elif isinstance(value, RelId):
-        rels.add(value)
-    elif isinstance(value, Path):
-        nodes.update(value.nodes)
-        rels.update(value.relationships)
-    elif isinstance(value, list):
-        for item in value:
-            _collect_deletions(item, nodes, rels)
-    else:
-        raise CypherTypeError("cannot DELETE %r" % (value,))
 
 
 # ---------------------------------------------------------------------------
 # SET and REMOVE
 # ---------------------------------------------------------------------------
 
-def _apply_set(items, table, state, rows=None):
+def _apply_set_clause(clause, table, state, transaction):
+    return _apply_set(clause.items, table, state, transaction)
+
+
+def _apply_set(items, table, state, transaction, rows=None):
     evaluator = state.evaluator()
     for record in rows if rows is not None else table.rows:
         for item in items:
-            _apply_set_item(item, record, state, evaluator)
+            _apply_set_item(item, record, state, evaluator, transaction)
     return table
 
 
-def _apply_set_item(item, record, state, evaluator):
+def _apply_set_item(item, record, state, evaluator, transaction):
     graph = state.graph
     if isinstance(item, cl.SetProperty):
         entity = evaluator.evaluate(item.subject, record)
@@ -198,7 +196,9 @@ def _apply_set_item(item, record, state, evaluator):
             return
         if not isinstance(entity, (NodeId, RelId)):
             raise CypherTypeError("SET expects a node or relationship")
-        graph.set_property(entity, item.key, evaluator.evaluate(item.value, record))
+        transaction.set_property(
+            entity, item.key, evaluator.evaluate(item.value, record)
+        )
         return
     if isinstance(item, cl.SetVariable):
         entity = record.get(item.name)
@@ -214,9 +214,9 @@ def _apply_set_item(item, record, state, evaluator):
                 "SET %s = ... expects a map or entity" % item.name
             )
         if item.merge:
-            graph.merge_properties(entity, value)
+            transaction.merge_properties(entity, value)
         else:
-            graph.replace_properties(entity, value)
+            transaction.replace_properties(entity, value)
         return
     if isinstance(item, cl.SetLabels):
         entity = record.get(item.name)
@@ -225,14 +225,13 @@ def _apply_set_item(item, record, state, evaluator):
         if not isinstance(entity, NodeId):
             raise CypherTypeError("labels can only be set on nodes")
         for label in item.labels:
-            graph.add_label(entity, label)
+            transaction.add_label(entity, label)
         return
     raise CypherSemanticError("unknown SET item %r" % (item,))
 
 
-def _apply_remove(clause, table, state):
+def _apply_remove(clause, table, state, transaction):
     evaluator = state.evaluator()
-    graph = state.graph
     for record in table.rows:
         for item in clause.items:
             if isinstance(item, cl.RemoveProperty):
@@ -243,7 +242,7 @@ def _apply_remove(clause, table, state):
                     raise CypherTypeError(
                         "REMOVE expects a node or relationship"
                     )
-                graph.remove_property(entity, item.key)
+                transaction.remove_property(entity, item.key)
             elif isinstance(item, cl.RemoveLabels):
                 entity = record.get(item.name)
                 if entity is None:
@@ -251,7 +250,7 @@ def _apply_remove(clause, table, state):
                 if not isinstance(entity, NodeId):
                     raise CypherTypeError("labels can only be removed from nodes")
                 for label in item.labels:
-                    graph.remove_label(entity, label)
+                    transaction.remove_label(entity, label)
             else:
                 raise CypherSemanticError("unknown REMOVE item %r" % (item,))
     return table
@@ -261,8 +260,9 @@ def _apply_remove(clause, table, state):
 # MERGE
 # ---------------------------------------------------------------------------
 
-def _apply_merge(clause, table, state):
+def _apply_merge(clause, table, state, transaction):
     evaluator = state.evaluator()
+    validate_merge_pattern(clause.pattern)
     new_fields = [
         name
         for name in pt.free_variables((clause.pattern,))
@@ -279,42 +279,42 @@ def _apply_merge(clause, table, state):
                 row.update(bindings)
                 rows.append(row)
             if clause.on_match:
-                _apply_set(clause.on_match, table, state, rows=rows[-len(matches):])
+                _apply_set(
+                    clause.on_match, table, state, transaction,
+                    rows=rows[-len(matches):],
+                )
         else:
             row = dict(record)
-            _merge_create(clause.pattern, row, state, evaluator)
+            _merge_create(clause.pattern, row, transaction, evaluator)
             rows.append(row)
             if clause.on_create:
-                _apply_set(clause.on_create, table, state, rows=[row])
+                _apply_set(
+                    clause.on_create, table, state, transaction, rows=[row]
+                )
     return Table(table.fields + tuple(new_fields), rows)
 
 
-def _merge_create(path_pattern, row, state, evaluator):
+def _merge_create(path_pattern, row, transaction, evaluator):
     """Create the whole pattern; bound endpoints are reused as-is."""
-    graph = state.graph
     elements = path_pattern.elements
     nodes = []
     rels = []
-    current = _merge_node(elements[0], row, state, evaluator)
+    current = _merge_node(elements[0], row, transaction, evaluator)
     nodes.append(current)
     for index in range(1, len(elements), 2):
         rho = elements[index]
         chi = elements[index + 1]
-        if rho.length is not None or len(rho.types) != 1:
-            raise CypherSemanticError(
-                "MERGE requires rigid single-type relationships"
-            )
-        next_node = _merge_node(chi, row, state, evaluator)
+        next_node = _merge_node(chi, row, transaction, evaluator)
         properties = {
             key: evaluator.evaluate(value, row) for key, value in rho.properties
         }
         if rho.direction == pt.RIGHT_TO_LEFT:
-            rel = graph.create_relationship(
+            rel = transaction.create_relationship(
                 next_node, current, rho.types[0], properties
             )
         else:
             # Undirected MERGE creates left-to-right, as Neo4j does.
-            rel = graph.create_relationship(
+            rel = transaction.create_relationship(
                 current, next_node, rho.types[0], properties
             )
         if rho.name is not None and rho.name not in row:
@@ -326,7 +326,7 @@ def _merge_create(path_pattern, row, state, evaluator):
         row[path_pattern.name] = Path(tuple(nodes), tuple(rels))
 
 
-def _merge_node(chi, row, state, evaluator):
+def _merge_node(chi, row, transaction, evaluator):
     if chi.name is not None and chi.name in row:
         value = row[chi.name]
         if not isinstance(value, NodeId):
@@ -337,7 +337,16 @@ def _merge_node(chi, row, state, evaluator):
     properties = {
         key: evaluator.evaluate(value, row) for key, value in chi.properties
     }
-    node = state.graph.create_node(chi.labels, properties)
+    node = transaction.create_node(chi.labels, properties)
     if chi.name is not None:
         row[chi.name] = node
     return node
+
+
+_DISPATCH = {
+    cl.Create: _apply_create,
+    cl.Delete: _apply_delete,
+    cl.SetClause: _apply_set_clause,
+    cl.RemoveClause: _apply_remove,
+    cl.Merge: _apply_merge,
+}

@@ -11,13 +11,18 @@ from __future__ import annotations
 class _Identifier:
     """Common behaviour of node and relationship identifiers."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
     _prefix = "id"
 
     def __init__(self, value):
         if not isinstance(value, int) or isinstance(value, bool):
             raise TypeError("identifier value must be an int, got %r" % (value,))
         object.__setattr__(self, "value", value)
+        # Ids key every store dict and adjacency set, so they are hashed
+        # far more often than constructed: precompute once.
+        object.__setattr__(
+            self, "_hash", hash((type(self).__name__, value))
+        )
 
     def __setattr__(self, name, _value):
         raise AttributeError("identifiers are immutable")
@@ -29,7 +34,7 @@ class _Identifier:
         return not self.__eq__(other)
 
     def __hash__(self):
-        return hash((type(self).__name__, self.value))
+        return self._hash
 
     def __lt__(self, other):
         if type(other) is not type(self):
@@ -61,8 +66,18 @@ def is_cypher_value(value):
     """Return True if ``value`` belongs to the value universe ``V``.
 
     Lists and maps are checked recursively; map keys must be strings
-    (property keys are drawn from the set K of strings).
+    (property keys are drawn from the set K of strings).  Exact-type
+    checks on the scalar majority come first — this sits on the
+    property-write hot path (one call per stored value).
     """
+    value_type = type(value)
+    if (
+        value_type is int
+        or value_type is str
+        or value_type is float
+        or value_type is bool
+    ):
+        return True
     from repro.values.path import Path
 
     if value is None or isinstance(value, (bool, str, NodeId, RelId, Path)):

@@ -164,11 +164,18 @@ class TestExecutionMetadata:
         assert result.executed_by == "planner"
         assert result.fallback_reason is None
 
-    def test_update_reports_interpreter_with_reason(self):
+    def test_update_reports_planner(self):
         engine = CypherEngine(MemoryGraph())
         result = engine.run("CREATE (:X)")
+        assert result.executed_by == "planner"
+        assert result.fallback_reason is None
+        assert engine.graph.node_count() == 1
+
+    def test_graph_clause_reports_interpreter_with_reason(self):
+        engine = CypherEngine(MemoryGraph())
+        result = engine.run("FROM GRAPH default MATCH (a) RETURN a")
         assert result.executed_by == "interpreter"
-        assert "Create" in result.fallback_reason
+        assert "FromGraph" in result.fallback_reason
 
     def test_forced_interpreter_mode_is_recorded(self):
         engine = CypherEngine(GRAPH)
@@ -184,18 +191,31 @@ class TestExecutionMetadata:
 
     def test_explain_info_planner_path(self):
         engine = CypherEngine(GRAPH)
-        executed_by, reason, plan_text = engine.explain_info(
+        executed_by, reason, plan_text, cache_info = engine.explain_info(
             "MATCH p = (a)-->(b) RETURN p"
         )
         assert executed_by == "planner"
         assert reason is None
         assert "ProjectPath" in plan_text
+        assert set(cache_info) >= {"hits", "misses", "hit_rate"}
+
+    def test_explain_info_update_path_renders_barriers(self):
+        engine = CypherEngine(GRAPH)
+        executed_by, reason, plan_text, _cache = engine.explain_info(
+            "MATCH (a) SET a.v = 1"
+        )
+        assert executed_by == "planner"
+        assert reason is None
+        assert "Eager" in plan_text
+        assert "SetProperties" in plan_text
 
     def test_explain_info_fallback_path(self):
         engine = CypherEngine(GRAPH)
-        executed_by, reason, plan_text = engine.explain_info("CREATE (a)")
+        executed_by, reason, plan_text, _cache = engine.explain_info(
+            "FROM GRAPH default MATCH (a) RETURN a"
+        )
         assert executed_by == "interpreter"
-        assert "Create" in reason
+        assert "FromGraph" in reason
         assert plan_text is None
 
     def test_cli_explain_subcommand(self, capsys):
@@ -205,7 +225,14 @@ class TestExecutionMetadata:
         out = capsys.readouterr().out
         assert "executed by: planner" in out
         assert "AllNodesScan" in out
-        assert main(["explain", "CREATE (n)"]) == 0
+        assert "plan cache:" in out
+        assert main(["explain", "MATCH (n) CREATE (m) SET n.x = 1"]) == 0
+        out = capsys.readouterr().out
+        assert "executed by: planner" in out
+        assert "Eager" in out
+        assert "Create(m)" in out
+        assert "SetProperties" in out
+        assert main(["explain", "FROM GRAPH g MATCH (a) RETURN a"]) == 0
         out = capsys.readouterr().out
         assert "executed by: interpreter" in out
         assert "fallback reason" in out

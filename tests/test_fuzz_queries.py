@@ -8,6 +8,15 @@ must produce the same bag on both execution paths over a fixed,
 structurally rich graph, under each of the three morphism modes.  Every
 planned run must also *report* the planner path: a fuzzed read query
 falling back to the interpreter is a coverage regression.
+
+The update corpus (CREATE / SET / REMOVE / DELETE / MERGE with
+ON CREATE / ON MATCH) runs each generated query on two *clones* of the
+fixture graph, one per execution path, and asserts both the result
+table (bag equality) and the final graph state (canonical, id-inclusive
+snapshot) agree.  Update queries pin their driving-row order with
+ORDER BY where the mutation sequence is observable (entity-id
+allocation, last-write-wins SETs), so "agree" really means
+byte-identical stores.
 """
 
 from hypothesis import given, settings
@@ -20,6 +29,7 @@ from repro.semantics.morphism import (
     HOMOMORPHISM,
     NODE_ISOMORPHISM,
 )
+from repro.values.ordering import canonical_key
 
 MORPHISMS = {
     "edge": EDGE_ISOMORPHISM,
@@ -296,6 +306,263 @@ class TestFuzzedQueries:
         planned = engine.run(query, mode="planner")
         assert planned.executed_by == "planner", query
         assert interpreted.table.same_bag(planned.table), query
+
+
+def _graph_state(graph):
+    """Canonical, id-inclusive snapshot used to compare final stores."""
+    nodes = sorted(
+        (
+            node.value,
+            tuple(sorted(graph.labels(node))),
+            canonical_key(graph.properties(node)),
+        )
+        for node in graph.nodes()
+    )
+    rels = sorted(
+        (
+            rel.value,
+            graph.src(rel).value,
+            graph.tgt(rel).value,
+            graph.rel_type(rel),
+            canonical_key(graph.properties(rel)),
+        )
+        for rel in graph.relationships()
+    )
+    return nodes, rels
+
+
+def _assert_update_agreement(query):
+    interpreter_graph = GRAPH.copy()
+    planner_graph = GRAPH.copy()
+    interpreted = CypherEngine(interpreter_graph).run(
+        query, mode="interpreter"
+    )
+    planned = CypherEngine(planner_graph).run(query, mode="planner")
+    assert planned.executed_by == "planner", query
+    assert interpreted.table.same_bag(planned.table), query
+    assert _graph_state(interpreter_graph) == _graph_state(planner_graph), (
+        query
+    )
+
+
+#: Driving prefixes with a pinned row order (ids must allocate alike).
+ordered_node_driver = st.sampled_from(
+    [
+        "MATCH (a:A) WITH a ORDER BY a.name ",
+        "MATCH (a:B) WITH a ORDER BY a.name ",
+        "MATCH (a) WITH a ORDER BY a.name ",
+        "MATCH (a:B)-[:R|S]->(x) WITH a ORDER BY a.name, x.name ",
+    ]
+)
+
+
+@st.composite
+def create_update_queries(draw):
+    """CREATE driven by UNWIND or an ordered MATCH."""
+    shape = draw(st.sampled_from(["unwind", "node", "pair"]))
+    if shape == "unwind":
+        driver = "UNWIND [0, 1, 2] AS i "
+        body = draw(
+            st.sampled_from(
+                [
+                    "CREATE (:N {v: i})",
+                    "CREATE (x:N {v: i})-[:W {k: i}]->(y:M)",
+                    "CREATE (x:N)-[:W]->(y:M {v: i * 2})",
+                    "CREATE p = (x:N {v: i})-[:W]->(:M), (z:Lone)",
+                    "CREATE (x:N {v: i}) CREATE (x)-[:W]->(:M)",
+                ]
+            )
+        )
+        suffix = draw(
+            st.sampled_from(["", " RETURN count(*) AS c", " RETURN i"])
+        )
+    elif shape == "node":
+        driver = draw(ordered_node_driver)
+        body = draw(
+            st.sampled_from(
+                [
+                    "CREATE (a)-[:W {src: a.v}]->(:New {v: a.v})",
+                    "CREATE (:Twin {of: a.name})",
+                    "CREATE (a)-[:W]->(m:Mid)-[:W2]->(n:End {v: a.v + 1})",
+                    "CREATE q = (a)<-[:In {w: 0}]-(:Src)",
+                ]
+            )
+        )
+        suffix = draw(st.sampled_from(["", " RETURN count(*) AS c"]))
+    else:
+        driver = (
+            "MATCH (a:A), (b:B) WITH a, b ORDER BY a.name, b.name "
+        )
+        body = draw(
+            st.sampled_from(
+                [
+                    "CREATE (a)-[:Link]->(b)",
+                    "CREATE (a)<-[:Link {m: a.v + b.v}]-(b)",
+                    "CREATE (a)-[:Via]->(:Hop {h: 1})<-[:Via2]-(b)",
+                ]
+            )
+        )
+        suffix = draw(st.sampled_from(["", " RETURN count(*) AS c"]))
+    return driver + body + suffix
+
+
+@st.composite
+def set_remove_queries(draw):
+    """SET / REMOVE items over an ordered driving table."""
+    target = draw(st.sampled_from(["node", "rel"]))
+    if target == "rel":
+        driver = (
+            "MATCH (x)-[r:R]->(y) WITH x, r, y ORDER BY x.name, y.name "
+        )
+        body = draw(
+            st.sampled_from(
+                [
+                    "SET r.w = r.w + 10",
+                    "SET r.w = null",
+                    "SET r += {stamp: x.v}",
+                    "REMOVE r.w",
+                    "SET r.w = x.v + y.v, r.seen = true",
+                ]
+            )
+        )
+    else:
+        driver = draw(ordered_node_driver)
+        body = draw(
+            st.sampled_from(
+                [
+                    "SET a.w = a.v * 2",
+                    "SET a.v = null",
+                    "SET a += {z: 1, v: null}",
+                    "SET a = {only: a.name}",
+                    "SET a:Extra:More",
+                    "SET a.u = 1, a.w = a.v, a:Tagged",
+                    "REMOVE a.v",
+                    "REMOVE a:A",
+                    "REMOVE a.v, a:B",
+                ]
+            )
+        )
+    suffix = draw(
+        st.sampled_from(["", " RETURN count(*) AS c"])
+    )
+    return driver + body + suffix
+
+
+@st.composite
+def delete_queries(draw):
+    """DELETE / DETACH DELETE of nodes, rels, paths and lists."""
+    return draw(
+        st.sampled_from(
+            [
+                "MATCH (a:C) DETACH DELETE a",
+                "MATCH ()-[r:S]->() DELETE r",
+                "MATCH (a)-[r:R]->() DELETE r RETURN count(*) AS c",
+                "MATCH (a:B) OPTIONAL MATCH (a)-[r:S]->() "
+                "DETACH DELETE a, r",
+                "MATCH p = (a:A)-[:R]->(b) DETACH DELETE p",
+                "MATCH (a:A) OPTIONAL MATCH (a)-[r]-() DELETE r, a",
+                "MATCH (a:C) DETACH DELETE a WITH count(*) AS c "
+                "MATCH (n) RETURN c, count(n) AS left",
+            ]
+        )
+    )
+
+
+@st.composite
+def merge_queries(draw):
+    """MERGE upserts, with and without ON CREATE / ON MATCH."""
+    shape = draw(st.sampled_from(["node", "rel", "free"]))
+    if shape == "node":
+        driver = "UNWIND [0, 1, 2, 3, 4] AS v "
+        pattern = draw(
+            st.sampled_from(
+                ["MERGE (n:A {v: v})", "MERGE (n:New {v: v})"]
+            )
+        )
+        actions = draw(
+            st.sampled_from(
+                [
+                    "",
+                    " ON CREATE SET n.created = 1",
+                    " ON MATCH SET n.matched = v",
+                    " ON CREATE SET n.created = v ON MATCH SET n.seen = true",
+                ]
+            )
+        )
+        suffix = draw(
+            st.sampled_from(["", " RETURN count(*) AS c"])
+        )
+        return driver + pattern + actions + suffix
+    if shape == "rel":
+        driver = (
+            "MATCH (a:A), (b:B) WITH a, b ORDER BY a.name, b.name "
+        )
+        pattern = draw(
+            st.sampled_from(
+                [
+                    "MERGE (a)-[r:R]->(b)",
+                    "MERGE (a)-[r:S]-(b)",
+                    "MERGE (a)-[r:Up {k: 1}]->(b)",
+                ]
+            )
+        )
+        actions = draw(
+            st.sampled_from(["", " ON CREATE SET r.fresh = 1"])
+        )
+        return driver + pattern + actions + " RETURN count(*) AS c"
+    pattern = draw(
+        st.sampled_from(
+            [
+                "MERGE (x {v: 1})",
+                "MERGE (x:C {v: 2})",
+                "MERGE (x:Ghost {v: 9})",
+            ]
+        )
+    )
+    return pattern + " RETURN count(*) AS c"
+
+
+class TestFuzzedUpdates:
+    """Planner ≡ interpreter on updating queries, graph state included."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(query=create_update_queries())
+    def test_create_agreement(self, query):
+        _assert_update_agreement(query)
+
+    @settings(max_examples=80, deadline=None)
+    @given(query=set_remove_queries())
+    def test_set_remove_agreement(self, query):
+        _assert_update_agreement(query)
+
+    @settings(max_examples=30, deadline=None)
+    @given(query=delete_queries())
+    def test_delete_agreement(self, query):
+        _assert_update_agreement(query)
+
+    @settings(max_examples=80, deadline=None)
+    @given(query=merge_queries())
+    def test_merge_agreement(self, query):
+        _assert_update_agreement(query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        first=create_update_queries().filter(lambda q: " RETURN " not in q),
+        second=set_remove_queries().filter(lambda q: " RETURN " not in q),
+    )
+    def test_stacked_update_statements(self, first, second):
+        """Two updating statements in sequence stay in lock step."""
+        interpreter_graph = GRAPH.copy()
+        planner_graph = GRAPH.copy()
+        interpreter_engine = CypherEngine(interpreter_graph)
+        planner_engine = CypherEngine(planner_graph)
+        for query in (first, second):
+            interpreter_engine.run(query, mode="interpreter")
+            planned = planner_engine.run(query, mode="planner")
+            assert planned.executed_by == "planner", query
+        assert _graph_state(interpreter_graph) == _graph_state(
+            planner_graph
+        ), (first, second)
 
 
 class TestFuzzedMorphisms:

@@ -100,10 +100,11 @@ class TestPlanShapes:
 
 
 class TestPlannerRefusals:
-    def test_updates_unsupported(self):
+    def test_updates_plan_natively(self):
         graph = MemoryGraph()
-        with pytest.raises(UnsupportedFeature):
-            plan(graph, "CREATE (a)")
+        root = plan(graph, "MATCH (n) CREATE (a)")
+        assert "CreatePattern" in operators(root)
+        assert "Eager" in operators(root)
 
     def test_named_paths_plan_natively(self):
         graph = MemoryGraph()

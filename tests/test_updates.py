@@ -154,7 +154,8 @@ class TestUpdateThenRead:
         )
         assert result.values("v") == [1]
 
-    def test_planner_falls_back_for_updates(self):
+    def test_auto_mode_runs_updates_on_the_planner(self):
         engine = CypherEngine(MemoryGraph(), mode="auto")
-        engine.run("CREATE (:X {v: 5})")
+        result = engine.run("CREATE (:X {v: 5})")
+        assert result.executed_by == "planner"
         assert engine.run("MATCH (x:X) RETURN x.v AS v").value() == 5
