@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli --graph data.json     # load a JSON graph
     python -m repro.cli --query "MATCH (n) RETURN count(*) AS n"
     python -m repro.cli explain "MATCH ..."   # which path runs it, and why
+    python -m repro.cli selftest              # row/batch/interpreter
+                                              # differential + TCK smoke gate
     python -m repro.cli bench                 # run the benchmark suite;
                                               # medians -> BENCH_pipeline.json
 
@@ -15,7 +17,7 @@ execute as Cypher; special commands start with ``:``:
     :help               this text
     :schema             labels, relationship types, counts
     :explain <query>    show the physical plan
-    :mode <m>           auto | interpreter | planner
+    :mode <m>           auto | interpreter | planner | row | batch
     :save <path>        write the current graph as JSON
     :load <path>        replace the graph from JSON
     :quit               leave
@@ -77,23 +79,27 @@ class Shell:
         elif command == ":schema":
             self._schema()
         elif command == ":mode":
-            if argument in ("auto", "interpreter", "planner"):
+            if argument in ("auto", "interpreter", "planner", "row", "batch"):
                 self.engine.mode = argument
                 self.write("mode set to %s" % argument)
             else:
-                self.write("usage: :mode auto|interpreter|planner")
+                self.write(
+                    "usage: :mode auto|interpreter|planner|row|batch"
+                )
         elif command == ":explain":
             if not argument:
                 self.write("usage: :explain <query>")
                 return
             try:
-                executed_by, reason, plan_text, cache_info = (
+                executed_by, reason, plan_text, cache_info, mode = (
                     self.engine.explain_info(argument)
                 )
             except CypherError as error:
                 self.write("error: %s" % error)
                 return
             self.write("executed by: %s" % executed_by)
+            if mode:
+                self.write("execution mode: %s" % mode)
             if reason:
                 self.write("fallback reason: %s" % reason)
             if plan_text:
@@ -254,19 +260,40 @@ def explain_main(argv=None):
     graph = load_json(arguments.graph) if arguments.graph else MemoryGraph()
     engine = CypherEngine(graph)
     try:
-        executed_by, reason, plan_text, cache_info = engine.explain_info(
-            arguments.query
+        executed_by, reason, plan_text, cache_info, mode = (
+            engine.explain_info(arguments.query)
         )
     except CypherError as error:
         print("error: %s" % error, file=sys.stderr)
         return 1
     print("executed by: %s" % executed_by)
+    if mode:
+        print("execution mode: %s" % mode)
     if reason:
         print("fallback reason: %s" % reason)
     if plan_text:
         print(plan_text)
     print(_cache_line(cache_info))
     return 0
+
+
+def selftest_main(argv=None):
+    """``python -m repro.cli selftest``: the differential smoke gate.
+
+    Runs the small differential corpus (interpreter vs row planner vs
+    batch engine, final stores compared on updates) plus the TCK smoke
+    set — see :mod:`repro.selftest`.  Exit 0 on full agreement, 1 with
+    the offending queries listed otherwise, so CI and pre-commit hooks
+    can call it directly.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli selftest",
+        description="run the row/batch/interpreter differential smoke suite",
+    )
+    parser.parse_args(argv)
+    from repro.selftest import run_selftest
+
+    return 1 if run_selftest() else 0
 
 
 def main(argv=None):
@@ -276,12 +303,14 @@ def main(argv=None):
         return bench_main(argv[1:])
     if argv and argv[0] == "explain":
         return explain_main(argv[1:])
+    if argv and argv[0] == "selftest":
+        return selftest_main(argv[1:])
     parser = argparse.ArgumentParser(description="repro Cypher shell")
     parser.add_argument("--graph", help="JSON graph file to load")
     parser.add_argument("--query", help="run one query and exit")
     parser.add_argument(
         "--mode",
-        choices=("auto", "interpreter", "planner"),
+        choices=("auto", "interpreter", "planner", "row", "batch"),
         default="auto",
     )
     arguments = parser.parse_args(argv)

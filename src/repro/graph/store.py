@@ -25,7 +25,17 @@ Access paths (added for the slotted execution engine):
   label scans (every NodeByLabelScan of every query) stop re-sorting;
 * :meth:`label_cardinalities` / :meth:`type_cardinalities` expose the
   inverted-index sizes so :class:`~repro.graph.statistics.GraphStatistics`
-  builds in O(#labels + #types) instead of O(N + R).
+  builds in O(#labels + #types) instead of O(N + R);
+* the *bulk column* APIs (added for the vectorised batch engine,
+  :mod:`repro.planner.batch`) fill whole slot columns in one call:
+  :meth:`all_node_ids` and :meth:`label_scan_ids` hand back scan lists
+  a morsel can slice, :meth:`node_property_column` reads one property
+  across a node column straight off the internal dicts, and
+  :meth:`expand_batch` walks the adjacency of a whole source column into
+  parallel ``(origin index, relationship, neighbour)`` columns — no
+  per-row method dispatch on any of them.  ``supports_bulk_scans``
+  advertises the capability so the engine only picks batch execution on
+  stores that have it.
 
 All adjacency lists (full and segmented) stay sorted by relationship id
 because ids are allocated monotonically and appends happen at creation
@@ -72,8 +82,17 @@ def _id_value(identifier):
     return identifier.value
 
 
+#: Shared empty dict for the segmented-adjacency misses in expand_batch.
+_EMPTY_SEGMENTS = {}
+
+
 class MemoryGraph(PropertyGraph):
     """A mutable property graph with O(1) id lookups and adjacency lists."""
+
+    #: The batch engine's capability flag: this store implements the bulk
+    #: column APIs (all_node_ids / label_scan_ids / node_property_column /
+    #: expand_batch).  Graph views lacking them keep row-wise execution.
+    supports_bulk_scans = True
 
     def __init__(self):
         self._version = 0  # bumped on every mutation; invalidates cached statistics
@@ -185,6 +204,81 @@ class MemoryGraph(PropertyGraph):
         if direction == "in":
             return inc
         return out + inc
+
+    # -- bulk column access (the batch engine's scan/expand substrate) -------
+
+    def all_node_ids(self):
+        """Every node id as a fresh list the caller may slice and keep."""
+        return list(self._node_labels)
+
+    def label_scan_ids(self, label):
+        """The memoised sorted scan list for ``label`` — do not mutate.
+
+        Same list :meth:`nodes_with_label` iterates; handed out directly
+        so a batched scan can slice morsels without re-materialising.
+        """
+        return self._cached_scan("label", label)
+
+    def node_property_column(self, node_ids, key):
+        """``[ι(n, key) for n in node_ids]`` off the internal dicts.
+
+        One bulk call instead of one :meth:`node_property` dispatch per
+        row.  Raises ``KeyError`` if an id is not a current node (the
+        vectorised compiler catches that and falls back to the
+        per-element path with full mixed-type semantics).
+        """
+        properties = self._node_properties
+        return [properties[node].get(key) for node in node_ids]
+
+    def expand_batch(self, sources, direction, types=None):
+        """Adjacency of a whole source column, as parallel columns.
+
+        Returns ``(origins, rels, targets)``: for every relationship
+        step from ``sources[i]`` one entry each — the origin row index
+        ``i``, the relationship id, and the neighbour reached.  Sources
+        that are not current node ids contribute nothing (mirroring the
+        row-wise Expand's ``isinstance`` guard).  Enumeration order per
+        source matches the per-row accessors exactly: relationship-id
+        order within a direction, outgoing before incoming for
+        ``"both"`` (self-loops once).
+        """
+        origins, rels, targets = [], [], []
+        endpoints = self._rel_endpoints
+        node_labels = self._node_labels
+        if direction == "both":
+            touching = self.touching
+            for index, node in enumerate(sources):
+                if not isinstance(node, NodeId) or node not in node_labels:
+                    continue
+                for rel in touching(node, types):
+                    source_end, target_end = endpoints[rel]
+                    origins.append(index)
+                    rels.append(rel)
+                    targets.append(
+                        target_end if source_end == node else source_end
+                    )
+            return origins, rels, targets
+        if direction == "out":
+            plain, segmented, end = self._outgoing, self._outgoing_by_type, 1
+        else:
+            plain, segmented, end = self._incoming, self._incoming_by_type, 0
+        single = None
+        if types is not None and len(types) == 1:
+            (single,) = types
+        for index, node in enumerate(sources):
+            if not isinstance(node, NodeId) or node not in node_labels:
+                continue
+            if types is None:
+                steps = plain.get(node, ())
+            elif single is not None:
+                steps = segmented.get(node, _EMPTY_SEGMENTS).get(single, ())
+            else:
+                steps = self._typed_adjacency(segmented, node, types)
+            for rel in steps:
+                origins.append(index)
+                rels.append(rel)
+                targets.append(endpoints[rel][end])
+        return origins, rels, targets
 
     def all_labels(self):
         return sorted(self._label_index.keys())

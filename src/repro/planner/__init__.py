@@ -14,20 +14,29 @@ engines and an additional operator called Expand."
   traversal order);
 * :mod:`repro.planner.slots` — slot assignment: each plan variable gets
   a fixed integer position, so rows are flat lists, not dicts;
-* :mod:`repro.planner.physical` — the slotted execution engine:
-  operators are compiled to generator closures over slotted rows, with
-  expressions compiled by :mod:`repro.semantics.compile`.
+* :mod:`repro.planner.physical` — the slotted row engine: operators are
+  compiled to generator closures over slotted rows, with expressions
+  compiled by :mod:`repro.semantics.compile`;
+* :mod:`repro.planner.batch` — the vectorised batch engine: the same
+  plans executed as morsels of slot *columns*, picked automatically for
+  read plans whose operators all have batch implementations
+  (``plan_supports_batch``).
 
-The planner covers the whole read language — named paths, all three
-Section 8 morphisms, comprehensions/quantifiers — so ``plan_query``
-raises :class:`repro.exceptions.UnsupportedFeature` only for updating
-queries (CREATE / MERGE / SET / DELETE / REMOVE) and the Cypher 10
-graph clauses; the engine falls back to the reference interpreter for
-those, recording the reason on ``QueryResult.executed_by`` /
-``fallback_reason``.
+The planner covers the whole standard language — reads *and* updates —
+so ``plan_query`` raises :class:`repro.exceptions.UnsupportedFeature`
+only for the Cypher 10 graph clauses; the engine falls back to the
+reference interpreter for those, recording the reason on
+``QueryResult.executed_by`` / ``fallback_reason``.
 """
 
 from repro.planner.planning import plan_depends_on_statistics, plan_query
 from repro.planner.physical import execute_plan
+from repro.planner.batch import execute_plan_batched, plan_supports_batch
 
-__all__ = ["plan_query", "plan_depends_on_statistics", "execute_plan"]
+__all__ = [
+    "plan_query",
+    "plan_depends_on_statistics",
+    "execute_plan",
+    "execute_plan_batched",
+    "plan_supports_batch",
+]

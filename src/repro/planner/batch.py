@@ -1,0 +1,880 @@
+"""Vectorised batch execution: morsels of rows as slot columns.
+
+The row engine (:mod:`repro.planner.physical`) already compiles operator
+dispatch and expressions once per plan, but it still pays Python's
+per-row toll: a generator resumption per operator per row, a ``row[:]``
+copy per binding, a closure call per expression per row.  This module
+executes the same logical plans *columnar*: operators exchange
+**morsels** — batches of up to :data:`DEFAULT_MORSEL_SIZE` rows stored
+as one flat Python list per slot — so each per-row cost becomes a
+per-morsel cost amortised over N rows:
+
+* scans slice whole chunks off the store's cached scan lists
+  (:meth:`~repro.graph.store.MemoryGraph.label_scan_ids`) and broadcast
+  the outer bindings, instead of copying a row per node;
+* Expand walks the adjacency of an entire source column in one store
+  call (:meth:`~repro.graph.store.MemoryGraph.expand_batch`) and gathers
+  the surviving origins with list selections;
+* filters and projections evaluate *column-compiled* expression closures
+  (:class:`~repro.semantics.compile.ColumnCompiler`) — one call per
+  morsel, with int fast-path loops inside;
+* aggregation accumulates straight off argument columns, and
+  ``ORDER BY … LIMIT k`` runs the same bounded :class:`Top` heap as the
+  row engine.
+
+A batch is the pair ``(n, cols)``: ``cols[slot]`` is either a list of
+``n`` values or ``None`` when the slot is unbound across the whole batch
+(the supported operators bind uniformly, so a column never mixes bound
+and unbound rows — ``MISSING`` appears only in scratch rows materialised
+for fallback expressions).
+
+**Coverage is a contract, not best effort.**  :func:`plan_supports_batch`
+names exactly the operators this engine claims; the engine picks batch
+execution for any read plan inside the claim and records the choice in
+``QueryResult.execution_mode``, and the TCK runner asserts a claimed
+plan never silently degrades to row mode.  Outside the claim — variable
+length expands, OPTIONAL MATCH, UNION, named paths, every write operator
+and its Eager barriers — execution stays row-wise: writes batch through
+the store transaction already, and per-row snapshot semantics are
+exactly what the barriers guarantee.  The differential harness
+(``tests/test_batched_differential.py``) holds all three executors —
+interpreter, row, batch — to identical result bags and byte-identical
+final stores over the fuzz corpus.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.ast import expressions as ex
+from repro.ast import patterns as pt
+from repro.planner import logical as lg
+from repro.planner.physical import (
+    ExecutionContext,
+    TOPK_STATS,
+    _bound_value,
+    _compile_conflicts,
+    _compile_node_conflicts,
+    _compile_node_ok,
+    _compile_rel_ok,
+    _heap_item_class,
+)
+from repro.planner.slots import SlotMap
+from repro.semantics.compile import MISSING, ColumnCompiler, select_columns
+from repro.semantics.table import Table
+from repro.values.base import NodeId
+from repro.values.ordering import canonical_key, sort_key
+
+#: Target rows per morsel.  Big enough to amortise per-batch Python
+#: overhead, small enough to keep columns cache-resident; engines expose
+#: it as the ``morsel_size`` knob.
+DEFAULT_MORSEL_SIZE = 256
+
+
+def graph_supports_batch(graph):
+    """True when the store implements the bulk column APIs."""
+    return bool(getattr(graph, "supports_bulk_scans", False))
+
+
+def plan_supports_batch(plan):
+    """True when every operator of ``plan`` has a batch implementation.
+
+    This is the batch engine's published claim: the engine *must* run a
+    supported read plan in batch mode (the TCK runner asserts it), and
+    must not attempt an unsupported one.  Memoised on the plan object,
+    like the slot-name collection — plans are immutable.
+    """
+    cached = getattr(plan, "_batch_supported", None)
+    if cached is None:
+        cached = True
+        stack = [plan]
+        while stack:
+            op = stack.pop()
+            if type(op) not in _COMPILERS:
+                cached = False
+                break
+            stack.extend(op._children())
+        object.__setattr__(plan, "_batch_supported", cached)
+    return cached
+
+
+class BatchContext(ExecutionContext):
+    """Execution context plus the column compiler and morsel size."""
+
+    def __init__(
+        self, graph, parameters=None, functions=None, morphism=None,
+        slots=None, morsel_size=None,
+    ):
+        super().__init__(graph, parameters, functions, morphism, slots)
+        self.columns = ColumnCompiler(self.compiler)
+        self.morsel_size = morsel_size or DEFAULT_MORSEL_SIZE
+
+    def transaction(self):
+        raise AssertionError(
+            "write operators have no batch implementation; "
+            "plan_supports_batch should have rejected this plan"
+        )
+
+
+def execute_plan_batched(
+    plan, graph, parameters=None, functions=None, morphism=None,
+    morsel_size=None,
+):
+    """Run a batch-supported logical plan; returns a Table over its fields.
+
+    Semantically identical to :func:`~repro.planner.physical.execute_plan`
+    on every plan :func:`plan_supports_batch` accepts — same rows, same
+    order, same errors.
+    """
+    slots = SlotMap.from_plan(plan)
+    context = BatchContext(
+        graph, parameters, functions, morphism, slots, morsel_size
+    )
+    source = _compile(plan, context)
+    fields = plan.fields
+    field_slots = [slots[field] for field in fields]
+    rows = []
+    append = rows.append
+    for n, cols in source(None):
+        field_cols = [cols[slot] for slot in field_slots]
+        for index in range(n):
+            record = {}
+            for field, col in zip(fields, field_cols):
+                value = col[index] if col is not None else None
+                record[field] = None if value is MISSING else value
+            append(record)
+    return Table(fields, rows)
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _compile(op, ctx):
+    """Compile an operator subtree to ``argument -> iterator of batches``."""
+    return _COMPILERS[type(op)](op, ctx)
+
+
+def _bound_columns(cols):
+    """The ``(slot, column)`` pairs bound in this batch."""
+    return [(slot, col) for slot, col in enumerate(cols) if col is not None]
+
+
+#: The operators' row-selection kernel — one implementation, shared with
+#: the column compiler's masked AND/OR (see semantics/compile.py).
+_select = select_columns
+
+
+def _materialize(cols, bound, index, width):
+    """A fresh scratch row holding batch row ``index`` (MISSING elsewhere)."""
+    row = [MISSING] * width
+    for slot, col in bound:
+        row[slot] = col[index]
+    return row
+
+
+def _direction_of(rel_pattern):
+    if rel_pattern.direction == pt.LEFT_TO_RIGHT:
+        return "out"
+    if rel_pattern.direction == pt.RIGHT_TO_LEFT:
+        return "in"
+    return "both"
+
+
+# ---------------------------------------------------------------------------
+# Sources
+# ---------------------------------------------------------------------------
+
+def _compile_init(op, ctx):
+    width = len(ctx.slots)
+
+    def run(argument):
+        yield 1, [None] * width
+
+    return run
+
+
+def _compile_scan(op, ctx, source_of, granted_label=None):
+    """Shared chunked scan: slice the node list per driving row."""
+    child = _compile(op.child, ctx)
+    slot = ctx.slots[op.variable]
+    ok = _compile_node_ok(ctx, op.node_pattern, granted_label=granted_label)
+    morsel = ctx.morsel_size
+    width = len(ctx.slots)
+
+    def run(argument):
+        for n, cols in child(argument):
+            bound = _bound_columns(cols)
+            row = [MISSING] * width if ok is not None else None
+            for index in range(n):
+                if ok is not None:
+                    for out_slot, col in bound:
+                        row[out_slot] = col[index]
+                    nodes = [node for node in source_of() if ok(node, row)]
+                else:
+                    nodes = source_of()
+                total = len(nodes)
+                for start in range(0, total, morsel):
+                    chunk = nodes[start:start + morsel]
+                    out = [None] * width
+                    for out_slot, col in bound:
+                        out[out_slot] = [col[index]] * len(chunk)
+                    out[slot] = chunk
+                    yield len(chunk), out
+
+    return run
+
+
+def _compile_all_nodes_scan(op, ctx):
+    return _compile_scan(op, ctx, ctx.graph.all_node_ids)
+
+
+def _compile_label_scan(op, ctx):
+    label = op.label
+    scan = ctx.graph.label_scan_ids
+    return _compile_scan(
+        op, ctx, lambda: scan(label), granted_label=label
+    )
+
+
+def _compile_node_check(op, ctx):
+    child = _compile(op.child, ctx)
+    slot = ctx.slots[op.variable]
+    ok = _compile_node_ok(ctx, op.node_pattern)
+    width = len(ctx.slots)
+
+    def run(argument):
+        for n, cols in child(argument):
+            col = cols[slot]
+            if col is None:
+                continue  # unbound for the whole batch: nothing survives
+            if ok is None:
+                keep = [
+                    index
+                    for index, value in enumerate(col)
+                    if isinstance(value, NodeId)
+                ]
+            else:
+                bound = _bound_columns(cols)
+                keep = []
+                for index, value in enumerate(col):
+                    if not isinstance(value, NodeId):
+                        continue
+                    row = _materialize(cols, bound, index, width)
+                    if ok(value, row):
+                        keep.append(index)
+            if not keep:
+                continue
+            if len(keep) == n:
+                yield n, cols
+            else:
+                yield len(keep), _select(cols, keep)
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Expand
+# ---------------------------------------------------------------------------
+
+def _compile_expand(op, ctx):
+    child = _compile(op.child, ctx)
+    slots = ctx.slots
+    from_slot = slots[op.from_variable]
+    rel_slot = slots[op.rel_variable] if op.rel_variable is not None else None
+    to_slot = slots[op.to_variable] if op.to_variable is not None else None
+    direction = _direction_of(op.rel_pattern)
+    types = op.rel_pattern.resolved_types
+    conflicts = _compile_conflicts(ctx, op.unique_with)
+    node_conflicts = _compile_node_conflicts(
+        ctx, op.unique_nodes, op.unique_segments
+    )
+    rel_ok = _compile_rel_ok(ctx, op.rel_pattern)
+    node_ok = _compile_node_ok(ctx, op.node_pattern)
+    into = op.into
+    expand_batch = ctx.graph.expand_batch
+    width = len(slots)
+    # A label-only target check reads nothing from the row (its property
+    # loop is empty), so the scratch-row materialisation per driving row
+    # is skipped for the common (a)-[:T]->(b:Label) shape.
+    need_row = (
+        conflicts is not None
+        or node_conflicts is not None
+        or rel_ok is not None
+        or (node_ok is not None and bool(op.node_pattern.properties))
+    )
+
+    def run(argument):
+        for n, cols in child(argument):
+            source_col = cols[from_slot]
+            if source_col is None:
+                continue
+            to_col = cols[to_slot] if into else None
+            if into and to_col is None:
+                continue  # every comparison against MISSING fails
+            origins, rels, targets = expand_batch(
+                source_col, direction, types
+            )
+            if not origins:
+                continue
+            if need_row or node_ok is not None or into:
+                bound = _bound_columns(cols)
+                keep = []
+                row = None
+                current = -1
+                for position, origin in enumerate(origins):
+                    if need_row and origin != current:
+                        # Fresh per driving row: the node-conflict check
+                        # memoises its visited set on row identity.
+                        row = _materialize(cols, bound, origin, width)
+                        current = origin
+                    rel = rels[position]
+                    target = targets[position]
+                    if conflicts is not None and conflicts(rel, row):
+                        continue
+                    if rel_ok is not None and not rel_ok(rel, row):
+                        continue
+                    if node_conflicts is not None and node_conflicts(
+                        target, row
+                    ):
+                        continue
+                    if into and to_col[origin] != target:
+                        continue
+                    if node_ok is not None and not node_ok(target, row):
+                        continue
+                    keep.append(position)
+                if not keep:
+                    continue
+                if len(keep) != len(origins):
+                    origins = [origins[p] for p in keep]
+                    rels = [rels[p] for p in keep]
+                    targets = [targets[p] for p in keep]
+            out = _select(cols, origins)
+            if rel_slot is not None:
+                out[rel_slot] = rels
+            if not into and to_slot is not None:
+                out[to_slot] = targets
+            yield len(origins), out
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Tuple operators
+# ---------------------------------------------------------------------------
+
+def _compile_filter(op, ctx):
+    child = _compile(op.child, ctx)
+    selection = ctx.columns.compile_selection(op.predicate)
+
+    def run(argument):
+        for n, cols in child(argument):
+            keep = selection(n, cols)
+            if not keep:
+                continue
+            if len(keep) == n:
+                yield n, cols
+            else:
+                yield len(keep), _select(cols, keep)
+
+    return run
+
+
+def _compile_project(op, ctx):
+    child = _compile(op.child, ctx)
+    items = tuple(
+        (ctx.slots[name], ctx.columns.compile(expression))
+        for name, expression in op.items
+    )
+
+    def run(argument):
+        for n, cols in child(argument):
+            # All items read the input columns; writes land in the copy,
+            # so aliases may shadow inputs without corruption.
+            computed = [(slot, compiled(n, cols)) for slot, compiled in items]
+            out = list(cols)
+            for slot, column in computed:
+                out[slot] = column
+            yield n, out
+
+    return run
+
+
+def _compile_strip(op, ctx):
+    child = _compile(op.child, ctx)
+    keep = tuple(ctx.slots[field] for field in op.fields)
+    width = len(ctx.slots)
+
+    def run(argument):
+        for n, cols in child(argument):
+            out = [None] * width
+            for slot in keep:
+                col = cols[slot]
+                out[slot] = col if col is not None else [None] * n
+            yield n, out
+
+    return run
+
+
+def _canonical_column(column):
+    """Canonical grouping keys for one column (hot scalar cases inlined)."""
+    out = []
+    append = out.append
+    for value in column:
+        value_type = type(value)
+        if value_type is int:
+            append(("num", value))
+        elif value_type is str:
+            append(("str", value))
+        else:
+            append(canonical_key(value))
+    return out
+
+
+def _compile_distinct(op, ctx):
+    child = _compile(op.child, ctx)
+    field_slots = tuple(ctx.slots[field] for field in op.fields)
+
+    def run(argument):
+        seen = set()
+        add = seen.add
+        for n, cols in child(argument):
+            key_cols = [
+                _canonical_column(cols[slot])
+                if cols[slot] is not None
+                else None
+                for slot in field_slots
+            ]
+            null_key = canonical_key(None)
+            keep = []
+            for index in range(n):
+                key = tuple(
+                    keyed[index] if keyed is not None else null_key
+                    for keyed in key_cols
+                )
+                if key not in seen:
+                    add(key)
+                    keep.append(index)
+            if not keep:
+                continue
+            if len(keep) == n:
+                yield n, cols
+            else:
+                yield len(keep), _select(cols, keep)
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+def _aggregate_outputs(ctx, aggregates):
+    """Classify each aggregate item for column-wise accumulation.
+
+    ``count``/``simple``/``pair`` accumulate straight off argument
+    columns through the shared accumulator objects; anything fancier
+    collects dict records per group and reuses the reference
+    ``evaluate_aggregate_item`` — exactly the row engine's split.
+    """
+    from repro.functions.aggregates import _Percentile
+    from repro.semantics.clauses import _make_accumulator
+
+    outputs = []
+    needs_records = False
+    for name, expression in aggregates:
+        slot = ctx.slots[name]
+        kind = None
+        arg_fns = ()
+        if isinstance(expression, ex.CountStar):
+            kind = "count"
+        elif (
+            isinstance(expression, ex.FunctionCall)
+            and expression.name in ex.AGGREGATE_FUNCTION_NAMES
+        ):
+            if isinstance(_make_accumulator(expression), _Percentile):
+                if len(expression.args) == 2:
+                    kind = "pair"
+                    arg_fns = (
+                        ctx.columns.compile(expression.args[0]),
+                        ctx.columns.compile(expression.args[1]),
+                    )
+            elif len(expression.args) == 1:
+                kind = "simple"
+                arg_fns = (ctx.columns.compile(expression.args[0]),)
+        if kind is None:
+            kind = "records"
+            needs_records = True
+        outputs.append((slot, expression, kind, arg_fns))
+    return outputs, needs_records
+
+
+def _compile_aggregate(op, ctx):
+    from repro.semantics.clauses import _make_accumulator
+    from repro.semantics.clauses import evaluate_aggregate_item
+
+    child = _compile(op.child, ctx)
+    slots = ctx.slots
+    width = len(slots)
+    grouping = tuple(
+        (slots[name], ctx.columns.compile(expression))
+        for name, expression in op.grouping
+    )
+    outputs, needs_records = _aggregate_outputs(ctx, op.aggregates)
+    to_record = slots.to_record
+    evaluator = ctx.evaluator
+
+    def new_states():
+        return [
+            0 if kind == "count" else (
+                _make_accumulator(expression)
+                if kind in ("simple", "pair")
+                else None
+            )
+            for _slot, expression, kind, _fns in outputs
+        ]
+
+    def collect_records(cols, n, records):
+        bound = _bound_columns(cols)
+        for index in range(n):
+            records.append(to_record(_materialize(cols, bound, index, width)))
+
+    def finish(order, groups):
+        """The single output batch: one row per group, in arrival order."""
+        out = [None] * width
+        for position, (slot, _compiled) in enumerate(grouping):
+            out[slot] = [groups[key][0][position] for key in order]
+        for position, (slot, expression, kind, _fns) in enumerate(outputs):
+            column = []
+            for key in order:
+                _values, states, records = groups[key]
+                if kind == "count":
+                    column.append(states[position])
+                elif kind in ("simple", "pair"):
+                    column.append(states[position].result())
+                else:
+                    column.append(
+                        evaluate_aggregate_item(expression, records, evaluator)
+                    )
+            out[slot] = column
+        return len(order), out
+
+    if not grouping:
+        # Global aggregation: no keys at all — count(*) adds batch sizes,
+        # one-argument aggregates drain their argument column through the
+        # accumulator in a tight loop.  This is the hot RETURN count(*)
+        # / sum(x) shape the benchmarks pin at 2x the row engine.
+        def run_global(argument):
+            states = new_states()
+            records = [] if needs_records else None
+            for n, cols in child(argument):
+                for position, (_s, _e, kind, arg_fns) in enumerate(outputs):
+                    if kind == "count":
+                        states[position] += n
+                    elif kind == "simple":
+                        include = states[position].include
+                        for value in arg_fns[0](n, cols):
+                            include(value)
+                    elif kind == "pair":
+                        include_pair = states[position].include_pair
+                        for value, percentile in zip(
+                            arg_fns[0](n, cols), arg_fns[1](n, cols)
+                        ):
+                            include_pair(value, percentile)
+                if needs_records:
+                    collect_records(cols, n, records)
+            yield finish([()], {(): ([], states, records)})
+
+        return run_global
+
+    single_key = len(grouping) == 1
+    single_count = (
+        not needs_records
+        and len(outputs) == 1
+        and outputs[0][2] == "count"
+    )
+    single_simple = (
+        not needs_records
+        and len(outputs) == 1
+        and outputs[0][2] == "simple"
+    )
+
+    def run(argument):
+        groups = {}
+        order = []
+        append_key = order.append
+        for n, cols in child(argument):
+            key_cols = [compiled(n, cols) for _slot, compiled in grouping]
+            keyed = [_canonical_column(column) for column in key_cols]
+            if single_key:
+                keys = keyed[0]
+                values = key_cols[0]
+            else:
+                keys = list(zip(*keyed))
+                values = None
+            if single_count:
+                # One count(*) per group: the dict is the whole loop.
+                for index, key in enumerate(keys):
+                    entry = groups.get(key)
+                    if entry is None:
+                        groups[key] = entry = (
+                            [values[index]]
+                            if single_key
+                            else [col[index] for col in key_cols],
+                            [0],
+                            None,
+                        )
+                        append_key(key)
+                    entry[1][0] += 1
+                continue
+            if single_simple:
+                argument_col = outputs[0][3][0](n, cols)
+                for index, key in enumerate(keys):
+                    entry = groups.get(key)
+                    if entry is None:
+                        groups[key] = entry = (
+                            [values[index]]
+                            if single_key
+                            else [col[index] for col in key_cols],
+                            new_states(),
+                            None,
+                        )
+                        append_key(key)
+                    entry[1][0].include(argument_col[index])
+                continue
+            arg_cols = [
+                tuple(fn(n, cols) for fn in arg_fns) if arg_fns else ()
+                for _slot, _expression, _kind, arg_fns in outputs
+            ]
+            bound = _bound_columns(cols) if needs_records else None
+            for index, key in enumerate(keys):
+                entry = groups.get(key)
+                if entry is None:
+                    entry = (
+                        [column[index] for column in key_cols],
+                        new_states(),
+                        [] if needs_records else None,
+                    )
+                    groups[key] = entry
+                    append_key(key)
+                states = entry[1]
+                for position, (_s, _e, kind, _fns) in enumerate(outputs):
+                    if kind == "count":
+                        states[position] += 1
+                    elif kind == "simple":
+                        states[position].include(arg_cols[position][0][index])
+                    elif kind == "pair":
+                        states[position].include_pair(
+                            arg_cols[position][0][index],
+                            arg_cols[position][1][index],
+                        )
+                if needs_records:
+                    entry[2].append(
+                        to_record(_materialize(cols, bound, index, width))
+                    )
+        if order:
+            yield finish(order, groups)
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Ordering, offsets
+# ---------------------------------------------------------------------------
+
+def _concat(batches, width):
+    """Merge a batch list into one ``(n, cols)`` (binding normalised)."""
+    if len(batches) == 1:
+        return batches[0]
+    total = sum(n for n, _cols in batches)
+    merged = []
+    for slot in range(width):
+        if all(cols[slot] is None for _n, cols in batches):
+            merged.append(None)
+            continue
+        column = []
+        for n, cols in batches:
+            col = cols[slot]
+            column.extend(col if col is not None else [None] * n)
+        merged.append(column)
+    return total, merged
+
+
+def _compile_sort(op, ctx):
+    child = _compile(op.child, ctx)
+    keys = tuple(
+        (ctx.columns.compile(item.expression), bool(item.ascending))
+        for item in op.sort_items
+    )
+    width = len(ctx.slots)
+
+    def run(argument):
+        batches = list(child(argument))
+        if not batches:
+            return
+        n, cols = _concat(batches, width)
+        order = list(range(n))
+        # Stable multi-pass sort, least-significant key first — the same
+        # lexicographic-comparator equivalence the row engine uses.
+        for compiled, ascending in reversed(keys):
+            keyed = [sort_key(value) for value in compiled(n, cols)]
+            order.sort(key=keyed.__getitem__, reverse=not ascending)
+        yield n, _select(cols, order)
+
+    return run
+
+
+def _compile_top(op, ctx):
+    child = _compile(op.child, ctx)
+    key_fns = tuple(ctx.columns.compile(item.expression) for item in op.sort_items)
+    flags = tuple(bool(item.ascending) for item in op.sort_items)
+    limit_count = ctx.compile(op.limit)
+    skip_count = ctx.compile(op.skip) if op.skip is not None else None
+    slots = ctx.slots
+    width = len(slots)
+    heap_item = _heap_item_class(flags)
+    stats = TOPK_STATS
+
+    def run(argument):
+        k = _bound_value(limit_count, slots, "LIMIT")
+        if skip_count is not None:
+            k += _bound_value(skip_count, slots, "SKIP")
+        if k == 0:
+            return
+        heap = []
+        seq = 0
+        for n, cols in child(argument):
+            key_cols = [fn(n, cols) for fn in key_fns]
+            bound = _bound_columns(cols)
+            for index in range(n):
+                row_keys = tuple(sort_key(kc[index]) for kc in key_cols)
+                if len(heap) < k:
+                    heapq.heappush(
+                        heap,
+                        heap_item(
+                            row_keys,
+                            seq,
+                            _materialize(cols, bound, index, width),
+                        ),
+                    )
+                    stats["pushed"] += 1
+                    if len(heap) > stats["heap_max"]:
+                        stats["heap_max"] = len(heap)
+                else:
+                    candidate = heap_item(row_keys, seq, None)
+                    if heap[0] < candidate:
+                        candidate.row = _materialize(
+                            cols, bound, index, width
+                        )
+                        heapq.heappushpop(heap, candidate)
+                        stats["pushed"] += 1
+                seq += 1
+        if not heap:
+            return
+        rows = [item.row for item in sorted(heap, reverse=True)]
+        out = []
+        first = rows[0]
+        for slot in range(width):
+            if first[slot] is MISSING:
+                out.append(None)  # binding is uniform across the stream
+            else:
+                out.append([row[slot] for row in rows])
+        yield len(rows), out
+
+    return run
+
+
+def _compile_skip(op, ctx):
+    child = _compile(op.child, ctx)
+    count = ctx.compile(op.count)
+    slots = ctx.slots
+
+    def run(argument):
+        remaining = _bound_value(count, slots, "SKIP")
+        for n, cols in child(argument):
+            if remaining >= n:
+                remaining -= n
+                continue
+            if remaining:
+                offset = remaining
+                remaining = 0
+                yield (
+                    n - offset,
+                    [None if c is None else c[offset:] for c in cols],
+                )
+            else:
+                yield n, cols
+
+    return run
+
+
+def _compile_limit(op, ctx):
+    child = _compile(op.child, ctx)
+    count = ctx.compile(op.count)
+    slots = ctx.slots
+
+    def run(argument):
+        budget = _bound_value(count, slots, "LIMIT")
+        if budget == 0:
+            return
+        for n, cols in child(argument):
+            if n < budget:
+                budget -= n
+                yield n, cols
+            elif n == budget:
+                yield n, cols
+                return
+            else:
+                yield (
+                    budget,
+                    [None if c is None else c[:budget] for c in cols],
+                )
+                return
+
+    return run
+
+
+def _compile_unwind(op, ctx):
+    child = _compile(op.child, ctx)
+    expression = ctx.columns.compile(op.expression)
+    slot = ctx.slots[op.alias]
+
+    def run(argument):
+        for n, cols in child(argument):
+            values = expression(n, cols)
+            origins = []
+            flat = []
+            for index, value in enumerate(values):
+                if isinstance(value, list):
+                    for element in value:
+                        origins.append(index)
+                        flat.append(element)
+                else:
+                    origins.append(index)
+                    flat.append(value)
+            if not flat:
+                continue
+            out = _select(cols, origins)
+            out[slot] = flat
+            yield len(flat), out
+
+    return run
+
+
+_COMPILERS = {
+    lg.Init: _compile_init,
+    lg.AllNodesScan: _compile_all_nodes_scan,
+    lg.NodeByLabelScan: _compile_label_scan,
+    lg.NodeCheck: _compile_node_check,
+    lg.Expand: _compile_expand,
+    lg.Filter: _compile_filter,
+    lg.ExtendedProject: _compile_project,
+    lg.Strip: _compile_strip,
+    lg.Distinct: _compile_distinct,
+    lg.Aggregate: _compile_aggregate,
+    lg.Sort: _compile_sort,
+    lg.Top: _compile_top,
+    lg.Skip: _compile_skip,
+    lg.Limit: _compile_limit,
+    lg.Unwind: _compile_unwind,
+}

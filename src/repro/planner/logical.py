@@ -316,6 +316,39 @@ class Sort(Operator):
 
 
 @dataclass(frozen=True)
+class Top(Operator):
+    """Fused ``ORDER BY … [SKIP s] LIMIT k``: a bounded top-k heap.
+
+    Planned in place of :class:`Sort` whenever the projection also
+    carries a LIMIT: instead of materialising and sorting the whole
+    input, execution keeps a heap of the best ``limit (+ skip)`` rows
+    seen so far and emits them in sort order.  The downstream Skip/Limit
+    operators still run (they validate their counts and slice), so the
+    observable semantics — including the error for a negative LIMIT —
+    are exactly Sort + Skip + Limit.
+    """
+
+    child: Operator
+    sort_items: Tuple[object, ...]  # clauses.SortItem
+    limit: object                   # Expression (row-independent)
+    skip: Optional[object] = None   # Expression or None
+    fields: Tuple[str, ...] = ()
+
+    def _describe_line(self):
+        from repro.ast.printer import print_expression
+
+        keys = ", ".join(
+            print_expression(item.expression)
+            + ("" if item.ascending else " DESC")
+            for item in self.sort_items
+        )
+        return "Top({}{})".format(keys, ", +skip" if self.skip is not None else "")
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
 class Skip(Operator):
     child: Operator
     count: object  # Expression

@@ -28,6 +28,8 @@ query class the planner accepts.
 
 from __future__ import annotations
 
+import heapq
+
 from repro.ast import clauses as cl
 from repro.ast import expressions as ex
 from repro.ast import patterns as pt
@@ -700,6 +702,82 @@ def _compile_sort(op, ctx):
     return run
 
 
+#: Observable top-k counters: ``pushed`` counts rows ever materialised
+#: into a Top heap, ``heap_max`` the largest heap size reached.  The
+#: regression tests reset and read these to pin that ``ORDER BY … LIMIT
+#: k`` no longer materialises the full sorted table.
+TOPK_STATS = {"pushed": 0, "heap_max": 0}
+
+
+def _heap_item_class(ascending_flags):
+    """A heap element class whose ``<`` means *sorts after* (is worse).
+
+    ``heapq`` is a min-heap, so with this ordering the root is always the
+    worst retained row: a full heap admits a new row via ``heappushpop``
+    exactly when the root is worse than it.  Ties break by sequence
+    number (a later row is worse), which reproduces the stable
+    Sort + Limit semantics bit for bit.
+    """
+
+    class HeapItem:
+        __slots__ = ("keys", "seq", "row")
+
+        def __init__(self, keys, seq, row):
+            self.keys = keys
+            self.seq = seq
+            self.row = row
+
+        def __lt__(self, other):
+            for mine, theirs, ascending in zip(
+                self.keys, other.keys, ascending_flags
+            ):
+                if mine < theirs:
+                    return not ascending
+                if theirs < mine:
+                    return ascending
+            return self.seq > other.seq
+
+    return HeapItem
+
+
+def _compile_top(op, ctx):
+    child = _compile(op.child, ctx)
+    keys = tuple(ctx.compile(item.expression) for item in op.sort_items)
+    flags = tuple(bool(item.ascending) for item in op.sort_items)
+    limit_count = ctx.compile(op.limit)
+    skip_count = ctx.compile(op.skip) if op.skip is not None else None
+    slots = ctx.slots
+    heap_item = _heap_item_class(flags)
+    stats = TOPK_STATS
+
+    def run(argument):
+        k = _bound_value(limit_count, slots, "LIMIT")
+        if skip_count is not None:
+            k += _bound_value(skip_count, slots, "SKIP")
+        if k == 0:
+            return  # LIMIT 0 never pulls the child, like Limit itself
+        heap = []
+        seq = 0
+        for row in child(argument):
+            row_keys = tuple(sort_key(compiled(row)) for compiled in keys)
+            if len(heap) < k:
+                heapq.heappush(heap, heap_item(row_keys, seq, row))
+                stats["pushed"] += 1
+                if len(heap) > stats["heap_max"]:
+                    stats["heap_max"] = len(heap)
+            else:
+                candidate = heap_item(row_keys, seq, None)
+                if heap[0] < candidate:
+                    candidate.row = row
+                    heapq.heappushpop(heap, candidate)
+                    stats["pushed"] += 1
+            seq += 1
+        for item in sorted(heap, reverse=True):
+            yield item.row
+
+    return run
+
+
 def _bound_value(compiled_count, slots, keyword):
     value = compiled_count(slots.new_row())
     if not isinstance(value, int) or isinstance(value, bool) or value < 0:
@@ -1217,6 +1295,7 @@ _COMPILERS = {
     lg.Distinct: _compile_distinct,
     lg.Aggregate: _compile_aggregate,
     lg.Sort: _compile_sort,
+    lg.Top: _compile_top,
     lg.Skip: _compile_skip,
     lg.Limit: _compile_limit,
     lg.Unwind: _compile_unwind,

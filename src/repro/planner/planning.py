@@ -474,9 +474,45 @@ class _PlanBuilder:
             plan = lg.Skip(plan, projection.skip, fields=plan.fields)
         if projection.limit is not None:
             plan = lg.Limit(plan, projection.limit, fields=plan.fields)
+            plan = _fuse_top_k(plan)
         if where is not None:
             plan = lg.Filter(plan, where, fields=plan.fields)
         return plan
+
+
+def _fuse_top_k(plan):
+    """Rewrite ``Limit(…(Sort(X)))`` into ``Limit(…(Top(X)))``.
+
+    ``ORDER BY … LIMIT k`` used to materialise and sort the whole input;
+    the fused :class:`~repro.planner.logical.Top` keeps a bounded heap of
+    the best ``k`` (+ SKIP offset) rows instead.  Only Skip and Strip may
+    sit between the Limit and its Sort (the shapes ``_plan_projection``
+    emits); anything else leaves the plan untouched.
+    """
+    from dataclasses import replace
+
+    if not isinstance(plan, lg.Limit):
+        return plan
+    wrappers = []
+    node = plan.child
+    skip_count = None
+    while isinstance(node, (lg.Skip, lg.Strip)):
+        if isinstance(node, lg.Skip):
+            skip_count = node.count
+        wrappers.append(node)
+        node = node.child
+    if not isinstance(node, lg.Sort):
+        return plan
+    rebuilt = lg.Top(
+        node.child,
+        node.sort_items,
+        limit=plan.count,
+        skip=skip_count,
+        fields=node.fields,
+    )
+    for wrapper in reversed(wrappers):
+        rebuilt = replace(wrapper, child=rebuilt)
+    return replace(plan, child=rebuilt)
 
 
 def _is_hidden(name):

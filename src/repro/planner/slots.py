@@ -198,6 +198,11 @@ def collect_plan_names(plan):
         elif isinstance(op, lg.Sort):
             for item in op.sort_items:
                 add_expression(item.expression)
+        elif isinstance(op, lg.Top):
+            for item in op.sort_items:
+                add_expression(item.expression)
+            add_expression(op.limit)
+            add_expression(op.skip)
         elif isinstance(op, (lg.Skip, lg.Limit)):
             add_expression(op.count)
         elif isinstance(op, lg.OptionalApply):

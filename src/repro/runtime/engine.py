@@ -13,7 +13,10 @@ from repro.semantics.analysis import check_query
 from repro.semantics.morphism import EDGE_ISOMORPHISM
 from repro.semantics.query import QueryState, run_query
 
-_MODES = ("auto", "interpreter", "planner")
+_MODES = ("auto", "interpreter", "planner", "row", "batch")
+
+#: Modes that run (or may run) the slotted planner.
+_PLANNER_MODES = ("auto", "planner", "row", "batch")
 
 
 def _is_updating(query):
@@ -40,10 +43,20 @@ class CypherEngine:
         one is created around ``graph`` by default.
     mode:
         ``"auto"`` (planner with interpreter fallback), ``"interpreter"``
-        or ``"planner"``.
+        or ``"planner"`` (planner required).  Two more planner modes pin
+        the *execution* strategy for differential testing: ``"row"``
+        forces tuple-at-a-time execution, ``"batch"`` is like
+        ``"planner"`` but exists to state the intent explicitly — batch
+        execution is the default wherever the batch engine claims the
+        plan (reads whose operators all have batch implementations, on a
+        store with bulk scan APIs); write plans and their Eager barriers
+        always run row-wise.
     morphism:
         Pattern-matching semantics; Cypher 9's edge isomorphism unless
         overridden (Section 8's configurable morphisms).
+    morsel_size:
+        Rows per batch on the vectorised path (default
+        :data:`~repro.planner.batch.DEFAULT_MORSEL_SIZE`).
     """
 
     def __init__(
@@ -55,6 +68,7 @@ class CypherEngine:
         functions=None,
         rewrite=True,
         schema=None,
+        morsel_size=None,
     ):
         if mode not in _MODES:
             raise ValueError("mode must be one of %r" % (_MODES,))
@@ -65,6 +79,7 @@ class CypherEngine:
         self.functions = functions
         self.rewrite = rewrite
         self.schema = schema
+        self.morsel_size = morsel_size
         #: Bounded LRU of compiled plans: query text ->
         #: (graph id, version, stats_sensitive, plan, updating).  Plans
         #: embed no graph data (operators re-read the store at run
@@ -89,12 +104,12 @@ class CypherEngine:
     def run(self, query_text, parameters=None, mode=None):
         """Parse and execute ``query_text``; returns a QueryResult."""
         mode = mode or self.mode
-        if mode in ("planner", "auto"):
+        if mode in _PLANNER_MODES:
             cached = self._cached_plan(query_text)
             if cached is not None:
                 plan, updating = cached
                 return self._execute_planned(
-                    query_text, plan, parameters, updating
+                    query_text, plan, parameters, updating, mode
                 )
         query = parse_query(query_text)
         check_query(query)
@@ -112,20 +127,18 @@ class CypherEngine:
         try:
             plan = plan_query(query, self.graph, morphism=self.morphism)
         except UnsupportedFeature as unsupported:
-            if mode == "planner":
+            if mode != "auto":
                 raise
             return self._run_interpreted(
                 query, parameters, updating, reason=str(unsupported)
             )
         self._remember_plan(query_text, plan, updating)
-        return self._execute_planned(query_text, plan, parameters, updating)
+        return self._execute_planned(
+            query_text, plan, parameters, updating, mode
+        )
 
-    def explain(self, query_text):
-        """The physical plan the planner would run, as indented text.
-
-        Mirrors :meth:`run`'s pipeline (including the rewriter), so the
-        reported plan is the one a run would actually cache and execute.
-        """
+    def _plan_for_explain(self, query_text):
+        """``(plan, updating)`` through :meth:`run`'s exact pipeline."""
         from repro.planner import plan_query
 
         query = parse_query(query_text)
@@ -134,10 +147,19 @@ class CypherEngine:
 
             query = rewrite_query(query)
         plan = plan_query(query, self.graph, morphism=self.morphism)
+        return plan, _is_updating(query)
+
+    def explain(self, query_text):
+        """The physical plan the planner would run, as indented text.
+
+        Mirrors :meth:`run`'s pipeline (including the rewriter), so the
+        reported plan is the one a run would actually cache and execute.
+        """
+        plan, _updating = self._plan_for_explain(query_text)
         return plan.describe()
 
     def explain_info(self, query_text):
-        """``(executed_by, fallback_reason, plan_text, cache_info)``.
+        """``(executed_by, fallback_reason, plan_text, cache_info, mode)``.
 
         ``executed_by`` is ``"planner"`` with the plan tree — update
         queries included, with their ``Eager`` barriers and write
@@ -146,14 +168,21 @@ class CypherEngine:
         ``cache_info`` carries this engine's plan-cache hit/miss
         counters and hit rate, which is how the "a write invalidates
         its own plan once per execution, not once per clause" contract
-        is observable.  Nothing is executed.
+        is observable.  ``mode`` is the execution strategy a run would
+        pick — ``"batch"`` (vectorised morsels over slot columns) or
+        ``"row"`` — and None on the interpreter path.  Nothing is
+        executed.
         """
         cache_info = self.plan_cache_info()
         try:
-            plan_text = self.explain(query_text)
+            plan, updating = self._plan_for_explain(query_text)
         except UnsupportedFeature as unsupported:
-            return ("interpreter", str(unsupported), None, cache_info)
-        return ("planner", None, plan_text, cache_info)
+            return ("interpreter", str(unsupported), None, cache_info, None)
+        # Respect a pinned engine mode: a :mode row session must see the
+        # strategy its runs will actually use (an interpreter-pinned
+        # engine still reports the hypothetical planner strategy).
+        mode = self._pick_execution_mode(plan, updating, self.mode)
+        return ("planner", None, plan.describe(), cache_info, mode)
 
     def plan_cache_info(self):
         """Hit/miss counters of the plan cache, with the derived rate."""
@@ -186,7 +215,44 @@ class CypherEngine:
             fallback_reason=reason,
         )
 
-    def _execute_planned(self, query_text, plan, parameters, updating):
+    def _pick_execution_mode(self, plan, updating, mode="auto"):
+        """``"batch"`` or ``"row"`` for one planned execution.
+
+        Batch execution is the default wherever the batch engine claims
+        the plan: a read-only plan whose operators all have batch
+        implementations, on a store exposing the bulk column APIs.
+        Write plans (and their Eager barriers) always run row-wise —
+        their mutations already batch through the store transaction.
+        ``mode="row"`` pins row execution for differential testing.
+        """
+        if mode == "row" or updating:
+            return "row"
+        from repro.planner.batch import graph_supports_batch
+        from repro.planner.batch import plan_supports_batch
+
+        if plan_supports_batch(plan) and graph_supports_batch(self.graph):
+            return "batch"
+        return "row"
+
+    def _execute_planned(self, query_text, plan, parameters, updating, mode):
+        execution_mode = self._pick_execution_mode(plan, updating, mode)
+        if execution_mode == "batch":
+            from repro.planner.batch import execute_plan_batched
+
+            table = execute_plan_batched(
+                plan,
+                self.graph,
+                parameters=parameters,
+                functions=self.functions,
+                morphism=self.morphism,
+                morsel_size=self.morsel_size,
+            )
+            return QueryResult(
+                table,
+                plan=plan,
+                executed_by="planner",
+                execution_mode="batch",
+            )
         from repro.planner import execute_plan
 
         with self._schema_guard(updating):
@@ -203,7 +269,9 @@ class CypherEngine:
                 # post-commit version (once per execution, regardless
                 # of how many clauses mutated).
                 self._restamp_plan(query_text)
-        return QueryResult(table, plan=plan, executed_by="planner")
+        return QueryResult(
+            table, plan=plan, executed_by="planner", execution_mode="row"
+        )
 
     def _schema_guard(self, updating):
         """Snapshot/validate/rollback around an updating execution."""

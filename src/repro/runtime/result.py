@@ -18,6 +18,13 @@ class QueryResult:
     planner was bypassed (None on the planner path).  Coverage
     regressions show up as unexpected ``"interpreter"`` values; the
     bench harness and the no-fallback tests assert on this.
+
+    On the planner path ``execution_mode`` additionally records *how*
+    the plan ran: ``"batch"`` (vectorised morsels over slot columns) or
+    ``"row"`` (tuple-at-a-time).  It is None on the interpreter path.
+    The TCK runner asserts a plan the batch engine claims
+    (:func:`~repro.planner.batch.plan_supports_batch`) never silently
+    degrades to ``"row"``.
     """
 
     def __init__(
@@ -27,12 +34,14 @@ class QueryResult:
         plan=None,
         executed_by=None,
         fallback_reason=None,
+        execution_mode=None,
     ):
         self._table = table
         self.graphs = dict(graphs or {})
         self.plan = plan
         self.executed_by = executed_by
         self.fallback_reason = fallback_reason
+        self.execution_mode = execution_mode
 
     # -- table access -------------------------------------------------------
 

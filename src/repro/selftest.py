@@ -1,0 +1,195 @@
+"""A self-contained correctness smoke suite: ``python -m repro.cli selftest``.
+
+CI-friendly distillation of the repository's two big differential
+harnesses, runnable without pytest or the tests/ tree:
+
+* a **differential corpus** — a fixed set of read and update queries over
+  a structurally rich little graph, each executed by the reference
+  interpreter, the row-wise planner and the vectorised batch engine;
+  reads must agree as bags (and claimed plans must actually run
+  batched), updates must additionally leave byte-identical stores;
+* the **TCK smoke set** — a handful of scenario suites (including the
+  morsel-boundary feature) through the full multi-mode TCK runner.
+
+Exit status 0 means every check passed; failures print the offending
+query/scenario and return 1, so the command can gate a commit.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.runtime.engine import CypherEngine
+from repro.values.ordering import canonical_key
+
+#: Read queries: every batch-engine operator plus the row-only shapes.
+READ_CORPUS = [
+    "MATCH (n) RETURN count(*) AS c",
+    "MATCH (a:A) RETURN a.v AS v ORDER BY v",
+    "MATCH (a:A)-[:R]->(b) RETURN a.v AS av, b.v AS bv ORDER BY av, bv",
+    "MATCH (a)-[r:R|S]->(b) WHERE r.w >= 1 RETURN count(*) AS c",
+    "MATCH (a)-->(b)-->(c) RETURN count(*) AS paths",
+    "MATCH (a:B) WHERE a.v > 1 OR a.name CONTAINS '4' RETURN a.name AS n",
+    "MATCH (a) RETURN a.v AS g, count(*) AS c ORDER BY g",
+    "MATCH (a) RETURN DISTINCT a.v AS v ORDER BY v",
+    "MATCH (a) RETURN a.v AS v ORDER BY v DESC LIMIT 3",
+    "MATCH (a) WITH a.v AS v ORDER BY v SKIP 2 LIMIT 4 RETURN sum(v) AS s",
+    "UNWIND [3, 1, 2] AS x RETURN x * 10 AS y ORDER BY y",
+    "MATCH (a:A) WITH collect(a.v) AS vs RETURN size(vs) AS n",
+    "MATCH (a) WHERE all(x IN [a.v] WHERE x >= 0) RETURN count(*) AS c",
+    # Row-engine-only shapes (still differential against the interpreter):
+    "MATCH (a)-[:R*1..2]->(b) RETURN count(*) AS c",
+    "MATCH p = (a:A)-[:R]->(b) RETURN length(p) AS l, count(*) AS c",
+    "MATCH (a:A) OPTIONAL MATCH (a)-[:S]->(c) RETURN a.v AS v, c.v AS cv "
+    "ORDER BY v, cv",
+    "RETURN 1 AS x UNION RETURN 2 AS x",
+]
+
+#: Update queries: ordered drivers, so final stores must match exactly.
+UPDATE_CORPUS = [
+    "UNWIND range(1, 5) AS i CREATE (:N {v: i})",
+    "MATCH (a:A) WITH a ORDER BY a.name CREATE (a)-[:W {src: a.v}]->(:New)",
+    "MATCH (a) WITH a ORDER BY a.name SET a.w = a.v * 2, a:Seen",
+    "MATCH ()-[r:S]->() DELETE r",
+    "MATCH (a:C) DETACH DELETE a",
+    "UNWIND [0, 1, 2, 3] AS v MERGE (n:A {v: v}) "
+    "ON CREATE SET n.created = 1 ON MATCH SET n.hits = 1",
+    "MATCH (a:B) WITH a ORDER BY a.name REMOVE a.v, a:B",
+]
+
+#: TCK suites for the smoke set (coverage + morsel boundaries + writes).
+TCK_SMOKE = ("match_basic", "aggregation", "batching", "updates")
+
+_MODES = ("interpreter", "row", "batch")
+
+
+def fixture_graph():
+    """Three labels, two relationship types, a cycle and a self-loop."""
+    builder = GraphBuilder()
+    labels = ["A", "B", "C"]
+    for index in range(9):
+        builder.node(
+            "n%d" % index,
+            labels[index % 3],
+            v=index % 4,
+            name="node-%d" % index,
+        )
+    edges = [
+        (0, 1, "R"), (1, 2, "R"), (2, 3, "R"), (3, 4, "S"), (4, 5, "S"),
+        (5, 0, "R"), (0, 2, "S"), (2, 4, "R"), (6, 7, "R"), (7, 6, "S"),
+        (8, 8, "R"), (1, 4, "S"),
+    ]
+    for position, (source, target, rel_type) in enumerate(edges):
+        builder.rel("n%d" % source, rel_type, "n%d" % target, w=position % 3)
+    graph, _ = builder.build()
+    return graph
+
+
+def graph_state(graph):
+    """Canonical, id-inclusive snapshot for final-store comparison."""
+    nodes = sorted(
+        (
+            node.value,
+            tuple(sorted(graph.labels(node))),
+            canonical_key(graph.properties(node)),
+        )
+        for node in graph.nodes()
+    )
+    rels = sorted(
+        (
+            rel.value,
+            graph.src(rel).value,
+            graph.tgt(rel).value,
+            graph.rel_type(rel),
+            canonical_key(graph.properties(rel)),
+        )
+        for rel in graph.relationships()
+    )
+    return nodes, rels
+
+
+def _check_read(query, graph, failures):
+    from repro.planner.batch import plan_supports_batch
+
+    engine = CypherEngine(graph)
+    reference = engine.run(query, mode="interpreter")
+    for mode in ("row", "batch"):
+        result = engine.run(query, mode=mode)
+        if result.executed_by != "planner":
+            failures.append("%s: fell back to interpreter in %r" % (query, mode))
+            continue
+        if mode == "row" and result.execution_mode != "row":
+            failures.append("%s: row mode ran %r" % (query, result.execution_mode))
+        if (
+            mode == "batch"
+            and plan_supports_batch(result.plan)
+            and result.execution_mode != "batch"
+        ):
+            failures.append(
+                "%s: batch-claimed plan ran %r" % (query, result.execution_mode)
+            )
+        if not reference.table.same_bag(result.table):
+            failures.append("%s: %s-mode result bag diverged" % (query, mode))
+
+
+def _check_update(query, graph, failures):
+    clones = {mode: graph.copy() for mode in _MODES}
+    results = {}
+    for mode, clone in clones.items():
+        try:
+            results[mode] = CypherEngine(clone).run(query, mode=mode)
+        except Exception as error:  # noqa: BLE001 — report, don't crash
+            failures.append("%s: %s mode raised %r" % (query, mode, error))
+            return
+    reference = results["interpreter"].table
+    reference_state = graph_state(clones["interpreter"])
+    for mode in ("row", "batch"):
+        if not reference.same_bag(results[mode].table):
+            failures.append("%s: %s-mode result bag diverged" % (query, mode))
+        if graph_state(clones[mode]) != reference_state:
+            failures.append("%s: %s-mode final store diverged" % (query, mode))
+
+
+def run_selftest(output=print):
+    """Run the whole suite; returns the number of failures."""
+    failures = []
+    graph = fixture_graph()
+    for query in READ_CORPUS:
+        _check_read(query, graph, failures)
+    output(
+        "differential reads:   %2d queries x %d modes"
+        % (len(READ_CORPUS), len(_MODES))
+    )
+    for query in UPDATE_CORPUS:
+        _check_update(query, graph, failures)
+    output(
+        "differential updates: %2d queries x %d modes (stores compared)"
+        % (len(UPDATE_CORPUS), len(_MODES))
+    )
+
+    from repro.tck import TckRunner
+    from repro.tck.scenarios import ALL_FEATURES
+
+    scenario_count = 0
+    for name in TCK_SMOKE:
+        try:
+            feature = TckRunner().run_feature(ALL_FEATURES[name])
+        except AssertionError as error:
+            failures.append("tck %s: %s" % (name, error))
+        else:
+            scenario_count += len(feature.scenarios)
+    output(
+        "tck smoke set:        %2d scenarios over %s"
+        % (scenario_count, ", ".join(TCK_SMOKE))
+    )
+
+    for failure in failures:
+        output("FAIL: %s" % failure)
+    output(
+        "selftest %s (%d failure%s)"
+        % (
+            "passed" if not failures else "FAILED",
+            len(failures),
+            "" if len(failures) == 1 else "s",
+        )
+    )
+    return len(failures)

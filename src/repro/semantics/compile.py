@@ -868,6 +868,401 @@ class ExpressionCompiler:
         return comprehend
 
 
+def select_columns(cols, indices):
+    """A new column array restricted to ``indices`` (in that order).
+
+    The one column-selection kernel shared by the batch operators
+    (:mod:`repro.planner.batch`) and the masked AND/OR evaluation below:
+    unbound (``None``) columns stay unbound, bound columns are gathered
+    into fresh lists.
+    """
+    return [
+        None if col is None else [col[index] for index in indices]
+        for col in cols
+    ]
+
+
+class ColumnCompiler:
+    """Compile expressions to *column* closures over morsel batches.
+
+    The batch engine (:mod:`repro.planner.batch`) processes morsels of N
+    rows as slot columns — one flat Python list per slot.  A compiled
+    column closure has the signature ``(n, cols) -> list`` where ``cols``
+    is the batch's column array (``cols[slot]`` is a list of length ``n``,
+    or ``None`` when the slot is unbound for the whole batch) and the
+    result is a fresh list of N values.  The per-row dispatch that the
+    row compiler already eliminated per *plan* is eliminated per *morsel*
+    here: one closure call evaluates a whole column, with tight loops for
+    the hot shapes —
+
+    * variables return their column by reference (zero copies);
+    * property access tries the store's bulk ``node_property_column``
+      first and only drops to the per-element mixed-type loop when the
+      column is not purely nodes;
+    * arithmetic and comparisons run int fast-path loops, specialised
+      when one operand is a constant (``n.v > 5`` is one list pass);
+    * AND/OR short-circuit *by column*: the right operand is evaluated
+      only on the sub-batch the left side did not decide, which keeps
+      the row path's "never evaluates the pruned side" error semantics.
+
+    Everything else — comprehensions, CASE, pattern predicates, any
+    future node type — reuses the row compiler's closure element-wise
+    over a scratch row materialised from the bound columns; scratch
+    slots (comprehension variables and friends) live in that scratch row
+    and are reused across the whole column, so the inner-loop shadowing
+    semantics are exactly the row path's.
+    """
+
+    def __init__(self, row_compiler):
+        self.rows = row_compiler
+        self.slots = row_compiler.slots
+        self.graph = row_compiler.graph
+        self.evaluator = row_compiler.evaluator
+        self._cache = {}
+
+    # ------------------------------------------------------------------
+
+    def compile(self, expression):
+        """A closure ``(n, cols) -> list`` equivalent to ``[[expression]]``."""
+        key = id(expression)
+        compiled = self._cache.get(key)
+        if compiled is None:
+            method = _COLUMN_COMPILERS.get(type(expression))
+            if method is None:
+                compiled = self._elementwise(expression)
+            else:
+                compiled = method(self, expression)
+            self._cache[key] = compiled
+        return compiled
+
+    def compile_selection(self, expression):
+        """WHERE semantics as a selection: row indices where strictly true."""
+        compiled = self.compile(expression)
+
+        def selection(n, cols):
+            return [
+                index
+                for index, verdict in enumerate(compiled(n, cols))
+                if verdict is True
+            ]
+
+        return selection
+
+    # ------------------------------------------------------------------
+
+    def _elementwise(self, expression):
+        """Apply the row-compiled closure per element of the batch.
+
+        The scratch row is rebuilt from the bound columns per row and
+        reused across the column — comprehension/quantifier closures
+        save and restore their scratch slots themselves, so reuse is
+        safe and keeps allocations per morsel, not per row.
+        """
+        row_fn = self.rows.compile(expression)
+        width = len(self.slots)
+
+        def column(n, cols):
+            bound = [
+                (slot, col) for slot, col in enumerate(cols) if col is not None
+            ]
+            row = [MISSING] * width
+            out = []
+            append = out.append
+            for index in range(n):
+                for slot, col in bound:
+                    row[slot] = col[index]
+                append(row_fn(row))
+            return out
+
+        return column
+
+    # -- leaves ------------------------------------------------------------
+
+    def _literal(self, node):
+        value = node.value
+
+        def const_column(n, cols):
+            return [value] * n
+
+        const_column.constant_value = (value,)
+        return const_column
+
+    def _parameter(self, node):
+        row_fn = self.rows.compile(node)
+        empty = []
+
+        def param_column(n, cols):
+            if n == 0:
+                return empty
+            return [row_fn(empty)] * n
+
+        return param_column
+
+    def _variable(self, node):
+        name = node.name
+        slot = self.slots.index_of(name)
+
+        def var_column(n, cols):
+            col = cols[slot] if slot is not None else None
+            if col is None:
+                if n == 0:
+                    return []
+                raise CypherSemanticError("variable not in scope: %s" % name)
+            return col
+
+        return var_column
+
+    # -- properties ---------------------------------------------------------
+
+    def _property_access(self, node):
+        subject = self.compile(node.subject)
+        key = node.key
+        bulk = getattr(self.graph, "node_property_column", None)
+        property_value = self.graph.property_value
+
+        def element(value):
+            if value is None:
+                return None
+            if isinstance(value, (NodeId, RelId)):
+                return property_value(value, key)
+            if isinstance(value, dict):
+                return value.get(key)
+            component = getattr(value, "cypher_component", None)
+            if component is not None:
+                return component(key)
+            raise CypherTypeError(
+                "cannot access property %r on %r" % (key, value)
+            )
+
+        def prop_column(n, cols):
+            values = subject(n, cols)
+            if bulk is not None:
+                try:
+                    return bulk(values, key)
+                except (KeyError, TypeError):
+                    pass  # not a pure node column: mixed-type loop below
+            return [element(value) for value in values]
+
+        return prop_column
+
+    # -- arithmetic and comparisons -----------------------------------------
+
+    def _arithmetic(self, node):
+        row_fn = self.rows.compile(node)
+        folded = _constant_of(row_fn)
+        if folded is not None:
+            value = folded[0]
+
+            def const_column(n, cols):
+                return [value] * n
+
+            const_column.constant_value = folded
+            return const_column
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        operator_name = node.operator
+        native = _NATIVE_ARITHMETIC.get(operator_name)
+        if native is None:
+            # %, / and ^ keep their sign/zero subtleties: reuse the row
+            # closure's fast paths element-wise over operand columns.
+            def general_column(n, cols):
+                return [
+                    apply_arithmetic(operator_name, l, r)
+                    for l, r in zip(left(n, cols), right(n, cols))
+                ]
+
+            return general_column
+        right_const = _constant_of(right)
+        if right_const is not None and type(right_const[0]) is int:
+            rv = right_const[0]
+
+            def const_right(n, cols):
+                return [
+                    native(l, rv)
+                    if type(l) is int
+                    else apply_arithmetic(operator_name, l, rv)
+                    for l in left(n, cols)
+                ]
+
+            return const_right
+
+        def arithmetic_column(n, cols):
+            return [
+                native(l, r)
+                if type(l) is int and type(r) is int
+                else apply_arithmetic(operator_name, l, r)
+                for l, r in zip(left(n, cols), right(n, cols))
+            ]
+
+        return arithmetic_column
+
+    def _comparison(self, node):
+        if len(node.operands) != 2:
+            return self._elementwise(node)
+        left = self.compile(node.operands[0])
+        right = self.compile(node.operands[1])
+        operator_name = node.operators[0]
+        if operator_name == "=":
+
+            def eq_column(n, cols):
+                return [
+                    equals(l, r) for l, r in zip(left(n, cols), right(n, cols))
+                ]
+
+            return eq_column
+        if operator_name == "<>":
+
+            def ne_column(n, cols):
+                return [
+                    not_equals(l, r)
+                    for l, r in zip(left(n, cols), right(n, cols))
+                ]
+
+            return ne_column
+        native = _NATIVE_INEQUALITIES[operator_name]
+        right_const = _constant_of(right)
+        if right_const is not None and type(right_const[0]) is int:
+            rv = right_const[0]
+
+            def const_right(n, cols):
+                return [
+                    native(l, rv)
+                    if type(l) is int
+                    else _ordering_verdict(operator_name, l, rv)
+                    for l in left(n, cols)
+                ]
+
+            return const_right
+
+        def inequality_column(n, cols):
+            return [
+                native(l, r)
+                if type(l) is int and type(r) is int
+                else _ordering_verdict(operator_name, l, r)
+                for l, r in zip(left(n, cols), right(n, cols))
+            ]
+
+        return inequality_column
+
+    # -- logic --------------------------------------------------------------
+
+    def _binary_logic(self, node):
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        operator_name = node.operator
+        if operator_name == "XOR":
+
+            def xor_column(n, cols):
+                return [
+                    xor3(_as_ternary(l), _as_ternary(r))
+                    for l, r in zip(left(n, cols), right(n, cols))
+                ]
+
+            return xor_column
+        deciding = False if operator_name == "AND" else True
+        combine = and3 if operator_name == "AND" else or3
+        sub_batch = select_columns
+
+        def logic_column(n, cols):
+            out = [_as_ternary(value) for value in left(n, cols)]
+            undecided = [
+                index for index, value in enumerate(out) if value is not deciding
+            ]
+            if undecided:
+                if len(undecided) == n:
+                    right_values = right(n, cols)
+                else:
+                    right_values = right(
+                        len(undecided), sub_batch(cols, undecided)
+                    )
+                for position, index in enumerate(undecided):
+                    out[index] = combine(
+                        out[index], _as_ternary(right_values[position])
+                    )
+            return out
+
+        return logic_column
+
+    def _not(self, node):
+        operand = self.compile(node.operand)
+
+        def not_column(n, cols):
+            return [not3(_as_ternary(value)) for value in operand(n, cols)]
+
+        return not_column
+
+    def _is_null(self, node):
+        operand = self.compile(node.operand)
+
+        def null_column(n, cols):
+            return [value is None for value in operand(n, cols)]
+
+        return null_column
+
+    def _is_not_null(self, node):
+        operand = self.compile(node.operand)
+
+        def not_null_column(n, cols):
+            return [value is not None for value in operand(n, cols)]
+
+        return not_null_column
+
+    # -- labels, functions ---------------------------------------------------
+
+    def _label_predicate(self, node):
+        subject = self.compile(node.subject)
+        labels = tuple(node.labels)
+        graph_labels = self.graph.labels
+
+        def label_column(n, cols):
+            out = []
+            append = out.append
+            for value in subject(n, cols):
+                if value is None:
+                    append(None)
+                    continue
+                if not isinstance(value, NodeId):
+                    raise CypherTypeError("label predicate expects a node")
+                node_labels = graph_labels(value)
+                append(all(label in node_labels for label in labels))
+            return out
+
+        return label_column
+
+    def _function_call(self, node):
+        if node.name in ex.AGGREGATE_FUNCTION_NAMES:
+            return self._elementwise(node)  # same misplaced-aggregate error
+        args = tuple(self.compile(argument) for argument in node.args)
+        call = self.evaluator.functions.call
+        context = self.evaluator.function_context
+        name = node.name
+
+        def invoke_column(n, cols):
+            columns = [argument(n, cols) for argument in args]
+            return [
+                call(name, context, [column[index] for column in columns])
+                for index in range(n)
+            ]
+
+        return invoke_column
+
+
+_COLUMN_COMPILERS = {
+    ex.Literal: ColumnCompiler._literal,
+    ex.Parameter: ColumnCompiler._parameter,
+    ex.Variable: ColumnCompiler._variable,
+    ex.PropertyAccess: ColumnCompiler._property_access,
+    ex.Arithmetic: ColumnCompiler._arithmetic,
+    ex.Comparison: ColumnCompiler._comparison,
+    ex.BinaryLogic: ColumnCompiler._binary_logic,
+    ex.Not: ColumnCompiler._not,
+    ex.IsNull: ColumnCompiler._is_null,
+    ex.IsNotNull: ColumnCompiler._is_not_null,
+    ex.LabelPredicate: ColumnCompiler._label_predicate,
+    ex.FunctionCall: ColumnCompiler._function_call,
+}
+
+
 def _compare_once(operator, left, right):
     if operator == "=":
         return equals(left, right)

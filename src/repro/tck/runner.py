@@ -233,7 +233,7 @@ def _uses_graph_clauses(query):
     )
 
 
-def _assert_planner_coverage(query_text, result, label):
+def _assert_planner_coverage(query_text, result, label, graph):
     """Standard queries must run slotted: fallback here is a coverage bug.
 
     The planner covers the whole standard language — reads *and*
@@ -245,6 +245,7 @@ def _assert_planner_coverage(query_text, result, label):
     from repro.parser import parse_query
 
     if result.executed_by == "planner":
+        _assert_batch_coverage(result, label, graph)
         return
     if _uses_graph_clauses(parse_query(query_text)):
         return
@@ -254,10 +255,44 @@ def _assert_planner_coverage(query_text, result, label):
     )
 
 
-class TckRunner:
-    """Executes parsed scenarios and raises AssertionError on mismatch."""
+def _assert_batch_coverage(result, label, graph):
+    """A plan the batch engine claims must actually run batched.
 
-    def __init__(self, modes=("interpreter", "auto")):
+    :func:`repro.planner.batch.plan_supports_batch` is a published
+    contract, not best effort: on a bulk-capable store a claimed read
+    plan silently degrading to row execution is a coverage regression,
+    exactly like a planner→interpreter fallback.  Every TCK scenario
+    that runs in auto mode doubles as a tripwire for it.  (On a store
+    without the bulk APIs row execution is the correct outcome, so the
+    claim is only enforced where it applies.)
+    """
+    from repro.planner.batch import graph_supports_batch, plan_supports_batch
+
+    if result.plan is None or not graph_supports_batch(graph):
+        return
+    claimed = plan_supports_batch(result.plan)
+    if claimed and result.execution_mode != "batch":
+        raise AssertionError(
+            "%s: batch-claimed plan ran in %r mode"
+            % (label, result.execution_mode)
+        )
+    if not claimed and result.execution_mode == "batch":
+        raise AssertionError(
+            "%s: unclaimed plan reported batch execution" % label
+        )
+
+
+class TckRunner:
+    """Executes parsed scenarios and raises AssertionError on mismatch.
+
+    Every scenario runs once per mode: the reference interpreter, the
+    auto path (slotted planner; batch execution wherever the batch
+    engine claims the plan — asserted, never silent), and the forced
+    row-wise planner, so the tuple-at-a-time operators keep full TCK
+    coverage even though auto now prefers batch.
+    """
+
+    def __init__(self, modes=("interpreter", "auto", "row")):
         self.modes = modes
 
     def run_feature(self, text):
@@ -271,6 +306,17 @@ class TckRunner:
             self._run_in_mode(scenario, mode)
 
     def _run_in_mode(self, scenario, mode):
+        if mode not in ("interpreter", "auto") and scenario.query:
+            # Pinned planner modes raise UnsupportedFeature instead of
+            # falling back; graph-clause scenarios only run on the two
+            # modes that can execute them.
+            from repro.parser import parse_query
+
+            try:
+                if _uses_graph_clauses(parse_query(scenario.query)):
+                    return
+            except CypherError:
+                pass  # expected-error scenarios exercise the engine below
         graph = MemoryGraph()
         engine = CypherEngine(graph, mode="interpreter")
         for setup in scenario.setup_queries:
@@ -293,7 +339,7 @@ class TckRunner:
             )
         result = engine.run(scenario.query, parameters=scenario.parameters)
         if mode == "auto":
-            _assert_planner_coverage(scenario.query, result, label)
+            _assert_planner_coverage(scenario.query, result, label, graph)
         if scenario.expect_empty:
             assert len(result) == 0, (
                 "%s: expected empty result, got %d rows" % (label, len(result))

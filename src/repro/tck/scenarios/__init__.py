@@ -7,6 +7,7 @@ suite, which runs every scenario on both execution paths.
 
 from repro.tck.scenarios import (
     aggregation,
+    batching,
     expressions,
     lists,
     match_basic,
@@ -20,6 +21,7 @@ from repro.tck.scenarios import (
 )
 
 ALL_FEATURES = {
+    "batching": batching.FEATURE,
     "match_basic": match_basic.FEATURE,
     "optional_match": optional_match.FEATURE,
     "aggregation": aggregation.FEATURE,

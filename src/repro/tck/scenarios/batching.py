@@ -1,0 +1,185 @@
+"""Morsel-boundary scenarios for the vectorised batch engine.
+
+Result cardinalities of exactly N−1, N and N+1 around the default
+morsel size, empty batches, and LIMIT/SKIP cutting inside a batch —
+the places where chunked columnar execution classically loses or
+duplicates a row.  The feature text is generated from
+:data:`repro.planner.batch.DEFAULT_MORSEL_SIZE`, so retuning the knob
+keeps every scenario pinned to the real boundary.
+
+The TCK runner executes each scenario on the interpreter, the auto path
+(which must pick — and report — batch execution for these plans, all of
+which the batch engine claims) and the forced row path, asserting the
+same results everywhere.
+"""
+
+from repro.planner.batch import DEFAULT_MORSEL_SIZE as N
+
+FEATURE = """
+Feature: Batch morsel boundaries
+
+  Scenario: scan cardinality exactly one under the morsel size
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n_minus}) AS i CREATE (:N {{v: i}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:N) RETURN count(*) AS c
+      '''
+    Then the result should be, in any order:
+      | c |
+      | {n_minus} |
+
+  Scenario: scan cardinality exactly the morsel size
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n}) AS i CREATE (:N {{v: i}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:N) RETURN count(*) AS c, min(n.v) AS lo, max(n.v) AS hi
+      '''
+    Then the result should be, in any order:
+      | c | lo | hi |
+      | {n} | 1 | {n} |
+
+  Scenario: scan cardinality exactly one over the morsel size
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n_plus}) AS i CREATE (:N {{v: i}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:N) RETURN count(*) AS c, max(n.v) AS hi
+      '''
+    Then the result should be, in any order:
+      | c | hi |
+      | {n_plus} | {n_plus} |
+
+  Scenario: empty label scan produces an empty result
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, 3) AS i CREATE (:N {{v: i}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:Missing) RETURN n.v AS v
+      '''
+    Then the result should be empty
+
+  Scenario: filter drains every batch to empty
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n_plus}) AS i CREATE (:N {{v: i}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:N) WHERE n.v > 9999 RETURN count(*) AS c
+      '''
+    Then the result should be, in any order:
+      | c |
+      | 0 |
+
+  Scenario: LIMIT cuts exactly at the morsel boundary
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n_plus}) AS i CREATE (:N {{v: i}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:N) WITH n.v AS v ORDER BY v LIMIT {n}
+      RETURN count(*) AS c, min(v) AS lo, max(v) AS hi
+      '''
+    Then the result should be, in any order:
+      | c | lo | hi |
+      | {n} | 1 | {n} |
+
+  Scenario: SKIP cuts inside the final batch
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n_plus}) AS i CREATE (:N {{v: i}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:N) WITH n.v AS v ORDER BY v SKIP {n_minus}
+      RETURN v
+      '''
+    Then the result should be, in order:
+      | v |
+      | {n} |
+      | {n_plus} |
+
+  Scenario: LIMIT zero never produces rows
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n}) AS i CREATE (:N {{v: i}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:N) RETURN n.v AS v ORDER BY v LIMIT 0
+      '''
+    Then the result should be empty
+
+  Scenario: top-k heap selects across batch boundaries
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n_plus}) AS i CREATE (:N {{v: i}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:N) RETURN n.v AS v ORDER BY v DESC LIMIT 3
+      '''
+    Then the result should be, in order:
+      | v |
+      | {n_plus} |
+      | {n} |
+      | {n_minus} |
+
+  Scenario: DISTINCT deduplicates across batch boundaries
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n_plus}) AS i CREATE (:D {{v: i % 2}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:D) RETURN DISTINCT n.v AS v ORDER BY v
+      '''
+    Then the result should be, in order:
+      | v |
+      | 0 |
+      | 1 |
+
+  Scenario: grouped aggregation spans batches
+    Given an empty graph
+    And having executed:
+      '''
+      UNWIND range(1, {n_plus}) AS i CREATE (:G {{v: i % 3}})
+      '''
+    When executing query:
+      '''
+      MATCH (n:G) RETURN n.v AS v, count(*) AS c ORDER BY v
+      '''
+    Then the result should be, in order:
+      | v | c |
+      | 0 | {third_0} |
+      | 1 | {third_1} |
+      | 2 | {third_2} |
+""".format(
+    n=N,
+    n_minus=N - 1,
+    n_plus=N + 1,
+    third_0=sum(1 for i in range(1, N + 2) if i % 3 == 0),
+    third_1=sum(1 for i in range(1, N + 2) if i % 3 == 1),
+    third_2=sum(1 for i in range(1, N + 2) if i % 3 == 2),
+)

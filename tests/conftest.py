@@ -1,11 +1,208 @@
-"""Shared fixtures: the paper's example graphs and dual-mode runners."""
+"""Shared fixtures: the paper's example graphs and dual-mode runners.
+
+Also hosts the tier-1 **coverage floor**: the environment ships no
+pytest-cov, so a minimal ``sys.settrace`` line tracer (below) watches
+``src/repro/planner`` and ``src/repro/semantics`` during the run and
+fails the session if either package drops under 85% line coverage.  The
+tracer disables itself per code object the moment that object is fully
+covered, so the steady-state overhead on a hot suite is one dict lookup
+per function call.  The floor is only enforced on green, full-suite
+runs (partial ``-k``/single-file invocations measure meaningless
+subsets); set ``REPRO_COVERAGE=0`` to disable tracing entirely or
+``REPRO_COVERAGE=force`` to enforce the floor regardless of selection
+size.
+"""
 
 from __future__ import annotations
+
+import os
+import sys
+import types
 
 import pytest
 
 from repro import CypherEngine
 from repro.datasets.paper import figure1_graph, figure4_graph, self_loop_graph
+
+# ---------------------------------------------------------------------------
+# Coverage floor (tier-1 config; see module docstring)
+# ---------------------------------------------------------------------------
+
+COVERAGE_FLOOR = 85.0
+#: Enforce only when at least this many tests were collected (a full run).
+COVERAGE_MIN_ITEMS = 800
+
+
+def _covered_packages():
+    import repro.planner
+    import repro.semantics
+
+    return {
+        "src/repro/planner": os.path.dirname(
+            os.path.abspath(repro.planner.__file__)
+        ),
+        "src/repro/semantics": os.path.dirname(
+            os.path.abspath(repro.semantics.__file__)
+        ),
+    }
+
+
+class _LineTracer:
+    """Line coverage over a directory allowlist, self-pruning per code.
+
+    ``_watch`` maps each code object to its still-uncovered line set;
+    once empty the entry flips to ``False`` and neither the global
+    dispatch nor the local tracer touches that code again.
+    """
+
+    def __init__(self, directories):
+        self._prefixes = tuple(
+            directory.rstrip(os.sep) + os.sep for directory in directories
+        )
+        self._watch = {}
+        self.executed = {}  # filename -> set of executed line numbers
+
+    def _lines_of(self, code):
+        return {
+            line for _start, _end, line in code.co_lines() if line is not None
+        }
+
+    def dispatch(self, frame, event, arg):
+        if event != "call":
+            return None
+        code = frame.f_code
+        remaining = self._watch.get(code, Ellipsis)
+        if remaining is Ellipsis:
+            filename = code.co_filename
+            if filename.startswith(self._prefixes):
+                remaining = self._lines_of(code)
+                self.executed.setdefault(filename, set())
+            else:
+                remaining = False
+            self._watch[code] = remaining
+        if not remaining:
+            return None
+        return self._line
+
+    def _line(self, frame, event, arg):
+        code = frame.f_code
+        remaining = self._watch.get(code)
+        if not remaining:
+            return None
+        if event == "line":
+            line = frame.f_lineno
+            if line in remaining:
+                remaining.discard(line)
+                self.executed[code.co_filename].add(line)
+                if not remaining:
+                    self._watch[code] = False
+                    return None
+        return self._line
+
+
+#: Code objects with this flag are real function bodies (functions,
+#: methods, lambdas, comprehensions) — the lines that run under the
+#: tracer.  Module and class bodies execute at *import* time, before the
+#: tracer installs, so they are excluded from numerator and denominator
+#: alike: the floor measures logic-line coverage.
+_CO_OPTIMIZED = 0x0001
+
+
+def _executable_lines(path):
+    """Every line that can start an instruction in any function body.
+
+    Ranges starting at bytecode offset 0 are skipped: that is the
+    ``RESUME`` instruction, which carries the ``def`` line but never
+    produces a ``line`` trace event.  (A one-line ``def f(): return x``
+    keeps its line through the body instruction's own range.)
+    """
+    with open(path) as handle:
+        source = handle.read()
+    lines = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        if code.co_flags & _CO_OPTIMIZED:
+            for start, _end, line in code.co_lines():
+                if line is not None and start > 0:
+                    lines.add(line)
+        for const in code.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+    return lines
+
+
+def _package_coverage(tracer, directory, detail=None):
+    """``(percent, covered, total)`` over every .py file in a package."""
+    covered = total = 0
+    for dirpath, _dirnames, filenames in os.walk(directory):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            executable = _executable_lines(path)
+            hit = executable & tracer.executed.get(path, set())
+            total += len(executable)
+            covered += len(hit)
+            if detail is not None and executable:
+                missing = sorted(executable - hit)
+                detail.append(
+                    "  %-40s %5.1f%% (missing: %s)"
+                    % (
+                        os.path.relpath(path, directory),
+                        100.0 * len(hit) / len(executable),
+                        ",".join(map(str, missing[:25]))
+                        + ("…" if len(missing) > 25 else ""),
+                    )
+                )
+    percent = 100.0 * covered / total if total else 100.0
+    return percent, covered, total
+
+
+def pytest_configure(config):
+    if os.environ.get("REPRO_COVERAGE") == "0":
+        return
+    if sys.gettrace() is not None:
+        return  # debugger (or another tracer) owns the hook
+    tracer = _LineTracer(_covered_packages().values())
+    config._repro_coverage = tracer
+    sys.settrace(tracer.dispatch)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    tracer = getattr(session.config, "_repro_coverage", None)
+    if tracer is None:
+        return
+    sys.settrace(None)
+    forced = os.environ.get("REPRO_COVERAGE") == "force"
+    full_run = session.testscollected >= COVERAGE_MIN_ITEMS
+    if exitstatus or not (full_run or forced):
+        return  # floor gates green full-suite runs only
+    report = []
+    failed = False
+    detail = [] if os.environ.get("REPRO_COVERAGE_DETAIL") else None
+    for label, directory in _covered_packages().items():
+        percent, covered, total = _package_coverage(
+            tracer, directory, detail
+        )
+        if detail:
+            report.extend(detail)
+            detail.clear()
+        verdict = "ok" if percent >= COVERAGE_FLOOR else "BELOW FLOOR"
+        if percent < COVERAGE_FLOOR:
+            failed = True
+        report.append(
+            "coverage %-22s %6.2f%% (%d/%d lines, floor %.0f%%) %s"
+            % (label, percent, covered, total, COVERAGE_FLOOR, verdict)
+        )
+    session.config._repro_coverage_report = report
+    if failed:
+        session.exitstatus = 1
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for line in getattr(config, "_repro_coverage_report", ()):
+        terminalreporter.write_line(line)
 
 
 @pytest.fixture

@@ -1,0 +1,469 @@
+"""Reusable fuzz machinery: fixture graph, query strategies, store snapshots.
+
+Extracted from ``test_fuzz_queries.py`` so every differential harness —
+planner vs interpreter (``test_fuzz_queries``), row vs batch vs
+interpreter (``test_batched_differential``) — drives the *same* corpus:
+a new execution mode earns trust against the full generator set, not a
+hand-picked subset.
+
+The module exposes:
+
+* :func:`fixture_graph` / :data:`GRAPH` — the structurally rich fixed
+  graph (three labels, two relationship types, a cycle, a self-loop,
+  parallel paths) every read strategy runs against;
+* read-query strategies (``match_queries``, ``two_hop_queries``,
+  ``pipeline_queries``, ``two_clause_queries``, ``named_path_queries``,
+  ``comprehension_queries``) and update strategies
+  (``create_update_queries``, ``set_remove_queries``, ``delete_queries``,
+  ``merge_queries``) — update queries pin their driving-row order so
+  mutation sequences are observable and final stores must be
+  byte-identical;
+* :func:`graph_state` — the canonical, id-inclusive store snapshot used
+  to compare final graphs across execution paths;
+* :data:`READ_STRATEGIES` / :data:`UPDATE_STRATEGIES` — name → strategy
+  registries, so a harness can enumerate the whole corpus.
+"""
+
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.semantics.morphism import (
+    EDGE_ISOMORPHISM,
+    HOMOMORPHISM,
+    NODE_ISOMORPHISM,
+)
+from repro.values.ordering import canonical_key
+
+MORPHISMS = {
+    "edge": EDGE_ISOMORPHISM,
+    "node": NODE_ISOMORPHISM,
+    "homomorphism": HOMOMORPHISM,
+}
+
+
+def fixture_graph():
+    """The fixed fuzz graph: 9 nodes over 3 labels, 12 mixed-type edges."""
+    builder = GraphBuilder()
+    labels = ["A", "B", "C"]
+    for index in range(9):
+        builder.node(
+            "n%d" % index,
+            labels[index % 3],
+            v=index % 4,
+            name="node-%d" % index,
+        )
+    edges = [
+        (0, 1, "R"), (1, 2, "R"), (2, 3, "R"), (3, 4, "S"), (4, 5, "S"),
+        (5, 0, "R"), (0, 2, "S"), (2, 4, "R"), (6, 7, "R"), (7, 6, "S"),
+        (8, 8, "R"),  # self-loop
+        (1, 4, "S"),
+    ]
+    for position, (source, target, rel_type) in enumerate(edges):
+        builder.rel("n%d" % source, rel_type, "n%d" % target, w=position % 3)
+    graph, _ = builder.build()
+    return graph
+
+
+GRAPH = fixture_graph()
+
+label_part = st.sampled_from(["", ":A", ":B", ":C"])
+type_part = st.sampled_from(["", ":R", ":S", ":R|S"])
+direction = st.sampled_from([("-", "->"), ("<-", "-"), ("-", "-")])
+length_part = st.sampled_from(["", "*1..2", "*0..1", "*2"])
+
+
+@st.composite
+def match_queries(draw):
+    left, right = draw(direction)
+    rel_type = draw(type_part)
+    length = draw(length_part)
+    rel_body = rel_type + length
+    if rel_body:
+        rel = "%s[%s]%s" % (left, rel_body, right)
+    else:
+        rel = {("-", "->"): "-->", ("<-", "-"): "<--", ("-", "-"): "--"}[
+            (left, right)
+        ]
+    pattern = "(a%s)%s(b%s)" % (draw(label_part), rel, draw(label_part))
+
+    where = draw(
+        st.sampled_from(
+            [
+                "",
+                " WHERE a.v > 1",
+                " WHERE a.v = b.v",
+                " WHERE a.v < 2 OR b.v >= 2",
+                " WHERE NOT a.v = 0",
+                " WHERE a.name CONTAINS '1'",
+                " WHERE a.v IN [0, 2]",
+            ]
+        )
+    )
+    projection = draw(
+        st.sampled_from(
+            [
+                "RETURN a, b",
+                "RETURN a.v AS av, b.v AS bv",
+                "RETURN DISTINCT a.v AS av",
+                "RETURN count(*) AS n",
+                "RETURN a.v AS g, count(b) AS c",
+                "RETURN a.v + b.v AS s ORDER BY s",
+                "RETURN a.v AS av ORDER BY av DESC LIMIT 3",
+                # collect() is omitted without ORDER BY: its list order is
+                # implementation-defined and the two paths may enumerate
+                # chains from opposite ends
+                "RETURN count(b) AS c, sum(b.v) AS s",
+            ]
+        )
+    )
+    return "MATCH %s%s %s" % (pattern, where, projection)
+
+
+@st.composite
+def two_hop_queries(draw):
+    """Three-node chains, optionally cyclic, with inline property maps."""
+    first_rel = draw(st.sampled_from(["-[:R]->", "<-[:R]-", "-[:S]-", "-->"]))
+    second_rel = draw(st.sampled_from(["-[:R]->", "<-[:S]-", "-[:R|S]-"]))
+    middle = draw(st.sampled_from(["()", "(b)", "(b:B)", "(b {v: 1})"]))
+    tail = draw(st.sampled_from(["(c)", "(c:A)", "(a)"]))  # (a) closes a cycle
+    where = draw(st.sampled_from(["", " WHERE a.v >= 1", " WHERE a.v <> 2"]))
+    projection = draw(
+        st.sampled_from(
+            [
+                "RETURN count(*) AS n",
+                "RETURN a.v AS av ORDER BY av LIMIT 5",
+                "RETURN DISTINCT a.v AS av ORDER BY av",
+                "RETURN a.v AS g, count(*) AS c",
+            ]
+        )
+    )
+    return "MATCH (a)%s%s%s%s%s %s" % (
+        first_rel, middle, second_rel, tail, where, projection
+    )
+
+
+@st.composite
+def pipeline_queries(draw):
+    """MATCH → WITH (aggregate or restriction) → RETURN compositions."""
+    pattern = "(a%s)-[%s]->(b)" % (
+        draw(label_part), draw(st.sampled_from([":R", ":S", ":R|S", ""]))
+    )
+    stage = draw(
+        st.sampled_from(
+            [
+                "WITH a.v AS g, count(b) AS c WHERE c > 0 "
+                "RETURN g, c ORDER BY g",
+                "WITH a, b WHERE a.v >= b.v RETURN a.v AS x, b.v AS y "
+                "ORDER BY x, y SKIP 1",
+                "WITH a.v + b.v AS s RETURN DISTINCT s ORDER BY s",
+                "WITH collect(b.v) AS vs RETURN size(vs) AS n",
+                "WITH a, max(b.v) AS m RETURN a.name AS name, m "
+                "ORDER BY name LIMIT 4",
+            ]
+        )
+    )
+    # An UNWIND prefix doubles row multiplicities, which both paths must
+    # agree on through the aggregation (u itself dies at the WITH).
+    unwind = draw(st.sampled_from(["", "UNWIND [1, 2] AS u "]))
+    return "%sMATCH %s %s" % (unwind, pattern, stage)
+
+
+@st.composite
+def two_clause_queries(draw):
+    first = draw(match_queries())
+    # chain a second hop through OPTIONAL MATCH on the first variable
+    head, _, projection = first.partition(" RETURN ")
+    second_rel = draw(st.sampled_from(["-[:R]->", "<-[:S]-", "-[:R|S]-"]))
+    return (
+        head
+        + " OPTIONAL MATCH (a)%s(c) RETURN a, c" % second_rel
+    )
+
+
+@st.composite
+def named_path_queries(draw):
+    """Named paths over rigid and variable-length chains."""
+    left, right = draw(direction)
+    rel_type = draw(type_part)
+    length = draw(st.sampled_from(["", "*1..2", "*0..1", "*2", "*1..3"]))
+    rel_body = rel_type + length
+    if rel_body:
+        rel = "%s[%s]%s" % (left, rel_body, right)
+    else:
+        rel = {("-", "->"): "-->", ("<-", "-"): "<--", ("-", "-"): "--"}[
+            (left, right)
+        ]
+    pattern = "p = (a%s)%s(b%s)" % (draw(label_part), rel, draw(label_part))
+    where = draw(
+        st.sampled_from(
+            [
+                "",
+                " WHERE length(p) >= 1",
+                " WHERE a.v > 1",
+                " WHERE all(x IN nodes(p) WHERE x.v >= 0)",
+            ]
+        )
+    )
+    projection = draw(
+        st.sampled_from(
+            [
+                "RETURN p",
+                "RETURN length(p) AS len",
+                "RETURN [x IN nodes(p) | x.v] AS vs",
+                "RETURN size(relationships(p)) AS m, a.v AS av",
+                "RETURN length(p) AS len, count(*) AS c",
+                "RETURN DISTINCT length(p) AS len ORDER BY len",
+            ]
+        )
+    )
+    return "MATCH %s%s %s" % (pattern, where, projection)
+
+
+@st.composite
+def comprehension_queries(draw):
+    """Quantifiers, list/pattern comprehensions and reduce()."""
+    pattern = "(a%s)-[:R|S]->(b%s)" % (draw(label_part), draw(label_part))
+    where = draw(
+        st.sampled_from(
+            [
+                "",
+                " WHERE all(x IN [a.v, b.v] WHERE x >= 0)",
+                " WHERE any(x IN [a.v, b.v] WHERE x > 2)",
+                " WHERE none(x IN [a.v] WHERE x > 3)",
+                " WHERE single(x IN [a.v, b.v] WHERE x = 1)",
+                " WHERE size([(a)-->(c) | c]) > 0",
+                " WHERE exists((a)-[:S]->(c) WHERE c.v > b.v)",
+            ]
+        )
+    )
+    projection = draw(
+        st.sampled_from(
+            [
+                "RETURN [x IN [1, 2, 3] WHERE x > a.v | x + b.v] AS xs",
+                "RETURN reduce(s = 0, x IN [a.v, b.v, 1] | s + x) AS total",
+                "RETURN [(b)-[r]->(c) | c.v] AS fanout, a.v AS av",
+                "RETURN size([x IN [a.v, b.v] WHERE x > 1]) AS n, count(*) AS c",
+                "RETURN reduce(s = a.v, x IN [1, 2] | s * x) AS product "
+                "ORDER BY product",
+            ]
+        )
+    )
+    return "MATCH %s%s %s" % (pattern, where, projection)
+
+
+def graph_state(graph):
+    """Canonical, id-inclusive snapshot used to compare final stores."""
+    nodes = sorted(
+        (
+            node.value,
+            tuple(sorted(graph.labels(node))),
+            canonical_key(graph.properties(node)),
+        )
+        for node in graph.nodes()
+    )
+    rels = sorted(
+        (
+            rel.value,
+            graph.src(rel).value,
+            graph.tgt(rel).value,
+            graph.rel_type(rel),
+            canonical_key(graph.properties(rel)),
+        )
+        for rel in graph.relationships()
+    )
+    return nodes, rels
+
+
+#: Driving prefixes with a pinned row order (ids must allocate alike).
+ordered_node_driver = st.sampled_from(
+    [
+        "MATCH (a:A) WITH a ORDER BY a.name ",
+        "MATCH (a:B) WITH a ORDER BY a.name ",
+        "MATCH (a) WITH a ORDER BY a.name ",
+        "MATCH (a:B)-[:R|S]->(x) WITH a ORDER BY a.name, x.name ",
+    ]
+)
+
+
+@st.composite
+def create_update_queries(draw):
+    """CREATE driven by UNWIND or an ordered MATCH."""
+    shape = draw(st.sampled_from(["unwind", "node", "pair"]))
+    if shape == "unwind":
+        driver = "UNWIND [0, 1, 2] AS i "
+        body = draw(
+            st.sampled_from(
+                [
+                    "CREATE (:N {v: i})",
+                    "CREATE (x:N {v: i})-[:W {k: i}]->(y:M)",
+                    "CREATE (x:N)-[:W]->(y:M {v: i * 2})",
+                    "CREATE p = (x:N {v: i})-[:W]->(:M), (z:Lone)",
+                    "CREATE (x:N {v: i}) CREATE (x)-[:W]->(:M)",
+                ]
+            )
+        )
+        suffix = draw(
+            st.sampled_from(["", " RETURN count(*) AS c", " RETURN i"])
+        )
+    elif shape == "node":
+        driver = draw(ordered_node_driver)
+        body = draw(
+            st.sampled_from(
+                [
+                    "CREATE (a)-[:W {src: a.v}]->(:New {v: a.v})",
+                    "CREATE (:Twin {of: a.name})",
+                    "CREATE (a)-[:W]->(m:Mid)-[:W2]->(n:End {v: a.v + 1})",
+                    "CREATE q = (a)<-[:In {w: 0}]-(:Src)",
+                ]
+            )
+        )
+        suffix = draw(st.sampled_from(["", " RETURN count(*) AS c"]))
+    else:
+        driver = (
+            "MATCH (a:A), (b:B) WITH a, b ORDER BY a.name, b.name "
+        )
+        body = draw(
+            st.sampled_from(
+                [
+                    "CREATE (a)-[:Link]->(b)",
+                    "CREATE (a)<-[:Link {m: a.v + b.v}]-(b)",
+                    "CREATE (a)-[:Via]->(:Hop {h: 1})<-[:Via2]-(b)",
+                ]
+            )
+        )
+        suffix = draw(st.sampled_from(["", " RETURN count(*) AS c"]))
+    return driver + body + suffix
+
+
+@st.composite
+def set_remove_queries(draw):
+    """SET / REMOVE items over an ordered driving table."""
+    target = draw(st.sampled_from(["node", "rel"]))
+    if target == "rel":
+        driver = (
+            "MATCH (x)-[r:R]->(y) WITH x, r, y ORDER BY x.name, y.name "
+        )
+        body = draw(
+            st.sampled_from(
+                [
+                    "SET r.w = r.w + 10",
+                    "SET r.w = null",
+                    "SET r += {stamp: x.v}",
+                    "REMOVE r.w",
+                    "SET r.w = x.v + y.v, r.seen = true",
+                ]
+            )
+        )
+    else:
+        driver = draw(ordered_node_driver)
+        body = draw(
+            st.sampled_from(
+                [
+                    "SET a.w = a.v * 2",
+                    "SET a.v = null",
+                    "SET a += {z: 1, v: null}",
+                    "SET a = {only: a.name}",
+                    "SET a:Extra:More",
+                    "SET a.u = 1, a.w = a.v, a:Tagged",
+                    "REMOVE a.v",
+                    "REMOVE a:A",
+                    "REMOVE a.v, a:B",
+                ]
+            )
+        )
+    suffix = draw(
+        st.sampled_from(["", " RETURN count(*) AS c"])
+    )
+    return driver + body + suffix
+
+
+@st.composite
+def delete_queries(draw):
+    """DELETE / DETACH DELETE of nodes, rels, paths and lists."""
+    return draw(
+        st.sampled_from(
+            [
+                "MATCH (a:C) DETACH DELETE a",
+                "MATCH ()-[r:S]->() DELETE r",
+                "MATCH (a)-[r:R]->() DELETE r RETURN count(*) AS c",
+                "MATCH (a:B) OPTIONAL MATCH (a)-[r:S]->() "
+                "DETACH DELETE a, r",
+                "MATCH p = (a:A)-[:R]->(b) DETACH DELETE p",
+                "MATCH (a:A) OPTIONAL MATCH (a)-[r]-() DELETE r, a",
+                "MATCH (a:C) DETACH DELETE a WITH count(*) AS c "
+                "MATCH (n) RETURN c, count(n) AS left",
+            ]
+        )
+    )
+
+
+@st.composite
+def merge_queries(draw):
+    """MERGE upserts, with and without ON CREATE / ON MATCH."""
+    shape = draw(st.sampled_from(["node", "rel", "free"]))
+    if shape == "node":
+        driver = "UNWIND [0, 1, 2, 3, 4] AS v "
+        pattern = draw(
+            st.sampled_from(
+                ["MERGE (n:A {v: v})", "MERGE (n:New {v: v})"]
+            )
+        )
+        actions = draw(
+            st.sampled_from(
+                [
+                    "",
+                    " ON CREATE SET n.created = 1",
+                    " ON MATCH SET n.matched = v",
+                    " ON CREATE SET n.created = v ON MATCH SET n.seen = true",
+                ]
+            )
+        )
+        suffix = draw(
+            st.sampled_from(["", " RETURN count(*) AS c"])
+        )
+        return driver + pattern + actions + suffix
+    if shape == "rel":
+        driver = (
+            "MATCH (a:A), (b:B) WITH a, b ORDER BY a.name, b.name "
+        )
+        pattern = draw(
+            st.sampled_from(
+                [
+                    "MERGE (a)-[r:R]->(b)",
+                    "MERGE (a)-[r:S]-(b)",
+                    "MERGE (a)-[r:Up {k: 1}]->(b)",
+                ]
+            )
+        )
+        actions = draw(
+            st.sampled_from(["", " ON CREATE SET r.fresh = 1"])
+        )
+        return driver + pattern + actions + " RETURN count(*) AS c"
+    pattern = draw(
+        st.sampled_from(
+            [
+                "MERGE (x {v: 1})",
+                "MERGE (x:C {v: 2})",
+                "MERGE (x:Ghost {v: 9})",
+            ]
+        )
+    )
+    return pattern + " RETURN count(*) AS c"
+
+
+#: name -> strategy factory, so harnesses can sweep the whole corpus.
+READ_STRATEGIES = {
+    "match": match_queries,
+    "two_hop": two_hop_queries,
+    "pipeline": pipeline_queries,
+    "two_clause": two_clause_queries,
+    "named_path": named_path_queries,
+    "comprehension": comprehension_queries,
+}
+
+UPDATE_STRATEGIES = {
+    "create": create_update_queries,
+    "set_remove": set_remove_queries,
+    "delete": delete_queries,
+    "merge": merge_queries,
+}

@@ -1,0 +1,213 @@
+"""Differential harness: interpreter ≡ row planner ≡ batch planner.
+
+Runs the *full* fuzz corpus (reads and updates, same generators as
+``test_fuzz_queries`` via :mod:`fuzztools`) through all three executors
+and holds them to:
+
+* **identical result bags** — duplicates included, on every query;
+* **byte-identical final stores** on updating queries (canonical,
+  id-inclusive snapshots of clones, one per executor);
+* **honest mode reporting** — a read plan the batch engine claims
+  (:func:`repro.planner.batch.plan_supports_batch`) must actually run
+  batched (``execution_mode == "batch"``), mode ``"row"`` must always
+  run row-wise, and update statements must run row-wise even when batch
+  execution is requested (their mutations batch through the store
+  transaction instead).
+
+This is the trust anchor for every future scaling PR: sharded or
+concurrent execution modes get added to this same harness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CypherEngine
+from repro.planner.batch import plan_supports_batch
+
+from fuzztools import (
+    GRAPH,
+    MORPHISMS,
+    READ_STRATEGIES,
+    comprehension_queries,
+    create_update_queries,
+    delete_queries,
+    graph_state,
+    match_queries,
+    merge_queries,
+    named_path_queries,
+    pipeline_queries,
+    set_remove_queries,
+    two_clause_queries,
+    two_hop_queries,
+)
+
+
+def _assert_read_differential(query, morphism=None):
+    engine = (
+        CypherEngine(GRAPH)
+        if morphism is None
+        else CypherEngine(GRAPH, morphism=MORPHISMS[morphism])
+    )
+    interpreted = engine.run(query, mode="interpreter")
+    row = engine.run(query, mode="row")
+    batch = engine.run(query, mode="batch")
+    assert row.executed_by == "planner", query
+    assert row.execution_mode == "row", query
+    assert batch.executed_by == "planner", query
+    if plan_supports_batch(batch.plan):
+        # The claim is binding: a supported read plan must not silently
+        # degrade to row execution.
+        assert batch.execution_mode == "batch", query
+    assert interpreted.table.same_bag(row.table), query
+    assert interpreted.table.same_bag(batch.table), query
+
+
+def _assert_update_differential(query):
+    clones = {
+        "interpreter": GRAPH.copy(),
+        "row": GRAPH.copy(),
+        "batch": GRAPH.copy(),
+    }
+    results = {
+        mode: CypherEngine(graph).run(query, mode=mode)
+        for mode, graph in clones.items()
+    }
+    assert results["row"].executed_by == "planner", query
+    assert results["batch"].executed_by == "planner", query
+    # Updates stay row-wise by design, whatever mode was requested.
+    assert results["batch"].execution_mode == "row", query
+    reference = results["interpreter"].table
+    assert reference.same_bag(results["row"].table), query
+    assert reference.same_bag(results["batch"].table), query
+    reference_state = graph_state(clones["interpreter"])
+    assert reference_state == graph_state(clones["row"]), query
+    assert reference_state == graph_state(clones["batch"]), query
+
+
+class TestReadDifferential:
+    """Three-way agreement on every read strategy of the corpus."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=match_queries())
+    def test_match(self, query):
+        _assert_read_differential(query)
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=two_hop_queries())
+    def test_two_hop(self, query):
+        _assert_read_differential(query)
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=pipeline_queries())
+    def test_pipeline(self, query):
+        _assert_read_differential(query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=two_clause_queries())
+    def test_optional_chain(self, query):
+        _assert_read_differential(query)
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=named_path_queries())
+    def test_named_path(self, query):
+        _assert_read_differential(query)
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=comprehension_queries())
+    def test_comprehension(self, query):
+        _assert_read_differential(query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        query=match_queries(),
+        morphism=st.sampled_from(sorted(MORPHISMS)),
+    )
+    def test_match_under_all_morphisms(self, query, morphism):
+        _assert_read_differential(query, morphism=morphism)
+
+
+class TestUpdateDifferential:
+    """Three-way agreement on updating queries, final stores included."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=create_update_queries())
+    def test_create(self, query):
+        _assert_update_differential(query)
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=set_remove_queries())
+    def test_set_remove(self, query):
+        _assert_update_differential(query)
+
+    @settings(max_examples=25, deadline=None)
+    @given(query=delete_queries())
+    def test_delete(self, query):
+        _assert_update_differential(query)
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=merge_queries())
+    def test_merge(self, query):
+        _assert_update_differential(query)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        first=create_update_queries().filter(lambda q: " RETURN " not in q),
+        second=set_remove_queries().filter(lambda q: " RETURN " not in q),
+    )
+    def test_read_after_update_stays_in_lockstep(self, first, second):
+        """Mutate, then read back in all three modes on the same store."""
+        clones = {
+            "interpreter": GRAPH.copy(),
+            "row": GRAPH.copy(),
+            "batch": GRAPH.copy(),
+        }
+        probe = "MATCH (n) RETURN count(n) AS n"
+        tables = {}
+        for mode, graph in clones.items():
+            engine = CypherEngine(graph)
+            engine.run(first, mode=mode)
+            engine.run(second, mode=mode)
+            tables[mode] = engine.run(probe, mode=mode).table
+        reference_state = graph_state(clones["interpreter"])
+        assert reference_state == graph_state(clones["row"])
+        assert reference_state == graph_state(clones["batch"])
+        assert tables["interpreter"].same_bag(tables["row"])
+        assert tables["interpreter"].same_bag(tables["batch"])
+
+
+class TestBatchClaimSweep:
+    """The published claim set is consistent with the corpus shapes."""
+
+    def test_every_read_strategy_reaches_batch_mode(self):
+        """Each strategy family contains plans the batch engine claims.
+
+        Guards against the claim set silently shrinking to nothing for a
+        whole query family (e.g. a new operator sneaking into every
+        aggregation plan without a batch implementation).
+        """
+        samples = {
+            "match": "MATCH (a:A)-[:R]->(b) RETURN a.v AS av, b.v AS bv",
+            "two_hop": "MATCH (a)-[:R]->(b)-[:S]->(c) RETURN count(*) AS n",
+            "pipeline": (
+                "MATCH (a:A)-[:R]->(b) WITH a.v AS g, count(b) AS c "
+                "RETURN g, c ORDER BY g"
+            ),
+            "aggregate": "MATCH (n) RETURN n.v AS v, count(*) AS c",
+            "top_k": "MATCH (n) RETURN n.v AS v ORDER BY v DESC LIMIT 3",
+        }
+        assert set(READ_STRATEGIES) >= {"match", "two_hop", "pipeline"}
+        for name, query in samples.items():
+            result = CypherEngine(GRAPH).run(query, mode="batch")
+            assert result.execution_mode == "batch", (name, query)
+
+    def test_unsupported_shapes_report_row_mode(self):
+        engine = CypherEngine(GRAPH)
+        for query in (
+            "MATCH (a)-[:R*1..2]->(b) RETURN count(*) AS n",  # var-length
+            "MATCH p = (a)-[:R]->(b) RETURN length(p) AS l",  # named path
+            "MATCH (a:A) OPTIONAL MATCH (a)-[:S]->(c) RETURN a, c",
+            "RETURN 1 AS x UNION RETURN 2 AS x",
+        ):
+            result = engine.run(query, mode="batch")
+            assert result.executed_by == "planner", query
+            assert result.execution_mode == "row", query

@@ -75,7 +75,9 @@ class TestCommands:
     def test_explain(self):
         shell, output = make_shell()
         shell.handle(":explain MATCH (n) RETURN n")
-        assert "AllNodesScan" in output.getvalue()
+        text = output.getvalue()
+        assert "AllNodesScan" in text
+        assert "execution mode: batch" in text
 
     def test_unknown_command(self):
         shell, output = make_shell()
@@ -124,6 +126,33 @@ class TestMain:
         main(["--graph", path, "--query",
               "MATCH (p:Person) RETURN p.name AS name"])
         assert "Ann" in capsys.readouterr().out
+
+
+class TestSelftestSubcommand:
+    def test_selftest_passes_on_healthy_build(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "differential reads" in out
+        assert "tck smoke set" in out
+        assert "selftest passed" in out
+
+    def test_selftest_reports_divergence(self, monkeypatch, capsys):
+        """A diverging executor must flip the exit code, not just print."""
+        from repro import selftest as selftest_module
+        from repro.semantics.table import Table
+
+        real_run = CypherEngine.run
+
+        def lying_run(self, query_text, parameters=None, mode=None):
+            result = real_run(self, query_text, parameters, mode)
+            if mode == "batch" and result.columns:
+                result._table = Table(result.table.fields, [])  # drop rows
+            return result
+
+        monkeypatch.setattr(CypherEngine, "run", lying_run)
+        monkeypatch.setattr(selftest_module, "TCK_SMOKE", ())
+        assert main(["selftest"]) == 1
+        assert "FAIL" in capsys.readouterr().out
 
 
 class TestBenchSubcommand:

@@ -53,6 +53,146 @@ class TestEngine:
         assert result.values("name") == ["Bob"]
 
 
+class TestExecutionModeReporting:
+    """executed_by / execution_mode across interpreter, row and batch."""
+
+    def test_interpreter_mode_has_no_execution_mode(self, engine):
+        result = engine.run(
+            "MATCH (p:Person) RETURN p.name AS n", mode="interpreter"
+        )
+        assert result.executed_by == "interpreter"
+        assert result.execution_mode is None
+
+    def test_row_mode_pins_row_execution(self, engine):
+        result = engine.run("MATCH (p:Person) RETURN p.name AS n", mode="row")
+        assert result.executed_by == "planner"
+        assert result.execution_mode == "row"
+
+    def test_auto_mode_batches_claimed_read_plans(self, engine):
+        for mode in ("auto", "planner", "batch"):
+            result = engine.run(
+                "MATCH (p:Person) RETURN p.name AS n", mode=mode
+            )
+            assert result.executed_by == "planner", mode
+            assert result.execution_mode == "batch", mode
+
+    def test_unclaimed_read_plans_report_row(self, engine):
+        result = engine.run(
+            "MATCH (a:Person)-[:KNOWS*1..2]->(b) RETURN count(*) AS c",
+            mode="batch",
+        )
+        assert result.executed_by == "planner"
+        assert result.execution_mode == "row"
+
+    def test_updates_run_row_wise_in_every_planner_mode(self, engine):
+        for mode in ("auto", "planner", "row", "batch"):
+            result = engine.run(
+                "MATCH (p:Person) SET p.seen = true", mode=mode
+            )
+            assert result.executed_by == "planner", mode
+            assert result.execution_mode == "row", mode
+
+    def test_three_modes_agree_on_results(self, engine):
+        query = "MATCH (p:Person) RETURN p.name AS name ORDER BY name"
+        tables = [
+            engine.run(query, mode=mode).table
+            for mode in ("interpreter", "row", "batch")
+        ]
+        assert tables[0].same_bag(tables[1])
+        assert tables[0].same_bag(tables[2])
+
+    def test_batch_results_identical_across_morsel_sizes(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "Person", name="Ann", age=30)
+            .node("b", "Person", name="Bob", age=40)
+            .rel("a", "KNOWS", "b")
+            .build()
+        )
+        query = "MATCH (p:Person) RETURN p.name AS name ORDER BY name"
+        reference = CypherEngine(graph).run(query, mode="interpreter")
+        for morsel_size in (1, 2, 3, 1024):
+            tiny = CypherEngine(graph, morsel_size=morsel_size)
+            result = tiny.run(query, mode="batch")
+            assert result.execution_mode == "batch"
+            assert result.records == reference.records, morsel_size
+
+
+class TestExplainInfo:
+    """The 5-tuple: path, reason, plan, cache counters, execution mode."""
+
+    def test_batchable_read_reports_batch_mode(self, engine):
+        executed_by, reason, plan_text, cache_info, mode = (
+            engine.explain_info("MATCH (p:Person) RETURN p.age AS age")
+        )
+        assert executed_by == "planner"
+        assert reason is None
+        assert "NodeByLabelScan" in plan_text
+        assert mode == "batch"
+
+    def test_row_only_read_reports_row_mode(self, engine):
+        *_rest, mode = engine.explain_info(
+            "MATCH (a)-[:KNOWS*1..2]->(b) RETURN count(*) AS c"
+        )
+        assert mode == "row"
+
+    def test_update_reports_row_mode(self, engine):
+        executed_by, _reason, plan_text, _cache, mode = engine.explain_info(
+            "MATCH (p:Person) SET p.x = 1"
+        )
+        assert executed_by == "planner"
+        assert "Eager" in plan_text
+        assert mode == "row"
+
+    def test_explain_info_respects_pinned_engine_mode(self, engine):
+        """A :mode row session must see the strategy its runs will use."""
+        query = "MATCH (p:Person) RETURN p.age AS age"
+        engine.mode = "row"
+        assert engine.explain_info(query)[4] == "row"
+        assert engine.run(query).execution_mode == "row"
+        engine.mode = "batch"
+        assert engine.explain_info(query)[4] == "batch"
+        assert engine.run(query).execution_mode == "batch"
+
+    def test_cache_counters_accumulate_across_modes(self, engine):
+        query = "MATCH (p:Person) RETURN p.name AS n"
+        engine.run(query, mode="row")          # miss: first plan
+        engine.run(query, mode="batch")        # hit: same plan, other mode
+        engine.run(query, mode="interpreter")  # interpreter skips the cache
+        cache_info = engine.explain_info(query)[3]
+        assert cache_info["hits"] == 1
+        assert cache_info["misses"] == 1
+        assert cache_info["hit_rate"] == 0.5
+        assert cache_info["entries"] == 1
+
+    def test_restamp_after_update_in_batch_mode_session(self):
+        """A batched session's update statement still re-stamps its plan.
+
+        The update itself runs row-wise, but the engine session is in
+        batch mode: the self-inflicted version bump must pardon the
+        cached update plan exactly as in row mode, and the *read* plan
+        cached before the update must survive if it is
+        statistics-insensitive.
+        """
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "Person", name="Ann", age=30)
+            .build()
+        )
+        engine = CypherEngine(graph, mode="batch")
+        update = "MATCH (p) SET p.seen = true"
+        read = "MATCH (p) RETURN count(*) AS c"
+        engine.run(read)    # miss; AllNodesScan: stats-insensitive
+        engine.run(update)  # miss; bumps the version, then re-stamps
+        hits_before = engine.plan_cache_hits
+        second = engine.run(update)  # hit despite the self-bump
+        assert engine.plan_cache_hits == hits_before + 1
+        assert second.execution_mode == "row"
+        third = engine.run(read)     # hit: survived the store mutation
+        assert engine.plan_cache_hits == hits_before + 2
+        assert third.execution_mode == "batch"
+
+
 class TestQueryResult:
     def test_columns_in_projection_order(self, engine):
         result = engine.run("MATCH (p:Person) RETURN p.age AS age, p.name AS name")

@@ -191,32 +191,35 @@ class TestExecutionMetadata:
 
     def test_explain_info_planner_path(self):
         engine = CypherEngine(GRAPH)
-        executed_by, reason, plan_text, cache_info = engine.explain_info(
-            "MATCH p = (a)-->(b) RETURN p"
+        executed_by, reason, plan_text, cache_info, mode = (
+            engine.explain_info("MATCH p = (a)-->(b) RETURN p")
         )
         assert executed_by == "planner"
         assert reason is None
         assert "ProjectPath" in plan_text
         assert set(cache_info) >= {"hits", "misses", "hit_rate"}
+        assert mode == "row"  # named paths stay on the row engine
 
     def test_explain_info_update_path_renders_barriers(self):
         engine = CypherEngine(GRAPH)
-        executed_by, reason, plan_text, _cache = engine.explain_info(
+        executed_by, reason, plan_text, _cache, mode = engine.explain_info(
             "MATCH (a) SET a.v = 1"
         )
         assert executed_by == "planner"
         assert reason is None
         assert "Eager" in plan_text
         assert "SetProperties" in plan_text
+        assert mode == "row"  # write plans never batch
 
     def test_explain_info_fallback_path(self):
         engine = CypherEngine(GRAPH)
-        executed_by, reason, plan_text, _cache = engine.explain_info(
+        executed_by, reason, plan_text, _cache, mode = engine.explain_info(
             "FROM GRAPH default MATCH (a) RETURN a"
         )
         assert executed_by == "interpreter"
         assert "FromGraph" in reason
         assert plan_text is None
+        assert mode is None
 
     def test_cli_explain_subcommand(self, capsys):
         from repro.cli import main

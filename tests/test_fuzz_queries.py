@@ -1,21 +1,19 @@
 """Grammar-driven query fuzzing: planner ≡ interpreter on generated queries.
 
-A hypothesis strategy assembles syntactically valid read queries —
-pattern shape, direction, labels, var-length ranges, WHERE predicates
-(including quantifiers and comprehensions), named paths, projections
-with optional aggregation/DISTINCT/ORDER BY — and every generated query
-must produce the same bag on both execution paths over a fixed,
-structurally rich graph, under each of the three morphism modes.  Every
-planned run must also *report* the planner path: a fuzzed read query
-falling back to the interpreter is a coverage regression.
+The corpus itself — fixture graph, read and update strategies, the
+canonical store snapshot — lives in :mod:`fuzztools` so other harnesses
+(notably the row/batch/interpreter differential suite in
+``test_batched_differential.py``) drive the exact same generators.
 
-The update corpus (CREATE / SET / REMOVE / DELETE / MERGE with
-ON CREATE / ON MATCH) runs each generated query on two *clones* of the
-fixture graph, one per execution path, and asserts both the result
-table (bag equality) and the final graph state (canonical, id-inclusive
-snapshot) agree.  Update queries pin their driving-row order with
-ORDER BY where the mutation sequence is observable (entity-id
-allocation, last-write-wins SETs), so "agree" really means
+Every generated read query must produce the same bag on both execution
+paths over a fixed, structurally rich graph, under each of the three
+morphism modes; every planned run must also *report* the planner path
+(a fuzzed read query falling back to the interpreter is a coverage
+regression).  The update corpus runs each generated query on two
+*clones* of the fixture graph, one per execution path, and asserts both
+the result table (bag equality) and the final graph state (canonical,
+id-inclusive snapshot) agree; driving-row order is pinned with ORDER BY
+where the mutation sequence is observable, so "agree" really means
 byte-identical stores.
 """
 
@@ -23,228 +21,22 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import CypherEngine
-from repro.graph.builder import GraphBuilder
-from repro.semantics.morphism import (
-    EDGE_ISOMORPHISM,
-    HOMOMORPHISM,
-    NODE_ISOMORPHISM,
+
+from fuzztools import (
+    GRAPH,
+    MORPHISMS,
+    comprehension_queries,
+    create_update_queries,
+    delete_queries,
+    graph_state,
+    match_queries,
+    merge_queries,
+    named_path_queries,
+    pipeline_queries,
+    set_remove_queries,
+    two_clause_queries,
+    two_hop_queries,
 )
-from repro.values.ordering import canonical_key
-
-MORPHISMS = {
-    "edge": EDGE_ISOMORPHISM,
-    "node": NODE_ISOMORPHISM,
-    "homomorphism": HOMOMORPHISM,
-}
-
-
-def _fixture_graph():
-    builder = GraphBuilder()
-    labels = ["A", "B", "C"]
-    for index in range(9):
-        builder.node(
-            "n%d" % index,
-            labels[index % 3],
-            v=index % 4,
-            name="node-%d" % index,
-        )
-    edges = [
-        (0, 1, "R"), (1, 2, "R"), (2, 3, "R"), (3, 4, "S"), (4, 5, "S"),
-        (5, 0, "R"), (0, 2, "S"), (2, 4, "R"), (6, 7, "R"), (7, 6, "S"),
-        (8, 8, "R"),  # self-loop
-        (1, 4, "S"),
-    ]
-    for position, (source, target, rel_type) in enumerate(edges):
-        builder.rel("n%d" % source, rel_type, "n%d" % target, w=position % 3)
-    graph, _ = builder.build()
-    return graph
-
-
-GRAPH = _fixture_graph()
-
-label_part = st.sampled_from(["", ":A", ":B", ":C"])
-type_part = st.sampled_from(["", ":R", ":S", ":R|S"])
-direction = st.sampled_from([("-", "->"), ("<-", "-"), ("-", "-")])
-length_part = st.sampled_from(["", "*1..2", "*0..1", "*2"])
-
-
-@st.composite
-def match_queries(draw):
-    left, right = draw(direction)
-    rel_type = draw(type_part)
-    length = draw(length_part)
-    rel_body = rel_type + length
-    if rel_body:
-        rel = "%s[%s]%s" % (left, rel_body, right)
-    else:
-        rel = {("-", "->"): "-->", ("<-", "-"): "<--", ("-", "-"): "--"}[
-            (left, right)
-        ]
-    pattern = "(a%s)%s(b%s)" % (draw(label_part), rel, draw(label_part))
-
-    where = draw(
-        st.sampled_from(
-            [
-                "",
-                " WHERE a.v > 1",
-                " WHERE a.v = b.v",
-                " WHERE a.v < 2 OR b.v >= 2",
-                " WHERE NOT a.v = 0",
-                " WHERE a.name CONTAINS '1'",
-                " WHERE a.v IN [0, 2]",
-            ]
-        )
-    )
-    projection = draw(
-        st.sampled_from(
-            [
-                "RETURN a, b",
-                "RETURN a.v AS av, b.v AS bv",
-                "RETURN DISTINCT a.v AS av",
-                "RETURN count(*) AS n",
-                "RETURN a.v AS g, count(b) AS c",
-                "RETURN a.v + b.v AS s ORDER BY s",
-                "RETURN a.v AS av ORDER BY av DESC LIMIT 3",
-                # collect() is omitted without ORDER BY: its list order is
-                # implementation-defined and the two paths may enumerate
-                # chains from opposite ends
-                "RETURN count(b) AS c, sum(b.v) AS s",
-            ]
-        )
-    )
-    return "MATCH %s%s %s" % (pattern, where, projection)
-
-
-@st.composite
-def two_hop_queries(draw):
-    """Three-node chains, optionally cyclic, with inline property maps."""
-    first_rel = draw(st.sampled_from(["-[:R]->", "<-[:R]-", "-[:S]-", "-->"]))
-    second_rel = draw(st.sampled_from(["-[:R]->", "<-[:S]-", "-[:R|S]-"]))
-    middle = draw(st.sampled_from(["()", "(b)", "(b:B)", "(b {v: 1})"]))
-    tail = draw(st.sampled_from(["(c)", "(c:A)", "(a)"]))  # (a) closes a cycle
-    where = draw(st.sampled_from(["", " WHERE a.v >= 1", " WHERE a.v <> 2"]))
-    projection = draw(
-        st.sampled_from(
-            [
-                "RETURN count(*) AS n",
-                "RETURN a.v AS av ORDER BY av LIMIT 5",
-                "RETURN DISTINCT a.v AS av ORDER BY av",
-                "RETURN a.v AS g, count(*) AS c",
-            ]
-        )
-    )
-    return "MATCH (a)%s%s%s%s%s %s" % (
-        first_rel, middle, second_rel, tail, where, projection
-    )
-
-
-@st.composite
-def pipeline_queries(draw):
-    """MATCH → WITH (aggregate or restriction) → RETURN compositions."""
-    pattern = "(a%s)-[%s]->(b)" % (
-        draw(label_part), draw(st.sampled_from([":R", ":S", ":R|S", ""]))
-    )
-    stage = draw(
-        st.sampled_from(
-            [
-                "WITH a.v AS g, count(b) AS c WHERE c > 0 "
-                "RETURN g, c ORDER BY g",
-                "WITH a, b WHERE a.v >= b.v RETURN a.v AS x, b.v AS y "
-                "ORDER BY x, y SKIP 1",
-                "WITH a.v + b.v AS s RETURN DISTINCT s ORDER BY s",
-                "WITH collect(b.v) AS vs RETURN size(vs) AS n",
-                "WITH a, max(b.v) AS m RETURN a.name AS name, m "
-                "ORDER BY name LIMIT 4",
-            ]
-        )
-    )
-    # An UNWIND prefix doubles row multiplicities, which both paths must
-    # agree on through the aggregation (u itself dies at the WITH).
-    unwind = draw(st.sampled_from(["", "UNWIND [1, 2] AS u "]))
-    return "%sMATCH %s %s" % (unwind, pattern, stage)
-
-
-@st.composite
-def two_clause_queries(draw):
-    first = draw(match_queries())
-    # chain a second hop through OPTIONAL MATCH on the first variable
-    head, _, projection = first.partition(" RETURN ")
-    second_rel = draw(st.sampled_from(["-[:R]->", "<-[:S]-", "-[:R|S]-"]))
-    return (
-        head
-        + " OPTIONAL MATCH (a)%s(c) RETURN a, c" % second_rel
-    )
-
-
-@st.composite
-def named_path_queries(draw):
-    """Named paths over rigid and variable-length chains."""
-    left, right = draw(direction)
-    rel_type = draw(type_part)
-    length = draw(st.sampled_from(["", "*1..2", "*0..1", "*2", "*1..3"]))
-    rel_body = rel_type + length
-    if rel_body:
-        rel = "%s[%s]%s" % (left, rel_body, right)
-    else:
-        rel = {("-", "->"): "-->", ("<-", "-"): "<--", ("-", "-"): "--"}[
-            (left, right)
-        ]
-    pattern = "p = (a%s)%s(b%s)" % (draw(label_part), rel, draw(label_part))
-    where = draw(
-        st.sampled_from(
-            [
-                "",
-                " WHERE length(p) >= 1",
-                " WHERE a.v > 1",
-                " WHERE all(x IN nodes(p) WHERE x.v >= 0)",
-            ]
-        )
-    )
-    projection = draw(
-        st.sampled_from(
-            [
-                "RETURN p",
-                "RETURN length(p) AS len",
-                "RETURN [x IN nodes(p) | x.v] AS vs",
-                "RETURN size(relationships(p)) AS m, a.v AS av",
-                "RETURN length(p) AS len, count(*) AS c",
-                "RETURN DISTINCT length(p) AS len ORDER BY len",
-            ]
-        )
-    )
-    return "MATCH %s%s %s" % (pattern, where, projection)
-
-
-@st.composite
-def comprehension_queries(draw):
-    """Quantifiers, list/pattern comprehensions and reduce()."""
-    pattern = "(a%s)-[:R|S]->(b%s)" % (draw(label_part), draw(label_part))
-    where = draw(
-        st.sampled_from(
-            [
-                "",
-                " WHERE all(x IN [a.v, b.v] WHERE x >= 0)",
-                " WHERE any(x IN [a.v, b.v] WHERE x > 2)",
-                " WHERE none(x IN [a.v] WHERE x > 3)",
-                " WHERE single(x IN [a.v, b.v] WHERE x = 1)",
-                " WHERE size([(a)-->(c) | c]) > 0",
-                " WHERE exists((a)-[:S]->(c) WHERE c.v > b.v)",
-            ]
-        )
-    )
-    projection = draw(
-        st.sampled_from(
-            [
-                "RETURN [x IN [1, 2, 3] WHERE x > a.v | x + b.v] AS xs",
-                "RETURN reduce(s = 0, x IN [a.v, b.v, 1] | s + x) AS total",
-                "RETURN [(b)-[r]->(c) | c.v] AS fanout, a.v AS av",
-                "RETURN size([x IN [a.v, b.v] WHERE x > 1]) AS n, count(*) AS c",
-                "RETURN reduce(s = a.v, x IN [1, 2] | s * x) AS product "
-                "ORDER BY product",
-            ]
-        )
-    )
-    return "MATCH %s%s %s" % (pattern, where, projection)
 
 
 class TestFuzzedQueries:
@@ -308,29 +100,6 @@ class TestFuzzedQueries:
         assert interpreted.table.same_bag(planned.table), query
 
 
-def _graph_state(graph):
-    """Canonical, id-inclusive snapshot used to compare final stores."""
-    nodes = sorted(
-        (
-            node.value,
-            tuple(sorted(graph.labels(node))),
-            canonical_key(graph.properties(node)),
-        )
-        for node in graph.nodes()
-    )
-    rels = sorted(
-        (
-            rel.value,
-            graph.src(rel).value,
-            graph.tgt(rel).value,
-            graph.rel_type(rel),
-            canonical_key(graph.properties(rel)),
-        )
-        for rel in graph.relationships()
-    )
-    return nodes, rels
-
-
 def _assert_update_agreement(query):
     interpreter_graph = GRAPH.copy()
     planner_graph = GRAPH.copy()
@@ -340,186 +109,9 @@ def _assert_update_agreement(query):
     planned = CypherEngine(planner_graph).run(query, mode="planner")
     assert planned.executed_by == "planner", query
     assert interpreted.table.same_bag(planned.table), query
-    assert _graph_state(interpreter_graph) == _graph_state(planner_graph), (
+    assert graph_state(interpreter_graph) == graph_state(planner_graph), (
         query
     )
-
-
-#: Driving prefixes with a pinned row order (ids must allocate alike).
-ordered_node_driver = st.sampled_from(
-    [
-        "MATCH (a:A) WITH a ORDER BY a.name ",
-        "MATCH (a:B) WITH a ORDER BY a.name ",
-        "MATCH (a) WITH a ORDER BY a.name ",
-        "MATCH (a:B)-[:R|S]->(x) WITH a ORDER BY a.name, x.name ",
-    ]
-)
-
-
-@st.composite
-def create_update_queries(draw):
-    """CREATE driven by UNWIND or an ordered MATCH."""
-    shape = draw(st.sampled_from(["unwind", "node", "pair"]))
-    if shape == "unwind":
-        driver = "UNWIND [0, 1, 2] AS i "
-        body = draw(
-            st.sampled_from(
-                [
-                    "CREATE (:N {v: i})",
-                    "CREATE (x:N {v: i})-[:W {k: i}]->(y:M)",
-                    "CREATE (x:N)-[:W]->(y:M {v: i * 2})",
-                    "CREATE p = (x:N {v: i})-[:W]->(:M), (z:Lone)",
-                    "CREATE (x:N {v: i}) CREATE (x)-[:W]->(:M)",
-                ]
-            )
-        )
-        suffix = draw(
-            st.sampled_from(["", " RETURN count(*) AS c", " RETURN i"])
-        )
-    elif shape == "node":
-        driver = draw(ordered_node_driver)
-        body = draw(
-            st.sampled_from(
-                [
-                    "CREATE (a)-[:W {src: a.v}]->(:New {v: a.v})",
-                    "CREATE (:Twin {of: a.name})",
-                    "CREATE (a)-[:W]->(m:Mid)-[:W2]->(n:End {v: a.v + 1})",
-                    "CREATE q = (a)<-[:In {w: 0}]-(:Src)",
-                ]
-            )
-        )
-        suffix = draw(st.sampled_from(["", " RETURN count(*) AS c"]))
-    else:
-        driver = (
-            "MATCH (a:A), (b:B) WITH a, b ORDER BY a.name, b.name "
-        )
-        body = draw(
-            st.sampled_from(
-                [
-                    "CREATE (a)-[:Link]->(b)",
-                    "CREATE (a)<-[:Link {m: a.v + b.v}]-(b)",
-                    "CREATE (a)-[:Via]->(:Hop {h: 1})<-[:Via2]-(b)",
-                ]
-            )
-        )
-        suffix = draw(st.sampled_from(["", " RETURN count(*) AS c"]))
-    return driver + body + suffix
-
-
-@st.composite
-def set_remove_queries(draw):
-    """SET / REMOVE items over an ordered driving table."""
-    target = draw(st.sampled_from(["node", "rel"]))
-    if target == "rel":
-        driver = (
-            "MATCH (x)-[r:R]->(y) WITH x, r, y ORDER BY x.name, y.name "
-        )
-        body = draw(
-            st.sampled_from(
-                [
-                    "SET r.w = r.w + 10",
-                    "SET r.w = null",
-                    "SET r += {stamp: x.v}",
-                    "REMOVE r.w",
-                    "SET r.w = x.v + y.v, r.seen = true",
-                ]
-            )
-        )
-    else:
-        driver = draw(ordered_node_driver)
-        body = draw(
-            st.sampled_from(
-                [
-                    "SET a.w = a.v * 2",
-                    "SET a.v = null",
-                    "SET a += {z: 1, v: null}",
-                    "SET a = {only: a.name}",
-                    "SET a:Extra:More",
-                    "SET a.u = 1, a.w = a.v, a:Tagged",
-                    "REMOVE a.v",
-                    "REMOVE a:A",
-                    "REMOVE a.v, a:B",
-                ]
-            )
-        )
-    suffix = draw(
-        st.sampled_from(["", " RETURN count(*) AS c"])
-    )
-    return driver + body + suffix
-
-
-@st.composite
-def delete_queries(draw):
-    """DELETE / DETACH DELETE of nodes, rels, paths and lists."""
-    return draw(
-        st.sampled_from(
-            [
-                "MATCH (a:C) DETACH DELETE a",
-                "MATCH ()-[r:S]->() DELETE r",
-                "MATCH (a)-[r:R]->() DELETE r RETURN count(*) AS c",
-                "MATCH (a:B) OPTIONAL MATCH (a)-[r:S]->() "
-                "DETACH DELETE a, r",
-                "MATCH p = (a:A)-[:R]->(b) DETACH DELETE p",
-                "MATCH (a:A) OPTIONAL MATCH (a)-[r]-() DELETE r, a",
-                "MATCH (a:C) DETACH DELETE a WITH count(*) AS c "
-                "MATCH (n) RETURN c, count(n) AS left",
-            ]
-        )
-    )
-
-
-@st.composite
-def merge_queries(draw):
-    """MERGE upserts, with and without ON CREATE / ON MATCH."""
-    shape = draw(st.sampled_from(["node", "rel", "free"]))
-    if shape == "node":
-        driver = "UNWIND [0, 1, 2, 3, 4] AS v "
-        pattern = draw(
-            st.sampled_from(
-                ["MERGE (n:A {v: v})", "MERGE (n:New {v: v})"]
-            )
-        )
-        actions = draw(
-            st.sampled_from(
-                [
-                    "",
-                    " ON CREATE SET n.created = 1",
-                    " ON MATCH SET n.matched = v",
-                    " ON CREATE SET n.created = v ON MATCH SET n.seen = true",
-                ]
-            )
-        )
-        suffix = draw(
-            st.sampled_from(["", " RETURN count(*) AS c"])
-        )
-        return driver + pattern + actions + suffix
-    if shape == "rel":
-        driver = (
-            "MATCH (a:A), (b:B) WITH a, b ORDER BY a.name, b.name "
-        )
-        pattern = draw(
-            st.sampled_from(
-                [
-                    "MERGE (a)-[r:R]->(b)",
-                    "MERGE (a)-[r:S]-(b)",
-                    "MERGE (a)-[r:Up {k: 1}]->(b)",
-                ]
-            )
-        )
-        actions = draw(
-            st.sampled_from(["", " ON CREATE SET r.fresh = 1"])
-        )
-        return driver + pattern + actions + " RETURN count(*) AS c"
-    pattern = draw(
-        st.sampled_from(
-            [
-                "MERGE (x {v: 1})",
-                "MERGE (x:C {v: 2})",
-                "MERGE (x:Ghost {v: 9})",
-            ]
-        )
-    )
-    return pattern + " RETURN count(*) AS c"
 
 
 class TestFuzzedUpdates:
@@ -560,7 +152,7 @@ class TestFuzzedUpdates:
             interpreter_engine.run(query, mode="interpreter")
             planned = planner_engine.run(query, mode="planner")
             assert planned.executed_by == "planner", query
-        assert _graph_state(interpreter_graph) == _graph_state(
+        assert graph_state(interpreter_graph) == graph_state(
             planner_graph
         ), (first, second)
 

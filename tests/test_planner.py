@@ -83,7 +83,18 @@ class TestPlanShapes:
             graph, "MATCH (n) RETURN n.name AS name ORDER BY name SKIP 1 LIMIT 2"
         )
         names = operators(root)
-        assert "Sort" in names and "Skip" in names and "Limit" in names
+        # ORDER BY + LIMIT fuses the Sort into a bounded Top heap; the
+        # Skip/Limit operators still follow it for validation/slicing.
+        assert "Top" in names and "Skip" in names and "Limit" in names
+        assert "Sort" not in names
+
+    def test_order_by_without_limit_keeps_sort(self, figure1):
+        graph, _ = figure1
+        root = plan(
+            graph, "MATCH (n) RETURN n.name AS name ORDER BY name SKIP 1"
+        )
+        names = operators(root)
+        assert "Sort" in names and "Top" not in names
 
     def test_union_operator(self, figure1):
         graph, _ = figure1

@@ -1,0 +1,142 @@
+"""Regression: ``ORDER BY … LIMIT k`` is a bounded top-k heap, not a full sort.
+
+Before this fix the planner materialised and sorted the entire input and
+then sliced off k rows.  The fused ``Top`` operator keeps a heap of at
+most k (+ SKIP offset) rows; these tests pin both the semantics (exactly
+the stable Sort + Skip + Limit results, ties, directions and error cases
+included, on the row *and* batch engines) and the bound itself via the
+observable ``TOPK_STATS`` counters: on a large shuffled input the heap
+never exceeds k rows and only a small tail of candidates is ever
+materialised — far below the input size, and within k + one morsel.
+"""
+
+import random
+
+import pytest
+
+from repro import CypherEngine
+from repro.exceptions import CypherRuntimeError
+from repro.graph.store import MemoryGraph
+from repro.planner.batch import DEFAULT_MORSEL_SIZE
+from repro.planner.physical import TOPK_STATS
+
+N_ROWS = 5000
+K = 10
+
+
+def _reset_stats():
+    TOPK_STATS["pushed"] = 0
+    TOPK_STATS["heap_max"] = 0
+
+
+def big_graph():
+    graph = MemoryGraph()
+    values = list(range(N_ROWS))
+    random.Random(20260728).shuffle(values)
+    for value in values:
+        graph.create_node(("Item",), {"v": value, "tie": value % 5})
+    return graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return big_graph()
+
+
+class TestTopKBound:
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_touches_at_most_k_plus_morsel_rows(self, graph, mode):
+        engine = CypherEngine(graph)
+        _reset_stats()
+        result = engine.run(
+            "MATCH (n:Item) RETURN n.v AS v ORDER BY v LIMIT %d" % K,
+            mode=mode,
+        )
+        assert result.values("v") == list(range(K))
+        assert TOPK_STATS["heap_max"] <= K
+        assert TOPK_STATS["pushed"] <= K + DEFAULT_MORSEL_SIZE
+        assert TOPK_STATS["pushed"] < N_ROWS // 10
+
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_skip_widens_the_heap_but_stays_bounded(self, graph, mode):
+        engine = CypherEngine(graph)
+        _reset_stats()
+        result = engine.run(
+            "MATCH (n:Item) RETURN n.v AS v ORDER BY v SKIP 7 LIMIT %d" % K,
+            mode=mode,
+        )
+        assert result.values("v") == list(range(7, 7 + K))
+        assert TOPK_STATS["heap_max"] <= K + 7
+
+    def test_plan_fuses_sort_into_top(self, graph):
+        engine = CypherEngine(graph)
+        plan = engine.explain(
+            "MATCH (n:Item) RETURN n.v AS v ORDER BY v LIMIT 3"
+        )
+        assert "Top" in plan
+        assert "Sort" not in plan
+
+    def test_order_by_without_limit_is_not_fused(self, graph):
+        engine = CypherEngine(graph)
+        plan = engine.explain("MATCH (n:Item) RETURN n.v AS v ORDER BY v")
+        assert "Sort" in plan
+        assert "Top" not in plan
+
+
+class TestTopKSemantics:
+    """Top must be observationally identical to Sort + Skip + Limit."""
+
+    QUERIES = [
+        "MATCH (n:Item) RETURN n.v AS v ORDER BY v LIMIT 13",
+        "MATCH (n:Item) RETURN n.v AS v ORDER BY v DESC LIMIT 13",
+        # Ties on the major key: stability across the cut line matters.
+        "MATCH (n:Item) RETURN n.tie AS t, n.v AS v "
+        "ORDER BY t, v DESC LIMIT 9",
+        "MATCH (n:Item) RETURN n.tie AS t, n.v AS v "
+        "ORDER BY t DESC, v LIMIT 9",
+        "MATCH (n:Item) WHERE n.v < 40 RETURN n.v % 7 AS m "
+        "ORDER BY m LIMIT 5",
+        "MATCH (n:Item) RETURN n.v AS v ORDER BY v SKIP 3 LIMIT 4",
+        "MATCH (n:Item) RETURN n.v AS v ORDER BY v LIMIT 99999",  # k > input
+        "MATCH (n:Item) WITH n.v AS v ORDER BY v DESC LIMIT 6 "
+        "RETURN sum(v) AS s",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_matches_interpreter(self, graph, query, mode):
+        engine = CypherEngine(graph)
+        reference = engine.run(query, mode="interpreter")
+        top = engine.run(query, mode=mode)
+        # Sorted output: row order is observable, not just the bag.
+        assert reference.records == top.records, (mode, query)
+
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_parameterised_limit_reuses_the_cached_plan(self, graph, mode):
+        engine = CypherEngine(graph)
+        query = "MATCH (n:Item) RETURN n.v AS v ORDER BY v LIMIT $k"
+        first = engine.run(query, parameters={"k": 4}, mode=mode)
+        misses = engine.plan_cache_misses
+        second = engine.run(query, parameters={"k": 6}, mode=mode)
+        assert engine.plan_cache_misses == misses  # hit: same plan, new k
+        assert first.values("v") == list(range(4))
+        assert second.values("v") == list(range(6))
+
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_negative_limit_raises_like_limit(self, graph, mode):
+        engine = CypherEngine(graph)
+        with pytest.raises(CypherRuntimeError):
+            engine.run(
+                "MATCH (n:Item) RETURN n.v AS v ORDER BY v LIMIT -1",
+                mode=mode,
+            )
+
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_limit_zero_is_empty_without_touching_rows(self, graph, mode):
+        engine = CypherEngine(graph)
+        _reset_stats()
+        result = engine.run(
+            "MATCH (n:Item) RETURN n.v AS v ORDER BY v LIMIT 0", mode=mode
+        )
+        assert len(result) == 0
+        assert TOPK_STATS["pushed"] == 0
