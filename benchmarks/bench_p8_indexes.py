@@ -1,0 +1,192 @@
+"""P8: index-accelerated access paths vs LabelScan + Filter.
+
+Until PR 5 every property predicate ran as a full label scan with a
+post-hoc Filter — `WHERE n.v = 500` touched all 20k :Item nodes to keep
+20.  The property-index subsystem gives the planner real access paths:
+a hash half for equality/IN probes, a sorted half for ranges and
+prefixes, chosen over the label scan by NDV-backed cost estimates and
+maintained incrementally inside the store transaction.
+
+Acceptance floors, on **both** engines (row and batch), same data with
+and without the index declared:
+
+* point lookup ≥ 10x the LabelScan+Filter median;
+* range scan ≥ 3x the LabelScan+Filter median.
+
+Write-path guards, two of them:
+
+* the <10% acceptance budget is on ``bench_p6_write_path.py``'s
+  committed medians — those workloads carry **no** indexes, so they
+  measure the cost the subsystem imposes on everyone (one falsy-dict
+  check per mutation; re-measured flat to -8% at PR 5);
+* ingesting into a label with two live indexes is pinned at < 2.5x the
+  unindexed bulk create and reported in per-entry microseconds.  The
+  baseline is the leanest write path in the store (two dict stores per
+  node), so each index entry's canonical-form + bucket work shows up
+  undiluted — measured ≈1.1µs/entry, i.e. ~1.9x with two indexes.
+  Incremental maintenance still beats any rebuild by construction: a
+  rebuild is the same per-entry work *plus* a full rescan per statement.
+
+Results land in ``BENCH_pipeline.json`` via the benchmark fixtures
+below.
+"""
+
+import time
+
+import pytest
+
+from repro import CypherEngine
+from repro.graph.store import MemoryGraph
+
+#: Standard workload size (matches bench_p7's scan benchmarks).
+ITEMS = 20000
+#: Distinct v values: buckets of ITEMS/NDV = 20 rows per point lookup.
+NDV = 1000
+
+POINT_LOOKUP = "MATCH (n:Item) WHERE n.v = 500 RETURN count(*) AS c"
+POINT_ROWS = ITEMS // NDV
+
+RANGE_SCAN = (
+    "MATCH (n:Item) WHERE n.v >= 100 AND n.v < 150 RETURN count(*) AS c"
+)
+RANGE_ROWS = 50 * (ITEMS // NDV)
+
+PINNED = [
+    ("point lookup", POINT_LOOKUP, 10.0),
+    ("range scan", RANGE_SCAN, 3.0),
+]
+
+#: Reported for the trajectory, no floor.
+REPORTED = [
+    ("IN probe", "MATCH (n:Item) WHERE n.v IN [5, 250, 500] "
+                 "RETURN count(*) AS c"),
+    ("prefix", "MATCH (n:Item) WHERE n.name STARTS WITH 'item-00042' "
+               "RETURN count(*) AS c"),
+]
+
+
+def build_graph(indexed):
+    graph = MemoryGraph()
+    if indexed:
+        # Declared first: the whole load runs through the incremental
+        # maintenance path, exactly like production ingest would.
+        graph.create_index("Item", "v")
+        graph.create_index("Item", "name")
+    transaction = graph.write_transaction()
+    transaction.create_nodes(
+        ("Item",),
+        [{"v": i % NDV, "name": "item-%05d" % i} for i in range(ITEMS)],
+    )
+    transaction.commit()
+    return graph
+
+
+def _median_time(callable_, repeats=9):
+    """Median wall time after one warm-up run (plan cache, scan caches)."""
+    callable_()
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        times.append(time.perf_counter() - started)
+    times.sort()
+    return times[repeats // 2]
+
+
+def test_p8_index_plans_do_not_fall_back():
+    engine = CypherEngine(build_graph(indexed=True))
+    for name, query, _floor in PINNED:
+        for mode in ("row", "batch"):
+            result = engine.run(query, mode=mode, profile=True)
+            assert result.executed_by == "planner", (name, mode)
+            (record,) = result.access_paths
+            assert record["operator"] in ("IndexScan", "IndexRangeScan"), (
+                "%s [%s] entered via %s" % (name, mode, record["entry"])
+            )
+
+
+def test_p8_results_identical_with_and_without_index():
+    plain = CypherEngine(build_graph(indexed=False))
+    indexed = CypherEngine(build_graph(indexed=True))
+    for name, query in [(n, q) for n, q, _f in PINNED] + REPORTED:
+        reference = plain.run(query, mode="interpreter")
+        for engine in (plain, indexed):
+            for mode in ("row", "batch"):
+                result = engine.run(query, mode=mode)
+                assert reference.table.same_bag(result.table), (name, mode)
+
+
+def test_p8_index_beats_label_scan(table_report):
+    """Acceptance floors: ≥10x point, ≥3x range — both engines."""
+    plain = CypherEngine(build_graph(indexed=False))
+    indexed = CypherEngine(build_graph(indexed=True))
+    rows = []
+    failures = []
+    for mode in ("row", "batch"):
+        for name, query, floor in PINNED + [(n, q, None) for n, q in REPORTED]:
+            indexed_seconds = _median_time(
+                lambda query=query, mode=mode: indexed.run(query, mode=mode)
+            )
+            plain_seconds = _median_time(
+                lambda query=query, mode=mode: plain.run(query, mode=mode)
+            )
+            ratio = plain_seconds / max(indexed_seconds, 1e-9)
+            rows.append(
+                (
+                    "%s [%s]" % (name, mode),
+                    "%.3f ms" % (indexed_seconds * 1e3),
+                    "%.3f ms" % (plain_seconds * 1e3),
+                    "%.1fx" % ratio,
+                    "%.0fx floor" % floor if floor else "report",
+                )
+            )
+            if floor is not None and ratio < floor:
+                failures.append(
+                    "%s [%s] only at %.2fx (floor %.0fx)"
+                    % (name, mode, ratio, floor)
+                )
+    table_report(
+        "P8 — index access paths vs LabelScan+Filter (row and batch)",
+        ["workload", "indexed", "label scan", "scan/index", "pin"],
+        rows,
+    )
+    assert not failures, "; ".join(failures)
+
+
+def test_p8_maintenance_overhead_within_budget(table_report):
+    """Two-index ingest < 2.5x the leanest possible bulk create."""
+    plain_seconds = _median_time(
+        lambda: build_graph(indexed=False), repeats=7
+    )
+    indexed_seconds = _median_time(
+        lambda: build_graph(indexed=True), repeats=7
+    )
+    overhead = indexed_seconds / max(plain_seconds, 1e-9)
+    per_entry = (indexed_seconds - plain_seconds) / (2.0 * ITEMS)
+    table_report(
+        "P8 — write-path maintenance overhead (bulk create of %d)" % ITEMS,
+        ["variant", "median"],
+        [
+            ("no indexes", "%.3f ms" % (plain_seconds * 1e3)),
+            ("two indexes", "%.3f ms" % (indexed_seconds * 1e3)),
+            ("overhead", "%.2fx" % overhead),
+            ("per index entry", "%.2f µs" % (per_entry * 1e6)),
+        ],
+    )
+    assert overhead < 2.5, "maintenance overhead %.2fx" % overhead
+
+
+@pytest.mark.parametrize("mode", ["row", "batch"])
+@pytest.mark.parametrize("indexed", [True, False], ids=["indexed", "plain"])
+def test_p8_point_lookup_benchmark(benchmark, mode, indexed):
+    engine = CypherEngine(build_graph(indexed=indexed))
+    result = benchmark(engine.run, POINT_LOOKUP, mode=mode)
+    assert result.value("c") == POINT_ROWS
+
+
+@pytest.mark.parametrize("mode", ["row", "batch"])
+@pytest.mark.parametrize("indexed", [True, False], ids=["indexed", "plain"])
+def test_p8_range_scan_benchmark(benchmark, mode, indexed):
+    engine = CypherEngine(build_graph(indexed=indexed))
+    result = benchmark(engine.run, RANGE_SCAN, mode=mode)
+    assert result.value("c") == RANGE_ROWS

@@ -15,8 +15,11 @@ Inside the REPL, lines ending in ``;`` (or a single complete clause line)
 execute as Cypher; special commands start with ``:``:
 
     :help               this text
-    :schema             labels, relationship types, counts
-    :explain <query>    show the physical plan
+    :schema             labels, relationship types, counts, indexes
+    :explain <query>    show the physical plan (with access-path estimates)
+    :index              list property indexes
+    :index :L(k)        create a property index on (label L, key k)
+    :index drop :L(k)   drop it again
     :mode <m>           auto | interpreter | planner | row | batch
     :save <path>        write the current graph as JSON
     :load <path>        replace the graph from JSON
@@ -26,6 +29,7 @@ execute as Cypher; special commands start with ``:``:
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 
 from repro.exceptions import CypherError
@@ -42,6 +46,28 @@ def _cache_line(cache_info):
         cache_info["misses"],
         "" if rate is None else " (hit rate %.0f%%)" % (rate * 100),
     )
+
+
+#: ``:Label(key)`` — the index spec syntax of ``:index`` and friends.
+_INDEX_SPEC = re.compile(r"^:?(\w+)\((\w+)\)$")
+
+
+def _access_path_lines(access_paths):
+    """Per-scan ``estimated vs actual`` report lines for profiled runs."""
+    if not access_paths:
+        return ["access paths: none (no scan operators)"]
+    lines = ["access paths (estimated vs actual rows):"]
+    for record in access_paths:
+        estimated = record["estimated_rows"]
+        lines.append(
+            "  %-12s via %-24s est≈%s actual=%d" % (
+                record["variable"],
+                record["entry"],
+                "?" if estimated is None else "%d" % round(estimated),
+                record["actual_rows"],
+            )
+        )
+    return lines
 
 
 class Shell:
@@ -78,6 +104,8 @@ class Shell:
             self.write(__doc__.strip())
         elif command == ":schema":
             self._schema()
+        elif command == ":index":
+            self._index(argument)
         elif command == ":mode":
             if argument in ("auto", "interpreter", "planner", "row", "batch"):
                 self.engine.mode = argument
@@ -142,6 +170,48 @@ class Shell:
             self.write("labels: " + ", ".join(labels))
         if types:
             self.write("relationship types: " + ", ".join(types))
+        indexes = getattr(graph, "indexes", lambda: [])()
+        if indexes:
+            self.write(
+                "indexes: "
+                + ", ".join(":%s(%s)" % pair for pair in indexes)
+            )
+
+    def _index(self, argument):
+        """``:index`` — list, create or drop property indexes."""
+        graph = self.engine.graph
+        if not argument:
+            pairs = graph.indexes()
+            if not pairs:
+                self.write("no property indexes")
+            else:
+                stats = graph.index_statistics()
+                for label, key in pairs:
+                    ndv, entries = stats[(label, key)]
+                    self.write(
+                        ":%s(%s) — %d distinct value(s), %d entr%s"
+                        % (label, key, ndv, entries,
+                           "y" if entries == 1 else "ies")
+                    )
+            return
+        dropping = argument.startswith("drop ")
+        spec = argument[5:].strip() if dropping else argument
+        match = _INDEX_SPEC.match(spec)
+        if match is None:
+            self.write("usage: :index [drop] :Label(key)")
+            return
+        label, key = match.group(1), match.group(2)
+        if dropping:
+            existed = graph.drop_index(label, key)
+            self.write(
+                "dropped index :%s(%s)" % (label, key)
+                if existed
+                else "no index :%s(%s)" % (label, key)
+            )
+        elif graph.create_index(label, key):
+            self.write("created index :%s(%s)" % (label, key))
+        else:
+            self.write("index :%s(%s) already exists" % (label, key))
 
     def _query(self, text):
         try:
@@ -256,9 +326,29 @@ def explain_main(argv=None):
     )
     parser.add_argument("query", help="the Cypher query to explain")
     parser.add_argument("--graph", help="JSON graph file to plan against")
+    parser.add_argument(
+        "--index",
+        action="append",
+        default=[],
+        metavar=":Label(key)",
+        help="create a property index before planning (repeatable)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also execute the query and report estimated vs actual "
+        "rows per access path",
+    )
     arguments = parser.parse_args(argv)
     graph = load_json(arguments.graph) if arguments.graph else MemoryGraph()
     engine = CypherEngine(graph)
+    for spec in arguments.index:
+        match = _INDEX_SPEC.match(spec)
+        if match is None:
+            print("error: bad index spec %r (want :Label(key))" % spec,
+                  file=sys.stderr)
+            return 2
+        engine.create_index(match.group(1), match.group(2))
     try:
         executed_by, reason, plan_text, cache_info, mode = (
             engine.explain_info(arguments.query)
@@ -274,6 +364,11 @@ def explain_main(argv=None):
     if plan_text:
         print(plan_text)
     print(_cache_line(cache_info))
+    if arguments.profile and executed_by == "planner":
+        result = engine.run(arguments.query, profile=True)
+        for line in _access_path_lines(result.access_paths):
+            print(line)
+        print("(%d row%s)" % (len(result), "" if len(result) == 1 else "s"))
     return 0
 
 

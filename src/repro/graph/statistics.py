@@ -11,6 +11,13 @@ Stores that maintain inverted indexes expose
 hooks is O(#labels + #types) instead of a full O(N + R) rescan, which
 keeps planning cheap even though the snapshot cache in
 :mod:`repro.planner.cost` is invalidated by every store mutation.
+
+Stores with property indexes additionally expose
+``index_statistics()`` — ``{(label, key): (ndv, entries)}`` — whose
+NDV (number of distinct values) and entry counters are maintained
+incrementally by the index itself.  They power the cost model's
+equality selectivity (``1/NDV`` instead of the hard-coded default) and
+the index-vs-label-scan access-path choice.
 """
 
 from __future__ import annotations
@@ -44,6 +51,8 @@ class GraphStatistics:
         # so per-type degree totals coincide with the type cardinalities.
         self._out_degree_totals = dict(self.type_counts)
         self._in_degree_totals = dict(self.type_counts)
+        index_hook = getattr(graph, "index_statistics", None)
+        self.property_indexes = dict(index_hook()) if index_hook else {}
 
     # -- cardinalities -------------------------------------------------------
 
@@ -59,6 +68,27 @@ class GraphStatistics:
 
     def relationships_with_type(self, rel_type):
         return self.type_counts.get(rel_type, 0)
+
+    # -- property indexes ----------------------------------------------------
+
+    def has_property_index(self, label, key):
+        return (label, key) in self.property_indexes
+
+    def property_ndv(self, label, key):
+        """Distinct indexed values of ``(label, key)``, or None."""
+        entry = self.property_indexes.get((label, key))
+        return entry[0] if entry is not None else None
+
+    def indexed_entries(self, label, key):
+        """Indexed (node, value) entries of ``(label, key)``, or None.
+
+        This is the number of ``label`` nodes that *have* the property —
+        the population an index scan draws from, which is what equality
+        and range estimates should start from (nodes missing the key can
+        never satisfy either predicate).
+        """
+        entry = self.property_indexes.get((label, key))
+        return entry[1] if entry is not None else None
 
     # -- degrees ---------------------------------------------------------------
 

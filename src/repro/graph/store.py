@@ -43,6 +43,30 @@ time; type-filtered iteration over several segments merges them back
 into id order, which keeps enumeration order identical to filtering the
 full list.
 
+Property indexes (added for the index-accelerated access paths):
+
+* :meth:`create_index` declares a per-``(label, property key)`` index;
+  each :class:`_PropertyIndex` keeps a **hash half** (canonical value →
+  ordered node set, serving equality and ``IN`` probes) and a **sorted
+  half** (one bisectable list of distinct values per comparable scalar
+  segment — numbers, strings, booleans — serving range and prefix
+  probes in Cypher's ``compare`` semantics);
+* maintenance is *incremental*: every raw mutator (create, SET/REMOVE,
+  label changes, deletes — and therefore every
+  :class:`StoreTransaction`, which drives those raw halves) updates the
+  affected index entries in place, inside the same commit that bumps
+  the version; nothing is ever rebuilt on write;
+* the planner consumes the indexes through :meth:`index_lookup` /
+  :meth:`index_lookup_many` / :meth:`index_range` / :meth:`index_prefix`
+  (all returning id-ordered, value-then-id-ordered lists, so row and
+  batch execution enumerate identically) and sizes them through
+  :meth:`index_statistics` (NDV + entry counts feeding
+  :class:`~repro.graph.statistics.GraphStatistics`);
+* index reads may **over-approximate** (a returned node need not satisfy
+  the predicate — the planner always keeps the residual Filter/property
+  check) but never under-approximate: a node whose predicate evaluates
+  to ``true`` is always returned.
+
 Write transactions (added for the slotted write pipeline):
 
 * :meth:`write_transaction` returns a :class:`StoreTransaction`, the
@@ -67,6 +91,8 @@ Write transactions (added for the slotted write pipeline):
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
+
 from repro.exceptions import (
     ConstraintViolation,
     CypherTypeError,
@@ -75,6 +101,7 @@ from repro.exceptions import (
 from repro.graph.model import PropertyGraph
 from repro.values.base import NodeId, RelId
 from repro.values.base import is_cypher_value
+from repro.values.ordering import canonical_key
 from repro.values.path import Path
 
 
@@ -84,6 +111,263 @@ def _id_value(identifier):
 
 #: Shared empty dict for the segmented-adjacency misses in expand_batch.
 _EMPTY_SEGMENTS = {}
+
+
+def _is_nan(value):
+    return isinstance(value, float) and value != value
+
+
+class _PropertyIndex:
+    """One incremental ``(label, property key)`` index.
+
+    The **hash half** maps :func:`~repro.values.ordering.canonical_key`
+    forms to ordered node-id sets (dicts), so equality and ``IN`` probes
+    are O(bucket).  The **sorted half** keeps one bisectable list of
+    distinct values per *comparable scalar segment* — numbers (NaN
+    excluded: no range predicate is ever true of it), strings and
+    booleans — mirroring :func:`~repro.values.comparison.compare`, which
+    only orders within those segments.  Values outside the segments
+    (lists, maps, temporals) live in the hash half only; a range probe
+    bounded by one of those reports "unsupported" and the caller falls
+    back to the label scan (the residual predicate still decides).
+
+    All mutators are idempotent per (node, value) so double adds from
+    defensive call sites cannot skew the entry count.
+    """
+
+    __slots__ = (
+        "label", "key", "_buckets", "_segments", "_entries", "_sorted",
+    )
+
+    #: canonical-key tag -> segment name for the sorted half.
+    _SEGMENT_OF = {"num": "num", "str": "str", "bool": "bool"}
+
+    def __init__(self, label, key):
+        self.label = label
+        self.key = key
+        self._buckets = {}   # canonical key -> dict[NodeId, None]
+        self._segments = {"num": [], "str": [], "bool": []}
+        self._entries = 0
+        #: Memoised id-ordered bucket lists (canonical key -> list):
+        #: repeated probes of a hot value — every index nested-loop join
+        #: row — reuse the sort; add/remove on a bucket invalidates its
+        #: entry.  Callers must not mutate the returned lists (the batch
+        #: engine only slices them, like the label scan lists).
+        self._sorted = {}
+
+    # -- maintenance -------------------------------------------------------
+
+    @staticmethod
+    def _canonical(value):
+        """:func:`canonical_key` with the scalar majority inlined.
+
+        Maintenance runs once per indexed property per write — the
+        int/str/float fast path skips the generic isinstance chain.
+        (``type is`` checks keep bool out of the ``num`` tag, exactly
+        like the generic function.)
+        """
+        value_type = type(value)
+        if value_type is int:
+            return ("num", value)
+        if value_type is str:
+            return ("str", value)
+        if value_type is float:
+            return ("nan",) if value != value else ("num", value)
+        if value_type is bool:
+            return ("bool", value)
+        return canonical_key(value)
+
+    def build(self, items):
+        """Bulk-load ``(node id, value)`` pairs into this *empty* index.
+
+        The initial ``create_index`` scan: buckets fill first, then each
+        sorted segment is sorted exactly once — per-value :func:`insort`
+        would shift the growing list per distinct value, turning a
+        build over millions of distinct values quadratic.  Incremental
+        :meth:`add` keeps using insort, where one shift per write is the
+        right trade.
+        """
+        buckets = self._buckets
+        canonical_of = self._canonical
+        for node_id, value in items:
+            canonical = canonical_of(value)
+            bucket = buckets.get(canonical)
+            if bucket is None:
+                bucket = buckets[canonical] = {}
+            elif node_id in bucket:
+                continue
+            bucket[node_id] = None
+            self._entries += 1
+        segment_of = self._SEGMENT_OF
+        for canonical in buckets:
+            segment = segment_of.get(canonical[0])
+            if segment is not None:
+                self._segments[segment].append(canonical[1])
+        for values in self._segments.values():
+            values.sort()
+
+    def add(self, node_id, value):
+        canonical = self._canonical(value)
+        bucket = self._buckets.get(canonical)
+        if bucket is None:
+            bucket = self._buckets[canonical] = {}
+            segment = self._SEGMENT_OF.get(canonical[0])
+            if segment is not None:
+                insort(self._segments[segment], canonical[1])
+        elif node_id in bucket:
+            return
+        else:
+            self._sorted.pop(canonical, None)
+        bucket[node_id] = None
+        self._entries += 1
+
+    def remove(self, node_id, value):
+        canonical = self._canonical(value)
+        bucket = self._buckets.get(canonical)
+        if bucket is None or node_id not in bucket:
+            return
+        del bucket[node_id]
+        self._entries -= 1
+        self._sorted.pop(canonical, None)
+        if not bucket:
+            del self._buckets[canonical]
+            segment = self._SEGMENT_OF.get(canonical[0])
+            if segment is not None:
+                values = self._segments[segment]
+                position = bisect_left(values, canonical[1])
+                del values[position]
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def distinct_values(self):
+        """NDV: the number of live buckets."""
+        return len(self._buckets)
+
+    @property
+    def entries(self):
+        """Total indexed (node, value) entries."""
+        return self._entries
+
+    # -- probes ------------------------------------------------------------
+
+    def _sorted_bucket(self, canonical):
+        """The bucket's id-ordered node list, memoised until it changes."""
+        ids = self._sorted.get(canonical)
+        if ids is None:
+            ids = sorted(self._buckets[canonical], key=_id_value)
+            self._sorted[canonical] = ids
+        return ids
+
+    def lookup(self, value):
+        """Node ids whose stored value *may* equal ``value``, id-ordered.
+
+        Exact for scalars; a list/map probe containing nulls
+        over-approximates (``equals`` is unknown there) — the caller's
+        residual check decides.  A null or NaN probe matches nothing
+        (``=`` is never true of either).  Do not mutate the result.
+        """
+        if value is None or _is_nan(value):
+            return []
+        canonical = self._canonical(value)
+        if not self._buckets.get(canonical):
+            return []
+        return self._sorted_bucket(canonical)
+
+    def lookup_many(self, values):
+        """The union of :meth:`lookup` over ``values``, id-ordered."""
+        merged = {}
+        for value in values:
+            if value is None or _is_nan(value):
+                continue
+            bucket = self._buckets.get(self._canonical(value))
+            if bucket:
+                merged.update(bucket)
+        return sorted(merged, key=_id_value)
+
+    def range_ids(self, low, low_inclusive, high, high_inclusive):
+        """Node ids inside the bounds, in (value, id) index order.
+
+        Bounds follow :func:`~repro.values.comparison.compare`: a bound
+        outside the comparable scalar segments returns ``None``
+        ("unsupported — scan the label instead"); a NaN bound, or bounds
+        from two different segments, can never be satisfied and return
+        the empty list.  At least one bound must be given.
+        """
+        bound = low if low is not None else high
+        segment_name = self._segment_for(bound)
+        if segment_name is None:
+            return None if not _is_nan(bound) else []
+        if low is not None and high is not None:
+            if self._segment_for(high) != segment_name:
+                # The two bounds admit disjoint value types: no value can
+                # satisfy both comparisons, whatever the other bound is.
+                return []
+        values = self._segments[segment_name]
+        start = 0
+        stop = len(values)
+        if low is not None:
+            start = (
+                bisect_left(values, low)
+                if low_inclusive
+                else bisect_right(values, low)
+            )
+        if high is not None:
+            stop = (
+                bisect_right(values, high)
+                if high_inclusive
+                else bisect_left(values, high)
+            )
+        return self._gather(segment_name, values[start:stop])
+
+    def prefix_ids(self, prefix):
+        """Node ids whose string value starts with ``prefix``, in order.
+
+        Exact: ``STARTS WITH`` is only true of strings, and strings
+        sharing a prefix are contiguous in the sorted segment.  A
+        non-string prefix matches nothing.
+        """
+        if not isinstance(prefix, str):
+            return []
+        values = self._segments["str"]
+        start = bisect_left(values, prefix)
+        matching = []
+        for position in range(start, len(values)):
+            if not values[position].startswith(prefix):
+                break
+            matching.append(values[position])
+        return self._gather("str", matching)
+
+    def _segment_for(self, value):
+        """The sorted-half segment a range bound selects, or None."""
+        if isinstance(value, bool):
+            return "bool"
+        if isinstance(value, (int, float)):
+            return None if _is_nan(value) else "num"
+        if isinstance(value, str):
+            return "str"
+        return None
+
+    def _gather(self, segment_name, values):
+        tag = segment_name  # segment names coincide with canonical tags
+        out = []
+        for value in values:
+            canonical = (tag, value)
+            if self._buckets.get(canonical):
+                out.extend(self._sorted_bucket(canonical))
+        return out
+
+    def snapshot(self):
+        """Canonical content view for maintenance-vs-rebuild checks."""
+        return {
+            canonical: tuple(sorted(node.value for node in bucket))
+            for canonical, bucket in self._buckets.items()
+        }
+
+    def __repr__(self):
+        return "_PropertyIndex(:%s(%s), ndv=%d, entries=%d)" % (
+            self.label, self.key, len(self._buckets), self._entries
+        )
 
 
 class MemoryGraph(PropertyGraph):
@@ -110,6 +394,7 @@ class MemoryGraph(PropertyGraph):
         self._label_index = {}        # str -> set[NodeId]
         self._type_index = {}         # str -> set[RelId]
         self._scan_cache = {}         # ("label"|"type", name) -> (version, sorted list)
+        self._indexes_by_label = {}   # str -> {str key: _PropertyIndex}
 
     # ------------------------------------------------------------------
     # PropertyGraph read interface
@@ -297,6 +582,139 @@ class MemoryGraph(PropertyGraph):
         return {t: len(rels) for t, rels in self._type_index.items()}
 
     # ------------------------------------------------------------------
+    # Property indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, label, key):
+        """Declare a ``(label, key)`` property index; returns True if new.
+
+        The initial build scans the label's inverted index once; from
+        then on every mutation maintains the entries incrementally (the
+        raw mutators below), so an index is never rebuilt on write.
+        Creating an index bumps the version: plans whose access-path
+        choice depended on statistics must be reconsidered.
+        """
+        if not isinstance(label, str) or not label:
+            raise ValueError("index label must be a non-empty string")
+        if not isinstance(key, str) or not key:
+            raise ValueError("index property key must be a non-empty string")
+        if key in self._indexes_by_label.get(label, _EMPTY_SEGMENTS):
+            return False
+        index = _PropertyIndex(label, key)
+        properties = self._node_properties
+        index.build(
+            (node, value)
+            for node in self._label_index.get(label, ())
+            if (value := properties[node].get(key)) is not None
+        )
+        self._indexes_by_label.setdefault(label, {})[key] = index
+        self._version += 1
+        return True
+
+    def drop_index(self, label, key):
+        """Remove a property index; returns True if one existed."""
+        indexes = self._indexes_by_label.get(label)
+        if not indexes or key not in indexes:
+            return False
+        del indexes[key]
+        if not indexes:
+            del self._indexes_by_label[label]
+        self._version += 1
+        return True
+
+    def has_index(self, label, key):
+        return key in self._indexes_by_label.get(label, _EMPTY_SEGMENTS)
+
+    def indexes(self):
+        """All declared ``(label, key)`` pairs, sorted."""
+        return sorted(
+            (label, key)
+            for label, keyed in self._indexes_by_label.items()
+            for key in keyed
+        )
+
+    def index_statistics(self):
+        """``{(label, key): (ndv, entries)}`` for the cost model."""
+        return {
+            (index.label, index.key): (index.distinct_values, index.entries)
+            for _label, keyed in self._indexes_by_label.items()
+            for index in keyed.values()
+        }
+
+    def index_lookup(self, label, key, value):
+        """Equality probe: candidate node ids, id-ordered (see class doc)."""
+        return self._indexes_by_label[label][key].lookup(value)
+
+    def index_lookup_many(self, label, key, values):
+        """``IN`` probe over a value list: deduplicated, id-ordered."""
+        return self._indexes_by_label[label][key].lookup_many(values)
+
+    def index_range(self, label, key, low, low_inclusive, high, high_inclusive):
+        """Range probe in index order; None when the bounds need a scan."""
+        return self._indexes_by_label[label][key].range_ids(
+            low, low_inclusive, high, high_inclusive
+        )
+
+    def index_prefix(self, label, key, prefix):
+        """``STARTS WITH`` probe in index order (exact)."""
+        return self._indexes_by_label[label][key].prefix_ids(prefix)
+
+    def index_snapshot(self, label, key):
+        """Canonical content of one index (maintenance-vs-rebuild tests)."""
+        return self._indexes_by_label[label][key].snapshot()
+
+    # -- incremental maintenance (called from the raw mutators) -------------
+
+    def _indexes_for(self, label):
+        return self._indexes_by_label.get(label, _EMPTY_SEGMENTS)
+
+    def _index_node_created(self, node_id, labels, properties):
+        for label in labels:
+            for key, index in self._indexes_for(label).items():
+                value = properties.get(key)
+                if value is not None:
+                    index.add(node_id, value)
+
+    def _index_node_deleted(self, node_id, labels, properties):
+        for label in labels:
+            for key, index in self._indexes_for(label).items():
+                value = properties.get(key)
+                if value is not None:
+                    index.remove(node_id, value)
+
+    def _index_property_changed(self, node_id, key, old, new):
+        if old is None and new is None:
+            return
+        for label in self._node_labels[node_id]:
+            index = self._indexes_for(label).get(key)
+            if index is None:
+                continue
+            if old is not None:
+                index.remove(node_id, old)
+            if new is not None:
+                index.add(node_id, new)
+
+    def _index_label_added(self, node_id, label):
+        indexes = self._indexes_for(label)
+        if not indexes:
+            return
+        properties = self._node_properties[node_id]
+        for key, index in indexes.items():
+            value = properties.get(key)
+            if value is not None:
+                index.add(node_id, value)
+
+    def _index_label_removed(self, node_id, label):
+        indexes = self._indexes_for(label)
+        if not indexes:
+            return
+        properties = self._node_properties[node_id]
+        for key, index in indexes.items():
+            value = properties.get(key)
+            if value is not None:
+                index.remove(node_id, value)
+
+    # ------------------------------------------------------------------
     # Mutation
     #
     # Every public mutator is "bump the version, then apply" — the
@@ -328,6 +746,8 @@ class MemoryGraph(PropertyGraph):
         for label in label_set:
             self._label_index.setdefault(label, set()).add(node_id)
             self._note_scan_insert("label", label, node_id)
+        if self._indexes_by_label:
+            self._index_node_created(node_id, label_set, validated)
         return node_id
 
     def _create_nodes_bulk_raw(self, labels, properties_list, ids):
@@ -348,6 +768,13 @@ class MemoryGraph(PropertyGraph):
         node_labels = self._node_labels
         node_properties = self._node_properties
         append = ids.append
+        indexed = None
+        if self._indexes_by_label:
+            indexed = [
+                (key, index)
+                for label in dict.fromkeys(labels)
+                for key, index in self._indexes_for(label).items()
+            ]
         try:
             for properties in properties_list:
                 validated = _validated_properties(properties)  # may raise
@@ -356,6 +783,11 @@ class MemoryGraph(PropertyGraph):
                 node_labels[node_id] = set(labels)
                 node_properties[node_id] = validated
                 append(node_id)
+                if indexed:
+                    for key, index in indexed:
+                        value = validated.get(key)
+                        if value is not None:
+                            index.add(node_id, value)
         finally:
             for label in labels:
                 self._label_index.setdefault(label, set()).update(ids)
@@ -421,6 +853,8 @@ class MemoryGraph(PropertyGraph):
         self._incoming_by_type[node_id] = {}
         for label in label_set:
             self._label_index.setdefault(label, set()).add(node_id)
+        if self._indexes_by_label:
+            self._index_node_created(node_id, label_set, validated)
         self._next_node_id = max(self._next_node_id, node_id.value + 1)
         return node_id
 
@@ -452,6 +886,12 @@ class MemoryGraph(PropertyGraph):
         for rel in incident:
             if rel in self._rel_endpoints:
                 self._delete_relationship_raw(rel)
+        if self._indexes_by_label:
+            self._index_node_deleted(
+                node_id,
+                self._node_labels[node_id],
+                self._node_properties[node_id],
+            )
         for label in self._node_labels[node_id]:
             self._label_index[label].discard(node_id)
             self._scan_cache.pop(("label", label), None)
@@ -488,19 +928,29 @@ class MemoryGraph(PropertyGraph):
 
     def _set_property_raw(self, entity_id, key, value):
         props = self._property_map(entity_id)
+        track = self._indexes_by_label and type(entity_id) is NodeId
+        old = props.get(key) if track else None
         if value is None:
             props.pop(key, None)
         else:
             if not is_cypher_value(value):
                 raise ValueError("%r is not a storable value" % (value,))
             props[key] = value
+        if track:
+            self._index_property_changed(entity_id, key, old, value)
 
     def remove_property(self, entity_id, key):
         self._version += 1
         self._remove_property_raw(entity_id, key)
 
     def _remove_property_raw(self, entity_id, key):
-        self._property_map(entity_id).pop(key, None)
+        old = self._property_map(entity_id).pop(key, None)
+        if (
+            old is not None
+            and self._indexes_by_label
+            and type(entity_id) is NodeId
+        ):
+            self._index_property_changed(entity_id, key, old, None)
 
     def replace_properties(self, entity_id, properties):
         """SET n = {map}: replace the whole property map."""
@@ -509,9 +959,20 @@ class MemoryGraph(PropertyGraph):
 
     def _replace_properties_raw(self, entity_id, properties):
         props = self._property_map(entity_id)
+        # Validate before touching anything: a rejected value must leave
+        # both the property map and the index entries untouched (an index
+        # desynchronised from a half-cleared map could never be repaired —
+        # the old values it holds would be gone).
+        validated = _validated_properties(properties)
+        track = self._indexes_by_label and type(entity_id) is NodeId
+        old = dict(props) if track else None
         props.clear()
-        for key, value in _validated_properties(properties).items():
-            props[key] = value
+        props.update(validated)
+        if track:
+            for key in old.keys() | validated.keys():
+                self._index_property_changed(
+                    entity_id, key, old.get(key), validated.get(key)
+                )
 
     def merge_properties(self, entity_id, properties):
         """SET n += {map}: upsert keys; null values remove keys."""
@@ -520,13 +981,17 @@ class MemoryGraph(PropertyGraph):
 
     def _merge_properties_raw(self, entity_id, properties):
         props = self._property_map(entity_id)
+        track = self._indexes_by_label and type(entity_id) is NodeId
         for key, value in (properties or {}).items():
+            old = props.get(key) if track else None
             if value is None:
                 props.pop(key, None)
             else:
                 if not is_cypher_value(value):
                     raise ValueError("%r is not a storable value" % (value,))
                 props[key] = value
+            if track:
+                self._index_property_changed(entity_id, key, old, value)
 
     def add_label(self, node_id, label):
         self._version += 1
@@ -535,9 +1000,12 @@ class MemoryGraph(PropertyGraph):
     def _add_label_raw(self, node_id, label):
         if node_id not in self._node_labels:
             raise EntityNotFound("no node %r in graph" % (node_id,))
+        fresh = label not in self._node_labels[node_id]
         self._node_labels[node_id].add(label)
         self._label_index.setdefault(label, set()).add(node_id)
         self._scan_cache.pop(("label", label), None)
+        if fresh and self._indexes_by_label:
+            self._index_label_added(node_id, label)
 
     def remove_label(self, node_id, label):
         self._version += 1
@@ -546,10 +1014,13 @@ class MemoryGraph(PropertyGraph):
     def _remove_label_raw(self, node_id, label):
         if node_id not in self._node_labels:
             raise EntityNotFound("no node %r in graph" % (node_id,))
+        present = label in self._node_labels[node_id]
         self._node_labels[node_id].discard(label)
         if label in self._label_index:
             self._label_index[label].discard(node_id)
         self._scan_cache.pop(("label", label), None)
+        if present and self._indexes_by_label:
+            self._index_label_removed(node_id, label)
 
     # ------------------------------------------------------------------
     # Whole-graph operations
@@ -581,6 +1052,7 @@ class MemoryGraph(PropertyGraph):
         self._incoming_by_type = donor._incoming_by_type
         self._label_index = donor._label_index
         self._type_index = donor._type_index
+        self._indexes_by_label = donor._indexes_by_label
         self._scan_cache = {}
         self._version += 1
 
@@ -611,6 +1083,13 @@ class MemoryGraph(PropertyGraph):
         }
         clone._label_index = {l: set(ns) for l, ns in self._label_index.items()}
         clone._type_index = {t: set(rs) for t, rs in self._type_index.items()}
+        # Rebuild the property indexes from the cloned data: the clone's
+        # contents equal the originals' by construction, and the version
+        # bumps create_index applied are undone by restamping below.
+        for label, keyed in self._indexes_by_label.items():
+            for key in keyed:
+                clone.create_index(label, key)
+        clone._version = self._version
         return clone
 
     def __repr__(self):

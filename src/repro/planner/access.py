@@ -1,0 +1,298 @@
+"""Sargable-predicate extraction for index access paths.
+
+"Sargable" (search-argument-able) conjuncts are the WHERE / inline-map
+predicates an index can serve as an *access path*: equality, ``IN``,
+half-open or closed ranges, and string prefixes over ``variable.key``.
+This module turns a WHERE tree into per-variable :class:`Sargable`
+candidates; :mod:`repro.planner.planning` then asks the cost model
+whether entering through a ``(label, key)`` index beats the label scan.
+
+Pushdown is sound because the planner **never removes the predicate**:
+the full WHERE stays as the residual Filter (and the inline property
+map stays in the scan's node check), so an index may over-approximate —
+return candidates the predicate rejects — without changing results.
+What pushdown *does* change is which rows the residual ever sees, so a
+conjunct is only extracted, and the surrounding WHERE only accepted,
+when skipping the pruned rows cannot suppress an error the reference
+path would have raised.  :func:`infallible` is the conservative
+allowlist behind that: literals, parameters, variables, property /
+label access on them, comparisons, ``IN`` over a list *literal* (any
+other container can raise the non-list type error per row), string
+predicates, ``IS [NOT] NULL`` and the logical connectives.  Arithmetic (division by
+zero), function calls, list indexing, comprehensions and anything else
+that can raise per-row keeps the whole WHERE off the index path.  (Two
+documented corners remain: an unbound parameter and a type-mismatched
+variable subject error at probe time rather than per pruned row — the
+same statement-level behaviour a production planner exhibits.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ast import expressions as ex
+from repro.ast.visitor import walk
+
+#: Inequality operators and their meaning as a (bound, inclusive) pair
+#: when the property sits on the *left* (``n.k < e``).
+_RANGE_OPERATORS = {"<", "<=", ">", ">="}
+
+#: Flip map for bounds written with the property on the right (``e < n.k``).
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass(frozen=True)
+class Sargable:
+    """One index-servable conjunct over ``variable.key``.
+
+    ``kind`` is ``"eq"`` (probe expression in ``value``), ``"in"``
+    (list expression in ``value``), ``"range"`` (``low``/``high``
+    expressions with inclusivity flags; one side may be open) or
+    ``"prefix"`` (prefix expression in ``value``).  ``size_hint`` is the
+    plan-time length of an ``IN`` list literal, when known.
+    """
+
+    variable: str
+    key: str
+    kind: str
+    value: Optional[object] = None
+    low: Optional[object] = None
+    low_inclusive: bool = True
+    high: Optional[object] = None
+    high_inclusive: bool = True
+    size_hint: Optional[int] = None
+
+    def describe(self):
+        if self.kind == "eq":
+            return "%s.%s = …" % (self.variable, self.key)
+        if self.kind == "in":
+            return "%s.%s IN …" % (self.variable, self.key)
+        if self.kind == "prefix":
+            return "%s.%s STARTS WITH …" % (self.variable, self.key)
+        parts = []
+        if self.low is not None:
+            parts.append("… %s %s.%s" % (
+                "<=" if self.low_inclusive else "<", self.variable, self.key
+            ))
+        if self.high is not None:
+            parts.append("%s.%s %s …" % (
+                self.variable, self.key,
+                "<=" if self.high_inclusive else "<",
+            ))
+        return " AND ".join(parts) or "%s.%s range" % (self.variable, self.key)
+
+    def probe_expressions(self):
+        """Every expression the access path evaluates per driving row."""
+        return tuple(
+            expression
+            for expression in (self.value, self.low, self.high)
+            if expression is not None
+        )
+
+
+#: Expression node types that cannot raise at evaluation time (given the
+#: documented parameter/variable-subject corners).  Everything else —
+#: arithmetic, function calls, indexing, slicing, regex against a
+#: non-constant pattern, CASE, comprehensions, pattern predicates —
+#: keeps the WHERE off the index path.  ``ex.In`` is deliberately
+#: absent: ``x IN e`` raises on a non-list container, so it is only
+#: admitted (in :func:`infallible` below) when the container is a list
+#: literal — an ``IN $param`` therefore vetoes pushdown of the whole
+#: WHERE rather than risk pruning a row whose evaluation would have
+#: raised on the reference path.
+_INFALLIBLE_NODES = (
+    ex.Literal,
+    ex.Parameter,
+    ex.Variable,
+    ex.PropertyAccess,
+    ex.MapLiteral,
+    ex.ListLiteral,
+    ex.Comparison,
+    ex.StringPredicate,
+    ex.BinaryLogic,
+    ex.Not,
+    ex.IsNull,
+    ex.IsNotNull,
+    ex.LabelPredicate,
+)
+
+#: Probe expressions are held to a tighter list still: they are
+#: evaluated once per driving row *before* any candidate row exists, so
+#: they must be simple row-local reads.
+_PROBE_NODES = (
+    ex.Literal,
+    ex.Parameter,
+    ex.Variable,
+    ex.PropertyAccess,
+    ex.ListLiteral,
+    ex.MapLiteral,
+)
+
+
+def infallible(expression):
+    """True when no node of ``expression`` can raise per row (see above)."""
+    for node in walk(expression):
+        if isinstance(node, ex.In):
+            if not isinstance(node.container, ex.ListLiteral):
+                return False  # a non-list container raises per row
+        elif not isinstance(node, _INFALLIBLE_NODES):
+            return False
+    return True
+
+
+def probe_safe(expression):
+    """True when ``expression`` qualifies as an index probe value."""
+    return all(isinstance(node, _PROBE_NODES) for node in walk(expression))
+
+
+def conjuncts_of(predicate):
+    """Flatten the top-level AND tree of a WHERE into its conjuncts."""
+    if isinstance(predicate, ex.BinaryLogic) and predicate.operator == "AND":
+        return conjuncts_of(predicate.left) + conjuncts_of(predicate.right)
+    return (predicate,)
+
+
+def free_variables(expression):
+    """Variable names an expression reads (scratch-bound names included).
+
+    Over-approximating the free set is fine here: it only makes the
+    planner *reject* a pushdown it might have allowed.
+    """
+    return {
+        node.name for node in walk(expression) if isinstance(node, ex.Variable)
+    }
+
+
+def _property_operand(expression):
+    """``(variable, key)`` when the expression is ``variable.key``."""
+    if isinstance(expression, ex.PropertyAccess) and isinstance(
+        expression.subject, ex.Variable
+    ):
+        return expression.subject.name, expression.key
+    return None
+
+
+def _extract_one(conjunct):
+    """The :class:`Sargable` form of one conjunct, or None."""
+    if isinstance(conjunct, ex.Comparison):
+        if len(conjunct.operands) != 2:
+            return None
+        operator = conjunct.operators[0]
+        left, right = conjunct.operands
+        subject = _property_operand(left)
+        other = right
+        if subject is None:
+            subject = _property_operand(right)
+            other = left
+            operator = _FLIPPED.get(operator, operator)
+        if subject is None or not probe_safe(other):
+            return None
+        variable, key = subject
+        if operator == "=":
+            return Sargable(variable, key, "eq", value=other)
+        if operator in _RANGE_OPERATORS:
+            if operator in ("<", "<="):
+                return Sargable(
+                    variable, key, "range",
+                    high=other, high_inclusive=operator == "<=",
+                )
+            return Sargable(
+                variable, key, "range",
+                low=other, low_inclusive=operator == ">=",
+            )
+        return None
+    if isinstance(conjunct, ex.In):
+        subject = _property_operand(conjunct.item)
+        if subject is None or not probe_safe(conjunct.container):
+            return None
+        variable, key = subject
+        size = (
+            len(conjunct.container.items)
+            if isinstance(conjunct.container, ex.ListLiteral)
+            else None
+        )
+        return Sargable(
+            variable, key, "in", value=conjunct.container, size_hint=size
+        )
+    if (
+        isinstance(conjunct, ex.StringPredicate)
+        and conjunct.operator == "STARTS WITH"
+    ):
+        subject = _property_operand(conjunct.left)
+        if subject is None or not probe_safe(conjunct.right):
+            return None
+        variable, key = subject
+        return Sargable(variable, key, "prefix", value=conjunct.right)
+    return None
+
+
+def _merge_ranges(sargables):
+    """Fuse one lower and one upper bound per key into a closed range.
+
+    Only the first bound of each side participates (bounds are
+    expressions, so the planner cannot compare them); leftover range
+    conjuncts simply stay in the residual filter like everything else.
+    """
+    merged = []
+    open_ranges = {}  # (variable, key) -> index into merged
+    for sargable in sargables:
+        if sargable.kind != "range":
+            merged.append(sargable)
+            continue
+        slot = (sargable.variable, sargable.key)
+        position = open_ranges.get(slot)
+        if position is None:
+            open_ranges[slot] = len(merged)
+            merged.append(sargable)
+            continue
+        existing = merged[position]
+        if existing.low is None and sargable.low is not None:
+            merged[position] = Sargable(
+                existing.variable, existing.key, "range",
+                low=sargable.low, low_inclusive=sargable.low_inclusive,
+                high=existing.high, high_inclusive=existing.high_inclusive,
+            )
+        elif existing.high is None and sargable.high is not None:
+            merged[position] = Sargable(
+                existing.variable, existing.key, "range",
+                low=existing.low, low_inclusive=existing.low_inclusive,
+                high=sargable.high, high_inclusive=sargable.high_inclusive,
+            )
+        # Both sides already bound: the extra conjunct stays residual.
+    return merged
+
+
+def collect_sargable(predicate):
+    """``{variable: [Sargable, ...]}`` for one WHERE tree.
+
+    Empty when the WHERE as a whole fails the :func:`infallible` gate —
+    pruning rows must not suppress errors the reference path raises.
+    """
+    if predicate is None or not infallible(predicate):
+        return {}
+    extracted = []
+    for conjunct in conjuncts_of(predicate):
+        sargable = _extract_one(conjunct)
+        if sargable is not None:
+            extracted.append(sargable)
+    by_variable = {}
+    for sargable in _merge_ranges(extracted):
+        by_variable.setdefault(sargable.variable, []).append(sargable)
+    return by_variable
+
+
+def inline_sargables(node_pattern, variable):
+    """Equality sargables from a node pattern's inline property map.
+
+    ``(n:L {k: expr})`` is ``n.k = expr`` in disguise; each map entry
+    whose value expression passes the probe gate is an equality
+    candidate (``variable`` is the planner's name for the pattern, which
+    covers anonymous nodes too).  The scan's node check re-verifies
+    every entry, so the same over-approximation rules apply.
+    """
+    sargables = []
+    for key, expression in node_pattern.properties:
+        if probe_safe(expression):
+            sargables.append(Sargable(variable, key, "eq", value=expression))
+    return tuple(sargables)

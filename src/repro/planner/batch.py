@@ -11,7 +11,10 @@ per-morsel cost amortised over N rows:
 
 * scans slice whole chunks off the store's cached scan lists
   (:meth:`~repro.graph.store.MemoryGraph.label_scan_ids`) and broadcast
-  the outer bindings, instead of copying a row per node;
+  the outer bindings, instead of copying a row per node — index scans
+  (equality/``IN``/range/prefix probes per driving row) chunk their
+  id-ordered candidate lists the same way, so indexed plans stay inside
+  the batch claim;
 * Expand walks the adjacency of an entire source column in one store
   call (:meth:`~repro.graph.store.MemoryGraph.expand_batch`) and gathers
   the surviving origins with list selections;
@@ -58,6 +61,8 @@ from repro.planner.physical import (
     _compile_node_ok,
     _compile_rel_ok,
     _heap_item_class,
+    _index_probe,
+    _index_range_probe,
 )
 from repro.planner.slots import SlotMap
 from repro.semantics.compile import MISSING, ColumnCompiler, select_columns
@@ -103,9 +108,11 @@ class BatchContext(ExecutionContext):
 
     def __init__(
         self, graph, parameters=None, functions=None, morphism=None,
-        slots=None, morsel_size=None,
+        slots=None, morsel_size=None, access_log=None,
     ):
-        super().__init__(graph, parameters, functions, morphism, slots)
+        super().__init__(
+            graph, parameters, functions, morphism, slots, access_log
+        )
         self.columns = ColumnCompiler(self.compiler)
         self.morsel_size = morsel_size or DEFAULT_MORSEL_SIZE
 
@@ -118,17 +125,19 @@ class BatchContext(ExecutionContext):
 
 def execute_plan_batched(
     plan, graph, parameters=None, functions=None, morphism=None,
-    morsel_size=None,
+    morsel_size=None, access_log=None,
 ):
     """Run a batch-supported logical plan; returns a Table over its fields.
 
     Semantically identical to :func:`~repro.planner.physical.execute_plan`
     on every plan :func:`plan_supports_batch` accepts — same rows, same
-    order, same errors.
+    order, same errors.  ``access_log`` enables the same access-path
+    profiling as the row engine (counted per morsel, not per row).
     """
     slots = SlotMap.from_plan(plan)
     context = BatchContext(
-        graph, parameters, functions, morphism, slots, morsel_size
+        graph, parameters, functions, morphism, slots, morsel_size,
+        access_log,
     )
     source = _compile(plan, context)
     fields = plan.fields
@@ -225,16 +234,93 @@ def _compile_scan(op, ctx, source_of, granted_label=None):
     return run
 
 
+def _profiled_batch_scan(ctx, op, entry, run):
+    """Morsel-level emitted-row counter, matching the row engine's."""
+    log = ctx.access_log
+    if log is None:
+        return run
+    record = {
+        "operator": type(op).__name__,
+        "variable": op.variable,
+        "entry": entry,
+        "estimated_rows": getattr(op, "estimated_rows", None),
+        "actual_rows": 0,
+    }
+    log.append(record)
+
+    def counted(argument):
+        for n, cols in run(argument):
+            record["actual_rows"] += n
+            yield n, cols
+
+    return counted
+
+
 def _compile_all_nodes_scan(op, ctx):
-    return _compile_scan(op, ctx, ctx.graph.all_node_ids)
+    return _profiled_batch_scan(
+        ctx, op, "all nodes",
+        _compile_scan(op, ctx, ctx.graph.all_node_ids),
+    )
 
 
 def _compile_label_scan(op, ctx):
     label = op.label
     scan = ctx.graph.label_scan_ids
-    return _compile_scan(
-        op, ctx, lambda: scan(label), granted_label=label
+    return _profiled_batch_scan(
+        ctx, op, "label scan :%s" % label,
+        _compile_scan(op, ctx, lambda: scan(label), granted_label=label),
     )
+
+
+def _compile_probe_scan(op, ctx, candidates_of, entry):
+    """Chunked batch scan over per-driving-row index candidate lists.
+
+    The probe closures come from the row engine's :func:`_index_probe` /
+    :func:`_index_range_probe` — one home for the probe semantics.  They
+    read the *driving row*, so a scratch row is materialised per input
+    row (exactly like :func:`_compile_scan`'s property-checked path);
+    the candidate list then chunks into morsels with the outer bindings
+    broadcast.  Enumeration order matches the row engine's operator —
+    same store calls, same lists.
+    """
+    child = _compile(op.child, ctx)
+    slot = ctx.slots[op.variable]
+    ok = _compile_node_ok(ctx, op.node_pattern, granted_label=op.label)
+    morsel = ctx.morsel_size
+    width = len(ctx.slots)
+    label = op.label
+    label_ids = ctx.graph.label_scan_ids
+
+    def run(argument):
+        for n, cols in child(argument):
+            bound = _bound_columns(cols)
+            row = [MISSING] * width
+            for index in range(n):
+                if not label_ids(label):
+                    continue
+                for out_slot, col in bound:
+                    row[out_slot] = col[index]
+                nodes = candidates_of(row)
+                if ok is not None:
+                    nodes = [node for node in nodes if ok(node, row)]
+                total = len(nodes)
+                for start in range(0, total, morsel):
+                    chunk = nodes[start:start + morsel]
+                    out = [None] * width
+                    for out_slot, col in bound:
+                        out[out_slot] = [col[index]] * len(chunk)
+                    out[slot] = chunk
+                    yield len(chunk), out
+
+    return _profiled_batch_scan(ctx, op, entry, run)
+
+
+def _compile_index_scan(op, ctx):
+    return _compile_probe_scan(op, ctx, *_index_probe(ctx, op))
+
+
+def _compile_index_range_scan(op, ctx):
+    return _compile_probe_scan(op, ctx, *_index_range_probe(ctx, op))
 
 
 def _compile_node_check(op, ctx):
@@ -865,6 +951,8 @@ _COMPILERS = {
     lg.Init: _compile_init,
     lg.AllNodesScan: _compile_all_nodes_scan,
     lg.NodeByLabelScan: _compile_label_scan,
+    lg.IndexScan: _compile_index_scan,
+    lg.IndexRangeScan: _compile_index_range_scan,
     lg.NodeCheck: _compile_node_check,
     lg.Expand: _compile_expand,
     lg.Filter: _compile_filter,

@@ -13,8 +13,18 @@ import weakref
 
 from repro.graph.statistics import GraphStatistics
 
-#: Default selectivity of one property-equality predicate.
+#: *Fallback* selectivity of one property-equality predicate, used only
+#: when no property index tracks the (label, key) pair — with an index,
+#: equality selectivity is ``1/NDV`` from live distinct-value counters.
 PROPERTY_SELECTIVITY = 0.1
+
+#: Textbook fallback selectivity of one half-open range (or prefix)
+#: predicate; a closed range (both bounds) compounds two of them.
+RANGE_SELECTIVITY = 1.0 / 3.0
+
+#: Assumed element count of an ``IN`` list whose length is not a plan
+#: -time constant (e.g. a parameter).
+IN_LIST_DEFAULT_SIZE = 3
 
 #: Statistics snapshots per store, keyed on the store's mutation version.
 #: Like a production engine, we do not rescan the store on every query —
@@ -50,20 +60,91 @@ class CostModel:
 
     # -- entry points -------------------------------------------------------
 
-    def node_pattern_cardinality(self, node_pattern, bound):
-        """Expected matches when this node pattern starts a chain."""
+    def node_pattern_cardinality(self, node_pattern, bound, sargables=()):
+        """Expected matches when this node pattern starts a chain.
+
+        ``sargables`` are the WHERE conjuncts the planner extracted for
+        this pattern's variable (see :mod:`repro.planner.access`); they
+        sharpen the estimate with the same NDV-backed selectivities the
+        access-path choice uses, so chain ordering and endpoint choice
+        react to real statistics — the entry point flips when NDV does.
+        """
         if node_pattern.name is not None and node_pattern.name in bound:
             return 1.0
         stats = self.statistics
-        if node_pattern.labels:
+        labels = node_pattern.labels
+        if labels:
             estimate = min(
-                stats.nodes_with_label(label) for label in node_pattern.labels
+                stats.nodes_with_label(label) for label in labels
             )
         else:
             estimate = stats.node_count
         estimate = float(max(estimate, 0))
-        estimate *= PROPERTY_SELECTIVITY ** len(node_pattern.properties)
+        for key, _expression in node_pattern.properties:
+            estimate *= self.equality_selectivity(labels, key)
+        for sargable in sargables:
+            estimate *= self.sargable_selectivity(labels, sargable)
         return max(estimate, 0.0)
+
+    def equality_selectivity(self, labels, key):
+        """Selectivity of ``n.key = <value>`` given the pattern's labels.
+
+        ``1/NDV`` from the live counters of the best index tracking the
+        key under any of the labels; :data:`PROPERTY_SELECTIVITY` when no
+        index covers the pair (the pre-index behaviour, now a fallback).
+        """
+        best = None
+        stats = self.statistics
+        for label in labels:
+            ndv = stats.property_ndv(label, key)
+            if ndv:
+                selectivity = 1.0 / ndv
+                if best is None or selectivity < best:
+                    best = selectivity
+        return best if best is not None else PROPERTY_SELECTIVITY
+
+    def sargable_selectivity(self, labels, sargable):
+        """Estimated selectivity of one extracted sargable conjunct."""
+        kind = sargable.kind
+        if kind == "eq":
+            return self.equality_selectivity(labels, sargable.key)
+        if kind == "in":
+            size = sargable.size_hint
+            if size is None:
+                size = IN_LIST_DEFAULT_SIZE
+            return min(
+                1.0,
+                size * self.equality_selectivity(labels, sargable.key),
+            )
+        if kind == "range":
+            bounds = (sargable.low is not None) + (sargable.high is not None)
+            return RANGE_SELECTIVITY ** max(bounds, 1)
+        return RANGE_SELECTIVITY  # prefix
+
+    def index_entry_estimate(self, label, key, sargable):
+        """Expected rows out of an index scan serving ``sargable``.
+
+        Starts from the index's *entry* count (label nodes that have the
+        key at all — others can never qualify), not the label count.
+        """
+        stats = self.statistics
+        entries = stats.indexed_entries(label, key)
+        if entries is None:
+            return None
+        kind = sargable.kind
+        if kind == "eq":
+            ndv = stats.property_ndv(label, key) or 1
+            return entries / float(ndv)
+        if kind == "in":
+            ndv = stats.property_ndv(label, key) or 1
+            size = sargable.size_hint
+            if size is None:
+                size = IN_LIST_DEFAULT_SIZE
+            return min(float(entries), size * entries / float(ndv))
+        if kind == "range":
+            bounds = (sargable.low is not None) + (sargable.high is not None)
+            return entries * RANGE_SELECTIVITY ** max(bounds, 1)
+        return entries * RANGE_SELECTIVITY  # prefix
 
     def best_entry_label(self, node_pattern):
         """The most selective label of a node pattern (or None)."""

@@ -65,6 +65,7 @@ class AllNodesScan(Operator):
     variable: str
     node_pattern: object  # patterns.NodePattern (labels/props checked inline)
     fields: Tuple[str, ...] = ()
+    estimated_rows: Optional[float] = None
 
     def _describe_line(self):
         return "AllNodesScan({})".format(self.variable)
@@ -82,9 +83,99 @@ class NodeByLabelScan(Operator):
     label: str
     node_pattern: object
     fields: Tuple[str, ...] = ()
+    estimated_rows: Optional[float] = None
 
     def _describe_line(self):
         return "NodeByLabelScan({}:{})".format(self.variable, self.label)
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class IndexScan(Operator):
+    """Bind nodes from a ``(label, key)`` property index: ``=`` or ``IN``.
+
+    The cost model picks this over :class:`NodeByLabelScan` + Filter
+    when the NDV-backed estimate says the index prunes more.  ``probe``
+    is the sought-value expression, evaluated once per driving row
+    (so a probe over an outer variable is an index nested-loop join);
+    with ``many`` it must evaluate to a list and the scan probes each
+    element (``IN``).  The scan **over-approximates**: it returns every
+    node whose stored value *may* satisfy the predicate, and the
+    un-removed residual (the node pattern's property check and the
+    clause's WHERE Filter) makes the final call — null/type semantics
+    are therefore exactly the label-scan path's.
+    """
+
+    child: Operator
+    variable: str
+    label: str
+    key: str
+    probe: object  # Expression
+    node_pattern: object
+    many: bool = False
+    fields: Tuple[str, ...] = ()
+    estimated_rows: Optional[float] = None
+
+    def _describe_line(self):
+        return "IndexScan({}:{}({}) {}{})".format(
+            self.variable,
+            self.label,
+            self.key,
+            "IN …" if self.many else "= …",
+            "" if self.estimated_rows is None
+            else ", est≈%d rows" % round(self.estimated_rows),
+        )
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class IndexRangeScan(Operator):
+    """Bind nodes from the index's sorted half: range or prefix probes.
+
+    ``low``/``high`` are bound expressions (either may be None for a
+    half-open range); ``prefix`` serves ``STARTS WITH`` instead.  Bounds
+    whose runtime type the sorted structure cannot serve (lists,
+    temporals) degrade to the label scan list *inside* the operator —
+    still correct, because the residual predicate stays in the plan.
+    Enumeration is index-ordered (value, then node id), identically on
+    the row and batch engines.
+    """
+
+    child: Operator
+    variable: str
+    label: str
+    key: str
+    node_pattern: object
+    low: Optional[object] = None        # Expression
+    low_inclusive: bool = True
+    high: Optional[object] = None       # Expression
+    high_inclusive: bool = True
+    prefix: Optional[object] = None     # Expression (STARTS WITH)
+    fields: Tuple[str, ...] = ()
+    estimated_rows: Optional[float] = None
+
+    def _describe_line(self):
+        if self.prefix is not None:
+            shape = "STARTS WITH …"
+        else:
+            parts = []
+            if self.low is not None:
+                parts.append(">%s …" % ("=" if self.low_inclusive else ""))
+            if self.high is not None:
+                parts.append("<%s …" % ("=" if self.high_inclusive else ""))
+            shape = " AND ".join(parts)
+        return "IndexRangeScan({}:{}({}) {}{})".format(
+            self.variable,
+            self.label,
+            self.key,
+            shape,
+            "" if self.estimated_rows is None
+            else ", est≈%d rows" % round(self.estimated_rows),
+        )
 
     def _children(self):
         return (self.child,)

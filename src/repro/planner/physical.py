@@ -54,7 +54,8 @@ class ExecutionContext:
     """Runtime services shared by all operators of one execution."""
 
     def __init__(
-        self, graph, parameters=None, functions=None, morphism=None, slots=None
+        self, graph, parameters=None, functions=None, morphism=None,
+        slots=None, access_log=None,
     ):
         self.graph = graph
         self.evaluator = Evaluator(
@@ -63,6 +64,11 @@ class ExecutionContext:
         self.kernel = UniquenessKernel(self.evaluator.morphism)
         self.slots = slots if slots is not None else SlotMap()
         self.compiler = ExpressionCompiler(self.evaluator, self.slots)
+        #: When profiling, a caller-owned list each scan operator appends
+        #: its access-path record to: ``{"operator", "variable", "entry",
+        #: "estimated_rows", "actual_rows"}``.  None (the default) keeps
+        #: the hot path completely free of counting.
+        self.access_log = access_log
         self._transaction = None
 
     def compile(self, expression):
@@ -85,7 +91,10 @@ class ExecutionContext:
         return self._transaction
 
 
-def execute_plan(plan, graph, parameters=None, functions=None, morphism=None):
+def execute_plan(
+    plan, graph, parameters=None, functions=None, morphism=None,
+    access_log=None,
+):
     """Run a logical plan to completion; returns a Table over its fields.
 
     If the plan contains write operators, their shared store transaction
@@ -93,10 +102,14 @@ def execute_plan(plan, graph, parameters=None, functions=None, morphism=None):
     finalises the transaction instead, so already-applied changes are
     still accounted for — matching the reference executor's
     partial-failure behaviour (real rollback is the engine's schema
-    snapshot).
+    snapshot).  ``access_log`` (a caller-owned list) turns on access-path
+    profiling: every scan operator records its entry choice, estimated
+    and actual row counts.
     """
     slots = SlotMap.from_plan(plan)
-    context = ExecutionContext(graph, parameters, functions, morphism, slots)
+    context = ExecutionContext(
+        graph, parameters, functions, morphism, slots, access_log
+    )
     source = _compile(plan, context)
     fields = plan.fields
     field_slots = [slots[field] for field in fields]
@@ -284,6 +297,33 @@ def _compile_node_conflicts(ctx, unique_nodes, unique_segments):
 
 # -- node sources -----------------------------------------------------------
 
+def _profiled_scan(ctx, op, entry, run):
+    """Wrap a scan in an emitted-row counter when profiling is on.
+
+    ``entry`` names the chosen access path (index vs label scan — the
+    cost model's observable decision).  Without an access log the run
+    closure is returned untouched, so normal executions pay nothing.
+    """
+    log = ctx.access_log
+    if log is None:
+        return run
+    record = {
+        "operator": type(op).__name__,
+        "variable": op.variable,
+        "entry": entry,
+        "estimated_rows": getattr(op, "estimated_rows", None),
+        "actual_rows": 0,
+    }
+    log.append(record)
+
+    def counted(argument):
+        for row in run(argument):
+            record["actual_rows"] += 1
+            yield row
+
+    return counted
+
+
 def _compile_all_nodes_scan(op, ctx):
     child = _compile(op.child, ctx)
     nodes = ctx.graph.nodes
@@ -298,7 +338,7 @@ def _compile_all_nodes_scan(op, ctx):
                     out[slot] = node
                     yield out
 
-    return run
+    return _profiled_scan(ctx, op, "all nodes", run)
 
 
 def _compile_label_scan(op, ctx):
@@ -316,7 +356,123 @@ def _compile_label_scan(op, ctx):
                     out[slot] = node
                     yield out
 
-    return run
+    return _profiled_scan(ctx, op, "label scan :%s" % label, run)
+
+
+def _index_probe(ctx, op):
+    """``(row -> candidate ids, entry label)`` for an IndexScan.
+
+    The single home of the probe semantics, shared verbatim by the row
+    and batch engines: a null probe (or null ``IN`` list) matches
+    nothing, a non-list ``IN`` container raises exactly the compiled
+    ``IN``'s type error, and candidate lists come back id-ordered from
+    the store.
+    """
+    graph = ctx.graph
+    label, key = op.label, op.key
+    probe = ctx.compile(op.probe)
+    if op.many:
+        lookup_many = graph.index_lookup_many
+
+        def candidates(row):
+            values = probe(row)
+            if values is None:
+                return ()
+            if not isinstance(values, list):
+                raise CypherTypeError(
+                    "IN requires a list, got %r" % (values,)
+                )
+            return lookup_many(label, key, values)
+
+        return candidates, "index IN :%s(%s)" % (label, key)
+    lookup = graph.index_lookup
+
+    def candidates(row):
+        return lookup(label, key, probe(row))
+
+    return candidates, "index seek :%s(%s)" % (label, key)
+
+
+def _index_range_probe(ctx, op):
+    """``(row -> candidate ids, entry label)`` for an IndexRangeScan.
+
+    A null bound means the comparison can never be true, so the row
+    contributes nothing; a bound outside the sorted segments (list,
+    temporal) degrades to the cached label scan list for that row — the
+    residual predicate still decides, so the degradation is invisible
+    except in speed.  Shared by both engines, like :func:`_index_probe`.
+    """
+    graph = ctx.graph
+    label, key = op.label, op.key
+    if op.prefix is not None:
+        prefix = ctx.compile(op.prefix)
+        index_prefix = graph.index_prefix
+
+        def candidates(row):
+            return index_prefix(label, key, prefix(row))
+
+        return candidates, "index prefix :%s(%s)" % (label, key)
+    low = ctx.compile(op.low) if op.low is not None else None
+    high = ctx.compile(op.high) if op.high is not None else None
+    low_inclusive = op.low_inclusive
+    high_inclusive = op.high_inclusive
+    index_range = graph.index_range
+    label_ids = graph.label_scan_ids
+
+    def candidates(row):
+        low_value = high_value = None
+        if low is not None:
+            low_value = low(row)
+            if low_value is None:
+                return ()
+        if high is not None:
+            high_value = high(row)
+            if high_value is None:
+                return ()
+        ids = index_range(
+            label, key, low_value, low_inclusive,
+            high_value, high_inclusive,
+        )
+        return ids if ids is not None else label_ids(label)
+
+    return candidates, "index range :%s(%s)" % (label, key)
+
+
+def _compile_probe_scan(op, ctx, candidates, entry):
+    """Row-engine scan over per-driving-row index candidate lists.
+
+    Per driving row: evaluate the probe, collect the candidates, then
+    apply the pattern's residual node check — the same check the
+    label-scan path runs, so over-approximated buckets (unknown-equality
+    values) resolve identically.  The probe is only evaluated while the
+    label has rows at all, mirroring when the reference path would first
+    touch the predicate.
+    """
+    child = _compile(op.child, ctx)
+    label = op.label
+    slot = ctx.slots[op.variable]
+    ok = _compile_node_ok(ctx, op.node_pattern, granted_label=label)
+    label_ids = ctx.graph.label_scan_ids
+
+    def run(argument):
+        for row in child(argument):
+            if not label_ids(label):
+                continue
+            for node in candidates(row):
+                if ok is None or ok(node, row):
+                    out = row[:]
+                    out[slot] = node
+                    yield out
+
+    return _profiled_scan(ctx, op, entry, run)
+
+
+def _compile_index_scan(op, ctx):
+    return _compile_probe_scan(op, ctx, *_index_probe(ctx, op))
+
+
+def _compile_index_range_scan(op, ctx):
+    return _compile_probe_scan(op, ctx, *_index_range_probe(ctx, op))
 
 
 def _compile_node_check(op, ctx):
@@ -1285,6 +1441,8 @@ _COMPILERS = {
     lg.Argument: _compile_argument,
     lg.AllNodesScan: _compile_all_nodes_scan,
     lg.NodeByLabelScan: _compile_label_scan,
+    lg.IndexScan: _compile_index_scan,
+    lg.IndexRangeScan: _compile_index_range_scan,
     lg.NodeCheck: _compile_node_check,
     lg.Expand: _compile_expand,
     lg.VarLengthExpand: _compile_var_length_expand,

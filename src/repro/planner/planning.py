@@ -1,11 +1,18 @@
 """Translate a query AST into a logical operator tree.
 
 Planning follows the shape the paper sketches for Neo4j: pick a cheap
-entry point per pattern chain (label index if available), then traverse
-with Expand steps; chains are ordered greedily by estimated entry
-cardinality, and for each chain both endpoints are costed and the
-cheaper one chosen (a compact stand-in for IDP's bottom-up join-order
-search, which degenerates to exactly this on path-shaped join graphs).
+entry point per pattern chain — a property-index seek where one serves
+a sargable WHERE/inline-map conjunct and the NDV-backed estimate beats
+the label scan (:mod:`repro.planner.access` extracts the candidates,
+:class:`~repro.planner.cost.CostModel` prices them), the label index
+otherwise — then traverse with Expand steps; chains are ordered
+greedily by estimated entry cardinality, and for each chain both
+endpoints are costed and the cheaper one chosen (a compact stand-in
+for IDP's bottom-up join-order search, which degenerates to exactly
+this on path-shaped join graphs).  Index pushdown never removes a
+predicate: the WHERE survives as the residual Filter, so the access
+path only narrows where rows are *found*, never what they must
+satisfy.
 
 The planner covers the *entire* standard language — reads and updates.
 On the read side: MATCH / OPTIONAL MATCH / WHERE / WITH / UNWIND /
@@ -36,9 +43,13 @@ from repro.ast import patterns as pt
 from repro.ast import queries as qu
 from repro.ast.expressions import contains_aggregate
 from repro.exceptions import CypherSemanticError, UnsupportedFeature
+from repro.planner import access
 from repro.planner import logical as lg
 from repro.planner.cost import CostModel
 from repro.semantics.morphism import EDGE_ISOMORPHISM
+
+#: Immutable empty sargable map shared by clauses without a WHERE.
+_NO_SARGABLES = {}
 
 
 def plan_query(query, graph, morphism=EDGE_ISOMORPHISM):
@@ -63,7 +74,14 @@ def plan_depends_on_statistics(plan):
     while stack:
         op = stack.pop()
         if isinstance(
-            op, (lg.NodeByLabelScan, lg.Expand, lg.VarLengthExpand)
+            op,
+            (
+                lg.NodeByLabelScan,
+                lg.IndexScan,
+                lg.IndexRangeScan,
+                lg.Expand,
+                lg.VarLengthExpand,
+            ),
         ):
             return True
         if isinstance(op, lg.AllNodesScan):
@@ -220,9 +238,16 @@ class _PlanBuilder:
         return "#{}{}".format(kind, self._hidden_counter)
 
     def _plan_match(self, clause, plan):
+        # Sargable conjuncts of this MATCH's WHERE steer access-path
+        # and chain-order choices; the WHERE itself always stays as the
+        # residual Filter below, so the extraction never changes what a
+        # row must satisfy — only how candidate rows are found.
+        sargables = access.collect_sargable(clause.where)
         if clause.optional:
             argument = lg.Argument(fields=plan.fields)
-            inner = self._plan_pattern_tuple(argument, clause.pattern)
+            inner = self._plan_pattern_tuple(
+                argument, clause.pattern, sargables
+            )
             if clause.where is not None:
                 inner = lg.Filter(inner, clause.where, fields=inner.fields)
             pad = tuple(
@@ -231,12 +256,29 @@ class _PlanBuilder:
             return lg.OptionalApply(
                 plan, inner, pad_names=pad, fields=plan.fields + pad
             )
-        plan = self._plan_pattern_tuple(plan, clause.pattern)
+        plan = self._plan_pattern_tuple(plan, clause.pattern, sargables)
         if clause.where is not None:
             plan = lg.Filter(plan, clause.where, fields=plan.fields)
         return plan
 
-    def _plan_pattern_tuple(self, plan, patterns):
+    def _usable_sargables(self, variable, sargables, bound):
+        """The variable's sargable conjuncts whose probes are in scope.
+
+        A probe evaluates per driving row, *before* the scan binds its
+        variable, so every variable it reads must already be bound —
+        probes over outer bindings make the scan an index nested-loop
+        join; anything else is rejected here.
+        """
+        usable = []
+        for sargable in sargables.get(variable, ()):
+            if all(
+                access.free_variables(expression) <= bound
+                for expression in sargable.probe_expressions()
+            ):
+                usable.append(sargable)
+        return usable
+
+    def _plan_pattern_tuple(self, plan, patterns, sargables=_NO_SARGABLES):
         bound = set(plan.fields)
         unique_rels = []
         remaining = list(patterns)
@@ -250,7 +292,13 @@ class _PlanBuilder:
                         else chain.node_patterns[0]
                     )
                     cardinality = self.cost.node_pattern_cardinality(
-                        endpoint, bound
+                        endpoint,
+                        bound,
+                        self._usable_sargables(
+                            endpoint.name, sargables, bound
+                        )
+                        if endpoint.name is not None
+                        else (),
                     )
                     key = (cardinality, index, reverse)
                     if best is None or key < best[0]:
@@ -260,11 +308,78 @@ class _PlanBuilder:
             if reverse:
                 chain = _reverse_chain(chain)
             plan = self._plan_chain(
-                plan, chain, bound, unique_rels, flipped=reverse
+                plan, chain, bound, unique_rels, flipped=reverse,
+                sargables=sargables,
             )
         return plan
 
-    def _plan_chain(self, plan, chain, bound, unique_rels, flipped=False):
+    def _entry_scan(self, plan, name, pattern, bound, sargables, fields):
+        """The cost-chosen access path binding a chain's entry node.
+
+        Candidates: the label scan over the most selective label, and —
+        for every ``(label of the pattern, key)`` pair a property index
+        tracks — each usable sargable conjunct (WHERE-extracted or from
+        the inline property map).  Estimates come from the live NDV /
+        entry counters; the index wins ties because it reads at most the
+        rows the label scan would.  Without labels there is no index to
+        enter through and the scan stays AllNodesScan.
+        """
+        stats = self.cost.statistics
+        entry_label = self.cost.best_entry_label(pattern)
+        if entry_label is None:
+            return lg.AllNodesScan(
+                plan, name, pattern, fields=fields,
+                estimated_rows=float(stats.node_count),
+            )
+        label_estimate = float(stats.nodes_with_label(entry_label))
+        candidates = self._usable_sargables(name, sargables, bound)
+        candidates += [
+            sargable
+            for sargable in access.inline_sargables(pattern, name)
+            if all(
+                access.free_variables(expression) <= bound
+                for expression in sargable.probe_expressions()
+            )
+        ]
+        best = None
+        for label in pattern.labels:
+            for sargable in candidates:
+                if not stats.has_property_index(label, sargable.key):
+                    continue
+                estimate = self.cost.index_entry_estimate(
+                    label, sargable.key, sargable
+                )
+                if estimate is None:
+                    continue
+                if best is None or estimate < best[0]:
+                    best = (estimate, label, sargable)
+        if best is not None and best[0] <= label_estimate:
+            estimate, label, sargable = best
+            if sargable.kind in ("eq", "in"):
+                return lg.IndexScan(
+                    plan, name, label, sargable.key, sargable.value,
+                    pattern, many=sargable.kind == "in", fields=fields,
+                    estimated_rows=estimate,
+                )
+            return lg.IndexRangeScan(
+                plan, name, label, sargable.key, pattern,
+                low=sargable.low,
+                low_inclusive=sargable.low_inclusive,
+                high=sargable.high,
+                high_inclusive=sargable.high_inclusive,
+                prefix=sargable.value if sargable.kind == "prefix" else None,
+                fields=fields,
+                estimated_rows=estimate,
+            )
+        return lg.NodeByLabelScan(
+            plan, name, entry_label, pattern, fields=fields,
+            estimated_rows=label_estimate,
+        )
+
+    def _plan_chain(
+        self, plan, chain, bound, unique_rels, flipped=False,
+        sargables=_NO_SARGABLES,
+    ):
         elements = chain.elements
         first = elements[0]
         current_name = first.name or self._hidden("node")
@@ -283,18 +398,11 @@ class _PlanBuilder:
                     plan, current_name, first, fields=tuple(visible)
                 )
         else:
-            entry_label = self.cost.best_entry_label(first)
             if not _is_hidden(current_name):
                 visible.append(current_name)
-            if entry_label is not None:
-                plan = lg.NodeByLabelScan(
-                    plan, current_name, entry_label, first,
-                    fields=tuple(visible),
-                )
-            else:
-                plan = lg.AllNodesScan(
-                    plan, current_name, first, fields=tuple(visible)
-                )
+            plan = self._entry_scan(
+                plan, current_name, first, bound, sargables, tuple(visible)
+            )
             bound.add(current_name)
 
         for index in range(1, len(elements), 2):

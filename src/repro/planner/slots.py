@@ -163,6 +163,16 @@ def collect_plan_names(plan):
         if isinstance(op, (lg.AllNodesScan, lg.NodeByLabelScan, lg.NodeCheck)):
             add(op.variable)
             add_pattern_properties(op.node_pattern)
+        elif isinstance(op, lg.IndexScan):
+            add(op.variable)
+            add_pattern_properties(op.node_pattern)
+            add_expression(op.probe)
+        elif isinstance(op, lg.IndexRangeScan):
+            add(op.variable)
+            add_pattern_properties(op.node_pattern)
+            add_expression(op.low)
+            add_expression(op.high)
+            add_expression(op.prefix)
         elif isinstance(op, (lg.Expand, lg.VarLengthExpand)):
             add(op.from_variable)
             add(op.to_variable)

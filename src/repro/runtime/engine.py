@@ -101,15 +101,23 @@ class CypherEngine:
 
     # ------------------------------------------------------------------
 
-    def run(self, query_text, parameters=None, mode=None):
-        """Parse and execute ``query_text``; returns a QueryResult."""
+    def run(self, query_text, parameters=None, mode=None, profile=False):
+        """Parse and execute ``query_text``; returns a QueryResult.
+
+        With ``profile=True`` a planned execution additionally records
+        every scan operator's access path — chosen entry (index vs label
+        scan), estimated and actual rows — in
+        :attr:`QueryResult.access_paths`.  Profiling adds a per-row
+        counter to the scans, so it is off by default.
+        """
         mode = mode or self.mode
+        access_log = [] if profile else None
         if mode in _PLANNER_MODES:
             cached = self._cached_plan(query_text)
             if cached is not None:
                 plan, updating = cached
                 return self._execute_planned(
-                    query_text, plan, parameters, updating, mode
+                    query_text, plan, parameters, updating, mode, access_log
                 )
         query = parse_query(query_text)
         check_query(query)
@@ -134,8 +142,24 @@ class CypherEngine:
             )
         self._remember_plan(query_text, plan, updating)
         return self._execute_planned(
-            query_text, plan, parameters, updating, mode
+            query_text, plan, parameters, updating, mode, access_log
         )
+
+    # ------------------------------------------------------------------
+
+    def create_index(self, label, key):
+        """Declare a ``(label, key)`` property index on the default graph.
+
+        Returns True when the index is new.  The store builds it once
+        and maintains it incrementally from then on; the version bump it
+        causes makes the next lookup of any statistics-sensitive cached
+        plan re-plan against the new access path.
+        """
+        return self.graph.create_index(label, key)
+
+    def drop_index(self, label, key):
+        """Drop a property index; returns True when one existed."""
+        return self.graph.drop_index(label, key)
 
     def _plan_for_explain(self, query_text):
         """``(plan, updating)`` through :meth:`run`'s exact pipeline."""
@@ -234,7 +258,9 @@ class CypherEngine:
             return "batch"
         return "row"
 
-    def _execute_planned(self, query_text, plan, parameters, updating, mode):
+    def _execute_planned(
+        self, query_text, plan, parameters, updating, mode, access_log=None
+    ):
         execution_mode = self._pick_execution_mode(plan, updating, mode)
         if execution_mode == "batch":
             from repro.planner.batch import execute_plan_batched
@@ -246,12 +272,14 @@ class CypherEngine:
                 functions=self.functions,
                 morphism=self.morphism,
                 morsel_size=self.morsel_size,
+                access_log=access_log,
             )
             return QueryResult(
                 table,
                 plan=plan,
                 executed_by="planner",
                 execution_mode="batch",
+                access_paths=access_log,
             )
         from repro.planner import execute_plan
 
@@ -262,6 +290,7 @@ class CypherEngine:
                 parameters=parameters,
                 functions=self.functions,
                 morphism=self.morphism,
+                access_log=access_log,
             )
             if updating:
                 # The statement's own version bump must not evict the
@@ -270,7 +299,8 @@ class CypherEngine:
                 # of how many clauses mutated).
                 self._restamp_plan(query_text)
         return QueryResult(
-            table, plan=plan, executed_by="planner", execution_mode="row"
+            table, plan=plan, executed_by="planner", execution_mode="row",
+            access_paths=access_log,
         )
 
     def _schema_guard(self, updating):

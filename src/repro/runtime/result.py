@@ -25,6 +25,12 @@ class QueryResult:
     The TCK runner asserts a plan the batch engine claims
     (:func:`~repro.planner.batch.plan_supports_batch`) never silently
     degrades to ``"row"``.
+
+    ``access_paths`` (populated by ``run(..., profile=True)``) lists one
+    record per scan operator — ``{"operator", "variable", "entry",
+    "estimated_rows", "actual_rows"}`` — making the cost model's
+    index-vs-label-scan decision, and how well its estimate matched
+    reality, observable per execution.  None on unprofiled runs.
     """
 
     def __init__(
@@ -35,6 +41,7 @@ class QueryResult:
         executed_by=None,
         fallback_reason=None,
         execution_mode=None,
+        access_paths=None,
     ):
         self._table = table
         self.graphs = dict(graphs or {})
@@ -42,6 +49,7 @@ class QueryResult:
         self.executed_by = executed_by
         self.fallback_reason = fallback_reason
         self.execution_mode = execution_mode
+        self.access_paths = access_paths
 
     # -- table access -------------------------------------------------------
 

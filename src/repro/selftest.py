@@ -8,8 +8,14 @@ harnesses, runnable without pytest or the tests/ tree:
   interpreter, the row-wise planner and the vectorised batch engine;
   reads must agree as bags (and claimed plans must actually run
   batched), updates must additionally leave byte-identical stores;
+* an **index-maintenance smoke set** — a create → update → delete
+  statement sequence over an indexed clone of the same graph; the probe
+  queries afterwards must actually enter through the index (plan
+  inspected, not trusted) and agree with a filter-only run on an
+  unindexed clone;
 * the **TCK smoke set** — a handful of scenario suites (including the
-  morsel-boundary feature) through the full multi-mode TCK runner.
+  morsel-boundary and index features) through the full multi-mode TCK
+  runner.
 
 Exit status 0 means every check passed; failures print the offending
 query/scenario and return 1, so the command can gate a commit.
@@ -56,10 +62,30 @@ UPDATE_CORPUS = [
     "MATCH (a:B) WITH a ORDER BY a.name REMOVE a.v, a:B",
 ]
 
-#: TCK suites for the smoke set (coverage + morsel boundaries + writes).
-TCK_SMOKE = ("match_basic", "aggregation", "batching", "updates")
+#: TCK suites for the smoke set (coverage + morsel boundaries + writes
+#: + index-backed predicates).
+TCK_SMOKE = ("match_basic", "aggregation", "batching", "updates", "indexes")
 
 _MODES = ("interpreter", "row", "batch")
+
+#: The index-maintenance smoke sequence: create, update, delete — each
+#: mutating entries of the :A(v) index declared on the indexed clone.
+INDEX_SMOKE_STATEMENTS = (
+    "UNWIND range(10, 14) AS i CREATE (:A {v: i, name: 'fresh-' + "
+    "toString(i)})",
+    "MATCH (a:A) WHERE a.v = 11 SET a.v = 99",
+    "MATCH (a:A) WHERE a.v = 13 REMOVE a.v",
+    "MATCH (a:A) WHERE a.v = 12 DETACH DELETE a",
+)
+
+#: Probe queries that must (a) enter through the index on the indexed
+#: clone and (b) agree with the unindexed, filter-only clone.
+INDEX_SMOKE_PROBES = (
+    "MATCH (a:A) WHERE a.v = 99 RETURN count(*) AS c",
+    "MATCH (a:A) WHERE a.v = 13 RETURN count(*) AS c",
+    "MATCH (a:A) WHERE a.v >= 10 RETURN a.v AS v ORDER BY v",
+    "MATCH (a:A) WHERE a.v IN [10, 12, 14] RETURN count(*) AS c",
+)
 
 
 def fixture_graph():
@@ -149,6 +175,47 @@ def _check_update(query, graph, failures):
             failures.append("%s: %s-mode final store diverged" % (query, mode))
 
 
+def _check_index_smoke(failures):
+    """Create → update → delete on an indexed clone, then probe.
+
+    Probes must *prove* the index path — the plan is walked for an
+    IndexScan / IndexRangeScan operator, falling back silently would
+    pass the bag check and still fail here — and their results must
+    match a filter-only run on an unindexed clone with identical data.
+    """
+    from repro.planner import logical as lg
+
+    indexed = fixture_graph()
+    indexed.create_index("A", "v")
+    plain = fixture_graph()
+    indexed_engine = CypherEngine(indexed)
+    plain_engine = CypherEngine(plain)
+    for statement in INDEX_SMOKE_STATEMENTS:
+        indexed_engine.run(statement)
+        plain_engine.run(statement)
+    if graph_state(indexed) != graph_state(plain):
+        failures.append("index smoke: indexed and plain stores diverged")
+        return
+    for query in INDEX_SMOKE_PROBES:
+        result = indexed_engine.run(query)
+        stack = [result.plan]
+        hit = False
+        while stack:
+            op = stack.pop()
+            if isinstance(op, (lg.IndexScan, lg.IndexRangeScan)):
+                hit = True
+            stack.extend(op._children())
+        if not hit:
+            failures.append(
+                "index smoke: %s did not enter through the index" % query
+            )
+        reference = plain_engine.run(query)
+        if not reference.table.same_bag(result.table):
+            failures.append(
+                "index smoke: %s disagrees with the filter-only run" % query
+            )
+
+
 def run_selftest(output=print):
     """Run the whole suite; returns the number of failures."""
     failures = []
@@ -164,6 +231,11 @@ def run_selftest(output=print):
     output(
         "differential updates: %2d queries x %d modes (stores compared)"
         % (len(UPDATE_CORPUS), len(_MODES))
+    )
+    _check_index_smoke(failures)
+    output(
+        "index maintenance:    %2d statements, %d index-proven probes"
+        % (len(INDEX_SMOKE_STATEMENTS), len(INDEX_SMOKE_PROBES))
     )
 
     from repro.tck import TckRunner

@@ -899,6 +899,15 @@ class ColumnCompiler:
     * property access tries the store's bulk ``node_property_column``
       first and only drops to the per-element mixed-type loop when the
       column is not purely nodes;
+    * repeated ``variable.key`` reads are *memoised*: all occurrences of
+      e.g. ``n.v`` across one compilation share a single closure
+      (structural key, not AST identity), and that closure caches its
+      last ``(cols, n) -> column`` result — so a filter and a projection
+      over the same morsel, or ``n.v + n.v`` inside one expression, hit
+      the store once per morsel instead of once per occurrence (the
+      ROADMAP's first cut of common-subexpression elimination).  Sound
+      because column arrays are never mutated in place and the graph
+      cannot change during a read execution;
     * arithmetic and comparisons run int fast-path loops, specialised
       when one operand is a constant (``n.v > 5`` is one list pass);
     * AND/OR short-circuit *by column*: the right operand is evaluated
@@ -919,6 +928,10 @@ class ColumnCompiler:
         self.graph = row_compiler.graph
         self.evaluator = row_compiler.evaluator
         self._cache = {}
+        #: Structural closure cache for ``variable.key`` property reads:
+        #: distinct AST nodes spelling the same read share one closure
+        #: (and therefore one per-morsel value memo).
+        self._property_readers = {}
 
     # ------------------------------------------------------------------
 
@@ -1015,6 +1028,18 @@ class ColumnCompiler:
     # -- properties ---------------------------------------------------------
 
     def _property_access(self, node):
+        if isinstance(node.subject, ex.Variable):
+            # Structural sharing: every `n.key` in this compilation maps
+            # to one memoising closure, whatever AST node spelt it.
+            reader_key = (node.subject.name, node.key)
+            reader = self._property_readers.get(reader_key)
+            if reader is None:
+                reader = self._build_property_access(node, memoise=True)
+                self._property_readers[reader_key] = reader
+            return reader
+        return self._build_property_access(node, memoise=False)
+
+    def _build_property_access(self, node, memoise):
         subject = self.compile(node.subject)
         key = node.key
         bulk = getattr(self.graph, "node_property_column", None)
@@ -1043,7 +1068,25 @@ class ColumnCompiler:
                     pass  # not a pure node column: mixed-type loop below
             return [element(value) for value in values]
 
-        return prop_column
+        if not memoise:
+            return prop_column
+
+        # Per-morsel value memo: column arrays are immutable once
+        # yielded and reads cannot observe writes mid-execution, so the
+        # (cols identity, n) pair fully determines the result.  Holding
+        # the cols reference keeps the identity from being recycled.
+        memo = [None, -1, None]  # [cols, n, column]
+
+        def memoised_column(n, cols):
+            if cols is memo[0] and n == memo[1]:
+                return memo[2]
+            column = prop_column(n, cols)
+            memo[0] = cols
+            memo[1] = n
+            memo[2] = column
+            return column
+
+        return memoised_column
 
     # -- arithmetic and comparisons -----------------------------------------
 

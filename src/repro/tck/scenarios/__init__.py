@@ -9,6 +9,7 @@ from repro.tck.scenarios import (
     aggregation,
     batching,
     expressions,
+    indexes,
     lists,
     match_basic,
     named_paths,
@@ -22,6 +23,7 @@ from repro.tck.scenarios import (
 
 ALL_FEATURES = {
     "batching": batching.FEATURE,
+    "indexes": indexes.FEATURE,
     "match_basic": match_basic.FEATURE,
     "optional_match": optional_match.FEATURE,
     "aggregation": aggregation.FEATURE,

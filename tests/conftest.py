@@ -34,6 +34,13 @@ COVERAGE_MIN_ITEMS = 800
 
 
 def _covered_packages():
+    """Coverage targets: package directories or single files.
+
+    ``graph/store.py`` joined the floor with the property-index
+    subsystem (PR 5): its incremental maintenance hooks run on every
+    mutation path, so untested store lines are untested write paths.
+    """
+    import repro.graph.store
     import repro.planner
     import repro.semantics
 
@@ -43,6 +50,9 @@ def _covered_packages():
         ),
         "src/repro/semantics": os.path.dirname(
             os.path.abspath(repro.semantics.__file__)
+        ),
+        "src/repro/graph/store.py": os.path.abspath(
+            repro.graph.store.__file__
         ),
     }
 
@@ -55,9 +65,14 @@ class _LineTracer:
     dispatch nor the local tracer touches that code again.
     """
 
-    def __init__(self, directories):
+    def __init__(self, targets):
         self._prefixes = tuple(
-            directory.rstrip(os.sep) + os.sep for directory in directories
+            target.rstrip(os.sep) + os.sep
+            for target in targets
+            if not target.endswith(".py")
+        )
+        self._files = frozenset(
+            target for target in targets if target.endswith(".py")
         )
         self._watch = {}
         self.executed = {}  # filename -> set of executed line numbers
@@ -74,7 +89,7 @@ class _LineTracer:
         remaining = self._watch.get(code, Ellipsis)
         if remaining is Ellipsis:
             filename = code.co_filename
-            if filename.startswith(self._prefixes):
+            if filename.startswith(self._prefixes) or filename in self._files:
                 remaining = self._lines_of(code)
                 self.executed.setdefault(filename, set())
             else:
@@ -132,29 +147,34 @@ def _executable_lines(path):
     return lines
 
 
-def _package_coverage(tracer, directory, detail=None):
-    """``(percent, covered, total)`` over every .py file in a package."""
+def _package_coverage(tracer, target, detail=None):
+    """``(percent, covered, total)`` over a package directory or file."""
     covered = total = 0
-    for dirpath, _dirnames, filenames in os.walk(directory):
-        for name in sorted(filenames):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, name)
-            executable = _executable_lines(path)
-            hit = executable & tracer.executed.get(path, set())
-            total += len(executable)
-            covered += len(hit)
-            if detail is not None and executable:
-                missing = sorted(executable - hit)
-                detail.append(
-                    "  %-40s %5.1f%% (missing: %s)"
-                    % (
-                        os.path.relpath(path, directory),
-                        100.0 * len(hit) / len(executable),
-                        ",".join(map(str, missing[:25]))
-                        + ("…" if len(missing) > 25 else ""),
-                    )
+    if target.endswith(".py"):
+        paths = [target]
+    else:
+        paths = [
+            os.path.join(dirpath, name)
+            for dirpath, _dirnames, filenames in os.walk(target)
+            for name in sorted(filenames)
+            if name.endswith(".py")
+        ]
+    for path in paths:
+        executable = _executable_lines(path)
+        hit = executable & tracer.executed.get(path, set())
+        total += len(executable)
+        covered += len(hit)
+        if detail is not None and executable:
+            missing = sorted(executable - hit)
+            detail.append(
+                "  %-40s %5.1f%% (missing: %s)"
+                % (
+                    os.path.basename(path),
+                    100.0 * len(hit) / len(executable),
+                    ",".join(map(str, missing[:25]))
+                    + ("…" if len(missing) > 25 else ""),
                 )
+            )
     percent = 100.0 * covered / total if total else 100.0
     return percent, covered, total
 

@@ -21,7 +21,14 @@ The module exposes:
 * :func:`graph_state` — the canonical, id-inclusive store snapshot used
   to compare final graphs across execution paths;
 * :data:`READ_STRATEGIES` / :data:`UPDATE_STRATEGIES` — name → strategy
-  registries, so a harness can enumerate the whole corpus.
+  registries, so a harness can enumerate the whole corpus;
+* the index-accelerated access paths (PR 5): ``sargable_queries``
+  generates equality/range/``IN``/prefix predicates over indexed *and*
+  unindexed properties, :data:`INDEXED_GRAPH` is the fixture graph with
+  property indexes declared, and :func:`assert_indexes_consistent`
+  checks an incrementally-maintained index against a from-scratch
+  rebuild — the differential harness runs the same corpus with and
+  without indexes present, so pushdown can never change results.
 """
 
 from hypothesis import strategies as st
@@ -66,6 +73,40 @@ def fixture_graph():
 
 GRAPH = fixture_graph()
 
+
+def indexed_fixture_graph():
+    """The fixture graph with property indexes on the fuzzed keys.
+
+    Declared *before* reads fuzz over it, so the planner's cost model
+    picks index entries wherever they win; the graph contents are
+    byte-identical to :func:`fixture_graph`'s, which is what makes the
+    with/without-index differential meaningful.
+    """
+    graph = fixture_graph()
+    graph.create_index("A", "v")
+    graph.create_index("B", "v")
+    graph.create_index("C", "v")
+    graph.create_index("A", "name")
+    graph.create_index("B", "name")
+    return graph
+
+
+INDEXED_GRAPH = indexed_fixture_graph()
+
+
+def assert_indexes_consistent(graph):
+    """Every maintained index must equal a from-scratch rebuild.
+
+    The rebuild comes from ``graph.copy()``, whose indexes are
+    reconstructed from the copied data; any divergence means an
+    incremental maintenance hook missed a mutation.
+    """
+    rebuilt = graph.copy()
+    for label, key in graph.indexes():
+        assert graph.index_snapshot(label, key) == rebuilt.index_snapshot(
+            label, key
+        ), "index :%s(%s) diverged from a rebuild" % (label, key)
+
 label_part = st.sampled_from(["", ":A", ":B", ":C"])
 type_part = st.sampled_from(["", ":R", ":S", ":R|S"])
 direction = st.sampled_from([("-", "->"), ("<-", "-"), ("-", "-")])
@@ -96,6 +137,9 @@ def match_queries(draw):
                 " WHERE NOT a.v = 0",
                 " WHERE a.name CONTAINS '1'",
                 " WHERE a.v IN [0, 2]",
+                " WHERE a.v >= 1 AND a.v < 3",
+                " WHERE a.name STARTS WITH 'node-'",
+                " WHERE a.v = 2 AND b.v IN [1, 2, 3]",
             ]
         )
     )
@@ -249,6 +293,100 @@ def comprehension_queries(draw):
         )
     )
     return "MATCH %s%s %s" % (pattern, where, projection)
+
+
+@st.composite
+def sargable_queries(draw):
+    """Index-shaped predicates: equality, range, ``IN``, prefix.
+
+    Everything here is sargable *in form*; whether an index actually
+    serves it depends on the graph the harness runs it against
+    (:data:`GRAPH` has none, :data:`INDEXED_GRAPH` indexes v and name),
+    and on the cost model — which is exactly the degree of freedom the
+    with/without-index differential pins down.  Probes over missing
+    properties (``a.ghost``), cross-variable probes (index nested-loop
+    joins), and predicates mixing sargable with residual conjuncts are
+    all in the pool.
+    """
+    label = draw(st.sampled_from(["A", "B", "C"]))
+    shape = draw(st.sampled_from(["single", "join", "expand"]))
+    predicate = draw(
+        st.sampled_from(
+            [
+                "a.v = 1",
+                "a.v = 99",
+                "a.v = null",
+                "a.ghost = 1",
+                "a.v > 1",
+                "a.v >= 1 AND a.v < 3",
+                "a.v > 0 AND a.v <= 2 AND a.v <> 1",
+                "a.v < 'x'",
+                "a.name >= 'node-3'",
+                "a.v IN [0, 3]",
+                "a.v IN [2, 2, null]",
+                "a.v IN []",
+                "a.name STARTS WITH 'node'",
+                "a.name STARTS WITH 'node-1'",
+                "a.v = 1 OR a.v = 3",
+                "a.v = 2 AND a.name ENDS WITH '5'",
+                "NOT a.v = 1 AND a.v <= 2",
+            ]
+        )
+    )
+    projection = draw(
+        st.sampled_from(
+            [
+                "RETURN count(*) AS c",
+                "RETURN a.v AS v ORDER BY v",
+                "RETURN a.name AS n ORDER BY n LIMIT 4",
+                "RETURN DISTINCT a.v AS v ORDER BY v",
+            ]
+        )
+    )
+    if shape == "single":
+        return "MATCH (a:%s) WHERE %s %s" % (label, predicate, projection)
+    if shape == "join":
+        # The second MATCH probes with the first one's binding in scope:
+        # eligible for an index nested-loop join on b.
+        other = draw(st.sampled_from(["A", "B"]))
+        comparison = draw(
+            st.sampled_from(["b.v = a.v", "b.v > a.v", "b.name = a.name"])
+        )
+        return (
+            "MATCH (a:%s) WHERE %s MATCH (b:%s) WHERE %s %s"
+            % (label, predicate, other, comparison, projection)
+        )
+    rel = draw(st.sampled_from(["-[:R]->", "<-[:S]-", "-[:R|S]-"]))
+    return "MATCH (a:%s)%s(b) WHERE %s %s" % (label, rel, predicate, projection)
+
+
+@st.composite
+def indexed_update_queries(draw):
+    """Updates whose maintenance the indexed differential must survive.
+
+    Drawn from the shared update strategies plus a few index-hostile
+    extras (value overwrites to an equal value, type-changing SETs,
+    label flips on indexed labels).
+    """
+    extra = st.sampled_from(
+        [
+            "MATCH (a:A) WITH a ORDER BY a.name SET a.v = a.v",
+            "MATCH (a:A) WITH a ORDER BY a.name SET a.v = 'now-a-string'",
+            "MATCH (a:B) WITH a ORDER BY a.name SET a.v = [a.v]",
+            "MATCH (a:C) WITH a ORDER BY a.name SET a:A",
+            "MATCH (a:A) WHERE a.v = 1 REMOVE a:A",
+            "UNWIND [0, 1] AS v MERGE (n:A {v: v}) ON MATCH SET n.hit = 1",
+            "MATCH (a:A) WHERE a.v IN [0, 1] DETACH DELETE a",
+        ]
+    )
+    source = draw(
+        st.sampled_from(
+            ["create", "set_remove", "delete", "merge", "extra"]
+        )
+    )
+    if source == "extra":
+        return draw(extra)
+    return draw(UPDATE_STRATEGIES[source]())
 
 
 def graph_state(graph):
@@ -459,6 +597,7 @@ READ_STRATEGIES = {
     "two_clause": two_clause_queries,
     "named_path": named_path_queries,
     "comprehension": comprehension_queries,
+    "sargable": sargable_queries,
 }
 
 UPDATE_STRATEGIES = {
