@@ -21,9 +21,16 @@ execute as Cypher; special commands start with ``:``:
     :index :L(k)        create a property index on (label L, key k)
     :index drop :L(k)   drop it again
     :mode <m>           auto | interpreter | planner | row | batch
+    :begin              open a transaction; statements accumulate
+    :commit             make the transaction's changes visible atomically
+    :rollback           undo everything since :begin
+    :timeout <ms>       per-statement time limit (0 or "off" disables)
     :save <path>        write the current graph as JSON
     :load <path>        replace the graph from JSON
     :quit               leave
+
+Timed-out, cancelled or refused statements report a one-line ``error:``
+message — an interrupted write is rolled back, never half-applied.
 """
 
 from __future__ import annotations
@@ -77,6 +84,11 @@ class Shell:
         self.engine = engine or CypherEngine(MemoryGraph())
         self.output = output if output is not None else sys.stdout
         self.running = True
+        #: The open :meth:`CypherEngine.session` between :begin and
+        #: :commit/:rollback; None when statements auto-commit.
+        self.session = None
+        #: Per-statement timeout in milliseconds (None = unlimited).
+        self.timeout_ms = None
 
     def write(self, text=""):
         self.output.write(text + "\n")
@@ -114,6 +126,14 @@ class Shell:
                 self.write(
                     "usage: :mode auto|interpreter|planner|row|batch"
                 )
+        elif command == ":begin":
+            self._begin()
+        elif command == ":commit":
+            self._finish_transaction("commit")
+        elif command == ":rollback":
+            self._finish_transaction("rollback")
+        elif command == ":timeout":
+            self._timeout(argument)
         elif command == ":explain":
             if not argument:
                 self.write("usage: :explain <query>")
@@ -142,6 +162,10 @@ class Shell:
         elif command == ":load":
             if not argument:
                 self.write("usage: :load <path>")
+                return
+            if self.session is not None:
+                self.write("error: a transaction is open; "
+                           ":commit or :rollback before :load")
                 return
             try:
                 graph = load_json(argument)
@@ -213,9 +237,67 @@ class Shell:
         else:
             self.write("index :%s(%s) already exists" % (label, key))
 
-    def _query(self, text):
+    def _begin(self):
+        """``:begin`` — open a session transaction for later statements."""
+        if self.session is not None:
+            self.write("error: a transaction is already open")
+            return
         try:
-            result = self.engine.run(text)
+            session = self.engine.session()
+            session.__enter__()
+            session.begin()
+        except CypherError as error:
+            self.write("error: %s" % error)
+            return
+        self.session = session
+        self.write("transaction begun")
+
+    def _finish_transaction(self, action):
+        """``:commit`` / ``:rollback`` — close the open transaction."""
+        session = self.session
+        if session is None:
+            self.write("error: no open transaction (try :begin)")
+            return
+        self.session = None
+        try:
+            getattr(session, action)()
+        except CypherError as error:
+            self.write("error: %s" % error)
+            return
+        finally:
+            session.close()
+        self.write("transaction %s" % (
+            "committed" if action == "commit" else "rolled back"))
+
+    def _timeout(self, argument):
+        """``:timeout <ms>`` — per-statement limit; 0 or "off" disables."""
+        if not argument:
+            self.write(
+                "timeout: unlimited" if self.timeout_ms is None
+                else "timeout: %d ms" % self.timeout_ms
+            )
+            return
+        if argument in ("off", "0"):
+            self.timeout_ms = None
+            self.write("timeout disabled")
+            return
+        try:
+            millis = int(argument)
+        except ValueError:
+            millis = -1
+        if millis <= 0:
+            self.write("usage: :timeout <milliseconds>|off")
+            return
+        self.timeout_ms = millis
+        self.write("timeout set to %d ms" % millis)
+
+    def _query(self, text):
+        timeout = None if self.timeout_ms is None else self.timeout_ms / 1000.0
+        try:
+            if self.session is not None:
+                result = self.session.run(text, timeout=timeout)
+            else:
+                result = self.engine.run(text, timeout=timeout)
         except CypherError as error:
             self.write("error: %s" % error)
             return

@@ -71,6 +71,32 @@ class ParameterNotBound(CypherRuntimeError):
     """Raised when a query references ``$param`` but no value was supplied."""
 
 
+class TransactionError(CypherRuntimeError):
+    """Raised on transaction misuse: double begin, commit without begin,
+    writing outside an open multi-statement transaction, or pinning a
+    snapshot while uncommitted changes exist."""
+
+
+class QueryInterrupted(CypherRuntimeError):
+    """Base for cooperative interruption of a running statement.
+
+    A write interrupted mid-statement is rolled back atomically before
+    this propagates; the store is as if the statement never ran.
+    """
+
+
+class QueryTimeout(QueryInterrupted):
+    """Raised when a statement exceeds its ``timeout=``/``deadline=``."""
+
+
+class QueryCancelled(QueryInterrupted):
+    """Raised when a :class:`CancelToken` is triggered mid-statement."""
+
+
+class EngineOverloadedError(CypherRuntimeError):
+    """Raised by the admission gate when no session slot frees up in time."""
+
+
 class UnsupportedFeature(CypherError):
     """Raised by the planner when a query needs the reference interpreter.
 

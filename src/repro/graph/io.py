@@ -8,7 +8,10 @@ The JSON document shape is the obvious one::
 
 Node and relationship ids are preserved on load (via ``adopt``-style
 insertion), so serialized references and Cypher 10 cross-graph identity
-survive a round trip.  DOT export renders the graph for graphviz.
+survive a round trip.  Declared property indexes ride along under an
+``"indexes"`` key (``[{"label": ..., "key": ...}, ...]``) and are
+rebuilt on load, so index statistics survive the round trip too.  DOT
+export renders the graph for graphviz.
 """
 
 from __future__ import annotations
@@ -42,7 +45,15 @@ def graph_to_dict(graph):
                 "properties": graph.properties(rel),
             }
         )
-    return {"nodes": nodes, "relationships": relationships}
+    document = {"nodes": nodes, "relationships": relationships}
+    declared = getattr(graph, "indexes", None)
+    if callable(declared):
+        indexes = [
+            {"label": label, "key": key} for label, key in declared()
+        ]
+        if indexes:
+            document["indexes"] = indexes
+    return document
 
 
 def graph_from_dict(document):
@@ -73,6 +84,10 @@ def graph_from_dict(document):
         if rel.value != spec.get("id", rel.value):
             # ids are engine-assigned; document order defines them here
             pass
+    for spec in document.get("indexes", ()):
+        # Declared after the data so the initial build scans once and
+        # the loaded index statistics match a live-built index exactly.
+        graph.create_index(spec["label"], spec["key"])
     return graph
 
 

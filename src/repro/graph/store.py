@@ -87,6 +87,34 @@ Write transactions (added for the slotted write pipeline):
   version-keyed scan caches here and the statistics snapshots in
   :mod:`repro.planner.cost` — a bulk CREATE of 10k nodes costs one
   invalidation, not 10k.
+
+Sessions, rollback, snapshots and fault injection (the transactional
+robustness layer):
+
+* ``write_transaction(record_undo=True)`` makes every raw mutator
+  append an **inverse operation** to an undo log before mutating;
+  :meth:`StoreTransaction.rollback` replays the log in reverse (with
+  recording and fault injection suspended), restores the id counters
+  and clears the scan caches, leaving store *and* property indexes
+  exactly as before the transaction — without a version bump, since the
+  pre-transaction version still describes the restored contents;
+* inside a **session scope** (see :mod:`repro.runtime.session`),
+  :meth:`write_transaction` hands out :class:`_StatementTransaction`
+  facades over one spanning :class:`StoreTransaction`, so the change
+  buffer crosses statement boundaries and the single version bump lands
+  at session commit; writes outside the session are locked out with
+  :class:`TransactionError` while that transaction is open;
+* :meth:`pin_version` freezes the current version copy-on-write: every
+  raw mutator first preserves the pre-image of what it touches into
+  each active pin (:class:`~repro.graph.snapshot.VersionPin`), and
+  :class:`~repro.graph.snapshot.SnapshotGraph` layers a full read
+  interface over pin + live store;
+* a :class:`FaultInjector` installed via :meth:`install_fault_injector`
+  gets a :meth:`~FaultInjector.trip` call at every mutation site —
+  creates, deletes, property/label changes, index maintenance, commit
+  flush — and can raise :class:`InjectedFault` at any chosen ordinal,
+  which is how the crash-recovery harness proves rollback restores the
+  store byte-identically from *every* interior state.
 """
 
 from __future__ import annotations
@@ -97,8 +125,10 @@ from repro.exceptions import (
     ConstraintViolation,
     CypherTypeError,
     EntityNotFound,
+    TransactionError,
 )
 from repro.graph.model import PropertyGraph
+from repro.graph.snapshot import VersionPin
 from repro.values.base import NodeId, RelId
 from repro.values.base import is_cypher_value
 from repro.values.ordering import canonical_key
@@ -107,6 +137,17 @@ from repro.values.path import Path
 
 def _id_value(identifier):
     return identifier.value
+
+
+def _insort_rel(rels, rel_id):
+    """Insert a relationship id into a sorted adjacency list, once.
+
+    Rollback resurrects relationships out of creation order, so the
+    append-only invariant does not hold there; a guarded insort keeps
+    the lists id-sorted (and idempotent under crash-replay undo).
+    """
+    if rel_id not in rels:
+        insort(rels, rel_id, key=_id_value)
 
 
 #: Shared empty dict for the segmented-adjacency misses in expand_batch.
@@ -370,6 +411,50 @@ class _PropertyIndex:
         )
 
 
+class InjectedFault(Exception):
+    """Raised by an armed :class:`FaultInjector` at a mutation site.
+
+    Deliberately *not* a CypherError: an injected crash models an
+    infrastructure failure, so it must not be absorbed by the public
+    catch-all at the API boundary (or the CLI's one-line handler).
+    """
+
+
+class FaultInjector:
+    """Deterministic crash-point driver over the store's mutation sites.
+
+    The store calls :meth:`trip` (via ``graph._fault``) at the start of
+    every raw mutator, inside every index-maintenance hook, and at
+    commit flush.  Pass 1 runs with ``arm_at=None`` and just counts the
+    sites a workload hits; pass 2 re-runs with ``arm_at=k`` and the
+    k-th hit (1-based, in execution order) raises :class:`InjectedFault`
+    exactly once.  ``counts`` keeps per-site totals so harnesses can
+    report which kinds of sites a corpus exercises.
+    """
+
+    __slots__ = ("arm_at", "total", "counts", "fired")
+
+    def __init__(self, arm_at=None):
+        self.arm_at = arm_at
+        self.total = 0
+        self.counts = {}
+        self.fired = None  # (site, ordinal) once the armed hit raised
+
+    def trip(self, site):
+        self.total += 1
+        self.counts[site] = self.counts.get(site, 0) + 1
+        if (
+            self.arm_at is not None
+            and self.total == self.arm_at
+            and self.fired is None
+        ):
+            self.fired = (site, self.total)
+            raise InjectedFault(
+                "injected crash at mutation site %r (hit #%d)"
+                % (site, self.total)
+            )
+
+
 class MemoryGraph(PropertyGraph):
     """A mutable property graph with O(1) id lookups and adjacency lists."""
 
@@ -395,6 +480,13 @@ class MemoryGraph(PropertyGraph):
         self._type_index = {}         # str -> set[RelId]
         self._scan_cache = {}         # ("label"|"type", name) -> (version, sorted list)
         self._indexes_by_label = {}   # str -> {str key: _PropertyIndex}
+        # Transactional robustness layer (all dormant by default):
+        self._pins = []               # active VersionPins (copy-on-write)
+        self._undo = None             # inverse-op log of the open recording tx
+        self._active_transaction = None  # session-spanning StoreTransaction
+        self._transaction_owner = None   # the session owning it
+        self._session_scope = None       # session currently executing a statement
+        self._fault_injector = None      # FaultInjector or None
 
     # ------------------------------------------------------------------
     # PropertyGraph read interface
@@ -669,6 +761,7 @@ class MemoryGraph(PropertyGraph):
         return self._indexes_by_label.get(label, _EMPTY_SEGMENTS)
 
     def _index_node_created(self, node_id, labels, properties):
+        self._fault("index_add")
         for label in labels:
             for key, index in self._indexes_for(label).items():
                 value = properties.get(key)
@@ -676,6 +769,7 @@ class MemoryGraph(PropertyGraph):
                     index.add(node_id, value)
 
     def _index_node_deleted(self, node_id, labels, properties):
+        self._fault("index_remove")
         for label in labels:
             for key, index in self._indexes_for(label).items():
                 value = properties.get(key)
@@ -685,6 +779,7 @@ class MemoryGraph(PropertyGraph):
     def _index_property_changed(self, node_id, key, old, new):
         if old is None and new is None:
             return
+        self._fault("index_update")
         for label in self._node_labels[node_id]:
             index = self._indexes_for(label).get(key)
             if index is None:
@@ -698,6 +793,7 @@ class MemoryGraph(PropertyGraph):
         indexes = self._indexes_for(label)
         if not indexes:
             return
+        self._fault("index_add")
         properties = self._node_properties[node_id]
         for key, index in indexes.items():
             value = properties.get(key)
@@ -708,6 +804,7 @@ class MemoryGraph(PropertyGraph):
         indexes = self._indexes_for(label)
         if not indexes:
             return
+        self._fault("index_remove")
         properties = self._node_properties[node_id]
         for key, index in indexes.items():
             value = properties.get(key)
@@ -722,9 +819,204 @@ class MemoryGraph(PropertyGraph):
     # which batches the bump into a single commit.
     # ------------------------------------------------------------------
 
-    def write_transaction(self):
-        """A :class:`StoreTransaction` over this graph (one per statement)."""
-        return StoreTransaction(self)
+    def write_transaction(self, record_undo=False):
+        """The statement-level entry point to the mutation kernel.
+
+        Outside a session scope this is one :class:`StoreTransaction`
+        per statement, as before (``record_undo=True`` additionally
+        keeps an undo log so the statement can roll back, e.g. on
+        cancellation).  Inside a session scope, all statements share
+        one spanning, always-recording transaction and receive
+        :class:`_StatementTransaction` facades over it; while that
+        transaction is open, writes outside the session are refused.
+        """
+        scope = self._session_scope
+        if scope is not None:
+            return _StatementTransaction(self._session_transaction(scope))
+        if self._active_transaction is not None:
+            raise TransactionError(
+                "a session transaction is open on this graph; commit or "
+                "roll it back before writing outside the session"
+            )
+        return StoreTransaction(self, record_undo=record_undo)
+
+    def _session_transaction(self, owner):
+        """The session's spanning transaction, opened on first write."""
+        transaction = self._active_transaction
+        if transaction is None:
+            transaction = StoreTransaction(self, record_undo=True)
+            self._active_transaction = transaction
+            self._transaction_owner = owner
+        elif self._transaction_owner is not owner:
+            raise TransactionError(
+                "another session holds this graph's write transaction"
+            )
+        return transaction
+
+    # -- session scopes (set around each statement a session executes) ------
+
+    def enter_session_scope(self, owner):
+        if self._session_scope is not None:
+            raise TransactionError("nested session scopes are not supported")
+        if (
+            self._active_transaction is not None
+            and self._transaction_owner is not owner
+        ):
+            raise TransactionError(
+                "another session holds this graph's write transaction"
+            )
+        self._session_scope = owner
+
+    def exit_session_scope(self):
+        self._session_scope = None
+
+    def active_session_transaction(self, owner):
+        """The spanning transaction ``owner`` opened, if any."""
+        if (
+            self._active_transaction is not None
+            and self._transaction_owner is owner
+        ):
+            return self._active_transaction
+        return None
+
+    # -- version pins (copy-on-write snapshot substrate) --------------------
+
+    def pin_version(self):
+        """Freeze the current version for snapshot readers.
+
+        Cheap: the pin starts empty and fills with pre-images as later
+        mutations touch entities (see :class:`VersionPin`).  Pinning
+        mid-way through an uncommitted session transaction is refused —
+        a snapshot must correspond to a *committed* version.
+        """
+        transaction = self._active_transaction
+        if transaction is not None and transaction.changed:
+            raise TransactionError(
+                "cannot pin a snapshot while uncommitted session changes "
+                "exist; commit or roll back first"
+            )
+        pin = VersionPin(self)
+        self._pins.append(pin)
+        return pin
+
+    def release_pin(self, pin):
+        """Drop one reference; the pin unregisters at zero."""
+        pin.refs -= 1
+        if pin.refs <= 0:
+            try:
+                self._pins.remove(pin)
+            except ValueError:
+                pass  # already rebased onto a frozen copy by restore_from
+
+    def _preserve_node(self, node_id):
+        for pin in self._pins:
+            pin.preserve_node(self, node_id)
+
+    def _preserve_rel(self, rel_id):
+        for pin in self._pins:
+            pin.preserve_rel(self, rel_id)
+
+    def _preserve_adjacency(self, node_id):
+        for pin in self._pins:
+            pin.preserve_adjacency(self, node_id)
+
+    def _preserve_label(self, label):
+        for pin in self._pins:
+            pin.preserve_label(self, label)
+
+    def _preserve_type(self, rel_type):
+        for pin in self._pins:
+            pin.preserve_type(self, rel_type)
+
+    def _preserve_entity(self, entity_id):
+        if isinstance(entity_id, NodeId):
+            self._preserve_node(entity_id)
+        else:
+            self._preserve_rel(entity_id)
+
+    # -- fault injection -----------------------------------------------------
+
+    def install_fault_injector(self, injector):
+        """Install (or with None, remove) the injector; returns the old."""
+        previous = self._fault_injector
+        self._fault_injector = injector
+        return previous
+
+    def _fault(self, site):
+        injector = self._fault_injector
+        if injector is not None:
+            injector.trip(site)
+
+    # -- undo application (rollback replays these in reverse) ----------------
+
+    def _apply_undo(self, entry):
+        """Apply one inverse operation recorded by a raw mutator.
+
+        Every inverse is idempotent-per-state (guarded membership tests,
+        idempotent index adds/removes), so replaying from any interior
+        crash point — where the forward mutation may have half-applied —
+        still converges on the pre-transaction state.
+        """
+        op = entry[0]
+        if op == "set_prop":
+            self._set_property_raw(entry[1], entry[2], entry[3])
+        elif op == "create_node":
+            if entry[1] in self._node_labels:
+                self._delete_node_raw(entry[1], detach=True)
+        elif op == "create_rel":
+            if entry[1] in self._rel_endpoints:
+                self._delete_relationship_raw(entry[1])
+        elif op == "create_nodes":
+            for node in reversed(entry[1]):
+                if node in self._node_labels:
+                    self._delete_node_raw(node, detach=True)
+        elif op == "delete_rel":
+            self._undo_delete_relationship(*entry[1:])
+        elif op == "delete_node":
+            self._undo_delete_node(*entry[1:])
+        elif op == "replace_props":
+            self._replace_properties_raw(entry[1], entry[2])
+        elif op == "add_label":
+            if entry[3]:  # only if the forward add actually added it
+                self._remove_label_raw(entry[1], entry[2])
+        elif op == "remove_label":
+            if entry[3]:  # only if the label was actually present
+                self._add_label_raw(entry[1], entry[2])
+        else:  # pragma: no cover — entries are produced in this module only
+            raise AssertionError("unknown undo entry %r" % (entry,))
+
+    def _undo_delete_node(self, node_id, labels, properties):
+        """Resurrect a deleted node (its relationships resurrect first —
+        their undo entries were recorded earlier and replay before this
+        one in reverse order — so only node state needs restoring)."""
+        self._node_labels[node_id] = set(labels)
+        self._node_properties[node_id] = properties
+        for label in labels:
+            self._label_index.setdefault(label, set()).add(node_id)
+        if self._indexes_by_label:
+            # Blanket re-add: index adds are idempotent per (node, value),
+            # so entries the crashed delete never removed are skipped.
+            self._index_node_created(node_id, labels, properties)
+
+    def _undo_delete_relationship(self, rel_id, source, target, rel_type, properties):
+        self._rel_endpoints[rel_id] = (source, target)
+        self._rel_types[rel_id] = rel_type
+        self._rel_properties[rel_id] = properties
+        _insort_rel(self._outgoing.setdefault(source, []), rel_id)
+        _insort_rel(self._incoming.setdefault(target, []), rel_id)
+        _insort_rel(
+            self._outgoing_by_type.setdefault(source, {}).setdefault(
+                rel_type, []
+            ),
+            rel_id,
+        )
+        _insort_rel(
+            self._incoming_by_type.setdefault(target, {}).setdefault(
+                rel_type, []
+            ),
+            rel_id,
+        )
+        self._type_index.setdefault(rel_type, set()).add(rel_id)
 
     def create_node(self, labels=(), properties=None):
         """Add a node; returns its fresh :class:`NodeId`."""
@@ -737,10 +1029,17 @@ class MemoryGraph(PropertyGraph):
         # node load pays two dict inserts per node, not six.
         # Properties validate before anything lands: a rejected value
         # must not leave a phantom half-node behind.
+        self._fault("create_node")
         validated = _validated_properties(properties)
         node_id = NodeId(self._next_node_id)
         self._next_node_id += 1
         label_set = set(labels)
+        if self._pins:
+            self._preserve_node(node_id)
+            for label in label_set:
+                self._preserve_label(label)
+        if self._undo is not None:
+            self._undo.append(("create_node", node_id))
         self._node_labels[node_id] = label_set
         self._node_properties[node_id] = validated
         for label in label_set:
@@ -765,9 +1064,18 @@ class MemoryGraph(PropertyGraph):
         caller's output list, appended in creation order even when a
         later row raises, so the transaction's accounting stays exact.
         """
+        self._fault("create_nodes")
         node_labels = self._node_labels
         node_properties = self._node_properties
         append = ids.append
+        pins = self._pins
+        if pins:
+            for label in dict.fromkeys(labels):
+                self._preserve_label(label)
+        if self._undo is not None:
+            # ``ids`` is appended in creation order even when a later row
+            # raises, so the one entry covers exactly the created prefix.
+            self._undo.append(("create_nodes", ids))
         indexed = None
         if self._indexes_by_label:
             indexed = [
@@ -780,10 +1088,13 @@ class MemoryGraph(PropertyGraph):
                 validated = _validated_properties(properties)  # may raise
                 node_id = NodeId(self._next_node_id)
                 self._next_node_id += 1
+                if pins:
+                    self._preserve_node(node_id)
                 node_labels[node_id] = set(labels)
                 node_properties[node_id] = validated
                 append(node_id)
                 if indexed:
+                    self._fault("index_add")
                     for key, index in indexed:
                         value = validated.get(key)
                         if value is not None:
@@ -805,6 +1116,7 @@ class MemoryGraph(PropertyGraph):
         return self._create_relationship_raw(src, tgt, rel_type, properties)
 
     def _create_relationship_raw(self, src, tgt, rel_type, properties):
+        self._fault("create_relationship")
         if src not in self._node_labels:
             raise EntityNotFound("source node %r not in graph" % (src,))
         if tgt not in self._node_labels:
@@ -814,6 +1126,13 @@ class MemoryGraph(PropertyGraph):
         validated = _validated_properties(properties)
         rel_id = RelId(self._next_rel_id)
         self._next_rel_id += 1
+        if self._pins:
+            self._preserve_rel(rel_id)
+            self._preserve_adjacency(src)
+            self._preserve_adjacency(tgt)
+            self._preserve_type(rel_type)
+        if self._undo is not None:
+            self._undo.append(("create_rel", rel_id))
         self._rel_endpoints[rel_id] = (src, tgt)
         self._rel_types[rel_id] = rel_type
         self._rel_properties[rel_id] = validated
@@ -845,6 +1164,10 @@ class MemoryGraph(PropertyGraph):
             raise ValueError("node %r already exists" % (node_id,))
         validated = _validated_properties(properties)
         label_set = set(labels)
+        if self._pins:
+            self._preserve_node(node_id)
+            for label in label_set:
+                self._preserve_label(label)
         self._node_labels[node_id] = label_set
         self._node_properties[node_id] = validated
         self._outgoing[node_id] = []
@@ -869,6 +1192,7 @@ class MemoryGraph(PropertyGraph):
         self._delete_node_raw(node_id, detach)
 
     def _delete_node_raw(self, node_id, detach):
+        self._fault("delete_node")
         if node_id not in self._node_labels:
             raise EntityNotFound("no node %r in graph" % (node_id,))
         outgoing = self._outgoing.get(node_id, ())
@@ -886,13 +1210,19 @@ class MemoryGraph(PropertyGraph):
         for rel in incident:
             if rel in self._rel_endpoints:
                 self._delete_relationship_raw(rel)
+        labels = self._node_labels[node_id]
+        properties = self._node_properties[node_id]
+        if self._pins:
+            self._preserve_node(node_id)
+            for label in labels:
+                self._preserve_label(label)
+        if self._undo is not None:
+            # ``properties`` transfers ownership: the map is deleted from
+            # the store below, so the entry can hold it un-copied.
+            self._undo.append(("delete_node", node_id, set(labels), properties))
         if self._indexes_by_label:
-            self._index_node_deleted(
-                node_id,
-                self._node_labels[node_id],
-                self._node_properties[node_id],
-            )
-        for label in self._node_labels[node_id]:
+            self._index_node_deleted(node_id, labels, properties)
+        for label in labels:
             self._label_index[label].discard(node_id)
             self._scan_cache.pop(("label", label), None)
         del self._node_labels[node_id]
@@ -907,10 +1237,25 @@ class MemoryGraph(PropertyGraph):
         self._delete_relationship_raw(rel_id)
 
     def _delete_relationship_raw(self, rel_id):
+        self._fault("delete_relationship")
         if rel_id not in self._rel_endpoints:
             raise EntityNotFound("no relationship %r in graph" % (rel_id,))
         source, target = self._rel_endpoints[rel_id]
         rel_type = self._rel_types[rel_id]
+        if self._pins:
+            self._preserve_rel(rel_id)
+            self._preserve_adjacency(source)
+            self._preserve_adjacency(target)
+            self._preserve_type(rel_type)
+        if self._undo is not None:
+            self._undo.append((
+                "delete_rel",
+                rel_id,
+                source,
+                target,
+                rel_type,
+                self._rel_properties[rel_id],
+            ))
         self._outgoing[source].remove(rel_id)
         self._incoming[target].remove(rel_id)
         self._remove_from_segment(self._outgoing_by_type, source, rel_type, rel_id)
@@ -927,9 +1272,17 @@ class MemoryGraph(PropertyGraph):
         self._set_property_raw(entity_id, key, value)
 
     def _set_property_raw(self, entity_id, key, value):
+        self._fault("set_property")
         props = self._property_map(entity_id)
         track = self._indexes_by_label and type(entity_id) is NodeId
-        old = props.get(key) if track else None
+        record = self._undo is not None
+        old = props.get(key) if track or record else None
+        if self._pins:
+            self._preserve_entity(entity_id)
+        if record:
+            # Stored maps never hold None, so old None ⇔ key was absent
+            # and the inverse set_prop(None) removes it again.
+            self._undo.append(("set_prop", entity_id, key, old))
         if value is None:
             props.pop(key, None)
         else:
@@ -944,7 +1297,13 @@ class MemoryGraph(PropertyGraph):
         self._remove_property_raw(entity_id, key)
 
     def _remove_property_raw(self, entity_id, key):
-        old = self._property_map(entity_id).pop(key, None)
+        self._fault("remove_property")
+        props = self._property_map(entity_id)
+        if self._pins:
+            self._preserve_entity(entity_id)
+        if self._undo is not None:
+            self._undo.append(("set_prop", entity_id, key, props.get(key)))
+        old = props.pop(key, None)
         if (
             old is not None
             and self._indexes_by_label
@@ -958,6 +1317,7 @@ class MemoryGraph(PropertyGraph):
         self._replace_properties_raw(entity_id, properties)
 
     def _replace_properties_raw(self, entity_id, properties):
+        self._fault("replace_properties")
         props = self._property_map(entity_id)
         # Validate before touching anything: a rejected value must leave
         # both the property map and the index entries untouched (an index
@@ -965,7 +1325,12 @@ class MemoryGraph(PropertyGraph):
         # the old values it holds would be gone).
         validated = _validated_properties(properties)
         track = self._indexes_by_label and type(entity_id) is NodeId
-        old = dict(props) if track else None
+        record = self._undo is not None
+        old = dict(props) if track or record else None
+        if self._pins:
+            self._preserve_entity(entity_id)
+        if record:
+            self._undo.append(("replace_props", entity_id, old))
         props.clear()
         props.update(validated)
         if track:
@@ -980,10 +1345,16 @@ class MemoryGraph(PropertyGraph):
         self._merge_properties_raw(entity_id, properties)
 
     def _merge_properties_raw(self, entity_id, properties):
+        self._fault("merge_properties")
         props = self._property_map(entity_id)
         track = self._indexes_by_label and type(entity_id) is NodeId
+        record = self._undo is not None
+        if self._pins:
+            self._preserve_entity(entity_id)
         for key, value in (properties or {}).items():
-            old = props.get(key) if track else None
+            old = props.get(key) if track or record else None
+            if record:
+                self._undo.append(("set_prop", entity_id, key, old))
             if value is None:
                 props.pop(key, None)
             else:
@@ -998,9 +1369,15 @@ class MemoryGraph(PropertyGraph):
         self._add_label_raw(node_id, label)
 
     def _add_label_raw(self, node_id, label):
+        self._fault("add_label")
         if node_id not in self._node_labels:
             raise EntityNotFound("no node %r in graph" % (node_id,))
         fresh = label not in self._node_labels[node_id]
+        if self._pins:
+            self._preserve_node(node_id)
+            self._preserve_label(label)
+        if self._undo is not None:
+            self._undo.append(("add_label", node_id, label, fresh))
         self._node_labels[node_id].add(label)
         self._label_index.setdefault(label, set()).add(node_id)
         self._scan_cache.pop(("label", label), None)
@@ -1012,9 +1389,15 @@ class MemoryGraph(PropertyGraph):
         self._remove_label_raw(node_id, label)
 
     def _remove_label_raw(self, node_id, label):
+        self._fault("remove_label")
         if node_id not in self._node_labels:
             raise EntityNotFound("no node %r in graph" % (node_id,))
         present = label in self._node_labels[node_id]
+        if self._pins:
+            self._preserve_node(node_id)
+            self._preserve_label(label)
+        if self._undo is not None:
+            self._undo.append(("remove_label", node_id, label, present))
         self._node_labels[node_id].discard(label)
         if label in self._label_index:
             self._label_index[label].discard(node_id)
@@ -1037,8 +1420,23 @@ class MemoryGraph(PropertyGraph):
         Used for transactional rollback (e.g. schema enforcement undoing
         a violating update) while keeping this object's identity, so
         engines and catalogs holding references stay valid.
+
+        Active version pins are **rebased** onto a frozen copy of the
+        pre-restore state: their copy-on-write deltas reference that
+        state, so layering them over the replaced live structures would
+        show a chimera.  Refused while a session transaction is open —
+        its undo log would dangle into the replaced structures.
         """
+        if self._active_transaction is not None:
+            raise TransactionError(
+                "cannot restore a graph while a session transaction is open"
+            )
         donor = snapshot.copy()
+        if self._pins:
+            frozen = self.copy()
+            for pin in self._pins:
+                pin.base = frozen
+            self._pins = []
         self._next_node_id = donor._next_node_id
         self._next_rel_id = donor._next_rel_id
         self._node_labels = donor._node_labels
@@ -1211,6 +1609,8 @@ class StoreTransaction:
         "_pending_rel_deletes",
         "_pending_node_deletes",
         "_closed",
+        "_undo",
+        "_begin_counters",
         "nodes_created",
         "relationships_created",
         "nodes_deleted",
@@ -1219,11 +1619,15 @@ class StoreTransaction:
         "labels_changed",
     )
 
-    def __init__(self, graph):
+    def __init__(self, graph, record_undo=False):
         self._graph = graph
         self._pending_rel_deletes = {}   # RelId -> None (an ordered set)
         self._pending_node_deletes = {}  # NodeId -> bool (detach)
         self._closed = False
+        self._undo = [] if record_undo else None
+        self._begin_counters = (graph._next_node_id, graph._next_rel_id)
+        if record_undo:
+            graph._undo = self._undo
         self.nodes_created = 0
         self.relationships_created = 0
         self.nodes_deleted = 0
@@ -1359,8 +1763,13 @@ class StoreTransaction:
             or self.labels_changed
         )
 
+    @property
+    def closed(self):
+        return self._closed
+
     def commit(self):
         """Flush pending deletes, then bump the version exactly once."""
+        self._graph._fault("commit_flush")
         self.flush()
         self._finalize()
         return self
@@ -1372,12 +1781,87 @@ class StoreTransaction:
         self._finalize()
         return self
 
+    def drop_pending(self):
+        """Discard buffered deletes without closing (statement abandon)."""
+        self._pending_rel_deletes = {}
+        self._pending_node_deletes = {}
+        return self
+
+    def rollback(self):
+        """Undo every applied change and close.
+
+        Replays the undo log in reverse with recording and fault
+        injection suspended, restores the id counters, and clears the
+        scan caches.  No version bump: the pre-transaction version
+        still describes the restored contents exactly, so statistics
+        snapshots keyed on it stay *correct*, not just safe.
+        Requires ``record_undo=True`` at open.
+        """
+        if self._closed:
+            return self
+        if self._undo is None:
+            raise TransactionError(
+                "transaction was opened without undo recording; "
+                "it cannot roll back"
+            )
+        graph = self._graph
+        self._pending_rel_deletes = {}
+        self._pending_node_deletes = {}
+        self._replay_undo(0)
+        graph._next_node_id, graph._next_rel_id = self._begin_counters
+        graph._scan_cache.clear()
+        self._closed = True
+        if graph._undo is self._undo:
+            graph._undo = None
+        if graph._active_transaction is self:
+            graph._active_transaction = None
+            graph._transaction_owner = None
+        return self
+
+    def rollback_statement(self, mark, counters):
+        """Undo only the entries recorded past ``mark`` (one statement).
+
+        Used by :class:`_StatementTransaction` when a single statement
+        inside a session is cancelled: that statement's changes unwind
+        atomically while the session's earlier statements stay applied.
+        """
+        if self._undo is None:
+            raise TransactionError(
+                "transaction was opened without undo recording"
+            )
+        graph = self._graph
+        self._pending_rel_deletes = {}
+        self._pending_node_deletes = {}
+        self._replay_undo(mark)
+        graph._next_node_id, graph._next_rel_id = counters
+        graph._scan_cache.clear()
+        return self
+
+    def _replay_undo(self, mark):
+        graph = self._graph
+        undo = self._undo
+        graph._undo = None  # inverse ops must not re-record
+        injector = graph._fault_injector
+        graph._fault_injector = None  # nor re-crash mid-recovery
+        try:
+            while len(undo) > mark:
+                graph._apply_undo(undo.pop())
+        finally:
+            graph._fault_injector = injector
+            if not self._closed:
+                graph._undo = undo
+
     def _finalize(self):
         if self._closed:
             return
         self._closed = True
+        graph = self._graph
+        if self._undo is not None and graph._undo is self._undo:
+            graph._undo = None
+        if graph._active_transaction is self:
+            graph._active_transaction = None
+            graph._transaction_owner = None
         if self.changed:
-            graph = self._graph
             graph._version += 1
             graph._scan_cache.clear()
 
@@ -1393,6 +1877,123 @@ class StoreTransaction:
                 self.labels_changed,
                 " closed" if self._closed else "",
             )
+        )
+
+
+class _StatementTransaction:
+    """One statement's facade over a session's spanning transaction.
+
+    Handed out by :meth:`MemoryGraph.write_transaction` inside a session
+    scope.  Mutators delegate straight to the parent
+    :class:`StoreTransaction`, so creates/changes/buffered deletes land
+    in the session's shared change buffer; the lifecycle differs:
+
+    * :meth:`commit` only flushes the statement's buffered deletes —
+      the version bump is deferred to the session's commit;
+    * :meth:`abandon` drops the statement's pending deletes, keeping
+      applied changes (the engine's partial-failure semantics);
+    * :meth:`rollback` unwinds exactly this statement's undo entries
+      (recorded past the watermark captured here), so a cancelled
+      write inside a session disappears atomically while earlier
+      statements survive.
+    """
+
+    __slots__ = ("_parent", "_mark", "_counters")
+
+    def __init__(self, parent):
+        self._parent = parent
+        graph = parent._graph
+        self._mark = len(parent._undo)
+        self._counters = (graph._next_node_id, graph._next_rel_id)
+
+    # -- mutators: straight delegation --------------------------------------
+
+    def create_node(self, labels=(), properties=None):
+        return self._parent.create_node(labels, properties)
+
+    def create_nodes(self, labels, properties_list):
+        return self._parent.create_nodes(labels, properties_list)
+
+    def create_relationship(self, src, tgt, rel_type, properties=None):
+        return self._parent.create_relationship(src, tgt, rel_type, properties)
+
+    def set_property(self, entity_id, key, value):
+        self._parent.set_property(entity_id, key, value)
+
+    def remove_property(self, entity_id, key):
+        self._parent.remove_property(entity_id, key)
+
+    def replace_properties(self, entity_id, properties):
+        self._parent.replace_properties(entity_id, properties)
+
+    def merge_properties(self, entity_id, properties):
+        self._parent.merge_properties(entity_id, properties)
+
+    def add_label(self, node_id, label):
+        self._parent.add_label(node_id, label)
+
+    def remove_label(self, node_id, label):
+        self._parent.remove_label(node_id, label)
+
+    def delete_node(self, node_id, detach=False):
+        self._parent.delete_node(node_id, detach)
+
+    def delete_relationship(self, rel_id):
+        self._parent.delete_relationship(rel_id)
+
+    def delete_value(self, value, detach=False):
+        self._parent.delete_value(value, detach)
+
+    def flush(self):
+        self._parent.flush()
+
+    # -- counters (reported per statement surface, session totals) ----------
+
+    @property
+    def changed(self):
+        return self._parent.changed
+
+    @property
+    def nodes_created(self):
+        return self._parent.nodes_created
+
+    @property
+    def relationships_created(self):
+        return self._parent.relationships_created
+
+    @property
+    def nodes_deleted(self):
+        return self._parent.nodes_deleted
+
+    @property
+    def relationships_deleted(self):
+        return self._parent.relationships_deleted
+
+    @property
+    def properties_set(self):
+        return self._parent.properties_set
+
+    @property
+    def labels_changed(self):
+        return self._parent.labels_changed
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def commit(self):
+        self._parent.flush()
+        return self
+
+    def abandon(self):
+        self._parent.drop_pending()
+        return self
+
+    def rollback(self):
+        self._parent.rollback_statement(self._mark, self._counters)
+        return self
+
+    def __repr__(self):
+        return "_StatementTransaction(over %r, mark=%d)" % (
+            self._parent, self._mark
         )
 
 

@@ -108,10 +108,11 @@ class BatchContext(ExecutionContext):
 
     def __init__(
         self, graph, parameters=None, functions=None, morphism=None,
-        slots=None, morsel_size=None, access_log=None,
+        slots=None, morsel_size=None, access_log=None, cancel=None,
     ):
         super().__init__(
-            graph, parameters, functions, morphism, slots, access_log
+            graph, parameters, functions, morphism, slots, access_log,
+            cancel,
         )
         self.columns = ColumnCompiler(self.compiler)
         self.morsel_size = morsel_size or DEFAULT_MORSEL_SIZE
@@ -125,7 +126,7 @@ class BatchContext(ExecutionContext):
 
 def execute_plan_batched(
     plan, graph, parameters=None, functions=None, morphism=None,
-    morsel_size=None, access_log=None,
+    morsel_size=None, access_log=None, cancel=None,
 ):
     """Run a batch-supported logical plan; returns a Table over its fields.
 
@@ -137,7 +138,7 @@ def execute_plan_batched(
     slots = SlotMap.from_plan(plan)
     context = BatchContext(
         graph, parameters, functions, morphism, slots, morsel_size,
-        access_log,
+        access_log, cancel,
     )
     source = _compile(plan, context)
     fields = plan.fields
@@ -160,8 +161,24 @@ def execute_plan_batched(
 # ---------------------------------------------------------------------------
 
 def _compile(op, ctx):
-    """Compile an operator subtree to ``argument -> iterator of batches``."""
-    return _COMPILERS[type(op)](op, ctx)
+    """Compile an operator subtree to ``argument -> iterator of batches``.
+
+    With a cancellation active, every operator checks the deadline/token
+    at each **morsel boundary** — one direct poll per batch of rows, the
+    vectorised analogue of the row engine's strided per-row check.
+    """
+    run = _COMPILERS[type(op)](op, ctx)
+    cancel = ctx.cancel
+    if cancel is None:
+        return run
+    poll = cancel.poll
+
+    def guarded(argument):
+        for batch in run(argument):
+            poll()
+            yield batch
+
+    return guarded
 
 
 def _bound_columns(cols):

@@ -37,6 +37,7 @@ from repro.exceptions import (
     CypherRuntimeError,
     CypherSemanticError,
     CypherTypeError,
+    QueryInterrupted,
 )
 from repro.planner import logical as lg
 from repro.planner.slots import SlotMap
@@ -55,9 +56,15 @@ class ExecutionContext:
 
     def __init__(
         self, graph, parameters=None, functions=None, morphism=None,
-        slots=None, access_log=None,
+        slots=None, access_log=None, cancel=None,
     ):
         self.graph = graph
+        #: A :class:`~repro.runtime.cancel.Cancellation` or None.  When
+        #: set, :func:`_compile` wraps every operator with a strided
+        #: check — compile-time specialisation, so the cancel-free hot
+        #: path pays nothing — and the write transaction records undo so
+        #: an interrupted statement can roll back atomically.
+        self.cancel = cancel
         self.evaluator = Evaluator(
             graph, parameters, functions, morphism or EDGE_ISOMORPHISM
         )
@@ -87,13 +94,15 @@ class ExecutionContext:
         at :func:`execute_plan`'s commit.
         """
         if self._transaction is None:
-            self._transaction = self.graph.write_transaction()
+            self._transaction = self.graph.write_transaction(
+                record_undo=self.cancel is not None
+            )
         return self._transaction
 
 
 def execute_plan(
     plan, graph, parameters=None, functions=None, morphism=None,
-    access_log=None,
+    access_log=None, cancel=None,
 ):
     """Run a logical plan to completion; returns a Table over its fields.
 
@@ -108,7 +117,7 @@ def execute_plan(
     """
     slots = SlotMap.from_plan(plan)
     context = ExecutionContext(
-        graph, parameters, functions, morphism, slots, access_log
+        graph, parameters, functions, morphism, slots, access_log, cancel
     )
     source = _compile(plan, context)
     fields = plan.fields
@@ -121,6 +130,13 @@ def execute_plan(
                 value = row[slot]
                 record[field] = None if value is MISSING else value
             rows.append(record)
+    except QueryInterrupted:
+        # Cancellation/timeout rolls the statement back *atomically* —
+        # the transaction recorded undo (see ExecutionContext.transaction)
+        # precisely for this path.
+        if context._transaction is not None:
+            context._transaction.rollback()
+        raise
     except BaseException:
         if context._transaction is not None:
             context._transaction.abandon()
@@ -135,8 +151,27 @@ def execute_plan(
 # ---------------------------------------------------------------------------
 
 def _compile(op, ctx):
-    """Compile an operator subtree to ``argument_row -> iterator of rows``."""
-    return _COMPILERS[type(op)](op, ctx)
+    """Compile an operator subtree to ``argument_row -> iterator of rows``.
+
+    With a cancellation active, every operator's iterator is wrapped
+    with a strided deadline/token check between rows, so a statement
+    stuck in *any* operator notices within ``CHECK_STRIDE`` rows of
+    that operator producing output.  (Operators that can run long
+    before yielding — the variable-length expand — check internally
+    too.)
+    """
+    run = _COMPILERS[type(op)](op, ctx)
+    cancel = ctx.cancel
+    if cancel is None:
+        return run
+    check = cancel.check
+
+    def guarded(argument):
+        for row in run(argument):
+            check()
+            yield row
+
+    return guarded
 
 
 def _compile_init(op, ctx):
@@ -555,6 +590,7 @@ def _compile_var_length_expand(op, ctx):
     )
     other_end = ctx.graph.other_end
     cap = kernel.traversal_cap(op.high)
+    cancel = ctx.cancel
 
     def run(argument):
         for row in child(argument):
@@ -584,6 +620,10 @@ def _compile_var_length_expand(op, ctx):
                 results.append(out)
 
             def walk(node, taken, rels, used, row=row, visited=visited):
+                if cancel is not None:
+                    # Per-step: the frontier can explode combinatorially
+                    # before this operator yields its first row.
+                    cancel.check()
                 if taken >= low:
                     emit(node, rels)
                 if cap is not None and taken >= cap:

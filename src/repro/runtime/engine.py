@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
-from repro.exceptions import ConstraintViolation, UnsupportedFeature
+from repro.exceptions import (
+    ConstraintViolation,
+    EngineOverloadedError,
+    TransactionError,
+    UnsupportedFeature,
+)
 from repro.graph.catalog import GraphCatalog
 from repro.graph.store import MemoryGraph
 from repro.parser import parse_query
+from repro.runtime.cancel import Cancellation
 from repro.runtime.result import QueryResult
 from repro.semantics.analysis import check_query
 from repro.semantics.morphism import EDGE_ISOMORPHISM
@@ -57,6 +64,13 @@ class CypherEngine:
     morsel_size:
         Rows per batch on the vectorised path (default
         :data:`~repro.planner.batch.DEFAULT_MORSEL_SIZE`).
+    max_sessions:
+        The admission gate: at most this many sessions in flight at
+        once (default 32).
+    admission_timeout:
+        Seconds a :meth:`session` waits (queued on the gate) for a slot
+        before :class:`EngineOverloadedError`; 0 (the default) refuses
+        immediately when the engine is full.
     """
 
     def __init__(
@@ -69,6 +83,8 @@ class CypherEngine:
         rewrite=True,
         schema=None,
         morsel_size=None,
+        max_sessions=32,
+        admission_timeout=0.0,
     ):
         if mode not in _MODES:
             raise ValueError("mode must be one of %r" % (_MODES,))
@@ -80,6 +96,11 @@ class CypherEngine:
         self.rewrite = rewrite
         self.schema = schema
         self.morsel_size = morsel_size
+        self.max_sessions = max_sessions
+        self.admission_timeout = admission_timeout
+        #: Bounded admission: sessions acquire a slot on first use and
+        #: queue (up to ``admission_timeout``) when the engine is full.
+        self._admission = threading.BoundedSemaphore(max_sessions)
         #: Bounded LRU of compiled plans: query text ->
         #: (graph id, version, stats_sensitive, plan, updating).  Plans
         #: embed no graph data (operators re-read the store at run
@@ -101,7 +122,17 @@ class CypherEngine:
 
     # ------------------------------------------------------------------
 
-    def run(self, query_text, parameters=None, mode=None, profile=False):
+    def run(
+        self,
+        query_text,
+        parameters=None,
+        mode=None,
+        profile=False,
+        timeout=None,
+        deadline=None,
+        cancel=None,
+        read_only=False,
+    ):
         """Parse and execute ``query_text``; returns a QueryResult.
 
         With ``profile=True`` a planned execution additionally records
@@ -109,15 +140,38 @@ class CypherEngine:
         scan), estimated and actual rows — in
         :attr:`QueryResult.access_paths`.  Profiling adds a per-row
         counter to the scans, so it is off by default.
+
+        ``timeout`` (seconds) / ``deadline`` (absolute
+        :func:`time.monotonic` timestamp) / ``cancel`` (a
+        :class:`~repro.runtime.cancel.CancelToken`) interrupt the
+        statement cooperatively: the row engine checks between rows,
+        the batch engine at morsel boundaries, and an interrupted
+        *write* rolls back atomically before
+        :class:`~repro.exceptions.QueryTimeout` /
+        :class:`~repro.exceptions.QueryCancelled` propagates.  The
+        reference interpreter only checks the deadline at statement
+        boundaries (it has no operator loop to thread checks through).
+
+        ``read_only=True`` refuses updating statements with
+        :class:`TransactionError` — the guard snapshot readers run
+        under.
         """
         mode = mode or self.mode
         access_log = [] if profile else None
+        cancellation = Cancellation.build(timeout, deadline, cancel)
+        if cancellation is not None:
+            # Up-front check: an already-expired deadline or
+            # pre-cancelled token refuses before any work — the strided
+            # in-flight checks would let a short statement slip through.
+            cancellation.poll()
         if mode in _PLANNER_MODES:
             cached = self._cached_plan(query_text)
             if cached is not None:
                 plan, updating = cached
+                self._check_read_only(updating, read_only)
                 return self._execute_planned(
-                    query_text, plan, parameters, updating, mode, access_log
+                    query_text, plan, parameters, updating, mode, access_log,
+                    cancellation,
                 )
         query = parse_query(query_text)
         check_query(query)
@@ -126,7 +180,10 @@ class CypherEngine:
 
             query = rewrite_query(query)
         updating = _is_updating(query)
+        self._check_read_only(updating, read_only)
         if mode == "interpreter":
+            if cancellation is not None:
+                cancellation.poll()
             return self._run_interpreted(
                 query, parameters, updating, reason="mode=interpreter"
             )
@@ -137,13 +194,47 @@ class CypherEngine:
         except UnsupportedFeature as unsupported:
             if mode != "auto":
                 raise
+            if cancellation is not None:
+                cancellation.poll()
             return self._run_interpreted(
                 query, parameters, updating, reason=str(unsupported)
             )
         self._remember_plan(query_text, plan, updating)
         return self._execute_planned(
-            query_text, plan, parameters, updating, mode, access_log
+            query_text, plan, parameters, updating, mode, access_log,
+            cancellation,
         )
+
+    @staticmethod
+    def _check_read_only(updating, read_only):
+        if updating and read_only:
+            raise TransactionError(
+                "updating statements are not allowed on a read-only view"
+            )
+
+    # -- sessions --------------------------------------------------------
+
+    def session(self, timeout=None):
+        """A transactional :class:`~repro.runtime.session.Session`.
+
+        Use as a context manager; ``timeout`` becomes the default
+        per-statement timeout for every :meth:`Session.run`.  The
+        session occupies one admission slot (see ``max_sessions``) from
+        first use until close.
+        """
+        from repro.runtime.session import Session
+
+        return Session(self, default_timeout=timeout)
+
+    def _admit_session(self):
+        if not self._admission.acquire(timeout=self.admission_timeout):
+            raise EngineOverloadedError(
+                "engine is at its %d in-flight session limit; "
+                "retry later or raise max_sessions" % self.max_sessions
+            )
+
+    def _release_session(self):
+        self._admission.release()
 
     # ------------------------------------------------------------------
 
@@ -259,7 +350,8 @@ class CypherEngine:
         return "row"
 
     def _execute_planned(
-        self, query_text, plan, parameters, updating, mode, access_log=None
+        self, query_text, plan, parameters, updating, mode, access_log=None,
+        cancel=None,
     ):
         execution_mode = self._pick_execution_mode(plan, updating, mode)
         if execution_mode == "batch":
@@ -273,6 +365,7 @@ class CypherEngine:
                 morphism=self.morphism,
                 morsel_size=self.morsel_size,
                 access_log=access_log,
+                cancel=cancel,
             )
             return QueryResult(
                 table,
@@ -291,6 +384,7 @@ class CypherEngine:
                 functions=self.functions,
                 morphism=self.morphism,
                 access_log=access_log,
+                cancel=cancel,
             )
             if updating:
                 # The statement's own version bump must not evict the

@@ -1,0 +1,249 @@
+"""Transactional sessions and snapshot readers.
+
+A :class:`Session` groups statements into one store transaction: writes
+from successive :meth:`Session.run` calls accumulate in a single
+always-recording :class:`~repro.graph.store.StoreTransaction` and become
+visible atomically — one version bump — at :meth:`Session.commit`, or
+vanish exactly at :meth:`Session.rollback` (the undo log restores the
+store, its statistics, scan caches and every property index to the
+rebuild-identical pre-``begin()`` state).
+
+Isolation is *read committed* for the session's own reads — statements
+inside the transaction see their own uncommitted writes (the store is
+mutated in place; the undo log is what makes rollback exact) — while
+:meth:`Session.snapshot` hands out a *snapshot isolation* reader: a
+pinned :class:`~repro.graph.snapshot.VersionPin` preserves pre-images
+copy-on-write, so the snapshot keeps answering from the version current
+when it was taken even while this or another session commits on top.
+
+Sessions hold one admission slot on the engine from first use until
+:meth:`Session.close`; the engine's bounded gate turns overload into
+:class:`~repro.exceptions.EngineOverloadedError` instead of unbounded
+queueing.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TransactionError, UnsupportedFeature
+
+
+class Session:
+    """One client's transactional conversation with a CypherEngine.
+
+    Usable as a context manager::
+
+        with engine.session() as session:
+            session.begin()
+            session.run("CREATE (:Person {name: 'Ada'})")
+            session.run("MATCH (p:Person) SET p.seen = true")
+            session.commit()
+
+    Leaving the ``with`` block with the transaction still open rolls it
+    back — commits are always explicit.  Statements run outside
+    ``begin()``/``commit()`` auto-commit individually, exactly like
+    ``engine.run``.
+    """
+
+    def __init__(self, engine, default_timeout=None):
+        self.engine = engine
+        self.graph = engine.graph
+        self.default_timeout = default_timeout
+        self._admitted = False
+        self._closed = False
+        self._snapshot = None
+        self._in_transaction = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self):
+        self._admit()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+
+    def _admit(self):
+        if self._closed:
+            raise TransactionError("session is closed")
+        if not self._admitted:
+            self.engine._admit_session()
+            self._admitted = True
+
+    def close(self):
+        """Roll back any open transaction and release the admission slot."""
+        if self._closed:
+            return
+        try:
+            if self._in_transaction:
+                self.rollback()
+            self._release_snapshot()
+        finally:
+            self._closed = True
+            if self._admitted:
+                self._admitted = False
+                self.engine._release_session()
+
+    # -- transaction control ---------------------------------------------
+
+    @property
+    def in_transaction(self):
+        return self._in_transaction
+
+    def begin(self):
+        """Open an explicit transaction spanning subsequent statements."""
+        self._admit()
+        if self._in_transaction:
+            raise TransactionError("transaction already begun on this session")
+        if self.engine.schema is not None:
+            raise UnsupportedFeature(
+                "schema-validated engines do not support explicit "
+                "transactions: the schema guard snapshots around each "
+                "auto-committed statement"
+            )
+        self._in_transaction = True
+        return self
+
+    def commit(self):
+        """Flush the transaction's changes; one version bump, atomically.
+
+        A commit-time failure (for example an injected fault in the
+        flush) rolls the whole transaction back before re-raising: the
+        engine stays usable and the store unchanged.
+        """
+        transaction = self._require_transaction()
+        if transaction is None:  # no statement ever wrote: nothing to flush
+            self._end_transaction()
+            return
+        try:
+            transaction.commit()
+        except BaseException:
+            if not transaction.closed:
+                transaction.rollback()
+            self._end_transaction()
+            raise
+        self._end_transaction()
+
+    def rollback(self):
+        """Undo every statement since :meth:`begin`, exactly."""
+        transaction = self._require_transaction()
+        if transaction is None:  # no statement ever wrote: nothing to undo
+            self._end_transaction()
+            return
+        try:
+            transaction.rollback()
+        finally:
+            self._end_transaction()
+
+    def _require_transaction(self):
+        if not self._in_transaction:
+            raise TransactionError("no transaction begun on this session")
+        return self.graph.active_session_transaction(self)
+
+    def _end_transaction(self):
+        if self._snapshot is not None and self._snapshot.transactional:
+            self._release_snapshot()
+        self._in_transaction = False
+
+    # -- statements ------------------------------------------------------
+
+    def run(self, query_text, parameters=None, **options):
+        """Run one statement; inside a transaction, joins it.
+
+        Accepts the same keyword options as ``engine.run``
+        (``timeout``, ``deadline``, ``cancel``, ``mode``, ``profile``);
+        ``timeout`` defaults to the session's ``default_timeout``.  A
+        statement that fails — including one interrupted by its timeout
+        — unwinds its own changes only; earlier statements of the
+        transaction survive for the eventual commit or rollback.
+        """
+        self._admit()
+        if options.get("timeout") is None:
+            options["timeout"] = self.default_timeout
+        if not self._in_transaction:
+            return self.engine.run(query_text, parameters, **options)
+        self.graph.enter_session_scope(self)
+        try:
+            return self.engine.run(query_text, parameters, **options)
+        finally:
+            self.graph.exit_session_scope()
+
+    # -- snapshot readers -------------------------------------------------
+
+    def snapshot(self):
+        """A read-only view pinned to the current committed version.
+
+        The view stays stable while this or other sessions commit —
+        later mutations preserve their pre-images into the pin
+        copy-on-write, so pinning costs nothing up front and writers
+        only pay while a snapshot is actually live.  Inside a
+        transaction, take the snapshot *before* the first write: it
+        then observes the version current at :meth:`begin` (our own
+        uncommitted writes are invisible to it by construction), and
+        pinning after uncommitted changes exist is refused by the store
+        — a snapshot must correspond to a committed version.  A
+        transactional snapshot is released when its transaction ends;
+        one taken outside lives until the session closes.
+        """
+        self._admit()
+        if self._snapshot is None:
+            pin = self.graph.pin_version()
+            self._snapshot = Snapshot(self, pin, self._in_transaction)
+        return self._snapshot
+
+    def _release_snapshot(self):
+        if self._snapshot is not None:
+            self.graph.release_pin(self._snapshot.pin)
+            self._snapshot = None
+
+
+class Snapshot:
+    """A read-only engine view over one pinned store version.
+
+    While the pin is clean (nothing mutated since it was taken) queries
+    run on the parent engine directly — full index and batch
+    acceleration, zero overlay cost.  The first time the live store
+    diverges, queries transparently switch to an overlay engine reading
+    through :class:`~repro.graph.snapshot.SnapshotGraph`.
+    """
+
+    def __init__(self, session, pin, transactional=False):
+        self.session = session
+        self.pin = pin
+        #: Taken inside a transaction: released when that transaction
+        #: ends (commit or rollback), not at session close.
+        self.transactional = transactional
+        self._overlay_engine = None
+
+    @property
+    def version(self):
+        return self.pin.version
+
+    @property
+    def graph(self):
+        """The graph this snapshot currently reads from."""
+        if self.pin.clean and self.pin.base is self.session.graph:
+            return self.session.graph
+        return self._overlay().graph
+
+    def run(self, query_text, parameters=None, **options):
+        """Run a read-only statement against the pinned version."""
+        options["read_only"] = True
+        parent = self.session.engine
+        if self.pin.clean and self.pin.base is self.session.graph:
+            return parent.run(query_text, parameters, **options)
+        return self._overlay().run(query_text, parameters, **options)
+
+    def _overlay(self):
+        if self._overlay_engine is None:
+            from repro.graph.snapshot import SnapshotGraph
+            from repro.runtime.engine import CypherEngine
+
+            parent = self.session.engine
+            self._overlay_engine = CypherEngine(
+                SnapshotGraph(self.pin),
+                mode=parent.mode,
+                morphism=parent.morphism,
+                functions=parent.functions,
+                morsel_size=parent.morsel_size,
+            )
+        return self._overlay_engine

@@ -13,6 +13,10 @@ harnesses, runnable without pytest or the tests/ tree:
   queries afterwards must actually enter through the index (plan
   inspected, not trusted) and agree with a filter-only run on an
   unindexed clone;
+* a **crash-recovery smoke set** — a transactional session driven into
+  injected faults at a first, interior and commit-flush mutation site;
+  each crash must leave store and index equal to an untouched clone and
+  the engine still answering queries;
 * the **TCK smoke set** — a handful of scenario suites (including the
   morsel-boundary and index features) through the full multi-mode TCK
   runner.
@@ -216,6 +220,89 @@ def _check_index_smoke(failures):
             )
 
 
+#: Session statements for the crash-recovery smoke: every mutation kind,
+#: so a crash point lands in create, set, remove, delete and index
+#: maintenance alike.
+CRASH_SMOKE_STATEMENTS = (
+    "UNWIND range(20, 24) AS i CREATE (:A {v: i, name: 'tx-' + toString(i)})",
+    "MATCH (a:A) WHERE a.v >= 20 SET a.v = a.v + 100, a:Fresh",
+    "MATCH (a:B) WITH a ORDER BY a.name LIMIT 2 REMOVE a.v",
+    "MATCH (a:C) WITH a ORDER BY a.name LIMIT 1 DETACH DELETE a",
+)
+
+
+def _check_crash_recovery(failures):
+    """Fault-injected sessions must leave a usable, unchanged engine.
+
+    An injector arms one crash point at a time — first mutation, an
+    interior site, then the commit flush itself.  Each crash aborts the
+    session; afterwards the store **and** its index must equal an
+    untouched indexed clone (state compared, index probed), and the
+    engine must still run statements.
+    """
+    from repro.graph.store import FaultInjector, InjectedFault
+
+    def fresh():
+        graph = fixture_graph()
+        graph.create_index("A", "v")
+        return graph
+
+    pristine_state = graph_state(fresh())
+    pristine_index = fresh().index_statistics()
+
+    counter = FaultInjector()
+    graph = fresh()
+    with CypherEngine(graph).session() as session:
+        session.begin()
+        previous = graph.install_fault_injector(counter)
+        try:
+            for statement in CRASH_SMOKE_STATEMENTS:
+                session.run(statement)
+            session.commit()
+        finally:
+            graph.install_fault_injector(previous)
+    if counter.total == 0:
+        failures.append("crash smoke: no fault sites reached")
+        return
+
+    # First site, a mid-transaction site, and the final (commit-flush).
+    for ordinal in sorted({1, counter.total // 2, counter.total}):
+        graph = fresh()
+        engine = CypherEngine(graph)
+        injector = FaultInjector(arm_at=ordinal)
+        previous = graph.install_fault_injector(injector)
+        crashed = False
+        try:
+            with engine.session() as session:
+                session.begin()
+                for statement in CRASH_SMOKE_STATEMENTS:
+                    session.run(statement)
+                session.commit()
+        except InjectedFault:
+            crashed = True
+        finally:
+            graph.install_fault_injector(previous)
+        if not crashed:
+            failures.append(
+                "crash smoke: site %d did not fire (%d sites)"
+                % (ordinal, counter.total)
+            )
+            continue
+        if graph_state(graph) != pristine_state:
+            failures.append(
+                "crash smoke: store diverged after crash at site %d" % ordinal
+            )
+        if graph.index_statistics() != pristine_index:
+            failures.append(
+                "crash smoke: index diverged after crash at site %d" % ordinal
+            )
+        survivor = engine.run("MATCH (a:A) RETURN count(*) AS c")
+        if list(survivor.table) != [{"c": 3}]:
+            failures.append(
+                "crash smoke: engine unusable after crash at site %d" % ordinal
+            )
+
+
 def run_selftest(output=print):
     """Run the whole suite; returns the number of failures."""
     failures = []
@@ -236,6 +323,11 @@ def run_selftest(output=print):
     output(
         "index maintenance:    %2d statements, %d index-proven probes"
         % (len(INDEX_SMOKE_STATEMENTS), len(INDEX_SMOKE_PROBES))
+    )
+    _check_crash_recovery(failures)
+    output(
+        "crash recovery:       %2d statements, faults at first/mid/commit "
+        "sites" % len(CRASH_SMOKE_STATEMENTS)
     )
 
     from repro.tck import TckRunner

@@ -39,14 +39,21 @@ def _covered_packages():
     ``graph/store.py`` joined the floor with the property-index
     subsystem (PR 5): its incremental maintenance hooks run on every
     mutation path, so untested store lines are untested write paths.
+    ``runtime/`` joined with transactional sessions (PR 6): the session
+    state machine, cancellation polling and admission gate are exactly
+    the kind of branchy control code that rots silently.
     """
     import repro.graph.store
     import repro.planner
+    import repro.runtime
     import repro.semantics
 
     return {
         "src/repro/planner": os.path.dirname(
             os.path.abspath(repro.planner.__file__)
+        ),
+        "src/repro/runtime": os.path.dirname(
+            os.path.abspath(repro.runtime.__file__)
         ),
         "src/repro/semantics": os.path.dirname(
             os.path.abspath(repro.semantics.__file__)

@@ -29,6 +29,11 @@ The module exposes:
   checks an incrementally-maintained index against a from-scratch
   rebuild — the differential harness runs the same corpus with and
   without indexes present, so pushdown can never change results.
+* the transactional-session corpus (PR 6): ``transaction_scripts``
+  generates begin → mixed updates → commit/rollback step lists over the
+  shared update strategies, :func:`apply_script` replays one through a
+  session, and :func:`committed_statements` flattens it to the
+  auto-commit baseline its final store must equal.
 """
 
 from hypothesis import strategies as st
@@ -587,6 +592,79 @@ def merge_queries(draw):
         )
     )
     return pattern + " RETURN count(*) AS c"
+
+
+@st.composite
+def transaction_scripts(draw):
+    """Multi-statement session scripts: begin → updates → commit/rollback.
+
+    A script is a list of steps — ``("begin",)``, ``("run", statement)``,
+    ``("commit",)``, ``("rollback",)`` — mixing explicit transactions
+    (one to three statements each, committed or rolled back) with
+    auto-committed statements between them.  Statements come from the
+    shared update strategies, so the transactional corpus inherits every
+    mutation shape the single-statement differential already covers.
+    """
+    update = st.one_of([factory() for factory in UPDATE_STRATEGIES.values()])
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        if draw(st.booleans()):
+            steps.append(("begin",))
+            for _ in range(draw(st.integers(min_value=1, max_value=3))):
+                steps.append(("run", draw(update)))
+            steps.append((draw(st.sampled_from(["commit", "rollback"])),))
+        else:
+            steps.append(("run", draw(update)))
+    return steps
+
+
+def committed_statements(script):
+    """The statements a script durably applies, in order.
+
+    Statements of a rolled-back transaction vanish; auto-committed and
+    committed-transaction statements survive.  Replaying this list with
+    plain auto-commit must produce the same final store as the script —
+    the semantic baseline the session differential checks against.
+    """
+    durable = []
+    block = None
+    for step in script:
+        if step[0] == "begin":
+            block = []
+        elif step[0] == "run":
+            (durable if block is None else block).append(step[1])
+        elif step[0] == "commit":
+            durable.extend(block)
+            block = None
+        elif step[0] == "rollback":
+            block = None
+    return durable
+
+
+def apply_script(engine, script, mode=None):
+    """Replay a transaction script through one engine's session API.
+
+    Statement errors don't abort the script: a failing statement keeps
+    its partially applied changes (the engine's documented
+    partial-failure semantics) and the transaction carries on to its
+    commit or rollback — exactly what :func:`committed_statements`'s
+    auto-commit baseline reproduces by also continuing past errors.
+    """
+    from repro.exceptions import CypherError
+
+    with engine.session() as session:
+        for step in script:
+            if step[0] == "begin":
+                session.begin()
+            elif step[0] == "run":
+                try:
+                    session.run(step[1], mode=mode)
+                except CypherError:
+                    pass
+            elif step[0] == "commit":
+                session.commit()
+            elif step[0] == "rollback":
+                session.rollback()
 
 
 #: name -> strategy factory, so harnesses can sweep the whole corpus.

@@ -143,8 +143,8 @@ class TestSelftestSubcommand:
 
         real_run = CypherEngine.run
 
-        def lying_run(self, query_text, parameters=None, mode=None):
-            result = real_run(self, query_text, parameters, mode)
+        def lying_run(self, query_text, parameters=None, mode=None, **options):
+            result = real_run(self, query_text, parameters, mode, **options)
             if mode == "batch" and result.columns:
                 result._table = Table(result.table.fields, [])  # drop rows
             return result
@@ -189,3 +189,91 @@ class TestBenchSubcommand:
         main(["bench", "--output", out])
         assert seen["env"] == out  # visible to the benchmark session...
         assert "BENCH_PIPELINE_PATH" not in os.environ  # ...then restored
+
+
+class TestTransactions:
+    """:begin / :commit / :rollback / :timeout (PR 6)."""
+
+    def test_begin_commit_makes_changes_durable(self):
+        shell, output = make_shell()
+        shell.handle(":begin")
+        shell.handle("CREATE (:P {name: 'Ann'})")
+        shell.handle(":commit")
+        shell.handle("MATCH (p:P) RETURN count(*) AS c")
+        text = output.getvalue()
+        assert "transaction begun" in text
+        assert "transaction committed" in text
+        assert "1" in text.splitlines()[-2]
+
+    def test_rollback_discards_everything_since_begin(self):
+        shell, output = make_shell()
+        shell.handle(":begin")
+        shell.handle("CREATE (:P {name: 'Gone'})")
+        shell.handle("CREATE (:P {name: 'AlsoGone'})")
+        shell.handle(":rollback")
+        assert "transaction rolled back" in output.getvalue()
+        assert shell.engine.graph.node_count() == 0
+
+    def test_commit_without_begin_is_a_one_line_error(self):
+        shell, output = make_shell()
+        shell.handle(":commit")
+        assert "error: no open transaction" in output.getvalue()
+
+    def test_double_begin_is_a_one_line_error(self):
+        shell, output = make_shell()
+        shell.handle(":begin")
+        shell.handle(":begin")
+        assert "error: a transaction is already open" in output.getvalue()
+        shell.handle(":rollback")
+
+    def test_load_refused_during_transaction(self):
+        shell, output = make_shell()
+        shell.handle(":begin")
+        shell.handle(":load somewhere.json")
+        assert ":commit or :rollback before :load" in output.getvalue()
+        shell.handle(":rollback")
+
+    def test_timeout_fires_as_one_line_error_not_traceback(self):
+        shell, output = make_shell()
+        shell.handle("UNWIND range(1, 40) AS i CREATE (:N {v: i})")
+        shell.handle(":timeout 1")
+        shell.handle("MATCH (a:N), (b:N), (c:N), (d:N) RETURN count(*) AS c")
+        text = output.getvalue()
+        assert "timeout set to 1 ms" in text
+        assert "error: query exceeded its time limit" in text
+        assert "Traceback" not in text
+
+    def test_interrupted_write_is_rolled_back(self):
+        shell, output = make_shell()
+        shell.handle("UNWIND range(1, 40) AS i CREATE (:N {v: i})")
+        shell.handle(":timeout 1")
+        shell.handle(
+            "MATCH (a:N), (b:N), (c:N) CREATE (:Cross {v: a.v + b.v + c.v})"
+        )
+        assert "error: query exceeded its time limit" in output.getvalue()
+        shell.handle(":timeout off")
+        shell.handle("MATCH (x:Cross) RETURN count(*) AS c")
+        assert shell.engine.graph.node_count() == 40
+
+    def test_timeout_off_and_status(self):
+        shell, output = make_shell()
+        shell.handle(":timeout")
+        shell.handle(":timeout 250")
+        shell.handle(":timeout")
+        shell.handle(":timeout off")
+        shell.handle(":timeout banana")
+        text = output.getvalue()
+        assert "timeout: unlimited" in text
+        assert "timeout: 250 ms" in text
+        assert "timeout disabled" in text
+        assert "usage: :timeout" in text
+
+    def test_overload_is_a_one_line_error(self):
+        shell, output = make_shell()
+        shell.engine.max_sessions = 1
+        import threading
+
+        shell.engine._admission = threading.BoundedSemaphore(1)
+        with shell.engine.session() as _held:
+            shell.handle(":begin")
+        assert "error: engine is at its 1 in-flight session" in output.getvalue()

@@ -100,3 +100,50 @@ class TestDot:
     def test_unnamed_nodes_get_id_labels(self):
         graph, _ = GraphBuilder().node("x").build()
         assert 'label="n1"' in to_dot(graph)
+
+
+class TestIndexPersistence:
+    """Declared indexes ride along in the JSON document (PR 6)."""
+
+    def make_indexed(self):
+        graph = (
+            GraphBuilder()
+            .node("a1", "Person", name="Ann", age=30)
+            .node("a2", "Person", name="Bob", age=30)
+            .node("a3", "City", name="Oslo")
+            .rel("a1", "LIVES_IN", "a3")
+            .build()[0]
+        )
+        graph.create_index("Person", "age")
+        graph.create_index("Person", "name")
+        graph.create_index("City", "name")
+        return graph
+
+    def test_document_lists_declared_indexes(self):
+        document = graph_to_dict(self.make_indexed())
+        assert document["indexes"] == [
+            {"label": "City", "key": "name"},
+            {"label": "Person", "key": "age"},
+            {"label": "Person", "key": "name"},
+        ]
+
+    def test_round_trip_restores_index_statistics(self):
+        graph = self.make_indexed()
+        loaded = graph_from_dict(graph_to_dict(graph))
+        assert loaded.indexes() == graph.indexes()
+        # save -> load -> index_statistics must equal the live build
+        assert loaded.index_statistics() == graph.index_statistics()
+        for pair in graph.indexes():
+            assert loaded.index_snapshot(*pair) == graph.index_snapshot(*pair)
+
+    def test_file_round_trip_keeps_indexes(self, tmp_path):
+        graph = self.make_indexed()
+        path = str(tmp_path / "indexed.json")
+        dump_json(graph, path)
+        loaded = load_json(path)
+        assert loaded.has_index("Person", "age")
+        assert loaded.index_statistics() == graph.index_statistics()
+
+    def test_no_indexes_key_when_none_declared(self):
+        graph, _ = GraphBuilder().node("x", "L", v=1).build()
+        assert "indexes" not in graph_to_dict(graph)

@@ -337,3 +337,55 @@ class TestSelfLoopDeletion:
             graph.create_relationship(node, node, "LOOP")
         graph.delete_node(node, detach=True)
         assert graph.relationship_count() == 0
+
+
+class TestIndexAliasing:
+    """``copy()`` / ``restore_from`` must never alias index internals.
+
+    Regression guard for PR 6: rollback and snapshot correctness both
+    assume a copied graph's indexes are independent — a shared segment
+    list or postings set would let mutations on one graph corrupt the
+    other's index silently (reads would drift from a rebuild).
+    """
+
+    def make_indexed(self):
+        graph = MemoryGraph()
+        for value in (1, 1, 2, 3):
+            graph.create_node(["L"], {"v": value})
+        graph.create_index("L", "v")
+        return graph
+
+    def test_mutating_the_copy_leaves_the_original_index_alone(self):
+        original = self.make_indexed()
+        before = original.index_snapshot("L", "v")
+        clone = original.copy()
+        clone.create_node(["L"], {"v": 99})
+        for node in list(clone.nodes()):
+            if clone.property_value(node, "v") == 1:
+                clone.set_property(node, "v", 42)
+        assert original.index_snapshot("L", "v") == before
+
+    def test_mutating_the_original_leaves_the_copy_alone(self):
+        original = self.make_indexed()
+        clone = original.copy()
+        before = clone.index_snapshot("L", "v")
+        original.create_node(["L"], {"v": 77})
+        assert clone.index_snapshot("L", "v") == before
+
+    def test_restore_from_detaches_from_the_donor(self):
+        graph = self.make_indexed()
+        donor = graph.copy()
+        graph.restore_from(donor)
+        graph.create_node(["L"], {"v": 123})
+        assert donor.index_lookup("L", "v", 123) == []
+        assert graph.index_lookup("L", "v", 123) != []
+
+    def test_restored_index_equals_a_rebuild(self):
+        graph = self.make_indexed()
+        pristine = graph.copy()
+        graph.create_node(["L"], {"v": 5})
+        graph.restore_from(pristine)
+        rebuilt = graph.copy()
+        assert graph.index_snapshot("L", "v") == rebuilt.index_snapshot(
+            "L", "v"
+        )

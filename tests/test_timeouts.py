@@ -1,0 +1,226 @@
+"""Statement timeouts, cooperative cancellation and the admission gate.
+
+The cancellation contract (PR 6): ``run(timeout=…)`` / ``run(deadline=…)``
+/ ``run(cancel=token)`` interrupt cooperatively — the row engine checks
+between rows (strided), the batch engine at morsel boundaries — and an
+interrupted *write* rolls back atomically before
+:class:`QueryTimeout` / :class:`QueryCancelled` propagates.  The
+admission gate (``max_sessions``) turns overload into
+:class:`EngineOverloadedError` instead of unbounded queueing.
+"""
+
+from time import monotonic
+
+import pytest
+
+from repro.exceptions import (
+    EngineOverloadedError,
+    QueryCancelled,
+    QueryInterrupted,
+    QueryTimeout,
+)
+from repro.functions import default_registry
+from repro.runtime.cancel import CHECK_STRIDE, Cancellation, CancelToken
+from repro.runtime.engine import CypherEngine
+
+from fuzztools import fixture_graph, graph_state
+
+#: A cross product big enough that a millisecond deadline always fires
+#: mid-flight on any machine, yet finishes quickly unlimited.
+SLOW_READ = "MATCH (a), (b), (c), (d) RETURN count(*) AS paths"
+
+
+def tripwire_registry(token, at):
+    """A registry whose ``tripwire(x)`` cancels ``token`` at call #at."""
+    calls = [0]
+
+    def tripwire(context, value):
+        calls[0] += 1
+        if calls[0] == at:
+            token.cancel()
+        return value
+
+    registry = default_registry()
+    registry.register("tripwire", tripwire, min_arity=1, max_arity=1)
+    return registry
+
+
+class TestCancellationPrimitives:
+    def test_build_returns_none_when_unlimited(self):
+        assert Cancellation.build() is None
+
+    def test_timeout_becomes_a_monotonic_deadline(self):
+        cancellation = Cancellation.build(timeout=10.0)
+        assert cancellation.deadline > monotonic()
+        cancellation.poll()  # far in the future: no raise
+
+    def test_earlier_of_timeout_and_deadline_wins(self):
+        soon = monotonic() + 1.0
+        cancellation = Cancellation.build(timeout=100.0, deadline=soon)
+        assert cancellation.deadline == soon
+
+    def test_expired_deadline_raises_timeout(self):
+        cancellation = Cancellation.build(deadline=monotonic() - 1.0)
+        with pytest.raises(QueryTimeout):
+            cancellation.poll()
+
+    def test_cancelled_token_raises_cancelled(self):
+        token = CancelToken()
+        token.cancel()
+        assert token.cancelled
+        cancellation = Cancellation.build(token=token)
+        with pytest.raises(QueryCancelled):
+            cancellation.poll()
+
+    def test_check_is_strided(self):
+        cancellation = Cancellation.build(deadline=monotonic() - 1.0)
+        for _ in range(CHECK_STRIDE - 1):
+            cancellation.check()  # within the stride: no deadline read
+        with pytest.raises(QueryTimeout):
+            cancellation.check()
+
+    def test_interrupts_share_a_base_class(self):
+        assert issubclass(QueryTimeout, QueryInterrupted)
+        assert issubclass(QueryCancelled, QueryInterrupted)
+
+
+class TestReadTimeouts:
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_slow_read_times_out(self, mode):
+        engine = CypherEngine(fixture_graph())
+        with pytest.raises(QueryTimeout):
+            engine.run(SLOW_READ, mode=mode, timeout=0.001)
+
+    def test_interpreter_checks_at_statement_start(self):
+        engine = CypherEngine(fixture_graph())
+        with pytest.raises(QueryTimeout):
+            engine.run(SLOW_READ, mode="interpreter", deadline=monotonic() - 1)
+
+    def test_generous_timeout_does_not_interfere(self):
+        engine = CypherEngine(fixture_graph())
+        result = engine.run(
+            "MATCH (a:A) RETURN count(*) AS c", timeout=60.0
+        )
+        assert list(result.table) == [{"c": 3}]
+
+    def test_pre_cancelled_token_refuses_up_front(self):
+        engine = CypherEngine(fixture_graph())
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            engine.run("RETURN 1 AS x", cancel=token)
+
+    def test_mid_query_cancellation(self):
+        token = CancelToken()
+        engine = CypherEngine(
+            fixture_graph(), functions=tripwire_registry(token, at=50)
+        )
+        with pytest.raises(QueryCancelled):
+            engine.run(
+                "UNWIND range(1, 10000) AS i RETURN sum(tripwire(i)) AS s",
+                cancel=token,
+            )
+
+
+class TestWriteCancellation:
+    def test_cancelled_write_rolls_back_atomically(self):
+        token = CancelToken()
+        graph = fixture_graph()
+        engine = CypherEngine(graph, functions=tripwire_registry(token, at=40))
+        pristine = graph_state(graph)
+        version = graph.version
+        with pytest.raises(QueryCancelled):
+            engine.run(
+                "UNWIND range(1, 500) AS i CREATE (:Partial {v: tripwire(i)})",
+                cancel=token,
+            )
+        assert graph_state(graph) == pristine
+        assert graph.version == version
+
+    def test_cancelled_write_with_index_rolls_back_index(self):
+        token = CancelToken()
+        graph = fixture_graph()
+        graph.create_index("A", "v")
+        engine = CypherEngine(graph, functions=tripwire_registry(token, at=40))
+        before = graph.index_snapshot("A", "v")
+        with pytest.raises(QueryCancelled):
+            engine.run(
+                "UNWIND range(1, 500) AS i CREATE (:A {v: tripwire(i)})",
+                cancel=token,
+            )
+        assert graph.index_snapshot("A", "v") == before
+
+    def test_cancelled_statement_in_session_keeps_earlier_statements(self):
+        token = CancelToken()
+        graph = fixture_graph()
+        engine = CypherEngine(graph, functions=tripwire_registry(token, at=40))
+        with engine.session() as session:
+            session.begin()
+            session.run("CREATE (:Kept {v: 1})")
+            with pytest.raises(QueryCancelled):
+                session.run(
+                    "UNWIND range(1, 500) AS i "
+                    "CREATE (:Partial {v: tripwire(i)})",
+                    cancel=token,
+                )
+            session.commit()
+        kept = engine.run("MATCH (n:Kept) RETURN count(*) AS c")
+        partial = engine.run("MATCH (n:Partial) RETURN count(*) AS c")
+        assert list(kept.table) == [{"c": 1}]
+        assert list(partial.table) == [{"c": 0}]
+
+    def test_session_default_timeout_applies_to_statements(self):
+        engine = CypherEngine(fixture_graph())
+        with engine.session(timeout=0.001) as session:
+            with pytest.raises(QueryTimeout):
+                session.run(SLOW_READ)
+            # per-call override beats the default
+            result = session.run(
+                "MATCH (a:A) RETURN count(*) AS c", timeout=60.0
+            )
+            assert list(result.table) == [{"c": 3}]
+
+
+class TestVarLengthCancellation:
+    def test_variable_length_expand_checks_per_step(self):
+        # A dense graph where *1..6 walks explode combinatorially before
+        # the operator yields: per-step checks are what fire here.
+        engine = CypherEngine()
+        engine.run(
+            "UNWIND range(0, 11) AS i UNWIND range(0, 11) AS j "
+            "CREATE (:H {v: i * 12 + j})"
+        )
+        engine.run(
+            "MATCH (a:H), (b:H) WHERE a.v < b.v AND b.v - a.v <= 13 "
+            "CREATE (a)-[:E]->(b)"
+        )
+        with pytest.raises(QueryTimeout):
+            engine.run(
+                "MATCH (a:H)-[:E*1..6]->(b) RETURN count(*) AS c",
+                timeout=0.005,
+            )
+
+
+class TestOverload:
+    def test_error_names_the_limit(self):
+        engine = CypherEngine(fixture_graph(), max_sessions=3)
+        sessions = [engine.session() for _ in range(3)]
+        for session in sessions:
+            session.__enter__()
+        try:
+            with pytest.raises(EngineOverloadedError) as excinfo:
+                engine.session().__enter__()
+            assert "3" in str(excinfo.value)
+        finally:
+            for session in sessions:
+                session.close()
+
+    def test_admission_timeout_waits_then_refuses(self):
+        engine = CypherEngine(
+            fixture_graph(), max_sessions=1, admission_timeout=0.05
+        )
+        with engine.session() as _held:
+            started = monotonic()
+            with pytest.raises(EngineOverloadedError):
+                engine.session().__enter__()
+            assert monotonic() - started >= 0.04
