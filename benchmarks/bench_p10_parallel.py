@@ -1,0 +1,260 @@
+"""P10: parallel morsel execution vs the serial batch engine.
+
+The exchange splits a claimed plan's source scan into contiguous
+partitions and runs the worker segment on a thread pool
+(:mod:`repro.planner.parallel`).  What that buys depends entirely on
+the interpreter build:
+
+* on GIL-enabled CPython, pure-Python workers serialise on the lock —
+  the pool interleaves but cannot speed up CPU-bound morsels, so the
+  speedup hovers around 1x (the *correctness* of the deterministic
+  merge under real interleaving is what the differential suite
+  exploits);
+* on free-threaded builds (or if morsel kernels ever drop into C), the
+  same machinery scales with cores.
+
+Pins and reports:
+
+* **single-worker overhead ≤ 1.10x serial batch** — unconditional: the
+  degenerate exchange (one partition, inline scheduler) must cost
+  almost nothing, or "parallel by default" would tax small queries;
+* **scan-heavy ≥ 2x at 4 workers** — pinned **only on hosts with ≥ 4
+  CPUs** (``os.cpu_count()``); on smaller hosts (CI containers, this
+  includes single-core boxes where the GIL makes 2x physically
+  impossible) the ratio is still measured and *recorded*, never
+  asserted;
+* **scaling trajectory** — scan/expand/aggregate ratios at 1/2/4
+  workers always land in ``BENCH_pipeline.json`` via the pytest
+  -benchmark entries below, so the near-linear-up-to-core-count claim
+  is checkable wherever the suite runs.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import CypherEngine
+from repro.graph.store import MemoryGraph
+from repro.planner.parallel import plan_supports_parallel
+
+NODES = 20000
+NDV = 50
+
+#: The three workload families the acceptance criteria name.
+WORKLOADS = (
+    (
+        "scan+filter",
+        "MATCH (n:Item) WHERE n.v >= 10 AND n.v < 40 "
+        "RETURN count(*) AS c",
+    ),
+    (
+        "expand",
+        "MATCH (a:Hub)-[:R]->(b) WHERE b.v >= 0 RETURN count(*) AS c",
+    ),
+    (
+        "aggregate",
+        "MATCH (n:Item) RETURN n.v AS v, count(*) AS c, sum(n.v) AS s",
+    ),
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Single-worker exchange overhead budget vs plain serial batch.
+OVERHEAD_BUDGET = 1.10
+
+#: The ≥2x pin only applies where the hardware can physically deliver
+#: it: four workers cannot double throughput on fewer than four cores
+#: (and never will on a GIL build, which the pin implicitly also
+#: documents — free-threaded builds are the target).
+PIN_SPEEDUP = 2.0
+CPUS = os.cpu_count() or 1
+SPEEDUP_PINNED = CPUS >= 4
+
+
+def build_graph():
+    graph = MemoryGraph()
+    transaction = graph.write_transaction()
+    item_ids = transaction.create_nodes(
+        ("Item",),
+        [{"v": i % NDV, "name": "item-%05d" % i} for i in range(NODES)],
+    )
+    # Enough hubs that the expand workload's source scan spans several
+    # partitions at the default morsel size (256).
+    hub_ids = transaction.create_nodes(
+        ("Hub",), [{"v": i} for i in range(1000)]
+    )
+    for position, item in enumerate(item_ids):
+        transaction.create_relationship(
+            hub_ids[position % len(hub_ids)], item, "R"
+        )
+    transaction.commit()
+    return graph
+
+
+def engine_for(workers):
+    graph = build_graph()
+    if workers <= 1:
+        return CypherEngine(graph)
+    return CypherEngine(graph, workers=workers)
+
+
+def _median_time(callable_, repeats=7):
+    callable_()  # warm plan cache and scan caches
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        times.append(time.perf_counter() - started)
+    times.sort()
+    return times[repeats // 2]
+
+
+def _paired_min_ratio(variant, baseline, repeats=9, inner=3):
+    """min-over-samples ratio from interleaved runs (see bench_p9)."""
+    variant()
+    baseline()
+    variant_times, baseline_times = [], []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(inner):
+            variant()
+        middle = time.perf_counter()
+        for _ in range(inner):
+            baseline()
+        finished = time.perf_counter()
+        variant_times.append((middle - started) / inner)
+        baseline_times.append((finished - middle) / inner)
+    variant_seconds = min(variant_times)
+    baseline_seconds = min(baseline_times)
+    return (
+        variant_seconds / max(baseline_seconds, 1e-9),
+        variant_seconds,
+        baseline_seconds,
+    )
+
+
+def test_p10_workloads_are_parallel_claimed_and_agree():
+    """Every workload must really run through the exchange, at every
+    worker count, with records identical to the serial batch engine."""
+    graph = build_graph()
+    serial = CypherEngine(graph)
+    for name, query in WORKLOADS:
+        reference = serial.run(query, mode="batch")
+        assert reference.execution_mode == "batch", name
+        assert plan_supports_parallel(reference.plan), name
+        for workers in WORKER_COUNTS:
+            engine = CypherEngine(graph, workers=workers)
+            result = engine.run(query, mode="parallel")
+            assert result.execution_mode == "parallel", (name, workers)
+            assert result.records == reference.records, (name, workers)
+            info = result.parallelism
+            if workers > 1:
+                assert info["partitions"] > 1, (name, workers, info)
+
+
+def test_p10_single_worker_overhead_within_budget(table_report):
+    """The degenerate exchange must cost ≤ 10% over plain batch."""
+    graph = build_graph()
+    serial = CypherEngine(graph)
+    one = CypherEngine(graph, workers=1)
+    rows = []
+    failures = []
+    for name, query in WORKLOADS:
+        ratio, parallel_seconds, batch_seconds = _paired_min_ratio(
+            lambda q=query: one.run(q, mode="parallel"),
+            lambda q=query: serial.run(q, mode="batch"),
+        )
+        rows.append(
+            (
+                name,
+                "%.3f ms" % (parallel_seconds * 1e3),
+                "%.3f ms" % (batch_seconds * 1e3),
+                "%.3fx" % ratio,
+                "%.2fx budget" % OVERHEAD_BUDGET,
+            )
+        )
+        if ratio > OVERHEAD_BUDGET:
+            failures.append(
+                "%s at %.3fx (budget %.2fx)" % (name, ratio, OVERHEAD_BUDGET)
+            )
+    table_report(
+        "P10 — single-worker exchange vs serial batch (degenerate case)",
+        ["workload", "parallel(1)", "batch", "ratio", "pin"],
+        rows,
+    )
+    assert not failures, "; ".join(failures)
+
+
+def test_p10_parallel_speedup(table_report):
+    """Speedup trajectory at 2 and 4 workers; 2x pin where cores allow."""
+    graph = build_graph()
+    serial = CypherEngine(graph)
+    engines = {
+        workers: CypherEngine(graph, workers=workers)
+        for workers in WORKER_COUNTS
+        if workers > 1
+    }
+    rows = []
+    failures = []
+    for name, query in WORKLOADS:
+        batch_seconds = _median_time(
+            lambda q=query: serial.run(q, mode="batch")
+        )
+        speedups = {}
+        for workers, engine in engines.items():
+            parallel_seconds = _median_time(
+                lambda q=query, e=engine: e.run(q, mode="parallel")
+            )
+            speedups[workers] = batch_seconds / max(parallel_seconds, 1e-9)
+        pinned = name == "scan+filter" and SPEEDUP_PINNED
+        rows.append(
+            (
+                name,
+                "%.3f ms" % (batch_seconds * 1e3),
+                "%.2fx" % speedups[2],
+                "%.2fx" % speedups[4],
+                "%.1fx floor" % PIN_SPEEDUP if pinned
+                else "report (%d cpu(s))" % CPUS,
+            )
+        )
+        if pinned and speedups[4] < PIN_SPEEDUP:
+            failures.append(
+                "%s only %.2fx at 4 workers on %d cpus"
+                % (name, speedups[4], CPUS)
+            )
+    table_report(
+        "P10 — parallel speedup vs serial batch (higher is better)",
+        ["workload", "batch", "2 workers", "4 workers", "pin"],
+        rows,
+    )
+    assert not failures, "; ".join(failures)
+
+
+# -- BENCH_pipeline.json entries -------------------------------------------
+# One benchmark per (workload, workers) cell, plus the serial batch
+# baseline: the recorded medians are what the near-linear-scaling claim
+# is checked against across hosts.
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_p10_scan_benchmark(benchmark, workers):
+    engine = engine_for(workers)
+    mode = "parallel" if workers > 1 else "batch"
+    result = benchmark(engine.run, WORKLOADS[0][1], mode=mode)
+    assert result.value("c") == NODES * 30 // NDV
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_p10_expand_benchmark(benchmark, workers):
+    engine = engine_for(workers)
+    mode = "parallel" if workers > 1 else "batch"
+    result = benchmark(engine.run, WORKLOADS[1][1], mode=mode)
+    assert result.value("c") == NODES
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_p10_aggregate_benchmark(benchmark, workers):
+    engine = engine_for(workers)
+    mode = "parallel" if workers > 1 else "batch"
+    result = benchmark(engine.run, WORKLOADS[2][1], mode=mode)
+    assert len(result) == NDV

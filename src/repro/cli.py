@@ -20,7 +20,8 @@ execute as Cypher; special commands start with ``:``:
     :index              list property indexes
     :index :L(k)        create a property index on (label L, key k)
     :index drop :L(k)   drop it again
-    :mode <m>           auto | interpreter | planner | row | batch
+    :mode <m>           auto | interpreter | planner | row | batch | parallel
+    :workers <n>        worker count for parallel morsel execution
     :begin              open a transaction; statements accumulate
     :commit             make the transaction's changes visible atomically
     :rollback           undo everything since :begin
@@ -60,11 +61,28 @@ _INDEX_SPEC = re.compile(r"^:?(\w+)\((\w+)\)$")
 
 
 def _access_path_lines(access_paths):
-    """Per-scan ``estimated vs actual`` report lines for profiled runs."""
+    """Per-scan ``estimated vs actual`` report lines for profiled runs.
+
+    Parallel executions append an ``Exchange`` record; its per-worker
+    morsel counts are rendered so a silent serial fallback (one
+    partition where several were expected) is visible at the shell.
+    """
     if not access_paths:
         return ["access paths: none (no scan operators)"]
     lines = ["access paths (estimated vs actual rows):"]
     for record in access_paths:
+        if record.get("operator") == "Exchange":
+            lines.append(
+                "  %-12s via %-24s %d partition(s), "
+                "rows/worker=%s, morsels/worker=%s" % (
+                    record["variable"],
+                    record["entry"],
+                    record["partitions"],
+                    record["worker_rows"],
+                    record["worker_morsels"],
+                )
+            )
+            continue
         estimated = record["estimated_rows"]
         lines.append(
             "  %-12s via %-24s est≈%s actual=%d" % (
@@ -119,13 +137,25 @@ class Shell:
         elif command == ":index":
             self._index(argument)
         elif command == ":mode":
-            if argument in ("auto", "interpreter", "planner", "row", "batch"):
+            if argument in (
+                "auto", "interpreter", "planner", "row", "batch", "parallel"
+            ):
                 self.engine.mode = argument
                 self.write("mode set to %s" % argument)
             else:
                 self.write(
-                    "usage: :mode auto|interpreter|planner|row|batch"
+                    "usage: :mode auto|interpreter|planner|row|batch|parallel"
                 )
+        elif command == ":workers":
+            try:
+                workers = int(argument)
+                if workers < 1:
+                    raise ValueError
+            except ValueError:
+                self.write("usage: :workers <positive integer>")
+                return
+            self.engine.workers = workers
+            self.write("workers set to %d" % workers)
         elif command == ":begin":
             self._begin()
         elif command == ":commit":
@@ -419,11 +449,28 @@ def explain_main(argv=None):
         "--profile",
         action="store_true",
         help="also execute the query and report estimated vs actual "
-        "rows per access path",
+        "rows per access path (plus per-worker morsel counts when "
+        "parallel)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for parallel morsel execution (default 1)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=("thread", "serial"),
+        help="scheduler backend when --workers > 1 (default: thread)",
     )
     arguments = parser.parse_args(argv)
     graph = load_json(arguments.graph) if arguments.graph else MemoryGraph()
-    engine = CypherEngine(graph)
+    engine = CypherEngine(
+        graph,
+        mode="parallel" if arguments.workers > 1 else "auto",
+        workers=arguments.workers,
+        scheduler=arguments.scheduler,
+    )
     for spec in arguments.index:
         match = _INDEX_SPEC.match(spec)
         if match is None:
@@ -487,12 +534,28 @@ def main(argv=None):
     parser.add_argument("--query", help="run one query and exit")
     parser.add_argument(
         "--mode",
-        choices=("auto", "interpreter", "planner", "row", "batch"),
+        choices=("auto", "interpreter", "planner", "row", "batch", "parallel"),
         default="auto",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for parallel morsel execution (default 1)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=("thread", "serial"),
+        help="scheduler backend when --workers > 1 (default: thread)",
     )
     arguments = parser.parse_args(argv)
     graph = load_json(arguments.graph) if arguments.graph else MemoryGraph()
-    engine = CypherEngine(graph, mode=arguments.mode)
+    engine = CypherEngine(
+        graph,
+        mode=arguments.mode,
+        workers=arguments.workers,
+        scheduler=arguments.scheduler,
+    )
     shell = Shell(engine)
     if arguments.query:
         shell.handle(arguments.query)

@@ -35,10 +35,11 @@ for fallback expressions).
 names exactly the operators this engine claims; the engine picks batch
 execution for any read plan inside the claim and records the choice in
 ``QueryResult.execution_mode``, and the TCK runner asserts a claimed
-plan never silently degrades to row mode.  Outside the claim — variable
-length expands, OPTIONAL MATCH, UNION, named paths, every write operator
-and its Eager barriers — execution stays row-wise: writes batch through
-the store transaction already, and per-row snapshot semantics are
+plan never silently degrades to row mode.  Variable-length expands are
+inside the claim since the frontier-BFS implementation below; outside
+it — OPTIONAL MATCH, UNION, named paths, every write operator and its
+Eager barriers — execution stays row-wise: writes batch through the
+store transaction already, and per-row snapshot semantics are
 exactly what the barriers guarantee.  The differential harness
 (``tests/test_batched_differential.py``) holds all three executors —
 interpreter, row, batch — to identical result bags and byte-identical
@@ -112,7 +113,7 @@ class BatchContext(ExecutionContext):
     ):
         super().__init__(
             graph, parameters, functions, morphism, slots, access_log,
-            cancel,
+            cancel, read_only=True,  # batch plans never write: CSE is safe
         )
         self.columns = ColumnCompiler(self.compiler)
         self.morsel_size = morsel_size or DEFAULT_MORSEL_SIZE
@@ -458,6 +459,182 @@ def _compile_expand(op, ctx):
             if not into and to_slot is not None:
                 out[to_slot] = targets
             yield len(origins), out
+
+    return run
+
+
+def _compile_var_length_expand(op, ctx):
+    """Frontier-BFS batch implementation of ``*m..n`` expansion.
+
+    The row engine walks a per-row recursive DFS; here the whole input
+    batch advances **level-synchronously**: one
+    :meth:`~repro.graph.store.MemoryGraph.expand_batch` call per depth
+    expands the entire frontier at once.  Emission order is observable
+    (``collect()``, ``LIMIT`` without ``ORDER BY``), so each frontier
+    entry carries a *DFS key* — the tuple of adjacency positions taken
+    along its walk — and the collected emissions are sorted by
+    ``(driving row, key)`` before yielding: a prefix tuple sorts before
+    every extension and sibling positions sort in adjacency order, which
+    is exactly the DFS pre-order the row engine produces (the store
+    guarantees ``expand_batch`` enumerates each source in the same
+    order as the per-row accessors).
+
+    Memory trades against the row path: the DFS holds one walk, the BFS
+    holds a whole level — bounded by the same traversal cap and
+    uniqueness pruning that bound the row engine's result set.
+    """
+    child = _compile(op.child, ctx)
+    slots = ctx.slots
+    from_slot = slots[op.from_variable]
+    rel_slot = slots[op.rel_variable] if op.rel_variable is not None else None
+    to_slot = slots[op.to_variable] if op.to_variable is not None else None
+    direction = _direction_of(op.rel_pattern)
+    types = op.rel_pattern.resolved_types
+    conflicts = _compile_conflicts(ctx, op.unique_with)
+    rel_ok = _compile_rel_ok(ctx, op.rel_pattern)
+    node_ok = _compile_node_ok(ctx, op.node_pattern)
+    into = op.into
+    low = op.low
+    kernel = ctx.kernel
+    morphism = kernel.morphism
+    check_unique = bool(morphism.forbids_repeated_relationships)
+    check_nodes = bool(morphism.forbids_repeated_nodes)
+    unique_node_slots = tuple(slots[name] for name in op.unique_nodes)
+    unique_segment_slots = tuple(
+        (slots[from_name], slots[rel_name])
+        for from_name, rel_name in op.unique_segments
+    )
+    other_end = ctx.graph.other_end
+    cap = kernel.traversal_cap(op.high)
+    cancel = ctx.cancel
+    expand_batch = ctx.graph.expand_batch
+    width = len(slots)
+    morsel = ctx.morsel_size
+    # The per-walk checks that read the driving row's other bindings;
+    # label-only target checks pass row=None, like the rigid Expand.
+    need_row = (
+        (check_unique and conflicts is not None)
+        or rel_ok is not None
+        or check_nodes
+        or (node_ok is not None and bool(op.node_pattern.properties))
+    )
+
+    def run(argument):
+        for n, cols in child(argument):
+            source_col = cols[from_slot]
+            if source_col is None:
+                continue
+            to_col = cols[to_slot] if into else None
+            if into and to_col is None:
+                continue  # every comparison against MISSING fails
+            bound = _bound_columns(cols) if need_row else None
+            rows = {}
+
+            def row_of(origin):
+                row = rows.get(origin)
+                if row is None:
+                    rows[origin] = row = _materialize(
+                        cols, bound, origin, width
+                    )
+                return row
+
+            emitted = []
+
+            def emit(origin, key, node, rels):
+                if into and to_col[origin] != node:
+                    return
+                if node_ok is not None and not node_ok(
+                    node, row_of(origin) if need_row else None
+                ):
+                    return
+                emitted.append((origin, key, node, rels))
+
+            # Frontier entries: (origin, dfs_key, node, walk_rels,
+            # walk_nodes) — the last two are the walk's own additions;
+            # the uniqueness seed per driving row stays shared.
+            seeds = {}
+            frontier = []
+            for origin in range(n):
+                source = source_col[origin]
+                if not isinstance(source, NodeId):
+                    continue
+                if check_nodes:
+                    seeds[origin] = kernel.visited_nodes(
+                        unique_node_slots, unique_segment_slots,
+                        row_of(origin), other_end,
+                    )
+                frontier.append((origin, (), source, (), ()))
+            if low == 0:
+                for origin, key, node, rels, _nodes in frontier:
+                    emit(origin, key, node, rels)
+            taken = 0
+            while frontier:
+                if cap is not None and taken >= cap:
+                    break  # level-cap walks are emitted, never expanded
+                taken += 1
+                origins_, rels_, targets_ = expand_batch(
+                    [entry[2] for entry in frontier], direction, types
+                )
+                next_frontier = []
+                last_parent = -1
+                position = 0
+                for step in range(len(origins_)):
+                    if cancel is not None:
+                        # Per candidate step: the frontier can explode
+                        # combinatorially between morsel boundaries.
+                        cancel.check()
+                    parent = origins_[step]
+                    if parent != last_parent:
+                        last_parent = parent
+                        position = 0
+                    else:
+                        position += 1
+                    rel = rels_[step]
+                    target = targets_[step]
+                    origin, key, _node, walk_rels, walk_nodes = (
+                        frontier[parent]
+                    )
+                    if check_unique:
+                        if rel in walk_rels:
+                            continue
+                        if conflicts is not None and conflicts(
+                            rel, row_of(origin)
+                        ):
+                            continue
+                    if rel_ok is not None and not rel_ok(
+                        rel, row_of(origin)
+                    ):
+                        continue
+                    if check_nodes and (
+                        target in seeds[origin] or target in walk_nodes
+                    ):
+                        continue
+                    child_key = key + (position,)
+                    child_rels = walk_rels + (rel,)
+                    child_nodes = (
+                        walk_nodes + (target,) if check_nodes else ()
+                    )
+                    if taken >= low:
+                        emit(origin, child_key, target, child_rels)
+                    next_frontier.append(
+                        (origin, child_key, target, child_rels, child_nodes)
+                    )
+                frontier = next_frontier
+            if not emitted:
+                continue
+            # (origin, dfs_key) is unique per emission, so the plain
+            # tuple sort never reaches the node/rels elements.
+            emitted.sort()
+            total = len(emitted)
+            for start in range(0, total, morsel):
+                block = emitted[start:start + morsel]
+                indices = [entry[0] for entry in block]
+                out = _select(cols, indices)
+                if rel_slot is not None:
+                    out[rel_slot] = [list(entry[3]) for entry in block]
+                if not into and to_slot is not None:
+                    out[to_slot] = [entry[2] for entry in block]
+                yield len(block), out
 
     return run
 
@@ -972,6 +1149,7 @@ _COMPILERS = {
     lg.IndexRangeScan: _compile_index_range_scan,
     lg.NodeCheck: _compile_node_check,
     lg.Expand: _compile_expand,
+    lg.VarLengthExpand: _compile_var_length_expand,
     lg.Filter: _compile_filter,
     lg.ExtendedProject: _compile_project,
     lg.Strip: _compile_strip,

@@ -56,7 +56,7 @@ class ExecutionContext:
 
     def __init__(
         self, graph, parameters=None, functions=None, morphism=None,
-        slots=None, access_log=None, cancel=None,
+        slots=None, access_log=None, cancel=None, read_only=False,
     ):
         self.graph = graph
         #: A :class:`~repro.runtime.cancel.Cancellation` or None.  When
@@ -70,7 +70,11 @@ class ExecutionContext:
         )
         self.kernel = UniquenessKernel(self.evaluator.morphism)
         self.slots = slots if slots is not None else SlotMap()
-        self.compiler = ExpressionCompiler(self.evaluator, self.slots)
+        #: ``read_only`` unlocks the compiler's property-read CSE: safe
+        #: exactly when no operator of this execution mutates the store.
+        self.compiler = ExpressionCompiler(
+            self.evaluator, self.slots, read_only=read_only
+        )
         #: When profiling, a caller-owned list each scan operator appends
         #: its access-path record to: ``{"operator", "variable", "entry",
         #: "estimated_rows", "actual_rows"}``.  None (the default) keeps
@@ -102,7 +106,7 @@ class ExecutionContext:
 
 def execute_plan(
     plan, graph, parameters=None, functions=None, morphism=None,
-    access_log=None, cancel=None,
+    access_log=None, cancel=None, read_only=False,
 ):
     """Run a logical plan to completion; returns a Table over its fields.
 
@@ -117,7 +121,8 @@ def execute_plan(
     """
     slots = SlotMap.from_plan(plan)
     context = ExecutionContext(
-        graph, parameters, functions, morphism, slots, access_log, cancel
+        graph, parameters, functions, morphism, slots, access_log, cancel,
+        read_only,
     )
     source = _compile(plan, context)
     fields = plan.fields

@@ -20,10 +20,10 @@ from repro.semantics.analysis import check_query
 from repro.semantics.morphism import EDGE_ISOMORPHISM
 from repro.semantics.query import QueryState, run_query
 
-_MODES = ("auto", "interpreter", "planner", "row", "batch")
+_MODES = ("auto", "interpreter", "planner", "row", "batch", "parallel")
 
 #: Modes that run (or may run) the slotted planner.
-_PLANNER_MODES = ("auto", "planner", "row", "batch")
+_PLANNER_MODES = ("auto", "planner", "row", "batch", "parallel")
 
 
 def _is_updating(query):
@@ -64,6 +64,23 @@ class CypherEngine:
     morsel_size:
         Rows per batch on the vectorised path (default
         :data:`~repro.planner.batch.DEFAULT_MORSEL_SIZE`).
+    workers:
+        Worker count for parallel morsel execution (default 1 —
+        serial).  With more than one worker, ``auto`` mode fans
+        parallel-claimed read plans out across a scheduler whenever the
+        cost model estimates the source scan above
+        ``parallel_threshold`` rows; ``mode="parallel"`` pins the
+        exchange regardless of size (for differential testing, like
+        ``"row"`` and ``"batch"``).
+    scheduler:
+        Scheduler backend for parallel execution: ``"thread"``,
+        ``"serial"``, a :class:`~repro.runtime.scheduler.Scheduler`
+        instance, or None to pick by worker count.
+    parallel_threshold:
+        Minimum *estimated* source-scan rows before ``auto`` mode
+        parallelises (default :data:`~repro.planner.parallel.
+        DEFAULT_PARALLEL_THRESHOLD`); small inputs stay serial because
+        fan-out cost would dominate.
     max_sessions:
         The admission gate: at most this many sessions in flight at
         once (default 32).
@@ -83,6 +100,9 @@ class CypherEngine:
         rewrite=True,
         schema=None,
         morsel_size=None,
+        workers=None,
+        scheduler=None,
+        parallel_threshold=None,
         max_sessions=32,
         admission_timeout=0.0,
     ):
@@ -96,6 +116,9 @@ class CypherEngine:
         self.rewrite = rewrite
         self.schema = schema
         self.morsel_size = morsel_size
+        self.workers = max(1, int(workers)) if workers else 1
+        self.scheduler = scheduler
+        self.parallel_threshold = parallel_threshold
         self.max_sessions = max_sessions
         self.admission_timeout = admission_timeout
         #: Bounded admission: sessions acquire a slot on first use and
@@ -297,6 +320,19 @@ class CypherEngine:
         # strategy its runs will actually use (an interpreter-pinned
         # engine still reports the hypothetical planner strategy).
         mode = self._pick_execution_mode(plan, updating, self.mode)
+        if mode == "parallel":
+            from repro.planner.parallel import describe_parallel
+            from repro.runtime.scheduler import get_scheduler
+
+            scheduler = get_scheduler(self.scheduler, self.workers)
+            shown = describe_parallel(
+                plan,
+                self.workers,
+                scheduler_name=scheduler.name,
+                graph=self.graph,
+                morsel_size=self.morsel_size,
+            )
+            return ("planner", None, shown.describe(), cache_info, mode)
         return ("planner", None, plan.describe(), cache_info, mode)
 
     def plan_cache_info(self):
@@ -331,7 +367,7 @@ class CypherEngine:
         )
 
     def _pick_execution_mode(self, plan, updating, mode="auto"):
-        """``"batch"`` or ``"row"`` for one planned execution.
+        """``"parallel"``, ``"batch"`` or ``"row"`` for one execution.
 
         Batch execution is the default wherever the batch engine claims
         the plan: a read-only plan whose operators all have batch
@@ -339,21 +375,70 @@ class CypherEngine:
         Write plans (and their Eager barriers) always run row-wise —
         their mutations already batch through the store transaction.
         ``mode="row"`` pins row execution for differential testing.
+
+        Parallel execution layers on top of the batch claim: with
+        ``workers > 1`` and a plan inside the
+        :func:`~repro.planner.parallel.plan_supports_parallel` claim,
+        ``auto`` mode fans out when the cost model estimates the source
+        scan at or above ``parallel_threshold`` rows — below it the
+        per-task compile cost would eat the win.  ``mode="parallel"``
+        pins the exchange for any claimed plan regardless of size (the
+        no-silent-serial guarantee the differential tests rely on); an
+        unclaimed plan degrades to ``"batch"``/``"row"`` exactly as
+        ``"batch"`` mode would.
         """
         if mode == "row" or updating:
             return "row"
         from repro.planner.batch import graph_supports_batch
         from repro.planner.batch import plan_supports_batch
 
-        if plan_supports_batch(plan) and graph_supports_batch(self.graph):
-            return "batch"
-        return "row"
+        if not (plan_supports_batch(plan) and graph_supports_batch(self.graph)):
+            return "row"
+        from repro.planner.parallel import plan_supports_parallel
+
+        if mode == "parallel":
+            return "parallel" if plan_supports_parallel(plan) else "batch"
+        if mode == "auto" and self.workers > 1 and plan_supports_parallel(plan):
+            from repro.planner.cost import estimated_source_rows
+            from repro.planner.parallel import DEFAULT_PARALLEL_THRESHOLD
+
+            threshold = self.parallel_threshold
+            if threshold is None:
+                threshold = DEFAULT_PARALLEL_THRESHOLD
+            estimate = estimated_source_rows(plan, self.graph)
+            if estimate is not None and estimate >= threshold:
+                return "parallel"
+        return "batch"
 
     def _execute_planned(
         self, query_text, plan, parameters, updating, mode, access_log=None,
         cancel=None,
     ):
         execution_mode = self._pick_execution_mode(plan, updating, mode)
+        if execution_mode == "parallel":
+            from repro.planner.parallel import execute_plan_parallel
+            from repro.runtime.scheduler import get_scheduler
+
+            table, parallelism = execute_plan_parallel(
+                plan,
+                self.graph,
+                parameters=parameters,
+                functions=self.functions,
+                morphism=self.morphism,
+                morsel_size=self.morsel_size,
+                access_log=access_log,
+                cancel=cancel,
+                scheduler=get_scheduler(self.scheduler, self.workers),
+                workers=self.workers,
+            )
+            return QueryResult(
+                table,
+                plan=plan,
+                executed_by="planner",
+                execution_mode="parallel",
+                access_paths=access_log,
+                parallelism=parallelism,
+            )
         if execution_mode == "batch":
             from repro.planner.batch import execute_plan_batched
 
@@ -385,6 +470,9 @@ class CypherEngine:
                 morphism=self.morphism,
                 access_log=access_log,
                 cancel=cancel,
+                # Read-only statements unlock the compiler's shared,
+                # memoised property readers (CSE); writes must re-read.
+                read_only=not updating,
             )
             if updating:
                 # The statement's own version bump must not evict the

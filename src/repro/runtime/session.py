@@ -245,5 +245,8 @@ class Snapshot:
                 morphism=parent.morphism,
                 functions=parent.functions,
                 morsel_size=parent.morsel_size,
+                workers=parent.workers,
+                scheduler=parent.scheduler,
+                parallel_threshold=parent.parallel_threshold,
             )
         return self._overlay_engine

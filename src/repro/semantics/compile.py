@@ -108,13 +108,27 @@ class ExpressionCompiler:
     The evaluator supplies the graph, parameters, function registry and
     the fallback path; the slot map supplies variable positions and the
     slot-row → record conversion the fallback needs.
+
+    ``read_only=True`` enables common-subexpression elimination on
+    property reads (the :class:`ColumnCompiler` below has always done
+    this; the row path is at parity now): every ``n.key`` over a plain
+    variable compiles to *one shared closure* per ``(variable, key)``
+    pair, and that closure memoises its last ``(subject, result)`` —
+    compared by identity, so a predicate and a projection both touching
+    ``n.age`` hit the store once per row, not once per occurrence.  The
+    memo is only sound when nothing mutates properties mid-statement,
+    hence the flag: write plans keep the uncached closure.
     """
 
-    def __init__(self, evaluator, slots):
+    def __init__(self, evaluator, slots, read_only=False):
         self.evaluator = evaluator
         self.slots = slots
         self.graph = evaluator.graph
+        self.read_only = read_only
         self._cache = {}
+        #: Shared property-read closures, keyed ``(variable, key)``;
+        #: only populated under ``read_only``.
+        self._property_readers = {}
 
     # ------------------------------------------------------------------
 
@@ -215,12 +229,23 @@ class ExpressionCompiler:
     # -- maps, properties --------------------------------------------------
 
     def _property_access(self, node):
+        shareable = self.read_only and isinstance(node.subject, ex.Variable)
+        if shareable:
+            reader_key = (node.subject.name, node.key)
+            shared = self._property_readers.get(reader_key)
+            if shared is not None:
+                return shared
+        prop = self._build_property_access(node, memoise=shareable)
+        if shareable:
+            self._property_readers[reader_key] = prop
+        return prop
+
+    def _build_property_access(self, node, memoise=False):
         subject = self.compile(node.subject)
         key = node.key
         property_value = self.graph.property_value
 
-        def prop(row):
-            value = subject(row)
+        def read(value):
             if value is None:
                 return None
             if isinstance(value, (NodeId, RelId)):
@@ -234,7 +259,28 @@ class ExpressionCompiler:
                 "cannot access property %r on %r" % (key, value)
             )
 
-        return prop
+        if not memoise:
+            def prop(row):
+                return read(subject(row))
+
+            return prop
+
+        # Last-value memo: within a read-only statement the same subject
+        # object always yields the same property value, and consecutive
+        # occurrences in one row share the same NodeId object, so an
+        # identity check replaces the second store lookup.
+        memo = [MISSING, None]
+
+        def memoised(row):
+            value = subject(row)
+            if value is memo[0]:
+                return memo[1]
+            result = read(value)
+            memo[0] = value
+            memo[1] = result
+            return result
+
+        return memoised
 
     def _map_literal(self, node):
         items = tuple((key, self.compile(value)) for key, value in node.items)

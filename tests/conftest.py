@@ -41,7 +41,11 @@ def _covered_packages():
     mutation path, so untested store lines are untested write paths.
     ``runtime/`` joined with transactional sessions (PR 6): the session
     state machine, cancellation polling and admission gate are exactly
-    the kind of branchy control code that rots silently.
+    the kind of branchy control code that rots silently.  Parallel
+    morsel execution (PR 7) lands inside these same roots —
+    ``runtime/scheduler.py`` and ``planner/parallel.py`` are under the
+    floor automatically, which is the point of tracing directories
+    rather than files.
     """
     import repro.graph.store
     import repro.planner

@@ -1,7 +1,7 @@
-"""Differential harness: interpreter ≡ row planner ≡ batch planner.
+"""Differential harness: interpreter ≡ row ≡ batch ≡ parallel planner.
 
 Runs the *full* fuzz corpus (reads and updates, same generators as
-``test_fuzz_queries`` via :mod:`fuzztools`) through all three executors
+``test_fuzz_queries`` via :mod:`fuzztools`) through all four executors
 and holds them to:
 
 * **identical result bags** — duplicates included, on every query;
@@ -14,15 +14,24 @@ and holds them to:
   execution is requested (their mutations batch through the store
   transaction instead).
 
-This is the trust anchor for every future scaling PR: sharded or
-concurrent execution modes get added to this same harness.
+The parallel executor is held to a *stronger* bar than bag equality:
+every read runs at several worker counts and morsel sizes
+(:data:`PARALLEL_CONFIGS`), and a parallel-claimed plan
+(:func:`repro.planner.parallel.plan_supports_parallel`) must produce
+**record-identical output, order included**, to the serial batch engine
+— the deterministic-merge guarantee — while its published
+``parallelism`` record proves the run really partitioned (never silent
+serial).  Merge determinism across *runs* and reads under snapshot pins
+get their own test classes below.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import CypherEngine
 from repro.planner.batch import plan_supports_batch
+from repro.planner.parallel import plan_supports_parallel
 
 from fuzztools import (
     GRAPH,
@@ -42,12 +51,15 @@ from fuzztools import (
 )
 
 
+#: ``(workers, morsel_size)`` grid for the parallel sweep: the single
+#: worker proves the degenerate case, the small morsel sizes force the
+#: 9-node corpus graph into several partitions per run.
+PARALLEL_CONFIGS = ((1, 7), (2, 4), (4, 4))
+
+
 def _assert_read_differential(query, morphism=None):
-    engine = (
-        CypherEngine(GRAPH)
-        if morphism is None
-        else CypherEngine(GRAPH, morphism=MORPHISMS[morphism])
-    )
+    kwargs = {} if morphism is None else {"morphism": MORPHISMS[morphism]}
+    engine = CypherEngine(GRAPH, **kwargs)
     interpreted = engine.run(query, mode="interpreter")
     row = engine.run(query, mode="row")
     batch = engine.run(query, mode="batch")
@@ -60,6 +72,25 @@ def _assert_read_differential(query, morphism=None):
         assert batch.execution_mode == "batch", query
     assert interpreted.table.same_bag(row.table), query
     assert interpreted.table.same_bag(batch.table), query
+    for workers, morsel_size in PARALLEL_CONFIGS:
+        parallel_engine = CypherEngine(
+            GRAPH, workers=workers, morsel_size=morsel_size, **kwargs
+        )
+        parallel = parallel_engine.run(query, mode="parallel")
+        assert parallel.executed_by == "planner", (query, workers)
+        assert interpreted.table.same_bag(parallel.table), (query, workers)
+        if not plan_supports_parallel(parallel.plan):
+            continue
+        # Claimed plans must really run through the exchange, with the
+        # exact record order of the serial batch engine (the
+        # deterministic-merge contract) and — given enough source rows
+        # — more than one partition (no silent serial).
+        assert parallel.execution_mode == "parallel", (query, workers)
+        assert parallel.records == batch.records, (query, workers)
+        info = parallel.parallelism
+        assert info["workers"] == workers, (query, workers)
+        if workers > 1 and info["source_rows"] >= 2 * morsel_size:
+            assert info["partitions"] > 1, (query, workers, info)
 
 
 def _assert_update_differential(query):
@@ -194,6 +225,8 @@ class TestBatchClaimSweep:
             ),
             "aggregate": "MATCH (n) RETURN n.v AS v, count(*) AS c",
             "top_k": "MATCH (n) RETURN n.v AS v ORDER BY v DESC LIMIT 3",
+            # In the claim since the frontier-BFS batch implementation.
+            "var_length": "MATCH (a)-[:R*1..2]->(b) RETURN count(*) AS n",
         }
         assert set(READ_STRATEGIES) >= {"match", "two_hop", "pipeline"}
         for name, query in samples.items():
@@ -203,7 +236,6 @@ class TestBatchClaimSweep:
     def test_unsupported_shapes_report_row_mode(self):
         engine = CypherEngine(GRAPH)
         for query in (
-            "MATCH (a)-[:R*1..2]->(b) RETURN count(*) AS n",  # var-length
             "MATCH p = (a)-[:R]->(b) RETURN length(p) AS l",  # named path
             "MATCH (a:A) OPTIONAL MATCH (a)-[:S]->(c) RETURN a, c",
             "RETURN 1 AS x UNION RETURN 2 AS x",
@@ -211,3 +243,82 @@ class TestBatchClaimSweep:
             result = engine.run(query, mode="batch")
             assert result.executed_by == "planner", query
             assert result.execution_mode == "row", query
+
+
+#: Fixed shapes exercising each deterministic merge strategy.
+_MERGE_QUERIES = (
+    ("ordered", "MATCH (a)-[:R]->(b) RETURN a.v AS av, b.v AS bv"),
+    ("aggregate", "MATCH (n) RETURN n.v AS v, count(*) AS c, collect(n.w) AS ws"),
+    ("sort", "MATCH (n) RETURN n.v AS v, n.w AS w ORDER BY n.v DESC, n.w"),
+    ("top", "MATCH (n) RETURN n.v AS v ORDER BY n.v LIMIT 4"),
+    ("distinct", "MATCH (n) RETURN DISTINCT n.v AS v"),
+)
+
+
+class TestParallelMergeDeterminism:
+    """Same records, same order, every run, every worker count."""
+
+    @pytest.mark.parametrize("workers,morsel_size", PARALLEL_CONFIGS)
+    @pytest.mark.parametrize(
+        "merge,query", _MERGE_QUERIES, ids=[m for m, _q in _MERGE_QUERIES]
+    )
+    def test_merge_is_deterministic_across_runs(
+        self, merge, query, workers, morsel_size
+    ):
+        serial = CypherEngine(GRAPH).run(query, mode="batch")
+        engine = CypherEngine(GRAPH, workers=workers, morsel_size=morsel_size)
+        first = engine.run(query, mode="parallel")
+        second = engine.run(query, mode="parallel")
+        assert first.execution_mode == "parallel"
+        assert first.parallelism["merge"] == merge
+        assert first.records == second.records
+        assert first.records == serial.records
+
+    def test_claimed_plans_never_run_silent_serial(self):
+        """Multi-worker configs really partition and really leave the
+        calling thread — the published-claim proof."""
+        import threading
+
+        engine = CypherEngine(GRAPH, workers=4, morsel_size=2)
+        for _merge, query in _MERGE_QUERIES:
+            result = engine.run(query, mode="parallel")
+            info = result.parallelism
+            assert info["partitions"] > 1, (query, info)
+            assert any(
+                ident != threading.get_ident()
+                for ident in info["worker_threads"]
+            ), (query, info)
+
+
+class TestParallelSnapshotReads:
+    """Workers read one pinned version, never a mid-transaction state."""
+
+    def test_parallel_snapshot_ignores_concurrent_commits(self):
+        graph = GRAPH.copy()
+        engine = CypherEngine(graph, workers=4, morsel_size=2)
+        with engine.session() as session:
+            snapshot = session.snapshot()
+            before = snapshot.run("MATCH (n) RETURN count(*) AS c", mode="parallel")
+            engine.run("CREATE (:Zed {v: 1})")  # commits a new version
+            after = snapshot.run("MATCH (n) RETURN count(*) AS c", mode="parallel")
+            assert after.execution_mode == "parallel"
+            assert after.parallelism["partitions"] > 1
+            assert before.value() == after.value()
+        assert engine.run("MATCH (n) RETURN count(*) AS c").value() == before.value() + 1
+
+    def test_parallel_snapshot_invisible_to_uncommitted_writes(self):
+        graph = GRAPH.copy()
+        engine = CypherEngine(graph, workers=4, morsel_size=2)
+        baseline = engine.run("MATCH (n) RETURN count(*) AS c").value()
+        with engine.session() as writer:
+            writer.begin()
+            with engine.session() as reader:
+                snapshot = reader.snapshot()
+                writer.run("CREATE (:Zed {v: 1})")  # uncommitted
+                seen = snapshot.run(
+                    "MATCH (n) RETURN count(*) AS c", mode="parallel"
+                )
+                assert seen.parallelism["partitions"] > 1
+                assert seen.value() == baseline
+            writer.rollback()
+        assert engine.run("MATCH (n) RETURN count(*) AS c").value() == baseline

@@ -77,8 +77,12 @@ class TestExecutionModeReporting:
             assert result.execution_mode == "batch", mode
 
     def test_unclaimed_read_plans_report_row(self, engine):
+        # OPTIONAL MATCH plans an OptionalApply, which stays row-wise
+        # (var-length joined the batch claim with the frontier-BFS
+        # implementation, so it no longer serves as the fallback case).
         result = engine.run(
-            "MATCH (a:Person)-[:KNOWS*1..2]->(b) RETURN count(*) AS c",
+            "MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b) "
+            "RETURN a.name AS n, b.name AS m",
             mode="batch",
         )
         assert result.executed_by == "planner"
@@ -132,7 +136,8 @@ class TestExplainInfo:
 
     def test_row_only_read_reports_row_mode(self, engine):
         *_rest, mode = engine.explain_info(
-            "MATCH (a)-[:KNOWS*1..2]->(b) RETURN count(*) AS c"
+            "MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b) "
+            "RETURN a.name AS n, b.name AS m"
         )
         assert mode == "row"
 
