@@ -1,0 +1,240 @@
+"""P11: reachability probes vs blind var-length DFS.
+
+Until PR 8 an unbounded traversal between two *bound* endpoints —
+``MATCH (a {..}), (b {..}) MATCH (a)-[:T*]->(b)`` — enumerated every
+walk out of ``a`` and filtered on arrival: on a 600-link chain with the
+target 8 hops in, the engine walked all 599 edges to keep one row; on a
+grid it drowned in the ``C(r+c, r)`` directed-path explosion.  The
+reachability index condenses the type-segmented adjacency into its SCC
+DAG with interval labels, and the planner's ``ReachabilityProbe``
+prunes every walk step that provably cannot reach the bound endpoint —
+the walk itself remains the residual verifier, so bags and emission
+order are untouched.
+
+Acceptance floors, on **both** engines (row and batch), same data with
+and without the index declared:
+
+* deep-chain probe (target 8 of 600) ≥ 10x the blind-DFS median;
+* grid probe (target one diagonal step in) ≥ 10x the blind-DFS median.
+
+The correctness preamble re-proves on the bench graphs what the tier-1
+differentials pin on the fuzz corpus: identical records across
+interpreter / row / batch with and without the index, the probe visible
+in the profiled access paths, and maintenance ≡ rebuild after the
+workload's mutations.
+
+Results land in ``BENCH_pipeline.json`` via the benchmark fixtures
+below.
+"""
+
+import time
+
+import pytest
+
+from repro import CypherEngine
+from repro.graph.store import MemoryGraph
+
+#: Deep chain: 600 :Link nodes, the probe target 8 hops from the head.
+CHAIN = 600
+CHAIN_TARGET = 8
+
+#: Grid: right+down (7x7 is a DAG with C(14, 7) - 2 directed corner
+#: paths), the probe target one diagonal step from the origin.
+GRID = 7
+
+CHAIN_QUERY = (
+    "MATCH (a:Link {i: 0}), (b:Link {i: %d}) "
+    "MATCH (a)-[:NEXT*]->(b) RETURN count(*) AS c" % CHAIN_TARGET
+)
+
+GRID_QUERY = (
+    "MATCH (a:Cell {r: 0, c: 0}), (b:Cell {r: 1, c: 1}) "
+    "MATCH (a)-[:E*]->(b) RETURN count(*) AS c"
+)
+
+#: (name, query, expected row value, acceptance floor)
+PINNED = [
+    ("deep chain", CHAIN_QUERY, 1, 10.0),
+    ("grid", GRID_QUERY, 2, 10.0),
+]
+
+
+def chain_graph(indexed):
+    graph = MemoryGraph()
+    # Both variants get the property index so the bound endpoints bind
+    # in O(1) either way — the floor measures the traversal, not scans.
+    graph.create_index("Link", "i")
+    if indexed:
+        # Declared first: the whole load runs through the incremental
+        # condensation maintenance, exactly like production ingest.
+        graph.create_reachability_index(["NEXT"])
+    nodes = [
+        graph.create_node(("Link",), {"i": index}) for index in range(CHAIN)
+    ]
+    for index in range(CHAIN - 1):
+        graph.create_relationship(nodes[index], nodes[index + 1], "NEXT")
+    return graph
+
+
+def grid_graph(indexed):
+    graph = MemoryGraph()
+    graph.create_index("Cell", "r")
+    if indexed:
+        graph.create_reachability_index(["E"])
+    nodes = {}
+    for row in range(GRID):
+        for column in range(GRID):
+            nodes[row, column] = graph.create_node(
+                ("Cell",), {"r": row, "c": column}
+            )
+    for row in range(GRID):
+        for column in range(GRID):
+            if column + 1 < GRID:
+                graph.create_relationship(
+                    nodes[row, column], nodes[row, column + 1], "E"
+                )
+            if row + 1 < GRID:
+                graph.create_relationship(
+                    nodes[row, column], nodes[row + 1, column], "E"
+                )
+    return graph
+
+
+BUILDERS = {"deep chain": chain_graph, "grid": grid_graph}
+
+
+def _median_time(callable_, repeats=9):
+    """Median wall time after one warm-up run (plan cache, labels)."""
+    callable_()
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        times.append(time.perf_counter() - started)
+    times.sort()
+    return times[repeats // 2]
+
+
+def test_p11_probe_plans_do_not_fall_back():
+    """The probe must be provably in the plan and in the access log."""
+    for name, query, expected, _floor in PINNED:
+        engine = CypherEngine(BUILDERS[name](indexed=True))
+        for mode in ("row", "batch"):
+            result = engine.run(query, mode=mode, profile=True)
+            assert result.executed_by == "planner", (name, mode)
+            assert result.value() == expected, (name, mode)
+            probes = [
+                record for record in result.access_paths
+                if record["operator"] == "ReachabilityProbe"
+            ]
+            assert probes, "%s [%s] never probed: %s" % (
+                name, mode, result.access_paths
+            )
+
+
+def test_p11_results_identical_with_and_without_index():
+    for name, query, expected, _floor in PINNED:
+        plain = CypherEngine(BUILDERS[name](indexed=False))
+        indexed = CypherEngine(BUILDERS[name](indexed=True))
+        reference = plain.run(query, mode="interpreter")
+        assert reference.value() == expected, name
+        for engine in (plain, indexed):
+            for mode in ("row", "batch"):
+                result = engine.run(query, mode=mode)
+                assert reference.table.same_bag(result.table), (name, mode)
+
+
+def test_p11_maintenance_equals_rebuild_after_mutations():
+    """The bench graph's index survives chain surgery identically."""
+    graph = chain_graph(indexed=True)
+    engine = CypherEngine(graph)
+    engine.run(
+        "MATCH (a:Link {i: %d}), (b:Link {i: 0}) CREATE (a)-[:NEXT]->(b)"
+        % (CHAIN - 1)  # close the chain into one giant SCC
+    )
+    engine.run(
+        "MATCH (a:Link {i: 10})-[r:NEXT]->(b:Link {i: 11}) DELETE r"
+    )  # and cut it back apart
+    rebuilt = graph.copy()
+    for types in graph.reachability_indexes():
+        assert graph.reachability_snapshot(types) == (
+            rebuilt.reachability_snapshot(types)
+        ), types
+    assert engine.run(CHAIN_QUERY).value() == 1
+    assert engine.run(
+        "MATCH (a:Link {i: 0}), (b:Link {i: 20}) "
+        "MATCH (a)-[:NEXT*]->(b) RETURN count(*) AS c"
+    ).value() == 0  # severed by the cut
+
+
+def test_p11_probe_beats_blind_dfs(table_report):
+    """Acceptance floors: ≥10x on deep chain and grid — both engines."""
+    rows = []
+    failures = []
+    for name, query, expected, floor in PINNED:
+        plain = CypherEngine(BUILDERS[name](indexed=False))
+        indexed = CypherEngine(BUILDERS[name](indexed=True))
+        for mode in ("row", "batch"):
+            probe_seconds = _median_time(
+                lambda query=query, mode=mode: indexed.run(query, mode=mode)
+            )
+            blind_seconds = _median_time(
+                lambda query=query, mode=mode: plain.run(query, mode=mode)
+            )
+            ratio = blind_seconds / max(probe_seconds, 1e-9)
+            rows.append(
+                (
+                    "%s [%s]" % (name, mode),
+                    "%.3f ms" % (probe_seconds * 1e3),
+                    "%.3f ms" % (blind_seconds * 1e3),
+                    "%.1fx" % ratio,
+                    "%.0fx floor" % floor,
+                )
+            )
+            if ratio < floor:
+                failures.append(
+                    "%s [%s] only at %.2fx (floor %.0fx)"
+                    % (name, mode, ratio, floor)
+                )
+    table_report(
+        "P11 — reachability probe vs blind var-length DFS (row and batch)",
+        ["workload", "probe", "blind DFS", "DFS/probe", "pin"],
+        rows,
+    )
+    assert not failures, "; ".join(failures)
+
+
+def test_p11_build_and_maintenance_cost(table_report):
+    """Trajectory report: declared-first ingest vs plain, no floor."""
+    plain_seconds = _median_time(
+        lambda: chain_graph(indexed=False), repeats=7
+    )
+    indexed_seconds = _median_time(
+        lambda: chain_graph(indexed=True), repeats=7
+    )
+    overhead = indexed_seconds / max(plain_seconds, 1e-9)
+    table_report(
+        "P11 — condensation maintenance during ingest (chain of %d)" % CHAIN,
+        ["variant", "median"],
+        [
+            ("no index", "%.3f ms" % (plain_seconds * 1e3)),
+            (":NEXT index", "%.3f ms" % (indexed_seconds * 1e3)),
+            ("overhead", "%.2fx" % overhead),
+        ],
+    )
+
+
+@pytest.mark.parametrize("mode", ["row", "batch"])
+@pytest.mark.parametrize("indexed", [True, False], ids=["probe", "blind"])
+def test_p11_deep_chain_benchmark(benchmark, mode, indexed):
+    engine = CypherEngine(chain_graph(indexed=indexed))
+    result = benchmark(engine.run, CHAIN_QUERY, mode=mode)
+    assert result.value() == 1
+
+
+@pytest.mark.parametrize("mode", ["row", "batch"])
+@pytest.mark.parametrize("indexed", [True, False], ids=["probe", "blind"])
+def test_p11_grid_benchmark(benchmark, mode, indexed):
+    engine = CypherEngine(grid_graph(indexed=indexed))
+    result = benchmark(engine.run, GRID_QUERY, mode=mode)
+    assert result.value() == 2

@@ -3,7 +3,11 @@
 Demonstrates the finiteness guarantee of edge isomorphism (Section 4.2):
 match counts stay bounded and runtimes scale with the reachable frontier,
 not with the (infinite) space of homomorphism walks.  Grid and chain
-topologies are swept over increasing ``*1..k`` widths.
+topologies are swept over increasing ``*1..k`` widths, and the
+trajectory additionally records the *deep* shapes (chains ≥ 64 hops,
+unbounded grid fan-out) that reachability probes accelerate in
+``bench_p11_reachability.py`` — these entries are the vanilla-DFS
+baseline those speedups are measured against.
 """
 
 import time
@@ -116,3 +120,32 @@ def test_p3_grid_benchmark(benchmark):
     query = "MATCH ({r: 0, c: 0})-[*1..4]->(b) RETURN count(*) AS n"
     result = benchmark(engine.run, query)
     assert result.value() > 0
+
+
+@pytest.mark.parametrize("depth", [64, 128])
+def test_p3_deep_chain_benchmark(benchmark, depth):
+    """Unbounded traversal down a chain ≥ 64 hops deep.
+
+    On an n-chain, ``({i: 0})-[*]->(b)`` emits one match per deeper
+    node: exactly ``depth`` rows, found by walking the whole chain.
+    This is the workload reachability probes cut to the target's depth.
+    """
+    graph = chain_graph(depth + 1)
+    engine = CypherEngine(graph)
+    query = "MATCH ({i: 0})-[*]->(b) RETURN count(*) AS n"
+    result = benchmark(engine.run, query)
+    assert result.value() == depth
+
+
+def test_p3_grid_unbounded_benchmark(benchmark):
+    """Unbounded fan-out from a grid corner (directed-path explosion).
+
+    The right+down 6x6 grid is a DAG whose directed paths from the
+    corner number ``C(12, 6) - 2 = 922`` — the closed form pins the
+    enumeration; the runtime records how fast a blind DFS drowns.
+    """
+    graph = grid_graph(6)
+    engine = CypherEngine(graph)
+    query = "MATCH ({r: 0, c: 0})-[*]->(b) RETURN count(*) AS n"
+    result = benchmark(engine.run, query)
+    assert result.value() == 922

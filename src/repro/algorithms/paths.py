@@ -55,13 +55,40 @@ def shortest_path_length(
     )
 
 
+def _reachability_prune(graph, target, rel_types, directed):
+    """``node -> can still reach target`` via a covering index, or None.
+
+    Directed searches with a declared reachability index get an O(1)
+    certain-NO oracle: any frontier node the index says cannot reach the
+    target would only grow dead subtrees, and a negative answer for the
+    source settles the query without expanding anything.  Undirected
+    searches stay unpruned — the condensation is direction-aware.
+    """
+    if not directed:
+        return None
+    getter = getattr(graph, "reachability_index_for", None)
+    if getter is None:
+        return None
+    types = frozenset(rel_types) if rel_types else None
+    index = getter(types)
+    if index is None:
+        return None
+    reachable = index.reachable
+    return lambda node: reachable(node, target)
+
+
 def _bfs(graph, source, target, rel_types, directed):
+    can_reach = _reachability_prune(graph, target, rel_types, directed)
+    if can_reach is not None and not can_reach(source):
+        return None
     parents = {source: None}  # node -> (previous node, relationship)
     queue = deque([source])
     while queue:
         node = queue.popleft()
         for rel, neighbour in _steps(graph, node, rel_types, directed):
             if neighbour in parents:
+                continue
+            if can_reach is not None and not can_reach(neighbour):
                 continue
             parents[neighbour] = (node, rel)
             if neighbour == target:

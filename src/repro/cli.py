@@ -20,6 +20,10 @@ execute as Cypher; special commands start with ``:``:
     :index              list property indexes
     :index :L(k)        create a property index on (label L, key k)
     :index drop :L(k)   drop it again
+    :reach              list reachability indexes
+    :reach :R|S         create a reachability index over types R and S
+    :reach *            create the all-types reachability index
+    :reach drop :R|S    drop one (``:reach drop *`` for all-types)
     :mode <m>           auto | interpreter | planner | row | batch | parallel
     :workers <n>        worker count for parallel morsel execution
     :begin              open a transaction; statements accumulate
@@ -58,6 +62,23 @@ def _cache_line(cache_info):
 
 #: ``:Label(key)`` — the index spec syntax of ``:index`` and friends.
 _INDEX_SPEC = re.compile(r"^:?(\w+)\((\w+)\)$")
+
+#: ``:R|S`` or ``*`` — the type-set syntax of ``:reach`` and friends.
+_REACH_SPEC = re.compile(r"^(?:\*|:?(\w+(?:\|\w+)*))$")
+
+
+def _parse_reach_spec(spec):
+    """``(ok, types)`` from a ``:reach`` type-set argument."""
+    match = _REACH_SPEC.match(spec)
+    if match is None:
+        return False, None
+    if match.group(1) is None:
+        return True, None
+    return True, tuple(match.group(1).split("|"))
+
+
+def _reach_display(types):
+    return "<any type>" if types is None else ":" + "|".join(types)
 
 
 def _access_path_lines(access_paths):
@@ -136,6 +157,8 @@ class Shell:
             self._schema()
         elif command == ":index":
             self._index(argument)
+        elif command == ":reach":
+            self._reach(argument)
         elif command == ":mode":
             if argument in (
                 "auto", "interpreter", "planner", "row", "batch", "parallel"
@@ -230,6 +253,12 @@ class Shell:
                 "indexes: "
                 + ", ".join(":%s(%s)" % pair for pair in indexes)
             )
+        reach = getattr(graph, "reachability_indexes", lambda: [])()
+        if reach:
+            self.write(
+                "reachability indexes: "
+                + ", ".join(_reach_display(types) for types in reach)
+            )
 
     def _index(self, argument):
         """``:index`` — list, create or drop property indexes."""
@@ -266,6 +295,45 @@ class Shell:
             self.write("created index :%s(%s)" % (label, key))
         else:
             self.write("index :%s(%s) already exists" % (label, key))
+
+    def _reach(self, argument):
+        """``:reach`` — list, create or drop reachability indexes."""
+        graph = self.engine.graph
+        if not argument:
+            declared = graph.reachability_indexes()
+            if not declared:
+                self.write("no reachability indexes")
+            else:
+                stats = graph.reachability_statistics()
+                for types in declared:
+                    facts = stats[types]
+                    self.write(
+                        "%s — %d node(s), %d edge(s), %d component(s)"
+                        % (_reach_display(types), facts["nodes"],
+                           facts["edges"], facts["components"])
+                    )
+            return
+        dropping = argument.startswith("drop ")
+        spec = argument[5:].strip() if dropping else argument
+        ok, types = _parse_reach_spec(spec)
+        if not ok:
+            self.write("usage: :reach [drop] :T|U  (or * for all types)")
+            return
+        if dropping:
+            existed = graph.drop_reachability_index(types)
+            self.write(
+                "dropped reachability index %s" % _reach_display(types)
+                if existed
+                else "no reachability index %s" % _reach_display(types)
+            )
+        elif graph.create_reachability_index(types):
+            self.write(
+                "created reachability index %s" % _reach_display(types)
+            )
+        else:
+            self.write(
+                "reachability index %s already exists" % _reach_display(types)
+            )
 
     def _begin(self):
         """``:begin`` — open a session transaction for later statements."""
@@ -446,6 +514,14 @@ def explain_main(argv=None):
         help="create a property index before planning (repeatable)",
     )
     parser.add_argument(
+        "--reach-index",
+        action="append",
+        default=[],
+        metavar=":T|U",
+        help="create a reachability index over a relationship-type set "
+        "before planning (* for all types; repeatable)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="also execute the query and report estimated vs actual "
@@ -478,6 +554,13 @@ def explain_main(argv=None):
                   file=sys.stderr)
             return 2
         engine.create_index(match.group(1), match.group(2))
+    for spec in arguments.reach_index:
+        ok, types = _parse_reach_spec(spec)
+        if not ok:
+            print("error: bad reachability spec %r (want :T|U or *)" % spec,
+                  file=sys.stderr)
+            return 2
+        engine.create_reachability_index(types)
     try:
         executed_by, reason, plan_text, cache_info, mode = (
             engine.explain_info(arguments.query)

@@ -10,8 +10,11 @@ Node and relationship ids are preserved on load (via ``adopt``-style
 insertion), so serialized references and Cypher 10 cross-graph identity
 survive a round trip.  Declared property indexes ride along under an
 ``"indexes"`` key (``[{"label": ..., "key": ...}, ...]``) and are
-rebuilt on load, so index statistics survive the round trip too.  DOT
-export renders the graph for graphviz.
+rebuilt on load, so index statistics survive the round trip too;
+reachability indexes ride along the same way under
+``"reachability_indexes"`` (``[{"types": [...] | null}, ...]``, null
+meaning the all-types index).  DOT export renders the graph for
+graphviz.
 """
 
 from __future__ import annotations
@@ -53,6 +56,14 @@ def graph_to_dict(graph):
         ]
         if indexes:
             document["indexes"] = indexes
+    reach = getattr(graph, "reachability_indexes", None)
+    if callable(reach):
+        reachability = [
+            {"types": None if types is None else list(types)}
+            for types in reach()
+        ]
+        if reachability:
+            document["reachability_indexes"] = reachability
     return document
 
 
@@ -88,6 +99,11 @@ def graph_from_dict(document):
         # Declared after the data so the initial build scans once and
         # the loaded index statistics match a live-built index exactly.
         graph.create_index(spec["label"], spec["key"])
+    for spec in document.get("reachability_indexes", ()):
+        types = spec.get("types")
+        graph.create_reachability_index(
+            None if types is None else tuple(types)
+        )
     return graph
 
 

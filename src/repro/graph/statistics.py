@@ -53,6 +53,8 @@ class GraphStatistics:
         self._in_degree_totals = dict(self.type_counts)
         index_hook = getattr(graph, "index_statistics", None)
         self.property_indexes = dict(index_hook()) if index_hook else {}
+        reach_hook = getattr(graph, "reachability_statistics", None)
+        self.reachability_indexes = dict(reach_hook()) if reach_hook else {}
 
     # -- cardinalities -------------------------------------------------------
 
@@ -89,6 +91,16 @@ class GraphStatistics:
         """
         entry = self.property_indexes.get((label, key))
         return entry[1] if entry is not None else None
+
+    # -- reachability indexes ------------------------------------------------
+
+    def reachability_index_types(self):
+        """Declared reachability type sets (tuples, or None = all types)."""
+        return self.reachability_indexes.keys()
+
+    def has_reachability_index(self, types=None):
+        key = tuple(sorted(types)) if types else None
+        return key in self.reachability_indexes
 
     # -- degrees ---------------------------------------------------------------
 

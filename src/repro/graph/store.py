@@ -128,6 +128,7 @@ from repro.exceptions import (
     TransactionError,
 )
 from repro.graph.model import PropertyGraph
+from repro.graph.reachability import ReachabilityIndex, best_covering, reachability_key
 from repro.graph.snapshot import VersionPin
 from repro.values.base import NodeId, RelId
 from repro.values.base import is_cypher_value
@@ -480,6 +481,7 @@ class MemoryGraph(PropertyGraph):
         self._type_index = {}         # str -> set[RelId]
         self._scan_cache = {}         # ("label"|"type", name) -> (version, sorted list)
         self._indexes_by_label = {}   # str -> {str key: _PropertyIndex}
+        self._reachability_indexes = {}  # frozenset[str]|None -> ReachabilityIndex
         # Transactional robustness layer (all dormant by default):
         self._pins = []               # active VersionPins (copy-on-write)
         self._undo = None             # inverse-op log of the open recording tx
@@ -812,6 +814,102 @@ class MemoryGraph(PropertyGraph):
                 index.remove(node_id, value)
 
     # ------------------------------------------------------------------
+    # Reachability indexes (see :mod:`repro.graph.reachability`)
+    # ------------------------------------------------------------------
+
+    def create_reachability_index(self, types=None):
+        """Declare a reachability index over a relationship-type set.
+
+        ``types`` is an iterable of type names, or None for the
+        all-types index.  The initial build runs one global Tarjan over
+        the matching relationships; from then on the raw relationship
+        mutators maintain the condensation incrementally — the index is
+        never rebuilt on write.  Bumps the version (plans gated on the
+        index's availability must be reconsidered); returns True if new.
+        """
+        key = reachability_key(types)
+        if key is not None and not all(
+            isinstance(t, str) and t for t in key
+        ):
+            raise ValueError("reachability types must be non-empty strings")
+        if key in self._reachability_indexes:
+            return False
+        index = ReachabilityIndex(key)
+        rel_types = self._rel_types
+        index.build(
+            (rel_id, source, target)
+            for rel_id, (source, target) in self._rel_endpoints.items()
+            if index.covers(rel_types[rel_id])
+        )
+        self._reachability_indexes[key] = index
+        self._version += 1
+        return True
+
+    def drop_reachability_index(self, types=None):
+        """Remove a reachability index; returns True if one existed."""
+        key = reachability_key(types)
+        if key not in self._reachability_indexes:
+            return False
+        del self._reachability_indexes[key]
+        self._version += 1
+        return True
+
+    def has_reachability_index(self, types=None):
+        return reachability_key(types) in self._reachability_indexes
+
+    def reachability_indexes(self):
+        """All declared type sets, sorted; None means the all-types index."""
+        return sorted(
+            (
+                None if key is None else tuple(sorted(key))
+                for key in self._reachability_indexes
+            ),
+            key=lambda entry: ((), ) if entry is None else ((1,), entry),
+        )
+
+    def reachability_statistics(self):
+        """``{types tuple|None: {...size facts...}}`` for the cost model."""
+        return {
+            None if key is None else tuple(sorted(key)): index.statistics()
+            for key, index in self._reachability_indexes.items()
+        }
+
+    def reachability_index_for(self, types=None):
+        """The best declared index covering a traversal's type set.
+
+        Preference: exact match, then the smallest declared superset,
+        then the all-types index (all are sound — a superset index only
+        over-approximates, and the probe's walk is the residual check).
+        Returns None when nothing covers the requested types.
+        """
+        if not self._reachability_indexes:
+            return None
+        chosen = best_covering(
+            reachability_key(types), self._reachability_indexes
+        )
+        if chosen is best_covering.MISS:
+            return None
+        return self._reachability_indexes[chosen]
+
+    def reachability_snapshot(self, types=None):
+        """Canonical content of one index (maintenance-vs-rebuild tests)."""
+        return self._reachability_indexes[reachability_key(types)].snapshot()
+
+    # -- incremental maintenance (called from the raw rel mutators) ----------
+
+    def _reachability_rel_created(self, rel_id, source, target, rel_type):
+        self._fault("reachability_add")
+        for index in self._reachability_indexes.values():
+            if index.covers(rel_type):
+                index.add_edge(rel_id, source, target)
+
+    def _reachability_rel_deleted(self, rel_id, rel_type):
+        self._fault("reachability_remove")
+        for index in self._reachability_indexes.values():
+            if index.covers(rel_type):
+                index.remove_edge(rel_id)
+
+    # ------------------------------------------------------------------
     # Mutation
     #
     # Every public mutator is "bump the version, then apply" — the
@@ -1017,6 +1115,10 @@ class MemoryGraph(PropertyGraph):
             rel_id,
         )
         self._type_index.setdefault(rel_type, set()).add(rel_id)
+        if self._reachability_indexes:
+            # Resurrection bypasses _create_relationship_raw; add_edge is
+            # idempotent per rel id, so crash-replay converges here too.
+            self._reachability_rel_created(rel_id, source, target, rel_type)
 
     def create_node(self, labels=(), properties=None):
         """Add a node; returns its fresh :class:`NodeId`."""
@@ -1146,6 +1248,8 @@ class MemoryGraph(PropertyGraph):
         ).append(rel_id)
         self._type_index.setdefault(rel_type, set()).add(rel_id)
         self._note_scan_insert("type", rel_type, rel_id)
+        if self._reachability_indexes:
+            self._reachability_rel_created(rel_id, src, tgt, rel_type)
         return rel_id
 
     def adopt_node(self, node_id, labels=(), properties=None):
@@ -1265,6 +1369,8 @@ class MemoryGraph(PropertyGraph):
         del self._rel_endpoints[rel_id]
         del self._rel_types[rel_id]
         del self._rel_properties[rel_id]
+        if self._reachability_indexes:
+            self._reachability_rel_deleted(rel_id, rel_type)
 
     def set_property(self, entity_id, key, value):
         """Set ι(entity, key); setting to null removes the property."""
@@ -1451,6 +1557,7 @@ class MemoryGraph(PropertyGraph):
         self._label_index = donor._label_index
         self._type_index = donor._type_index
         self._indexes_by_label = donor._indexes_by_label
+        self._reachability_indexes = donor._reachability_indexes
         self._scan_cache = {}
         self._version += 1
 
@@ -1487,6 +1594,8 @@ class MemoryGraph(PropertyGraph):
         for label, keyed in self._indexes_by_label.items():
             for key in keyed:
                 clone.create_index(label, key)
+        for key in self._reachability_indexes:
+            clone.create_reachability_index(key)
         clone._version = self._version
         return clone
 

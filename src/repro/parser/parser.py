@@ -827,8 +827,13 @@ class Parser:
                 return self._parse_list_comprehension()
             except CypherSyntaxError:
                 self._restore(mark)
-        # pattern comprehension?
-        if self._at_operator("(", 1):
+        # pattern comprehension?  Either starts at a node pattern or
+        # names its path: ``[p = (a)-->(b) | length(p)]``.
+        if self._at_operator("(", 1) or (
+            self._peek(1).kind == IDENT
+            and self._at_operator("=", 2)
+            and self._at_operator("(", 3)
+        ):
             mark = self._save()
             try:
                 return self._parse_pattern_comprehension()
@@ -852,7 +857,11 @@ class Parser:
 
     def _parse_pattern_comprehension(self):
         self._expect_operator("[")
-        pattern = self._parse_anonymous_path_pattern()
+        name = None
+        if self._peek().kind == IDENT and self._at_operator("=", 1):
+            name = self._advance().text
+            self._expect_operator("=")
+        pattern = self._parse_anonymous_path_pattern(name)
         if len(pattern.elements) == 1:
             self._error("pattern comprehensions need a relationship")
         where = None

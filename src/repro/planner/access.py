@@ -32,7 +32,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.ast import expressions as ex
+from repro.ast import patterns as pt
 from repro.ast.visitor import walk
+from repro.graph.reachability import best_covering
 
 #: Inequality operators and their meaning as a (bound, inclusive) pair
 #: when the property sits on the *left* (``n.k < e``).
@@ -280,6 +282,63 @@ def collect_sargable(predicate):
     for sargable in _merge_ranges(extracted):
         by_variable.setdefault(sargable.variable, []).append(sargable)
     return by_variable
+
+
+@dataclass(frozen=True)
+class ReachabilityCandidate:
+    """A declared reachability index that can prune one var-length hop.
+
+    ``index_types`` is the declared type set (sorted tuple; None = the
+    all-types index) and ``forward`` records the traversal direction the
+    probe prunes along: True for ``(a)-[*]->(b)`` walks (prune nodes
+    that cannot reach the bound target), False for ``(a)<-[*]-(b)``
+    (prune nodes the target cannot reach).
+    """
+
+    index_types: Optional[tuple]
+    forward: bool
+
+    def describe(self):
+        types = (
+            "<any>" if self.index_types is None
+            else ":" + "|".join(self.index_types)
+        )
+        return "reach(%s, %s)" % (
+            types, "forward" if self.forward else "reverse"
+        )
+
+
+def reachability_candidate(statistics, rel_pattern, into, high):
+    """The index probe serving one var-length hop, or None.
+
+    The gate mirrors the probe's soundness conditions: the far endpoint
+    must already be bound (``into`` — otherwise there is no target to
+    certify against), the pattern must be directed (the indexes store
+    directed condensations), the walk must be unbounded above (a finite
+    ``high`` already caps enumeration, and the cost model prefers the
+    plain walk there), and a declared type set must *cover* the
+    pattern's types — equal, a superset, or the all-types index, all of
+    which only over-approximate and the walk itself is the residual
+    verification.
+    """
+    if not into or high is not None:
+        return None
+    direction = rel_pattern.direction
+    if direction == pt.UNDIRECTED:
+        return None
+    available = {
+        None if key is None else frozenset(key): key
+        for key in statistics.reachability_index_types()
+    }
+    if not available:
+        return None
+    chosen = best_covering(rel_pattern.resolved_types, available)
+    if chosen is best_covering.MISS:
+        return None
+    return ReachabilityCandidate(
+        index_types=available[chosen],
+        forward=direction == pt.LEFT_TO_RIGHT,
+    )
 
 
 def inline_sargables(node_pattern, variable):

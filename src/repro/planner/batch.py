@@ -639,6 +639,204 @@ def _compile_var_length_expand(op, ctx):
     return run
 
 
+def _compile_reachability_probe(op, ctx):
+    """Frontier-BFS var-length expansion pruned by a reachability index.
+
+    Same level-synchronous walk and DFS-key emission order as
+    :func:`_compile_var_length_expand`; the index removes frontier
+    entries that provably cannot end at their driving row's bound target
+    (each pruned walk contributes zero emissions, so order and bag are
+    untouched — the walk is the residual verification).  Falls back to
+    the plain frontier walk when the executing graph does not expose the
+    index.
+    """
+    getter = getattr(ctx.graph, "reachability_index_for", None)
+    index = (
+        getter(op.rel_pattern.resolved_types) if getter is not None else None
+    )
+    if index is None:
+        return _compile_var_length_expand(op, ctx)
+    child = _compile(op.child, ctx)
+    slots = ctx.slots
+    from_slot = slots[op.from_variable]
+    rel_slot = slots[op.rel_variable] if op.rel_variable is not None else None
+    to_slot = slots[op.to_variable]
+    direction = _direction_of(op.rel_pattern)
+    types = op.rel_pattern.resolved_types
+    conflicts = _compile_conflicts(ctx, op.unique_with)
+    rel_ok = _compile_rel_ok(ctx, op.rel_pattern)
+    node_ok = _compile_node_ok(ctx, op.node_pattern)
+    low = op.low
+    kernel = ctx.kernel
+    morphism = kernel.morphism
+    check_unique = bool(morphism.forbids_repeated_relationships)
+    check_nodes = bool(morphism.forbids_repeated_nodes)
+    unique_node_slots = tuple(slots[name] for name in op.unique_nodes)
+    unique_segment_slots = tuple(
+        (slots[from_name], slots[rel_name])
+        for from_name, rel_name in op.unique_segments
+    )
+    other_end = ctx.graph.other_end
+    cap = kernel.traversal_cap(op.high)
+    cancel = ctx.cancel
+    expand_batch = ctx.graph.expand_batch
+    width = len(slots)
+    morsel = ctx.morsel_size
+    reachable = index.reachable
+    forward = op.forward
+    need_row = (
+        (check_unique and conflicts is not None)
+        or rel_ok is not None
+        or check_nodes
+        or (node_ok is not None and bool(op.node_pattern.properties))
+    )
+
+    def can_end_at(node, target):
+        if forward:
+            return reachable(node, target)
+        return reachable(target, node)
+
+    def run(argument):
+        for n, cols in child(argument):
+            source_col = cols[from_slot]
+            if source_col is None:
+                continue
+            to_col = cols[to_slot]
+            if to_col is None:
+                continue  # every comparison against MISSING fails
+            bound = _bound_columns(cols) if need_row else None
+            rows = {}
+
+            def row_of(origin):
+                row = rows.get(origin)
+                if row is None:
+                    rows[origin] = row = _materialize(
+                        cols, bound, origin, width
+                    )
+                return row
+
+            emitted = []
+
+            def emit(origin, key, node, rels):
+                if to_col[origin] != node:
+                    return
+                if node_ok is not None and not node_ok(
+                    node, row_of(origin) if need_row else None
+                ):
+                    return
+                emitted.append((origin, key, node, rels))
+
+            seeds = {}
+            frontier = []
+            for origin in range(n):
+                source = source_col[origin]
+                if not isinstance(source, NodeId):
+                    continue
+                target = to_col[origin]
+                if not isinstance(target, NodeId):
+                    continue  # the emit comparison can never hold
+                if not can_end_at(source, target):
+                    continue  # index-certified: no walk ends at target
+                if check_nodes:
+                    seeds[origin] = kernel.visited_nodes(
+                        unique_node_slots, unique_segment_slots,
+                        row_of(origin), other_end,
+                    )
+                frontier.append((origin, (), source, (), ()))
+            if low == 0:
+                for origin, key, node, rels, _nodes in frontier:
+                    emit(origin, key, node, rels)
+            taken = 0
+            while frontier:
+                if cap is not None and taken >= cap:
+                    break
+                taken += 1
+                origins_, rels_, targets_ = expand_batch(
+                    [entry[2] for entry in frontier], direction, types
+                )
+                next_frontier = []
+                last_parent = -1
+                position = 0
+                for step in range(len(origins_)):
+                    if cancel is not None:
+                        cancel.check()
+                    parent = origins_[step]
+                    if parent != last_parent:
+                        last_parent = parent
+                        position = 0
+                    else:
+                        position += 1
+                    rel = rels_[step]
+                    target = targets_[step]
+                    origin, key, _node, walk_rels, walk_nodes = (
+                        frontier[parent]
+                    )
+                    if check_unique:
+                        if rel in walk_rels:
+                            continue
+                        if conflicts is not None and conflicts(
+                            rel, row_of(origin)
+                        ):
+                            continue
+                    if rel_ok is not None and not rel_ok(
+                        rel, row_of(origin)
+                    ):
+                        continue
+                    if check_nodes and (
+                        target in seeds[origin] or target in walk_nodes
+                    ):
+                        continue
+                    # The probe: drop continuations the index certifies
+                    # can never end at this row's bound target.
+                    if not can_end_at(target, to_col[origin]):
+                        continue
+                    child_key = key + (position,)
+                    child_rels = walk_rels + (rel,)
+                    child_nodes = (
+                        walk_nodes + (target,) if check_nodes else ()
+                    )
+                    if taken >= low:
+                        emit(origin, child_key, target, child_rels)
+                    next_frontier.append(
+                        (origin, child_key, target, child_rels, child_nodes)
+                    )
+                frontier = next_frontier
+            if not emitted:
+                continue
+            emitted.sort()
+            total = len(emitted)
+            for start in range(0, total, morsel):
+                block = emitted[start:start + morsel]
+                indices = [entry[0] for entry in block]
+                out = _select(cols, indices)
+                if rel_slot is not None:
+                    out[rel_slot] = [list(entry[3]) for entry in block]
+                yield len(block), out
+
+    log = ctx.access_log
+    if log is None:
+        return run
+    record = {
+        "operator": type(op).__name__,
+        "variable": op.to_variable,
+        "entry": "reachability probe %s (%s)" % (
+            "<any>" if op.index_types is None
+            else ":" + "|".join(op.index_types),
+            "forward" if op.forward else "reverse",
+        ),
+        "estimated_rows": op.estimated_rows,
+        "actual_rows": 0,
+    }
+    log.append(record)
+
+    def counted(argument):
+        for n, cols in run(argument):
+            record["actual_rows"] += n
+            yield n, cols
+
+    return counted
+
+
 # ---------------------------------------------------------------------------
 # Tuple operators
 # ---------------------------------------------------------------------------
@@ -1150,6 +1348,7 @@ _COMPILERS = {
     lg.NodeCheck: _compile_node_check,
     lg.Expand: _compile_expand,
     lg.VarLengthExpand: _compile_var_length_expand,
+    lg.ReachabilityProbe: _compile_reachability_probe,
     lg.Filter: _compile_filter,
     lg.ExtendedProject: _compile_project,
     lg.Strip: _compile_strip,

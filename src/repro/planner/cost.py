@@ -219,3 +219,19 @@ class CostModel:
             steps = high if high is not None else max(low, 3)
             estimate *= fanout ** max(steps, 1)
         return estimate
+
+    def reachability_probe(self, rel_pattern, into, high):
+        """The reachability index serving one var-length hop, or None.
+
+        Delegates the soundness gate (bound target, directed, unbounded
+        above, covering type set) to
+        :func:`repro.planner.access.reachability_candidate`; this seam
+        exists so the choice keys on the same statistics snapshot every
+        other access-path decision uses — declaring or dropping an index
+        bumps the version, which invalidates cached plans.
+        """
+        from repro.planner.access import reachability_candidate
+
+        return reachability_candidate(
+            self.statistics, rel_pattern, into, high
+        )

@@ -274,6 +274,48 @@ class VarLengthExpand(Operator):
 
 
 @dataclass(frozen=True)
+class ReachabilityProbe(VarLengthExpand):
+    """A VarLengthExpand pruned by a reachability index.
+
+    Emission semantics are *identical* to the parent operator — every
+    walk that ends at the bound target, in the same DFS order — because
+    the index only certifies which continuations can never reach the
+    target (the walk itself remains the residual bound/uniqueness/
+    property verification).  ``index_types`` names the declared type set
+    serving the probe (a sorted tuple, or None for the all-types index);
+    ``forward`` is the pruning direction (see
+    :class:`repro.planner.access.ReachabilityCandidate`).  Both engines
+    fall back to the plain walk when the executing graph (e.g. a
+    snapshot view) does not expose the index.
+    """
+
+    index_types: object = None
+    forward: bool = True
+    estimated_rows: object = None
+
+    def _describe_line(self):
+        types = "|".join(self.rel_pattern.types)
+        bound = "{}..{}".format(
+            self.low, self.high if self.high is not None else ""
+        )
+        index = (
+            "<any>" if self.index_types is None
+            else ":" + "|".join(self.index_types)
+        )
+        return (
+            "ReachabilityProbe({})-[{}{}*{}]-({}) via reach({}, {})".format(
+                self.from_variable,
+                self.rel_variable or "",
+                ":" + types if types else "",
+                bound,
+                self.to_variable or "?",
+                index,
+                "forward" if self.forward else "reverse",
+            )
+        )
+
+
+@dataclass(frozen=True)
 class ProjectPath(Operator):
     """Assemble a named path (paper Section 4.1) from a matched chain.
 

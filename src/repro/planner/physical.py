@@ -660,6 +660,143 @@ def _compile_var_length_expand(op, ctx):
     return run
 
 
+def _compile_reachability_probe(op, ctx):
+    """Var-length expand pruned by a reachability index.
+
+    Identical DFS and emission order as
+    :func:`_compile_var_length_expand` — the index only removes
+    continuations that provably cannot end at the bound target (emission
+    requires ``node == row[to_slot]``, and pattern edges are a subset of
+    the index's edges, so a pruned subtree contributes zero rows).  When
+    the executing graph does not expose the index (snapshot views, plain
+    stores) this degrades to the plain walk.
+    """
+    getter = getattr(ctx.graph, "reachability_index_for", None)
+    index = (
+        getter(op.rel_pattern.resolved_types) if getter is not None else None
+    )
+    if index is None:
+        return _compile_var_length_expand(op, ctx)
+    child = _compile(op.child, ctx)
+    slots = ctx.slots
+    from_slot = slots[op.from_variable]
+    rel_slot = slots[op.rel_variable] if op.rel_variable is not None else None
+    to_slot = slots[op.to_variable]
+    steps = _compile_steps(ctx.graph, op.rel_pattern)
+    conflicts = _compile_conflicts(ctx, op.unique_with)
+    rel_ok = _compile_rel_ok(ctx, op.rel_pattern)
+    node_ok = _compile_node_ok(ctx, op.node_pattern)
+    low = op.low
+    kernel = ctx.kernel
+    morphism = kernel.morphism
+    check_unique = bool(morphism.forbids_repeated_relationships)
+    check_nodes = bool(morphism.forbids_repeated_nodes)
+    unique_node_slots = tuple(ctx.slots[name] for name in op.unique_nodes)
+    unique_segment_slots = tuple(
+        (ctx.slots[from_name], ctx.slots[rel_name])
+        for from_name, rel_name in op.unique_segments
+    )
+    other_end = ctx.graph.other_end
+    cap = kernel.traversal_cap(op.high)
+    cancel = ctx.cancel
+    reachable = index.reachable
+    forward = op.forward
+
+    def run(argument):
+        for row in child(argument):
+            source = row[from_slot]
+            if not isinstance(source, NodeId):
+                continue
+            target = row[to_slot]
+            if not isinstance(target, NodeId):
+                continue  # emission compares against a node; nothing can match
+            if forward:
+                if not reachable(source, target):
+                    continue
+            elif not reachable(target, source):
+                continue
+            results = []
+            visited = (
+                kernel.visited_nodes(
+                    unique_node_slots, unique_segment_slots, row, other_end
+                )
+                if check_nodes
+                else None
+            )
+
+            def emit(node, rels, row=row, results=results):
+                if row[to_slot] != node:
+                    return
+                if node_ok is not None and not node_ok(node, row):
+                    return
+                out = row[:]
+                if rel_slot is not None:
+                    out[rel_slot] = list(rels)
+                results.append(out)
+
+            def walk(node, taken, rels, used, row=row, visited=visited,
+                     target=target):
+                if cancel is not None:
+                    cancel.check()
+                if taken >= low:
+                    emit(node, rels)
+                if cap is not None and taken >= cap:
+                    return
+                for rel, nxt in steps(node):
+                    if check_unique and (
+                        rel in used
+                        or (conflicts is not None and conflicts(rel, row))
+                    ):
+                        continue
+                    if rel_ok is not None and not rel_ok(rel, row):
+                        continue
+                    if check_nodes and nxt in visited:
+                        continue
+                    # The probe: skip continuations the index certifies
+                    # can never reach (or be reached by) the target.
+                    if forward:
+                        if not reachable(nxt, target):
+                            continue
+                    elif not reachable(target, nxt):
+                        continue
+                    used.add(rel)
+                    rels.append(rel)
+                    if check_nodes:
+                        visited.add(nxt)
+                    walk(nxt, taken + 1, rels, used)
+                    if check_nodes:
+                        visited.discard(nxt)
+                    rels.pop()
+                    used.discard(rel)
+
+            walk(source, 0, [], set())
+            for out in results:
+                yield out
+
+    log = ctx.access_log
+    if log is None:
+        return run
+    record = {
+        "operator": type(op).__name__,
+        "variable": op.to_variable,
+        "entry": "reachability probe %s (%s)" % (
+            "<any>" if op.index_types is None
+            else ":" + "|".join(op.index_types),
+            "forward" if op.forward else "reverse",
+        ),
+        "estimated_rows": op.estimated_rows,
+        "actual_rows": 0,
+    }
+    log.append(record)
+
+    def counted(argument):
+        for row in run(argument):
+            record["actual_rows"] += 1
+            yield row
+
+    return counted
+
+
 def _compile_project_path(op, ctx):
     """Assemble the named path of one matched chain (paper Section 4.1).
 
@@ -1491,6 +1628,7 @@ _COMPILERS = {
     lg.NodeCheck: _compile_node_check,
     lg.Expand: _compile_expand,
     lg.VarLengthExpand: _compile_var_length_expand,
+    lg.ReachabilityProbe: _compile_reachability_probe,
     lg.ProjectPath: _compile_project_path,
     lg.Filter: _compile_filter,
     lg.ExtendedProject: _compile_project,

@@ -278,6 +278,31 @@ class _PlanBuilder:
                 usable.append(sargable)
         return usable
 
+    def _probe_deferral(self, chain, bound, other_names):
+        """True when planning ``chain`` now would forfeit an enabled probe.
+
+        A reachability index can only serve a var-length hop whose far
+        endpoint is *already bound* (there must be a target to certify
+        against).  When such a hop's endpoint is still unbound but is
+        named by another remaining chain, deferring this chain lets that
+        chain bind the endpoint first — turning an unbounded enumeration
+        into an index probe.  Without a covering index this never fires,
+        so plans on index-less graphs are byte-identical to before.
+        """
+        elements = chain.elements
+        for index in range(1, len(elements), 2):
+            rho = elements[index]
+            if not rho.is_variable_length:
+                continue
+            _low, high = rho.resolved_range()
+            if self.cost.reachability_probe(rho, True, high) is None:
+                continue
+            for endpoint in (elements[index - 1], elements[index + 1]):
+                name = endpoint.name
+                if name is not None and name not in bound and name in other_names:
+                    return True
+        return False
+
     def _plan_pattern_tuple(self, plan, patterns, sargables=_NO_SARGABLES):
         bound = set(plan.fields)
         unique_rels = []
@@ -285,6 +310,14 @@ class _PlanBuilder:
         while remaining:
             best = None
             for index, chain in enumerate(remaining):
+                other_names = {
+                    element.name
+                    for position, other in enumerate(remaining)
+                    if position != index
+                    for element in other.node_patterns
+                    if element.name is not None
+                }
+                defer = self._probe_deferral(chain, bound, other_names)
                 for reverse in (False, True):
                     endpoint = (
                         chain.node_patterns[-1]
@@ -300,7 +333,7 @@ class _PlanBuilder:
                         if endpoint.name is not None
                         else (),
                     )
-                    key = (cardinality, index, reverse)
+                    key = (defer, cardinality, index, reverse)
                     if best is None or key < best[0]:
                         best = (key, index, reverse)
             _key, index, reverse = best
@@ -431,21 +464,41 @@ class _PlanBuilder:
                 unique_segments = ()
             low, high = rho.resolved_range()
             if rho.is_variable_length:
-                plan = lg.VarLengthExpand(
-                    plan,
-                    from_variable=current_name,
-                    to_variable=to_name,
-                    rel_variable=rel_name,
-                    rel_pattern=rho,
-                    node_pattern=chi,
-                    low=low,
-                    high=high,
-                    into=into,
-                    unique_with=unique,
-                    unique_nodes=unique_nodes,
-                    unique_segments=unique_segments,
-                    fields=tuple(visible),
-                )
+                probe = self.cost.reachability_probe(rho, into, high)
+                if probe is not None:
+                    plan = lg.ReachabilityProbe(
+                        plan,
+                        from_variable=current_name,
+                        to_variable=to_name,
+                        rel_variable=rel_name,
+                        rel_pattern=rho,
+                        node_pattern=chi,
+                        low=low,
+                        high=high,
+                        into=into,
+                        unique_with=unique,
+                        unique_nodes=unique_nodes,
+                        unique_segments=unique_segments,
+                        fields=tuple(visible),
+                        index_types=probe.index_types,
+                        forward=probe.forward,
+                    )
+                else:
+                    plan = lg.VarLengthExpand(
+                        plan,
+                        from_variable=current_name,
+                        to_variable=to_name,
+                        rel_variable=rel_name,
+                        rel_pattern=rho,
+                        node_pattern=chi,
+                        low=low,
+                        high=high,
+                        into=into,
+                        unique_with=unique,
+                        unique_nodes=unique_nodes,
+                        unique_segments=unique_segments,
+                        fields=tuple(visible),
+                    )
                 chain_segments.append((current_name, rel_name))
             else:
                 plan = lg.Expand(

@@ -275,6 +275,20 @@ class CypherEngine:
         """Drop a property index; returns True when one existed."""
         return self.graph.drop_index(label, key)
 
+    def create_reachability_index(self, types=None):
+        """Declare a reachability index over a relationship-type set.
+
+        ``types`` is an iterable of type names (None = all types).
+        Returns True when the index is new; unbounded var-length
+        traversals into a bound endpoint compile to index probes from
+        the next (re)plan on.
+        """
+        return self.graph.create_reachability_index(types)
+
+    def drop_reachability_index(self, types=None):
+        """Drop a reachability index; returns True when one existed."""
+        return self.graph.drop_reachability_index(types)
+
     def _plan_for_explain(self, query_text):
         """``(plan, updating)`` through :meth:`run`'s exact pipeline."""
         from repro.planner import plan_query

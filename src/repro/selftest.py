@@ -268,6 +268,82 @@ def _check_index_smoke(failures):
             )
 
 
+#: The reachability-maintenance smoke sequence: extend the :R chain,
+#: close a cycle, then cut it — each reshaping the condensation the
+#: declared reachability indexes maintain incrementally.
+REACHABILITY_SMOKE_STATEMENTS = (
+    "MATCH (a {name: 'node-4'}), (b {name: 'node-6'}) CREATE (a)-[:R]->(b)",
+    "MATCH (a {name: 'node-6'}), (b {name: 'node-0'}) CREATE (a)-[:R]->(b)",
+    "MATCH (a {name: 'node-4'})-[r:S]->(b {name: 'node-5'}) DELETE r",
+)
+
+#: Probe queries that must take the ReachabilityProbe access path on the
+#: indexed clone and agree with a DFS-only run on a plain clone.
+REACHABILITY_SMOKE_PROBES = (
+    "MATCH (a {name: 'node-0'}), (b {name: 'node-6'}) "
+    "MATCH (a)-[:R*]->(b) RETURN count(*) AS c",
+    "MATCH (a {name: 'node-3'}), (b {name: 'node-1'}) "
+    "MATCH (a)<-[:R*]-(b) RETURN count(*) AS c",
+    "MATCH (a {name: 'node-0'}), (b {name: 'node-5'}) "
+    "MATCH p = (a)-[*]->(b) RETURN length(p) AS len ORDER BY len LIMIT 3",
+)
+
+
+def _check_reachability_smoke(failures):
+    """Create → mutate → probe against the reachability index.
+
+    Mirrors the property-index smoke: probes must *prove* the probe
+    path — the plan is walked for a ReachabilityProbe operator — and
+    their results must match a DFS-only run on an unindexed clone, and
+    the maintained condensation must equal a from-scratch rebuild after
+    the mutations.
+    """
+    from repro.planner import logical as lg
+
+    indexed = fixture_graph()
+    indexed.create_reachability_index()
+    indexed.create_reachability_index(["R"])
+    plain = fixture_graph()
+    indexed_engine = CypherEngine(indexed)
+    plain_engine = CypherEngine(plain)
+    for statement in REACHABILITY_SMOKE_STATEMENTS:
+        indexed_engine.run(statement)
+        plain_engine.run(statement)
+    if graph_state(indexed) != graph_state(plain):
+        failures.append(
+            "reachability smoke: indexed and plain stores diverged"
+        )
+        return
+    rebuilt = indexed.copy()
+    for types in indexed.reachability_indexes():
+        if indexed.reachability_snapshot(types) != (
+            rebuilt.reachability_snapshot(types)
+        ):
+            failures.append(
+                "reachability smoke: maintained index %r differs from a "
+                "rebuild" % (types,)
+            )
+    for query in REACHABILITY_SMOKE_PROBES:
+        result = indexed_engine.run(query)
+        stack = [result.plan]
+        hit = False
+        while stack:
+            op = stack.pop()
+            if isinstance(op, lg.ReachabilityProbe):
+                hit = True
+            stack.extend(op._children())
+        if not hit:
+            failures.append(
+                "reachability smoke: %s did not take the probe path" % query
+            )
+        reference = plain_engine.run(query)
+        if not reference.table.same_bag(result.table):
+            failures.append(
+                "reachability smoke: %s disagrees with the DFS-only run"
+                % query
+            )
+
+
 #: Session statements for the crash-recovery smoke: every mutation kind,
 #: so a crash point lands in create, set, remove, delete and index
 #: maintenance alike.
@@ -378,6 +454,11 @@ def run_selftest(output=print):
     output(
         "index maintenance:    %2d statements, %d index-proven probes"
         % (len(INDEX_SMOKE_STATEMENTS), len(INDEX_SMOKE_PROBES))
+    )
+    _check_reachability_smoke(failures)
+    output(
+        "reachability probes:  %2d statements, %d probe-proven queries"
+        % (len(REACHABILITY_SMOKE_STATEMENTS), len(REACHABILITY_SMOKE_PROBES))
     )
     _check_crash_recovery(failures)
     output(

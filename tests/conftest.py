@@ -45,8 +45,11 @@ def _covered_packages():
     morsel execution (PR 7) lands inside these same roots —
     ``runtime/scheduler.py`` and ``planner/parallel.py`` are under the
     floor automatically, which is the point of tracing directories
-    rather than files.
+    rather than files.  ``graph/reachability.py`` joined with the
+    reachability indexes (PR 8): its condensation maintenance runs on
+    every relationship mutation, same argument as ``store.py``.
     """
+    import repro.graph.reachability
     import repro.graph.store
     import repro.planner
     import repro.runtime
@@ -64,6 +67,9 @@ def _covered_packages():
         ),
         "src/repro/graph/store.py": os.path.abspath(
             repro.graph.store.__file__
+        ),
+        "src/repro/graph/reachability.py": os.path.abspath(
+            repro.graph.reachability.__file__
         ),
     }
 

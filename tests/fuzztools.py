@@ -29,6 +29,13 @@ The module exposes:
   checks an incrementally-maintained index against a from-scratch
   rebuild — the differential harness runs the same corpus with and
   without indexes present, so pushdown can never change results.
+* the reachability corpus (PR 8): :func:`shaped_graph_specs` generates
+  forest / DAG / cyclic graph specs, :func:`build_shaped_graph`
+  materialises one with or without reachability indexes,
+  :data:`REACHABILITY_GRAPH` is the fixture graph with overlapping
+  reachability indexes declared, and
+  :func:`assert_reachability_consistent` pins incremental condensation
+  maintenance against a from-scratch rebuild;
 * the transactional-session corpus (PR 6): ``transaction_scripts``
   generates begin → mixed updates → commit/rollback step lists over the
   shared update strategies, :func:`apply_script` replays one through a
@@ -111,6 +118,143 @@ def assert_indexes_consistent(graph):
         assert graph.index_snapshot(label, key) == rebuilt.index_snapshot(
             label, key
         ), "index :%s(%s) diverged from a rebuild" % (label, key)
+
+def reachability_fixture_graph():
+    """The fixture graph with reachability indexes declared (PR 8).
+
+    Three overlapping type sets — the all-types index, the exact ``:R``
+    index and the ``:R|S`` superset — so the planner's covering-set
+    preference (exact > smallest superset > all-types) is exercised by
+    the same corpus.  The graph contents stay byte-identical to
+    :func:`fixture_graph`'s, which is what makes the with/without-index
+    differential meaningful.
+    """
+    graph = fixture_graph()
+    graph.create_reachability_index()
+    graph.create_reachability_index(["R"])
+    graph.create_reachability_index(["R", "S"])
+    return graph
+
+
+REACHABILITY_GRAPH = reachability_fixture_graph()
+
+
+def assert_reachability_consistent(graph):
+    """Every maintained reachability index must equal a rebuild.
+
+    ``graph.copy()`` re-declares its reachability indexes from the
+    copied relationships (a from-scratch Tarjan + recount), so any
+    divergence in the canonical snapshots means an incremental
+    condensation update missed or miscounted a mutation.
+    """
+    rebuilt = graph.copy()
+    for types in graph.reachability_indexes():
+        assert graph.reachability_snapshot(types) == (
+            rebuilt.reachability_snapshot(types)
+        ), "reachability index %r diverged from a rebuild" % (types,)
+
+
+@st.composite
+def shaped_graph_specs(draw):
+    """Random graph specs in three shapes: forest, DAG, cyclic.
+
+    Returns ``(shape, node_count, edges)`` with ``edges`` a list of
+    ``(source, target, rel_type)`` triples over node indices.  Forests
+    parent each node to a strictly earlier one (so components are
+    trees), DAGs only add forward edges, and cyclic graphs draw
+    unrestricted pairs including self-loops — the shapes the interval
+    labels, the SCC condensation and its fallbacks each specialise for.
+    """
+    shape = draw(st.sampled_from(["forest", "dag", "cyclic"]))
+    count = draw(st.integers(min_value=2, max_value=9))
+    rel_type = st.sampled_from(["R", "S"])
+    edges = []
+    if shape == "forest":
+        for node in range(1, count):
+            if draw(st.booleans()):
+                parent = draw(st.integers(min_value=0, max_value=node - 1))
+                edges.append((parent, node, draw(rel_type)))
+    elif shape == "dag":
+        for _ in range(draw(st.integers(min_value=0, max_value=2 * count))):
+            source = draw(st.integers(min_value=0, max_value=count - 2))
+            target = draw(st.integers(min_value=source + 1,
+                                      max_value=count - 1))
+            edges.append((source, target, draw(rel_type)))
+    else:
+        for _ in range(draw(st.integers(min_value=1, max_value=2 * count))):
+            source = draw(st.integers(min_value=0, max_value=count - 1))
+            target = draw(st.integers(min_value=0, max_value=count - 1))
+            edges.append((source, target, draw(rel_type)))
+    return shape, count, edges
+
+
+def build_shaped_graph(count, edges, reachability=False):
+    """Materialise a :func:`shaped_graph_specs` spec as a store.
+
+    With ``reachability=True`` the all-types and ``:R`` indexes are
+    declared after the build, leaving the data byte-identical to the
+    plain variant.
+    """
+    builder = GraphBuilder()
+    for node in range(count):
+        builder.node("n%d" % node, "N", v=node % 3, name="node-%d" % node)
+    for source, target, rel_type in edges:
+        builder.rel("n%d" % source, rel_type, "n%d" % target)
+    graph, _ = builder.build()
+    if reachability:
+        graph.create_reachability_index()
+        graph.create_reachability_index(["R"])
+    return graph
+
+
+#: Var-length templates over two endpoint names: probe-eligible shapes
+#: (directed, no upper bound, typed/untyped, both directions, lower
+#: bounds, named paths) and deliberate decliners (undirected, bounded)
+#: in one pool, so the differential pins the gate from both sides.
+REACHABILITY_QUERY_TEMPLATES = [
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "MATCH (a)-[r:R*]->(b) RETURN count(*) AS c",
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "MATCH (a)-[r*]->(b) RETURN size(r) AS n ORDER BY n",
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "MATCH (a)<-[r:R|S*]-(b) RETURN count(*) AS c",
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "MATCH (a)-[r:R*2..]->(b) RETURN size(r) AS n ORDER BY n",
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "MATCH p = (a)-[:R|S*]->(b) RETURN length(p) AS len ORDER BY len",
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "MATCH (a)-[r:S*]->(b) RETURN count(*) AS c",
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "MATCH (a)-[r:R*]-(b) RETURN count(*) AS c",
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "MATCH (a)-[r:R*1..3]->(b) RETURN size(r) AS n ORDER BY n",
+    "MATCH (a {name: %(a)r}) MATCH (a)-[r:R*]->(b {name: %(b)r}) "
+    "RETURN count(*) AS c",
+    # Correlated pattern comprehensions: the native enumerator must
+    # preserve the matcher's emission order (the lists are compared
+    # element-wise), with and without the index pruning its walks.
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "RETURN size([(a)-[:R*]->(b) | 1]) AS n",
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "RETURN [p = (a)-[*]->(b) | length(p)] AS lens",
+    "MATCH (a {name: %(a)r}), (b {name: %(b)r}) "
+    "RETURN [(a)<-[r:R|S*]-(b) | size(r)] AS sizes",
+]
+
+
+@st.composite
+def reachability_cases(draw):
+    """A shaped graph spec plus one var-length query over it."""
+    shape, count, edges = draw(shaped_graph_specs())
+    template = draw(st.sampled_from(REACHABILITY_QUERY_TEMPLATES))
+    source = draw(st.integers(min_value=0, max_value=count - 1))
+    target = draw(st.integers(min_value=0, max_value=count - 1))
+    query = template % {
+        "a": "node-%d" % source,
+        "b": "node-%d" % target,
+    }
+    return shape, count, edges, query
+
 
 label_part = st.sampled_from(["", ":A", ":B", ":C"])
 type_part = st.sampled_from(["", ":R", ":S", ":R|S"])

@@ -102,6 +102,39 @@ class TestCommands:
         shell.handle(":load /nonexistent/file.json")
         assert "error:" in output.getvalue()
 
+    def test_reach_lifecycle(self):
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "L", name="x").node("b", "L", name="y")
+            .rel("a", "R", "b")
+            .build()
+        )
+        shell, output = make_shell(graph)
+        shell.handle(":reach")
+        assert "no reachability indexes" in output.getvalue()
+        shell.handle(":reach :R")
+        assert "created reachability index :R" in output.getvalue()
+        shell.handle(":reach *")
+        assert "created reachability index <any type>" in output.getvalue()
+        shell.handle(":reach :R")
+        assert "already exists" in output.getvalue()
+        shell.handle(":reach")
+        assert "2 node(s), 1 edge(s), 2 component(s)" in output.getvalue()
+        shell.handle(":schema")
+        assert "reachability indexes: <any type>, :R" in output.getvalue()
+        shell.handle(
+            ":explain MATCH (a {name:'x'}), (b {name:'y'}) "
+            "MATCH (a)-[:R*]->(b) RETURN count(*) AS c"
+        )
+        assert "ReachabilityProbe" in output.getvalue()
+        assert "via reach(:R, forward)" in output.getvalue()
+        shell.handle(":reach drop :R")
+        assert "dropped reachability index :R" in output.getvalue()
+        shell.handle(":reach drop :R")
+        assert "no reachability index :R" in output.getvalue()
+        shell.handle(":reach bad(spec)")
+        assert "usage: :reach" in output.getvalue()
+
     def test_run_drives_multiple_lines(self):
         shell, output = make_shell()
         shell.run(["CREATE (:A)", "MATCH (a:A) RETURN count(*) AS n", ":quit",
@@ -126,6 +159,37 @@ class TestMain:
         main(["--graph", path, "--query",
               "MATCH (p:Person) RETURN p.name AS name"])
         assert "Ann" in capsys.readouterr().out
+
+
+class TestExplainSubcommand:
+    def test_reach_index_flag_takes_the_probe(self, tmp_path, capsys):
+        from repro.graph.io import dump_json
+
+        graph, _ = (
+            GraphBuilder()
+            .node("a", "L", name="x").node("b", "L", name="y")
+            .rel("a", "R", "b")
+            .build()
+        )
+        path = str(tmp_path / "g.json")
+        dump_json(graph, path)
+        code = main([
+            "explain",
+            "MATCH (a {name:'x'}), (b {name:'y'}) "
+            "MATCH (a)-[:R*]->(b) RETURN count(*) AS c",
+            "--graph", path, "--reach-index", ":R", "--profile",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "ReachabilityProbe" in text
+        assert "reachability probe :R (forward)" in text
+
+    def test_bad_reach_spec_is_rejected(self, capsys):
+        code = main([
+            "explain", "RETURN 1 AS x", "--reach-index", "totally bad",
+        ])
+        assert code == 2
+        assert "bad reachability spec" in capsys.readouterr().err
 
 
 class TestSelftestSubcommand:

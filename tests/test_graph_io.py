@@ -147,3 +147,58 @@ class TestIndexPersistence:
     def test_no_indexes_key_when_none_declared(self):
         graph, _ = GraphBuilder().node("x", "L", v=1).build()
         assert "indexes" not in graph_to_dict(graph)
+
+
+class TestReachabilityPersistence:
+    """Reachability indexes ride along the same way (PR 8)."""
+
+    def make_graph(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "N")
+            .node("b", "N")
+            .node("c", "N")
+            .rel("a", "R", "b")
+            .rel("b", "S", "c")
+            .rel("c", "R", "a")  # closes a cycle across both types
+            .build()[0]
+        )
+        graph.create_reachability_index()
+        graph.create_reachability_index(["R"])
+        graph.create_reachability_index(["R", "S"])
+        return graph
+
+    def test_document_lists_declared_type_sets(self):
+        document = graph_to_dict(self.make_graph())
+        assert document["reachability_indexes"] == [
+            {"types": None},
+            {"types": ["R"]},
+            {"types": ["R", "S"]},
+        ]
+
+    def test_round_trip_restores_condensations(self):
+        graph = self.make_graph()
+        loaded = graph_from_dict(graph_to_dict(graph))
+        assert loaded.reachability_indexes() == graph.reachability_indexes()
+        assert (
+            loaded.reachability_statistics() == graph.reachability_statistics()
+        )
+        for types in graph.reachability_indexes():
+            assert loaded.reachability_snapshot(types) == (
+                graph.reachability_snapshot(types)
+            ), types
+
+    def test_file_round_trip_keeps_reachability_indexes(self, tmp_path):
+        graph = self.make_graph()
+        path = str(tmp_path / "reach.json")
+        dump_json(graph, path)
+        loaded = load_json(path)
+        assert loaded.has_reachability_index(["R"])
+        assert loaded.has_reachability_index()
+        assert (
+            loaded.reachability_statistics() == graph.reachability_statistics()
+        )
+
+    def test_no_reachability_key_when_none_declared(self):
+        graph, _ = GraphBuilder().node("x", "L", v=1).build()
+        assert "reachability_indexes" not in graph_to_dict(graph)

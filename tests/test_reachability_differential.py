@@ -1,0 +1,255 @@
+"""Differential harness with reachability indexes enabled.
+
+Same contract as the property-index harness: declaring a reachability
+index may change *how* var-length rows are found (interval-labeled
+probes with residual verification instead of blind DFS), never *which*
+rows.  Every generated case runs six ways — interpreter / row / batch,
+each over a plain graph and over an identically-populated twin with
+reachability indexes declared — and all six must agree as bags.
+Updating queries run on indexed clones through all three executors and
+must leave byte-identical stores *and* condensations that match a
+from-scratch rebuild (maintenance is only worth having if nobody can
+tell it from recomputation).
+"""
+
+from hypothesis import given, settings
+
+from repro import CypherEngine
+from repro.planner import logical as lg
+from repro.planner.batch import plan_supports_batch
+
+from fuzztools import (
+    GRAPH,
+    REACHABILITY_GRAPH,
+    assert_reachability_consistent,
+    build_shaped_graph,
+    graph_state,
+    indexed_update_queries,
+    match_queries,
+    named_path_queries,
+    reachability_cases,
+    reachability_fixture_graph,
+)
+
+
+def _plan_operators(plan):
+    stack = [plan]
+    while stack:
+        op = stack.pop()
+        yield op
+        stack.extend(op._children())
+
+
+def _assert_read_agreement(query, graph):
+    engine = CypherEngine(graph)
+    interpreted = engine.run(query, mode="interpreter")
+    row = engine.run(query, mode="row")
+    batch = engine.run(query, mode="batch")
+    assert row.executed_by == "planner", query
+    assert row.execution_mode == "row", query
+    assert batch.executed_by == "planner", query
+    if plan_supports_batch(batch.plan):
+        assert batch.execution_mode == "batch", query
+    assert interpreted.table.same_bag(row.table), query
+    assert interpreted.table.same_bag(batch.table), query
+    return interpreted
+
+
+class TestReachabilityReads:
+    """Same bags with and without reachability indexes, all executors."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(case=reachability_cases())
+    def test_shaped_graphs_with_and_without_index(self, case):
+        shape, count, edges, query = case
+        plain = _assert_read_agreement(
+            query, build_shaped_graph(count, edges)
+        )
+        indexed = _assert_read_agreement(
+            query, build_shaped_graph(count, edges, reachability=True)
+        )
+        assert plain.table.same_bag(indexed.table), (
+            "declaring a reachability index changed the results of %r "
+            "on a %s graph" % (query, shape)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(query=match_queries())
+    def test_general_match_corpus_on_reachability_graph(self, query):
+        plain = _assert_read_agreement(query, GRAPH)
+        indexed = _assert_read_agreement(query, REACHABILITY_GRAPH)
+        assert plain.table.same_bag(indexed.table), query
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=named_path_queries())
+    def test_named_path_corpus_on_reachability_graph(self, query):
+        plain = _assert_read_agreement(query, GRAPH)
+        indexed = _assert_read_agreement(query, REACHABILITY_GRAPH)
+        assert plain.table.same_bag(indexed.table), query
+
+
+class TestReachabilityUpdates:
+    """Maintenance must be indistinguishable from a rebuild."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(query=indexed_update_queries())
+    def test_update_differential_with_reachability_indexes(self, query):
+        clones = {mode: REACHABILITY_GRAPH.copy() for mode in
+                  ("interpreter", "row", "batch")}
+        results = {
+            mode: CypherEngine(graph).run(query, mode=mode)
+            for mode, graph in clones.items()
+        }
+        assert results["row"].executed_by == "planner", query
+        assert results["batch"].executed_by == "planner", query
+        reference = results["interpreter"].table
+        reference_state = graph_state(clones["interpreter"])
+        for mode in ("row", "batch"):
+            assert reference.same_bag(results[mode].table), (query, mode)
+            assert reference_state == graph_state(clones[mode]), (query, mode)
+        # Incremental condensation maintenance must equal a rebuild,
+        # byte-identically, and agree across executors.
+        for graph in clones.values():
+            assert_reachability_consistent(graph)
+        for types in clones["interpreter"].reachability_indexes():
+            reference_snapshot = clones[
+                "interpreter"
+            ].reachability_snapshot(types)
+            for mode in ("row", "batch"):
+                assert clones[mode].reachability_snapshot(types) == (
+                    reference_snapshot
+                ), (query, mode, types)
+
+
+def _plan_kinds(graph, query):
+    result = CypherEngine(graph).run(query)
+    assert result.executed_by == "planner", (query, result.fallback_reason)
+    return {type(op) for op in _plan_operators(result.plan)}, result
+
+
+BOUND_PAIR = (
+    "MATCH (a {name: 'node-0'}), (b {name: 'node-4'}) "
+)
+
+
+def test_harness_is_not_vacuous():
+    """The obvious bound-pair traversal must actually take the probe."""
+    graph = reachability_fixture_graph()
+    kinds, result = _plan_kinds(
+        graph, BOUND_PAIR + "MATCH (a)-[:R*]->(b) RETURN count(*) AS c"
+    )
+    assert lg.ReachabilityProbe in kinds, result.plan.describe()
+    assert "ReachabilityProbe" in result.plan.describe()
+
+
+def test_probe_applies_in_both_directions():
+    graph = reachability_fixture_graph()
+    for pattern in ["(a)-[:R*]->(b)", "(a)<-[:R*]-(b)"]:
+        kinds, result = _plan_kinds(
+            graph, BOUND_PAIR + "MATCH %s RETURN count(*) AS c" % pattern
+        )
+        assert lg.ReachabilityProbe in kinds, result.plan.describe()
+
+
+def test_probe_prefers_exact_then_superset_index():
+    graph = reachability_fixture_graph()
+    description = _plan_kinds(
+        graph, BOUND_PAIR + "MATCH (a)-[:R*]->(b) RETURN count(*) AS c"
+    )[1].plan.describe()
+    assert "reach(:R," in description, description
+    description = _plan_kinds(
+        graph, BOUND_PAIR + "MATCH (a)-[:S*]->(b) RETURN count(*) AS c"
+    )[1].plan.describe()
+    # No exact :S index is declared; the :R|S superset is the smallest
+    # covering set, ahead of the all-types index.
+    assert "reach(:R|S," in description, description
+
+
+def test_planner_declines_without_a_covering_index():
+    graph = fixture_graph_with_only_s_index()
+    kinds, result = _plan_kinds(
+        graph, BOUND_PAIR + "MATCH (a)-[:R*]->(b) RETURN count(*) AS c"
+    )
+    assert lg.ReachabilityProbe not in kinds, result.plan.describe()
+    assert lg.VarLengthExpand in kinds
+
+
+def fixture_graph_with_only_s_index():
+    from fuzztools import fixture_graph
+
+    graph = fixture_graph()
+    graph.create_reachability_index(["S"])
+    return graph
+
+
+def test_planner_declines_undirected_bounded_and_unbound_endpoint():
+    graph = reachability_fixture_graph()
+    for query in [
+        BOUND_PAIR + "MATCH (a)-[:R*]-(b) RETURN count(*) AS c",
+        BOUND_PAIR + "MATCH (a)-[:R*1..3]->(b) RETURN count(*) AS c",
+        "MATCH (a {name: 'node-0'}) "
+        "MATCH (a)-[:R*]->(b) RETURN count(*) AS c",
+    ]:
+        kinds, result = _plan_kinds(graph, query)
+        assert lg.ReachabilityProbe not in kinds, (
+            query, result.plan.describe()
+        )
+        assert lg.VarLengthExpand in kinds, query
+
+
+def test_probe_accepts_lower_bounds_and_untyped_patterns():
+    graph = reachability_fixture_graph()
+    for query in [
+        BOUND_PAIR + "MATCH (a)-[:R*2..]->(b) RETURN count(*) AS c",
+        BOUND_PAIR + "MATCH (a)-[*]->(b) RETURN count(*) AS c",
+    ]:
+        kinds, result = _plan_kinds(graph, query)
+        assert lg.ReachabilityProbe in kinds, (
+            query, result.plan.describe()
+        )
+
+
+def test_probe_visible_in_profile_on_both_engines():
+    graph = reachability_fixture_graph()
+    engine = CypherEngine(graph)
+    query = BOUND_PAIR + "MATCH (a)-[:R*]->(b) RETURN count(*) AS c"
+    for mode in ("row", "batch"):
+        result = engine.run(query, mode=mode, profile=True)
+        entries = [
+            record for record in result.access_paths
+            if record["operator"] == "ReachabilityProbe"
+        ]
+        assert entries, (mode, result.access_paths)
+        assert "reachability probe :R (forward)" in {
+            record["entry"] for record in entries
+        }, (mode, entries)
+
+
+def test_pattern_comprehensions_agree_with_and_without_index():
+    """The native comprehension enumerator prunes without changing lists."""
+    for query in [
+        BOUND_PAIR + "RETURN size([(a)-[:R*]->(b) | 1]) AS n",
+        BOUND_PAIR + "RETURN [p = (a)-[:R*]->(b) | length(p)] AS lens",
+        BOUND_PAIR + "RETURN [(a)<-[:R|S*]-(b) | 1] AS hits",
+        "MATCH (a) RETURN a.name AS name, "
+        "size([(a)-[:R*]->(c {name: 'node-4'}) | c]) AS n ORDER BY name",
+    ]:
+        plain = _assert_read_agreement(query, GRAPH)
+        indexed = _assert_read_agreement(query, REACHABILITY_GRAPH)
+        assert plain.table.same_bag(indexed.table), query
+
+
+def test_dropping_the_index_restores_the_plain_plan():
+    graph = reachability_fixture_graph()
+    query = BOUND_PAIR + "MATCH (a)-[:R*]->(b) RETURN count(*) AS c"
+    engine = CypherEngine(graph)
+    with_index = engine.run(query)
+    assert lg.ReachabilityProbe in {
+        type(op) for op in _plan_operators(with_index.plan)
+    }
+    for types in list(graph.reachability_indexes()):
+        graph.drop_reachability_index(types)
+    without = engine.run(query)
+    kinds = {type(op) for op in _plan_operators(without.plan)}
+    assert lg.ReachabilityProbe not in kinds, without.plan.describe()
+    assert with_index.table.same_bag(without.table)
