@@ -48,8 +48,35 @@ def table_report():
 
 
 # ---------------------------------------------------------------------------
-# BENCH_pipeline.json — median wall-times per benchmark
+# BENCH_pipeline.json — median wall-times per benchmark, plus structured
+# entries (workload percentiles etc.) recorded through pipeline_record
 # ---------------------------------------------------------------------------
+
+#: section -> {key: entry} accumulated during one run by pipeline_record.
+_RECORDED = {}
+
+
+@pytest.fixture
+def pipeline_record():
+    """Record a structured entry into BENCH_pipeline.json.
+
+    ``pipeline_record(section, key, entry)`` merges ``entry`` under
+    ``payload[section][key]`` at session end — the channel benchmarks
+    use for results that are not a single wall-time median, such as the
+    macro workload's per-class throughput and tail latencies.  Merging
+    is per key: a filtered rerun refreshes only the entries it actually
+    produced, and sections written by other runs are preserved.
+    """
+
+    def recorder(section, key, entry):
+        if section == "benchmarks":
+            raise ValueError(
+                "'benchmarks' is reserved for pytest-benchmark medians"
+            )
+        _RECORDED.setdefault(section, {})[key] = entry
+
+    return recorder
+
 
 def _pipeline_path():
     override = os.environ.get("BENCH_PIPELINE_PATH")
@@ -59,18 +86,10 @@ def _pipeline_path():
     return os.path.join(repo_root, "BENCH_pipeline.json")
 
 
-def pytest_sessionfinish(session, exitstatus):
-    """Dump per-benchmark medians after a benchmark run.
-
-    Only fires when pytest-benchmark collected something, so plain test
-    runs (and ``-p no:benchmark`` runs) never touch the file.  A failed
-    or interrupted run must not pollute the committed trajectory either.
-    """
-    if exitstatus:
-        return
+def _benchmark_entries(session):
     benchmark_session = getattr(session.config, "_benchmarksession", None)
     if benchmark_session is None:
-        return
+        return {}
     entries = {}
     for bench in getattr(benchmark_session, "benchmarks", ()):
         stats = getattr(bench, "stats", None)
@@ -86,30 +105,65 @@ def pytest_sessionfinish(session, exitstatus):
             }
         except (AttributeError, TypeError):
             continue
-    if not entries:
+    return entries
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump medians and recorded entries after a benchmark run.
+
+    Only fires when pytest-benchmark collected something or a test used
+    ``pipeline_record``, so plain test runs (and ``-p no:benchmark``
+    runs) never touch the file.  A failed or interrupted run must not
+    pollute the committed trajectory either.  Merging is per section
+    and per key inside each section, and top-level sections this run
+    did not produce are carried over from the committed file untouched.
+    """
+    recorded = dict(_RECORDED)
+    _RECORDED.clear()
+    if exitstatus:
+        return
+    entries = _benchmark_entries(session)
+    if not entries and not recorded:
         return
     path = _pipeline_path()
     # Merge with the committed trajectory: a filtered run (-k /
     # --pipeline-only) must refresh only the benchmarks it actually ran,
     # not drop everyone else's baseline.
-    merged = {}
+    previous = {}
     try:
         with open(path) as handle:
-            merged = dict(json.load(handle).get("benchmarks", {}))
+            previous = dict(json.load(handle))
     except (OSError, ValueError):
         pass
-    merged.update(entries)
+    payload = {
+        key: value
+        for key, value in previous.items()
+        if key not in ("generated_by", "generated_at", "python")
+    }
+    payload.setdefault("benchmarks", {})
+    if not isinstance(payload["benchmarks"], dict):
+        payload["benchmarks"] = {}
+    payload["benchmarks"].update(entries)
+    payload["benchmarks"] = dict(sorted(payload["benchmarks"].items()))
+    for section, section_entries in recorded.items():
+        existing = payload.get(section)
+        if not isinstance(existing, dict):
+            existing = {}
+        existing.update(section_entries)
+        payload[section] = dict(sorted(existing.items()))
     payload = {
         "generated_by": "benchmarks/conftest.py (python -m repro.cli bench)",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
-        "benchmarks": dict(sorted(merged.items())),
+        **payload,
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
+    written = len(entries) + sum(len(v) for v in recorded.values())
     terminal = session.config.pluginmanager.get_plugin("terminalreporter")
     if terminal is not None:
         terminal.write_line(
-            "wrote %d benchmark median(s) to %s" % (len(entries), path)
+            "wrote %d benchmark entr%s to %s"
+            % (written, "y" if written == 1 else "ies", path)
         )

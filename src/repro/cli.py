@@ -8,6 +8,9 @@ Usage::
     python -m repro.cli explain "MATCH ..."   # which path runs it, and why
     python -m repro.cli selftest              # row/batch/interpreter
                                               # differential + TCK smoke gate
+    python -m repro.cli ingest dir/           # bulk-load CSV tables
+                                              # (--generate SCALE for the
+                                              # LDBC-style social dataset)
     python -m repro.cli bench                 # run the benchmark suite;
                                               # medians -> BENCH_pipeline.json
 
@@ -584,6 +587,141 @@ def explain_main(argv=None):
     return 0
 
 
+def ingest_main(argv=None):
+    """``python -m repro.cli ingest``: bulk-load CSV tables into a store.
+
+    Loads neo4j-admin-style CSV files (``:ID(ns)``/``:LABEL`` node
+    tables, ``:START_ID``/``:END_ID``/``:TYPE`` relationship tables,
+    typed property columns like ``age:int``) through the streaming
+    bulk-ingest path with deferred index builds, prints the ingest
+    report, and optionally saves the resulting graph as JSON.  With
+    ``--generate`` the LDBC-style social dataset is generated at the
+    given scale factor first and its CSV files become the input.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli ingest",
+        description="bulk-load CSV tables through the streaming ingest path",
+    )
+    parser.add_argument(
+        "sources",
+        nargs="*",
+        help="CSV files or a directory of them (node tables load first)",
+    )
+    parser.add_argument(
+        "--generate",
+        type=float,
+        metavar="SCALE",
+        help="generate the LDBC-style social dataset at this scale factor "
+        "and ingest its CSV files",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    parser.add_argument(
+        "--out",
+        help="directory for generated CSV files (default: a temp directory)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1000,
+        help="rows per bulk create (default 1000; 1 = per-row baseline)",
+    )
+    parser.add_argument(
+        "--no-defer",
+        action="store_true",
+        help="maintain declared indexes per row instead of one rebuild "
+        "at ingest end",
+    )
+    parser.add_argument(
+        "--index",
+        action="append",
+        default=[],
+        metavar=":Label(key)",
+        help="declare a property index before ingest (repeatable)",
+    )
+    parser.add_argument(
+        "--reach-index",
+        action="append",
+        default=[],
+        metavar=":T|U",
+        help="declare a reachability index before ingest (* for all "
+        "types; repeatable)",
+    )
+    parser.add_argument("--save", help="write the loaded graph as JSON")
+    arguments = parser.parse_args(argv)
+    if bool(arguments.sources) == (arguments.generate is not None):
+        print("error: pass CSV sources or --generate SCALE (not both)",
+              file=sys.stderr)
+        return 2
+    graph = MemoryGraph()
+    for spec in arguments.index:
+        match = _INDEX_SPEC.match(spec)
+        if match is None:
+            print("error: bad index spec %r (want :Label(key))" % spec,
+                  file=sys.stderr)
+            return 2
+        graph.create_index(match.group(1), match.group(2))
+    for spec in arguments.reach_index:
+        ok, types = _parse_reach_spec(spec)
+        if not ok:
+            print("error: bad reachability spec %r (want :T|U or *)" % spec,
+                  file=sys.stderr)
+            return 2
+        graph.create_reachability_index(types)
+
+    from repro.graph.ingest import IngestError, ingest_csv
+
+    sources = arguments.sources
+    temp_dir = None
+    if arguments.generate is not None:
+        from repro.datasets.ldbc_social import generate
+
+        dataset = generate(scale=arguments.generate, seed=arguments.seed)
+        directory = arguments.out
+        if directory is None:
+            import tempfile
+
+            temp_dir = tempfile.TemporaryDirectory(prefix="repro-ldbc-")
+            directory = temp_dir.name
+        sources = dataset.write_csv(directory)
+        print(
+            "generated scale %g (seed %d): %s"
+            % (
+                arguments.generate,
+                arguments.seed,
+                ", ".join(
+                    "%d %s" % (count, noun)
+                    for noun, count in dataset.counts.items()
+                ),
+            )
+        )
+    try:
+        report = ingest_csv(
+            graph,
+            sources,
+            batch_size=arguments.batch_size,
+            defer_indexes=not arguments.no_defer,
+        )
+    except (IngestError, OSError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    finally:
+        if temp_dir is not None and arguments.out is None:
+            temp_dir.cleanup()
+    print("ingested " + report.summary())
+    for name, kind, rows in report.tables:
+        print("  %-16s %-13s %d row(s)" % (name, kind, rows))
+    print(
+        "store: %d nodes, %d relationships"
+        % (graph.node_count(), graph.relationship_count())
+    )
+    if arguments.save:
+        dump_json(graph, arguments.save)
+        print("saved %s" % arguments.save)
+    return 0
+
+
 def selftest_main(argv=None):
     """``python -m repro.cli selftest``: the differential smoke gate.
 
@@ -612,6 +750,8 @@ def main(argv=None):
         return explain_main(argv[1:])
     if argv and argv[0] == "selftest":
         return selftest_main(argv[1:])
+    if argv and argv[0] == "ingest":
+        return ingest_main(argv[1:])
     parser = argparse.ArgumentParser(description="repro Cypher shell")
     parser.add_argument("--graph", help="JSON graph file to load")
     parser.add_argument("--query", help="run one query and exit")

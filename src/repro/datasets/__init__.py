@@ -12,6 +12,7 @@ from repro.datasets.paper import figure1_graph, figure4_graph, self_loop_graph
 from repro.datasets.citations import citation_network
 from repro.datasets.datacenter import datacenter_graph
 from repro.datasets.fraud import fraud_graph
+from repro.datasets.ldbc_social import LdbcDataset, generate as ldbc_social
 from repro.datasets.social import social_graph
 
 __all__ = [
@@ -21,5 +22,7 @@ __all__ = [
     "citation_network",
     "datacenter_graph",
     "fraud_graph",
+    "ldbc_social",
+    "LdbcDataset",
     "social_graph",
 ]

@@ -99,6 +99,7 @@ class ReachabilityIndex:
         self._generation = 0
         self._labels = None  # (generation, pre, post, rank, low)
         self._memo = {}  # (comp, comp) -> bool, valid for current labels
+        self._diameter = None  # (generation, longest DAG path in edges)
         self._lock = threading.Lock()
 
     # -- type coverage ----------------------------------------------------
@@ -566,6 +567,43 @@ class ReachabilityIndex:
 
     # -- introspection -----------------------------------------------------
 
+    def condensation_diameter(self):
+        """Longest path, in edges, of the component DAG (memoised).
+
+        A var-length pattern whose upper bound exceeds this can cross
+        at most ``diameter`` component boundaries before it must repeat
+        a component, so the bound stops being the cheap reason to
+        decline an index probe.  O(components + DAG edges) when stale;
+        the result is cached until the next structural change (the same
+        ``_generation`` bump that invalidates the interval labels).
+        """
+        cached = self._diameter
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        depth = {}
+        succ = self._succ
+        for root in self._members:
+            if root in depth:
+                continue
+            stack = [(root, iter(succ.get(root, ())))]
+            while stack:
+                comp, successors = stack[-1]
+                advanced = False
+                for nxt in successors:
+                    if nxt not in depth:
+                        stack.append((nxt, iter(succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    depth[comp] = 1 + max(
+                        (depth[nxt] for nxt in succ.get(comp, ())),
+                        default=-1,
+                    )
+        value = max(depth.values(), default=0)
+        self._diameter = (self._generation, value)
+        return value
+
     def statistics(self):
         """Cheap size facts for the cost model and ``explain``."""
         return {
@@ -573,6 +611,7 @@ class ReachabilityIndex:
             "nodes": len(self._comp_of),
             "edges": len(self._edges),
             "components": len(self._members),
+            "condensation_diameter": self.condensation_diameter(),
         }
 
     def snapshot(self):

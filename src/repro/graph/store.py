@@ -1068,6 +1068,10 @@ class MemoryGraph(PropertyGraph):
             for node in reversed(entry[1]):
                 if node in self._node_labels:
                     self._delete_node_raw(node, detach=True)
+        elif op == "create_rels":
+            for rel in reversed(entry[1]):
+                if rel in self._rel_endpoints:
+                    self._delete_relationship_raw(rel)
         elif op == "delete_rel":
             self._undo_delete_relationship(*entry[1:])
         elif op == "delete_node":
@@ -1251,6 +1255,87 @@ class MemoryGraph(PropertyGraph):
         if self._reachability_indexes:
             self._reachability_rel_created(rel_id, src, tgt, rel_type)
         return rel_id
+
+    def _create_rels_bulk_raw(self, rel_type, triples, ids):
+        """Create one relationship per ``(src, tgt, props)``, sharing a type.
+
+        The bulk-ingest counterpart of :meth:`_create_nodes_bulk_raw`:
+        per-call layers and the per-create type-index/scan-cache
+        maintenance are hoisted out of the loop (the type's index set
+        takes one ``update``, a warm scan list one ``extend``), and the
+        covering reachability indexes are resolved once instead of per
+        edge.  Ids are allocated in triple order, exactly as the per-row
+        path would.  A validation or endpoint failure mid-batch leaves
+        the relationships before it fully created (the ``finally``
+        indexes whatever prefix exists), matching the per-row path's
+        partial-failure state; ``ids`` is the caller's output list,
+        appended in creation order even when a later triple raises, so
+        the single undo entry covers exactly the created prefix.
+        """
+        self._fault("create_rels")
+        if not isinstance(rel_type, str) or not rel_type:
+            raise ValueError("relationship type must be a non-empty string")
+        node_labels = self._node_labels
+        rel_endpoints = self._rel_endpoints
+        rel_types = self._rel_types
+        rel_properties = self._rel_properties
+        outgoing = self._outgoing
+        incoming = self._incoming
+        outgoing_by_type = self._outgoing_by_type
+        incoming_by_type = self._incoming_by_type
+        append = ids.append
+        pins = self._pins
+        if pins:
+            self._preserve_type(rel_type)
+        if self._undo is not None:
+            self._undo.append(("create_rels", ids))
+        covering = [
+            index
+            for index in self._reachability_indexes.values()
+            if index.covers(rel_type)
+        ]
+        try:
+            for src, tgt, properties in triples:
+                if src not in node_labels:
+                    raise EntityNotFound(
+                        "source node %r not in graph" % (src,)
+                    )
+                if tgt not in node_labels:
+                    raise EntityNotFound(
+                        "target node %r not in graph" % (tgt,)
+                    )
+                validated = _validated_properties(properties)  # may raise
+                rel_id = RelId(self._next_rel_id)
+                self._next_rel_id += 1
+                if pins:
+                    self._preserve_rel(rel_id)
+                    self._preserve_adjacency(src)
+                    self._preserve_adjacency(tgt)
+                rel_endpoints[rel_id] = (src, tgt)
+                rel_types[rel_id] = rel_type
+                rel_properties[rel_id] = validated
+                outgoing.setdefault(src, []).append(rel_id)
+                incoming.setdefault(tgt, []).append(rel_id)
+                outgoing_by_type.setdefault(src, {}).setdefault(
+                    rel_type, []
+                ).append(rel_id)
+                incoming_by_type.setdefault(tgt, {}).setdefault(
+                    rel_type, []
+                ).append(rel_id)
+                append(rel_id)
+                if covering:
+                    self._fault("reachability_add")
+                    for index in covering:
+                        index.add_edge(rel_id, src, tgt)
+        finally:
+            self._type_index.setdefault(rel_type, set()).update(ids)
+            cached = self._scan_cache.get(("type", rel_type))
+            if cached is not None:
+                if cached[0] == self._version:
+                    cached[1].extend(ids)
+                else:
+                    del self._scan_cache[("type", rel_type)]
+        return ids
 
     def adopt_node(self, node_id, labels=(), properties=None):
         """Insert a node under a *caller-chosen* id.
@@ -1767,6 +1852,15 @@ class StoreTransaction:
         self.relationships_created += 1
         return rel
 
+    def create_relationships(self, rel_type, triples):
+        """Bulk-create one relationship per ``(src, tgt, props)`` triple."""
+        ids = []
+        try:
+            self._graph._create_rels_bulk_raw(rel_type, triples, ids)
+        finally:
+            self.relationships_created += len(ids)
+        return ids
+
     # -- property and label changes (immediate, unversioned) ----------------
 
     def set_property(self, entity_id, key, value):
@@ -2025,6 +2119,9 @@ class _StatementTransaction:
 
     def create_relationship(self, src, tgt, rel_type, properties=None):
         return self._parent.create_relationship(src, tgt, rel_type, properties)
+
+    def create_relationships(self, rel_type, triples):
+        return self._parent.create_relationships(rel_type, triples)
 
     def set_property(self, entity_id, key, value):
         self._parent.set_property(entity_id, key, value)

@@ -314,14 +314,23 @@ def reachability_candidate(statistics, rel_pattern, into, high):
     The gate mirrors the probe's soundness conditions: the far endpoint
     must already be bound (``into`` — otherwise there is no target to
     certify against), the pattern must be directed (the indexes store
-    directed condensations), the walk must be unbounded above (a finite
-    ``high`` already caps enumeration, and the cost model prefers the
-    plain walk there), and a declared type set must *cover* the
+    directed condensations), and a declared type set must *cover* the
     pattern's types — equal, a superset, or the all-types index, all of
     which only over-approximate and the walk itself is the residual
     verification.
+
+    A finite upper bound never breaks soundness — the compiled probe
+    runs the same capped DFS as the plain walk and the index only prunes
+    subtrees that cannot reach the target *at all* (a fortiori not
+    within ``high`` hops) — so bounded patterns are a pure cost call.
+    The probe wins when the cap barely constrains enumeration: once
+    ``high`` exceeds the index's condensation diameter (the longest
+    component-DAG path), most reachable pairs sit within the permitted
+    depth and the bound prunes next to nothing, so the index does the
+    pruning instead.  At or below the diameter the cap itself is the
+    effective pruner and the plain walk stays.
     """
-    if not into or high is not None:
+    if not into:
         return None
     direction = rel_pattern.direction
     if direction == pt.UNDIRECTED:
@@ -335,8 +344,14 @@ def reachability_candidate(statistics, rel_pattern, into, high):
     chosen = best_covering(rel_pattern.resolved_types, available)
     if chosen is best_covering.MISS:
         return None
+    index_key = available[chosen]
+    if high is not None:
+        facts = statistics.reachability_indexes.get(index_key) or {}
+        diameter = facts.get("condensation_diameter")
+        if diameter is None or high <= diameter:
+            return None
     return ReachabilityCandidate(
-        index_types=available[chosen],
+        index_types=index_key,
         forward=direction == pt.LEFT_TO_RIGHT,
     )
 

@@ -289,6 +289,24 @@ class CypherEngine:
         """Drop a reachability index; returns True when one existed."""
         return self.graph.drop_reachability_index(types)
 
+    def ingest(self, sources, batch_size=1000, defer_indexes=True):
+        """Bulk-load CSV tables into the default graph.
+
+        ``sources`` is a directory path, file paths, or ``(name,
+        lines)`` pairs — see :func:`repro.graph.ingest.ingest_csv`.
+        Rows batch through the store's bulk create paths inside one
+        rollback-exact transaction; with ``defer_indexes`` the declared
+        property/reachability indexes are rebuilt once at ingest end
+        instead of being maintained per row.  Returns the
+        :class:`~repro.graph.ingest.IngestReport`.
+        """
+        from repro.graph.ingest import ingest_csv
+
+        return ingest_csv(
+            self.graph, sources,
+            batch_size=batch_size, defer_indexes=defer_indexes,
+        )
+
     def _plan_for_explain(self, query_text):
         """``(plan, updating)`` through :meth:`run`'s exact pipeline."""
         from repro.planner import plan_query

@@ -427,6 +427,82 @@ def _check_crash_recovery(failures):
             )
 
 
+#: Macro smoke shape: tiny scale, short writer, hard wall-clock cap.
+MACRO_SMOKE_SCALE = 0.01
+MACRO_SMOKE_TXNS = 12
+MACRO_SMOKE_BUDGET_S = 30.0
+
+
+def _check_macro_smoke(failures):
+    """Generate → ingest → concurrent mixed drive → differential.
+
+    The end-to-end macro path: a scale-0.01 social dataset streams
+    through the deferred-index CSV ingest (checked byte-identical to the
+    direct emission), then the mixed read/write driver runs under a
+    wall-clock budget, and the live store must equal a serial replay of
+    the committed transaction log — with zero reader errors, snapshot
+    invariant violations or version regressions.
+    """
+    import os
+    import sys
+
+    from repro.datasets import ldbc_social
+    from repro.graph.ingest import ingest_csv
+    from repro.graph.store import MemoryGraph
+
+    benchmarks_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        ))),
+        "benchmarks",
+    )
+    if not os.path.isdir(benchmarks_dir):
+        failures.append("macro smoke: benchmarks/ not found (no driver)")
+        return
+    if benchmarks_dir not in sys.path:
+        sys.path.insert(0, benchmarks_dir)
+    from workload import MacroWorkload, dataset_handles, prepare, replay
+
+    dataset = ldbc_social(scale=MACRO_SMOKE_SCALE, seed=0)
+    graph = MemoryGraph()
+    graph.create_index("Person", "id")
+    graph.create_reachability_index(["KNOWS"])
+    ingest_csv(
+        graph,
+        [(t.name + ".csv", list(dataset.csv_lines(t)))
+         for t in dataset.tables],
+    )
+    if graph_state(graph) != graph_state(dataset.to_graph()):
+        failures.append("macro smoke: CSV ingest diverged from emission")
+        return
+    engine = CypherEngine(graph)
+    prepare(engine)
+    baseline = graph.copy()
+    driver = MacroWorkload(
+        engine, *dataset_handles(dataset),
+        update_txns=MACRO_SMOKE_TXNS, readers=2,
+        budget_s=MACRO_SMOKE_BUDGET_S, seed=0,
+    )
+    result = driver.run()
+    for error in result.errors:
+        failures.append("macro smoke: driver error %s" % error)
+    for violation in result.invariant_failures:
+        failures.append("macro smoke: snapshot invariant %s" % violation)
+    for regression in result.version_regressions:
+        failures.append(
+            "macro smoke: snapshot version regressed %r" % (regression,)
+        )
+    if result.committed == 0:
+        failures.append("macro smoke: writer never committed")
+        return
+    replayed = replay(CypherEngine(baseline), result.committed_log)
+    if graph_state(replayed) != graph_state(engine.graph):
+        failures.append(
+            "macro smoke: serial replay diverged from the concurrent store"
+        )
+    return result
+
+
 def run_selftest(output=print):
     """Run the whole suite; returns the number of failures."""
     failures = []
@@ -464,6 +540,19 @@ def run_selftest(output=print):
     output(
         "crash recovery:       %2d statements, faults at first/mid/commit "
         "sites" % len(CRASH_SMOKE_STATEMENTS)
+    )
+    before_macro = len(failures)
+    macro = _check_macro_smoke(failures)
+    output(
+        "macro workload:       scale %.2f ingest + %s txns committed, "
+        "%s reads, replay %s"
+        % (
+            MACRO_SMOKE_SCALE,
+            macro.committed if macro else "no",
+            macro.reads if macro else 0,
+            "matched" if macro and len(failures) == before_macro
+            else "DIVERGED",
+        )
     )
 
     from repro.tck import TckRunner

@@ -48,7 +48,13 @@ def _covered_packages():
     rather than files.  ``graph/reachability.py`` joined with the
     reachability indexes (PR 8): its condensation maintenance runs on
     every relationship mutation, same argument as ``store.py``.
+    ``datasets/`` and ``graph/ingest.py`` joined with the macro
+    workload (PR 9): the generator seeds every macro differential and
+    the ingest path owns the deferred-index failure contract, so
+    untested lines there are untested rollback paths.
     """
+    import repro.datasets
+    import repro.graph.ingest
     import repro.graph.reachability
     import repro.graph.store
     import repro.planner
@@ -65,11 +71,17 @@ def _covered_packages():
         "src/repro/semantics": os.path.dirname(
             os.path.abspath(repro.semantics.__file__)
         ),
+        "src/repro/datasets": os.path.dirname(
+            os.path.abspath(repro.datasets.__file__)
+        ),
         "src/repro/graph/store.py": os.path.abspath(
             repro.graph.store.__file__
         ),
         "src/repro/graph/reachability.py": os.path.abspath(
             repro.graph.reachability.__file__
+        ),
+        "src/repro/graph/ingest.py": os.path.abspath(
+            repro.graph.ingest.__file__
         ),
     }
 

@@ -1,0 +1,323 @@
+"""Streaming CSV ingest: batching, deferred indexes, exact rollback.
+
+The contracts under test, in the order the module docstring states
+them: (1) deferred-index ingest produces a store *and* indexes
+byte-identical to incremental per-row maintenance (and to the direct
+dataset emission the CSV came from); (2) a mid-stream failure of any
+kind — dangling reference, duplicate id, malformed row, injected store
+fault — rolls the store back to its exact pre-ingest state with the
+declared indexes restored; (3) the header parser rejects malformed
+table shapes up front.
+"""
+
+import os
+
+import pytest
+
+from repro import CypherEngine
+from repro.datasets import ldbc_social
+from repro.graph.ingest import IngestError, ingest_csv
+from repro.graph.store import InjectedFault, MemoryGraph
+from repro.selftest import graph_state
+
+SCALE = 0.01
+SEED = 11
+
+PROPERTY_INDEXES = (("Person", "id"), ("Post", "id"))
+REACHABILITY_INDEXES = (["KNOWS"], None)
+
+
+def dataset():
+    return ldbc_social(scale=SCALE, seed=SEED)
+
+
+def tables(ds):
+    return [
+        (table.name + ".csv", list(ds.csv_lines(table)))
+        for table in ds.tables
+    ]
+
+
+def indexed_graph():
+    graph = MemoryGraph()
+    for label, key in PROPERTY_INDEXES:
+        graph.create_index(label, key)
+    for types in REACHABILITY_INDEXES:
+        graph.create_reachability_index(types)
+    return graph
+
+
+def index_snapshots(graph):
+    return (
+        [graph.index_snapshot(l, k) for l, k in PROPERTY_INDEXES],
+        [graph.reachability_snapshot(t) for t in REACHABILITY_INDEXES],
+    )
+
+
+PEOPLE = [
+    ":ID(P),:LABEL,name,age:int",
+    "a,Person,Alice,31",
+    "b,Person,Bob,",
+]
+
+KNOWS = [
+    ":START_ID(P),:END_ID(P),:TYPE,since:int",
+    "a,b,KNOWS,2010",
+]
+
+
+# ---------------------------------------------------------------------------
+# Loading and batching
+# ---------------------------------------------------------------------------
+
+def test_ingest_small_tables_and_typed_columns():
+    graph = MemoryGraph()
+    report = ingest_csv(graph, [("people.csv", PEOPLE), ("knows.csv", KNOWS)])
+    assert report.nodes_created == 2
+    assert report.relationships_created == 1
+    assert report.tables == [
+        ("people.csv", "nodes", 2), ("knows.csv", "relationships", 1)
+    ]
+    engine = CypherEngine(graph)
+    assert engine.run(
+        "MATCH (p:Person {name: 'Alice'}) RETURN p.age AS a"
+    ).values("a") == [31]
+    # Empty cells are absent properties, not empty strings.
+    assert engine.run(
+        "MATCH (p:Person {name: 'Bob'}) RETURN p.age IS NULL AS missing"
+    ).values("missing") == [True]
+    assert engine.run(
+        "MATCH (:Person {name: 'Alice'})-[k:KNOWS]->(b) "
+        "RETURN k.since AS s, b.name AS n"
+    ).records == [{"s": 2010, "n": "Bob"}]
+
+
+def test_ingest_order_insensitive_relationships_before_nodes():
+    """Node tables load first regardless of the argument order."""
+    forward = MemoryGraph()
+    ingest_csv(forward, [("people.csv", PEOPLE), ("knows.csv", KNOWS)])
+    reversed_args = MemoryGraph()
+    ingest_csv(reversed_args, [("knows.csv", KNOWS), ("people.csv", PEOPLE)])
+    assert graph_state(forward) == graph_state(reversed_args)
+
+
+def test_ingest_matches_direct_emission_across_batch_sizes():
+    """CSV round-trip equals to_graph, any batch size, ids included."""
+    ds = dataset()
+    reference = graph_state(ds.to_graph("batch"))
+    for batch_size in (1, 7, 1000):
+        graph = MemoryGraph()
+        ingest_csv(graph, tables(ds), batch_size=batch_size)
+        assert graph_state(graph) == reference, batch_size
+
+
+def test_ingest_from_directory_and_file_paths(tmp_path):
+    ds = dataset()
+    paths = ds.write_csv(str(tmp_path))
+    assert all(os.path.exists(path) for path in paths)
+    reference = graph_state(ds.to_graph("batch"))
+    # File paths in canonical order: byte-identical to direct emission.
+    from_files = MemoryGraph()
+    ingest_csv(from_files, paths)
+    assert graph_state(from_files) == reference
+    # A directory loads its tables alphabetically — a different (but
+    # deterministic) id assignment: same content, repeatable ids.
+    from_dir = MemoryGraph()
+    ingest_csv(from_dir, str(tmp_path))
+    assert from_dir.node_count() == from_files.node_count()
+    assert from_dir.relationship_count() == from_files.relationship_count()
+    again = MemoryGraph()
+    ingest_csv(again, str(tmp_path))
+    assert graph_state(from_dir) == graph_state(again)
+
+
+def test_engine_ingest_delegates():
+    engine = CypherEngine()
+    report = engine.ingest([("people.csv", PEOPLE), ("knows.csv", KNOWS)])
+    assert report.nodes_created == 2
+    assert engine.run("MATCH (p:Person) RETURN count(p) AS c").value() == 2
+
+
+# ---------------------------------------------------------------------------
+# Deferred vs incremental index maintenance
+# ---------------------------------------------------------------------------
+
+def test_deferred_indexes_identical_to_incremental():
+    ds = dataset()
+    deferred = indexed_graph()
+    ingest_csv(deferred, tables(ds), defer_indexes=True)
+    incremental = indexed_graph()
+    ingest_csv(incremental, tables(ds), batch_size=1, defer_indexes=False)
+    assert graph_state(deferred) == graph_state(incremental)
+    assert index_snapshots(deferred) == index_snapshots(incremental)
+
+
+def test_ingest_report_records_maintenance_strategy():
+    ds = dataset()
+    graph = indexed_graph()
+    report = ingest_csv(graph, tables(ds), defer_indexes=True)
+    assert report.deferred
+    assert sorted(report.property_indexes) == sorted(PROPERTY_INDEXES)
+    assert report.batches > 0
+    assert "deferred" in report.summary()
+    assert repr(report).startswith("IngestReport(")
+    incremental = ingest_csv(
+        indexed_graph(), tables(ds), defer_indexes=False
+    )
+    assert not incremental.deferred
+    assert "incremental" in incremental.summary()
+
+
+# ---------------------------------------------------------------------------
+# Mid-stream failure: exact rollback, indexes restored
+# ---------------------------------------------------------------------------
+
+def pristine():
+    """An indexed graph with unrelated pre-existing content."""
+    graph = indexed_graph()
+    engine = CypherEngine(graph)
+    engine.run(
+        "CREATE (a:Person {id: 'seed', name: 'Seed'})"
+        "-[:KNOWS]->(b:Person {id: 'seed2'})"
+    )
+    return graph
+
+
+def assert_rolled_back(graph, before_state, before_indexes):
+    assert graph_state(graph) == before_state
+    assert index_snapshots(graph) == before_indexes
+
+
+@pytest.mark.parametrize("defer", [True, False], ids=["deferred", "incremental"])
+def test_unresolved_reference_rolls_back(defer):
+    graph = pristine()
+    state, indexes = graph_state(graph), index_snapshots(graph)
+    bad_rels = [
+        ":START_ID(P),:END_ID(P),:TYPE",
+        "a,b,KNOWS",
+        "a,missing,KNOWS",
+    ]
+    with pytest.raises(IngestError, match="unresolved end id"):
+        ingest_csv(
+            graph, [("people.csv", PEOPLE), ("knows.csv", bad_rels)],
+            defer_indexes=defer,
+        )
+    assert_rolled_back(graph, state, indexes)
+
+
+def test_duplicate_id_rolls_back_across_and_within_batches():
+    graph = pristine()
+    state, indexes = graph_state(graph), index_snapshots(graph)
+    duplicated = [
+        ":ID(P),:LABEL,name",
+        "a,Person,First",
+        "a,Person,Again",
+    ]
+    for batch_size in (1, 1000):  # within one batch and across flushes
+        with pytest.raises(IngestError, match="duplicate id"):
+            ingest_csv(
+                graph, [("people.csv", duplicated)], batch_size=batch_size
+            )
+        assert_rolled_back(graph, state, indexes)
+
+
+def test_malformed_row_mid_stream_rolls_back():
+    graph = pristine()
+    state, indexes = graph_state(graph), index_snapshots(graph)
+    bad_value = [
+        ":ID(P),:LABEL,age:int",
+        "a,Person,31",
+        "b,Person,not-a-number",
+    ]
+    with pytest.raises(ValueError):
+        ingest_csv(graph, [("people.csv", bad_value)])
+    assert_rolled_back(graph, state, indexes)
+
+
+class _SiteFault:
+    """Raise :class:`InjectedFault` at one named mutation site."""
+
+    def __init__(self, site):
+        self.site = site
+
+    def trip(self, site):
+        if site == self.site:
+            raise InjectedFault("injected crash at %r" % site)
+
+
+@pytest.mark.parametrize("site", ["create_nodes", "create_rels"])
+def test_injected_store_fault_rolls_back(site):
+    graph = pristine()
+    state, indexes = graph_state(graph), index_snapshots(graph)
+    graph.install_fault_injector(_SiteFault(site))
+    try:
+        with pytest.raises(InjectedFault):
+            ingest_csv(graph, [("people.csv", PEOPLE), ("knows.csv", KNOWS)])
+    finally:
+        graph.install_fault_injector(None)
+    assert_rolled_back(graph, state, indexes)
+    # And the same ingest succeeds once the fault is cleared.
+    ingest_csv(graph, [("people.csv", PEOPLE), ("knows.csv", KNOWS)])
+    assert graph.node_count() > 2
+
+
+# ---------------------------------------------------------------------------
+# Header and argument validation
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "header,message",
+    [
+        (":ID(P),:START_ID(P),:END_ID(P),:TYPE", "not both"),
+        (":START_ID(P),:END_ID(P)", "without a :TYPE"),
+        ("name,age:int", "neither :ID nor"),
+        (":ID(P,:LABEL", "malformed id column"),
+        (":ID(P),:WEIRD", "unknown reserved column"),
+        (":ID(P),", "empty name"),
+    ],
+)
+def test_malformed_headers_rejected(header, message):
+    with pytest.raises(IngestError, match=message):
+        ingest_csv(MemoryGraph(), [("table.csv", [header, "x,y"])])
+
+
+def test_empty_file_and_empty_type_rejected():
+    with pytest.raises(IngestError, match="empty file"):
+        ingest_csv(MemoryGraph(), [("empty.csv", [])])
+    with pytest.raises(IngestError, match="empty :TYPE"):
+        ingest_csv(
+            MemoryGraph(),
+            [
+                ("people.csv", PEOPLE),
+                ("rels.csv", [":START_ID(P),:END_ID(P),:TYPE", "a,b,"]),
+            ],
+        )
+
+
+def test_bad_bool_and_bad_batch_size_rejected():
+    with pytest.raises(IngestError, match="bad bool"):
+        ingest_csv(
+            MemoryGraph(),
+            [("people.csv", [":ID(P),ok:bool", "a,maybe"])],
+        )
+    with pytest.raises(ValueError, match="batch_size"):
+        ingest_csv(MemoryGraph(), [("people.csv", PEOPLE)], batch_size=0)
+
+
+def test_bool_and_float_values_parse():
+    graph = MemoryGraph()
+    ingest_csv(
+        graph,
+        [(
+            "people.csv",
+            [
+                ":ID(P),:LABEL,active:bool,score:float",
+                "a,Person,true,1.5",
+                "b,Person,False,",
+            ],
+        )],
+    )
+    engine = CypherEngine(graph)
+    assert engine.run(
+        "MATCH (p:Person) RETURN p.active AS a, p.score AS s ORDER BY p.active"
+    ).records == [{"a": False, "s": None}, {"a": True, "s": 1.5}]

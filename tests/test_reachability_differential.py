@@ -182,11 +182,14 @@ def fixture_graph_with_only_s_index():
     return graph
 
 
-def test_planner_declines_undirected_bounded_and_unbound_endpoint():
+def test_planner_declines_undirected_tight_bound_and_unbound_endpoint():
     graph = reachability_fixture_graph()
     for query in [
         BOUND_PAIR + "MATCH (a)-[:R*]-(b) RETURN count(*) AS c",
+        # The :R condensation diameter is 4; a bound at or below it
+        # means the cap itself prunes, so the plain walk stays.
         BOUND_PAIR + "MATCH (a)-[:R*1..3]->(b) RETURN count(*) AS c",
+        BOUND_PAIR + "MATCH (a)-[:R*1..4]->(b) RETURN count(*) AS c",
         "MATCH (a {name: 'node-0'}) "
         "MATCH (a)-[:R*]->(b) RETURN count(*) AS c",
     ]:
@@ -195,6 +198,40 @@ def test_planner_declines_undirected_bounded_and_unbound_endpoint():
             query, result.plan.describe()
         )
         assert lg.VarLengthExpand in kinds, query
+
+
+def test_probe_accepts_bounds_above_the_condensation_diameter():
+    """*..N probes once N exceeds the covering index's diameter.
+
+    The fixture's :R condensation diameter is 4 (asserted here so the
+    boundary cases above and below stay meaningful if the fixture
+    drifts); a bound of 5 clears it in either direction, and answers
+    must match the index-less walk exactly.
+    """
+    graph = reachability_fixture_graph()
+    facts = graph.reachability_statistics()[("R",)]
+    assert facts["condensation_diameter"] == 4, facts
+    for pattern in [
+        "(a)-[:R*1..5]->(b)",
+        "(a)<-[:R*1..5]-(b)",
+        "(a)-[:R*..9]->(b)",
+    ]:
+        query = BOUND_PAIR + "MATCH %s RETURN count(*) AS c" % pattern
+        kinds, result = _plan_kinds(graph, query)
+        assert lg.ReachabilityProbe in kinds, (
+            query, result.plan.describe()
+        )
+        plain = CypherEngine(fixture_graph_without_indexes())
+        assert (
+            CypherEngine(graph).run(query).values("c")
+            == plain.run(query).values("c")
+        ), query
+
+
+def fixture_graph_without_indexes():
+    from fuzztools import fixture_graph
+
+    return fixture_graph()
 
 
 def test_probe_accepts_lower_bounds_and_untyped_patterns():
