@@ -24,26 +24,42 @@ def _steps(graph, node, rel_types, directed):
 
 
 def shortest_path(
-    graph, source, target, rel_types=None, directed=True, cost_property=None
+    graph, source, target, rel_types=None, directed=True, cost_property=None,
+    max_length=None,
 ):
     """The cheapest path from source to target, or None if unreachable.
 
     Without ``cost_property`` this is hop-count BFS; with it, Dijkstra
     over the (non-negative, numeric) relationship property.
+
+    ``max_length`` caps the answer at that many relationships: a path
+    longer than the cap counts as not found (the bounded
+    ``shortestPath`` contract).  Hop caps only compose with hop-count
+    search — a cost-optimal path may use arbitrarily many hops — so
+    combining ``max_length`` with ``cost_property`` raises.
     """
+    if cost_property is not None and max_length is not None:
+        raise ValueError(
+            "max_length caps hops; it does not apply to cost-weighted "
+            "shortest paths"
+        )
+    if max_length is not None and max_length < 0:
+        return None
     if source == target:
         return Path.single(source)
     if cost_property is None:
-        return _bfs(graph, source, target, rel_types, directed)
+        return _bfs(graph, source, target, rel_types, directed, max_length)
     return _dijkstra(graph, source, target, rel_types, directed, cost_property)
 
 
 def shortest_path_length(
-    graph, source, target, rel_types=None, directed=True, cost_property=None
+    graph, source, target, rel_types=None, directed=True, cost_property=None,
+    max_length=None,
 ):
     """Length (hops) or total cost of the shortest path; None if none."""
     path = shortest_path(
-        graph, source, target, rel_types, directed, cost_property
+        graph, source, target, rel_types, directed, cost_property,
+        max_length=max_length,
     )
     if path is None:
         return None
@@ -55,7 +71,7 @@ def shortest_path_length(
     )
 
 
-def _reachability_prune(graph, target, rel_types, directed):
+def _reachability_prune(graph, target, rel_types, directed, max_length=None):
     """``node -> can still reach target`` via a covering index, or None.
 
     Directed searches with a declared reachability index get an O(1)
@@ -63,6 +79,15 @@ def _reachability_prune(graph, target, rel_types, directed):
     target would only grow dead subtrees, and a negative answer for the
     source settles the query without expanding anything.  Undirected
     searches stay unpruned — the condensation is direction-aware.
+
+    A hop cap changes the cost call the same way it does for bounded
+    var-length probes (``planner.access.reachability_candidate``): at or
+    below the index's condensation diameter the cap itself is the
+    effective pruner — depth kills most certain-NO subtrees before the
+    oracle would have — so the probe declines and the capped BFS runs
+    bare.  Above the diameter the cap barely constrains the search and
+    the oracle earns its keep.  Declining is always sound: the oracle
+    only removes nodes that cannot contribute, never admits extra ones.
     """
     if not directed:
         return None
@@ -73,18 +98,26 @@ def _reachability_prune(graph, target, rel_types, directed):
     index = getter(types)
     if index is None:
         return None
+    if max_length is not None:
+        diameter = index.condensation_diameter()
+        if diameter is None or max_length <= diameter:
+            return None
     reachable = index.reachable
     return lambda node: reachable(node, target)
 
 
-def _bfs(graph, source, target, rel_types, directed):
-    can_reach = _reachability_prune(graph, target, rel_types, directed)
+def _bfs(graph, source, target, rel_types, directed, max_length=None):
+    can_reach = _reachability_prune(
+        graph, target, rel_types, directed, max_length
+    )
     if can_reach is not None and not can_reach(source):
         return None
     parents = {source: None}  # node -> (previous node, relationship)
-    queue = deque([source])
+    queue = deque([(source, 0)])
     while queue:
-        node = queue.popleft()
+        node, depth = queue.popleft()
+        if max_length is not None and depth >= max_length:
+            continue  # one more step would exceed the cap
         for rel, neighbour in _steps(graph, node, rel_types, directed):
             if neighbour in parents:
                 continue
@@ -93,7 +126,7 @@ def _bfs(graph, source, target, rel_types, directed):
             parents[neighbour] = (node, rel)
             if neighbour == target:
                 return _assemble(parents, target)
-            queue.append(neighbour)
+            queue.append((neighbour, depth + 1))
     return None
 
 

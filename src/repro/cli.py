@@ -22,7 +22,8 @@ execute as Cypher; special commands start with ``:``:
     :explain <query>    show the physical plan (with access-path estimates)
     :index              list property indexes
     :index :L(k)        create a property index on (label L, key k)
-    :index drop :L(k)   drop it again
+    :index :L(k1,k2)    create a composite index over the key tuple
+    :index drop :L(k)   drop one again (composites: :index drop :L(k1,k2))
     :reach              list reachability indexes
     :reach :R|S         create a reachability index over types R and S
     :reach *            create the all-types reachability index
@@ -63,8 +64,24 @@ def _cache_line(cache_info):
     )
 
 
-#: ``:Label(key)`` — the index spec syntax of ``:index`` and friends.
-_INDEX_SPEC = re.compile(r"^:?(\w+)\((\w+)\)$")
+#: ``:Label(key)`` / ``:Label(k1,k2,…)`` — the index spec syntax of
+#: ``:index`` and friends; several keys declare a composite index.
+_INDEX_SPEC = re.compile(r"^:?(\w+)\((\w+(?:\s*,\s*\w+)*)\)$")
+
+
+def _parse_index_spec(spec):
+    """``(label, key tuple)`` from an index spec, or None."""
+    match = _INDEX_SPEC.match(spec)
+    if match is None:
+        return None
+    keys = tuple(key.strip() for key in match.group(2).split(","))
+    return match.group(1), keys
+
+
+def _index_display(label, key):
+    """``:Label(k1,k2)`` from a public index key (str or tuple)."""
+    keys = (key,) if isinstance(key, str) else key
+    return ":%s(%s)" % (label, ",".join(keys))
 
 #: ``:R|S`` or ``*`` — the type-set syntax of ``:reach`` and friends.
 _REACH_SPEC = re.compile(r"^(?:\*|:?(\w+(?:\|\w+)*))$")
@@ -275,29 +292,32 @@ class Shell:
                 for label, key in pairs:
                     ndv, entries = stats[(label, key)]
                     self.write(
-                        ":%s(%s) — %d distinct value(s), %d entr%s"
-                        % (label, key, ndv, entries,
+                        "%s — %d distinct value(s), %d entr%s"
+                        % (_index_display(label, key), ndv, entries,
                            "y" if entries == 1 else "ies")
                     )
             return
         dropping = argument.startswith("drop ")
         spec = argument[5:].strip() if dropping else argument
-        match = _INDEX_SPEC.match(spec)
-        if match is None:
-            self.write("usage: :index [drop] :Label(key)")
+        parsed = _parse_index_spec(spec)
+        if parsed is None:
+            self.write("usage: :index [drop] :Label(key[,key…])")
             return
-        label, key = match.group(1), match.group(2)
+        label, keys = parsed
+        display = _index_display(label, keys)
         if dropping:
-            existed = graph.drop_index(label, key)
-            self.write(
-                "dropped index :%s(%s)" % (label, key)
-                if existed
-                else "no index :%s(%s)" % (label, key)
+            existed = graph.drop_index(
+                label, keys[0] if len(keys) == 1 else keys
             )
-        elif graph.create_index(label, key):
-            self.write("created index :%s(%s)" % (label, key))
+            self.write(
+                "dropped index %s" % display
+                if existed
+                else "no index %s" % display
+            )
+        elif graph.create_index(label, *keys):
+            self.write("created index %s" % display)
         else:
-            self.write("index :%s(%s) already exists" % (label, key))
+            self.write("index %s already exists" % display)
 
     def _reach(self, argument):
         """``:reach`` — list, create or drop reachability indexes."""
@@ -513,7 +533,7 @@ def explain_main(argv=None):
         "--index",
         action="append",
         default=[],
-        metavar=":Label(key)",
+        metavar=":Label(key[,key...])",
         help="create a property index before planning (repeatable)",
     )
     parser.add_argument(
@@ -551,12 +571,12 @@ def explain_main(argv=None):
         scheduler=arguments.scheduler,
     )
     for spec in arguments.index:
-        match = _INDEX_SPEC.match(spec)
-        if match is None:
-            print("error: bad index spec %r (want :Label(key))" % spec,
-                  file=sys.stderr)
+        parsed = _parse_index_spec(spec)
+        if parsed is None:
+            print("error: bad index spec %r (want :Label(key[,key…]))"
+                  % spec, file=sys.stderr)
             return 2
-        engine.create_index(match.group(1), match.group(2))
+        engine.create_index(parsed[0], *parsed[1])
     for spec in arguments.reach_index:
         ok, types = _parse_reach_spec(spec)
         if not ok:
@@ -637,7 +657,7 @@ def ingest_main(argv=None):
         "--index",
         action="append",
         default=[],
-        metavar=":Label(key)",
+        metavar=":Label(key[,key...])",
         help="declare a property index before ingest (repeatable)",
     )
     parser.add_argument(
@@ -656,12 +676,12 @@ def ingest_main(argv=None):
         return 2
     graph = MemoryGraph()
     for spec in arguments.index:
-        match = _INDEX_SPEC.match(spec)
-        if match is None:
-            print("error: bad index spec %r (want :Label(key))" % spec,
-                  file=sys.stderr)
+        parsed = _parse_index_spec(spec)
+        if parsed is None:
+            print("error: bad index spec %r (want :Label(key[,key…]))"
+                  % spec, file=sys.stderr)
             return 2
-        graph.create_index(match.group(1), match.group(2))
+        graph.create_index(parsed[0], *parsed[1])
     for spec in arguments.reach_index:
         ok, types = _parse_reach_spec(spec)
         if not ok:

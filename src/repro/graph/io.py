@@ -9,7 +9,8 @@ The JSON document shape is the obvious one::
 Node and relationship ids are preserved on load (via ``adopt``-style
 insertion), so serialized references and Cypher 10 cross-graph identity
 survive a round trip.  Declared property indexes ride along under an
-``"indexes"`` key (``[{"label": ..., "key": ...}, ...]``) and are
+``"indexes"`` key (``[{"label": ..., "key": ...}, ...]`` for single-key
+indexes, ``{"label": ..., "keys": [...]}`` for composites) and are
 rebuilt on load, so index statistics survive the round trip too;
 reachability indexes ride along the same way under
 ``"reachability_indexes"`` (``[{"types": [...] | null}, ...]``, null
@@ -51,9 +52,15 @@ def graph_to_dict(graph):
     document = {"nodes": nodes, "relationships": relationships}
     declared = getattr(graph, "indexes", None)
     if callable(declared):
-        indexes = [
-            {"label": label, "key": key} for label, key in declared()
-        ]
+        # Single-key indexes keep the legacy {"label", "key"} shape so
+        # old documents stay readable by old code; composites add the
+        # {"label", "keys": [...]} form.
+        indexes = []
+        for label, keys in declared():
+            if isinstance(keys, str):
+                indexes.append({"label": label, "key": keys})
+            else:
+                indexes.append({"label": label, "keys": list(keys)})
         if indexes:
             document["indexes"] = indexes
     reach = getattr(graph, "reachability_indexes", None)
@@ -98,7 +105,10 @@ def graph_from_dict(document):
     for spec in document.get("indexes", ()):
         # Declared after the data so the initial build scans once and
         # the loaded index statistics match a live-built index exactly.
-        graph.create_index(spec["label"], spec["key"])
+        keys = spec.get("keys")
+        if keys is None:
+            keys = [spec["key"]]
+        graph.create_index(spec["label"], *keys)
     for spec in document.get("reachability_indexes", ()):
         types = spec.get("types")
         graph.create_reachability_index(

@@ -132,7 +132,7 @@ from repro.graph.reachability import ReachabilityIndex, best_covering, reachabil
 from repro.graph.snapshot import VersionPin
 from repro.values.base import NodeId, RelId
 from repro.values.base import is_cypher_value
-from repro.values.ordering import canonical_key
+from repro.values.ordering import canonical_key, sort_key
 from repro.values.path import Path
 
 
@@ -160,42 +160,74 @@ def _is_nan(value):
 
 
 class _PropertyIndex:
-    """One incremental ``(label, property key)`` index.
+    """One incremental composite ``(label, k1, k2, …)`` property index.
 
-    The **hash half** maps :func:`~repro.values.ordering.canonical_key`
-    forms to ordered node-id sets (dicts), so equality and ``IN`` probes
-    are O(bucket).  The **sorted half** keeps one bisectable list of
-    distinct values per *comparable scalar segment* — numbers (NaN
-    excluded: no range predicate is ever true of it), strings and
-    booleans — mirroring :func:`~repro.values.comparison.compare`, which
-    only orders within those segments.  Values outside the segments
-    (lists, maps, temporals) live in the hash half only; a range probe
-    bounded by one of those reports "unsupported" and the caller falls
-    back to the label scan (the residual predicate still decides).
+    An *entry* exists for a node exactly when **every** key column is
+    non-null (Neo4j's composite-index contract), and is keyed by the
+    tuple of per-column :func:`~repro.values.ordering.canonical_key`
+    forms.  The **hash half** maps every canonical *prefix* of an entry
+    (lengths 1..depth) to its node-id set, so full-tuple equality and
+    prefix-equality probes are O(bucket).  The **sorted half** is
+    derived per prefix on demand: the distinct next-column values under
+    a prefix, bisectable within each *comparable scalar segment* —
+    numbers (NaN excluded: no range predicate is ever true of it),
+    strings and booleans — mirroring
+    :func:`~repro.values.comparison.compare`, which only orders within
+    those segments.  Values outside the segments (lists, maps,
+    temporals) live in the hash half only; a range probe bounded by one
+    of those reports "unsupported" and the caller falls back to the
+    label scan (the residual predicate still decides).  The same
+    child-tables drive :meth:`ordered_ids`, the index-provided-ordering
+    enumeration behind Sort elimination.
 
-    All mutators are idempotent per (node, value) so double adds from
-    defensive call sites cannot skew the entry count.
+    All mutators are state-driven per node (:meth:`update` recomputes
+    the entry from the current property map), so double adds from
+    defensive call sites cannot skew the entry count and undo replay
+    converges from any intermediate state.
     """
 
     __slots__ = (
-        "label", "key", "_buckets", "_segments", "_entries", "_sorted",
+        "label", "keys", "_single", "_key0", "_values", "_ids_by_prefix",
+        "_children", "_depth_distincts", "_sorted", "_ordered", "_segments",
     )
 
     #: canonical-key tag -> segment name for the sorted half.
     _SEGMENT_OF = {"num": "num", "str": "str", "bool": "bool"}
 
-    def __init__(self, label, key):
+    def __init__(self, label, keys):
         self.label = label
-        self.key = key
-        self._buckets = {}   # canonical key -> dict[NodeId, None]
-        self._segments = {"num": [], "str": [], "bool": []}
-        self._entries = 0
-        #: Memoised id-ordered bucket lists (canonical key -> list):
-        #: repeated probes of a hot value — every index nested-loop join
-        #: row — reuse the sort; add/remove on a bucket invalidates its
-        #: entry.  Callers must not mutate the returned lists (the batch
-        #: engine only slices them, like the label scan lists).
+        self.keys = tuple(keys)
+        #: Depth-1 indexes take specialised maintenance paths below —
+        #: the per-depth prefix loop costs several dict operations the
+        #: single-key (and by far most frequent) shape doesn't need.
+        self._single = len(self.keys) == 1
+        self._key0 = self.keys[0]
+        #: NodeId -> (actual value tuple, canonical tuple).  The actual
+        #: values feed covering projections; the canonicals key removal.
+        self._values = {}
+        #: canonical prefix (len 1..depth) -> dict[NodeId, None].
+        self._ids_by_prefix = {}
+        #: canonical prefix (len 0..depth-1) -> {child canonical:
+        #: representative actual value}.  Equal canonicals have equal
+        #: sort keys, so any live representative orders the child.
+        self._children = {(): {}}
+        #: Distinct canonical prefixes per depth (index 0 = length 1);
+        #: the last one is the full-tuple NDV the cost model reads.
+        self._depth_distincts = [0] * len(self.keys)
+        #: Memoised id-ordered lists per canonical prefix; add/remove on
+        #: a prefix invalidates its entry.  Callers must not mutate the
+        #: returned lists (the batch engine only slices them, like the
+        #: label scan lists).
         self._sorted = {}
+        #: Memoised sort_key-ordered child canonicals per prefix.
+        self._ordered = {}
+        #: Memoised per-prefix sorted segments: prefix ->
+        #: {"num": [...], "str": [...], "bool": [...]}.
+        self._segments = {}
+
+    @property
+    def depth(self):
+        return len(self.keys)
 
     # -- maintenance -------------------------------------------------------
 
@@ -219,123 +251,379 @@ class _PropertyIndex:
             return ("bool", value)
         return canonical_key(value)
 
-    def build(self, items):
-        """Bulk-load ``(node id, value)`` pairs into this *empty* index.
+    def update(self, node_id, properties):
+        """Reconcile this node's entry with its current property map.
 
-        The initial ``create_index`` scan: buckets fill first, then each
-        sorted segment is sorted exactly once — per-value :func:`insort`
-        would shift the growing list per distinct value, turning a
-        build over millions of distinct values quadratic.  Incremental
-        :meth:`add` keeps using insort, where one shift per write is the
-        right trade.
+        The single maintenance entry point: creates, property changes,
+        label flips and undo replay all land here, and because the old
+        state is whatever :attr:`_values` holds, replay from any
+        partial state converges on the rebuilt index.  The depth-1
+        branch is :meth:`add` inlined — this method runs once per
+        indexed property per write, and the memo pops are guarded so a
+        bulk ingest (memos all empty) pays no hashing for them.
         """
-        buckets = self._buckets
+        if self._single:
+            value = properties.get(self._key0)
+            if value is None:
+                self.discard(node_id)
+                return
+            canon = (self._canonical(value),)
+            existing = self._values.get(node_id)
+            if existing is not None:
+                if existing[1] == canon:
+                    self._values[node_id] = ((value,), canon)
+                    return
+                self.discard(node_id)
+            self._values[node_id] = ((value,), canon)
+            ids = self._ids_by_prefix.get(canon)
+            if ids is None:
+                self._ids_by_prefix[canon] = {node_id: None}
+                self._depth_distincts[0] += 1
+                self._children[()][canon[0]] = value
+                if self._ordered:
+                    self._ordered.pop((), None)
+                if self._segments:
+                    self._segments.pop((), None)
+            elif self._sorted:
+                ids[node_id] = None
+                self._sorted.pop(canon, None)
+            else:
+                ids[node_id] = None
+            return
+        values = []
+        for key in self.keys:
+            value = properties.get(key)
+            if value is None:
+                self.discard(node_id)
+                return
+            values.append(value)
+        self.add(node_id, tuple(values))
+
+    def update_bulk(self, pairs):
+        """:meth:`update` over ``(node id, property map)`` pairs.
+
+        Pair-for-pair identical to calling :meth:`update` in a loop;
+        the depth-1 body is repeated here with every ``self`` attribute
+        hoisted to a local and the int/str canonical forms inlined —
+        bulk ingest is the one call site hot enough to warrant it.
+        """
+        if not self._single:
+            update = self.update
+            for node_id, properties in pairs:
+                update(node_id, properties)
+            return
+        key = self._key0
         canonical_of = self._canonical
-        for node_id, value in items:
-            canonical = canonical_of(value)
-            bucket = buckets.get(canonical)
-            if bucket is None:
-                bucket = buckets[canonical] = {}
-            elif node_id in bucket:
+        values_map = self._values
+        ids_by_prefix = self._ids_by_prefix
+        root = self._children[()]
+        distincts = self._depth_distincts
+        sorted_memo = self._sorted
+        ordered_memo = self._ordered
+        segments_memo = self._segments
+        # Memo liveness is monotone within the pass: no reads run here,
+        # so an empty memo stays empty and the flags can be hoisted.
+        has_sorted = bool(sorted_memo)
+        has_ordered = bool(ordered_memo)
+        has_segments = bool(segments_memo)
+        # Per-call value caches: ingests recur heavily on distinct
+        # values, and for a recurring value the canonical tuple, the
+        # entry tuple (immutable, safely shared between nodes) and the
+        # target bucket are all fixed.  Caches are keyed per exact type
+        # (``True == 1`` must not alias), and dropped whenever a discard
+        # or per-node reconcile could delete a bucket out from under
+        # them.
+        int_cache = {}
+        str_cache = {}
+        for node_id, properties in pairs:
+            value = properties.get(key)
+            if value is None:
+                if node_id in values_map:
+                    self.discard(node_id)
+                    int_cache.clear()
+                    str_cache.clear()
                 continue
-            bucket[node_id] = None
-            self._entries += 1
-        segment_of = self._SEGMENT_OF
-        for canonical in buckets:
-            segment = segment_of.get(canonical[0])
-            if segment is not None:
-                self._segments[segment].append(canonical[1])
-        for values in self._segments.values():
-            values.sort()
+            value_type = type(value)
+            if value_type is int:
+                cache = int_cache
+                cached = cache.get(value)
+            elif value_type is str:
+                cache = str_cache
+                cached = cache.get(value)
+            else:
+                cache = cached = None
+            if cached is not None:
+                canon, entry, ids = cached
+                prior = values_map.setdefault(node_id, entry)
+                if prior is not entry:
+                    values_map[node_id] = prior
+                    self.update(node_id, properties)
+                    int_cache.clear()
+                    str_cache.clear()
+                    continue
+                ids[node_id] = None
+                if has_sorted:
+                    sorted_memo.pop(canon, None)
+                continue
+            if value_type is int:
+                canon = (("num", value),)
+            elif value_type is str:
+                canon = (("str", value),)
+            else:
+                canon = (canonical_of(value),)
+            entry = ((value,), canon)
+            prior = values_map.setdefault(node_id, entry)
+            if prior is not entry:
+                # Node was already indexed (re-ingest): restore and take
+                # the full per-node reconcile.
+                values_map[node_id] = prior
+                self.update(node_id, properties)
+                int_cache.clear()
+                str_cache.clear()
+                continue
+            ids = ids_by_prefix.get(canon)
+            if ids is None:
+                ids = {node_id: None}
+                ids_by_prefix[canon] = ids
+                distincts[0] += 1
+                root[canon[0]] = value
+                if has_ordered:
+                    ordered_memo.pop((), None)
+                if has_segments:
+                    segments_memo.pop((), None)
+            else:
+                ids[node_id] = None
+                if has_sorted:
+                    sorted_memo.pop(canon, None)
+            if cache is not None:
+                cache[value] = (canon, entry, ids)
 
-    def add(self, node_id, value):
-        canonical = self._canonical(value)
-        bucket = self._buckets.get(canonical)
-        if bucket is None:
-            bucket = self._buckets[canonical] = {}
-            segment = self._SEGMENT_OF.get(canonical[0])
-            if segment is not None:
-                insort(self._segments[segment], canonical[1])
-        elif node_id in bucket:
-            return
+    def add(self, node_id, values):
+        """Insert/refresh the entry for ``values`` (all columns non-null)."""
+        canonical_of = self._canonical
+        if self._single:
+            canon = (canonical_of(values[0]),)
         else:
-            self._sorted.pop(canonical, None)
-        bucket[node_id] = None
-        self._entries += 1
-
-    def remove(self, node_id, value):
-        canonical = self._canonical(value)
-        bucket = self._buckets.get(canonical)
-        if bucket is None or node_id not in bucket:
+            canon = tuple(canonical_of(value) for value in values)
+        existing = self._values.get(node_id)
+        if existing is not None:
+            if existing[1] == canon:
+                # Same canonical entry; keep the freshest actuals for
+                # covering reads (1 vs 1.0 are one canonical value).
+                self._values[node_id] = (values, canon)
+                return
+            self.discard(node_id)
+        self._values[node_id] = (values, canon)
+        ids_by_prefix = self._ids_by_prefix
+        children = self._children
+        if self._single:
+            # Depth-1 fast path: ``canon[:1] is canon``, the parent
+            # prefix is always the root, and a fresh bucket can have no
+            # memoised sorted list (discard drops it with the last id).
+            ids = ids_by_prefix.get(canon)
+            if ids is None:
+                ids_by_prefix[canon] = {node_id: None}
+                self._depth_distincts[0] += 1
+                children[()][canon[0]] = values[0]
+                if self._ordered:
+                    self._ordered.pop((), None)
+                if self._segments:
+                    self._segments.pop((), None)
+            else:
+                ids[node_id] = None
+                if self._sorted:
+                    self._sorted.pop(canon, None)
             return
-        del bucket[node_id]
-        self._entries -= 1
-        self._sorted.pop(canonical, None)
-        if not bucket:
-            del self._buckets[canonical]
-            segment = self._SEGMENT_OF.get(canonical[0])
-            if segment is not None:
-                values = self._segments[segment]
-                position = bisect_left(values, canonical[1])
-                del values[position]
+        for depth in range(len(canon)):
+            grown = canon[:depth + 1]
+            ids = ids_by_prefix.get(grown)
+            if ids is None:
+                ids_by_prefix[grown] = {node_id: None}
+                self._depth_distincts[depth] += 1
+                prefix = canon[:depth]
+                bucket = children.get(prefix)
+                if bucket is None:
+                    bucket = children[prefix] = {}
+                bucket[canon[depth]] = values[depth]
+                if self._ordered:
+                    self._ordered.pop(prefix, None)
+                if self._segments:
+                    self._segments.pop(prefix, None)
+            else:
+                ids[node_id] = None
+                if self._sorted:
+                    self._sorted.pop(grown, None)
+
+    def discard(self, node_id):
+        """Drop the node's entry, whatever it currently is (idempotent)."""
+        entry = self._values.pop(node_id, None)
+        if entry is None:
+            return
+        canon = entry[1]
+        ids_by_prefix = self._ids_by_prefix
+        if self._single:
+            ids = ids_by_prefix[canon]
+            del ids[node_id]
+            if self._sorted:
+                self._sorted.pop(canon, None)
+            if not ids:
+                del ids_by_prefix[canon]
+                self._depth_distincts[0] -= 1
+                del self._children[()][canon[0]]
+                if self._ordered:
+                    self._ordered.pop((), None)
+                if self._segments:
+                    self._segments.pop((), None)
+            return
+        for depth in range(len(canon) - 1, -1, -1):
+            grown = canon[:depth + 1]
+            ids = ids_by_prefix[grown]
+            del ids[node_id]
+            self._sorted.pop(grown, None)
+            if not ids:
+                del ids_by_prefix[grown]
+                self._depth_distincts[depth] -= 1
+                prefix = canon[:depth]
+                bucket = self._children[prefix]
+                del bucket[canon[depth]]
+                if not bucket and prefix:
+                    del self._children[prefix]
+                self._ordered.pop(prefix, None)
+                self._segments.pop(prefix, None)
 
     # -- statistics --------------------------------------------------------
 
     @property
     def distinct_values(self):
-        """NDV: the number of live buckets."""
-        return len(self._buckets)
+        """NDV of the full key tuple."""
+        return self._depth_distincts[-1]
 
     @property
     def entries(self):
-        """Total indexed (node, value) entries."""
-        return self._entries
+        """Total indexed entries (nodes with every column non-null)."""
+        return len(self._values)
+
+    def prefix_ndvs(self):
+        """Distinct canonical prefixes per length (1..depth)."""
+        return tuple(self._depth_distincts)
+
+    def column_distribution(self, column):
+        """``{segment: [(payload, count), …] sorted}`` for one column.
+
+        The histogram source: per distinct comparable value of
+        ``column``, the number of entries carrying it (summed over all
+        prefixes for deeper columns).  O(distinct prefixes of length
+        column+1); built lazily by the statistics snapshot, never on the
+        write path.
+        """
+        tallies = {}
+        width = column + 1
+        for prefix, ids in self._ids_by_prefix.items():
+            if len(prefix) != width:
+                continue
+            canonical = prefix[column]
+            tag = canonical[0]
+            if tag in self._SEGMENT_OF:
+                slot = tallies.setdefault(tag, {})
+                payload = canonical[1]
+                slot[payload] = slot.get(payload, 0) + len(ids)
+        return {
+            tag: sorted(counts.items()) for tag, counts in tallies.items()
+        }
 
     # -- probes ------------------------------------------------------------
 
-    def _sorted_bucket(self, canonical):
-        """The bucket's id-ordered node list, memoised until it changes."""
-        ids = self._sorted.get(canonical)
+    def _sorted_ids(self, prefix):
+        """A prefix's id-ordered node list, memoised until it changes.
+
+        Dead prefixes are never memoised: the maintenance fast paths
+        only invalidate prefixes that exist, so caching an empty list
+        here could leak a stale [] past a later re-add.
+        """
+        ids = self._sorted.get(prefix)
         if ids is None:
-            ids = sorted(self._buckets[canonical], key=_id_value)
-            self._sorted[canonical] = ids
+            bucket = self._ids_by_prefix.get(prefix)
+            if bucket is None:
+                return []
+            ids = sorted(bucket, key=_id_value)
+            self._sorted[prefix] = ids
         return ids
 
-    def lookup(self, value):
-        """Node ids whose stored value *may* equal ``value``, id-ordered.
+    def _canonical_prefix(self, values):
+        """Canonical tuple of probe values, or None when unsatisfiable.
 
-        Exact for scalars; a list/map probe containing nulls
-        over-approximates (``equals`` is unknown there) — the caller's
-        residual check decides.  A null or NaN probe matches nothing
-        (``=`` is never true of either).  Do not mutate the result.
+        A null or NaN anywhere in an equality prefix makes the whole
+        conjunction never-true (``=`` holds of neither).
         """
-        if value is None or _is_nan(value):
+        canon = []
+        for value in values:
+            if value is None or _is_nan(value):
+                return None
+            canon.append(self._canonical(value))
+        return tuple(canon)
+
+    def lookup(self, value):
+        """Single-column equality probe (depth-1 compatibility form)."""
+        return self.probe((value,))
+
+    def probe(self, values):
+        """Equality-prefix probe: id-ordered candidates, possibly memoised.
+
+        ``values`` covers the first ``len(values)`` columns; a
+        full-depth tuple is the hash-half point lookup.  Exact for
+        scalars; list/map probes over-approximate (``equals`` is unknown
+        with nested nulls) and the residual check decides.  Do not
+        mutate the result.
+        """
+        canon = self._canonical_prefix(values)
+        if canon is None or canon not in self._ids_by_prefix:
             return []
-        canonical = self._canonical(value)
-        if not self._buckets.get(canonical):
-            return []
-        return self._sorted_bucket(canonical)
+        return self._sorted_ids(canon)
 
     def lookup_many(self, values):
-        """The union of :meth:`lookup` over ``values``, id-ordered."""
+        """The union of first-column :meth:`lookup` over ``values``."""
         merged = {}
+        ids_by_prefix = self._ids_by_prefix
         for value in values:
             if value is None or _is_nan(value):
                 continue
-            bucket = self._buckets.get(self._canonical(value))
-            if bucket:
-                merged.update(bucket)
+            ids = ids_by_prefix.get((self._canonical(value),))
+            if ids:
+                merged.update(ids)
         return sorted(merged, key=_id_value)
 
-    def range_ids(self, low, low_inclusive, high, high_inclusive):
-        """Node ids inside the bounds, in (value, id) index order.
+    def _segment(self, prefix, segment_name):
+        """Sorted distinct payloads of one segment under ``prefix``."""
+        segments = self._segments.get(prefix)
+        if segments is None:
+            segments = {"num": [], "str": [], "bool": []}
+            segment_of = self._SEGMENT_OF
+            for canonical in self._children.get(prefix, _EMPTY_SEGMENTS):
+                name = segment_of.get(canonical[0])
+                if name is not None:
+                    segments[name].append(canonical[1])
+            for payloads in segments.values():
+                payloads.sort()
+            self._segments[prefix] = segments
+        return segments[segment_name]
 
-        Bounds follow :func:`~repro.values.comparison.compare`: a bound
-        outside the comparable scalar segments returns ``None``
-        ("unsupported — scan the label instead"); a NaN bound, or bounds
-        from two different segments, can never be satisfied and return
-        the empty list.  At least one bound must be given.
+    def range_ids(
+        self, low, low_inclusive, high, high_inclusive, prefix_values=(),
+    ):
+        """Node ids matching prefix-equality + range, in index order.
+
+        The range applies to the column after the equality prefix;
+        enumeration is (column value, then node id) with deeper columns
+        unconstrained.  Bounds follow
+        :func:`~repro.values.comparison.compare`: a bound outside the
+        comparable scalar segments returns ``None`` ("unsupported — scan
+        the label instead"); a NaN bound, bounds from two different
+        segments, or a never-true equality prefix return the empty list.
+        At least one bound must be given.
         """
+        prefix = self._canonical_prefix(prefix_values)
+        if prefix is None:
+            return []
         bound = low if low is not None else high
         segment_name = self._segment_for(bound)
         if segment_name is None:
@@ -345,7 +633,7 @@ class _PropertyIndex:
                 # The two bounds admit disjoint value types: no value can
                 # satisfy both comparisons, whatever the other bound is.
                 return []
-        values = self._segments[segment_name]
+        values = self._segment(prefix, segment_name)
         start = 0
         stop = len(values)
         if low is not None:
@@ -360,10 +648,10 @@ class _PropertyIndex:
                 if high_inclusive
                 else bisect_left(values, high)
             )
-        return self._gather(segment_name, values[start:stop])
+        return self._gather(prefix, segment_name, values[start:stop])
 
-    def prefix_ids(self, prefix):
-        """Node ids whose string value starts with ``prefix``, in order.
+    def prefix_ids(self, prefix, prefix_values=()):
+        """Node ids whose next column starts with ``prefix``, in order.
 
         Exact: ``STARTS WITH`` is only true of strings, and strings
         sharing a prefix are contiguous in the sorted segment.  A
@@ -371,14 +659,17 @@ class _PropertyIndex:
         """
         if not isinstance(prefix, str):
             return []
-        values = self._segments["str"]
+        equality = self._canonical_prefix(prefix_values)
+        if equality is None:
+            return []
+        values = self._segment(equality, "str")
         start = bisect_left(values, prefix)
         matching = []
         for position in range(start, len(values)):
             if not values[position].startswith(prefix):
                 break
             matching.append(values[position])
-        return self._gather("str", matching)
+        return self._gather(equality, "str", matching)
 
     def _segment_for(self, value):
         """The sorted-half segment a range bound selects, or None."""
@@ -390,25 +681,127 @@ class _PropertyIndex:
             return "str"
         return None
 
-    def _gather(self, segment_name, values):
+    def _gather(self, prefix, segment_name, values):
         tag = segment_name  # segment names coincide with canonical tags
         out = []
         for value in values:
-            canonical = (tag, value)
-            if self._buckets.get(canonical):
-                out.extend(self._sorted_bucket(canonical))
+            grown = prefix + ((tag, value),)
+            if grown in self._ids_by_prefix:
+                out.extend(self._sorted_ids(grown))
         return out
+
+    # -- ordered enumeration (index-provided ORDER BY) ---------------------
+
+    def _ordered_children(self, prefix):
+        """Child canonicals under ``prefix`` in global sort order."""
+        ordered = self._ordered.get(prefix)
+        if ordered is None:
+            bucket = self._children.get(prefix, _EMPTY_SEGMENTS)
+            ordered = sorted(
+                bucket, key=lambda canonical: sort_key(bucket[canonical])
+            )
+            self._ordered[prefix] = ordered
+        return ordered
+
+    def ordered_ids(
+        self, prefix_values, directions,
+        low=None, low_inclusive=True, high=None, high_inclusive=True,
+        starts_with=None,
+    ):
+        """Entries under an equality prefix in ORDER BY order, lazily.
+
+        ``directions`` gives the ascending flag per ordered column
+        (starting right after the equality prefix); optional bounds or a
+        string prefix constrain the *first* ordered column, mirroring
+        :meth:`range_ids` / :meth:`prefix_ids`.  Enumeration descends
+        exactly ``len(directions)`` columns and then yields each group's
+        ids ascending — the same tie order a stable Sort over an
+        id-ordered scan produces — so deleting the Sort is invisible.
+        Lazy so a downstream LIMIT stops the walk early.
+        """
+        prefix = self._canonical_prefix(prefix_values)
+        if prefix is None:
+            return
+
+        def emit(prefix, remaining):
+            if not remaining:
+                yield from self._sorted_ids(prefix)
+                return
+            children = self._ordered_children(prefix)
+            if not remaining[0]:
+                children = reversed(children)
+            rest = remaining[1:]
+            for child in children:
+                yield from emit(prefix + (child,), rest)
+
+        directions = tuple(directions)
+        if low is None and high is None and starts_with is None:
+            yield from emit(prefix, directions)
+            return
+        if starts_with is not None:
+            payloads = []
+            if isinstance(starts_with, str):
+                candidates = self._segment(prefix, "str")
+                start = bisect_left(candidates, starts_with)
+                for position in range(start, len(candidates)):
+                    if not candidates[position].startswith(starts_with):
+                        break
+                    payloads.append(candidates[position])
+            segment_name = "str"
+        else:
+            bound = low if low is not None else high
+            segment_name = self._segment_for(bound)
+            if segment_name is None:
+                return  # plan-time gate keeps unsupported bounds out
+            if (
+                low is not None and high is not None
+                and self._segment_for(high) != segment_name
+            ):
+                return
+            candidates = self._segment(prefix, segment_name)
+            start = 0
+            stop = len(candidates)
+            if low is not None:
+                start = (
+                    bisect_left(candidates, low)
+                    if low_inclusive
+                    else bisect_right(candidates, low)
+                )
+            if high is not None:
+                stop = (
+                    bisect_right(candidates, high)
+                    if high_inclusive
+                    else bisect_left(candidates, high)
+                )
+            payloads = candidates[start:stop]
+        if not directions[0]:
+            payloads = reversed(payloads)
+        rest = directions[1:]
+        for payload in payloads:
+            grown = prefix + ((segment_name, payload),)
+            if grown in self._ids_by_prefix:
+                yield from emit(grown, rest)
+
+    # -- covering ----------------------------------------------------------
+
+    def entry_values(self, node_id):
+        """The node's stored column values, or None (covering reads)."""
+        entry = self._values.get(node_id)
+        return entry[0] if entry is not None else None
 
     def snapshot(self):
         """Canonical content view for maintenance-vs-rebuild checks."""
+        grouped = {}
+        for node_id, (_values, canon) in self._values.items():
+            grouped.setdefault(canon, []).append(node_id.value)
         return {
-            canonical: tuple(sorted(node.value for node in bucket))
-            for canonical, bucket in self._buckets.items()
+            canon: tuple(sorted(ids)) for canon, ids in grouped.items()
         }
 
     def __repr__(self):
         return "_PropertyIndex(:%s(%s), ndv=%d, entries=%d)" % (
-            self.label, self.key, len(self._buckets), self._entries
+            self.label, ",".join(self.keys),
+            self.distinct_values, len(self._values),
         )
 
 
@@ -679,83 +1072,178 @@ class MemoryGraph(PropertyGraph):
     # Property indexes
     # ------------------------------------------------------------------
 
-    def create_index(self, label, key):
-        """Declare a ``(label, key)`` property index; returns True if new.
+    @staticmethod
+    def _index_key_tuple(keys):
+        """Normalise a key spec — one string or a key sequence — to a tuple."""
+        if isinstance(keys, str):
+            return (keys,)
+        return tuple(keys)
 
-        The initial build scans the label's inverted index once; from
-        then on every mutation maintains the entries incrementally (the
-        raw mutators below), so an index is never rebuilt on write.
-        Creating an index bumps the version: plans whose access-path
-        choice depended on statistics must be reconsidered.
+    @staticmethod
+    def _public_index_key(keys):
+        """Render a key tuple for the public surface.
+
+        Single-key indexes keep reading as the plain string they always
+        were (``("L", "v")`` pairs everywhere); composites surface the
+        tuple.
+        """
+        return keys[0] if len(keys) == 1 else keys
+
+    def create_index(self, label, *keys):
+        """Declare a ``(label, k1, k2, …)`` index; returns True if new.
+
+        Accepts the composite columns as varargs or as one sequence
+        (``create_index("L", "a", "b")`` ≡ ``create_index("L",
+        ("a", "b"))``), so the long-standing two-argument single-key
+        call sites keep working unchanged.  The initial build scans the
+        label's inverted index once; from then on every mutation
+        maintains the entries incrementally (the raw mutators below), so
+        an index is never rebuilt on write.  Creating an index bumps the
+        version: plans whose access-path choice depended on statistics
+        must be reconsidered.
         """
         if not isinstance(label, str) or not label:
             raise ValueError("index label must be a non-empty string")
-        if not isinstance(key, str) or not key:
-            raise ValueError("index property key must be a non-empty string")
-        if key in self._indexes_by_label.get(label, _EMPTY_SEGMENTS):
+        if len(keys) == 1 and isinstance(keys[0], (list, tuple)):
+            keys = tuple(keys[0])
+        if not keys:
+            raise ValueError("a property index needs at least one key")
+        for key in keys:
+            if not isinstance(key, str) or not key:
+                raise ValueError(
+                    "index property key must be a non-empty string"
+                )
+        if len(set(keys)) != len(keys):
+            raise ValueError("index property keys must be distinct")
+        if keys in self._indexes_by_label.get(label, _EMPTY_SEGMENTS):
             return False
-        index = _PropertyIndex(label, key)
+        index = _PropertyIndex(label, keys)
         properties = self._node_properties
-        index.build(
-            (node, value)
-            for node in self._label_index.get(label, ())
-            if (value := properties[node].get(key)) is not None
-        )
-        self._indexes_by_label.setdefault(label, {})[key] = index
+        for node in self._label_index.get(label, ()):
+            index.update(node, properties[node])
+        self._indexes_by_label.setdefault(label, {})[keys] = index
         self._version += 1
         return True
 
-    def drop_index(self, label, key):
+    def drop_index(self, label, keys):
         """Remove a property index; returns True if one existed."""
         indexes = self._indexes_by_label.get(label)
-        if not indexes or key not in indexes:
+        key_tuple = self._index_key_tuple(keys)
+        if not indexes or key_tuple not in indexes:
             return False
-        del indexes[key]
+        del indexes[key_tuple]
         if not indexes:
             del self._indexes_by_label[label]
         self._version += 1
         return True
 
-    def has_index(self, label, key):
-        return key in self._indexes_by_label.get(label, _EMPTY_SEGMENTS)
-
-    def indexes(self):
-        """All declared ``(label, key)`` pairs, sorted."""
-        return sorted(
-            (label, key)
-            for label, keyed in self._indexes_by_label.items()
-            for key in keyed
+    def has_index(self, label, keys):
+        return self._index_key_tuple(keys) in self._indexes_by_label.get(
+            label, _EMPTY_SEGMENTS
         )
 
+    def _index(self, label, keys):
+        return self._indexes_by_label[label][self._index_key_tuple(keys)]
+
+    def indexes(self):
+        """All declared ``(label, keys)`` pairs, sorted.
+
+        The second component is the plain key string for single-key
+        indexes and the key tuple for composites.
+        """
+        ordered = sorted(
+            (label, keys)
+            for label, keyed in self._indexes_by_label.items()
+            for keys in keyed
+        )
+        return [
+            (label, self._public_index_key(keys)) for label, keys in ordered
+        ]
+
     def index_statistics(self):
-        """``{(label, key): (ndv, entries)}`` for the cost model."""
+        """``{(label, keys): (ndv, entries)}`` for the cost model.
+
+        NDV counts distinct full key tuples; use
+        :meth:`index_prefix_ndvs` for the per-prefix counts behind
+        composite selectivity.
+        """
         return {
-            (index.label, index.key): (index.distinct_values, index.entries)
+            (index.label, self._public_index_key(index.keys)): (
+                index.distinct_values, index.entries,
+            )
             for _label, keyed in self._indexes_by_label.items()
             for index in keyed.values()
         }
 
+    def index_prefix_ndvs(self, label, keys):
+        """Distinct canonical prefixes per prefix length (1..depth)."""
+        return self._index(label, keys).prefix_ndvs()
+
+    def index_column_distribution(self, label, keys, column):
+        """Per-segment ``[(value, entry count), …]`` for one column.
+
+        The raw material for equi-depth histograms; computed on demand
+        from the prefix tables, never maintained on the write path.
+        """
+        return self._index(label, keys).column_distribution(column)
+
     def index_lookup(self, label, key, value):
         """Equality probe: candidate node ids, id-ordered (see class doc)."""
-        return self._indexes_by_label[label][key].lookup(value)
+        return self._index(label, key).lookup(value)
 
     def index_lookup_many(self, label, key, values):
         """``IN`` probe over a value list: deduplicated, id-ordered."""
-        return self._indexes_by_label[label][key].lookup_many(values)
+        return self._index(label, key).lookup_many(values)
+
+    def index_probe(self, label, keys, values):
+        """Composite equality-prefix probe: candidates, id-ordered."""
+        return self._index(label, keys).probe(tuple(values))
 
     def index_range(self, label, key, low, low_inclusive, high, high_inclusive):
         """Range probe in index order; None when the bounds need a scan."""
-        return self._indexes_by_label[label][key].range_ids(
+        return self._index(label, key).range_ids(
             low, low_inclusive, high, high_inclusive
         )
 
     def index_prefix(self, label, key, prefix):
         """``STARTS WITH`` probe in index order (exact)."""
-        return self._indexes_by_label[label][key].prefix_ids(prefix)
+        return self._index(label, key).prefix_ids(prefix)
 
-    def index_snapshot(self, label, key):
+    def index_seek_range(
+        self, label, keys, prefix_values,
+        low, low_inclusive, high, high_inclusive, starts_with=None,
+    ):
+        """Equality-prefix + range/STARTS WITH seek on a composite index.
+
+        Same contract as :meth:`index_range` / :meth:`index_prefix` with
+        the bound column sitting after ``prefix_values``; ``None`` still
+        means "bounds unsupported — scan the label".
+        """
+        index = self._index(label, keys)
+        if starts_with is not None:
+            return index.prefix_ids(starts_with, tuple(prefix_values))
+        return index.range_ids(
+            low, low_inclusive, high, high_inclusive, tuple(prefix_values)
+        )
+
+    def index_ordered(
+        self, label, keys, prefix_values, directions,
+        low=None, low_inclusive=True, high=None, high_inclusive=True,
+        starts_with=None,
+    ):
+        """Lazy ORDER BY enumeration over an index (see ``ordered_ids``)."""
+        return self._index(label, keys).ordered_ids(
+            tuple(prefix_values), directions,
+            low, low_inclusive, high, high_inclusive, starts_with,
+        )
+
+    def index_cover_getter(self, label, keys):
+        """``node_id -> stored column values`` reader for covering scans."""
+        return self._index(label, keys).entry_values
+
+    def index_snapshot(self, label, keys):
         """Canonical content of one index (maintenance-vs-rebuild tests)."""
-        return self._indexes_by_label[label][key].snapshot()
+        return self._index(label, keys).snapshot()
 
     # -- incremental maintenance (called from the raw mutators) -------------
 
@@ -765,31 +1253,24 @@ class MemoryGraph(PropertyGraph):
     def _index_node_created(self, node_id, labels, properties):
         self._fault("index_add")
         for label in labels:
-            for key, index in self._indexes_for(label).items():
-                value = properties.get(key)
-                if value is not None:
-                    index.add(node_id, value)
+            for index in self._indexes_for(label).values():
+                index.update(node_id, properties)
 
     def _index_node_deleted(self, node_id, labels, properties):
         self._fault("index_remove")
         for label in labels:
-            for key, index in self._indexes_for(label).items():
-                value = properties.get(key)
-                if value is not None:
-                    index.remove(node_id, value)
+            for index in self._indexes_for(label).values():
+                index.discard(node_id)
 
     def _index_property_changed(self, node_id, key, old, new):
         if old is None and new is None:
             return
         self._fault("index_update")
+        properties = self._node_properties[node_id]
         for label in self._node_labels[node_id]:
-            index = self._indexes_for(label).get(key)
-            if index is None:
-                continue
-            if old is not None:
-                index.remove(node_id, old)
-            if new is not None:
-                index.add(node_id, new)
+            for index in self._indexes_for(label).values():
+                if key in index.keys:
+                    index.update(node_id, properties)
 
     def _index_label_added(self, node_id, label):
         indexes = self._indexes_for(label)
@@ -797,21 +1278,16 @@ class MemoryGraph(PropertyGraph):
             return
         self._fault("index_add")
         properties = self._node_properties[node_id]
-        for key, index in indexes.items():
-            value = properties.get(key)
-            if value is not None:
-                index.add(node_id, value)
+        for index in indexes.values():
+            index.update(node_id, properties)
 
     def _index_label_removed(self, node_id, label):
         indexes = self._indexes_for(label)
         if not indexes:
             return
         self._fault("index_remove")
-        properties = self._node_properties[node_id]
-        for key, index in indexes.items():
-            value = properties.get(key)
-            if value is not None:
-                index.remove(node_id, value)
+        for index in indexes.values():
+            index.discard(node_id)
 
     # ------------------------------------------------------------------
     # Reachability indexes (see :mod:`repro.graph.reachability`)
@@ -1185,10 +1661,19 @@ class MemoryGraph(PropertyGraph):
         indexed = None
         if self._indexes_by_label:
             indexed = [
-                (key, index)
+                index
                 for label in dict.fromkeys(labels)
-                for key, index in self._indexes_for(label).items()
+                for index in self._indexes_for(label).values()
             ]
+        # With no fault injector armed the per-node index maintenance is
+        # deferred into one bulk pass per index (in the ``finally``, so a
+        # mid-batch validation failure still indexes exactly the created
+        # prefix — the same state the interleaved path leaves).  With an
+        # injector armed, maintenance stays interleaved so ``index_add``
+        # trips between individual creates, as the fault tests assume.
+        deferred = None
+        if indexed and self._fault_injector is None:
+            deferred = []
         try:
             for properties in properties_list:
                 validated = _validated_properties(properties)  # may raise
@@ -1200,12 +1685,16 @@ class MemoryGraph(PropertyGraph):
                 node_properties[node_id] = validated
                 append(node_id)
                 if indexed:
-                    self._fault("index_add")
-                    for key, index in indexed:
-                        value = validated.get(key)
-                        if value is not None:
-                            index.add(node_id, value)
+                    if deferred is not None:
+                        deferred.append((node_id, validated))
+                    else:
+                        self._fault("index_add")
+                        for index in indexed:
+                            index.update(node_id, validated)
         finally:
+            if deferred:
+                for index in indexed:
+                    index.update_bulk(deferred)
             for label in labels:
                 self._label_index.setdefault(label, set()).update(ids)
                 cached = self._scan_cache.get(("label", label))

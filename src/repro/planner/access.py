@@ -284,6 +284,107 @@ def collect_sargable(predicate):
     return by_variable
 
 
+def collect_witnesses(predicate):
+    """``{variable: {keys proven non-null}}`` for one WHERE tree.
+
+    A composite prefix probe **under-approximates**: a node whose deeper
+    key column is null has no index entry at all, so probing only a
+    prefix would silently drop rows the predicate accepts.  The planner
+    therefore only uses a composite index when every non-probed column
+    is *witnessed* non-null by the WHERE itself.  Null-rejecting
+    witnesses are the extracted sargable shapes (``=``, ``IN``, ranges
+    and ``STARTS WITH`` are never true of null) and top-level
+    ``IS NOT NULL`` conjuncts — all gated on the same :func:`infallible`
+    check as extraction, because relying on a conjunct to prune rows
+    must not suppress errors the reference path would raise.
+    """
+    if predicate is None or not infallible(predicate):
+        return {}
+    witnesses = {}
+    for conjunct in conjuncts_of(predicate):
+        if isinstance(conjunct, ex.IsNotNull):
+            subject = _property_operand(conjunct.operand)
+        else:
+            sargable = _extract_one(conjunct)
+            subject = (
+                (sargable.variable, sargable.key)
+                if sargable is not None else None
+            )
+        if subject is not None:
+            witnesses.setdefault(subject[0], set()).add(subject[1])
+    return witnesses
+
+
+@dataclass(frozen=True)
+class CompositeCandidate:
+    """A usable probe over one composite index's key columns.
+
+    ``equalities`` holds one ``"eq"`` sargable per consumed prefix
+    column (in key order); ``bound`` optionally adds one range /
+    ``STARTS WITH`` sargable on the next column.  Every column beyond
+    the probe was witnessed non-null, so the index's entry set covers
+    exactly the rows the predicates admit (see
+    :func:`collect_witnesses`).
+    """
+
+    keys: tuple
+    equalities: tuple
+    bound: Optional[Sargable] = None
+
+    @property
+    def consumed(self):
+        return len(self.equalities) + (1 if self.bound is not None else 0)
+
+    def probe_expressions(self):
+        expressions = [s.value for s in self.equalities]
+        if self.bound is not None:
+            expressions.extend(self.bound.probe_expressions())
+        return tuple(expressions)
+
+    def describe(self):
+        parts = [s.describe() for s in self.equalities]
+        if self.bound is not None:
+            parts.append(self.bound.describe())
+        return " AND ".join(parts)
+
+
+def match_composite(keys, sargables, witnessed):
+    """The longest usable probe of one composite index, or None.
+
+    Greedy longest-prefix matching: consume an equality sargable per
+    key column while one exists, then optionally one range / prefix
+    sargable on the following column (``IN`` stays single-key only —
+    list probes over a composite prefix explode into per-element
+    probes, which the cost model has no basis to price).  Usable only
+    when every *unconsumed* column appears in ``witnessed`` (the
+    consumed ones witness themselves).
+    """
+    by_key = {}
+    for sargable in sargables:
+        by_key.setdefault(sargable.key, []).append(sargable)
+    equalities = []
+    bound = None
+    for key in keys:
+        here = by_key.get(key, ())
+        equality = next((s for s in here if s.kind == "eq"), None)
+        if equality is not None:
+            equalities.append(equality)
+            continue
+        bound = next(
+            (s for s in here if s.kind in ("range", "prefix")), None
+        )
+        break
+    if not equalities and bound is None:
+        return None
+    consumed = len(equalities) + (1 if bound is not None else 0)
+    for key in keys[consumed:]:
+        if key not in witnessed:
+            return None
+    return CompositeCandidate(
+        keys=tuple(keys), equalities=tuple(equalities), bound=bound
+    )
+
+
 @dataclass(frozen=True)
 class ReachabilityCandidate:
     """A declared reachability index that can prune one var-length hop.

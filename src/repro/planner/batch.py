@@ -49,6 +49,7 @@ final stores over the fuzz corpus.
 from __future__ import annotations
 
 import heapq
+from itertools import islice
 
 from repro.ast import expressions as ex
 from repro.ast import patterns as pt
@@ -62,6 +63,7 @@ from repro.planner.physical import (
     _compile_node_ok,
     _compile_rel_ok,
     _heap_item_class,
+    _index_ordered_probe,
     _index_probe,
     _index_range_probe,
 )
@@ -228,6 +230,7 @@ def _compile_scan(op, ctx, source_of, granted_label=None):
     ok = _compile_node_ok(ctx, op.node_pattern, granted_label=granted_label)
     morsel = ctx.morsel_size
     width = len(ctx.slots)
+    fill = _compile_batch_cover_fill(op, ctx)
 
     def run(argument):
         for n, cols in child(argument):
@@ -247,6 +250,8 @@ def _compile_scan(op, ctx, source_of, granted_label=None):
                     for out_slot, col in bound:
                         out[out_slot] = [col[index]] * len(chunk)
                     out[slot] = chunk
+                    if fill is not None:
+                        fill(out, chunk)
                     yield len(chunk), out
 
     return run
@@ -297,9 +302,12 @@ def _compile_probe_scan(op, ctx, candidates_of, entry):
     :func:`_index_range_probe` — one home for the probe semantics.  They
     read the *driving row*, so a scratch row is materialised per input
     row (exactly like :func:`_compile_scan`'s property-checked path);
-    the candidate list then chunks into morsels with the outer bindings
+    the candidates then chunk into morsels with the outer bindings
     broadcast.  Enumeration order matches the row engine's operator —
-    same store calls, same lists.
+    same store calls, same lists.  Chunking is lazy (``islice`` over the
+    candidate iterator, never a full materialisation), so an ordered
+    scan's generator only advances as far as downstream operators pull —
+    a Limit's budget cuts the index walk off mid-morsel.
     """
     child = _compile(op.child, ctx)
     slot = ctx.slots[op.variable]
@@ -308,6 +316,7 @@ def _compile_probe_scan(op, ctx, candidates_of, entry):
     width = len(ctx.slots)
     label = op.label
     label_ids = ctx.graph.label_scan_ids
+    fill = _compile_batch_cover_fill(op, ctx)
 
     def run(argument):
         for n, cols in child(argument):
@@ -318,19 +327,57 @@ def _compile_probe_scan(op, ctx, candidates_of, entry):
                     continue
                 for out_slot, col in bound:
                     row[out_slot] = col[index]
-                nodes = candidates_of(row)
+                nodes = iter(candidates_of(row))
                 if ok is not None:
-                    nodes = [node for node in nodes if ok(node, row)]
-                total = len(nodes)
-                for start in range(0, total, morsel):
-                    chunk = nodes[start:start + morsel]
+                    nodes = (node for node in nodes if ok(node, row))
+                while True:
+                    chunk = list(islice(nodes, morsel))
+                    if not chunk:
+                        break
                     out = [None] * width
                     for out_slot, col in bound:
                         out[out_slot] = [col[index]] * len(chunk)
                     out[slot] = chunk
+                    if fill is not None:
+                        fill(out, chunk)
                     yield len(chunk), out
 
     return _profiled_batch_scan(ctx, op, entry, run)
+
+
+def _compile_batch_cover_fill(op, ctx):
+    """``(out_cols, chunk) -> None`` writing covered columns, or None.
+
+    Columnar twin of the row engine's cover fill: one list per covered
+    column, built straight from index entries (live property map as the
+    fallback for over-approximated admissions — see the row engine's
+    docstring for why that case exists).
+    """
+    covered = getattr(op, "covered", ())
+    if not covered:
+        return None
+    keys = op.all_keys
+    getter = ctx.graph.index_cover_getter(op.label, keys)
+    properties = ctx.graph.properties
+    targets = tuple(
+        (keys.index(key), key, ctx.slots[name]) for key, name in covered
+    )
+
+    def fill(out, chunk):
+        columns = [[None] * len(chunk) for _target in targets]
+        for index, node in enumerate(chunk):
+            values = getter(node)
+            if values is not None:
+                for t, (position, _key, _slot) in enumerate(targets):
+                    columns[t][index] = values[position]
+            else:
+                node_properties = properties(node)
+                for t, (_position, key, _slot) in enumerate(targets):
+                    columns[t][index] = node_properties.get(key)
+        for t, (_position, _key, cover_slot) in enumerate(targets):
+            out[cover_slot] = columns[t]
+
+    return fill
 
 
 def _compile_index_scan(op, ctx):
@@ -339,6 +386,10 @@ def _compile_index_scan(op, ctx):
 
 def _compile_index_range_scan(op, ctx):
     return _compile_probe_scan(op, ctx, *_index_range_probe(ctx, op))
+
+
+def _compile_index_ordered_scan(op, ctx):
+    return _compile_probe_scan(op, ctx, *_index_ordered_probe(ctx, op))
 
 
 def _compile_node_check(op, ctx):
@@ -1345,6 +1396,7 @@ _COMPILERS = {
     lg.NodeByLabelScan: _compile_label_scan,
     lg.IndexScan: _compile_index_scan,
     lg.IndexRangeScan: _compile_index_range_scan,
+    lg.IndexOrderedScan: _compile_index_ordered_scan,
     lg.NodeCheck: _compile_node_check,
     lg.Expand: _compile_expand,
     lg.VarLengthExpand: _compile_var_length_expand,

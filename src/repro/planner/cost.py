@@ -87,9 +87,23 @@ def estimated_source_rows(plan, graph):
         return float(stats.node_count)
     if isinstance(source, lg.NodeByLabelScan):
         return float(stats.nodes_with_label(source.label))
-    if isinstance(source, (lg.IndexScan, lg.IndexRangeScan)):
+    if isinstance(
+        source, (lg.IndexScan, lg.IndexRangeScan, lg.IndexOrderedScan)
+    ):
         return float(stats.nodes_with_label(source.label))
     return None
+
+
+def _literal_value(expression):
+    """The plan-time value of a literal bound expression, or ``_MISSING``."""
+    from repro.ast import expressions as ex
+
+    if isinstance(expression, ex.Literal):
+        return expression.value
+    return _MISSING
+
+
+_MISSING = object()
 
 
 class CostModel:
@@ -181,10 +195,71 @@ class CostModel:
             if size is None:
                 size = IN_LIST_DEFAULT_SIZE
             return min(float(entries), size * entries / float(ndv))
-        if kind == "range":
-            bounds = (sargable.low is not None) + (sargable.high is not None)
-            return entries * RANGE_SELECTIVITY ** max(bounds, 1)
-        return entries * RANGE_SELECTIVITY  # prefix
+        return entries * self.bound_selectivity(label, (key,), 0, sargable)
+
+    def bound_selectivity(self, label, keys, column, sargable):
+        """Selectivity of one range/prefix sargable on an indexed column.
+
+        Histogram-backed when every present bound is a plan-time
+        literal (an equi-depth histogram over the live distribution
+        replaces the flat :data:`RANGE_SELECTIVITY` guess); the textbook
+        constant otherwise — parameters and row-dependent bounds have no
+        value to consult the histogram with.  Floored at a small epsilon
+        so an empty-looking range still prices strictly positive.
+        """
+        stats = self.statistics
+        if sargable.kind == "prefix":
+            value = _literal_value(sargable.value)
+            if isinstance(value, str):
+                fraction = stats.starts_with_fraction(
+                    label, keys, column, value
+                )
+                if fraction is not None:
+                    return max(fraction, 1e-6)
+            return RANGE_SELECTIVITY
+        low = (
+            _literal_value(sargable.low)
+            if sargable.low is not None else None
+        )
+        high = (
+            _literal_value(sargable.high)
+            if sargable.high is not None else None
+        )
+        if low is not _MISSING and high is not _MISSING:
+            fraction = stats.range_fraction(
+                label, keys, column,
+                low, sargable.low_inclusive, high, sargable.high_inclusive,
+            )
+            if fraction is not None:
+                return max(fraction, 1e-6)
+        bounds = (sargable.low is not None) + (sargable.high is not None)
+        return RANGE_SELECTIVITY ** max(bounds, 1)
+
+    def composite_entry_estimate(self, label, candidate):
+        """Expected rows out of a composite-index probe, or None.
+
+        The equality prefix divides entries by the *prefix NDV* of the
+        consumed length — a direct measurement, so functionally
+        dependent columns (whose deeper prefix NDV barely grows) don't
+        get the spurious per-column selectivity product independence
+        would give.  A trailing range/prefix bound multiplies in its
+        histogram-backed selectivity on the bound column.
+        """
+        stats = self.statistics
+        keys = candidate.keys
+        entries = stats.indexed_entries(label, keys)
+        if entries is None:
+            return None
+        estimate = float(entries)
+        consumed = len(candidate.equalities)
+        if consumed:
+            ndv = stats.prefix_ndv(label, keys, consumed) or 1
+            estimate = entries / float(ndv)
+        if candidate.bound is not None:
+            estimate *= self.bound_selectivity(
+                label, keys, consumed, candidate.bound
+            )
+        return estimate
 
     def best_entry_label(self, node_pattern):
         """The most selective label of a node pattern (or None)."""

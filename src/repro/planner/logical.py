@@ -117,13 +117,35 @@ class IndexScan(Operator):
     many: bool = False
     fields: Tuple[str, ...] = ()
     estimated_rows: Optional[float] = None
+    #: Full declared key tuple of the serving index; () means the
+    #: single-key form (``key``/``probe`` above carry the probe).
+    index_keys: Tuple[str, ...] = ()
+    #: Equality-prefix probe expressions, one per consumed column
+    #: (composite indexes only; may be shorter than ``index_keys``).
+    probes: Tuple[object, ...] = ()
+    #: ``((key, synthetic field name), …)`` when the scan also serves
+    #: projections straight from its stored entry values (covering).
+    covered: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def all_keys(self):
+        return self.index_keys or (self.key,)
+
+    @property
+    def all_probes(self):
+        return self.probes or (self.probe,)
 
     def _describe_line(self):
-        return "IndexScan({}:{}({}) {}{})".format(
+        keys = self.all_keys
+        shape = "IN …" if self.many else "= …"
+        if len(keys) > 1 and len(self.all_probes) < len(keys):
+            shape = "prefix(%d) %s" % (len(self.all_probes), shape)
+        return "IndexScan({}:{}({}) {}{}{})".format(
             self.variable,
             self.label,
-            self.key,
-            "IN …" if self.many else "= …",
+            ",".join(keys),
+            shape,
+            ", covering" if self.covered else "",
             "" if self.estimated_rows is None
             else ", est≈%d rows" % round(self.estimated_rows),
         )
@@ -157,6 +179,17 @@ class IndexRangeScan(Operator):
     prefix: Optional[object] = None     # Expression (STARTS WITH)
     fields: Tuple[str, ...] = ()
     estimated_rows: Optional[float] = None
+    #: Full declared key tuple; () means the single-key form.  The
+    #: bounded column is ``keys[len(prefix_probes)]``.
+    index_keys: Tuple[str, ...] = ()
+    #: Equality probe expressions for the columns before the bound one.
+    prefix_probes: Tuple[object, ...] = ()
+    #: Covering projection slots, as on :class:`IndexScan`.
+    covered: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def all_keys(self):
+        return self.index_keys or (self.key,)
 
     def _describe_line(self):
         if self.prefix is not None:
@@ -168,11 +201,91 @@ class IndexRangeScan(Operator):
             if self.high is not None:
                 parts.append("<%s …" % ("=" if self.high_inclusive else ""))
             shape = " AND ".join(parts)
-        return "IndexRangeScan({}:{}({}) {}{})".format(
+        keys = self.all_keys
+        if self.prefix_probes:
+            shape = "eq(%d) %s" % (len(self.prefix_probes), shape)
+        return "IndexRangeScan({}:{}({}) {}{}{})".format(
             self.variable,
             self.label,
-            self.key,
+            ",".join(keys),
             shape,
+            ", covering" if self.covered else "",
+            "" if self.estimated_rows is None
+            else ", est≈%d rows" % round(self.estimated_rows),
+        )
+
+    def _children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class IndexOrderedScan(Operator):
+    """Enumerate an index in ORDER BY order: the Sort-deleting scan.
+
+    Emits nodes in the composite index's sorted-half order over the
+    columns after an equality prefix — exactly the order a stable
+    multi-pass Sort over an id-ordered scan would produce (per-group
+    ties come out id-ascending) — so the planner substitutes this scan
+    and deletes the Sort.  ``directions`` holds one ascending flag per
+    ordered column; optional bounds restrict the first ordered column
+    and are **plan-time literal values** (never expressions): a runtime
+    bound could degrade to an unordered label scan inside the operator,
+    which would be unsound once the Sort is gone.  Enumeration is lazy,
+    so a downstream Limit stops the index walk early (the fused
+    Top-replacement).
+    """
+
+    child: Operator
+    variable: str
+    label: str
+    index_keys: Tuple[str, ...]
+    prefix_probes: Tuple[object, ...]  # Expressions (equality prefix)
+    directions: Tuple[bool, ...]       # ascending flag per ordered column
+    node_pattern: object
+    low_value: Optional[object] = None   # literal VALUE, not expression
+    low_inclusive: bool = True
+    high_value: Optional[object] = None  # literal VALUE
+    high_inclusive: bool = True
+    prefix_value: Optional[str] = None   # literal STARTS WITH value
+    covered: Tuple[Tuple[str, str], ...] = ()
+    fields: Tuple[str, ...] = ()
+    estimated_rows: Optional[float] = None
+
+    @property
+    def all_keys(self):
+        return self.index_keys
+
+    def _describe_line(self):
+        consumed = len(self.prefix_probes)
+        ordered = self.index_keys[consumed:consumed + len(self.directions)]
+        order = ", ".join(
+            "%s %s" % (key, "ASC" if ascending else "DESC")
+            for key, ascending in zip(ordered, self.directions)
+        )
+        extras = []
+        if consumed:
+            extras.append("eq(%d)" % consumed)
+        if self.low_value is not None or self.high_value is not None:
+            bounds = []
+            if self.low_value is not None:
+                bounds.append(">%s %r" % (
+                    "=" if self.low_inclusive else "", self.low_value,
+                ))
+            if self.high_value is not None:
+                bounds.append("<%s %r" % (
+                    "=" if self.high_inclusive else "", self.high_value,
+                ))
+            extras.append(" AND ".join(bounds))
+        if self.prefix_value is not None:
+            extras.append("STARTS WITH %r" % (self.prefix_value,))
+        if self.covered:
+            extras.append("covering")
+        return "IndexOrderedScan({}:{}({}) order by {}{}{})".format(
+            self.variable,
+            self.label,
+            ",".join(self.index_keys),
+            order,
+            ("".join(", " + extra for extra in extras)),
             "" if self.estimated_rows is None
             else ", est≈%d rows" % round(self.estimated_rows),
         )

@@ -82,6 +82,7 @@ from repro.planner.batch import (
 from repro.planner.physical import (
     _bound_value,
     _heap_item_class,
+    _index_ordered_probe,
     _index_probe,
     _index_range_probe,
 )
@@ -102,6 +103,7 @@ DEFAULT_PARALLEL_THRESHOLD = 2 * PARALLEL_MIN_CHUNK
 
 _SOURCES = (
     lg.AllNodesScan, lg.NodeByLabelScan, lg.IndexScan, lg.IndexRangeScan,
+    lg.IndexOrderedScan,
 )
 #: Morsel-local operators: per-input-order preserving, no cross-morsel
 #: state — safe inside a worker segment (mid-chain scans re-enumerate
@@ -212,6 +214,11 @@ class PartitionScan(lg.Operator):
     entry: str = "partition"
     estimated_rows: Optional[float] = None
     fields: Tuple[str, ...] = ()
+    #: Covering projection carried over from the source index scan:
+    #: ``(key, synthetic name)`` pairs plus the index's full key tuple,
+    #: so the batch kernel's cover fill works per partition too.
+    covered: tuple = ()
+    all_keys: tuple = ()
 
     def _describe_line(self):
         return "PartitionScan({}, {} candidates)".format(
@@ -279,6 +286,8 @@ def _source_candidates(source, ctx):
         )
     if isinstance(source, lg.IndexScan):
         candidates_of, entry = _index_probe(ctx, source)
+    elif isinstance(source, lg.IndexOrderedScan):
+        candidates_of, entry = _index_ordered_probe(ctx, source)
     else:
         candidates_of, entry = _index_range_probe(ctx, source)
     if not graph.label_scan_ids(source.label):
@@ -682,6 +691,8 @@ def _segment_plan(source, worker_ops, granted, entry, chunk):
         entry=entry,
         estimated_rows=getattr(source, "estimated_rows", None),
         fields=source.fields,
+        covered=getattr(source, "covered", ()),
+        all_keys=getattr(source, "all_keys", ()),
     )
     for above in reversed(worker_ops):
         op = replace(above, child=op)

@@ -410,6 +410,27 @@ def _index_probe(ctx, op):
     """
     graph = ctx.graph
     label, key = op.label, op.key
+    if op.probes:
+        # Composite equality-prefix probe: evaluate every consumed
+        # column's expression per driving row; the store treats a null
+        # or NaN anywhere in the prefix as never-true (no candidates).
+        keys = op.index_keys
+        probes = tuple(ctx.compile(probe) for probe in op.probes)
+        index_probe = graph.index_probe
+
+        def candidates(row):
+            return index_probe(
+                label, keys, tuple(probe(row) for probe in probes)
+            )
+
+        keys_text = ",".join(keys)
+        if len(probes) < len(keys):
+            entry = "index seek :%s(%s) prefix(%d)" % (
+                label, keys_text, len(probes),
+            )
+        else:
+            entry = "index seek :%s(%s)" % (label, keys_text)
+        return candidates, entry
     probe = ctx.compile(op.probe)
     if op.many:
         lookup_many = graph.index_lookup_many
@@ -444,6 +465,8 @@ def _index_range_probe(ctx, op):
     """
     graph = ctx.graph
     label, key = op.label, op.key
+    if op.index_keys:
+        return _composite_range_probe(ctx, op)
     if op.prefix is not None:
         prefix = ctx.compile(op.prefix)
         index_prefix = graph.index_prefix
@@ -478,6 +501,94 @@ def _index_range_probe(ctx, op):
     return candidates, "index range :%s(%s)" % (label, key)
 
 
+def _composite_range_probe(ctx, op):
+    """Equality-prefix + bounded-column probe over a composite index.
+
+    Null anywhere in the equality prefix, or a null bound, is never
+    true — the row contributes nothing.  A bound outside the sorted
+    segments degrades to the label scan list exactly like the
+    single-key form (the residual still decides).
+    """
+    graph = ctx.graph
+    label, keys = op.label, op.index_keys
+    probes = tuple(ctx.compile(probe) for probe in op.prefix_probes)
+    seek = graph.index_seek_range
+    label_ids = graph.label_scan_ids
+    keys_text = ",".join(keys)
+    consumed = len(probes)
+    if op.prefix is not None:
+        starts = ctx.compile(op.prefix)
+
+        def candidates(row):
+            return seek(
+                label, keys, tuple(probe(row) for probe in probes),
+                None, True, None, True, starts(row),
+            )
+
+        return candidates, "index prefix :%s(%s) eq(%d)" % (
+            label, keys_text, consumed,
+        )
+    low = ctx.compile(op.low) if op.low is not None else None
+    high = ctx.compile(op.high) if op.high is not None else None
+    low_inclusive = op.low_inclusive
+    high_inclusive = op.high_inclusive
+
+    def candidates(row):
+        low_value = high_value = None
+        if low is not None:
+            low_value = low(row)
+            if low_value is None:
+                return ()
+        if high is not None:
+            high_value = high(row)
+            if high_value is None:
+                return ()
+        ids = seek(
+            label, keys, tuple(probe(row) for probe in probes),
+            low_value, low_inclusive, high_value, high_inclusive,
+        )
+        return ids if ids is not None else label_ids(label)
+
+    return candidates, "index range :%s(%s) eq(%d)" % (
+        label, keys_text, consumed,
+    )
+
+
+def _index_ordered_probe(ctx, op):
+    """``(row -> ordered candidate ids, entry label)`` for ordered scans.
+
+    Enumeration is lazy (a generator per driving row): a downstream
+    Limit's budget cuts the index walk off early.  Bounds are plan-time
+    literal values by construction — the order rewrite only fires for
+    bounds that cannot degrade at runtime — so no fallback path exists
+    here.
+    """
+    graph = ctx.graph
+    label, keys = op.label, op.index_keys
+    probes = tuple(ctx.compile(probe) for probe in op.prefix_probes)
+    directions = op.directions
+    index_ordered = graph.index_ordered
+    low_value = op.low_value
+    high_value = op.high_value
+    low_inclusive = op.low_inclusive
+    high_inclusive = op.high_inclusive
+    prefix_value = op.prefix_value
+
+    def candidates(row):
+        return index_ordered(
+            label, keys, tuple(probe(row) for probe in probes), directions,
+            low_value, low_inclusive, high_value, high_inclusive,
+            prefix_value,
+        )
+
+    order = ",".join(
+        "ASC" if ascending else "DESC" for ascending in directions
+    )
+    return candidates, "index ordered :%s(%s) %s" % (
+        label, ",".join(keys), order,
+    )
+
+
 def _compile_probe_scan(op, ctx, candidates, entry):
     """Row-engine scan over per-driving-row index candidate lists.
 
@@ -493,6 +604,7 @@ def _compile_probe_scan(op, ctx, candidates, entry):
     slot = ctx.slots[op.variable]
     ok = _compile_node_ok(ctx, op.node_pattern, granted_label=label)
     label_ids = ctx.graph.label_scan_ids
+    fill = _compile_cover_fill(op, ctx)
 
     def run(argument):
         for row in child(argument):
@@ -502,9 +614,45 @@ def _compile_probe_scan(op, ctx, candidates, entry):
                 if ok is None or ok(node, row):
                     out = row[:]
                     out[slot] = node
+                    if fill is not None:
+                        fill(out, node)
                     yield out
 
     return _profiled_scan(ctx, op, entry, run)
+
+
+def _compile_cover_fill(op, ctx):
+    """``(row, node) -> None`` writing covered columns, or None.
+
+    A covering scan serves projections straight from the index entry —
+    the downstream ExtendedProject reads the synthetic slots instead of
+    dereferencing the property map.  Entries only exist for nodes with
+    every key column non-null, but the residual node check can admit a
+    node through an *over-approximated* bucket whose entry has since
+    been recomputed, so a missing entry falls back to the live property
+    map — same values, just not served from the index.
+    """
+    covered = getattr(op, "covered", ())
+    if not covered:
+        return None
+    keys = op.all_keys
+    getter = ctx.graph.index_cover_getter(op.label, keys)
+    properties = ctx.graph.properties
+    targets = tuple(
+        (keys.index(key), key, ctx.slots[name]) for key, name in covered
+    )
+
+    def fill(row, node):
+        values = getter(node)
+        if values is not None:
+            for position, _key, cover_slot in targets:
+                row[cover_slot] = values[position]
+        else:
+            node_properties = properties(node)
+            for _position, key, cover_slot in targets:
+                row[cover_slot] = node_properties.get(key)
+
+    return fill
 
 
 def _compile_index_scan(op, ctx):
@@ -513,6 +661,10 @@ def _compile_index_scan(op, ctx):
 
 def _compile_index_range_scan(op, ctx):
     return _compile_probe_scan(op, ctx, *_index_range_probe(ctx, op))
+
+
+def _compile_index_ordered_scan(op, ctx):
+    return _compile_probe_scan(op, ctx, *_index_ordered_probe(ctx, op))
 
 
 def _compile_node_check(op, ctx):
@@ -1625,6 +1777,7 @@ _COMPILERS = {
     lg.NodeByLabelScan: _compile_label_scan,
     lg.IndexScan: _compile_index_scan,
     lg.IndexRangeScan: _compile_index_range_scan,
+    lg.IndexOrderedScan: _compile_index_ordered_scan,
     lg.NodeCheck: _compile_node_check,
     lg.Expand: _compile_expand,
     lg.VarLengthExpand: _compile_var_length_expand,

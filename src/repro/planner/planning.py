@@ -79,6 +79,7 @@ def plan_depends_on_statistics(plan):
                 lg.NodeByLabelScan,
                 lg.IndexScan,
                 lg.IndexRangeScan,
+                lg.IndexOrderedScan,
                 lg.Expand,
                 lg.VarLengthExpand,
             ),
@@ -119,7 +120,7 @@ class _PlanBuilder:
         plan = lg.Init()
         for clause in query.clauses:
             plan = self._plan_clause(clause, plan)
-        return plan
+        return _apply_covering(plan)
 
     def _plan_clause(self, clause, plan):
         if isinstance(clause, cl.Match):
@@ -243,10 +244,11 @@ class _PlanBuilder:
         # residual Filter below, so the extraction never changes what a
         # row must satisfy — only how candidate rows are found.
         sargables = access.collect_sargable(clause.where)
+        witnesses = access.collect_witnesses(clause.where)
         if clause.optional:
             argument = lg.Argument(fields=plan.fields)
             inner = self._plan_pattern_tuple(
-                argument, clause.pattern, sargables
+                argument, clause.pattern, sargables, witnesses
             )
             if clause.where is not None:
                 inner = lg.Filter(inner, clause.where, fields=inner.fields)
@@ -256,7 +258,9 @@ class _PlanBuilder:
             return lg.OptionalApply(
                 plan, inner, pad_names=pad, fields=plan.fields + pad
             )
-        plan = self._plan_pattern_tuple(plan, clause.pattern, sargables)
+        plan = self._plan_pattern_tuple(
+            plan, clause.pattern, sargables, witnesses
+        )
         if clause.where is not None:
             plan = lg.Filter(plan, clause.where, fields=plan.fields)
         return plan
@@ -303,7 +307,10 @@ class _PlanBuilder:
                     return True
         return False
 
-    def _plan_pattern_tuple(self, plan, patterns, sargables=_NO_SARGABLES):
+    def _plan_pattern_tuple(
+        self, plan, patterns, sargables=_NO_SARGABLES,
+        witnesses=_NO_SARGABLES,
+    ):
         bound = set(plan.fields)
         unique_rels = []
         remaining = list(patterns)
@@ -342,19 +349,27 @@ class _PlanBuilder:
                 chain = _reverse_chain(chain)
             plan = self._plan_chain(
                 plan, chain, bound, unique_rels, flipped=reverse,
-                sargables=sargables,
+                sargables=sargables, witnesses=witnesses,
             )
         return plan
 
-    def _entry_scan(self, plan, name, pattern, bound, sargables, fields):
+    def _entry_scan(
+        self, plan, name, pattern, bound, sargables, fields,
+        witnesses=_NO_SARGABLES,
+    ):
         """The cost-chosen access path binding a chain's entry node.
 
-        Candidates: the label scan over the most selective label, and —
-        for every ``(label of the pattern, key)`` pair a property index
-        tracks — each usable sargable conjunct (WHERE-extracted or from
-        the inline property map).  Estimates come from the live NDV /
-        entry counters; the index wins ties because it reads at most the
-        rows the label scan would.  Without labels there is no index to
+        Candidates: the label scan over the most selective label; for
+        every single-key ``(label of the pattern, key)`` index, each
+        usable sargable conjunct (WHERE-extracted or from the inline
+        property map); and for every composite index, the longest
+        usable equality prefix plus at most one range/prefix column
+        (usable only when the remaining columns are witnessed non-null —
+        a composite entry only exists when *every* column is non-null,
+        so an unwitnessed prefix probe would under-approximate).
+        Estimates come from the live NDV / prefix-NDV / histogram
+        counters; the index wins ties because it reads at most the rows
+        the label scan would.  Without labels there is no index to
         enter through and the scan stays AllNodesScan.
         """
         stats = self.cost.statistics
@@ -386,8 +401,31 @@ class _PlanBuilder:
                     continue
                 if best is None or estimate < best[0]:
                     best = (estimate, label, sargable)
+        witnessed = set(witnesses.get(name, ())) if name is not None else set()
+        witnessed.update(key for key, _expression in pattern.properties)
+        for label in pattern.labels:
+            for keys in stats.composite_indexes(label):
+                if len(keys) == 1:
+                    continue  # priced by the single-key loop above
+                candidate = access.match_composite(
+                    keys, candidates, witnessed
+                )
+                if candidate is None:
+                    continue
+                estimate = self.cost.composite_entry_estimate(
+                    label, candidate
+                )
+                if estimate is None:
+                    continue
+                if best is None or estimate < best[0]:
+                    best = (estimate, label, candidate)
         if best is not None and best[0] <= label_estimate:
-            estimate, label, sargable = best
+            estimate, label, chosen = best
+            if isinstance(chosen, access.CompositeCandidate):
+                return self._composite_scan(
+                    plan, name, label, chosen, pattern, fields, estimate
+                )
+            sargable = chosen
             if sargable.kind in ("eq", "in"):
                 return lg.IndexScan(
                     plan, name, label, sargable.key, sargable.value,
@@ -409,9 +447,34 @@ class _PlanBuilder:
             estimated_rows=label_estimate,
         )
 
+    def _composite_scan(
+        self, plan, name, label, candidate, pattern, fields, estimate,
+    ):
+        """Compile one :class:`~repro.planner.access.CompositeCandidate`."""
+        probes = tuple(s.value for s in candidate.equalities)
+        if candidate.bound is None:
+            return lg.IndexScan(
+                plan, name, label, candidate.keys[0], probes[0],
+                pattern, fields=fields, estimated_rows=estimate,
+                index_keys=candidate.keys, probes=probes,
+            )
+        bound = candidate.bound
+        return lg.IndexRangeScan(
+            plan, name, label, bound.key, pattern,
+            low=bound.low,
+            low_inclusive=bound.low_inclusive,
+            high=bound.high,
+            high_inclusive=bound.high_inclusive,
+            prefix=bound.value if bound.kind == "prefix" else None,
+            fields=fields,
+            estimated_rows=estimate,
+            index_keys=candidate.keys,
+            prefix_probes=probes,
+        )
+
     def _plan_chain(
         self, plan, chain, bound, unique_rels, flipped=False,
-        sargables=_NO_SARGABLES,
+        sargables=_NO_SARGABLES, witnesses=_NO_SARGABLES,
     ):
         elements = chain.elements
         first = elements[0]
@@ -434,7 +497,8 @@ class _PlanBuilder:
             if not _is_hidden(current_name):
                 visible.append(current_name)
             plan = self._entry_scan(
-                plan, current_name, first, bound, sargables, tuple(visible)
+                plan, current_name, first, bound, sargables, tuple(visible),
+                witnesses,
             )
             bound.add(current_name)
 
@@ -635,10 +699,134 @@ class _PlanBuilder:
             plan = lg.Skip(plan, projection.skip, fields=plan.fields)
         if projection.limit is not None:
             plan = lg.Limit(plan, projection.limit, fields=plan.fields)
+        if projection.order_by:
+            plan = self._provide_order(plan)
+        if projection.limit is not None:
             plan = _fuse_top_k(plan)
         if where is not None:
             plan = lg.Filter(plan, where, fields=plan.fields)
         return plan
+
+    # ------------------------------------------------------------------
+    # Order-aware rewrite: Sort deletion over index-provided order
+    # ------------------------------------------------------------------
+
+    def _provide_order(self, plan):
+        """Delete a Sort whose order the source index already provides.
+
+        The rewrite fires on linear single-scan read plans whose ORDER
+        BY columns continue the index key tuple right after the scan's
+        consumed columns: the scan becomes an
+        :class:`~repro.planner.logical.IndexOrderedScan` enumerating the
+        index's sorted half in exactly the order the deleted Sort would
+        have produced (ordered-column groups in ``sort_key`` order, ties
+        id-ascending — the stable multi-pass Sort over an id-ordered
+        scan, reproduced).  A downstream Limit then bounds the lazy
+        index walk instead of fusing into a Top heap.
+
+        Soundness gates, each of which bails to the unrewritten plan:
+
+        * every operator between the Sort and the scan must be
+          streaming and order-preserving (Filter / ExtendedProject /
+          Strip / Distinct) — anything else may reorder rows;
+        * every sort item must resolve — through the projection alias
+          maps — to a property of the scan variable itself;
+        * a range/STARTS WITH scan may keep its bound only when the
+          bound is a plan-time literal: a row-dependent bound can
+          degrade to an unordered label scan *inside* the operator at
+          runtime, which is unsound once the Sort is gone;
+        * replacing a plain label scan requires every index column to
+          be witnessed non-null (inline property map or null-rejecting
+          WHERE conjunct), because the index omits exactly the nodes
+          with a null column — without the witness those nodes would be
+          silently dropped instead of sorted last.
+        """
+        from dataclasses import replace
+
+        wrappers = []
+        node = plan
+        while isinstance(node, (lg.Limit, lg.Skip, lg.Strip)):
+            wrappers.append(node)
+            node = node.child
+        if not isinstance(node, lg.Sort):
+            return plan
+        sort = node
+        chain = []
+        node = sort.child
+        while isinstance(
+            node, (lg.ExtendedProject, lg.Filter, lg.Strip, lg.Distinct)
+        ):
+            chain.append(node)
+            node = node.child
+        scan = node
+        if not isinstance(
+            scan, (lg.NodeByLabelScan, lg.IndexScan, lg.IndexRangeScan)
+        ):
+            return plan
+        if not isinstance(scan.child, lg.Init):
+            return plan
+        if isinstance(scan, lg.IndexScan) and scan.many:
+            return plan
+        resolved = []
+        for item in sort.sort_items:
+            column = _resolve_sort_column(item.expression, chain)
+            if column is None or column[0] != scan.variable:
+                return plan
+            resolved.append((column[1], item.ascending))
+        ordered_keys = tuple(key for key, _ascending in resolved)
+        directions = tuple(ascending for _key, ascending in resolved)
+
+        if isinstance(scan, lg.NodeByLabelScan):
+            replacement = self._ordered_label_replacement(
+                scan, chain, ordered_keys, directions
+            )
+        else:
+            replacement = _ordered_index_replacement(
+                scan, ordered_keys, directions
+            )
+        if replacement is None:
+            return plan
+        node = replacement
+        for op in reversed(chain):
+            node = replace(op, child=node)
+        for wrapper in reversed(wrappers):
+            node = replace(wrapper, child=node)
+        return node
+
+    def _ordered_label_replacement(self, scan, chain, ordered_keys,
+                                   directions):
+        """An IndexOrderedScan standing in for a whole label scan, or None.
+
+        Usable only when some index on the label leads with the ORDER BY
+        columns *and* every index column is witnessed non-null (the
+        index enumerates exactly the label nodes with all columns
+        non-null; the witnesses prove the plan's own predicates already
+        rejected the rest).  Among usable indexes the narrowest wins —
+        fewer trailing columns means shallower enumeration.
+        """
+        stats = self.cost.statistics
+        witnessed = set(
+            key for key, _expression in scan.node_pattern.properties
+        )
+        for op in chain:
+            if isinstance(op, lg.Filter):
+                for_scan = access.collect_witnesses(op.predicate)
+                witnessed.update(for_scan.get(scan.variable, ()))
+        best = None
+        for keys in stats.composite_indexes(scan.label):
+            if keys[:len(ordered_keys)] != ordered_keys:
+                continue
+            if not all(key in witnessed for key in keys):
+                continue
+            if best is None or len(keys) < len(best):
+                best = keys
+        if best is None:
+            return None
+        return lg.IndexOrderedScan(
+            scan.child, scan.variable, scan.label, best, (), directions,
+            scan.node_pattern, fields=scan.fields,
+            estimated_rows=float(stats.indexed_entries(scan.label, best)),
+        )
 
 
 def _fuse_top_k(plan):
@@ -674,6 +862,221 @@ def _fuse_top_k(plan):
     for wrapper in reversed(wrappers):
         rebuilt = replace(wrapper, child=rebuilt)
     return replace(plan, child=rebuilt)
+
+
+def _resolve_sort_column(expression, chain):
+    """Resolve a sort expression to ``(variable, key)`` through aliases.
+
+    Walks the operator chain top-down, substituting projection aliases
+    (``WITH n.age AS age ... ORDER BY age``) until the expression either
+    is exactly a property access on one variable — returned — or proves
+    to be anything else — None.  Substitution handles shadowing: by the
+    time the walk reaches the scan, the variable names mean what the
+    scan bound, not what a later projection rebound.
+    """
+    expr = expression
+    for op in chain:
+        if not isinstance(op, lg.ExtendedProject):
+            continue
+        items = dict(op.items)
+        if isinstance(expr, ex.Variable) and expr.name in items:
+            expr = items[expr.name]
+        elif (
+            isinstance(expr, ex.PropertyAccess)
+            and isinstance(expr.subject, ex.Variable)
+            and expr.subject.name in items
+        ):
+            base = items[expr.subject.name]
+            if not isinstance(base, ex.Variable):
+                return None
+            expr = ex.PropertyAccess(base, expr.key)
+    if (
+        isinstance(expr, ex.PropertyAccess)
+        and isinstance(expr.subject, ex.Variable)
+    ):
+        return expr.subject.name, expr.key
+    return None
+
+
+def _order_safe_literal(expression):
+    """The literal bound value an ordered scan may carry, or None.
+
+    Only plan-time literals of orderable scalar types qualify — any
+    other bound is evaluated per row at runtime, where a null (or a
+    value outside the index's sorted segments) degrades the scan to an
+    unordered fallback, unsound once the Sort is deleted.  NaN is
+    excluded for the same reason range probes exclude it: no value
+    compares with it.
+    """
+    import math
+
+    if not isinstance(expression, ex.Literal):
+        return None
+    value = expression.value
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and math.isnan(value):
+            return None
+        return value
+    if isinstance(value, str):
+        return value
+    return None
+
+
+def _ordered_index_replacement(scan, ordered_keys, directions):
+    """The IndexOrderedScan equivalent of an index scan, or None.
+
+    The ORDER BY columns must continue the index key tuple exactly where
+    the scan's consumed columns stop: an equality prefix fixes its
+    columns to single values, so enumeration order over the *next*
+    columns is total order over the emitted rows.
+    """
+    keys = scan.all_keys
+    if isinstance(scan, lg.IndexScan):
+        probes = scan.all_probes
+        consumed = len(probes)
+        low_value = high_value = prefix_value = None
+        low_inclusive = high_inclusive = True
+    else:
+        probes = scan.prefix_probes
+        consumed = len(probes)
+        low_value = high_value = prefix_value = None
+        low_inclusive, high_inclusive = scan.low_inclusive, scan.high_inclusive
+        if scan.prefix is not None:
+            prefix_value = _order_safe_literal(scan.prefix)
+            if not isinstance(prefix_value, str):
+                return None
+        else:
+            if scan.low is not None:
+                low_value = _order_safe_literal(scan.low)
+                if low_value is None:
+                    return None
+            if scan.high is not None:
+                high_value = _order_safe_literal(scan.high)
+                if high_value is None:
+                    return None
+        # The bound restricts the *first ordered* column, so that very
+        # column must lead the ORDER BY for the bound to survive.
+        if keys[consumed] != ordered_keys[0]:
+            return None
+    if keys[consumed:consumed + len(ordered_keys)] != ordered_keys:
+        return None
+    return lg.IndexOrderedScan(
+        scan.child, scan.variable, scan.label, keys, probes, directions,
+        scan.node_pattern,
+        low_value=low_value, low_inclusive=low_inclusive,
+        high_value=high_value, high_inclusive=high_inclusive,
+        prefix_value=prefix_value,
+        fields=scan.fields, estimated_rows=scan.estimated_rows,
+    )
+
+
+#: Operators a covering rewrite may pass through: linear, read-only,
+#: streaming.  Anything else (writes, applies, unions, expands — whose
+#: rows are not one-to-one with scan rows) leaves the plan untouched.
+_COVER_SAFE = (
+    lg.Filter, lg.ExtendedProject, lg.Strip, lg.Distinct,
+    lg.Sort, lg.Top, lg.Skip, lg.Limit,
+)
+
+
+def _apply_covering(plan):
+    """Serve projected columns straight from index entries where possible.
+
+    On a linear read plan whose source is an index scan, any projection
+    item or sort key that is *exactly* ``scanvar.key`` for an indexed
+    column is rewritten to read a synthetic covered slot the scan fills
+    from its own index entry — the property map is never touched for
+    those columns.  Values are identical by construction (the entry is
+    maintained from the same map), so this is pure access-path change;
+    the rewrite stops at the first Strip above the scan because Strip
+    resets unlisted slots, and bails entirely if a projection rebinds
+    the scan variable below that point.
+    """
+    from dataclasses import replace
+
+    chain = []
+    node = plan
+    while isinstance(node, _COVER_SAFE):
+        chain.append(node)
+        node = node.child
+    scan = node
+    if not isinstance(
+        scan, (lg.IndexScan, lg.IndexRangeScan, lg.IndexOrderedScan)
+    ):
+        return plan
+    if not isinstance(scan.child, lg.Init):
+        return plan
+    variable = scan.variable
+    keys = scan.all_keys
+
+    # Ops between the scan and the first Strip above it, leaf upward:
+    # only these still see the covered slots.
+    eligible = []
+    for op in reversed(chain):
+        if isinstance(op, lg.Strip):
+            break
+        eligible.append(op)
+    for op in eligible:
+        if isinstance(op, lg.ExtendedProject) and any(
+            name == variable for name, _expression in op.items
+        ):
+            return plan
+
+    covered = {}
+
+    def synthetic(key):
+        name = covered.get(key)
+        if name is None:
+            name = "#cover:%s.%s" % (variable, key)
+            covered[key] = name
+        return name
+
+    def covered_read(expression):
+        if (
+            isinstance(expression, ex.PropertyAccess)
+            and isinstance(expression.subject, ex.Variable)
+            and expression.subject.name == variable
+            and expression.key in keys
+        ):
+            return ex.Variable(synthetic(expression.key))
+        return None
+
+    rewritten = {}
+    for op in eligible:
+        if isinstance(op, lg.ExtendedProject):
+            items, changed = [], False
+            for name, expression in op.items:
+                replacement = covered_read(expression)
+                if replacement is not None:
+                    changed = True
+                    items.append((name, replacement))
+                else:
+                    items.append((name, expression))
+            if changed:
+                rewritten[id(op)] = replace(op, items=tuple(items))
+        elif isinstance(op, (lg.Sort, lg.Top)):
+            items, changed = [], False
+            for item in op.sort_items:
+                replacement = covered_read(item.expression)
+                if replacement is not None:
+                    changed = True
+                    items.append(replace(item, expression=replacement))
+                else:
+                    items.append(item)
+            if changed:
+                rewritten[id(op)] = replace(op, sort_items=tuple(items))
+    if not covered:
+        return plan
+    node = replace(
+        scan,
+        covered=tuple(covered.items()),
+        fields=scan.fields + tuple(covered.values()),
+    )
+    for op in reversed(chain):
+        node = replace(rewritten.get(id(op), op), child=node)
+    return node
 
 
 def _is_hidden(name):

@@ -167,12 +167,21 @@ def collect_plan_names(plan):
             add(op.variable)
             add_pattern_properties(op.node_pattern)
             add_expression(op.probe)
+            for probe in op.probes:
+                add_expression(probe)
         elif isinstance(op, lg.IndexRangeScan):
             add(op.variable)
             add_pattern_properties(op.node_pattern)
             add_expression(op.low)
             add_expression(op.high)
             add_expression(op.prefix)
+            for probe in op.prefix_probes:
+                add_expression(probe)
+        elif isinstance(op, lg.IndexOrderedScan):
+            add(op.variable)
+            add_pattern_properties(op.node_pattern)
+            for probe in op.prefix_probes:
+                add_expression(probe)
         elif isinstance(op, (lg.Expand, lg.VarLengthExpand)):
             add(op.from_variable)
             add(op.to_variable)

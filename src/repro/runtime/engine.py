@@ -261,19 +261,25 @@ class CypherEngine:
 
     # ------------------------------------------------------------------
 
-    def create_index(self, label, key):
-        """Declare a ``(label, key)`` property index on the default graph.
+    def create_index(self, label, *keys):
+        """Declare a ``(label, k1, k2, …)`` property index on the graph.
 
-        Returns True when the index is new.  The store builds it once
-        and maintains it incrementally from then on; the version bump it
-        causes makes the next lookup of any statistics-sensitive cached
-        plan re-plan against the new access path.
+        One key declares the classic single-column index; several keys
+        declare a composite index over the key tuple, in order (the
+        order is the index's sort order — it decides which ORDER BY
+        clauses the index can provide).  Returns True when the index is
+        new.  The store builds it once and maintains it incrementally
+        from then on; the version bump it causes makes the next lookup
+        of any statistics-sensitive cached plan re-plan against the new
+        access path.
         """
-        return self.graph.create_index(label, key)
+        return self.graph.create_index(label, *keys)
 
-    def drop_index(self, label, key):
+    def drop_index(self, label, *keys):
         """Drop a property index; returns True when one existed."""
-        return self.graph.drop_index(label, key)
+        if len(keys) == 1:
+            return self.graph.drop_index(label, keys[0])
+        return self.graph.drop_index(label, keys)
 
     def create_reachability_index(self, types=None):
         """Declare a reachability index over a relationship-type set.

@@ -235,8 +235,6 @@ def _check_index_smoke(failures):
     pass the bag check and still fail here — and their results must
     match a filter-only run on an unindexed clone with identical data.
     """
-    from repro.planner import logical as lg
-
     indexed = fixture_graph()
     indexed.create_index("A", "v")
     plain = fixture_graph()
@@ -250,14 +248,7 @@ def _check_index_smoke(failures):
         return
     for query in INDEX_SMOKE_PROBES:
         result = indexed_engine.run(query)
-        stack = [result.plan]
-        hit = False
-        while stack:
-            op = stack.pop()
-            if isinstance(op, (lg.IndexScan, lg.IndexRangeScan)):
-                hit = True
-            stack.extend(op._children())
-        if not hit:
+        if not _plan_enters_index(result.plan):
             failures.append(
                 "index smoke: %s did not enter through the index" % query
             )
@@ -265,6 +256,93 @@ def _check_index_smoke(failures):
         if not reference.table.same_bag(result.table):
             failures.append(
                 "index smoke: %s disagrees with the filter-only run" % query
+            )
+
+
+def _plan_enters_index(plan):
+    """True when the plan provably uses a property-index access path."""
+    from repro.planner import logical as lg
+
+    stack = [plan]
+    while stack:
+        op = stack.pop()
+        if isinstance(
+            op, (lg.IndexScan, lg.IndexRangeScan, lg.IndexOrderedScan)
+        ):
+            return True
+        stack.extend(op._children())
+    return False
+
+
+#: The composite-index smoke sequence: mutate every column of the
+#: declared :A(v, name) index — entry growth, recompute, column removal
+#: (which must *drop* the whole entry), node deletion.
+COMPOSITE_SMOKE_STATEMENTS = (
+    "UNWIND range(20, 24) AS i CREATE (:A {v: i, name: 'comp-' + "
+    "toString(i)})",
+    "MATCH (a:A) WHERE a.v = 21 SET a.name = 'renamed'",
+    "MATCH (a:A) WHERE a.v = 23 REMOVE a.name",
+    "MATCH (a:A) WHERE a.v = 22 DETACH DELETE a",
+)
+
+#: Multi-column probes that must enter through the composite index on
+#: the indexed clone (plan-inspected) and agree with the plain clone.
+COMPOSITE_SMOKE_PROBES = (
+    "MATCH (a:A) WHERE a.v = 21 AND a.name = 'renamed' "
+    "RETURN count(*) AS c",
+    "MATCH (a:A) WHERE a.v = 20 AND a.name STARTS WITH 'comp' "
+    "RETURN a.name AS n",
+    "MATCH (a:A) WHERE a.v >= 20 AND a.name IS NOT NULL "
+    "RETURN a.v AS v, a.name AS n ORDER BY v",
+)
+
+
+def _check_composite_index_smoke(failures):
+    """Create → probe (plan-proven) → update → drop, composite edition.
+
+    Same discipline as the single-key smoke — the probes must provably
+    enter through the ``:A(v, name)`` composite index and agree with a
+    filter-only clone — plus the drop: after ``drop_index`` the same
+    probes must re-plan off the index and still agree.
+    """
+    indexed = fixture_graph()
+    indexed.create_index("A", "v", "name")
+    plain = fixture_graph()
+    indexed_engine = CypherEngine(indexed)
+    plain_engine = CypherEngine(plain)
+    for statement in COMPOSITE_SMOKE_STATEMENTS:
+        indexed_engine.run(statement)
+        plain_engine.run(statement)
+    if graph_state(indexed) != graph_state(plain):
+        failures.append(
+            "composite smoke: indexed and plain stores diverged"
+        )
+        return
+    for query in COMPOSITE_SMOKE_PROBES:
+        result = indexed_engine.run(query)
+        if not _plan_enters_index(result.plan):
+            failures.append(
+                "composite smoke: %s did not enter through the index"
+                % query
+            )
+        reference = plain_engine.run(query)
+        if not reference.table.same_bag(result.table):
+            failures.append(
+                "composite smoke: %s disagrees with the filter-only run"
+                % query
+            )
+    indexed_engine.drop_index("A", "v", "name")
+    for query in COMPOSITE_SMOKE_PROBES:
+        result = indexed_engine.run(query)
+        if _plan_enters_index(result.plan):
+            failures.append(
+                "composite smoke: %s still claims an index after drop"
+                % query
+            )
+        reference = plain_engine.run(query)
+        if not reference.table.same_bag(result.table):
+            failures.append(
+                "composite smoke: %s diverged after index drop" % query
             )
 
 
@@ -530,6 +608,11 @@ def run_selftest(output=print):
     output(
         "index maintenance:    %2d statements, %d index-proven probes"
         % (len(INDEX_SMOKE_STATEMENTS), len(INDEX_SMOKE_PROBES))
+    )
+    _check_composite_index_smoke(failures)
+    output(
+        "composite indexes:    %2d statements, %d probes + drop re-plan"
+        % (len(COMPOSITE_SMOKE_STATEMENTS), len(COMPOSITE_SMOKE_PROBES))
     )
     _check_reachability_smoke(failures)
     output(

@@ -64,7 +64,7 @@ _ERROR_CLASSES = {
 class Scenario:
     name: str
     setup_queries: List[str] = field(default_factory=list)
-    indexes: List[Tuple[str, str]] = field(default_factory=list)
+    indexes: List[Tuple[str, Tuple[str, ...]]] = field(default_factory=list)
     parameters: dict = field(default_factory=dict)
     query: Optional[str] = None
     expected_rows: Optional[List[List[str]]] = None  # raw cell text
@@ -105,11 +105,15 @@ def parse_feature(text):
         elif line.startswith("Given an empty graph"):
             pass  # graphs always start empty here
         elif match := re.match(
-            r"(And|Given) an index on :(\w+)\((\w+)\)", line
+            r"(And|Given) an index on :(\w+)\((\w+(?:\s*,\s*\w+)*)\)", line
         ):
             # Declared *before* the setup queries run, so every setup
-            # write exercises the incremental index maintenance.
-            scenario.indexes.append((match.group(2), match.group(3)))
+            # write exercises the incremental index maintenance.  A
+            # comma-separated key list declares a composite index.
+            keys = tuple(
+                key.strip() for key in match.group(3).split(",")
+            )
+            scenario.indexes.append((match.group(2), keys))
         elif re.match(r"(And|Given) having executed:", line):
             block, index = _read_block(lines, index)
             scenario.setup_queries.append(block)
@@ -327,8 +331,8 @@ class TckRunner:
                 pass  # expected-error scenarios exercise the engine below
         graph = MemoryGraph()
         engine = CypherEngine(graph, mode="interpreter")
-        for label, key in scenario.indexes:
-            graph.create_index(label, key)
+        for label, keys in scenario.indexes:
+            graph.create_index(label, *keys)
         for setup in scenario.setup_queries:
             engine.run(setup)
         engine.mode = mode

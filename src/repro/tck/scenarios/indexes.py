@@ -294,4 +294,204 @@ Feature: Index-backed predicates
     Then the result should be, in any order:
       | c |
       | 0 |
+
+  Scenario: composite equality seek matches the full key tuple
+    Given an empty graph
+    And an index on :P(a, b)
+    And having executed:
+      '''
+      UNWIND [[1, 1], [1, 2], [2, 1], [1, 2]] AS row
+      CREATE (:P {a: row[0], b: row[1]})
+      '''
+    When executing query:
+      '''
+      MATCH (p:P) WHERE p.a = 1 AND p.b = 2 RETURN count(*) AS c
+      '''
+    Then the result should be, in any order:
+      | c |
+      | 2 |
+
+  Scenario: a node missing one composite column has no index entry but keeps its label
+    Given an empty graph
+    And an index on :P(a, b)
+    And having executed:
+      '''
+      CREATE (:P {a: 1, b: 1}), (:P {a: 1}), (:P {b: 1}), (:P)
+      '''
+    When executing query:
+      '''
+      MATCH (p:P) WHERE p.a = 1 RETURN count(*) AS c
+      '''
+    Then the result should be, in any order:
+      | c |
+      | 2 |
+
+  Scenario: the missing-column node fails full-tuple equality
+    Given an empty graph
+    And an index on :P(a, b)
+    And having executed:
+      '''
+      CREATE (:P {a: 1, b: 1}), (:P {a: 1}), (:P {b: 1})
+      '''
+    When executing query:
+      '''
+      MATCH (p:P) WHERE p.a = 1 AND p.b = 1 RETURN count(*) AS c
+      '''
+    Then the result should be, in any order:
+      | c |
+      | 1 |
+
+  Scenario: IS NULL on the second column sees exactly the index-invisible node
+    Given an empty graph
+    And an index on :P(a, b)
+    And having executed:
+      '''
+      CREATE (:P {a: 1, b: 1}), (:P {a: 1}), (:P {b: 1})
+      '''
+    When executing query:
+      '''
+      MATCH (p:P) WHERE p.a = 1 AND p.b IS NULL RETURN count(*) AS c
+      '''
+    Then the result should be, in any order:
+      | c |
+      | 1 |
+
+  Scenario: composite equality against null matches nothing
+    Given an empty graph
+    And an index on :P(a, b)
+    And having executed:
+      '''
+      CREATE (:P {a: 1, b: 1}), (:P {a: 1})
+      '''
+    When executing query:
+      '''
+      MATCH (p:P) WHERE p.a = 1 AND p.b = null RETURN count(*) AS c
+      '''
+    Then the result should be, in any order:
+      | c |
+      | 0 |
+
+  Scenario: prefix equality plus a range on the next column
+    Given an empty graph
+    And an index on :N(g, v)
+    And having executed:
+      '''
+      UNWIND [1, 2] AS g UNWIND range(1, 5) AS v CREATE (:N {g: g, v: v})
+      '''
+    When executing query:
+      '''
+      MATCH (n:N) WHERE n.g = 1 AND n.v >= 2 AND n.v < 5
+      RETURN n.v AS v ORDER BY v
+      '''
+    Then the result should be, in order:
+      | v |
+      | 2 |
+      | 3 |
+      | 4 |
+
+  Scenario: prefix equality plus STARTS WITH only ever matches strings
+    Given an empty graph
+    And an index on :P(g, name)
+    And having executed:
+      '''
+      CREATE (:P {g: 1, name: 'ada'}), (:P {g: 1, name: 'adele'}),
+             (:P {g: 1, name: 'bob'}), (:P {g: 2, name: 'ada'}),
+             (:P {g: 1, name: 7})
+      '''
+    When executing query:
+      '''
+      MATCH (p:P) WHERE p.g = 1 AND p.name STARTS WITH 'ad'
+      RETURN p.name AS n ORDER BY n
+      '''
+    Then the result should be, in order:
+      | n |
+      | 'ada' |
+      | 'adele' |
+
+  Scenario: index-provided order is exact across ties and mixed-type segments
+    Given an empty graph
+    And an index on :M(g, v)
+    And having executed:
+      '''
+      CREATE (:M {g: 1, v: 'b'}), (:M {g: 1, v: 1}), (:M {g: 1, v: true}),
+             (:M {g: 1, v: 'a'}), (:M {g: 1, v: 2}), (:M {g: 1, v: 1}),
+             (:M {g: 2, v: 0})
+      '''
+    When executing query:
+      '''
+      MATCH (m:M) WHERE m.g = 1 AND m.v IS NOT NULL
+      RETURN m.v AS v ORDER BY v
+      '''
+    Then the result should be, in order:
+      | v |
+      | 'a' |
+      | 'b' |
+      | true |
+      | 1 |
+      | 1 |
+      | 2 |
+
+  Scenario: index-provided order descends too
+    Given an empty graph
+    And an index on :M(g, v)
+    And having executed:
+      '''
+      CREATE (:M {g: 1, v: 'b'}), (:M {g: 1, v: 1}), (:M {g: 1, v: true}),
+             (:M {g: 1, v: 'a'}), (:M {g: 1, v: 2}), (:M {g: 1, v: 1}),
+             (:M {g: 2, v: 0})
+      '''
+    When executing query:
+      '''
+      MATCH (m:M) WHERE m.g = 1 AND m.v IS NOT NULL
+      RETURN m.v AS v ORDER BY v DESC
+      '''
+    Then the result should be, in order:
+      | v |
+      | 2 |
+      | 1 |
+      | 1 |
+      | true |
+      | 'b' |
+      | 'a' |
+
+  Scenario: index-provided order honours LIMIT
+    Given an empty graph
+    And an index on :M(g, v)
+    And having executed:
+      '''
+      UNWIND range(1, 9) AS i CREATE (:M {g: i % 2, v: i})
+      '''
+    When executing query:
+      '''
+      MATCH (m:M) WHERE m.g = 1 AND m.v IS NOT NULL
+      RETURN m.v AS v ORDER BY v LIMIT 2
+      '''
+    Then the result should be, in order:
+      | v |
+      | 1 |
+      | 3 |
+
+  Scenario: the composite index tracks SET and REMOVE on either column
+    Given an empty graph
+    And an index on :K(a, b)
+    And having executed:
+      '''
+      UNWIND range(1, 4) AS i CREATE (:K {a: 1, b: i})
+      '''
+    And having executed:
+      '''
+      MATCH (n:K) WHERE n.a = 1 AND n.b = 2 SET n.b = 20
+      '''
+    And having executed:
+      '''
+      MATCH (n:K) WHERE n.a = 1 AND n.b = 3 REMOVE n.a
+      '''
+    When executing query:
+      '''
+      MATCH (n:K) WHERE n.a = 1 AND n.b >= 2 RETURN n.b AS b ORDER BY b
+      '''
+    Then the result should be, in order:
+      | b |
+      | 4 |
+      | 20 |
 """

@@ -52,12 +52,20 @@ def _covered_packages():
     workload (PR 9): the generator seeds every macro differential and
     the ingest path owns the deferred-index failure contract, so
     untested lines there are untested rollback paths.
+    ``graph/statistics.py`` and ``planner/access.py`` joined with
+    composite indexes and histogram statistics (PR 10): the histogram
+    estimators silently degrade to flat guesses on untested branches,
+    and access-path matching decides every index-vs-scan choice — the
+    per-file floor is sharper than the planner package aggregate it
+    also sits under.
     """
     import repro.datasets
     import repro.graph.ingest
     import repro.graph.reachability
+    import repro.graph.statistics
     import repro.graph.store
     import repro.planner
+    import repro.planner.access
     import repro.runtime
     import repro.semantics
 
@@ -82,6 +90,12 @@ def _covered_packages():
         ),
         "src/repro/graph/ingest.py": os.path.abspath(
             repro.graph.ingest.__file__
+        ),
+        "src/repro/graph/statistics.py": os.path.abspath(
+            repro.graph.statistics.__file__
+        ),
+        "src/repro/planner/access.py": os.path.abspath(
+            repro.planner.access.__file__
         ),
     }
 

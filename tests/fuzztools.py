@@ -106,6 +106,26 @@ def indexed_fixture_graph():
 INDEXED_GRAPH = indexed_fixture_graph()
 
 
+def composite_indexed_fixture_graph():
+    """The fixture graph with composite indexes on the fuzzed keys.
+
+    ``(v, name)`` on two labels and the reversed ``(name, v)`` on the
+    third, plus one single-key index, so the planner's
+    longest-usable-prefix matching, order-provided rewrites and
+    single-vs-composite cost tie-breaks all fire against the same
+    corpus.  Contents stay byte-identical to :func:`fixture_graph`'s.
+    """
+    graph = fixture_graph()
+    graph.create_index("A", "v", "name")
+    graph.create_index("B", "v", "name")
+    graph.create_index("C", "name", "v")
+    graph.create_index("A", "name")
+    return graph
+
+
+COMPOSITE_INDEXED_GRAPH = composite_indexed_fixture_graph()
+
+
 def assert_indexes_consistent(graph):
     """Every maintained index must equal a from-scratch rebuild.
 

@@ -19,9 +19,11 @@ from repro.planner import logical as lg
 from repro.planner.batch import plan_supports_batch
 
 from fuzztools import (
+    COMPOSITE_INDEXED_GRAPH,
     GRAPH,
     INDEXED_GRAPH,
     assert_indexes_consistent,
+    composite_indexed_fixture_graph,
     graph_state,
     indexed_fixture_graph,
     indexed_update_queries,
@@ -102,6 +104,160 @@ class TestIndexedUpdates:
                 assert clones[mode].index_snapshot(label, key) == (
                     reference_index
                 ), (query, mode, label, key)
+
+
+#: Hand-written composite probes: full-tuple equality, prefix-only
+#: equality (with and without a witness on the unprobed column),
+#: prefix + range, prefix + STARTS WITH, covering projections, and
+#: order-provided ORDER BY — the shapes the fuzz corpus is not
+#: guaranteed to hit every run.
+COMPOSITE_QUERIES = (
+    "MATCH (a:A) WHERE a.v = 2 AND a.name = 'node-6' RETURN a.name AS n",
+    "MATCH (a:A) WHERE a.v = 0 AND a.name STARTS WITH 'node' "
+    "RETURN count(*) AS c",
+    "MATCH (a:A) WHERE a.v = 2 RETURN count(*) AS c",
+    "MATCH (a:A) WHERE a.v = 2 AND a.name IS NOT NULL RETURN a.name AS n",
+    "MATCH (b:B) WHERE b.v = 3 AND b.name >= 'node-0' RETURN b.name AS n",
+    "MATCH (c:C) WHERE c.name = 'node-5' AND c.v >= 0 RETURN c.v AS v",
+    "MATCH (a:A) WHERE a.v >= 0 AND a.name IS NOT NULL "
+    "RETURN a.v AS v, a.name AS n ORDER BY v, n",
+    "MATCH (a:A) WHERE a.v = 2 AND a.name IS NOT NULL "
+    "RETURN a.name AS n ORDER BY n DESC LIMIT 2",
+    "MATCH (a:A) WHERE a.v IN [0, 2] AND a.name IS NOT NULL "
+    "RETURN count(*) AS c",
+)
+
+
+class TestCompositeSargableReads:
+    """Six-way agreement with composite indexes declared."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(query=sargable_queries())
+    def test_sargable_with_and_without_composite_indexes(self, query):
+        plain = _assert_read_agreement(query, GRAPH)
+        indexed = _assert_read_agreement(query, COMPOSITE_INDEXED_GRAPH)
+        assert plain.table.same_bag(indexed.table), (
+            "declaring a composite index changed the results of %r" % query
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=match_queries())
+    def test_general_match_corpus_on_composite_indexed_graph(self, query):
+        plain = _assert_read_agreement(query, GRAPH)
+        indexed = _assert_read_agreement(query, COMPOSITE_INDEXED_GRAPH)
+        assert plain.table.same_bag(indexed.table), query
+
+    def test_hand_written_composite_probes(self):
+        for query in COMPOSITE_QUERIES:
+            plain = _assert_read_agreement(query, GRAPH)
+            indexed = _assert_read_agreement(query, COMPOSITE_INDEXED_GRAPH)
+            assert plain.table.same_bag(indexed.table), query
+
+
+class TestCompositeIndexedUpdates:
+    """Composite maintenance must equal a rebuild, across executors."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(query=indexed_update_queries())
+    def test_update_differential_with_composite_indexes(self, query):
+        clones = {mode: COMPOSITE_INDEXED_GRAPH.copy() for mode in
+                  ("interpreter", "row", "batch")}
+        results = {
+            mode: CypherEngine(graph).run(query, mode=mode)
+            for mode, graph in clones.items()
+        }
+        assert results["row"].executed_by == "planner", query
+        assert results["batch"].executed_by == "planner", query
+        reference = results["interpreter"].table
+        reference_state = graph_state(clones["interpreter"])
+        for mode in ("row", "batch"):
+            assert reference.same_bag(results[mode].table), (query, mode)
+            assert reference_state == graph_state(clones[mode]), (query, mode)
+        for mode, graph in clones.items():
+            assert_indexes_consistent(graph)
+        for label, key in clones["interpreter"].indexes():
+            reference_index = clones["interpreter"].index_snapshot(label, key)
+            for mode in ("row", "batch"):
+                assert clones[mode].index_snapshot(label, key) == (
+                    reference_index
+                ), (query, mode, label, key)
+
+
+def test_composite_point_lookup_takes_the_index():
+    """Full-tuple equality plans as one composite seek, no label scan."""
+    engine = CypherEngine(composite_indexed_fixture_graph())
+    # :B carries only the composite (v, name) index, so the plan shape
+    # is unambiguous (:A also has a single-key (name) index that ties
+    # on estimated rows for a full point lookup).
+    result = engine.run(
+        "MATCH (b:B) WHERE b.v = 3 AND b.name = 'node-7' "
+        "RETURN count(*) AS c"
+    )
+    scans = [op for op in _plan_operators(result.plan)
+             if isinstance(op, lg.IndexScan)]
+    assert scans, result.plan.describe()
+    assert scans[0].all_keys == ("v", "name"), result.plan.describe()
+    kinds = {type(op) for op in _plan_operators(result.plan)}
+    assert lg.NodeByLabelScan not in kinds
+    assert result.values("c") == [1]
+
+
+def test_order_provided_scan_deletes_the_sort():
+    """ORDER BY matching the index order must not plan a Sort, and the
+    emitted order must be exact — ties and mixed-type segments included
+    — on all three executors."""
+    graph = composite_indexed_fixture_graph()
+    engine = CypherEngine(graph)
+    query = (
+        "MATCH (a:A) WHERE a.v >= 0 AND a.name IS NOT NULL "
+        "RETURN a.v AS v, a.name AS n ORDER BY v, n"
+    )
+    result = engine.run(query)
+    kinds = {type(op) for op in _plan_operators(result.plan)}
+    assert lg.IndexOrderedScan in kinds, result.plan.describe()
+    assert lg.Sort not in kinds, result.plan.describe()
+    reference = CypherEngine(GRAPH).run(query, mode="interpreter")
+    rows = [tuple(record.values()) for record in reference.records]
+    for mode in ("interpreter", "row", "batch"):
+        actual = [
+            tuple(record.values())
+            for record in engine.run(query, mode=mode).records
+        ]
+        assert actual == rows, (mode, actual, rows)
+
+
+def test_order_provided_scan_with_ties_and_mixed_types():
+    """Exact ordered agreement on data built to stress tie-breaking."""
+    from repro.graph.store import MemoryGraph
+
+    plain = MemoryGraph()
+    engine = CypherEngine(plain)
+    engine.run(
+        "UNWIND range(0, 29) AS i "
+        "CREATE (:T {g: i % 3, v: CASE i % 5 WHEN 0 THEN 'node' "
+        "WHEN 1 THEN i % 2 WHEN 2 THEN 1.5 WHEN 3 THEN i % 2 = 0 "
+        "ELSE 'node' END})"
+    )
+    indexed = plain.copy()
+    indexed.create_index("T", "g", "v")
+    query = (
+        "MATCH (t:T) WHERE t.g = 1 AND t.v IS NOT NULL "
+        "RETURN t.v AS v, id(t) AS tie ORDER BY v"
+    )
+    indexed_engine = CypherEngine(indexed)
+    result = indexed_engine.run(query)
+    kinds = {type(op) for op in _plan_operators(result.plan)}
+    assert lg.IndexOrderedScan in kinds, result.plan.describe()
+    assert lg.Sort not in kinds, result.plan.describe()
+    reference = CypherEngine(plain).run(query, mode="interpreter")
+    rows = [tuple(record.values()) for record in reference.records]
+    assert rows, "tie fixture matched nothing"
+    for mode in ("interpreter", "row", "batch"):
+        actual = [
+            tuple(record.values())
+            for record in indexed_engine.run(query, mode=mode).records
+        ]
+        assert actual == rows, (mode, actual, rows)
 
 
 def test_harness_is_not_vacuous():

@@ -276,6 +276,143 @@ def test_pattern_comprehensions_agree_with_and_without_index():
         assert plain.table.same_bag(indexed.table), query
 
 
+class TestShortestPathBoundPruning:
+    """Bounded shortestPath gates its oracle on the condensation diameter.
+
+    Same decline rule as the planner's var-length probes: a hop cap at
+    or below the covering index's condensation diameter means the cap
+    itself is the effective pruner, so ``_reachability_prune`` must
+    decline (return None) and the capped BFS runs bare; above the
+    diameter the oracle is consulted.  Either way the answers must be
+    indistinguishable from an index-less search.
+    """
+
+    DIAMETER = 4  # the fixture's :R condensation diameter, asserted below
+
+    @staticmethod
+    def _named(graph):
+        return {
+            graph.node_property(node, "name"): node
+            for node in graph.nodes()
+        }
+
+    def test_fixture_diameter_is_what_the_boundaries_assume(self):
+        graph = reachability_fixture_graph()
+        facts = graph.reachability_statistics()[("R",)]
+        assert facts["condensation_diameter"] == self.DIAMETER, facts
+
+    def test_prune_declines_at_or_below_diameter(self):
+        from repro.algorithms.paths import _reachability_prune
+
+        graph = reachability_fixture_graph()
+        target = self._named(graph)["node-4"]
+        for cap in (1, self.DIAMETER - 1, self.DIAMETER):
+            assert _reachability_prune(
+                graph, target, ["R"], True, max_length=cap
+            ) is None, cap
+
+    def test_prune_fires_above_diameter_and_when_uncapped(self):
+        from repro.algorithms.paths import _reachability_prune
+
+        graph = reachability_fixture_graph()
+        ids = self._named(graph)
+        for cap in (self.DIAMETER + 1, self.DIAMETER + 5, None):
+            oracle = _reachability_prune(
+                graph, ids["node-4"], ["R"], True, max_length=cap
+            )
+            assert oracle is not None, cap
+            # The oracle it returns is the real one: node-0 reaches
+            # node-4 through :R edges (0->1->2->4), node-3 does not
+            # (its only outgoing edge is :S).
+            assert oracle(ids["node-0"]) is True
+            assert oracle(ids["node-3"]) is False
+
+    def test_capped_search_agrees_with_and_without_index(self):
+        from repro.algorithms.paths import shortest_path
+
+        plain = fixture_graph_without_indexes()
+        indexed = reachability_fixture_graph()
+        nodes = sorted(plain.nodes())
+        caps = (0, 1, self.DIAMETER, self.DIAMETER + 1, 9, None)
+        for rel_types in (None, ["R"]):
+            for cap in caps:
+                for source in nodes:
+                    for target in nodes:
+                        without = shortest_path(
+                            plain, source, target, rel_types,
+                            max_length=cap,
+                        )
+                        with_index = shortest_path(
+                            indexed, source, target, rel_types,
+                            max_length=cap,
+                        )
+                        key = (source, target, rel_types, cap)
+                        assert (without is None) == (
+                            with_index is None
+                        ), key
+                        if without is not None:
+                            assert len(without) == len(with_index), key
+                            if cap is not None:
+                                assert len(without) <= cap, key
+
+    def test_cap_semantics_match_filtering_the_uncapped_answer(self):
+        from repro.algorithms.paths import (
+            shortest_path_length,
+        )
+
+        graph = fixture_graph_without_indexes()
+        nodes = sorted(graph.nodes())
+        for source in nodes:
+            for target in nodes:
+                uncapped = shortest_path_length(graph, source, target)
+                for cap in range(0, 7):
+                    capped = shortest_path_length(
+                        graph, source, target, max_length=cap
+                    )
+                    expected = (
+                        uncapped
+                        if uncapped is not None and uncapped <= cap
+                        else None
+                    )
+                    assert capped == expected, (source, target, cap)
+
+    def test_cap_composes_with_undirected_and_negative_bounds(self):
+        from repro.algorithms.paths import shortest_path
+
+        graph = reachability_fixture_graph()
+        ids = self._named(graph)
+        # Undirected searches never consult the oracle; the cap still
+        # applies.  node-4 -> node-0 needs undirected steps.
+        path = shortest_path(
+            graph, ids["node-4"], ids["node-0"], directed=False,
+            max_length=2,
+        )
+        assert path is not None and len(path) <= 2
+        assert shortest_path(
+            graph, ids["node-4"], ids["node-0"], max_length=-1
+        ) is None
+        # A zero cap finds only the trivial self-path.
+        assert len(shortest_path(
+            graph, ids["node-2"], ids["node-2"], max_length=0
+        )) == 0
+        assert shortest_path(
+            graph, ids["node-0"], ids["node-1"], max_length=0
+        ) is None
+
+    def test_cap_rejects_cost_weighted_search(self):
+        import pytest
+
+        from repro.algorithms.paths import shortest_path
+
+        graph = reachability_fixture_graph()
+        ids = self._named(graph)
+        with pytest.raises(ValueError):
+            shortest_path(
+                graph, ids["node-0"], ids["node-4"],
+                cost_property="w", max_length=3,
+            )
+
+
 def test_dropping_the_index_restores_the_plain_plan():
     graph = reachability_fixture_graph()
     query = BOUND_PAIR + "MATCH (a)-[:R*]->(b) RETURN count(*) AS c"

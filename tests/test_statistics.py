@@ -1,0 +1,220 @@
+"""Unit tests for histogram statistics and the statistics snapshot.
+
+:class:`ColumnHistogram` and :class:`GraphStatistics` sit under the
+tier-1 coverage floor: every estimator branch that silently degrades to
+a flat guess (unsupported bounds, missing segments, stale snapshots,
+hook-free stores) is pinned here, not just exercised incidentally by
+planner tests.
+"""
+
+import pytest
+
+from repro import CypherEngine
+from repro.graph.statistics import ColumnHistogram, GraphStatistics
+from repro.graph.store import MemoryGraph
+
+
+def _exact_histogram():
+    # 10 numeric entries (0..9, one each) + 10 string entries.
+    return ColumnHistogram({
+        "num": [(i, 1) for i in range(10)],
+        "str": [("apple", 2), ("banana", 3), ("cherry", 5)],
+    })
+
+
+class TestColumnHistogram:
+    def test_total_and_exact_closed_open_range(self):
+        histogram = _exact_histogram()
+        assert histogram.total == 20
+        # Numbers 3, 4, 5, 6 of the 20 entries.
+        assert histogram.fraction(3, True, 7, False) == pytest.approx(4 / 20)
+
+    def test_exclusive_low_and_open_high(self):
+        histogram = _exact_histogram()
+        assert histogram.fraction(3, False, None, True) == pytest.approx(
+            6 / 20
+        )
+
+    def test_string_upper_bound(self):
+        histogram = _exact_histogram()
+        assert histogram.fraction(None, True, "banana", True) == (
+            pytest.approx(5 / 20)
+        )
+
+    def test_empty_segment_is_dropped(self):
+        histogram = ColumnHistogram({"num": [], "str": [("a", 1)]})
+        assert histogram.total == 1
+        # No numeric segment survives, so a numeric range estimates zero.
+        assert histogram.fraction(0, True, 9, True) == 0.0
+
+    def test_compression_keeps_estimates_close(self):
+        # 200 distinct values forces equi-depth compression (> BUCKETS).
+        histogram = ColumnHistogram({"num": [(i, 1) for i in range(200)]})
+        assert histogram.total == 200
+        estimate = histogram.fraction(50, True, 100, False)
+        assert estimate == pytest.approx(0.25, abs=0.03)
+
+    def test_unsupported_and_nan_bounds(self):
+        histogram = _exact_histogram()
+        assert histogram.fraction([1], True, None, True) is None
+        assert histogram.fraction(float("nan"), True, None, True) is None
+
+    def test_disjoint_segment_bounds_estimate_zero(self):
+        histogram = _exact_histogram()
+        assert histogram.fraction(1, True, "zzz", True) == 0.0
+
+    def test_boolean_segment(self):
+        histogram = ColumnHistogram({"bool": [(False, 4), (True, 6)]})
+        assert histogram.fraction(False, True, True, True) == (
+            pytest.approx(1.0)
+        )
+
+    def test_empty_histogram(self):
+        histogram = ColumnHistogram({})
+        assert histogram.total == 0
+        assert histogram.fraction(1, True, None, True) == 0.0
+
+    def test_prefix_fraction(self):
+        histogram = _exact_histogram()
+        assert histogram.prefix_fraction("ban") == pytest.approx(3 / 20)
+        assert histogram.prefix_fraction("zebra") == 0.0
+
+    def test_prefix_fraction_rejects_non_strings(self):
+        assert _exact_histogram().prefix_fraction(5) is None
+
+    def test_prefix_fraction_without_string_segment(self):
+        histogram = ColumnHistogram({"num": [(1, 1)]})
+        assert histogram.prefix_fraction("a") == 0.0
+
+
+class _HookFreeGraph:
+    """A minimal store without cardinality hooks (the rescan path)."""
+
+    version = 3
+
+    def node_count(self):
+        return 3
+
+    def relationship_count(self):
+        return 2
+
+    def nodes(self):
+        return [1, 2, 3]
+
+    def labels(self, node):
+        return ("A",) if node == 1 else ("A", "B")
+
+    def relationships(self):
+        return [10, 11]
+
+    def rel_type(self, rel):
+        return "R" if rel == 10 else "S"
+
+
+class _SlottedGraph:
+    """A store whose instances reject weakrefs (no ``__weakref__`` slot)."""
+
+    __slots__ = ()
+
+    def node_count(self):
+        return 0
+
+    def relationship_count(self):
+        return 0
+
+    def nodes(self):
+        return []
+
+    def labels(self, node):
+        return ()
+
+    def relationships(self):
+        return []
+
+    def rel_type(self, rel):
+        return "R"
+
+
+def _indexed_graph():
+    graph = MemoryGraph()
+    engine = CypherEngine(graph)
+    engine.run(
+        "UNWIND range(0, 19) AS i "
+        "CREATE (:L {a: i % 4, b: 'name-' + toString(i)})"
+    )
+    graph.create_index("L", "a", "b")
+    return graph
+
+
+class TestGraphStatistics:
+    def test_rescan_fallback_without_hooks(self):
+        stats = GraphStatistics(_HookFreeGraph())
+        assert stats.label_counts == {"A": 3, "B": 2}
+        assert stats.type_counts == {"R": 1, "S": 1}
+        assert stats.relationships_with_type("R") == 1
+        assert stats.label_selectivity("A") == pytest.approx(1.0)
+        assert stats.average_degree(types=["R"]) == pytest.approx(1 / 3)
+        assert stats.average_degree(direction="both") == pytest.approx(4 / 3)
+
+    def test_unweakrefable_graph_disables_histograms(self):
+        stats = GraphStatistics(_SlottedGraph())
+        assert stats._graph_ref is None
+        assert stats.column_histogram("L", ("a",), 0) is None
+        assert stats.label_selectivity("A") == 1.0
+        assert stats.average_degree() == 0.0
+        assert stats.expand_fanout() == 0.001
+
+    def test_graph_without_distribution_hook(self):
+        stats = GraphStatistics(_HookFreeGraph())
+        assert stats.column_histogram("A", ("a",), 0) is None
+        assert stats.range_fraction("A", ("a",), 0, 1, True, 2, True) is None
+        assert stats.starts_with_fraction("A", ("a",), 0, "x") is None
+
+    def test_histograms_from_live_graph_and_staleness(self):
+        graph = _indexed_graph()
+        stats = GraphStatistics(graph)
+        histogram = stats.column_histogram("L", ("a", "b"), 0)
+        assert histogram is not None
+        assert histogram.total == 20
+        # a in {0..3}, five entries each: [1, 3) covers a = 1, 2.
+        assert stats.range_fraction(
+            "L", ("a", "b"), 0, 1, True, 3, False
+        ) == pytest.approx(0.5)
+        assert stats.starts_with_fraction(
+            "L", ("a", "b"), 1, "name-1"
+        ) == pytest.approx(11 / 20)
+        # Second lookup reuses the cached object.
+        assert stats.column_histogram("L", ("a", "b"), 0) is histogram
+        # A snapshot that never built a histogram refuses to build one
+        # once the graph moved past its version; a fresh snapshot can.
+        stale = GraphStatistics(graph)
+        CypherEngine(graph).run("CREATE (:L {a: 9, b: 'x'})")
+        assert stale.column_histogram("L", ("a", "b"), 0) is None
+        fresh = GraphStatistics(graph)
+        assert fresh.column_histogram("L", ("a", "b"), 0) is not None
+
+    def test_index_counters_and_prefixes(self):
+        graph = _indexed_graph()
+        stats = GraphStatistics(graph)
+        assert stats.has_property_index("L", ("a", "b"))
+        assert not stats.has_property_index("L", "a")
+        assert stats.property_ndv("L", ("a", "b")) == 20
+        assert stats.property_ndv("M", "a") is None
+        assert stats.indexed_entries("L", ("a", "b")) == 20
+        assert stats.indexed_entries("L", "missing") is None
+        assert stats.composite_indexes("L") == [("a", "b")]
+        assert stats.composite_indexes("M") == []
+        assert stats.prefix_ndv("L", ("a", "b"), 1) == 4
+        assert stats.prefix_ndv("L", ("a", "b"), 2) == 20
+        assert stats.prefix_ndv("L", ("a", "b"), 0) is None
+        assert stats.prefix_ndv("L", ("a", "b"), 3) is None
+        assert stats.prefix_ndv("M", ("a",), 1) is None
+
+    def test_reachability_defaults_and_repr(self):
+        stats = GraphStatistics(MemoryGraph())
+        assert list(stats.reachability_index_types()) == []
+        assert not stats.has_reachability_index()
+        assert not stats.has_reachability_index(["R"])
+        text = repr(stats)
+        assert text.startswith("GraphStatistics(")
+        assert "nodes=0" in text
